@@ -1,0 +1,282 @@
+(* vmperf: command-line interface to the view-materialization cost model and
+   simulator.
+
+     vmperf costs    --model 1 -P 0.7 -f 0.2      analytic costs + winner
+     vmperf simulate --model 1 --scale 0.1        measured simulation
+     vmperf advise   --model 2 --fv 0.01          strategy recommendation
+     vmperf regions  --model 1 --c3 2             best-strategy map (Figures 2-4, 6-7)
+     vmperf sweep    --model 3 --param l          cost table over a parameter sweep
+     vmperf params                                the paper's parameter table *)
+
+open Core
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared parameter flags                                              *)
+(* ------------------------------------------------------------------ *)
+
+let params_term =
+  let open Term in
+  let mk n s b k l q nbytes f fv fr2 c1 c2 c3 prob =
+    let p =
+      {
+        Params.n_tuples = n;
+        tuple_bytes = s;
+        page_bytes = b;
+        k_updates = k;
+        l_per_txn = l;
+        q_queries = q;
+        index_bytes = nbytes;
+        f;
+        fv;
+        f_r2 = fr2;
+        c1;
+        c2;
+        c3;
+      }
+    in
+    let p = match prob with Some prob -> Params.with_update_probability p prob | None -> p in
+    match Params.validate p with
+    | Ok () -> p
+    | Error msg ->
+        Printf.eprintf "invalid parameters: %s\n" msg;
+        Stdlib.exit 2
+  in
+  let d = Params.defaults in
+  let flag name doc default =
+    Arg.(value & opt float default & info [ name ] ~doc ~docv:"FLOAT")
+  in
+  const mk
+  $ flag "N" "Tuples in the base relation." d.Params.n_tuples
+  $ flag "S" "Bytes per tuple." d.Params.tuple_bytes
+  $ flag "B" "Bytes per page." d.Params.page_bytes
+  $ flag "k" "Number of update transactions." d.Params.k_updates
+  $ flag "l" "Tuples modified per transaction." d.Params.l_per_txn
+  $ flag "q" "Number of view queries." d.Params.q_queries
+  $ flag "n" "Bytes per index record." d.Params.index_bytes
+  $ flag "f" "View predicate selectivity." d.Params.f
+  $ flag "fv" "Fraction of the view retrieved per query." d.Params.fv
+  $ flag "fr2" "Size of R2 as a fraction of R1." d.Params.f_r2
+  $ flag "c1" "CPU cost (ms) per predicate test." d.Params.c1
+  $ flag "c2" "Cost (ms) per page read/write." d.Params.c2
+  $ flag "c3" "Cost (ms) per tuple of A/D set manipulation." d.Params.c3
+  $ Arg.(
+      value
+      & opt (some float) None
+      & info [ "P" ] ~doc:"Update probability (overrides k, keeping q)." ~docv:"FLOAT")
+
+let model_term =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "model" ] ~docv:"1|2|3"
+        ~doc:"View model: 1 selection-projection, 2 two-way join, 3 aggregate.")
+
+let model_of_int = function
+  | 1 -> Advisor.Selection_projection
+  | 2 -> Advisor.Two_way_join
+  | 3 -> Advisor.Aggregate_over_view
+  | m ->
+      Printf.eprintf "unknown model %d (expected 1, 2 or 3)\n" m;
+      exit 2
+
+let costs_of_model model p =
+  match model with
+  | Advisor.Selection_projection -> Model1.all p
+  | Advisor.Two_way_join -> Model2.all p
+  | Advisor.Aggregate_over_view -> Model3.all p
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let params_cmd =
+  let run p = print_endline (Table.render ~headers:[ "parameter"; "value" ]
+                               (List.map (fun (k, v) -> [ k; v ]) (Params.rows p))) in
+  Cmd.v (Cmd.info "params" ~doc:"Print the parameter table (paper section 3.1).")
+    Term.(const run $ params_term)
+
+let costs_cmd =
+  let run model p =
+    let model = model_of_int model in
+    Format.printf "%s at P = %.3f:@." (Advisor.model_name model) (Params.update_probability p);
+    print_endline
+      (Table.render ~headers:[ "strategy"; "ms/query" ]
+         (List.map
+            (fun (name, c) -> [ name; Table.float_cell ~decimals:1 c ])
+            (List.sort (fun (_, a) (_, b) -> Float.compare a b) (costs_of_model model p))))
+  in
+  Cmd.v (Cmd.info "costs" ~doc:"Analytic cost of every strategy at one parameter point.")
+    Term.(const run $ model_term $ params_term)
+
+let scale_term =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "scale" ] ~docv:"FLOAT"
+        ~doc:"Shrink the relation to SCALE * N tuples for the simulation.")
+
+let seed_term =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc:"Workload RNG seed.")
+
+let simulate_cmd =
+  let run model p scale seed =
+    let p = Experiment.scale p scale in
+    Format.printf "simulating at N = %.0f, P = %.3f, seed %d@." p.Params.n_tuples
+      (Params.update_probability p) seed;
+    let results =
+      match model_of_int model with
+      | Advisor.Selection_projection ->
+          Experiment.measure_model1 ~seed p
+            [ `Deferred; `Immediate; `Clustered; `Unclustered; `Recompute ]
+      | Advisor.Two_way_join ->
+          Experiment.measure_model2 ~seed p [ `Deferred; `Immediate; `Loopjoin ]
+      | Advisor.Aggregate_over_view ->
+          Experiment.measure_model3 ~seed p [ `Deferred; `Immediate; `Recompute ]
+    in
+    let category_names =
+      List.filter (fun c -> c <> Cost_meter.Base) Cost_meter.all_categories
+    in
+    print_endline
+      (Table.render
+         ~headers:
+           ([ "strategy"; "ms/query"; "reads"; "writes" ]
+           @ List.map Cost_meter.category_name category_names)
+         (List.map
+            (fun (name, m) ->
+              [
+                name;
+                Table.float_cell ~decimals:1 m.Runner.cost_per_query;
+                string_of_int m.Runner.physical_reads;
+                string_of_int m.Runner.physical_writes;
+              ]
+              @ List.map
+                  (fun c ->
+                    Table.float_cell ~decimals:0 (List.assoc c m.Runner.category_costs))
+                  category_names)
+            results))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the strategies on the simulated engine and report measured costs.")
+    Term.(const run $ model_term $ params_term $ scale_term $ seed_term)
+
+let advise_cmd =
+  let run model p =
+    Format.printf "%a" Advisor.pp (Advisor.recommend (model_of_int model) p)
+  in
+  Cmd.v (Cmd.info "advise" ~doc:"Recommend a materialization strategy from the cost model.")
+    Term.(const run $ model_term $ params_term)
+
+let regions_cmd =
+  let run model p =
+    let best =
+      match model_of_int model with
+      | Advisor.Selection_projection -> Regions.best_model1
+      | Advisor.Two_way_join -> Regions.best_model2
+      | Advisor.Aggregate_over_view -> Regions.best_model3
+    in
+    let letter name =
+      match name with
+      | "deferred" -> 'D'
+      | "immediate" -> 'I'
+      | "clustered" | "loopjoin" -> 'Q'
+      | "unclustered" -> 'U'
+      | "sequential" -> 'S'
+      | "recompute" -> 'R'
+      | _ -> '?'
+    in
+    print_endline
+      (Ascii_plot.region_map
+         ~title:(Printf.sprintf "best strategy, model %d (fv = %g, C3 = %g)" model p.Params.fv p.Params.c3)
+         ~x_label:"P" ~y_label:"f" ~x_range:(0.02, 0.98) ~y_range:(0.02, 1.0)
+         ~legend:
+           [
+             ('D', "deferred"); ('I', "immediate"); ('Q', "query modification");
+             ('R', "recompute");
+           ]
+         ~classify:(fun prob f -> letter (Regions.classify ~best ~base:p ~p:prob ~f))
+         ())
+  in
+  Cmd.v
+    (Cmd.info "regions"
+       ~doc:"Best-strategy region map over (P, f), like Figures 2-4 and 6-7.")
+    Term.(const run $ model_term $ params_term)
+
+let sweep_cmd =
+  let param_term =
+    Arg.(
+      value
+      & opt string "P"
+      & info [ "param" ] ~docv:"P|f|fv|l|c3" ~doc:"Parameter to sweep.")
+  in
+  let from_term = Arg.(value & opt float 0.05 & info [ "from" ] ~docv:"FLOAT") in
+  let to_term = Arg.(value & opt float 0.95 & info [ "to" ] ~docv:"FLOAT") in
+  let steps_term = Arg.(value & opt int 10 & info [ "steps" ] ~docv:"INT") in
+  let run model p param lo hi steps =
+    let model = model_of_int model in
+    let apply v =
+      match param with
+      | "P" -> Params.with_update_probability p v
+      | "f" -> { p with Params.f = v }
+      | "fv" -> { p with Params.fv = v }
+      | "l" -> { p with Params.l_per_txn = v }
+      | "c3" -> { p with Params.c3 = v }
+      | other ->
+          Printf.eprintf "unknown sweep parameter %s\n" other;
+          exit 2
+    in
+    let names = List.map fst (costs_of_model model p) in
+    let rows =
+      List.init (max 2 steps) (fun i ->
+          let v = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (max 1 (steps - 1))) in
+          let costs = costs_of_model model (apply v) in
+          Table.float_cell ~decimals:3 v
+          :: (List.map (fun (_, c) -> Table.float_cell ~decimals:1 c) costs
+             @ [ fst (Regions.argmin costs) ]))
+    in
+    print_endline (Table.render ~headers:(param :: (names @ [ "best" ])) rows)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Analytic cost table over a parameter sweep.")
+    Term.(const run $ model_term $ params_term $ param_term $ from_term $ to_term $ steps_term)
+
+let shell_cmd =
+  let run () =
+    let db = Db.create () in
+    Printf.printf
+      "vmat shell -- statements end at newline; try:\n\
+      \  create table r (id int key, pval float, amount float) size 100\n\
+      \  insert into r values (1, 0.05, 10)\n\
+      \  define view v (pval, amount) from r where pval < 0.1 cluster on pval using deferred\n\
+      \  select * from v\n\
+      \  cost          -- accumulated modeled cost\n\
+      \  quit\n\n";
+    let rec loop () =
+      print_string "vmat> ";
+      match read_line () with
+      | exception End_of_file -> ()
+      | "quit" | "exit" -> ()
+      | "" -> loop ()
+      | "cost" ->
+          Printf.printf "%.0f ms modeled (excluding base maintenance)\n"
+            (Cost_meter.total_cost ~excluding:[ Cost_meter.Base ] (Db.meter db));
+          loop ()
+      | line ->
+          (match Db.exec db line with
+          | Ok result -> Format.printf "%a@." Db.pp_result result
+          | Error message -> Printf.printf "error: %s\n" message);
+          loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "shell"
+       ~doc:"Interactive session: tables, views under chosen strategies, queries.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "cost analysis and simulation of view materialization strategies (Hanson, SIGMOD 1987)" in
+  let info = Cmd.info "vmperf" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ params_cmd; costs_cmd; simulate_cmd; advise_cmd; regions_cmd; sweep_cmd; shell_cmd ]))

@@ -1,0 +1,57 @@
+(* Strategy advisor: sweep the parameters the paper's conclusion names as
+   decisive (P, f, fv, l) and print the recommended materialization strategy
+   for each view model, with region maps like Figures 2 and 6.
+
+     dune exec examples/advisor.exe *)
+
+open Core
+
+let letter = function
+  | "deferred" -> 'D'
+  | "immediate" -> 'I'
+  | "clustered" | "loopjoin" -> 'Q'
+  | "unclustered" -> 'U'
+  | "sequential" -> 'S'
+  | "recompute" -> 'R'
+  | _ -> '?'
+
+let () =
+  let base = Params.defaults in
+
+  Format.printf "Recommendations at the paper's default parameters:@.@.";
+  List.iter
+    (fun model -> Format.printf "%a@." Advisor.pp (Advisor.recommend model base))
+    Advisor.[ Selection_projection; Two_way_join; Aggregate_over_view ];
+
+  let map model title =
+    let best =
+      match model with
+      | Advisor.Selection_projection -> Regions.best_model1
+      | Advisor.Two_way_join -> Regions.best_model2
+      | Advisor.Aggregate_over_view -> Regions.best_model3
+    in
+    Ascii_plot.region_map ~title ~x_label:"P (update probability)"
+      ~y_label:"f (selectivity)" ~x_range:(0.02, 0.98) ~y_range:(0.02, 1.)
+      ~legend:
+        [ ('D', "deferred"); ('I', "immediate"); ('Q', "query modification"); ('R', "recompute") ]
+      ~classify:(fun p f -> letter (Regions.classify ~best ~base ~p ~f))
+      ()
+  in
+  Format.printf "@.%s@." (map Advisor.Selection_projection "Model 1: best strategy (fv = .1)");
+  Format.printf "@.%s@." (map Advisor.Two_way_join "Model 2: best strategy (fv = .1)");
+
+  Format.printf "@.Sensitivity to fv (Model 1, f = .1):@.";
+  List.iter
+    (fun fv ->
+      let p = { base with Params.fv } in
+      let winner, cost = Regions.best_model1 p in
+      Format.printf "  fv = %-5g -> %-12s (%.0f ms/query)@." fv winner cost)
+    [ 0.5; 0.1; 0.05; 0.01; 0.001 ];
+
+  Format.printf "@.Sensitivity to C3 (Model 1, f = .5, P = .8):@.";
+  List.iter
+    (fun c3 ->
+      let p = Params.with_update_probability { base with Params.f = 0.5; c3 } 0.8 in
+      Format.printf "  C3 = %-3g -> deferred %.0f vs immediate %.0f ms/query@." c3
+        (Model1.total_deferred p) (Model1.total_immediate p))
+    [ 0.5; 1.; 2.; 4. ]

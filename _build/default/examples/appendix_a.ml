@@ -1,0 +1,57 @@
+(* Appendix A, executed: Blakeley's original refresh expression decrements
+   duplicate counts too many times when one transaction deletes joining
+   tuples from both relations; Hanson's corrected expression (using
+   R' = R − D) does not.
+
+     dune exec examples/appendix_a.exe *)
+
+open Core
+open Core.Predicate
+
+let left_schema =
+  Schema.make ~name:"R1"
+    ~columns:Schema.[ { name = "a"; ty = T_int }; { name = "b"; ty = T_int } ]
+    ~tuple_bytes:20 ~key:"a"
+
+let right_schema =
+  Schema.make ~name:"R2"
+    ~columns:Schema.[ { name = "b"; ty = T_int }; { name = "c"; ty = T_int } ]
+    ~tuple_bytes:20 ~key:"b"
+
+let () =
+  (* The paper's running example: V = π_{a,c} σ_{R1.a = 5 ∧ R1.b = R2.b}. *)
+  let view =
+    View_def.make_join ~name:"V" ~left:left_schema ~right:right_schema
+      ~left_pred:(Cmp (Eq, Column 0, Const (Value.Int 5)))
+      ~on:("b", "b") ~project_left:[ "a" ] ~project_right:[ "c" ] ~cluster:"a"
+  in
+  let t1 = Tuple.make ~tid:1 [| Value.Int 5; Value.Int 7 |] in
+  let t2 = Tuple.make ~tid:2 [| Value.Int 7; Value.Int 99 |] in
+  let r1 = [ t1 ] and r2 = [ t2 ] in
+  let v0 () = Delta.recompute_join view r1 r2 in
+  Format.printf "R1 = { (a=5, b=7) },  R2 = { (b=7, c=99) }@.";
+  Format.printf "V0 = %a@.@." Bag.pp (v0 ());
+
+  Format.printf "Transaction deletes t1 from R1 AND t2 from R2.@.@.";
+
+  (* Blakeley's formulation evaluates the deletion terms against the OLD
+     relations: D1xD2, D1xR2 and R1xD2 each rediscover the joined tuple. *)
+  let blakeley = Delta.join_blakeley view ~r1 ~r2 ~a1:[] ~d1:[ t1 ] ~a2:[] ~d2:[ t2 ] in
+  Format.printf "Blakeley's expression deletes %d time(s):@." (List.length blakeley.del);
+  let v_blakeley = v0 () in
+  Delta.apply v_blakeley blakeley;
+  Format.printf "  resulting view: %a@." Bag.pp v_blakeley;
+  Format.printf "  duplicate counts corrupted: %b@.@." (Bag.has_negative_count v_blakeley);
+
+  (* The corrected formulation uses R1' = R1 − D1 and R2' = R2 − D2. *)
+  let corrected =
+    Delta.join_corrected view ~r1_prime:[] ~r2_prime:[] ~a1:[] ~d1:[ t1 ] ~a2:[] ~d2:[ t2 ]
+  in
+  Format.printf "Hanson's corrected expression deletes %d time(s):@."
+    (List.length corrected.del);
+  let v_corrected = v0 () in
+  Delta.apply v_corrected corrected;
+  Format.printf "  resulting view: %a@." Bag.pp v_corrected;
+  Format.printf "  duplicate counts corrupted: %b@." (Bag.has_negative_count v_corrected);
+  assert (not (Bag.has_negative_count v_corrected));
+  assert (Bag.total_size v_corrected = 0)

@@ -1,0 +1,45 @@
+(* Quickstart: define a base relation and a selection-projection view, run
+   the three materialization strategies of Hanson's paper on the same
+   workload, and compare measured costs.
+
+     dune exec examples/quickstart.exe *)
+
+open Core
+
+let () =
+  (* A relation R(id, pval, amount, note) of 20,000 tuples with [pval]
+     uniform on [0,1), and the view
+
+       define view V (pval, amount) where R.pval < 0.1
+
+     clustered on pval, exactly the paper's Model 1 with f = .1. *)
+  let params =
+    Params.
+      {
+        defaults with
+        n_tuples = 20_000.;
+        k_updates = 60.;
+        l_per_txn = 10.;
+        q_queries = 60.;
+      }
+  in
+  Format.printf "Parameters:@.";
+  List.iter (fun (k, v) -> Format.printf "  %-12s %s@." k v) (Params.rows params);
+
+  Format.printf "@.Analytic cost per view query (paper's Model 1 formulas):@.";
+  List.iter (fun (name, c) -> Format.printf "  %-16s %10.1f ms@." name c) (Model1.all params);
+
+  Format.printf "@.Measured on the simulated engine (same workload for all):@.";
+  let results =
+    Experiment.measure_model1 params
+      [ `Deferred; `Immediate; `Clustered; `Unclustered; `Recompute ]
+  in
+  List.iter
+    (fun (name, m) ->
+      Format.printf "  %-16s %10.1f ms/query   (%d page reads, %d writes)@." name
+        m.Runner.cost_per_query m.Runner.physical_reads m.Runner.physical_writes)
+    results;
+
+  Format.printf "@.Advisor:@.%a@."
+    Advisor.pp
+    (Advisor.recommend Advisor.Selection_projection params)

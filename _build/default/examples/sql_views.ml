@@ -1,0 +1,45 @@
+(* The whole system through the definition language: tables, views under
+   different maintenance strategies, aggregates, and queries -- a miniature
+   session in the QUEL-flavored syntax the paper uses for its examples.
+
+     dune exec examples/sql_views.exe *)
+
+open Core
+
+let () =
+  let db = Db.create () in
+  let run statement =
+    Format.printf "vmat> %s@." statement;
+    (match Db.exec db statement with
+    | Ok result -> Format.printf "%a@." Db.pp_result result
+    | Error message -> Format.printf "error: %s@." message);
+    Format.printf "@."
+  in
+  run "create table emp (eno int key, salary float, dno int, name string) size 100";
+  run "create table dept (dno int key, budget float, dname string) size 100";
+  List.iter run
+    [
+      "insert into dept values (1, 1000, 'engineering')";
+      "insert into dept values (2, 500, 'sales')";
+      "insert into emp values (10, 120, 1, 'alice')";
+      "insert into emp values (11, 95, 1, 'bob')";
+      "insert into emp values (12, 80, 2, 'carol')";
+    ];
+  run
+    "define view wellpaid (salary, name) from emp where salary >= 90 cluster on salary \
+     using deferred";
+  run
+    "define view empdept (emp.salary, emp.name, dept.dname) from emp join dept on \
+     emp.dno = dept.dno where emp.salary > 0 cluster on salary using immediate";
+  run "define aggregate payroll as sum(salary) from emp using immediate";
+  run "select * from wellpaid";
+  run "select * from empdept where salary between 90 and 200";
+  run "select value from payroll";
+  run "update emp set salary = 130 where name = 'bob'";
+  run "select * from wellpaid where salary between 100 and 200";
+  run "select value from payroll";
+  run "delete from emp where name = 'carol'";
+  run "select * from empdept";
+  run "select value from payroll";
+  Format.printf "total modeled cost: %.0f ms (excluding ordinary base maintenance)@."
+    (Cost_meter.total_cost ~excluding:[ Cost_meter.Base ] (Db.meter db))

@@ -1,0 +1,1 @@
+lib/core/core.ml: Advisor Vmat_cost Vmat_db Vmat_hypo Vmat_index Vmat_lang Vmat_relalg Vmat_storage Vmat_util Vmat_view Vmat_workload

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Float Format List Model1 Model2 Model3 Params String Vmat_cost

@@ -1,0 +1,67 @@
+(** Public facade of the view-materialization library.
+
+    The layers, bottom-up:
+    - {!Yao}, {!Bloom}, {!Rng} — analytic and probabilistic primitives;
+    - {!Value}, {!Schema}, {!Tuple}, {!Disk}, {!Buffer_pool}, {!Cost_meter},
+      {!Heap_file} — the simulated storage engine;
+    - {!Btree}, {!Hash_file}, {!Tlock} — access methods;
+    - {!Predicate}, {!Bag}, {!Ops} — relational algebra with duplicate
+      counts;
+    - {!Hr} — hypothetical relations (the deferred-maintenance substrate);
+    - {!View_def}, {!Materialized}, {!Delta}, {!Screen}, {!Aggregate},
+      {!Strategy}, {!Strategy_sp}, {!Strategy_join}, {!Strategy_agg} — views
+      and the three materialization strategies;
+    - {!Params}, {!Model1}, {!Model2}, {!Model3}, {!Regions} — the paper's
+      analytic cost model;
+    - {!Dataset}, {!Stream}, {!Runner}, {!Experiment} — measured workloads;
+    - {!Advisor} — strategy selection from the model. *)
+
+module Yao = Vmat_util.Yao
+module Combin = Vmat_util.Combin
+module Bloom = Vmat_util.Bloom
+module Rng = Vmat_util.Rng
+module Stats = Vmat_util.Stats
+module Table = Vmat_util.Table
+module Ascii_plot = Vmat_util.Ascii_plot
+module Value = Vmat_storage.Value
+module Schema = Vmat_storage.Schema
+module Tuple = Vmat_storage.Tuple
+module Cost_meter = Vmat_storage.Cost_meter
+module Disk = Vmat_storage.Disk
+module Buffer_pool = Vmat_storage.Buffer_pool
+module Heap_file = Vmat_storage.Heap_file
+module Btree = Vmat_index.Btree
+module Hash_file = Vmat_index.Hash_file
+module Tlock = Vmat_index.Tlock
+module Predicate = Vmat_relalg.Predicate
+module Bag = Vmat_relalg.Bag
+module Ops = Vmat_relalg.Ops
+module Hr = Vmat_hypo.Hr
+module View_def = Vmat_view.View_def
+module Materialized = Vmat_view.Materialized
+module Delta = Vmat_view.Delta
+module Screen = Vmat_view.Screen
+module Aggregate = Vmat_view.Aggregate
+module Strategy = Vmat_view.Strategy
+module Strategy_sp = Vmat_view.Strategy_sp
+module Strategy_join = Vmat_view.Strategy_join
+module Strategy_agg = Vmat_view.Strategy_agg
+module Multi_view = Vmat_view.Multi_view
+module Bilateral = Vmat_view.Bilateral
+module Trigger = Vmat_view.Trigger
+module Planner = Vmat_view.Planner
+module Params = Vmat_cost.Params
+module Model1 = Vmat_cost.Model1
+module Model2 = Vmat_cost.Model2
+module Model3 = Vmat_cost.Model3
+module Regions = Vmat_cost.Regions
+module Extensions = Vmat_cost.Extensions
+module Dataset = Vmat_workload.Dataset
+module Stream = Vmat_workload.Stream
+module Runner = Vmat_workload.Runner
+module Experiment = Vmat_workload.Experiment
+module Lexer = Vmat_lang.Lexer
+module Ast = Vmat_lang.Ast
+module Parser = Vmat_lang.Parser
+module Db = Vmat_db.Db
+module Advisor = Advisor

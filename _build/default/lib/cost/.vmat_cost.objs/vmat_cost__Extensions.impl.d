@@ -1,0 +1,1 @@
+lib/cost/extensions.ml: Float Model1 Params Regions Vmat_util Yao

@@ -1,0 +1,1 @@
+lib/cost/model1.mli: Params

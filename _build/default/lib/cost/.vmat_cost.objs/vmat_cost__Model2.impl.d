@@ -1,0 +1,1 @@
+lib/cost/model2.ml: Float Model1 Params Vmat_util Yao

@@ -1,0 +1,1 @@
+lib/cost/model2.mli: Params

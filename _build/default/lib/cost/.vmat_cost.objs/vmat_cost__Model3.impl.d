@@ -1,0 +1,1 @@
+lib/cost/model3.ml: Model1 Params

@@ -1,0 +1,1 @@
+lib/cost/regions.ml: Float List Model1 Model2 Model3 Params

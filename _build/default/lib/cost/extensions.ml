@@ -1,0 +1,32 @@
+open Vmat_util
+
+let deferred_refresh_rate (p : Params.t) ~refreshes_per_query =
+  let m = Float.max 1. refreshes_per_query in
+  let u = Params.updates_per_query p in
+  let t = Params.tuples_per_page p in
+  let per_refresh_updates = u /. m in
+  let ad_read = m *. p.c2 *. Float.max 1. (2. *. per_refresh_updates /. t) in
+  let refresh =
+    m
+    *. p.c2
+    *. (3. +. Params.view_index_height p)
+    *. Yao.eval ~n:(p.f *. p.n_tuples)
+         ~m:(p.f *. Params.blocks p /. 2.)
+         ~k:(2. *. p.f *. per_refresh_updates)
+  in
+  Model1.c_ad p +. ad_read +. Model1.c_query p +. refresh +. Model1.c_screen p
+
+let deferred_multidisk (p : Params.t) ~overlap =
+  if overlap < 0. || overlap > 1. then invalid_arg "Extensions.deferred_multidisk: overlap";
+  let hidden = 1. -. overlap in
+  (hidden *. (Model1.c_ad p +. Model1.c_ad_read p))
+  +. Model1.c_query p +. Model1.c_def_refresh p +. Model1.c_screen p
+
+let multidisk_crossover_p (p : Params.t) ~overlap =
+  Regions.crossover ~lo:0.001 ~hi:0.999 (fun prob ->
+      let params = Params.with_update_probability p prob in
+      deferred_multidisk params ~overlap -. Model1.total_immediate params)
+
+let deferred_split_ad (p : Params.t) =
+  (3. *. Model1.c_ad p) +. Model1.c_ad_read p +. Model1.c_query p +. Model1.c_def_refresh p
+  +. Model1.c_screen p

@@ -1,0 +1,34 @@
+(** Cost-model extensions for the paper's §3.3/§4 discussion points, used by
+    the ablation benchmarks: refresh frequency, multi-disk hypothetical
+    relations, and the rejected split-file differential layout. *)
+
+val deferred_refresh_rate : Params.t -> refreshes_per_query:float -> float
+(** Model-1 deferred total when the view is refreshed [m >= 1] times per
+    query interval instead of once: each refresh handles [u/m] updates, so
+    the view-update term becomes [m · C2 (3 + H_vi) · y(fN, fb/2, 2fu/m)]
+    (non-decreasing in [m] by the Yao triangle inequality — §4's argument
+    that "waiting as long as possible between refreshes uses the least
+    system resources") and each refresh reads at least one differential-file
+    page.  [refreshes_per_query = 1] coincides with
+    {!Model1.total_deferred} whenever the differential file spans at least
+    one page. *)
+
+val deferred_multidisk : Params.t -> overlap:float -> float
+(** §3.3: "if more than one disk is available, and I/O operations can be
+    issued concurrently ... it would be possible to significantly decrease
+    the cost of maintaining hypothetical relations (e.g. by putting R, A and
+    D on separate disks and reading from them simultaneously)".  [overlap]
+    (in [[0, 1]]) is the fraction of the hypothetical-relation I/O hidden
+    behind concurrent base I/O; [0.] coincides with
+    {!Model1.total_deferred}. *)
+
+val multidisk_crossover_p : Params.t -> overlap:float -> float option
+(** The update probability at which multi-disk deferred maintenance becomes
+    cheaper than immediate maintenance, if any (the paper: this "would give
+    deferred maintenance an advantage over the immediate scheme for a wider
+    range of parameter settings"). *)
+
+val deferred_split_ad : Params.t -> float
+(** Model-1 deferred total with separate [A] and [D] files: each update pays
+    three extra I/Os instead of one (§2.2.2's "at least five I/O's would be
+    required rather than three"), i.e. the [C_AD] term tripled. *)

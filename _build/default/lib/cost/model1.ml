@@ -1,0 +1,59 @@
+open Vmat_util
+
+let yao = Yao.eval
+
+let c_query (p : Params.t) =
+  let b = Params.blocks p in
+  (p.c2 *. (p.f *. p.fv *. b /. 2.))
+  +. (p.c2 *. Params.view_index_height p)
+  +. (p.c1 *. (p.f *. p.fv *. p.n_tuples))
+
+let c_ad (p : Params.t) =
+  let u = Params.updates_per_query p in
+  let t = Params.tuples_per_page p in
+  p.c2 *. Params.update_ratio p *. yao ~n:(2. *. u) ~m:(2. *. u /. t) ~k:p.l_per_txn
+
+let c_ad_read (p : Params.t) =
+  p.c2 *. (2. *. Params.updates_per_query p /. Params.tuples_per_page p)
+
+let c_screen (p : Params.t) = p.c1 *. p.f *. Params.updates_per_query p
+
+let x1 (p : Params.t) =
+  let u = Params.updates_per_query p in
+  yao ~n:(p.f *. p.n_tuples) ~m:(p.f *. Params.blocks p /. 2.) ~k:(2. *. p.f *. u)
+
+let c_def_refresh (p : Params.t) =
+  p.c2 *. (3. +. Params.view_index_height p) *. x1 p
+
+let total_deferred p = c_ad p +. c_ad_read p +. c_query p +. c_def_refresh p +. c_screen p
+
+let x2 (p : Params.t) =
+  yao ~n:(p.f *. p.n_tuples) ~m:(p.f *. Params.blocks p /. 2.) ~k:(2. *. p.f *. p.l_per_txn)
+
+let c_imm_refresh (p : Params.t) =
+  Params.update_ratio p *. p.c2 *. (3. +. Params.view_index_height p) *. x2 p
+
+let c_overhead (p : Params.t) =
+  p.c3 *. 2. *. p.f *. p.l_per_txn *. Params.update_ratio p
+
+let total_immediate p = c_query p +. c_imm_refresh p +. c_screen p +. c_overhead p
+
+let total_clustered (p : Params.t) =
+  let b = Params.blocks p in
+  (p.c2 *. b *. p.f *. p.fv) +. (p.c1 *. p.n_tuples *. p.f *. p.fv)
+
+let total_unclustered (p : Params.t) =
+  let b = Params.blocks p in
+  (p.c2 *. yao ~n:p.n_tuples ~m:b ~k:(p.n_tuples *. p.f *. p.fv))
+  +. (p.c1 *. p.n_tuples *. p.f *. p.fv)
+
+let total_sequential (p : Params.t) = (p.c2 *. Params.blocks p) +. (p.c1 *. p.n_tuples)
+
+let all p =
+  [
+    ("deferred", total_deferred p);
+    ("immediate", total_immediate p);
+    ("clustered", total_clustered p);
+    ("unclustered", total_unclustered p);
+    ("sequential", total_sequential p);
+  ]

@@ -1,0 +1,47 @@
+(** §3.2: Model 1 (selection-projection view) cost formulas.  All results are
+    average cost per view query, in milliseconds of the paper's cost units. *)
+
+val c_query : Params.t -> float
+(** [C_query1 = C2 (f fv b / 2) + C2 H_vi + C1 (f fv N)] — read a fraction
+    [fv] of the view's [fb/2] pages after an index search, screening every
+    retrieved tuple. *)
+
+val c_ad : Params.t -> float
+(** [C_AD = C2 (k/q) y(2u, 2u/T, l)] — extra I/O per query to maintain the
+    hypothetical relation. *)
+
+val c_ad_read : Params.t -> float
+(** [C_ADread = C2 (2u/T)] — read the whole differential file at refresh. *)
+
+val c_screen : Params.t -> float
+(** [C_screen = C1 f u] — stage-2 screening of the tuples that break a
+    t-lock. *)
+
+val c_def_refresh : Params.t -> float
+(** [C2 (3 + H_vi) y(fN, fb/2, 2fu)]. *)
+
+val total_deferred : Params.t -> float
+
+val c_imm_refresh : Params.t -> float
+(** [(k/q) C2 (3 + H_vi) y(fN, fb/2, 2fl)]. *)
+
+val c_overhead : Params.t -> float
+(** [C_overhead = C3 · 2fl · (k/q)] — resetting the in-memory A and D sets
+    once per transaction. *)
+
+val total_immediate : Params.t -> float
+
+val total_clustered : Params.t -> float
+(** Query modification, clustered index scan:
+    [C2 b f fv + C1 N f fv]. *)
+
+val total_unclustered : Params.t -> float
+(** Query modification, unclustered index scan:
+    [C2 y(N, b, N f fv) + C1 N f fv]. *)
+
+val total_sequential : Params.t -> float
+(** Query modification, full sequential scan: [C2 b + C1 N]. *)
+
+val all : Params.t -> (string * float) list
+(** Every strategy's total, labelled — order: deferred, immediate,
+    clustered, unclustered, sequential. *)

@@ -1,0 +1,57 @@
+open Vmat_util
+
+let yao = Yao.eval
+
+let c_query (p : Params.t) =
+  let b = Params.blocks p in
+  (p.c2 *. Params.view_index_height p)
+  +. (p.c2 *. (p.f *. p.fv *. b))
+  +. (p.c1 *. (p.f *. p.fv *. p.n_tuples))
+
+let x3 (p : Params.t) =
+  let u = Params.updates_per_query p in
+  yao ~n:(p.f_r2 *. p.n_tuples) ~m:(p.f_r2 *. Params.blocks p) ~k:(2. *. p.f *. u)
+
+let x4 (p : Params.t) =
+  let u = Params.updates_per_query p in
+  yao ~n:(p.f *. p.n_tuples) ~m:(p.f *. Params.blocks p) ~k:(2. *. p.f *. u)
+
+let c_def_refresh (p : Params.t) =
+  (p.c2 *. x3 p)
+  +. (p.c1 *. 2. *. Params.updates_per_query p)
+  +. (p.c2 *. (3. +. Params.view_index_height p) *. x4 p)
+
+let total_deferred p =
+  Model1.c_ad p +. Model1.c_ad_read p +. c_def_refresh p +. c_query p +. Model1.c_screen p
+
+let x5 (p : Params.t) =
+  yao ~n:(p.f_r2 *. p.n_tuples) ~m:(p.f_r2 *. Params.blocks p) ~k:(2. *. p.f *. p.l_per_txn)
+
+let x6 (p : Params.t) =
+  yao ~n:(p.f *. p.n_tuples) ~m:(p.f *. Params.blocks p) ~k:(2. *. p.f *. p.l_per_txn)
+
+let c_imm_refresh (p : Params.t) =
+  Params.update_ratio p
+  *. ((p.c2 *. x5 p)
+     +. (p.c1 *. 2. *. p.l_per_txn)
+     +. (p.c2 *. (3. +. Params.view_index_height p) *. x6 p))
+
+let total_immediate p =
+  c_imm_refresh p +. c_query p +. Model1.c_overhead p +. Model1.c_screen p
+
+let total_loopjoin (p : Params.t) =
+  let b = Params.blocks p in
+  let base_index_height =
+    Float.max 1. (ceil (log (Float.max 2. p.n_tuples) /. log (Params.fanout p)))
+  in
+  (p.c2 *. base_index_height)
+  +. (p.c2 *. (p.f *. p.fv *. b))
+  +. (p.c2 *. yao ~n:(p.f_r2 *. p.n_tuples) ~m:(p.f_r2 *. b) ~k:(p.f *. p.fv *. p.n_tuples))
+  +. (2. *. p.c1 *. p.n_tuples *. p.f *. p.fv)
+
+let all p =
+  [
+    ("deferred", total_deferred p);
+    ("immediate", total_immediate p);
+    ("loopjoin", total_loopjoin p);
+  ]

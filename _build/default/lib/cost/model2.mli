@@ -1,0 +1,30 @@
+(** §3.4: Model 2 (two-way natural join view) cost formulas.  The view joins
+    [R1] (restricted by a clause of selectivity [f]) with [R2]
+    ([f_R2 N] tuples) on a key of [R2]; only [R1] is updated. *)
+
+val c_query : Params.t -> float
+(** [C_query2 = C2 H_vi + C2 (f fv b) + C1 (f fv N)] — the Model-2 view has
+    [fN] tuples of [S] bytes, hence [fb] pages. *)
+
+val c_def_refresh : Params.t -> float
+(** [C2 X3 + C1 2u + C2 (3 + H_vi) X4] with [X3 = y(fR2 N, fR2 b, 2fu)]
+    (hash probes into [R2]) and [X4 = y(fN, fb, 2fu)] (view pages
+    updated). *)
+
+val total_deferred : Params.t -> float
+(** Includes the hypothetical-relation costs [C_AD] and [C_ADread],
+    unchanged from Model 1 (§3.4.1). *)
+
+val c_imm_refresh : Params.t -> float
+(** [(k/q) (C2 X5 + C1 2l + C2 (3 + H_vi) X6)] with
+    [X5 = y(fR2 N, fR2 b, 2fl)] and [X6 = y(fN, fb, 2fl)]. *)
+
+val total_immediate : Params.t -> float
+
+val total_loopjoin : Params.t -> float
+(** Query modification via nested loops with the hash index on [R2] inner:
+    [C2 ceil(log_(B/n) N) + C2 f fv b + C2 y(fR2 N, fR2 b, f fv N)
+       + 2 C1 N f fv]. *)
+
+val all : Params.t -> (string * float) list
+(** Order: deferred, immediate, loopjoin. *)

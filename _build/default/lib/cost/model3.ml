@@ -1,0 +1,23 @@
+let c_query (p : Params.t) = p.c2
+
+let touch_probability ~f ~changes = 1. -. ((1. -. f) ** changes)
+
+let c_def_refresh (p : Params.t) =
+  p.c2 *. touch_probability ~f:p.f ~changes:(2. *. Params.updates_per_query p)
+
+let total_deferred p =
+  Model1.c_ad p +. Model1.c_ad_read p +. c_query p +. c_def_refresh p +. Model1.c_screen p
+
+let c_imm_refresh (p : Params.t) =
+  Params.update_ratio p *. p.c2 *. touch_probability ~f:p.f ~changes:(2. *. p.l_per_txn)
+
+let total_immediate p = c_query p +. c_imm_refresh p +. Model1.c_screen p
+
+let total_recompute (p : Params.t) = Model1.total_clustered { p with fv = 1. }
+
+let all p =
+  [
+    ("deferred", total_deferred p);
+    ("immediate", total_immediate p);
+    ("recompute", total_recompute p);
+  ]

@@ -1,0 +1,26 @@
+(** §3.6: Model 3 (aggregates over Model-1 views) cost formulas.  Only the
+    aggregate state (one page) is stored. *)
+
+val c_query : Params.t -> float
+(** Read the aggregate state: one page, [C2]. *)
+
+val c_def_refresh : Params.t -> float
+(** [C2 (1 - (1-f)^(2u))] — one write if at least one of the [2u] modified
+    tuples lies in the aggregated set. *)
+
+val total_deferred : Params.t -> float
+(** Includes the hypothetical-relation costs, as in Model 1. *)
+
+val c_imm_refresh : Params.t -> float
+(** [(k/q) C2 (1 - (1-f)^(2l))]. *)
+
+val total_immediate : Params.t -> float
+(** The paper's printed total has no [C_overhead] term (see DESIGN.md). *)
+
+val total_recompute : Params.t -> float
+(** Standard processing with a clustered index scan over the whole
+    aggregated set: [TOTAL_clustered] evaluated at [fv = 1], i.e.
+    [C2 b f + C1 N f]. *)
+
+val all : Params.t -> (string * float) list
+(** Order: deferred, immediate, recompute. *)

@@ -1,0 +1,98 @@
+type t = {
+  n_tuples : float;
+  tuple_bytes : float;
+  page_bytes : float;
+  k_updates : float;
+  l_per_txn : float;
+  q_queries : float;
+  index_bytes : float;
+  f : float;
+  fv : float;
+  f_r2 : float;
+  c1 : float;
+  c2 : float;
+  c3 : float;
+}
+
+let defaults =
+  {
+    n_tuples = 100_000.;
+    tuple_bytes = 100.;
+    page_bytes = 4_000.;
+    k_updates = 100.;
+    l_per_txn = 25.;
+    q_queries = 100.;
+    index_bytes = 20.;
+    f = 0.1;
+    fv = 0.1;
+    f_r2 = 0.1;
+    c1 = 1.;
+    c2 = 30.;
+    c3 = 1.;
+  }
+
+let blocks t = t.n_tuples *. t.tuple_bytes /. t.page_bytes
+
+let tuples_per_page t = t.page_bytes /. t.tuple_bytes
+
+let updates_per_query t = t.k_updates *. t.l_per_txn /. t.q_queries
+
+let update_probability t = t.k_updates /. (t.k_updates +. t.q_queries)
+
+let update_ratio t = t.k_updates /. t.q_queries
+
+let with_update_probability t p =
+  let p = Float.max 0. (Float.min 0.999999 p) in
+  { t with k_updates = t.q_queries *. p /. (1. -. p) }
+
+let fanout t = t.page_bytes /. t.index_bytes
+
+let view_index_height t =
+  let view_tuples = Float.max 2. (t.f *. t.n_tuples) in
+  Float.max 1. (Float.round (ceil (log view_tuples /. log (fanout t))))
+
+let validate t =
+  let checks =
+    [
+      (t.n_tuples > 0., "N must be positive");
+      (t.tuple_bytes > 0., "S must be positive");
+      (t.page_bytes >= t.tuple_bytes, "B must be at least S");
+      (t.k_updates >= 0., "k must be non-negative");
+      (t.l_per_txn > 0., "l must be positive");
+      (t.q_queries > 0., "q must be positive");
+      (t.index_bytes > 0. && t.index_bytes <= t.page_bytes, "n must be in (0, B]");
+      (t.f >= 0. && t.f <= 1., "f must be in [0, 1]");
+      (t.fv >= 0. && t.fv <= 1., "fv must be in [0, 1]");
+      (t.f_r2 > 0. && t.f_r2 <= 1., "f_R2 must be in (0, 1]");
+      (t.c1 >= 0. && t.c2 >= 0. && t.c3 >= 0., "costs must be non-negative");
+    ]
+  in
+  match List.find_opt (fun (ok, _) -> not ok) checks with
+  | Some (_, message) -> Error message
+  | None -> Ok ()
+
+let rows t =
+  let num v =
+    if Float.is_integer v && Float.abs v < 1e15 then string_of_int (int_of_float v)
+    else Printf.sprintf "%g" v
+  in
+  [
+    ("N", num t.n_tuples);
+    ("S", num t.tuple_bytes);
+    ("B", num t.page_bytes);
+    ("k", num t.k_updates);
+    ("l", num t.l_per_txn);
+    ("q", num t.q_queries);
+    ("n", num t.index_bytes);
+    ("f", num t.f);
+    ("fv", num t.fv);
+    ("fR2", num t.f_r2);
+    ("C1", num t.c1);
+    ("C2", num t.c2);
+    ("C3", num t.c3);
+    ("b = NS/B", num (blocks t));
+    ("T = B/S", num (tuples_per_page t));
+    ("u = kl/q", num (updates_per_query t));
+    ("P = k/(k+q)", Printf.sprintf "%.3f" (update_probability t));
+    ("H_vi", num (view_index_height t));
+  ]

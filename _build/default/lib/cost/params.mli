@@ -1,0 +1,56 @@
+(** The parameter set of §3.1, with the paper's defaults, and the derived
+    quantities every cost formula uses. *)
+
+type t = {
+  n_tuples : float;  (** [N] — tuples in the base relation *)
+  tuple_bytes : float;  (** [S] — bytes per tuple *)
+  page_bytes : float;  (** [B] — bytes per block *)
+  k_updates : float;  (** [k] — update transactions *)
+  l_per_txn : float;  (** [l] — tuples modified per transaction *)
+  q_queries : float;  (** [q] — view queries *)
+  index_bytes : float;  (** [n] — bytes per B+-tree index record *)
+  f : float;  (** view predicate selectivity *)
+  fv : float;  (** fraction of the view retrieved per query *)
+  f_r2 : float;  (** size of [R2] as a fraction of [R1] *)
+  c1 : float;  (** ms of CPU per predicate test *)
+  c2 : float;  (** ms per disk read or write *)
+  c3 : float;  (** ms per tuple of A/D set manipulation *)
+}
+
+val defaults : t
+(** [N = 100000, S = 100, B = 4000, k = 100, l = 25, q = 100, n = 20,
+    f = fv = f_R2 = .1, C1 = 1, C2 = 30, C3 = 1]. *)
+
+val blocks : t -> float
+(** [b = N S / B]. *)
+
+val tuples_per_page : t -> float
+(** [T = B / S]. *)
+
+val updates_per_query : t -> float
+(** [u = k l / q]. *)
+
+val update_probability : t -> float
+(** [P = k / (k + q)]. *)
+
+val update_ratio : t -> float
+(** [k / q = P / (1 - P)]. *)
+
+val with_update_probability : t -> float -> t
+(** Adjust [k] (holding [q]) so that [P] takes the given value; [P] is
+    clamped to [[0, 0.999999]]. *)
+
+val fanout : t -> float
+(** Index fanout [B / n]. *)
+
+val view_index_height : t -> float
+(** [H_vi = ceil (log_(B/n) (f N))] — height of the view's B+-tree index
+    above the data pages (used by Models 1 and 2, whose views both hold
+    [f N] tuples). *)
+
+val validate : t -> (unit, string) result
+(** Check the parameters are in range (positive sizes, fractions in
+    [[0, 1]], ...). *)
+
+val rows : t -> (string * string) list
+(** Parameter table rows (§3.1) for printing. *)

@@ -1,0 +1,63 @@
+let argmin = function
+  | [] -> invalid_arg "Regions.argmin: empty list"
+  | first :: rest ->
+      List.fold_left
+        (fun (bn, bc) (name, cost) -> if cost < bc then (name, cost) else (bn, bc))
+        first rest
+
+let best_model1 p = argmin (Model1.all p)
+let best_model2 p = argmin (Model2.all p)
+let best_model3 p = argmin (Model3.all p)
+
+let classify ~best ~base ~p ~f =
+  let params = Params.with_update_probability { base with Params.f } p in
+  fst (best params)
+
+let crossover ?(iterations = 80) ~lo ~hi g =
+  let glo = g lo and ghi = g hi in
+  if glo = 0. then Some lo
+  else if ghi = 0. then Some hi
+  else if glo *. ghi > 0. then None
+  else begin
+    let lo = ref lo and hi = ref hi and glo = ref glo in
+    for _ = 1 to iterations do
+      let mid = 0.5 *. (!lo +. !hi) in
+      let gmid = g mid in
+      if !glo *. gmid <= 0. then hi := mid
+      else begin
+        lo := mid;
+        glo := gmid
+      end
+    done;
+    Some (0.5 *. (!lo +. !hi))
+  end
+
+(* TOTAL_immediate3(P) = C2 + (k/q)[C2 (1-(1-f)^{2l})] + C1 f u with
+   u = l (k/q); setting it equal to the constant TOTAL_recompute3 gives a
+   closed form for the ratio r = k/q, hence P = r / (1 + r). *)
+let fig9_equal_cost_p (p : Params.t) ~l =
+  let params = { p with Params.l_per_txn = l } in
+  let recompute = Model3.total_recompute params in
+  let per_ratio =
+    (params.c2 *. (1. -. ((1. -. params.f) ** (2. *. l)))) +. (params.c1 *. params.f *. l)
+  in
+  if per_ratio <= 0. then 1.
+  else
+    let r = (recompute -. params.c2) /. per_ratio in
+    if r <= 0. then 0. else Float.min 1. (r /. (1. +. r))
+
+let emp_dept_params (p : Params.t) =
+  let f = 1. in
+  { p with Params.f; l_per_txn = 1.; fv = 1. /. (f *. p.n_tuples) }
+
+let emp_dept_crossover p =
+  let base = emp_dept_params p in
+  let gap prob =
+    let params = Params.with_update_probability base prob in
+    let qm = Model2.total_loopjoin params in
+    let best_materialized =
+      Float.min (Model2.total_deferred params) (Model2.total_immediate params)
+    in
+    qm -. best_materialized
+  in
+  crossover ~lo:0.0001 ~hi:0.999 gap

@@ -1,0 +1,45 @@
+(** Best-strategy maps and crossover curves: the machinery behind Figures 2,
+    3, 4, 6, 7 and 9, and the EMP-DEPT special case of §3.5. *)
+
+val argmin : (string * float) list -> string * float
+(** Label with the minimum cost.
+    @raise Invalid_argument on the empty list. *)
+
+val best_model1 : Params.t -> string * float
+(** Winner among deferred / immediate / clustered / unclustered /
+    sequential. *)
+
+val best_model2 : Params.t -> string * float
+(** Winner among deferred / immediate / loopjoin. *)
+
+val best_model3 : Params.t -> string * float
+(** Winner among deferred / immediate / recompute. *)
+
+val classify :
+  best:(Params.t -> string * float) ->
+  base:Params.t ->
+  p:float ->
+  f:float ->
+  string
+(** Winner at the grid point with update probability [p] and selectivity
+    [f] (other parameters from [base]). *)
+
+val crossover :
+  ?iterations:int -> lo:float -> hi:float -> (float -> float) -> float option
+(** [crossover ~lo ~hi g] finds a root of [g] by bisection when
+    [g lo] and [g hi] have opposite signs. *)
+
+val fig9_equal_cost_p : Params.t -> l:float -> float
+(** The update probability at which Model-3 immediate maintenance and
+    standard (clustered-scan) aggregate processing cost the same, for the
+    given transaction size [l] (closed form; clamped to [[0, 1]]).
+    Standard processing wins above, immediate below. *)
+
+val emp_dept_params : Params.t -> Params.t
+(** §3.5's special case: [f = 1], [l = 1], [fv = 1 / (f N)] — a big join
+    view queried one tuple at a time. *)
+
+val emp_dept_crossover : Params.t -> float option
+(** Smallest [P] above which query modification (loopjoin) beats both
+    maintenance schemes for the EMP-DEPT case (the paper reports
+    [P >= .08]). *)

@@ -1,0 +1,1 @@
+lib/db/db.mli: Cost_meter Format Stdlib Tuple Vmat_storage

@@ -1,0 +1,438 @@
+open Vmat_storage
+open Vmat_relalg
+open Vmat_view
+open Vmat_lang
+
+type dependent =
+  | Sp_dep of Strategy.t
+  | Agg_dep of Strategy.t
+  | Join_dep of Bilateral.side * Bilateral.t
+
+type table = {
+  schema : Schema.t;
+  mutable rows : Tuple.t list;
+  mutable dependents : dependent list;
+}
+
+type view_handle =
+  | Sp_view of Strategy.t * View_def.sp
+  | Join_view of Bilateral.t * View_def.join
+  | Agg_view of Strategy.t * View_def.agg
+
+type t = {
+  meter : Cost_meter.t;
+  disk : Disk.t;
+  geometry : Strategy.geometry;
+  ad_buckets : int;
+  tables : (string, table) Hashtbl.t;
+  views : (string, view_handle) Hashtbl.t;
+}
+
+type result =
+  | Done of string
+  | Rows of (Tuple.t * int) list
+  | Scalar of float
+
+exception Exec_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Exec_error m)) fmt
+
+let create ?(page_bytes = 4000) ?(index_entry_bytes = 20) ?(ad_buckets = 8) () =
+  let meter = Cost_meter.create () in
+  {
+    meter;
+    disk = Disk.create meter;
+    geometry = { Strategy.page_bytes; index_entry_bytes };
+    ad_buckets;
+    tables = Hashtbl.create 8;
+    views = Hashtbl.create 8;
+  }
+
+let meter t = t.meter
+
+let table_names t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [])
+
+let view_names t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.views [])
+
+let find_table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some table -> table
+  | None -> fail "unknown table %s" name
+
+let find_view t name =
+  match Hashtbl.find_opt t.views name with
+  | Some view -> view
+  | None -> fail "unknown view %s" name
+
+let resolve_or_fail = function Ok pred -> pred | Error message -> raise (Exec_error message)
+
+(* ------------------------------------------------------------------ *)
+(* DDL                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let create_table t ~table ~columns ~tuple_bytes =
+  if Hashtbl.mem t.tables table then fail "table %s already exists" table;
+  let keys = List.filter (fun (_, _, is_key) -> is_key) columns in
+  let key =
+    match keys with
+    | [ (name, _, _) ] -> name
+    | [] -> (
+        match columns with
+        | (name, _, _) :: _ -> name
+        | [] -> fail "table %s has no columns" table)
+    | _ -> fail "table %s declares more than one key" table
+  in
+  let schema =
+    Schema.make ~name:table
+      ~columns:(List.map (fun (name, ty, _) -> { Schema.name; ty }) columns)
+      ~tuple_bytes ~key
+  in
+  Hashtbl.replace t.tables table { schema; rows = []; dependents = [] };
+  Done (Printf.sprintf "table %s created" table)
+
+let column_of_table table (r : Ast.column_ref) =
+  (match r.table with
+  | Some qualifier when not (String.equal qualifier (String.lowercase_ascii (Schema.name table.schema))) ->
+      fail "column %s does not belong to table %s" (Ast.column_ref_to_string r)
+        (Schema.name table.schema)
+  | _ -> ());
+  match Schema.column_index table.schema r.column with
+  | _ -> r.column
+  | exception Not_found ->
+      fail "unknown column %s in table %s" r.column (Schema.name table.schema)
+
+let define_sp_view t ~view_name ~columns ~table ~where_ ~cluster ~using =
+  let project = List.map (column_of_table table) columns in
+  let cluster = column_of_table table cluster in
+  let pred =
+    match where_ with
+    | None -> Predicate.True
+    | Some p -> resolve_or_fail (Ast.resolve_pexpr table.schema p)
+  in
+  let view =
+    View_def.make_sp ~name:view_name ~base:table.schema ~pred ~project ~cluster
+  in
+  let env =
+    {
+      Strategy_sp.disk = t.disk;
+      geometry = t.geometry;
+      view;
+      initial = List.rev table.rows;
+      ad_buckets = t.ad_buckets;
+    }
+  in
+  let strategy =
+    match Option.value ~default:"immediate" using with
+    | "immediate" -> Strategy_sp.immediate env
+    | "deferred" -> Strategy_sp.deferred env
+    | "clustered" | "qmod" -> Strategy_sp.qmod_clustered env
+    | "unclustered" -> Strategy_sp.qmod_unclustered env
+    | "sequential" -> Strategy_sp.qmod_sequential env
+    | "recompute" -> Strategy_sp.recompute env
+    | "snapshot" -> Strategy_sp.snapshot ~period:10 env
+    | other -> fail "unknown view strategy %s" other
+  in
+  table.dependents <- Sp_dep strategy :: table.dependents;
+  Hashtbl.replace t.views view_name (Sp_view (strategy, view));
+  Done
+    (Printf.sprintf "view %s defined over %s (%s)" view_name (Schema.name table.schema)
+       strategy.Strategy.name)
+
+let define_join_view t ~view_name ~columns ~left ~right ~on:(on_l, on_r) ~where_ ~cluster
+    ~using =
+  let left_name = String.lowercase_ascii (Schema.name left.schema) in
+  let right_name = String.lowercase_ascii (Schema.name right.schema) in
+  let side_of (r : Ast.column_ref) =
+    match r.table with
+    | Some q when String.equal q left_name -> `Left
+    | Some q when String.equal q right_name -> `Right
+    | Some q -> fail "unknown table qualifier %s" q
+    | None -> (
+        match Schema.column_index left.schema r.column with
+        | _ -> `Left
+        | exception Not_found -> (
+            match Schema.column_index right.schema r.column with
+            | _ -> `Right
+            | exception Not_found -> fail "unknown column %s" r.column))
+  in
+  let project_left =
+    List.filter_map
+      (fun r -> if side_of r = `Left then Some (column_of_table left r) else None)
+      columns
+  in
+  let project_right =
+    List.filter_map
+      (fun r -> if side_of r = `Right then Some (column_of_table right r) else None)
+      columns
+  in
+  if side_of cluster <> `Left then fail "the clustering column must come from the left relation";
+  let left_pred =
+    match where_ with
+    | None -> Predicate.True
+    | Some p -> resolve_or_fail (Ast.resolve_pexpr left.schema p)
+  in
+  if side_of on_l <> `Left || side_of on_r <> `Right then
+    fail "the join condition must equate a left column with a right column";
+  let view =
+    View_def.make_join ~name:view_name ~left:left.schema ~right:right.schema ~left_pred
+      ~on:(column_of_table left on_l, column_of_table right on_r)
+      ~project_left ~project_right
+      ~cluster:(column_of_table left cluster)
+  in
+  let env =
+    {
+      Strategy_join.disk = t.disk;
+      geometry = t.geometry;
+      view;
+      initial_left = List.rev left.rows;
+      initial_right = List.rev right.rows;
+      ad_buckets = t.ad_buckets;
+      r2_buckets = 8;
+    }
+  in
+  let maintainer =
+    match Option.value ~default:"immediate" using with
+    | "immediate" -> Bilateral.immediate env
+    | "blakeley" -> Bilateral.blakeley env
+    | "loopjoin" | "qmod" -> Bilateral.loopjoin env
+    | other -> fail "unknown join view strategy %s" other
+  in
+  left.dependents <- Join_dep (Bilateral.Left, maintainer) :: left.dependents;
+  right.dependents <- Join_dep (Bilateral.Right, maintainer) :: right.dependents;
+  Hashtbl.replace t.views view_name (Join_view (maintainer, view));
+  Done (Printf.sprintf "join view %s defined (%s)" view_name (Bilateral.name maintainer))
+
+let define_aggregate t ~view_name ~func ~arg ~table ~where_ ~using =
+  let pred =
+    match where_ with
+    | None -> Predicate.True
+    | Some p -> resolve_or_fail (Ast.resolve_pexpr table.schema p)
+  in
+  (* the underlying SP view projects the whole tuple; only the aggregate
+     state is ever stored *)
+  let project = List.map (fun c -> c.Schema.name) (Schema.columns table.schema) in
+  let over =
+    View_def.make_sp
+      ~name:(view_name ^ "_over")
+      ~base:table.schema ~pred ~project
+      ~cluster:(List.hd project)
+  in
+  let kind =
+    match (func, arg) with
+    | "count", _ -> `Count
+    | "sum", Some c -> `Sum c
+    | "avg", Some c -> `Avg c
+    | "variance", Some c -> `Variance c
+    | "min", Some c -> `Min c
+    | "max", Some c -> `Max c
+    | f, None -> fail "%s requires a column argument" f
+    | f, _ -> fail "unknown aggregate function %s" f
+  in
+  let agg = View_def.make_agg ~name:view_name ~over ~kind in
+  let env =
+    {
+      Strategy_agg.disk = t.disk;
+      geometry = t.geometry;
+      agg;
+      initial = List.rev table.rows;
+      ad_buckets = t.ad_buckets;
+    }
+  in
+  let strategy =
+    match Option.value ~default:"immediate" using with
+    | "immediate" -> Strategy_agg.immediate env
+    | "deferred" -> Strategy_agg.deferred env
+    | "recompute" -> Strategy_agg.recompute env
+    | other -> fail "unknown aggregate strategy %s" other
+  in
+  table.dependents <- Agg_dep strategy :: table.dependents;
+  Hashtbl.replace t.views view_name (Agg_view (strategy, agg));
+  Done (Printf.sprintf "aggregate %s defined (%s)" view_name strategy.Strategy.name)
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let feed table changes =
+  if changes <> [] then
+    List.iter
+      (fun dependent ->
+        match dependent with
+        | Sp_dep s | Agg_dep s -> s.Strategy.handle_transaction changes
+        | Join_dep (side, b) ->
+            Bilateral.handle_transaction b (List.map (fun c -> (side, c)) changes))
+      table.dependents
+
+let insert t ~table_name ~values =
+  let table = find_table t table_name in
+  let columns = Schema.columns table.schema in
+  if List.length values <> List.length columns then
+    fail "table %s expects %d values, got %d" table_name (List.length columns)
+      (List.length values);
+  let tuple =
+    Tuple.make ~tid:(Tuple.fresh_tid ())
+      (Array.of_list
+         (List.map2
+            (fun (c : Schema.column) v -> Ast.value_of_literal (Some c.ty) v)
+            columns values))
+  in
+  table.rows <- tuple :: table.rows;
+  feed table [ Strategy.insert tuple ];
+  Done "1 row inserted"
+
+let matching_rows table where_ =
+  let pred =
+    match where_ with
+    | None -> Predicate.True
+    | Some p -> resolve_or_fail (Ast.resolve_pexpr table.schema p)
+  in
+  List.filter (Predicate.eval pred) table.rows
+
+let update t ~table_name ~set_column ~set_value ~where_ =
+  let table = find_table t table_name in
+  let col =
+    match Schema.column_index table.schema set_column with
+    | i -> i
+    | exception Not_found -> fail "unknown column %s" set_column
+  in
+  let ty = (List.nth (Schema.columns table.schema) col).Schema.ty in
+  let victims = matching_rows table where_ in
+  let changes =
+    List.map
+      (fun old_tuple ->
+        let new_tuple =
+          Tuple.with_tid
+            (Tuple.set old_tuple col (Ast.value_of_literal (Some ty) set_value))
+            (Tuple.fresh_tid ())
+        in
+        Strategy.modify ~old_tuple ~new_tuple)
+      victims
+  in
+  table.rows <-
+    List.map
+      (fun row ->
+        match
+          List.find_opt
+            (fun (c : Strategy.change) ->
+              match c.before with Some b -> Tuple.tid b = Tuple.tid row | None -> false)
+            changes
+        with
+        | Some change -> Option.get change.after
+        | None -> row)
+      table.rows;
+  feed table changes;
+  Done (Printf.sprintf "%d row(s) updated" (List.length changes))
+
+let delete t ~table_name ~where_ =
+  let table = find_table t table_name in
+  let victims = matching_rows table where_ in
+  let victim_tids = List.map Tuple.tid victims in
+  table.rows <- List.filter (fun row -> not (List.mem (Tuple.tid row) victim_tids)) table.rows;
+  feed table (List.map Strategy.delete victims);
+  Done (Printf.sprintf "%d row(s) deleted" (List.length victims))
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let select_view t ~view_name ~range =
+  match Hashtbl.find_opt t.views view_name with
+  | Some handle -> (
+      let query =
+        match range with
+        | None -> { Strategy.q_lo = Strategy.min_sentinel; q_hi = Strategy.max_sentinel }
+        | Some (col, lo, hi) ->
+            let cluster_name =
+              match handle with
+              | Sp_view (_, v) -> Schema.column_name v.sp_out_schema v.sp_cluster_out
+              | Join_view (_, v) -> Schema.column_name v.j_out_schema v.j_cluster_out
+              | Agg_view _ -> fail "aggregates are queried with select value"
+            in
+            if not (String.equal col cluster_name) then
+              fail "views are range-queried on their clustering column %s, not %s"
+                cluster_name col;
+            {
+              Strategy.q_lo = Ast.value_of_literal None lo;
+              q_hi = Ast.value_of_literal None hi;
+            }
+      in
+      match handle with
+      | Sp_view (s, _) -> Rows (s.Strategy.answer_query query)
+      | Join_view (b, _) -> Rows (Bilateral.answer_query b query)
+      | Agg_view _ -> fail "aggregates are queried with select value")
+  | None ->
+      (* fall back to a table scan (modeling convenience; charged C1/tuple) *)
+      let table = find_table t view_name in
+      let rows =
+        match range with
+        | None -> List.rev table.rows
+        | Some (col, lo, hi) ->
+            let idx =
+              match Schema.column_index table.schema col with
+              | i -> i
+              | exception Not_found -> fail "unknown column %s" col
+            in
+            let ty = (List.nth (Schema.columns table.schema) idx).Schema.ty in
+            let lo = Ast.value_of_literal (Some ty) lo
+            and hi = Ast.value_of_literal (Some ty) hi in
+            List.filter
+              (fun row ->
+                let v = Tuple.get row idx in
+                Value.compare lo v <= 0 && Value.compare v hi <= 0)
+              (List.rev table.rows)
+      in
+      List.iter (fun _ -> Cost_meter.charge_predicate_test t.meter) table.rows;
+      Rows (List.map (fun row -> (row, 1)) rows)
+
+let select_value t ~view_name =
+  match find_view t view_name with
+  | Agg_view (s, _) -> Scalar (s.Strategy.scalar_query ())
+  | Sp_view _ | Join_view _ -> fail "%s is not an aggregate" view_name
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let exec_statement t (statement : Ast.statement) =
+  match statement with
+  | Create_table { table; columns; tuple_bytes } -> create_table t ~table ~columns ~tuple_bytes
+  | Define_view { view; columns; from_left; join = None; where_; cluster; using } ->
+      if Hashtbl.mem t.views view then fail "view %s already exists" view;
+      define_sp_view t ~view_name:view ~columns ~table:(find_table t from_left) ~where_
+        ~cluster ~using
+  | Define_view { view; columns; from_left; join = Some (right, on_l, on_r); where_; cluster; using } ->
+      if Hashtbl.mem t.views view then fail "view %s already exists" view;
+      define_join_view t ~view_name:view ~columns ~left:(find_table t from_left)
+        ~right:(find_table t right) ~on:(on_l, on_r) ~where_ ~cluster ~using
+  | Define_aggregate { view; func; arg; from_; where_; using } ->
+      if Hashtbl.mem t.views view then fail "view %s already exists" view;
+      define_aggregate t ~view_name:view ~func ~arg ~table:(find_table t from_) ~where_ ~using
+  | Insert { table; values } -> insert t ~table_name:table ~values
+  | Update { table; set_column; set_value; where_ } ->
+      update t ~table_name:table ~set_column ~set_value ~where_
+  | Delete { table; where_ } -> delete t ~table_name:table ~where_
+  | Select_view { view; range } -> select_view t ~view_name:view ~range
+  | Select_value { view } -> select_value t ~view_name:view
+
+let exec t input =
+  match Parser.parse input with
+  | Error message -> Error ("parse error: " ^ message)
+  | Ok statement -> (
+      match exec_statement t statement with
+      | result -> Ok result
+      | exception Exec_error message -> Error message
+      | exception Invalid_argument message -> Error message
+      | exception Failure message -> Error message)
+
+let pp_result fmt = function
+  | Done message -> Format.fprintf fmt "ok: %s" message
+  | Scalar v -> Format.fprintf fmt "%g" v
+  | Rows rows ->
+      Format.fprintf fmt "%d row(s)@." (List.length rows);
+      List.iter
+        (fun (tuple, count) ->
+          if count = 1 then Format.fprintf fmt "  %a@." Tuple.pp tuple
+          else Format.fprintf fmt "  %a x%d@." Tuple.pp tuple count)
+        rows

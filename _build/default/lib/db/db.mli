@@ -1,0 +1,50 @@
+(** A small database facade over the whole library: named tables, views
+    defined in the QUEL-flavored language of {!Vmat_lang.Parser}, each view
+    maintained by the strategy named in its [using] clause, every update
+    statement flowing through screening and maintenance, and every cost
+    charged to one shared meter.
+
+    {[
+      let db = Db.create () in
+      let run s = Result.get_ok (Db.exec db s) in
+      ignore (run "create table r (id int key, pval float, amount float) size 100");
+      ignore (run "insert into r values (1, 0.05, 10)");
+      ignore (run "define view v (pval, amount) from r where pval < 0.1 \
+                   cluster on pval using deferred");
+      ignore (run "update r set amount = 42 where id = 1");
+      match run "select * from v" with Rows rows -> ... | _ -> ...
+    ]}
+
+    Tables hold the authoritative logical state in memory; the physical
+    storage (B+-trees, hash files, differential files) lives inside each
+    view's maintenance strategy, where the paper's analysis puts the cost.
+    Statement = transaction: each [insert]/[update]/[delete] statement is one
+    update transaction fed to every dependent view. *)
+
+open Vmat_storage
+
+type t
+
+type result =
+  | Done of string  (** DDL / DML acknowledgement *)
+  | Rows of (Tuple.t * int) list  (** view tuples with duplicate counts *)
+  | Scalar of float  (** aggregate value *)
+
+val create : ?page_bytes:int -> ?index_entry_bytes:int -> ?ad_buckets:int -> unit -> t
+(** Defaults: the paper's geometry ([B = 4000], [n = 20]) and 8
+    differential-file buckets. *)
+
+val exec : t -> string -> (result, string) Stdlib.result
+(** Parse and execute one statement.  SP views accept strategies
+    [deferred], [immediate] (default), [clustered], [unclustered],
+    [sequential], [recompute], [snapshot]; join views accept [immediate]
+    (default, the corrected bilateral maintainer), [blakeley], [loopjoin];
+    aggregates accept [deferred], [immediate] (default), [recompute]. *)
+
+val meter : t -> Cost_meter.t
+(** The shared cost meter ([C1]/[C2]/[C3] at the paper's defaults). *)
+
+val table_names : t -> string list
+val view_names : t -> string list
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/hypo/hr.ml: Array Bloom Buffer_pool Cost_meter Disk Hashtbl List Option Schema Tuple Value Vmat_index Vmat_storage Vmat_util

@@ -1,0 +1,1 @@
+lib/hypo/hr.mli: Disk Schema Tuple Value Vmat_index Vmat_storage

@@ -1,0 +1,83 @@
+(** Hypothetical relations (paper §2.2): the base relation [R] (a clustered
+    B+-tree) plus a combined differential file [AD] — appended and deleted
+    tuples distinguished by a [role] attribute, clustered-hashed on the
+    relation key — with a Bloom filter screening accesses to [AD] [Seve76].
+
+    The true value of the relation is [(R ∪ A) − D].  Updates follow the
+    paper's 3-I/O discipline: read the tuple (Bloom-screened), read the [AD]
+    page where the new entries will lie, write that page back.  Only the
+    middle I/O exceeds a conventional update, and it is charged to the [Hr]
+    meter category (the paper's [C_AD]); the rest is charged to [Base].
+
+    Each entry carries the screening marker set by the strategy when the
+    update arrived, so deferred refresh does not re-screen. *)
+
+open Vmat_storage
+
+type t
+
+type layout =
+  | Combined  (** one [AD] file with a role attribute — the paper's design *)
+  | Split
+      (** separate [A] and [D] files — the alternative §2.2.2 argues
+          against: an update must read and write both files, "at least five
+          I/O's ... rather than three" *)
+
+val create :
+  disk:Disk.t ->
+  base:Vmat_index.Btree.t ->
+  schema:Schema.t ->
+  ad_buckets:int ->
+  tuples_per_page:int ->
+  ?bloom_bits:int ->
+  ?layout:layout ->
+  unit ->
+  t
+(** [base] is the stored copy of [R]; [schema] its schema (the key column of
+    the schema clusters [AD]).  [ad_buckets] sizes the static hash file
+    (the paper's [2u/T] pages); [bloom_bits] defaults to a 1% false-positive
+    size for [ad_buckets * tuples_per_page] keys. *)
+
+val base : t -> Vmat_index.Btree.t
+val schema : t -> Schema.t
+
+val apply_insert : t -> Tuple.t -> marked:bool -> unit
+(** Record an appended tuple ([marked] = it passed both screening stages). *)
+
+val apply_delete : t -> Tuple.t -> marked:bool -> unit
+(** Record the deletion of a tuple currently visible in the relation (the
+    tuple keeps the tid it had in [R] or [A]). *)
+
+val apply_update : t -> old_tuple:Tuple.t -> new_tuple:Tuple.t -> marked_old:bool -> marked_new:bool -> unit
+(** The common "modify without changing the key" case: one read of the
+    current tuple, one read and one write of the [AD] page receiving both
+    the [D] and [A] entries. *)
+
+val end_transaction : t -> unit
+(** Flush and drop the [AD] buffer pool so the next transaction's page
+    touches are charged afresh (the paper charges [y(2u, 2u/T, l)] per
+    transaction). *)
+
+val lookup : t -> key:Value.t -> Tuple.t option
+(** Read-through by relation key with [(R ∪ A) − D] semantics, charging the
+    Bloom-directed I/Os.  The base read descends the clustered B+-tree with
+    the key column of the stored tuples. *)
+
+val net_changes : t -> (Tuple.t * bool) list * (Tuple.t * bool) list
+(** [(a_net, d_net)] with markers: entries appended-then-deleted in the same
+    epoch cancel (matching on all fields including the tid).  Charges one
+    read of every [AD] page. *)
+
+val ad_entry_count : t -> int
+val ad_page_count : t -> int
+
+val reset : t -> unit
+(** Fold the differential file into the base relation
+    ([R := (R ∪ A) − D; A := ∅; D := ∅]) and clear the Bloom filter.  The
+    fold-in I/O is charged to the [Base] category (see DESIGN.md). *)
+
+val contents_unmetered : t -> Tuple.t list
+(** Current true contents [(R ∪ A) − D] without charges (tests). *)
+
+val net_changes_unmetered : t -> (Tuple.t * bool) list * (Tuple.t * bool) list
+(** Like {!net_changes} but free of charge (tests/equivalence). *)

@@ -1,0 +1,1 @@
+lib/index/btree.ml: Buffer_pool Disk Int List Printf Tuple Value Vmat_storage

@@ -1,0 +1,1 @@
+lib/index/btree.mli: Buffer_pool Disk Tuple Value Vmat_storage

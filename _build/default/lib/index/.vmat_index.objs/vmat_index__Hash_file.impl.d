@@ -1,0 +1,1 @@
+lib/index/hash_file.ml: Array Buffer_pool Disk List Tuple Value Vmat_storage

@@ -1,0 +1,1 @@
+lib/index/hash_file.mli: Buffer_pool Disk Tuple Value Vmat_storage

@@ -1,0 +1,1 @@
+lib/index/tlock.ml: List String Tuple Value Vmat_storage

@@ -1,0 +1,1 @@
+lib/index/tlock.mli: Tuple Value Vmat_storage

@@ -1,0 +1,413 @@
+open Vmat_storage
+
+(* Entries are ordered by the pair (key, tid); internal separators are such
+   pairs, equal to the smallest pair of their right subtree.  Descending with
+   an exact pair therefore lands in the unique leaf that may contain it, and
+   descending with (key, min_int) lands in the leftmost leaf that may contain
+   any entry with that key. *)
+
+type pair = Value.t * int
+
+let compare_pair (k1, t1) (k2, t2) =
+  match Value.compare k1 k2 with 0 -> Int.compare t1 t2 | c -> c
+
+type leaf = {
+  l_pid : Disk.page_id;
+  mutable l_tuples : Tuple.t list;  (* sorted by pair *)
+  mutable l_next : leaf option;
+}
+
+type internal = {
+  i_pid : Disk.page_id;
+  mutable i_keys : pair list;  (* n separators for n+1 children *)
+  mutable i_children : node list;
+}
+
+and node = Leaf of leaf | Internal of internal
+
+type t = {
+  disk : Disk.t;
+  pool : Buffer_pool.t;
+  name : string;
+  fanout : int;
+  leaf_capacity : int;
+  key_fn : Tuple.t -> Value.t;
+  mutable root : node;
+  mutable count : int;
+  mutable n_leaves : int;
+  mutable n_index : int;
+}
+
+let file_name t kind = Printf.sprintf "btree:%s:%s" t.name kind
+
+let create ~disk ?pool_capacity ~name ~fanout ~leaf_capacity ~key_of () =
+  if fanout < 2 then invalid_arg "Btree.create: fanout must be >= 2";
+  if leaf_capacity < 1 then invalid_arg "Btree.create: leaf_capacity must be >= 1";
+  let pool = Buffer_pool.create ?capacity:pool_capacity disk in
+  let t =
+    {
+      disk;
+      pool;
+      name;
+      fanout;
+      leaf_capacity;
+      key_fn = key_of;
+      root = Leaf { l_pid = Disk.alloc disk ~file:(Printf.sprintf "btree:%s:leaf" name); l_tuples = []; l_next = None };
+      count = 0;
+      n_leaves = 1;
+      n_index = 0;
+    }
+  in
+  t
+
+let key_of t tuple = t.key_fn tuple
+let pool t = t.pool
+let tuple_count t = t.count
+let leaf_pages t = t.n_leaves
+let index_pages t = t.n_index
+
+let height t =
+  let rec depth = function
+    | Leaf _ -> 0
+    | Internal n -> 1 + depth (List.hd n.i_children)
+  in
+  depth t.root
+
+let pair_of t tuple = (t.key_fn tuple, Tuple.tid tuple)
+
+(* Index of the child to descend into: the number of separators <= target. *)
+let child_index keys target =
+  let rec loop i = function
+    | [] -> i
+    | k :: rest -> if compare_pair k target <= 0 then loop (i + 1) rest else i
+  in
+  loop 0 keys
+
+let nth_child n i = List.nth n.i_children i
+
+let insert_sorted cmp x list =
+  let rec loop = function
+    | [] -> [ x ]
+    | y :: rest as all -> if cmp x y <= 0 then x :: all else y :: loop rest
+  in
+  loop list
+
+let split_at n list =
+  let rec loop i acc = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> loop (i - 1) (x :: acc) rest
+  in
+  loop n [] list
+
+let split_leaf t leaf =
+  let n = List.length leaf.l_tuples in
+  let left, right_tuples = split_at ((n + 1) / 2) leaf.l_tuples in
+  let right =
+    { l_pid = Disk.alloc t.disk ~file:(file_name t "leaf"); l_tuples = right_tuples; l_next = leaf.l_next }
+  in
+  leaf.l_tuples <- left;
+  leaf.l_next <- Some right;
+  t.n_leaves <- t.n_leaves + 1;
+  Buffer_pool.write t.pool leaf.l_pid;
+  Buffer_pool.write t.pool right.l_pid;
+  let sep = pair_of t (List.hd right_tuples) in
+  (sep, Leaf right)
+
+let split_internal t node =
+  let c = List.length node.i_children in
+  let m = (c + 1) / 2 in
+  let left_children, right_children = split_at m node.i_children in
+  let left_keys, promoted_and_right = split_at (m - 1) node.i_keys in
+  let promoted, right_keys =
+    match promoted_and_right with
+    | p :: rest -> (p, rest)
+    | [] -> assert false
+  in
+  let right =
+    { i_pid = Disk.alloc t.disk ~file:(file_name t "index"); i_keys = right_keys; i_children = right_children }
+  in
+  node.i_keys <- left_keys;
+  node.i_children <- left_children;
+  t.n_index <- t.n_index + 1;
+  Buffer_pool.write t.pool node.i_pid;
+  Buffer_pool.write t.pool right.i_pid;
+  (promoted, Internal right)
+
+let rec insert_into t node pair tuple =
+  match node with
+  | Leaf leaf ->
+      Buffer_pool.read t.pool leaf.l_pid;
+      leaf.l_tuples <-
+        insert_sorted (fun a b -> compare_pair (pair_of t a) (pair_of t b)) tuple leaf.l_tuples;
+      Buffer_pool.write t.pool leaf.l_pid;
+      if List.length leaf.l_tuples > t.leaf_capacity then Some (split_leaf t leaf) else None
+  | Internal n -> (
+      Buffer_pool.read t.pool n.i_pid;
+      let i = child_index n.i_keys pair in
+      match insert_into t (nth_child n i) pair tuple with
+      | None -> None
+      | Some (sep, right_node) ->
+          let keys_before, keys_after = split_at i n.i_keys in
+          n.i_keys <- keys_before @ (sep :: keys_after);
+          let children_before, children_after = split_at (i + 1) n.i_children in
+          n.i_children <- children_before @ (right_node :: children_after);
+          Buffer_pool.write t.pool n.i_pid;
+          if List.length n.i_children > t.fanout then Some (split_internal t n) else None)
+
+let insert t tuple =
+  let pair = pair_of t tuple in
+  (match insert_into t t.root pair tuple with
+  | None -> ()
+  | Some (sep, right_node) ->
+      let root =
+        {
+          i_pid = Disk.alloc t.disk ~file:(file_name t "index");
+          i_keys = [ sep ];
+          i_children = [ t.root; right_node ];
+        }
+      in
+      t.n_index <- t.n_index + 1;
+      Buffer_pool.write t.pool root.i_pid;
+      t.root <- Internal root);
+  t.count <- t.count + 1
+
+let rec leaf_for t node pair =
+  match node with
+  | Leaf leaf ->
+      Buffer_pool.read t.pool leaf.l_pid;
+      leaf
+  | Internal n ->
+      Buffer_pool.read t.pool n.i_pid;
+      leaf_for t (nth_child n (child_index n.i_keys pair)) pair
+
+let remove t ~key ~tid =
+  let leaf = leaf_for t t.root (key, tid) in
+  let found = ref false in
+  leaf.l_tuples <-
+    List.filter
+      (fun tuple ->
+        let matches = Tuple.tid tuple = tid && Value.equal (t.key_fn tuple) key in
+        if matches then found := true;
+        not matches)
+      leaf.l_tuples;
+  if !found then begin
+    Buffer_pool.write t.pool leaf.l_pid;
+    t.count <- t.count - 1
+  end;
+  !found
+
+let update_in_place t ~key ~tid f =
+  let leaf = leaf_for t t.root (key, tid) in
+  let found = ref false in
+  leaf.l_tuples <-
+    List.map
+      (fun tuple ->
+        if Tuple.tid tuple = tid && Value.equal (t.key_fn tuple) key then begin
+          found := true;
+          let replacement = f tuple in
+          if Tuple.tid replacement <> tid || not (Value.equal (t.key_fn replacement) key)
+          then invalid_arg "Btree.update_in_place: replacement moved the entry";
+          replacement
+        end
+        else tuple)
+      leaf.l_tuples;
+  if !found then Buffer_pool.write t.pool leaf.l_pid;
+  !found
+
+(* Walk the leaf chain from [start], calling [f] on tuples whose key lies in
+   [lo, hi]; stops at the first tuple with key > hi. *)
+let walk_range t start ~lo ~hi f =
+  let rec walk leaf_opt =
+    match leaf_opt with
+    | None -> ()
+    | Some leaf ->
+        Buffer_pool.read t.pool leaf.l_pid;
+        let stop = ref false in
+        List.iter
+          (fun tuple ->
+            if not !stop then begin
+              let k = t.key_fn tuple in
+              if Value.compare k hi > 0 then stop := true
+              else if Value.compare k lo >= 0 then f tuple
+            end)
+          leaf.l_tuples;
+        if not !stop then walk leaf.l_next
+  in
+  walk (Some start)
+
+let range t ~lo ~hi f =
+  if Value.compare lo hi <= 0 then begin
+    let start = leaf_for t t.root (lo, Int.min_int) in
+    walk_range t start ~lo ~hi f
+  end
+
+let find t key =
+  let acc = ref [] in
+  range t ~lo:key ~hi:key (fun tuple -> acc := tuple :: !acc);
+  List.rev !acc
+
+let rec leftmost_leaf = function
+  | Leaf leaf -> leaf
+  | Internal n -> leftmost_leaf (List.hd n.i_children)
+
+let iter_unmetered t f =
+  let rec walk = function
+    | None -> ()
+    | Some leaf ->
+        List.iter f leaf.l_tuples;
+        walk leaf.l_next
+  in
+  walk (Some (leftmost_leaf t.root))
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* Bounds, ordering within nodes, separator correctness. *)
+  let rec check node ~lo ~hi =
+    (* every pair p in subtree must satisfy lo <= p < hi (when bounds given) *)
+    match node with
+    | Leaf leaf ->
+        if List.length leaf.l_tuples > t.leaf_capacity then
+          fail "leaf over capacity: %d > %d" (List.length leaf.l_tuples) t.leaf_capacity;
+        let rec sorted = function
+          | a :: (b :: _ as rest) ->
+              if compare_pair (pair_of t a) (pair_of t b) >= 0 then fail "leaf unsorted";
+              sorted rest
+          | _ -> ()
+        in
+        sorted leaf.l_tuples;
+        List.iter
+          (fun tuple ->
+            let p = pair_of t tuple in
+            (match lo with
+            | Some l when compare_pair p l < 0 -> fail "entry below subtree bound"
+            | _ -> ());
+            match hi with
+            | Some h when compare_pair p h >= 0 -> fail "entry above subtree bound"
+            | _ -> ())
+          leaf.l_tuples;
+        List.length leaf.l_tuples
+    | Internal n ->
+        let nk = List.length n.i_keys and nc = List.length n.i_children in
+        if nc <> nk + 1 then fail "internal arity mismatch";
+        if nc > t.fanout then fail "internal over fanout";
+        let rec sorted = function
+          | a :: (b :: _ as rest) ->
+              if compare_pair a b >= 0 then fail "separators unsorted";
+              sorted rest
+          | _ -> ()
+        in
+        sorted n.i_keys;
+        let bounds =
+          (* child i is bounded by (key[i-1], key[i]) *)
+          List.mapi
+            (fun i child ->
+              let lo_i = if i = 0 then lo else Some (List.nth n.i_keys (i - 1)) in
+              let hi_i = if i = nk then hi else Some (List.nth n.i_keys i) in
+              check child ~lo:lo_i ~hi:hi_i)
+            n.i_children
+        in
+        List.fold_left ( + ) 0 bounds
+  in
+  let total = check t.root ~lo:None ~hi:None in
+  if total <> t.count then fail "tuple count mismatch: %d <> %d" total t.count;
+  (* The leaf chain must visit the tuples in order. *)
+  let previous = ref None in
+  iter_unmetered t (fun tuple ->
+      (match !previous with
+      | Some p when compare_pair p (pair_of t tuple) >= 0 -> fail "leaf chain out of order"
+      | _ -> ());
+      previous := Some (pair_of t tuple))
+
+exception Found of Tuple.t
+
+let find_unmetered t pred =
+  match
+    iter_unmetered t (fun tuple -> if pred tuple then raise (Found tuple))
+  with
+  | () -> None
+  | exception Found tuple -> Some tuple
+
+let chunk size list =
+  let rec loop acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+        if n = size then loop (List.rev current :: acc) [ x ] 1 rest
+        else loop acc (x :: current) (n + 1) rest
+  in
+  loop [] [] 0 list
+
+let bulk_load t tuples =
+  if t.count > 0 then invalid_arg "Btree.bulk_load: tree is not empty";
+  match tuples with
+  | [] -> ()
+  | _ ->
+      let sorted =
+        List.sort (fun a b -> compare_pair (pair_of t a) (pair_of t b)) tuples
+      in
+      let leaf_groups = chunk t.leaf_capacity sorted in
+      let leaves =
+        List.map
+          (fun group ->
+            { l_pid = Disk.alloc t.disk ~file:(file_name t "leaf"); l_tuples = group; l_next = None })
+          leaf_groups
+      in
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+            a.l_next <- Some b;
+            link rest
+        | _ -> ()
+      in
+      link leaves;
+      List.iter (fun leaf -> Buffer_pool.write t.pool leaf.l_pid) leaves;
+      t.n_leaves <- List.length leaves;
+      (* The old empty root leaf is abandoned; free its page. *)
+      (match t.root with
+      | Leaf old when old.l_tuples = [] ->
+          Buffer_pool.discard t.pool old.l_pid;
+          Disk.free t.disk old.l_pid;
+          t.n_leaves <- t.n_leaves (* already replaced by the new count *)
+      | _ -> ());
+      (* Build packed internal levels; carry each node's minimum pair. *)
+      let min_of_leaf leaf = pair_of t (List.hd leaf.l_tuples) in
+      let rec build level =
+        match level with
+        | [ (node, _) ] -> node
+        | _ ->
+            let groups = chunk t.fanout level in
+            let parents =
+              List.map
+                (fun group ->
+                  let children = List.map fst group in
+                  let keys = List.map snd (List.tl group) in
+                  let node =
+                    {
+                      i_pid = Disk.alloc t.disk ~file:(file_name t "index");
+                      i_keys = keys;
+                      i_children = children;
+                    }
+                  in
+                  t.n_index <- t.n_index + 1;
+                  Buffer_pool.write t.pool node.i_pid;
+                  (Internal node, snd (List.hd group)))
+                groups
+            in
+            build parents
+      in
+      t.root <- build (List.map (fun leaf -> (Leaf leaf, min_of_leaf leaf)) leaves);
+      t.count <- List.length sorted
+
+let min_key_unmetered t =
+  let rec first_nonempty = function
+    | None -> None
+    | Some leaf -> (
+        match leaf.l_tuples with
+        | tuple :: _ -> Some (t.key_fn tuple)
+        | [] -> first_nonempty leaf.l_next)
+  in
+  first_nonempty (Some (leftmost_leaf t.root))
+
+let max_key_unmetered t =
+  let result = ref None in
+  iter_unmetered t (fun tuple -> result := Some (t.key_fn tuple));
+  !result

@@ -1,0 +1,76 @@
+(** Clustered B+-tree: leaves are the data pages (up to [leaf_capacity]
+    tuples, the paper's [T = B/S]); internal nodes hold up to [fanout]
+    separators (the paper's [B/n]).  Entries are ordered by (key, tid), so
+    duplicate keys are supported and every entry is addressable.  Page I/O is
+    charged through a per-tree buffer pool; deletion is lazy (no merging),
+    matching the paper's neglect of structural maintenance. *)
+
+open Vmat_storage
+
+type t
+
+val create :
+  disk:Disk.t ->
+  ?pool_capacity:int ->
+  name:string ->
+  fanout:int ->
+  leaf_capacity:int ->
+  key_of:(Tuple.t -> Value.t) ->
+  unit ->
+  t
+(** @raise Invalid_argument if [fanout < 2] or [leaf_capacity < 1]. *)
+
+val key_of : t -> Tuple.t -> Value.t
+val pool : t -> Buffer_pool.t
+val tuple_count : t -> int
+val leaf_pages : t -> int
+val index_pages : t -> int
+
+val height : t -> int
+(** Number of internal (index) levels above the data pages: 0 while the tree
+    is a single leaf.  Comparable to the paper's [H_vi]. *)
+
+val insert : t -> Tuple.t -> unit
+(** Insert (duplicates by value are allowed; (key, tid) pairs must be
+    unique).  Charges the descent reads and leaf/internal writes, including
+    splits. *)
+
+val remove : t -> key:Value.t -> tid:int -> bool
+(** Remove the entry with exactly this key and tid; [false] if absent. *)
+
+val update_in_place : t -> key:Value.t -> tid:int -> (Tuple.t -> Tuple.t) -> bool
+(** Rewrite the entry's tuple without moving it.  The replacement must
+    preserve the key and the tid.
+    @raise Invalid_argument if the replacement changes either. *)
+
+val find : t -> Value.t -> Tuple.t list
+(** All tuples with the given key, in tid order.  Charges descent and data
+    page reads. *)
+
+val range : t -> lo:Value.t -> hi:Value.t -> (Tuple.t -> unit) -> unit
+(** Iterate tuples with [lo <= key <= hi] in key order, charging the descent
+    and one read per data page touched. *)
+
+val iter_unmetered : t -> (Tuple.t -> unit) -> unit
+(** In-order iteration without any charge (tests and verification). *)
+
+val check_invariants : t -> unit
+(** Assert ordering, separator and capacity invariants (tests).
+    @raise Failure on violation. *)
+
+val find_unmetered : t -> (Tuple.t -> bool) -> Tuple.t option
+(** First tuple (in key order) satisfying the predicate, without charging
+    (models an auxiliary access path whose cost the analysis does not
+    attribute; see Hr.lookup). *)
+
+val bulk_load : t -> Tuple.t list -> unit
+(** Replace an empty tree's contents with the given tuples, packing every
+    data page to [leaf_capacity] and every index node to [fanout] (the
+    paper's "all pages are packed full" assumption).  Charges one write per
+    page built.
+    @raise Invalid_argument if the tree is not empty. *)
+
+val min_key_unmetered : t -> Value.t option
+val max_key_unmetered : t -> Value.t option
+(** Smallest / largest key currently stored, uncharged (catalog
+    statistics). *)

@@ -1,0 +1,126 @@
+open Vmat_storage
+
+type page = { pid : Disk.page_id; mutable tuples : Tuple.t list }
+
+type t = {
+  disk : Disk.t;
+  pool : Buffer_pool.t;
+  name : string;
+  buckets : page list ref array;  (* chain: primary page first *)
+  tuples_per_page : int;
+  key_fn : Tuple.t -> Value.t;
+  mutable count : int;
+  mutable pages : int;
+}
+
+let create ~disk ?pool_capacity ~name ~buckets ~tuples_per_page ~key_of () =
+  if buckets < 1 then invalid_arg "Hash_file.create: buckets must be >= 1";
+  if tuples_per_page < 1 then invalid_arg "Hash_file.create: tuples_per_page must be >= 1";
+  let t =
+    {
+      disk;
+      pool = Buffer_pool.create ?capacity:pool_capacity disk;
+      name;
+      buckets = Array.init buckets (fun _ -> ref []);
+      tuples_per_page;
+      key_fn = key_of;
+      count = 0;
+      pages = 0;
+    }
+  in
+  (* Primary bucket pages exist up front (a static hash file), so the first
+     insert into a bucket pays the page read the paper's update discipline
+     counts. *)
+  Array.iter
+    (fun chain ->
+      t.pages <- t.pages + 1;
+      chain := [ { pid = Disk.alloc disk ~file:("hash:" ^ name); tuples = [] } ])
+    t.buckets;
+  t
+
+let key_of t tuple = t.key_fn tuple
+let pool t = t.pool
+let tuple_count t = t.count
+let page_count t = t.pages
+
+let bucket_of t key = t.buckets.(Value.hash key mod Array.length t.buckets)
+
+let new_page t =
+  t.pages <- t.pages + 1;
+  { pid = Disk.alloc t.disk ~file:("hash:" ^ t.name); tuples = [] }
+
+let insert t tuple =
+  let chain = bucket_of t (t.key_fn tuple) in
+  (* Read pages along the chain until one with space is found. *)
+  let rec place = function
+    | [] ->
+        let page = new_page t in
+        chain := !chain @ [ page ];
+        page
+    | page :: rest ->
+        Buffer_pool.read t.pool page.pid;
+        if List.length page.tuples < t.tuples_per_page then page else place rest
+  in
+  let page = place !chain in
+  page.tuples <- tuple :: page.tuples;
+  Buffer_pool.write t.pool page.pid;
+  t.count <- t.count + 1
+
+let lookup t key =
+  let chain = bucket_of t key in
+  List.concat_map
+    (fun page ->
+      Buffer_pool.read t.pool page.pid;
+      List.filter (fun tuple -> Value.equal (t.key_fn tuple) key) page.tuples)
+    !chain
+
+let remove t ~key ~tid =
+  let chain = bucket_of t key in
+  let rec go = function
+    | [] -> false
+    | page :: rest ->
+        Buffer_pool.read t.pool page.pid;
+        let found = ref false in
+        page.tuples <-
+          List.filter
+            (fun tuple ->
+              let matches = Tuple.tid tuple = tid && Value.equal (t.key_fn tuple) key in
+              if matches then found := true;
+              not matches)
+            page.tuples;
+        if !found then begin
+          Buffer_pool.write t.pool page.pid;
+          t.count <- t.count - 1;
+          true
+        end
+        else go rest
+  in
+  go !chain
+
+let iter_pages t f =
+  Array.iter (fun chain -> List.iter f !chain) t.buckets
+
+let scan t f =
+  iter_pages t (fun page ->
+      Buffer_pool.read t.pool page.pid;
+      List.iter f page.tuples)
+
+let iter_unmetered t f = iter_pages t (fun page -> List.iter f page.tuples)
+
+let clear t =
+  (* Overflow pages are freed; primary bucket pages are kept (emptied). *)
+  Array.iter
+    (fun chain ->
+      match !chain with
+      | [] -> ()
+      | primary :: overflow ->
+          List.iter
+            (fun page ->
+              Buffer_pool.discard t.pool page.pid;
+              Disk.free t.disk page.pid;
+              t.pages <- t.pages - 1)
+            overflow;
+          primary.tuples <- [];
+          chain := [ primary ])
+    t.buckets;
+  t.count <- 0

@@ -1,0 +1,51 @@
+(** Clustered static hash file: a fixed number of primary buckets, each a
+    chain of pages holding up to [tuples_per_page] tuples.  Used for the join
+    column of [R2] and for the combined [AD] differential file (paper §2.2.2,
+    "clustered hashing access method on the key"). *)
+
+open Vmat_storage
+
+type t
+
+val create :
+  disk:Disk.t ->
+  ?pool_capacity:int ->
+  name:string ->
+  buckets:int ->
+  tuples_per_page:int ->
+  key_of:(Tuple.t -> Value.t) ->
+  unit ->
+  t
+(** @raise Invalid_argument if [buckets < 1] or [tuples_per_page < 1]. *)
+
+val key_of : t -> Tuple.t -> Value.t
+val pool : t -> Buffer_pool.t
+val tuple_count : t -> int
+
+val page_count : t -> int
+(** Currently allocated pages.  Primary bucket pages exist from creation (a
+    static hash file), so an empty file occupies [buckets] pages and every
+    insert pays at least one page read, as in the paper's update
+    discipline. *)
+
+val insert : t -> Tuple.t -> unit
+(** Insert into the first page of the key's chain with space (allocating an
+    overflow page if the chain is full).  Charges the chain reads up to the
+    target page and its write. *)
+
+val lookup : t -> Value.t -> Tuple.t list
+(** All tuples with the given key, charging one read per chain page. *)
+
+val remove : t -> key:Value.t -> tid:int -> bool
+(** Remove the tuple with this key and tid; charges chain reads and the
+    write of the modified page. *)
+
+val scan : t -> (Tuple.t -> unit) -> unit
+(** Read every page once, applying [f] to each tuple. *)
+
+val iter_unmetered : t -> (Tuple.t -> unit) -> unit
+
+val clear : t -> unit
+(** Drop all tuples, freeing overflow pages and emptying primary pages (no
+    charge: used when the differential file is reset after a refresh has
+    already paid for reading it). *)

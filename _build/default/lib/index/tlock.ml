@@ -1,0 +1,37 @@
+open Vmat_storage
+
+type interval = { view : string; column : int; lo : Value.t; hi : Value.t }
+
+type t = {
+  mutable intervals : interval list;
+  mutable catch_all : string list;  (* views that lock everything *)
+}
+
+let create () = { intervals = []; catch_all = [] }
+
+let lock t ~view ~column ~lo ~hi =
+  t.intervals <- { view; column; lo; hi } :: t.intervals
+
+let lock_everything t ~view =
+  if not (List.mem view t.catch_all) then t.catch_all <- view :: t.catch_all
+
+let hits t tuple =
+  List.filter
+    (fun iv ->
+      iv.column < Tuple.arity tuple
+      &&
+      let v = Tuple.get tuple iv.column in
+      Value.compare iv.lo v <= 0 && Value.compare v iv.hi <= 0)
+    t.intervals
+
+let broken_by t tuple =
+  let views = t.catch_all @ List.map (fun iv -> iv.view) (hits t tuple) in
+  List.sort_uniq String.compare views
+
+let breaks t ~view tuple = List.mem view (broken_by t tuple)
+
+let unlock_view t ~view =
+  t.intervals <- List.filter (fun iv -> iv.view <> view) t.intervals;
+  t.catch_all <- List.filter (fun v -> v <> view) t.catch_all
+
+let interval_count t = List.length t.intervals + List.length t.catch_all

@@ -1,0 +1,29 @@
+(** Trigger-locks (t-locks) for rule indexing [Ston86]: the index intervals
+    covered by clauses of a view predicate are marked, and an inserted or
+    deleted tuple "breaks" a t-lock when its indexed field falls inside a
+    marked interval.  This is stage 1 of the screening test of §2 — it has
+    essentially no overhead, so breaking a t-lock charges nothing; survivors
+    are passed to the stage-2 satisfiability test. *)
+
+open Vmat_storage
+
+type t
+
+val create : unit -> t
+
+val lock : t -> view:string -> column:int -> lo:Value.t -> hi:Value.t -> unit
+(** Mark the (inclusive) interval [lo, hi] of the given column on behalf of a
+    view. *)
+
+val lock_everything : t -> view:string -> unit
+(** Conservative marker used when no clause of the view predicate is
+    indexable: every tuple breaks it. *)
+
+val broken_by : t -> Tuple.t -> string list
+(** Views whose t-locks the tuple disturbs (each view listed once). *)
+
+val breaks : t -> view:string -> Tuple.t -> bool
+
+val unlock_view : t -> view:string -> unit
+
+val interval_count : t -> int

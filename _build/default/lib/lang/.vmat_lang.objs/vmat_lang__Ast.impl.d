@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Float List Predicate Schema String Value Vmat_relalg Vmat_storage

@@ -1,0 +1,1 @@
+lib/lang/ast.mli: Predicate Schema Value Vmat_relalg Vmat_storage

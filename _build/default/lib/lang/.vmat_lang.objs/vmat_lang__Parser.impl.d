@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Lexer List Predicate Printf Schema String Vmat_relalg Vmat_storage

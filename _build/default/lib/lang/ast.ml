@@ -1,0 +1,113 @@
+open Vmat_storage
+open Vmat_relalg
+
+type literal = L_number of float | L_string of string | L_bool of bool
+
+let value_of_literal ty literal =
+  match (literal, ty) with
+  | L_number v, Some Schema.T_int -> Value.Int (int_of_float (Float.round v))
+  | L_number v, Some Schema.T_float -> Value.Float v
+  | L_number v, _ ->
+      if Float.is_integer v && Float.abs v < 1e15 then Value.Int (int_of_float v)
+      else Value.Float v
+  | L_string s, _ -> Value.Str s
+  | L_bool b, _ -> Value.Bool b
+
+type column_ref = { table : string option; column : string }
+
+let column_ref_to_string r =
+  match r.table with Some t -> t ^ "." ^ r.column | None -> r.column
+
+type pexpr =
+  | P_true
+  | P_false
+  | P_cmp of Predicate.comparison * operand * operand
+  | P_between of column_ref * literal * literal
+  | P_and of pexpr * pexpr
+  | P_or of pexpr * pexpr
+  | P_not of pexpr
+
+and operand = O_col of column_ref | O_lit of literal
+
+exception Resolve_error of string
+
+let resolve_with lookup pexpr =
+  let column r =
+    match lookup r with
+    | Some (index, _) -> index
+    | None -> raise (Resolve_error ("unknown column " ^ column_ref_to_string r))
+  in
+  let column_type r = match lookup r with Some (_, ty) -> Some ty | None -> None in
+  let operand ty_hint = function
+    | O_col r -> Predicate.Column (column r)
+    | O_lit l -> Predicate.Const (value_of_literal ty_hint l)
+  in
+  let type_hint_of = function O_col r -> column_type r | O_lit _ -> None in
+  let rec go = function
+    | P_true -> Predicate.True
+    | P_false -> Predicate.False
+    | P_cmp (op, a, b) ->
+        let hint = match type_hint_of a with Some t -> Some t | None -> type_hint_of b in
+        Predicate.Cmp (op, operand hint a, operand hint b)
+    | P_between (r, lo, hi) ->
+        let hint = column_type r in
+        Predicate.Between (column r, value_of_literal hint lo, value_of_literal hint hi)
+    | P_and (a, b) -> Predicate.And (go a, go b)
+    | P_or (a, b) -> Predicate.Or (go a, go b)
+    | P_not a -> Predicate.Not (go a)
+  in
+  match go pexpr with
+  | pred -> Ok pred
+  | exception Resolve_error message -> Error message
+
+let schema_lookup schema offset r =
+  if
+    match r.table with
+    | Some t -> not (String.equal (String.lowercase_ascii (Schema.name schema)) t)
+    | None -> false
+  then None
+  else
+    match Schema.column_index schema r.column with
+    | i ->
+        let ty = (List.nth (Schema.columns schema) i).Schema.ty in
+        Some (i + offset, ty)
+    | exception Not_found -> None
+
+let resolve_pexpr schema pexpr = resolve_with (schema_lookup schema 0) pexpr
+
+let resolve_pexpr2 ~left ~right pexpr =
+  let lookup r =
+    match schema_lookup left 0 r with
+    | Some _ as found -> found
+    | None -> schema_lookup right (Schema.arity left) r
+  in
+  resolve_with lookup pexpr
+
+type statement =
+  | Create_table of {
+      table : string;
+      columns : (string * Schema.column_type * bool) list;
+      tuple_bytes : int;
+    }
+  | Define_view of {
+      view : string;
+      columns : column_ref list;
+      from_left : string;
+      join : (string * column_ref * column_ref) option;
+      where_ : pexpr option;
+      cluster : column_ref;
+      using : string option;
+    }
+  | Define_aggregate of {
+      view : string;
+      func : string;
+      arg : string option;
+      from_ : string;
+      where_ : pexpr option;
+      using : string option;
+    }
+  | Insert of { table : string; values : literal list }
+  | Update of { table : string; set_column : string; set_value : literal; where_ : pexpr option }
+  | Delete of { table : string; where_ : pexpr option }
+  | Select_view of { view : string; range : (string * literal * literal) option }
+  | Select_value of { view : string }

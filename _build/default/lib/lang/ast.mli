@@ -1,0 +1,64 @@
+(** Abstract syntax of the definition and query language.  See {!Parser} for
+    the grammar. *)
+
+open Vmat_storage
+open Vmat_relalg
+
+type literal = L_number of float | L_string of string | L_bool of bool
+
+val value_of_literal : Schema.column_type option -> literal -> Value.t
+(** Convert, coercing numbers to [Int] when the target column is an integer
+    (or the number is integral and no type is known). *)
+
+type column_ref = { table : string option; column : string }
+
+val column_ref_to_string : column_ref -> string
+
+type pexpr =
+  | P_true
+  | P_false
+  | P_cmp of Predicate.comparison * operand * operand
+  | P_between of column_ref * literal * literal
+  | P_and of pexpr * pexpr
+  | P_or of pexpr * pexpr
+  | P_not of pexpr
+
+and operand = O_col of column_ref | O_lit of literal
+
+type statement =
+  | Create_table of {
+      table : string;
+      columns : (string * Schema.column_type * bool (* key? *)) list;
+      tuple_bytes : int;
+    }
+  | Define_view of {
+      view : string;
+      columns : column_ref list;
+      from_left : string;
+      join : (string * column_ref * column_ref) option;  (** right table, on l = r *)
+      where_ : pexpr option;
+      cluster : column_ref;
+      using : string option;  (** strategy name *)
+    }
+  | Define_aggregate of {
+      view : string;
+      func : string;
+      arg : string option;  (** [None] for [count( * )] *)
+      from_ : string;
+      where_ : pexpr option;
+      using : string option;
+    }
+  | Insert of { table : string; values : literal list }
+  | Update of { table : string; set_column : string; set_value : literal; where_ : pexpr option }
+  | Delete of { table : string; where_ : pexpr option }
+  | Select_view of { view : string; range : (string * literal * literal) option }
+  | Select_value of { view : string }
+
+val resolve_pexpr : Schema.t -> pexpr -> (Predicate.t, string) result
+(** Resolve column references against one schema (qualified names must match
+    the schema name). *)
+
+val resolve_pexpr2 : left:Schema.t -> right:Schema.t -> pexpr -> (Predicate.t, string) result
+(** Resolve against the concatenated columns of two schemas: unqualified
+    names are looked up left-then-right; qualified names select the schema.
+    Right-schema columns are offset by the left arity. *)

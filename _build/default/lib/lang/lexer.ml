@@ -1,0 +1,96 @@
+type token =
+  | Ident of string
+  | Number of float
+  | String of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let rec loop i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then loop (i + 1) acc
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        loop !j (Ident (String.lowercase_ascii (String.sub input i (!j - i))) :: acc)
+      end
+      else if is_digit c || (c = '.' && i + 1 < n && is_digit input.[i + 1]) then begin
+        let j = ref i in
+        while
+          !j < n
+          && (is_digit input.[!j]
+             || input.[!j] = '.'
+             || input.[!j] = 'e'
+             || input.[!j] = 'E'
+             || ((input.[!j] = '+' || input.[!j] = '-')
+                && !j > i
+                && (input.[!j - 1] = 'e' || input.[!j - 1] = 'E')))
+        do
+          incr j
+        done;
+        match float_of_string_opt (String.sub input i (!j - i)) with
+        | Some v -> loop !j (Number v :: acc)
+        | None -> Error (Printf.sprintf "malformed number at offset %d" i)
+      end
+      else if c = '\'' || c = '"' then begin
+        let quote = c in
+        let j = ref (i + 1) in
+        while !j < n && input.[!j] <> quote do
+          incr j
+        done;
+        if !j >= n then Error (Printf.sprintf "unterminated string at offset %d" i)
+        else loop (!j + 1) (String (String.sub input (i + 1) (!j - i - 1)) :: acc)
+      end
+      else
+        let two = if i + 1 < n then String.sub input i 2 else "" in
+        match two with
+        | "<=" -> loop (i + 2) (Le :: acc)
+        | ">=" -> loop (i + 2) (Ge :: acc)
+        | "<>" | "!=" -> loop (i + 2) (Ne :: acc)
+        | _ -> (
+            match c with
+            | '(' -> loop (i + 1) (Lparen :: acc)
+            | ')' -> loop (i + 1) (Rparen :: acc)
+            | ',' -> loop (i + 1) (Comma :: acc)
+            | '.' -> loop (i + 1) (Dot :: acc)
+            | '*' -> loop (i + 1) (Star :: acc)
+            | '=' -> loop (i + 1) (Eq :: acc)
+            | '<' -> loop (i + 1) (Lt :: acc)
+            | '>' -> loop (i + 1) (Gt :: acc)
+            | _ -> Error (Printf.sprintf "unexpected character %C at offset %d" c i))
+  in
+  loop 0 []
+
+let token_to_string = function
+  | Ident s -> s
+  | Number v -> Printf.sprintf "%g" v
+  | String s -> Printf.sprintf "'%s'" s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Star -> "*"
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="

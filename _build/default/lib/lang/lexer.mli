@@ -1,0 +1,24 @@
+(** Tokenizer for the small QUEL-flavored definition and query language (the
+    paper writes view definitions in this style: "define view V (...) where
+    R1.x = R2.y and C_f"). *)
+
+type token =
+  | Ident of string  (** identifiers and keywords, lowercased *)
+  | Number of float
+  | String of string  (** 'single' or "double" quoted *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+val tokenize : string -> (token list, string) result
+(** [Error message] points at the offending character. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,287 @@
+open Vmat_storage
+open Vmat_relalg
+open Lexer
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable tokens : token list }
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.tokens with
+  | [] -> fail "unexpected end of input"
+  | t :: rest ->
+      st.tokens <- rest;
+      t
+
+let expect st token =
+  let got = advance st in
+  if got <> token then fail "expected %s, got %s" (token_to_string token) (token_to_string got)
+
+let keyword st kw =
+  match advance st with
+  | Ident w when String.equal w kw -> ()
+  | got -> fail "expected %s, got %s" kw (token_to_string got)
+
+let ident st =
+  match advance st with
+  | Ident w -> w
+  | got -> fail "expected an identifier, got %s" (token_to_string got)
+
+let accept_keyword st kw =
+  match peek st with
+  | Some (Ident w) when String.equal w kw ->
+      ignore (advance st);
+      true
+  | _ -> false
+
+let literal st =
+  match advance st with
+  | Number v -> L_number v
+  | String s -> L_string s
+  | Ident "true" -> L_bool true
+  | Ident "false" -> L_bool false
+  | got -> fail "expected a literal, got %s" (token_to_string got)
+
+(* ident [. ident] *)
+let column_ref st =
+  let first = ident st in
+  match peek st with
+  | Some Dot ->
+      ignore (advance st);
+      { table = Some first; column = ident st }
+  | _ -> { table = None; column = first }
+
+let comparison_of = function
+  | Eq -> Some Predicate.Eq
+  | Ne -> Some Predicate.Ne
+  | Lt -> Some Predicate.Lt
+  | Le -> Some Predicate.Le
+  | Gt -> Some Predicate.Gt
+  | Ge -> Some Predicate.Ge
+  | _ -> None
+
+let operand st =
+  match peek st with
+  | Some (Number _ | String _) -> O_lit (literal st)
+  | Some (Ident "true") | Some (Ident "false") -> O_lit (literal st)
+  | _ -> O_col (column_ref st)
+
+(* or-expr := and-expr { OR and-expr }
+   and-expr := unary { AND unary }
+   unary := NOT unary | atom
+   atom := '(' or-expr ')' | TRUE | FALSE
+         | column BETWEEN lit AND lit
+         | operand cmp operand *)
+let rec pexpr st =
+  let left = and_expr st in
+  if accept_keyword st "or" then P_or (left, pexpr st) else left
+
+and and_expr st =
+  let left = unary st in
+  if accept_keyword st "and" then P_and (left, and_expr st) else left
+
+and unary st = if accept_keyword st "not" then P_not (unary st) else atom st
+
+and atom st =
+  match peek st with
+  | Some Lparen ->
+      ignore (advance st);
+      let inner = pexpr st in
+      expect st Rparen;
+      inner
+  | Some (Ident "true") ->
+      ignore (advance st);
+      P_true
+  | Some (Ident "false") ->
+      ignore (advance st);
+      P_false
+  | _ -> (
+      let lhs = operand st in
+      match (lhs, peek st) with
+      | O_col col, Some (Ident "between") ->
+          ignore (advance st);
+          let lo = literal st in
+          keyword st "and";
+          let hi = literal st in
+          P_between (col, lo, hi)
+      | _ -> (
+          let op = advance st in
+          match comparison_of op with
+          | Some cmp -> P_cmp (cmp, lhs, operand st)
+          | None -> fail "expected a comparison operator, got %s" (token_to_string op)))
+
+let column_type_of_keyword = function
+  | "int" | "integer" -> Schema.T_int
+  | "float" | "real" | "double" -> Schema.T_float
+  | "string" | "text" | "varchar" -> Schema.T_string
+  | "bool" | "boolean" -> Schema.T_bool
+  | other -> fail "unknown column type %s" other
+
+(* create table R (col type [key], ...) size N *)
+let create_table st =
+  keyword st "table";
+  let table = ident st in
+  expect st Lparen;
+  let rec columns acc =
+    let name = ident st in
+    let ty = column_type_of_keyword (ident st) in
+    let is_key = accept_keyword st "key" in
+    let acc = (name, ty, is_key) :: acc in
+    match advance st with
+    | Comma -> columns acc
+    | Rparen -> List.rev acc
+    | got -> fail "expected , or ) in column list, got %s" (token_to_string got)
+  in
+  let columns = columns [] in
+  keyword st "size";
+  let tuple_bytes =
+    match advance st with
+    | Number v when v > 0. -> int_of_float v
+    | got -> fail "expected a positive size, got %s" (token_to_string got)
+  in
+  Create_table { table; columns; tuple_bytes }
+
+let optional_where st = if accept_keyword st "where" then Some (pexpr st) else None
+
+let optional_using st = if accept_keyword st "using" then Some (ident st) else None
+
+(* define view V (cols) from R [join S on a = b] [where ...] cluster on c [using s] *)
+let define_view st =
+  let view = ident st in
+  expect st Lparen;
+  let rec cols acc =
+    let c = column_ref st in
+    match advance st with
+    | Comma -> cols (c :: acc)
+    | Rparen -> List.rev (c :: acc)
+    | got -> fail "expected , or ) in target list, got %s" (token_to_string got)
+  in
+  let columns = cols [] in
+  keyword st "from";
+  let from_left = ident st in
+  let join =
+    if accept_keyword st "join" then begin
+      let right = ident st in
+      keyword st "on";
+      let l = column_ref st in
+      expect st Eq;
+      let r = column_ref st in
+      Some (right, l, r)
+    end
+    else None
+  in
+  let where_ = optional_where st in
+  keyword st "cluster";
+  keyword st "on";
+  let cluster = column_ref st in
+  let using = optional_using st in
+  Define_view { view; columns; from_left; join; where_; cluster; using }
+
+(* define aggregate T as sum(col) from R [where ...] [using s] *)
+let define_aggregate st =
+  let view = ident st in
+  keyword st "as";
+  let func = ident st in
+  expect st Lparen;
+  let arg =
+    match peek st with
+    | Some Star ->
+        ignore (advance st);
+        None
+    | _ -> Some (ident st)
+  in
+  expect st Rparen;
+  keyword st "from";
+  let from_ = ident st in
+  let where_ = optional_where st in
+  let using = optional_using st in
+  Define_aggregate { view; func; arg; from_; where_; using }
+
+let insert st =
+  keyword st "into";
+  let table = ident st in
+  keyword st "values";
+  expect st Lparen;
+  let rec values acc =
+    let v = literal st in
+    match advance st with
+    | Comma -> values (v :: acc)
+    | Rparen -> List.rev (v :: acc)
+    | got -> fail "expected , or ) in values, got %s" (token_to_string got)
+  in
+  Insert { table; values = values [] }
+
+let update st =
+  let table = ident st in
+  keyword st "set";
+  let set_column = ident st in
+  expect st Eq;
+  let set_value = literal st in
+  let where_ = optional_where st in
+  Update { table; set_column; set_value; where_ }
+
+let delete st =
+  keyword st "from";
+  let table = ident st in
+  let where_ = optional_where st in
+  Delete { table; where_ }
+
+(* select * from V [where c between a and b] | select value from T *)
+let select st =
+  match advance st with
+  | Star ->
+      keyword st "from";
+      let view = ident st in
+      let range =
+        if accept_keyword st "where" then begin
+          let col = ident st in
+          keyword st "between";
+          let lo = literal st in
+          keyword st "and";
+          let hi = literal st in
+          Some (col, lo, hi)
+        end
+        else None
+      in
+      Select_view { view; range }
+  | Ident "value" ->
+      keyword st "from";
+      Select_value { view = ident st }
+  | got -> fail "expected * or value after select, got %s" (token_to_string got)
+
+let statement st =
+  match advance st with
+  | Ident "create" -> create_table st
+  | Ident "define" -> (
+      match advance st with
+      | Ident "view" -> define_view st
+      | Ident "aggregate" -> define_aggregate st
+      | got -> fail "expected view or aggregate after define, got %s" (token_to_string got))
+  | Ident "insert" -> insert st
+  | Ident "update" -> update st
+  | Ident "delete" -> delete st
+  | Ident "select" -> select st
+  | got -> fail "unknown statement starting with %s" (token_to_string got)
+
+let run_parser f input =
+  match tokenize input with
+  | Error message -> Error message
+  | Ok tokens -> (
+      let st = { tokens } in
+      match f st with
+      | result ->
+          if st.tokens <> [] then
+            Error
+              (Printf.sprintf "trailing input starting at %s"
+                 (token_to_string (List.hd st.tokens)))
+          else Ok result
+      | exception Parse_error message -> Error message)
+
+let parse input = run_parser statement input
+
+let parse_predicate input = run_parser pexpr input

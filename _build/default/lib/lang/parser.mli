@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the definition and query language.
+
+    Grammar (keywords case-insensitive):
+    {v
+    create table R (id int key, pval float, amount float, note string) size 100
+    define view V (pval, amount) from R
+        where pval < 0.1 cluster on pval [using deferred]
+    define view J (R1.pval, R1.c, R2.weight) from R1 join R2
+        on R1.jkey = R2.jkey where R1.pval < 0.1 cluster on pval [using immediate]
+    define aggregate T as sum(amount) from R where pval < 0.1 [using immediate]
+    insert into R values (1, 0.5, 10, 'note')
+    update R set amount = 5 where id = 3
+    delete from R where id = 3
+    select * from V [where pval between 0.1 and 0.2]
+    select value from T
+    v}
+
+    Predicates support [=], [<>], [<], [<=], [>], [>=], [between .. and ..],
+    [and], [or], [not], parentheses, [true], [false], numeric and quoted
+    string literals, and optionally table-qualified column names. *)
+
+val parse : string -> (Ast.statement, string) result
+
+val parse_predicate : string -> (Ast.pexpr, string) result
+(** Parse a bare predicate expression (tests, ad-hoc filters). *)

@@ -1,0 +1,1 @@
+lib/relalg/bag.ml: Format Hashtbl List Tuple Vmat_storage

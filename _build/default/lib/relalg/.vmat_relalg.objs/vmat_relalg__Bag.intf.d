@@ -1,0 +1,1 @@
+lib/relalg/bag.mli: Format Tuple Vmat_storage

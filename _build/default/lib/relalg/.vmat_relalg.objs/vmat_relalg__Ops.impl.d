@@ -1,0 +1,1 @@
+lib/relalg/ops.ml: Cost_meter Hashtbl List Option Predicate Tuple Value Vmat_storage

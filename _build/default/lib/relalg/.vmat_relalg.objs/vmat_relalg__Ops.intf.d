@@ -1,0 +1,1 @@
+lib/relalg/ops.mli: Cost_meter Predicate Tuple Vmat_storage

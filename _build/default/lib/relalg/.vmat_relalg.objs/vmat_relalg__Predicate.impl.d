@@ -1,0 +1,1 @@
+lib/relalg/predicate.ml: Float Format Int List Option Tuple Value Vmat_storage

@@ -1,0 +1,96 @@
+open Vmat_storage
+
+type entry = { representative : Tuple.t; mutable count : int }
+
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let add t tuple =
+  let key = Tuple.value_key tuple in
+  match Hashtbl.find_opt t key with
+  | Some entry ->
+      entry.count <- entry.count + 1;
+      if entry.count = 0 then Hashtbl.remove t key;
+      entry.count
+  | None ->
+      Hashtbl.replace t key { representative = tuple; count = 1 };
+      1
+
+let remove t tuple =
+  let key = Tuple.value_key tuple in
+  match Hashtbl.find_opt t key with
+  | Some entry ->
+      entry.count <- entry.count - 1;
+      if entry.count = 0 then Hashtbl.remove t key;
+      entry.count
+  | None ->
+      Hashtbl.replace t key { representative = tuple; count = -1 };
+      -1
+
+let of_list tuples =
+  let t = create () in
+  List.iter (fun tuple -> ignore (add t tuple)) tuples;
+  t
+
+let copy t =
+  let fresh = Hashtbl.create (Hashtbl.length t) in
+  Hashtbl.iter
+    (fun key entry -> Hashtbl.replace fresh key { entry with count = entry.count })
+    t;
+  fresh
+
+let count t tuple =
+  match Hashtbl.find_opt t (Tuple.value_key tuple) with
+  | Some entry -> entry.count
+  | None -> 0
+
+let distinct_size t = Hashtbl.length t
+
+let total_size t =
+  Hashtbl.fold (fun _ entry acc -> if entry.count > 0 then acc + entry.count else acc) t 0
+
+let iter t f = Hashtbl.iter (fun _ entry -> f entry.representative entry.count) t
+
+let to_list t =
+  Hashtbl.fold
+    (fun _ entry acc ->
+      if entry.count <= 0 then acc
+      else List.init entry.count (fun _ -> entry.representative) @ acc)
+    t []
+
+let equal a b =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun key entry acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b key with
+         | Some other -> other.count = entry.count
+         | None -> false)
+       a true
+
+let merge ~sign a b =
+  let result = copy a in
+  Hashtbl.iter
+    (fun key entry ->
+      match Hashtbl.find_opt result key with
+      | Some existing ->
+          existing.count <- existing.count + (sign * entry.count);
+          if existing.count = 0 then Hashtbl.remove result key
+      | None ->
+          if entry.count <> 0 then
+            Hashtbl.replace result key
+              { representative = entry.representative; count = sign * entry.count })
+    b;
+  result
+
+let union a b = merge ~sign:1 a b
+let diff a b = merge ~sign:(-1) a b
+
+let has_negative_count t = Hashtbl.fold (fun _ entry acc -> acc || entry.count < 0) t false
+
+let pp fmt t =
+  Format.pp_print_string fmt "{";
+  iter t (fun tuple count -> Format.fprintf fmt " %a x%d;" Tuple.pp tuple count);
+  Format.pp_print_string fmt " }"

@@ -1,0 +1,49 @@
+(** Duplicate-counted multisets of tuples, compared by field values (tids are
+    ignored).  This is the paper's storage discipline for materialized views:
+    "each tuple in V must contain a duplicate count, indicating how many
+    potential sources could have contributed the tuple" (§2.1).  Counts may
+    go negative so the Appendix-A demonstration can exhibit the corruption
+    caused by Blakeley's original refresh expression; the corrected algorithm
+    never drives a count negative. *)
+
+open Vmat_storage
+
+type t
+
+val create : unit -> t
+val of_list : Tuple.t list -> t
+val copy : t -> t
+
+val add : t -> Tuple.t -> int
+(** Insert one occurrence; the new count is returned (1 when the value was
+    absent). *)
+
+val remove : t -> Tuple.t -> int
+(** Remove one occurrence; the new count is returned (possibly negative; the
+    entry is dropped when it reaches exactly 0 from above). *)
+
+val count : t -> Tuple.t -> int
+(** Current duplicate count (0 when absent). *)
+
+val distinct_size : t -> int
+val total_size : t -> int
+(** Sum of positive counts. *)
+
+val iter : t -> (Tuple.t -> int -> unit) -> unit
+(** One call per distinct value with its count (representative tuple). *)
+
+val to_list : t -> Tuple.t list
+(** Expanded with multiplicity (entries with non-positive counts omitted),
+    in unspecified order. *)
+
+val equal : t -> t -> bool
+(** Same distinct values with the same counts. *)
+
+val union : t -> t -> t
+val diff : t -> t -> t
+(** Pointwise count addition / subtraction ([diff] may produce negative
+    counts). *)
+
+val has_negative_count : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+open Vmat_storage
+
+let charge meter = Option.iter Cost_meter.charge_predicate_test meter
+
+let select ?meter pred tuples =
+  List.filter
+    (fun tuple ->
+      charge meter;
+      Predicate.eval pred tuple)
+    tuples
+
+let project ~positions tuples =
+  List.map (fun tuple -> Tuple.with_tid (Tuple.project tuple positions) (Tuple.fresh_tid ())) tuples
+
+let cross left right =
+  List.concat_map
+    (fun l -> List.map (fun r -> Tuple.concat ~tid:(Tuple.fresh_tid ()) l r) right)
+    left
+
+let equi_join ?meter ~left_col ~right_col left right =
+  let index = Hashtbl.create (List.length right) in
+  List.iter
+    (fun r ->
+      let key = Value.key_string (Tuple.get r right_col) in
+      Hashtbl.add index key r)
+    right;
+  List.concat_map
+    (fun l ->
+      charge meter;
+      let key = Value.key_string (Tuple.get l left_col) in
+      List.rev_map (fun r -> Tuple.concat ~tid:(Tuple.fresh_tid ()) l r) (Hashtbl.find_all index key))
+    left
+
+let union_all a b = a @ b
+
+let minus_bag left right =
+  let cancel = Hashtbl.create (List.length right) in
+  List.iter
+    (fun r ->
+      let key = Tuple.value_key r in
+      let n = Option.value ~default:0 (Hashtbl.find_opt cancel key) in
+      Hashtbl.replace cancel key (n + 1))
+    right;
+  List.filter
+    (fun l ->
+      let key = Tuple.value_key l in
+      match Hashtbl.find_opt cancel key with
+      | Some n when n > 0 ->
+          Hashtbl.replace cancel key (n - 1);
+          false
+      | _ -> true)
+    left
+
+let sp_view ?meter pred ~positions tuples = project ~positions (select ?meter pred tuples)
+
+let distinct_values tuples =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun tuple ->
+      let key = Tuple.value_key tuple in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    tuples

@@ -1,0 +1,36 @@
+(** In-memory relational operators with bag (duplicate-preserving) semantics.
+    These are used to evaluate the algebraic expressions of the differential
+    view-update algorithm (the [A_1 x R_2'] style terms of §2.1) and to
+    recompute views from scratch as a correctness reference.  When a meter is
+    supplied, predicate tests and join matches charge [C1] each, as in the
+    paper; I/O is charged by the storage structures feeding these operators,
+    not here. *)
+
+open Vmat_storage
+
+val select : ?meter:Cost_meter.t -> Predicate.t -> Tuple.t list -> Tuple.t list
+
+val project : positions:int array -> Tuple.t list -> Tuple.t list
+(** Keep the listed fields; duplicates are preserved (bag semantics).  Result
+    tuples get fresh tids. *)
+
+val cross : Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Cartesian product; result tuples concatenate fields and get fresh
+    tids. *)
+
+val equi_join :
+  ?meter:Cost_meter.t -> left_col:int -> right_col:int -> Tuple.t list -> Tuple.t list -> Tuple.t list
+(** In-memory hash equi-join.  With a meter, charges [C1] per left tuple
+    probed. *)
+
+val union_all : Tuple.t list -> Tuple.t list -> Tuple.t list
+
+val minus_bag : Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Multiset difference by field values (each occurrence in the right list
+    cancels one occurrence in the left list). *)
+
+val sp_view : ?meter:Cost_meter.t -> Predicate.t -> positions:int array -> Tuple.t list -> Tuple.t list
+(** [π_positions (σ_pred tuples)] — the paper's Model 1 view expression. *)
+
+val distinct_values : Tuple.t list -> Tuple.t list
+(** One representative per distinct field value. *)

@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Cost_meter Hashtbl Option Printf

@@ -1,0 +1,92 @@
+type entry = { mutable dirty : bool; mutable stamp : int }
+
+type t = {
+  disk : Disk.t;
+  capacity : int option;
+  entries : (Disk.page_id, entry) Hashtbl.t;
+  (* LRU with lazy deletion: the queue may contain stale (pid, stamp) pairs;
+     a pair is live only if it matches the entry's current stamp. *)
+  queue : (Disk.page_id * int) Queue.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?capacity disk =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Buffer_pool.create: capacity must be positive"
+  | _ -> ());
+  { disk; capacity; entries = Hashtbl.create 256; queue = Queue.create (); tick = 0; hits = 0; misses = 0 }
+
+let disk t = t.disk
+
+let touch t pid entry =
+  t.tick <- t.tick + 1;
+  entry.stamp <- t.tick;
+  Queue.push (pid, t.tick) t.queue
+
+let evict_one t =
+  let rec loop () =
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some (pid, stamp) -> (
+        match Hashtbl.find_opt t.entries pid with
+        | Some entry when entry.stamp = stamp ->
+            if entry.dirty then Disk.write t.disk pid;
+            Hashtbl.remove t.entries pid
+        | _ -> loop ())
+  in
+  loop ()
+
+let evict_if_needed t =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+      while Hashtbl.length t.entries > cap do
+        evict_one t
+      done
+
+let read t pid =
+  match Hashtbl.find_opt t.entries pid with
+  | Some entry ->
+      t.hits <- t.hits + 1;
+      touch t pid entry
+  | None ->
+      t.misses <- t.misses + 1;
+      Disk.read t.disk pid;
+      let entry = { dirty = false; stamp = 0 } in
+      Hashtbl.replace t.entries pid entry;
+      touch t pid entry;
+      evict_if_needed t
+
+let write t pid =
+  match Hashtbl.find_opt t.entries pid with
+  | Some entry ->
+      entry.dirty <- true;
+      touch t pid entry
+  | None ->
+      let entry = { dirty = true; stamp = 0 } in
+      Hashtbl.replace t.entries pid entry;
+      touch t pid entry;
+      evict_if_needed t
+
+let flush t =
+  Hashtbl.iter
+    (fun pid entry ->
+      if entry.dirty then begin
+        Disk.write t.disk pid;
+        entry.dirty <- false
+      end)
+    t.entries
+
+let invalidate t =
+  flush t;
+  Hashtbl.reset t.entries;
+  Queue.clear t.queue
+
+let discard t pid = Hashtbl.remove t.entries pid
+
+let resident t pid = Hashtbl.mem t.entries pid
+let resident_count t = Hashtbl.length t.entries
+let hits t = t.hits
+let misses t = t.misses

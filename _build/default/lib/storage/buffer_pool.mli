@@ -1,0 +1,37 @@
+(** LRU buffer pool over the simulated {!Disk}.  Logical reads of resident
+    pages are free; misses charge a physical read and may evict (writing back
+    a dirty victim).  Logical writes mark pages dirty; dirty pages are charged
+    one physical write when flushed or evicted.  This reproduces the paper's
+    accounting, where a refresh batch touching a view page several times pays
+    one read and one write for it (the Yao-function assumption). *)
+
+type t
+
+val create : ?capacity:int -> Disk.t -> t
+(** [create ?capacity disk] is an empty pool holding at most [capacity] pages
+    (unbounded when omitted). *)
+
+val disk : t -> Disk.t
+
+val read : t -> Disk.page_id -> unit
+(** Ensure the page is resident, charging a physical read on a miss. *)
+
+val write : t -> Disk.page_id -> unit
+(** Mark the page resident and dirty.  A freshly written non-resident page is
+    not charged a read (callers read first when the old contents matter). *)
+
+val flush : t -> unit
+(** Write back every dirty page (one physical write each); pages stay
+    resident and clean. *)
+
+val invalidate : t -> unit
+(** {!flush}, then drop all pages — used to model the paper's assumption that
+    nothing is cached across operations. *)
+
+val discard : t -> Disk.page_id -> unit
+(** Forget a page without writing it back (used when the page is freed). *)
+
+val resident : t -> Disk.page_id -> bool
+val resident_count : t -> int
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,123 @@
+type category = Base | Hr | Refresh | Query | Screen | Overhead
+
+let all_categories = [ Base; Hr; Refresh; Query; Screen; Overhead ]
+
+let category_name = function
+  | Base -> "base"
+  | Hr -> "hr"
+  | Refresh -> "refresh"
+  | Query -> "query"
+  | Screen -> "screen"
+  | Overhead -> "overhead"
+
+let category_index = function
+  | Base -> 0
+  | Hr -> 1
+  | Refresh -> 2
+  | Query -> 3
+  | Screen -> 4
+  | Overhead -> 5
+
+let ncategories = 6
+
+type t = {
+  c1 : float;
+  c2 : float;
+  c3 : float;
+  reads : int array;
+  writes : int array;
+  tests : int array;
+  overhead_tuples : int array;
+  mutable current : category;
+}
+
+let create ?(c1 = 1.) ?(c2 = 30.) ?(c3 = 1.) () =
+  {
+    c1;
+    c2;
+    c3;
+    reads = Array.make ncategories 0;
+    writes = Array.make ncategories 0;
+    tests = Array.make ncategories 0;
+    overhead_tuples = Array.make ncategories 0;
+    current = Base;
+  }
+
+let c1 t = t.c1
+let c2 t = t.c2
+let c3 t = t.c3
+
+let with_category t cat f =
+  let previous = t.current in
+  t.current <- cat;
+  Fun.protect ~finally:(fun () -> t.current <- previous) f
+
+let current_category t = t.current
+
+let bump arr t = arr.(category_index t.current) <- arr.(category_index t.current) + 1
+
+let charge_read t = bump t.reads t
+let charge_write t = bump t.writes t
+let charge_predicate_test t = bump t.tests t
+
+let charge_set_overhead t n =
+  let i = category_index t.current in
+  t.overhead_tuples.(i) <- t.overhead_tuples.(i) + n
+
+let reads t cat = t.reads.(category_index cat)
+let writes t cat = t.writes.(category_index cat)
+let predicate_tests t cat = t.tests.(category_index cat)
+
+let cost t cat =
+  let i = category_index cat in
+  (t.c2 *. float_of_int (t.reads.(i) + t.writes.(i)))
+  +. (t.c1 *. float_of_int t.tests.(i))
+  +. (t.c3 *. float_of_int t.overhead_tuples.(i))
+
+let total_cost ?(excluding = []) t =
+  List.fold_left
+    (fun acc cat -> if List.mem cat excluding then acc else acc +. cost t cat)
+    0. all_categories
+
+let reset t =
+  Array.fill t.reads 0 ncategories 0;
+  Array.fill t.writes 0 ncategories 0;
+  Array.fill t.tests 0 ncategories 0;
+  Array.fill t.overhead_tuples 0 ncategories 0
+
+type snapshot = {
+  s_reads : int array;
+  s_writes : int array;
+  s_tests : int array;
+  s_overhead : int array;
+}
+
+let snapshot t =
+  {
+    s_reads = Array.copy t.reads;
+    s_writes = Array.copy t.writes;
+    s_tests = Array.copy t.tests;
+    s_overhead = Array.copy t.overhead_tuples;
+  }
+
+let cost_since t snap ?(excluding = []) () =
+  List.fold_left
+    (fun acc cat ->
+      if List.mem cat excluding then acc
+      else
+        let i = category_index cat in
+        acc
+        +. (t.c2
+            *. float_of_int
+                 (t.reads.(i) - snap.s_reads.(i) + t.writes.(i) - snap.s_writes.(i)))
+        +. (t.c1 *. float_of_int (t.tests.(i) - snap.s_tests.(i)))
+        +. (t.c3 *. float_of_int (t.overhead_tuples.(i) - snap.s_overhead.(i))))
+    0. all_categories
+
+let pp fmt t =
+  List.iter
+    (fun cat ->
+      Format.fprintf fmt "%s: r=%d w=%d cpu=%d cost=%.1fms@."
+        (category_name cat) (reads t cat) (writes t cat) (predicate_tests t cat)
+        (cost t cat))
+    all_categories

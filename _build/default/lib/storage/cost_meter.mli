@@ -1,0 +1,60 @@
+(** Cost accounting in the units of the paper: [C1] ms of CPU per predicate
+    test, [C2] ms per disk page read or write, [C3] ms per tuple of A/D set
+    manipulation.  Charges accrue to the {e current category}, so that the
+    report can exclude ordinary base-relation maintenance exactly as the
+    paper's per-query averages do. *)
+
+type category =
+  | Base  (** ordinary base-relation maintenance, excluded from comparisons *)
+  | Hr  (** extra I/O to maintain the hypothetical relation (paper: [C_AD]) *)
+  | Refresh  (** bringing the materialized view or aggregate up to date *)
+  | Query  (** answering a view query *)
+  | Screen  (** stage-2 screening of inserted/deleted tuples ([C_screen]) *)
+  | Overhead  (** in-memory A/D set manipulation in immediate ([C_overhead]) *)
+
+val all_categories : category list
+val category_name : category -> string
+
+type t
+
+val create : ?c1:float -> ?c2:float -> ?c3:float -> unit -> t
+(** Defaults are the paper's: [c1 = 1.], [c2 = 30.], [c3 = 1.] (ms). *)
+
+val c1 : t -> float
+val c2 : t -> float
+val c3 : t -> float
+
+val with_category : t -> category -> (unit -> 'a) -> 'a
+(** Run a thunk with charges going to the given category (re-entrant; the
+    previous category is restored afterwards, also on exceptions). *)
+
+val current_category : t -> category
+
+val charge_read : t -> unit
+val charge_write : t -> unit
+
+val charge_predicate_test : t -> unit
+(** One [C1] CPU charge. *)
+
+val charge_set_overhead : t -> int -> unit
+(** [charge_set_overhead t n] charges [n * C3]. *)
+
+val reads : t -> category -> int
+val writes : t -> category -> int
+val predicate_tests : t -> category -> int
+
+val cost : t -> category -> float
+(** Accumulated cost in ms for one category. *)
+
+val total_cost : ?excluding:category list -> t -> float
+
+val reset : t -> unit
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val cost_since : t -> snapshot -> ?excluding:category list -> unit -> float
+(** Cost accrued since the snapshot was taken. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+type page_id = int
+
+type t = {
+  meter : Cost_meter.t;
+  owner : (page_id, string) Hashtbl.t;
+  file_sizes : (string, int) Hashtbl.t;
+  mutable next_page : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create meter =
+  {
+    meter;
+    owner = Hashtbl.create 1024;
+    file_sizes = Hashtbl.create 16;
+    next_page = 0;
+    reads = 0;
+    writes = 0;
+  }
+
+let meter t = t.meter
+
+let alloc t ~file =
+  let pid = t.next_page in
+  t.next_page <- t.next_page + 1;
+  Hashtbl.replace t.owner pid file;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.file_sizes file) in
+  Hashtbl.replace t.file_sizes file (n + 1);
+  pid
+
+let check t pid =
+  if not (Hashtbl.mem t.owner pid) then
+    invalid_arg (Printf.sprintf "Disk: page %d is not allocated" pid)
+
+let free t pid =
+  check t pid;
+  let file = Hashtbl.find t.owner pid in
+  Hashtbl.remove t.owner pid;
+  let n = Hashtbl.find t.file_sizes file in
+  Hashtbl.replace t.file_sizes file (n - 1)
+
+let read t pid =
+  check t pid;
+  t.reads <- t.reads + 1;
+  Cost_meter.charge_read t.meter
+
+let write t pid =
+  check t pid;
+  t.writes <- t.writes + 1;
+  Cost_meter.charge_write t.meter
+
+let file_of t pid =
+  check t pid;
+  Hashtbl.find t.owner pid
+
+let pages_in_file t file = Option.value ~default:0 (Hashtbl.find_opt t.file_sizes file)
+
+let allocated_pages t = Hashtbl.length t.owner
+let physical_reads t = t.reads
+let physical_writes t = t.writes
+let page_id_to_int pid = pid

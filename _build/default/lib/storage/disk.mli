@@ -1,0 +1,36 @@
+(** The simulated disk.  Structures keep their contents in memory; the disk
+    allocates page identifiers, counts physical page reads and writes, and
+    charges them ([C2] each) to the cost meter's current category.  This
+    substitutes for the paper's 1986 disk: every cost in the paper is a count
+    of page I/Os, which this meter reproduces exactly. *)
+
+type t
+
+type page_id = private int
+
+val create : Cost_meter.t -> t
+val meter : t -> Cost_meter.t
+
+val alloc : t -> file:string -> page_id
+(** Allocate a page belonging to the named file. *)
+
+val free : t -> page_id -> unit
+(** Release a page.  @raise Invalid_argument if the page is not allocated. *)
+
+val read : t -> page_id -> unit
+(** One physical page read: counted and charged.
+    @raise Invalid_argument if the page is not allocated. *)
+
+val write : t -> page_id -> unit
+(** One physical page write: counted and charged. *)
+
+val file_of : t -> page_id -> string
+
+val pages_in_file : t -> string -> int
+(** Number of currently allocated pages of a file. *)
+
+val allocated_pages : t -> int
+val physical_reads : t -> int
+val physical_writes : t -> int
+
+val page_id_to_int : page_id -> int

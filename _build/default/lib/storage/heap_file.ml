@@ -1,0 +1,102 @@
+type page = { pid : Disk.page_id; mutable tuples : Tuple.t list; mutable count : int }
+
+type t = {
+  schema : Schema.t;
+  disk : Disk.t;
+  pool : Buffer_pool.t;
+  capacity : int;
+  mutable pages : page list;  (* newest first *)
+  mutable tuple_count : int;
+  by_tid : (int, page) Hashtbl.t;
+}
+
+type locator = { l_page : page; l_tid : int }
+
+let create ~disk ?pool_capacity ~page_bytes schema =
+  if page_bytes <= 0 then invalid_arg "Heap_file.create: page_bytes must be positive";
+  let capacity = max 1 (page_bytes / Schema.tuple_bytes schema) in
+  {
+    schema;
+    disk;
+    pool = Buffer_pool.create ?capacity:pool_capacity disk;
+    capacity;
+    pages = [];
+    tuple_count = 0;
+    by_tid = Hashtbl.create 1024;
+  }
+
+let schema t = t.schema
+let tuples_per_page t = t.capacity
+let tuple_count t = t.tuple_count
+let page_count t = List.length t.pages
+let pool t = t.pool
+
+let file_name t = "heap:" ^ Schema.name t.schema
+
+let insert t tuple =
+  let page =
+    match List.find_opt (fun p -> p.count < t.capacity) t.pages with
+    | Some p -> p
+    | None ->
+        let p = { pid = Disk.alloc t.disk ~file:(file_name t); tuples = []; count = 0 } in
+        t.pages <- p :: t.pages;
+        p
+  in
+  Buffer_pool.read t.pool page.pid;
+  page.tuples <- tuple :: page.tuples;
+  page.count <- page.count + 1;
+  t.tuple_count <- t.tuple_count + 1;
+  Hashtbl.replace t.by_tid (Tuple.tid tuple) page;
+  Buffer_pool.write t.pool page.pid;
+  { l_page = page; l_tid = Tuple.tid tuple }
+
+let check t loc =
+  match Hashtbl.find_opt t.by_tid loc.l_tid with
+  | Some page when page == loc.l_page -> ()
+  | _ -> invalid_arg "Heap_file: stale locator"
+
+let delete t loc =
+  check t loc;
+  let page = loc.l_page in
+  Buffer_pool.read t.pool page.pid;
+  page.tuples <- List.filter (fun tu -> Tuple.tid tu <> loc.l_tid) page.tuples;
+  page.count <- List.length page.tuples;
+  t.tuple_count <- t.tuple_count - 1;
+  Hashtbl.remove t.by_tid loc.l_tid;
+  Buffer_pool.write t.pool page.pid
+
+let read_at t loc =
+  check t loc;
+  Buffer_pool.read t.pool loc.l_page.pid;
+  match List.find_opt (fun tu -> Tuple.tid tu = loc.l_tid) loc.l_page.tuples with
+  | Some tu -> tu
+  | None -> invalid_arg "Heap_file: stale locator"
+
+let page_of t loc =
+  check t loc;
+  loc.l_page.pid
+
+let scan t f =
+  List.iter
+    (fun page ->
+      Buffer_pool.read t.pool page.pid;
+      List.iter f page.tuples)
+    (List.rev t.pages)
+
+let iter_unmetered t f =
+  List.iter (fun page -> List.iter f page.tuples) (List.rev t.pages)
+
+let find_unmetered t pred =
+  let rec find_in_pages = function
+    | [] -> None
+    | page :: rest -> (
+        match List.find_opt pred page.tuples with
+        | Some tu -> Some ({ l_page = page; l_tid = Tuple.tid tu }, tu)
+        | None -> find_in_pages rest)
+  in
+  find_in_pages (List.rev t.pages)
+
+let locators_unmetered t =
+  List.concat_map
+    (fun page -> List.map (fun tu -> ({ l_page = page; l_tid = Tuple.tid tu }, tu)) page.tuples)
+    (List.rev t.pages)

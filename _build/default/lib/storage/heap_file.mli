@@ -1,0 +1,46 @@
+(** Unordered heap files: fixed-capacity pages of tuples in insertion order.
+    Used for sequential-scan access paths and as the data layer under
+    secondary indexes. *)
+
+type t
+
+type locator
+(** Position of a tuple (page + identity), returned by insertions so indexes
+    can point at it. *)
+
+val create :
+  disk:Disk.t -> ?pool_capacity:int -> page_bytes:int -> Schema.t -> t
+(** [create ~disk ~page_bytes schema] is an empty heap file whose pages hold
+    [page_bytes / Schema.tuple_bytes schema] tuples (at least 1). *)
+
+val schema : t -> Schema.t
+val tuples_per_page : t -> int
+val tuple_count : t -> int
+val page_count : t -> int
+val pool : t -> Buffer_pool.t
+
+val insert : t -> Tuple.t -> locator
+(** Append the tuple (first page with free space, else a new page).  Charges
+    the read and write of the target page. *)
+
+val delete : t -> locator -> unit
+(** Remove the tuple at the locator (read + write of its page).
+    @raise Invalid_argument if the locator is stale. *)
+
+val read_at : t -> locator -> Tuple.t
+(** Fetch the tuple at a locator, charging the page read. *)
+
+val page_of : t -> locator -> Disk.page_id
+
+val scan : t -> (Tuple.t -> unit) -> unit
+(** Full sequential scan: charges one read per page and applies the function
+    to every tuple.  No per-tuple CPU is charged here; callers charge [C1]
+    when they test a predicate. *)
+
+val iter_unmetered : t -> (Tuple.t -> unit) -> unit
+(** Iterate without charging any cost (verification and tests only). *)
+
+val find_unmetered : t -> (Tuple.t -> bool) -> (locator * Tuple.t) option
+
+val locators_unmetered : t -> (locator * Tuple.t) list
+(** All (locator, tuple) pairs, uncharged — used to build secondary indexes. *)

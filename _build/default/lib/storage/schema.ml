@@ -1,0 +1,64 @@
+type column_type = T_int | T_float | T_string | T_bool
+
+type column = { name : string; ty : column_type }
+
+type t = {
+  name : string;
+  columns : column array;
+  tuple_bytes : int;
+  key : int;
+  index_of : (string, int) Hashtbl.t;
+}
+
+let make ~name ~columns ~tuple_bytes ~key =
+  if tuple_bytes <= 0 then invalid_arg "Schema.make: tuple_bytes must be positive";
+  if columns = [] then invalid_arg "Schema.make: no columns";
+  let arr : column array = Array.of_list columns in
+  let index_of = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i (c : column) ->
+      if Hashtbl.mem index_of c.name then
+        invalid_arg ("Schema.make: duplicate column " ^ c.name);
+      Hashtbl.add index_of c.name i)
+    arr;
+  let key_idx =
+    match Hashtbl.find_opt index_of key with
+    | Some i -> i
+    | None -> invalid_arg ("Schema.make: key column not found: " ^ key)
+  in
+  { name; columns = arr; tuple_bytes; key = key_idx; index_of }
+
+let name t = t.name
+let columns t = Array.to_list t.columns
+let arity t = Array.length t.columns
+let tuple_bytes t = t.tuple_bytes
+let key_index t = t.key
+
+let column_index t col =
+  match Hashtbl.find_opt t.index_of col with
+  | Some i -> i
+  | None -> raise Not_found
+
+let column_name t i = t.columns.(i).name
+
+let project t ~name ~column_names ~key =
+  let cols = List.map (fun cn -> t.columns.(column_index t cn)) column_names in
+  let frac = float_of_int (List.length cols) /. float_of_int (arity t) in
+  let bytes = max 1 (int_of_float (ceil (frac *. float_of_int t.tuple_bytes))) in
+  make ~name ~columns:cols ~tuple_bytes:bytes ~key
+
+let join a b ~name ~key =
+  let tag schema (c : column) : column =
+    if Hashtbl.mem a.index_of c.name && Hashtbl.mem b.index_of c.name then
+      { c with name = schema.name ^ "." ^ c.name }
+    else c
+  in
+  let cols =
+    List.map (tag a) (columns a) @ List.map (tag b) (columns b)
+  in
+  make ~name ~columns:cols ~tuple_bytes:(a.tuple_bytes + b.tuple_bytes) ~key
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%s)[%dB]" t.name
+    (String.concat ", " (List.map (fun (c : column) -> c.name) (columns t)))
+    t.tuple_bytes

@@ -1,0 +1,40 @@
+(** Relation schemas.  A schema fixes the column names, the declared tuple
+    size in bytes (the paper's parameter [S], which determines the blocking
+    factor [T = B/S]), and which column is the unique key. *)
+
+type column_type = T_int | T_float | T_string | T_bool
+
+type column = { name : string; ty : column_type }
+
+type t
+
+val make : name:string -> columns:column list -> tuple_bytes:int -> key:string -> t
+(** [make ~name ~columns ~tuple_bytes ~key] builds a schema.
+    @raise Invalid_argument if [key] is not among the column names, if
+    [tuple_bytes <= 0], or if column names are not distinct. *)
+
+val name : t -> string
+val columns : t -> column list
+val arity : t -> int
+val tuple_bytes : t -> int
+
+val key_index : t -> int
+(** Position of the unique key column. *)
+
+val column_index : t -> string -> int
+(** @raise Not_found if no such column. *)
+
+val column_name : t -> int -> string
+
+val project : t -> name:string -> column_names:string list -> key:string -> t
+(** [project t ~name ~column_names ~key] is the schema of projecting the
+    given columns, keeping half the bytes per projected fraction of columns
+    (rounded up, minimum 1), as in the paper's "project half the attributes"
+    views. *)
+
+val join : t -> t -> name:string -> key:string -> t
+(** [join a b ~name ~key] concatenates the columns of [a] and [b]
+    (disambiguating duplicate names with the source schema name) with
+    [tuple_bytes] the sum of both. *)
+
+val pp : Format.formatter -> t -> unit

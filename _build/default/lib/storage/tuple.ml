@@ -1,0 +1,51 @@
+type t = { tid : int; values : Value.t array }
+
+let make ~tid values = { tid; values }
+
+let tid_source = ref 0
+
+let fresh_tid () =
+  incr tid_source;
+  !tid_source
+
+let reset_tid_source () = tid_source := 0
+
+let tid t = t.tid
+let values t = t.values
+let get t i = t.values.(i)
+let arity t = Array.length t.values
+
+let set t i v =
+  let values = Array.copy t.values in
+  values.(i) <- v;
+  { t with values }
+
+let with_tid t tid = { t with tid }
+
+let project t positions = { t with values = Array.map (Array.get t.values) positions }
+
+let concat ~tid a b = { tid; values = Array.append a.values b.values }
+
+let equal_values a b =
+  Array.length a.values = Array.length b.values
+  && Array.for_all2 Value.equal a.values b.values
+
+let equal a b = a.tid = b.tid && equal_values a b
+
+let compare_values a b =
+  let la = Array.length a.values and lb = Array.length b.values in
+  let rec loop i =
+    if i >= la || i >= lb then Int.compare la lb
+    else
+      match Value.compare a.values.(i) b.values.(i) with
+      | 0 -> loop (i + 1)
+      | c -> c
+  in
+  loop 0
+
+let value_key t =
+  String.concat "|" (Array.to_list (Array.map Value.key_string t.values))
+
+let pp fmt t =
+  Format.fprintf fmt "#%d(%s)" t.tid
+    (String.concat ", " (Array.to_list (Array.map Value.to_string t.values)))

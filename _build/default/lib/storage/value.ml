@@ -1,0 +1,50 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+let rank = function Null -> 0 | Bool _ -> 1 | Int _ | Float _ -> 2 | Str _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let key_string = function
+  | Null -> "N"
+  | Bool b -> if b then "B1" else "B0"
+  | Int i -> "I" ^ string_of_int i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then "I" ^ string_of_int (int_of_float f)
+      else "F" ^ string_of_float f
+  | Str s -> "S" ^ s
+
+let hash v = Hashtbl.hash (key_string v)
+
+let as_int = function
+  | Int i -> i
+  | v -> invalid_arg ("Value.as_int: " ^ to_string v)
+
+let as_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> invalid_arg ("Value.as_float: " ^ to_string v)
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

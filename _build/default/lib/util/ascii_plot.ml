@@ -1,0 +1,99 @@
+let bounds_of_series series =
+  let xs = List.concat_map (fun (_, _, pts) -> List.map fst pts) series in
+  let ys = List.concat_map (fun (_, _, pts) -> List.map snd pts) series in
+  match (xs, ys) with
+  | [], _ | _, [] -> ((0., 1.), (0., 1.))
+  | _ ->
+      let widen (lo, hi) = if hi -. lo < 1e-12 then (lo -. 0.5, hi +. 0.5) else (lo, hi) in
+      ( widen (Stats.minimum xs, Stats.maximum xs),
+        widen (Stats.minimum ys, Stats.maximum ys) )
+
+let line_chart ?(width = 64) ?(height = 20) ~title ~x_label ~y_label ~series () =
+  let (xmin, xmax), (ymin, ymax) = bounds_of_series series in
+  let grid = Array.make_matrix height width ' ' in
+  let to_col x =
+    let c = int_of_float (Float.round ((x -. xmin) /. (xmax -. xmin) *. float_of_int (width - 1))) in
+    max 0 (min (width - 1) c)
+  in
+  let to_row y =
+    let r = int_of_float (Float.round ((y -. ymin) /. (ymax -. ymin) *. float_of_int (height - 1))) in
+    (height - 1) - max 0 (min (height - 1) r)
+  in
+  let plot_series (_, marker, pts) =
+    (* Draw line segments between consecutive points by sampling columns. *)
+    let pts = List.sort (fun (a, _) (b, _) -> Float.compare a b) pts in
+    let rec segments = function
+      | (x0, y0) :: ((x1, y1) :: _ as rest) ->
+          let c0 = to_col x0 and c1 = to_col x1 in
+          for c = c0 to c1 do
+            let t = if c1 = c0 then 0. else float_of_int (c - c0) /. float_of_int (c1 - c0) in
+            let y = y0 +. (t *. (y1 -. y0)) in
+            grid.(to_row y).(c) <- marker
+          done;
+          segments rest
+      | [ (x, y) ] -> grid.(to_row y).(to_col x) <- marker
+      | [] -> ()
+    in
+    segments pts
+  in
+  List.iter plot_series series;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (title ^ "\n");
+  let ylab w s = Printf.sprintf "%*s" w s in
+  let label_width = 12 in
+  for r = 0 to height - 1 do
+    let tick =
+      if r = 0 then ylab label_width (Printf.sprintf "%.4g" ymax)
+      else if r = height - 1 then ylab label_width (Printf.sprintf "%.4g" ymin)
+      else if r = (height - 1) / 2 then ylab label_width (Printf.sprintf "%.4g" ((ymin +. ymax) /. 2.))
+      else String.make label_width ' '
+    in
+    Buffer.add_string buf (tick ^ " |" ^ String.init width (fun c -> grid.(r).(c)) ^ "\n")
+  done;
+  Buffer.add_string buf (String.make (label_width + 1) ' ' ^ "+" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%s  %-10s%*s\n"
+       (String.make (label_width + 1) ' ')
+       (Printf.sprintf "%.4g" xmin)
+       (width - 10) (Printf.sprintf "%.4g" xmax));
+  Buffer.add_string buf (Printf.sprintf "%*s x: %s   y: %s\n" (label_width + 1) "" x_label y_label);
+  let legend =
+    List.map (fun (name, marker, _) -> Printf.sprintf "%c = %s" marker name) series
+  in
+  Buffer.add_string buf (Printf.sprintf "%*s %s\n" (label_width + 1) "" (String.concat "   " legend));
+  Buffer.contents buf
+
+let region_map ?(width = 60) ?(height = 20) ~title ~x_label ~y_label ~x_range ~y_range
+    ~legend ~classify () =
+  let xmin, xmax = x_range and ymin, ymax = y_range in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (title ^ "\n");
+  let label_width = 10 in
+  for r = 0 to height - 1 do
+    let frac = 1. -. ((float_of_int r +. 0.5) /. float_of_int height) in
+    let y = ymin +. (frac *. (ymax -. ymin)) in
+    let tick =
+      if r = 0 then Printf.sprintf "%*.3g" label_width ymax
+      else if r = height - 1 then Printf.sprintf "%*.3g" label_width ymin
+      else String.make label_width ' '
+    in
+    Buffer.add_string buf (tick ^ " |");
+    for c = 0 to width - 1 do
+      let xfrac = (float_of_int c +. 0.5) /. float_of_int width in
+      let x = xmin +. (xfrac *. (xmax -. xmin)) in
+      Buffer.add_char buf (classify x y)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make (label_width + 1) ' ' ^ "+" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%s  %-10s%*s\n"
+       (String.make (label_width + 1) ' ')
+       (Printf.sprintf "%.3g" xmin)
+       (width - 10) (Printf.sprintf "%.3g" xmax));
+  Buffer.add_string buf (Printf.sprintf "%*s x: %s   y: %s\n" (label_width + 1) "" x_label y_label);
+  let legend_line =
+    List.map (fun (marker, name) -> Printf.sprintf "%c = %s" marker name) legend
+  in
+  Buffer.add_string buf (Printf.sprintf "%*s %s\n" (label_width + 1) "" (String.concat "   " legend_line));
+  Buffer.contents buf

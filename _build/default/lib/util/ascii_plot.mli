@@ -1,0 +1,31 @@
+(** ASCII renderings of the paper's figures: line charts (Figures 1, 5, 8, 9)
+    and best-strategy region maps (Figures 2, 3, 4, 6, 7). *)
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series:(string * char * (float * float) list) list ->
+  unit ->
+  string
+(** [line_chart ~title ~x_label ~y_label ~series ()] plots every series as its
+    marker character on a shared linear grid, with min/max tick labels and a
+    legend.  Later series overwrite earlier ones where points collide. *)
+
+val region_map :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  x_range:float * float ->
+  y_range:float * float ->
+  legend:(char * string) list ->
+  classify:(float -> float -> char) ->
+  unit ->
+  string
+(** [region_map ~x_range ~y_range ~classify ()] paints [classify x y] for the
+    cell centers of a [width] x [height] grid (x left-to-right, y
+    bottom-to-top) with axis labels and the given legend. *)

@@ -1,0 +1,57 @@
+type t = {
+  bits : Bytes.t;
+  nbits : int;
+  hashes : int;
+  mutable insertions : int;
+}
+
+let create ?(hashes = 3) ~bits () =
+  if hashes <= 0 then invalid_arg "Bloom.create: hashes must be positive";
+  let nbits = max 8 bits in
+  let nbytes = (nbits + 7) / 8 in
+  { bits = Bytes.make nbytes '\000'; nbits; hashes; insertions = 0 }
+
+let bit_index t seed key = Hashtbl.seeded_hash seed key mod t.nbits
+
+let set_bit t i =
+  let byte = i / 8 and off = i mod 8 in
+  let old = Char.code (Bytes.get t.bits byte) in
+  Bytes.set t.bits byte (Char.chr (old lor (1 lsl off)))
+
+let get_bit t i =
+  let byte = i / 8 and off = i mod 8 in
+  Char.code (Bytes.get t.bits byte) land (1 lsl off) <> 0
+
+let add t key =
+  for seed = 0 to t.hashes - 1 do
+    set_bit t (bit_index t seed key)
+  done;
+  t.insertions <- t.insertions + 1
+
+let mem t key =
+  let rec loop seed =
+    if seed >= t.hashes then true
+    else if get_bit t (bit_index t seed key) then loop (seed + 1)
+    else false
+  in
+  loop 0
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.insertions <- 0
+
+let cardinality t = t.insertions
+
+let bits t = t.nbits
+
+let false_positive_rate t =
+  let k = float_of_int t.hashes in
+  let n = float_of_int t.insertions in
+  let m = float_of_int t.nbits in
+  (1. -. exp (-.k *. n /. m)) ** k
+
+let ideal_bits ~expected_keys ~fp_rate =
+  if fp_rate <= 0. || fp_rate >= 1. then invalid_arg "Bloom.ideal_bits";
+  let n = float_of_int (max 1 expected_keys) in
+  let m = -.n *. log fp_rate /. (log 2. ** 2.) in
+  max 8 (int_of_float (ceil m))

@@ -1,0 +1,35 @@
+(** Bloom filter [Bloo70], used to screen accesses to the differential file of
+    a hypothetical relation as proposed by Severance & Lohman [Seve76]
+    (paper §2.2.2).  Membership tests have no false negatives; the false
+    positive rate is tuned by the bit-array size [m] and hash count. *)
+
+type t
+
+val create : ?hashes:int -> bits:int -> unit -> t
+(** [create ~bits ()] is an empty filter over a bit array of size [bits]
+    (rounded up to at least 8).  [hashes] defaults to 3, matching the paper's
+    assumption that differential-file misses are screened out "with
+    arbitrarily small probability" at modest memory cost. *)
+
+val add : t -> string -> unit
+(** Insert a key.  Idempotent. *)
+
+val mem : t -> string -> bool
+(** [mem t key] is [false] only if [key] was never {!add}ed (no false
+    negatives); [true] may be a false positive. *)
+
+val clear : t -> unit
+(** Reset to empty (used when the hypothetical relation is folded in). *)
+
+val cardinality : t -> int
+(** Number of {!add} calls since the last {!clear} (with multiplicity). *)
+
+val bits : t -> int
+
+val false_positive_rate : t -> float
+(** Estimated false-positive probability [(1 - e^{-kn/m})^k] for the current
+    load. *)
+
+val ideal_bits : expected_keys:int -> fp_rate:float -> int
+(** [ideal_bits ~expected_keys ~fp_rate] is the bit-array size that achieves
+    [fp_rate] for [expected_keys] insertions with an optimal hash count. *)

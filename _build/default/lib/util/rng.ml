@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 (Steele, Lea & Flood 2014). *)
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (next t) mask) in
+  v mod bound
+
+let float t =
+  let v = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float v *. (1. /. 9007199254740992.)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let split t = { state = next t }
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t ~n ~k =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: O(k) expected, no O(n) allocation. *)
+  let seen = Hashtbl.create (2 * k) in
+  let out = ref [] in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    let v = if Hashtbl.mem seen r then j else r in
+    Hashtbl.replace seen v ();
+    out := v :: !out
+  done;
+  !out

@@ -1,0 +1,31 @@
+(** Deterministic SplitMix64 pseudo-random number generator.  All synthetic
+    data and workloads in the repository derive from this generator so that
+    experiments are reproducible bit-for-bit. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val copy : t -> t
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]; [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** [split t] is a new independent generator seeded from [t]'s stream. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_without_replacement : t -> n:int -> k:int -> int list
+(** [sample_without_replacement t ~n ~k] draws [k] distinct integers from
+    [[0, n)]; [0 <= k <= n]. *)

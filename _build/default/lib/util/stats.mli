@@ -1,0 +1,18 @@
+(** Small descriptive statistics over float samples. *)
+
+val mean : float list -> float
+(** Arithmetic mean; [0.] for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; [0.] for fewer than two samples. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val median : float list -> float
+
+val relative_error : expected:float -> actual:float -> float
+(** [|actual - expected| / max 1e-9 |expected|]. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of strictly positive samples; [0.] for the empty list. *)

@@ -1,0 +1,31 @@
+let is_numeric cell = match float_of_string_opt (String.trim cell) with Some _ -> true | None -> false
+
+let render ~headers rows =
+  let ncols = List.length headers in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then invalid_arg "Table.render: ragged row")
+    rows;
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if is_numeric cell then String.make n ' ' ^ cell else cell ^ String.make n ' '
+  in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let rule =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line headers ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let float_cell ?(decimals = 2) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v

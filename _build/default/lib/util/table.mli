@@ -1,0 +1,10 @@
+(** Aligned plain-text tables, used by the bench harness to print the paper's
+    tables and figure data series. *)
+
+val render : headers:string list -> string list list -> string
+(** [render ~headers rows] is a text table with a header rule.  Every row must
+    have the same arity as [headers].  Cells that parse as numbers are
+    right-aligned, other cells left-aligned. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Format a float for a table cell (default 2 decimals, [-] for NaN). *)

@@ -1,0 +1,23 @@
+let degenerate ~n ~m ~k = k <= 0. || n <= 0. || m <= 0.
+
+let clamp ~m ~k v = Float.max 0. (Float.min v (Float.min m k))
+
+let cardenas ~n ~m ~k =
+  if degenerate ~n ~m ~k then 0.
+  else if m <= 1. then clamp ~m ~k m
+  else clamp ~m ~k (m *. (1. -. ((1. -. (1. /. m)) ** k)))
+
+let exact ~n ~m ~k =
+  if degenerate ~n ~m ~k then 0.
+  else
+    let p = n /. m in
+    (* records per block *)
+    if k >= n -. p +. 1. then clamp ~m ~k m
+    else
+      let log_ratio = Combin.log_choose (n -. p) k -. Combin.log_choose n k in
+      clamp ~m ~k (m *. (1. -. exp log_ratio))
+
+let eval ~n ~m ~k =
+  if degenerate ~n ~m ~k then 0.
+  else if m < 1.5 || n /. m < 1. then cardenas ~n ~m ~k
+  else exact ~n ~m ~k

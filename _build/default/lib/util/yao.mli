@@ -1,0 +1,21 @@
+(** The Yao function [Yao77]: expected number of distinct blocks touched when
+    accessing [k] records (without replacement) out of [n] records stored on
+    [m] blocks.  This is the central I/O-cost primitive of Hanson's analysis
+    (Appendix B of the paper). *)
+
+val exact : n:float -> m:float -> k:float -> float
+(** [exact ~n ~m ~k] is [m * (1 - C(n - n/m, k) / C(n, k))], the exact
+    expectation under uniform placement of [n/m] records per block, extended
+    to real-valued arguments through the gamma function.  Degenerate inputs
+    are clamped: the result is [0.] when [k <= 0.] or [n <= 0.] or [m <= 0.],
+    and at most [m]. *)
+
+val cardenas : n:float -> m:float -> k:float -> float
+(** [cardenas ~n ~m ~k] is the approximation [m * (1 - (1 - 1/m)^k)]
+    [Card75], close to {!exact} when the blocking factor [n/m] exceeds ~10.
+    [n] is ignored except for degenerate-input clamping. *)
+
+val eval : n:float -> m:float -> k:float -> float
+(** [eval ~n ~m ~k] is the evaluator used by the cost model: {!exact} when
+    well-conditioned ([m >= 1.5] and blocking factor at least 1), otherwise
+    {!cardenas} with the same clamping.  Always within [[0, min m k]]. *)

@@ -1,0 +1,1 @@
+lib/view/aggregate.ml: Float List Map Option Tuple Value View_def Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/aggregate.mli: Tuple View_def Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/bilateral.mli: Bag Strategy Strategy_join Tuple Vmat_relalg Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/delta.ml: Array Bag List Ops Schema Tuple View_def Vmat_relalg Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/delta.mli: Bag Cost_meter Predicate Tuple View_def Vmat_relalg Vmat_storage

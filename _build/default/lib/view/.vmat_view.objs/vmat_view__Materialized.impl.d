@@ -1,0 +1,1 @@
+lib/view/materialized.ml: Array Bag Buffer_pool Disk Format List Printf Tuple Value Vmat_index Vmat_relalg Vmat_storage

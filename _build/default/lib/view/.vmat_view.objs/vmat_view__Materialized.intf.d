@@ -1,0 +1,1 @@
+lib/view/materialized.mli: Bag Buffer_pool Disk Tuple Value Vmat_index Vmat_relalg Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/multi_view.ml: Array Bag Buffer_pool Cost_meter Delta Disk List Materialized Option Predicate Schema Screen Strategy String Tuple View_def Vmat_hypo Vmat_index Vmat_relalg Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/multi_view.mli: Bag Disk Schema Strategy Tuple View_def Vmat_relalg Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/planner.ml: Array Buffer_pool Cost_meter Delta Disk Float List Materialized Option Predicate Schema Screen Strategy Tuple Value View_def Vmat_index Vmat_relalg Vmat_storage

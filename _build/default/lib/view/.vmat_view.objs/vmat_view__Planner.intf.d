@@ -1,0 +1,1 @@
+lib/view/planner.mli: Disk Strategy Tuple Value View_def Vmat_storage

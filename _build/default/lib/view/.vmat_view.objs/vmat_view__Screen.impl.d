@@ -1,0 +1,1 @@
+lib/view/screen.ml: Cost_meter List Option Predicate Tuple Value Vmat_index Vmat_relalg Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/screen.mli: Cost_meter Predicate Tuple Vmat_index Vmat_relalg Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/strategy.ml: Bag List Predicate Schema Tuple Value Vmat_relalg Vmat_storage

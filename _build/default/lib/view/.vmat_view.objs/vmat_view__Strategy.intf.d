@@ -1,0 +1,1 @@
+lib/view/strategy.mli: Bag Predicate Schema Tuple Value Vmat_relalg Vmat_storage

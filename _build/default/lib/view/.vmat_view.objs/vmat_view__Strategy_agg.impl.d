@@ -1,0 +1,1 @@
+lib/view/strategy_agg.ml: Aggregate Array Bag Buffer_pool Cost_meter Disk List Ops Option Predicate Schema Screen Strategy Tuple Value View_def Vmat_hypo Vmat_index Vmat_relalg Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/strategy_agg.mli: Disk Strategy Tuple View_def Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/strategy_join.ml: Array Bag Buffer_pool Cost_meter Delta Disk List Materialized Option Predicate Schema Screen Strategy Tuple Value View_def Vmat_hypo Vmat_index Vmat_relalg Vmat_storage

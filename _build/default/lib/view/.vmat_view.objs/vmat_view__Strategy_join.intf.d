@@ -1,0 +1,1 @@
+lib/view/strategy_join.mli: Disk Strategy Tuple View_def Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/trigger.ml: Aggregate Cost_meter Disk Float List Ops Screen Strategy View_def Vmat_relalg Vmat_storage

@@ -1,0 +1,1 @@
+lib/view/trigger.mli: Disk Strategy Tuple View_def Vmat_storage

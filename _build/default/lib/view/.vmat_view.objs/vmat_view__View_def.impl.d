@@ -1,0 +1,1 @@
+lib/view/view_def.ml: Array List Predicate Printf Schema String Tuple Vmat_relalg Vmat_storage

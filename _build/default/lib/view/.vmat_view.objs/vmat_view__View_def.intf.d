@@ -1,0 +1,1 @@
+lib/view/view_def.mli: Predicate Schema Tuple Vmat_relalg Vmat_storage

@@ -1,0 +1,78 @@
+open Vmat_storage
+
+module Float_map = Map.Make (Float)
+
+type t = {
+  kind : View_def.agg_kind;
+  mutable n : int;
+  mutable sum : float;
+  mutable sum_squares : float;
+  mutable multiset : int Float_map.t;  (* Min/Max only *)
+}
+
+let create kind = { kind; n = 0; sum = 0.; sum_squares = 0.; multiset = Float_map.empty }
+
+let kind t = t.kind
+
+let column_of = function
+  | View_def.Count -> None
+  | View_def.Sum c | View_def.Avg c | View_def.Variance c | View_def.Min c | View_def.Max c ->
+      Some c
+
+let measure t tuple =
+  match column_of t.kind with
+  | None -> 0.
+  | Some c -> Value.as_float (Tuple.get tuple c)
+
+let needs_multiset t =
+  match t.kind with View_def.Min _ | View_def.Max _ -> true | _ -> false
+
+let insert t tuple =
+  let x = measure t tuple in
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sum_squares <- t.sum_squares +. (x *. x);
+  if needs_multiset t then
+    t.multiset <-
+      Float_map.update x (fun c -> Some (Option.value ~default:0 c + 1)) t.multiset
+
+let delete t tuple =
+  let x = measure t tuple in
+  t.n <- t.n - 1;
+  t.sum <- t.sum -. x;
+  t.sum_squares <- t.sum_squares -. (x *. x);
+  if needs_multiset t then
+    t.multiset <-
+      Float_map.update x
+        (function
+          | None | Some 0 -> invalid_arg "Aggregate.delete: value was never inserted"
+          | Some 1 -> None
+          | Some c -> Some (c - 1))
+        t.multiset
+
+let value t =
+  let n = float_of_int t.n in
+  match t.kind with
+  | View_def.Count -> n
+  | View_def.Sum _ -> t.sum
+  | View_def.Avg _ -> if t.n = 0 then Float.nan else t.sum /. n
+  | View_def.Variance _ ->
+      if t.n = 0 then Float.nan
+      else
+        let mean = t.sum /. n in
+        Float.max 0. ((t.sum_squares /. n) -. (mean *. mean))
+  | View_def.Min _ -> (
+      match Float_map.min_binding_opt t.multiset with
+      | Some (x, _) -> x
+      | None -> Float.nan)
+  | View_def.Max _ -> (
+      match Float_map.max_binding_opt t.multiset with
+      | Some (x, _) -> x
+      | None -> Float.nan)
+
+let cardinality t = t.n
+
+let of_tuples kind tuples =
+  let t = create kind in
+  List.iter (insert t) tuples;
+  t

@@ -1,0 +1,32 @@
+(** Incrementally maintainable aggregate states (Model 3): a state, update
+    functions for insertion and deletion, and a function computing the
+    current value — exactly the decomposition §3.6 describes.  [Count],
+    [Sum], [Avg] and [Variance] are maintained in O(1); [Min]/[Max] keep a
+    value multiset so deletions of the current extremum are also
+    incremental (an extension beyond the paper, which only needs
+    insert-incremental aggregates). *)
+
+open Vmat_storage
+
+type t
+
+val create : View_def.agg_kind -> t
+
+val kind : t -> View_def.agg_kind
+
+val insert : t -> Tuple.t -> unit
+(** Fold one tuple of the aggregated set into the state. *)
+
+val delete : t -> Tuple.t -> unit
+(** Remove one tuple from the state.
+    @raise Invalid_argument when deleting a [Min]/[Max] value that was never
+    inserted. *)
+
+val value : t -> float
+(** Current aggregate value.  [nan] for [Avg]/[Variance]/[Min]/[Max] of an
+    empty set. *)
+
+val cardinality : t -> int
+
+val of_tuples : View_def.agg_kind -> Tuple.t list -> t
+(** Build a state by inserting every tuple (reference recomputation). *)

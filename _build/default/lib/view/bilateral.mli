@@ -1,0 +1,51 @@
+(** Join-view maintenance with updates to {e both} relations — the situation
+    Appendix A is about.  The paper's Model 2 analysis restricts updates to
+    [R1]; this module implements the general case operationally so the
+    corrected differential expression and Blakeley's original can be
+    compared on a live stored view.
+
+    Three maintainers share one interface:
+    - {!immediate}: the corrected expression
+      [V1 = V0 − πσ(R1'×D2) − πσ(D1×D2) − πσ(D1×R2')
+               ∪ πσ(R1'×A2) ∪ πσ(A1×R2') ∪ πσ(A1×A2)],
+      evaluated with careful phase ordering against the stored relations so
+      no term is double-counted;
+    - {!blakeley}: the original expression evaluated against the
+      pre-transaction states — correct for one-sided transactions, but a
+      transaction deleting joining tuples from both relations makes it
+      delete the same view tuple several times, which the stored view
+      detects (raising [Failure]) when the duplicate count runs out;
+    - {!loopjoin}: query modification (no stored view) as the correctness
+      reference.
+
+    [R1] carries a clustered B+-tree on the view's clustering column plus an
+    unclustered index on the join column (needed to join [A2]/[D2] tuples to
+    [R1]); [R2] is the usual clustered hash file on the join key. *)
+
+open Vmat_storage
+open Vmat_relalg
+
+type side = Left | Right
+
+type t
+
+val immediate : Strategy_join.env -> t
+val blakeley : Strategy_join.env -> t
+val loopjoin : Strategy_join.env -> t
+
+val name : t -> string
+
+val handle_transaction : t -> (side * Strategy.change) list -> unit
+(** Apply one transaction updating either or both relations.  As §2.1
+    requires, the transaction's changes must be {e net} (no tuple both
+    inserted and deleted within the same transaction — chains of versions
+    must be collapsed by the caller; the hypothetical relation performs that
+    netting for the deferred strategies).  For [blakeley], raises [Failure]
+    when the incorrect expression corrupts the stored view (deleting a view
+    tuple whose duplicate count is exhausted). *)
+
+val answer_query : t -> Strategy.query -> (Tuple.t * int) list
+(** Range query on the view's clustering column. *)
+
+val view_contents : t -> Bag.t
+(** Logical view contents (unmetered). *)

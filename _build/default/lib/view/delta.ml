@@ -1,0 +1,97 @@
+open Vmat_storage
+open Vmat_relalg
+
+type t = { ins : Tuple.t list; del : Tuple.t list }
+
+let apply bag { ins; del } =
+  List.iter (fun tuple -> ignore (Bag.add bag tuple)) ins;
+  List.iter (fun tuple -> ignore (Bag.remove bag tuple)) del
+
+let sp ?meter (view : View_def.sp) ~a ~d =
+  let transform tuples =
+    Ops.sp_view ?meter view.sp_pred ~positions:view.sp_positions tuples
+  in
+  { ins = transform a; del = transform d }
+
+(* πσ(L × R) for a natural-join view: restrict L by the view's left clause,
+   join, project both sides' target lists. *)
+let join_term ?meter (view : View_def.join) left right =
+  let restricted = Ops.select ?meter view.j_left_pred left in
+  let joined =
+    Ops.equi_join ?meter ~left_col:view.j_left_col ~right_col:view.j_right_col
+      restricted right
+  in
+  (* [equi_join] concatenates full tuples; re-project into view shape. *)
+  let left_arity = Schema.arity view.j_left in
+  List.map
+    (fun joined_tuple ->
+      let values = Tuple.values joined_tuple in
+      let l = Tuple.make ~tid:0 (Array.sub values 0 left_arity) in
+      let r =
+        Tuple.make ~tid:0 (Array.sub values left_arity (Array.length values - left_arity))
+      in
+      View_def.join_output view l r)
+    joined
+
+let join_corrected ?meter view ~r1_prime ~r2_prime ~a1 ~d1 ~a2 ~d2 =
+  let term = join_term ?meter view in
+  {
+    ins = term r1_prime a2 @ term a1 r2_prime @ term a1 a2;
+    del = term r1_prime d2 @ term d1 d2 @ term d1 r2_prime;
+  }
+
+let join_blakeley ?meter view ~r1 ~r2 ~a1 ~d1 ~a2 ~d2 =
+  let term = join_term ?meter view in
+  {
+    ins = term a1 a2 @ term a1 r2 @ term r1 a2;
+    del = term d1 d2 @ term d1 r2 @ term r1 d2;
+  }
+
+type source = {
+  src_current : Tuple.t list;
+  src_inserted : Tuple.t list;
+  src_deleted : Tuple.t list;
+}
+
+(* Cross product of one tuple list per relation, concatenating fields
+   left-to-right. *)
+let cross_all parts =
+  List.fold_left
+    (fun acc part ->
+      List.concat_map
+        (fun left -> List.map (fun right -> Tuple.concat ~tid:0 left right) part)
+        acc)
+    [ Tuple.make ~tid:0 [||] ]
+    parts
+
+let nway ?meter ~pred ~positions sources =
+  if sources = [] then invalid_arg "Delta.nway: no sources";
+  let n = List.length sources in
+  let sources = Array.of_list sources in
+  (* One term per non-zero bitmask: bit i set means relation i contributes
+     its delta set, otherwise its current state R_i'. *)
+  let terms delta_of =
+    let out = ref [] in
+    for mask = 1 to (1 lsl n) - 1 do
+      let parts =
+        List.init n (fun i ->
+            if mask land (1 lsl i) <> 0 then delta_of sources.(i)
+            else sources.(i).src_current)
+      in
+      let raw = cross_all parts in
+      out := Ops.sp_view ?meter pred ~positions raw @ !out
+    done;
+    !out
+  in
+  {
+    ins = terms (fun src -> src.src_inserted);
+    del = terms (fun src -> src.src_deleted);
+  }
+
+let recompute_nway ?meter ~pred ~positions relations =
+  Bag.of_list (Ops.sp_view ?meter pred ~positions (cross_all relations))
+
+let recompute_sp ?meter (view : View_def.sp) tuples =
+  Bag.of_list (Ops.sp_view ?meter view.sp_pred ~positions:view.sp_positions tuples)
+
+let recompute_join ?meter view r1 r2 = Bag.of_list (join_term ?meter view r1 r2)

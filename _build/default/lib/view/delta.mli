@@ -1,0 +1,87 @@
+(** The differential view-update algorithm of §2.1, as pure algebra over
+    in-memory tuple sets.  Two formulations of the two-relation case are
+    provided: the paper's corrected one (using [R' = R − D]) and Blakeley's
+    original, which Appendix A shows can decrement duplicate counts too many
+    times when one transaction deletes joining tuples from both relations.
+
+    The operational strategies use metered specializations of these
+    expressions (probing stored access methods); these pure functions are the
+    correctness reference and power the Appendix-A demonstration. *)
+
+open Vmat_storage
+open Vmat_relalg
+
+type t = { ins : Tuple.t list; del : Tuple.t list }
+(** View tuples to insert into / delete from the stored copy (with
+    multiplicity). *)
+
+val apply : Bag.t -> t -> unit
+(** Apply to a duplicate-counted view: inserts increment, deletes decrement
+    (counts can go negative, which is exactly the Blakeley corruption). *)
+
+val sp : ?meter:Cost_meter.t -> View_def.sp -> a:Tuple.t list -> d:Tuple.t list -> t
+(** Model 1: [ins = π(σ(A))], [del = π(σ(D))]. *)
+
+val join_corrected :
+  ?meter:Cost_meter.t ->
+  View_def.join ->
+  r1_prime:Tuple.t list ->
+  r2_prime:Tuple.t list ->
+  a1:Tuple.t list ->
+  d1:Tuple.t list ->
+  a2:Tuple.t list ->
+  d2:Tuple.t list ->
+  t
+(** Hanson's corrected expression:
+    [V1 = V0 − πσ(R1'×D2) − πσ(D1×D2) − πσ(D1×R2')
+             ∪ πσ(R1'×A2) ∪ πσ(A1×R2') ∪ πσ(A1×A2)]
+    with [R1' = R1 − D1] and [R2' = R2 − D2] (pass the post-deletion
+    states). *)
+
+val join_blakeley :
+  ?meter:Cost_meter.t ->
+  View_def.join ->
+  r1:Tuple.t list ->
+  r2:Tuple.t list ->
+  a1:Tuple.t list ->
+  d1:Tuple.t list ->
+  a2:Tuple.t list ->
+  d2:Tuple.t list ->
+  t
+(** Blakeley's original expression (Appendix A), evaluated against the
+    pre-transaction states [R1], [R2]:
+    [V1 = V0 ∪ πσ(A1×A2) ∪ πσ(A1×R2) ∪ πσ(R1×A2)
+             − πσ(D1×D2) − πσ(D1×R2) − πσ(R1×D2)] —
+    incorrect when a transaction deletes joining tuples from both sides. *)
+
+type source = {
+  src_current : Tuple.t list;  (** [R_i' = R_i − D_i], the post-deletion state *)
+  src_inserted : Tuple.t list;  (** [A_i] *)
+  src_deleted : Tuple.t list;  (** [D_i] *)
+}
+(** One of the [N] base relations of the general §2.1 formulation. *)
+
+val nway :
+  ?meter:Cost_meter.t ->
+  pred:Predicate.t ->
+  positions:int array ->
+  source list ->
+  t
+(** The fully general corrected differential update for
+    [V = π_Y(σ_X(R_1 × R_2 × ... × R_N))]: expanding
+    [∏(R_i' ∪ A_i)] and [∏(R_i' ∪ D_i)] and cancelling the common all-[R']
+    term leaves [2^N - 1] insertion terms and [2^N - 1] deletion terms.
+    [pred] and [positions] address the concatenated columns of the cross
+    product.  Exponential in [N] by nature; intended for small [N] (the
+    paper's analysis stops at [N = 2]).
+    @raise Invalid_argument on an empty source list. *)
+
+val recompute_nway : ?meter:Cost_meter.t -> pred:Predicate.t -> positions:int array -> Tuple.t list list -> Bag.t
+(** Reference full recomputation of an N-way view from the current base
+    relation states. *)
+
+val recompute_sp : ?meter:Cost_meter.t -> View_def.sp -> Tuple.t list -> Bag.t
+(** Reference full recomputation of a Model-1 view. *)
+
+val recompute_join : ?meter:Cost_meter.t -> View_def.join -> Tuple.t list -> Tuple.t list -> Bag.t
+(** Reference full recomputation of a Model-2 view. *)

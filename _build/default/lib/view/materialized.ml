@@ -1,0 +1,112 @@
+open Vmat_storage
+open Vmat_relalg
+module Btree = Vmat_index.Btree
+
+type t = {
+  disk : Disk.t;
+  name : string;
+  fanout : int;
+  leaf_capacity : int;
+  mutable tree : Btree.t;
+  cluster_col : int;
+  mutable total : int;
+}
+
+let fresh_tree ~disk ~name ~fanout ~leaf_capacity ~cluster_col =
+  Btree.create ~disk ~name:("view:" ^ name) ~fanout ~leaf_capacity
+    ~key_of:(fun stored -> Tuple.get stored cluster_col)
+    ()
+
+let create ~disk ~name ~fanout ~leaf_capacity ~cluster_col () =
+  {
+    disk;
+    name;
+    fanout;
+    leaf_capacity;
+    tree = fresh_tree ~disk ~name ~fanout ~leaf_capacity ~cluster_col;
+    cluster_col;
+    total = 0;
+  }
+
+let tree t = t.tree
+let pool t = Btree.pool t.tree
+let distinct_count t = Btree.tuple_count t.tree
+let total_count t = t.total
+let height t = Btree.height t.tree
+
+type action = Insert | Delete
+
+(* A stored tuple is the view tuple's fields followed by an [Int count]. *)
+let stored_of tuple ~count =
+  Tuple.make ~tid:(Tuple.tid tuple) (Array.append (Tuple.values tuple) [| Value.Int count |])
+
+let view_of stored =
+  let values = Tuple.values stored in
+  let n = Array.length values - 1 in
+  (Tuple.make ~tid:(Tuple.tid stored) (Array.sub values 0 n), Value.as_int values.(n))
+
+let same_value tuple stored =
+  let (stripped : Tuple.t), _ = view_of stored in
+  Tuple.equal_values tuple stripped
+
+let apply t action tuple =
+  let key = Tuple.get tuple t.cluster_col in
+  let existing = List.find_opt (same_value tuple) (Btree.find t.tree key) in
+  match (action, existing) with
+  | Insert, None ->
+      Btree.insert t.tree (stored_of tuple ~count:1);
+      t.total <- t.total + 1
+  | Insert, Some stored ->
+      let _, count = view_of stored in
+      ignore
+        (Btree.update_in_place t.tree ~key ~tid:(Tuple.tid stored) (fun _ ->
+             stored_of (fst (view_of stored)) ~count:(count + 1)
+             |> fun s -> Tuple.with_tid s (Tuple.tid stored)));
+      t.total <- t.total + 1
+  | Delete, Some stored ->
+      let _, count = view_of stored in
+      if count <= 1 then
+        ignore (Btree.remove t.tree ~key ~tid:(Tuple.tid stored))
+      else
+        ignore
+          (Btree.update_in_place t.tree ~key ~tid:(Tuple.tid stored) (fun _ ->
+               stored_of (fst (view_of stored)) ~count:(count - 1)
+               |> fun s -> Tuple.with_tid s (Tuple.tid stored)));
+      t.total <- t.total - 1
+  | Delete, None ->
+      Printf.ksprintf failwith
+        "Materialized.apply: delete of absent view tuple %s"
+        (Format.asprintf "%a" Tuple.pp tuple)
+
+let flush t = Buffer_pool.invalidate (Btree.pool t.tree)
+
+let range t ~lo ~hi f =
+  Btree.range t.tree ~lo ~hi (fun stored ->
+      let tuple, count = view_of stored in
+      f tuple count)
+
+let rebuild t bag =
+  (* Truncation is a metadata operation (uncharged); bulk-loading the
+     recomputed contents packs pages full (the paper's assumption) and
+     charges one write per page built, through the pool flush. *)
+  t.tree <-
+    fresh_tree ~disk:t.disk ~name:t.name ~fanout:t.fanout ~leaf_capacity:t.leaf_capacity
+      ~cluster_col:t.cluster_col;
+  t.total <- 0;
+  let stored = ref [] in
+  Bag.iter bag (fun tuple count ->
+      if count > 0 then begin
+        stored := stored_of tuple ~count :: !stored;
+        t.total <- t.total + count
+      end);
+  Btree.bulk_load t.tree !stored;
+  flush t
+
+let to_bag_unmetered t =
+  let bag = Bag.create () in
+  Btree.iter_unmetered t.tree (fun stored ->
+      let tuple, count = view_of stored in
+      for _ = 1 to count do
+        ignore (Bag.add bag tuple)
+      done);
+  bag

@@ -1,0 +1,47 @@
+(** Several materialized selection-projection views over one base relation,
+    deferred-maintained from a single shared hypothetical relation.  §4: "In
+    cases where more than one materialized view draws data from the same
+    hypothetical relation, it may be worthwhile to refresh all the views
+    whenever it is necessary to read the contents of the A and D sets for
+    the relation, since this would eliminate the need to read the
+    hypothetical database again."
+
+    A query to any view triggers one [AD] read that refreshes {e every}
+    stale view, so [n] views cost one differential-file scan per refresh
+    instead of [n] (the ablation baseline is [n] independent
+    {!Strategy_sp.deferred} instances, each with its own differential
+    file).  Screening runs per view: stage 1 against each view's t-locks
+    (free), stage 2 only for the breakers. *)
+
+open Vmat_storage
+open Vmat_relalg
+
+type t
+
+val create :
+  disk:Disk.t ->
+  geometry:Strategy.geometry ->
+  base:Schema.t ->
+  views:View_def.sp list ->
+  initial:Tuple.t list ->
+  ad_buckets:int ->
+  unit ->
+  t
+(** All views must be defined over [base].
+    @raise Invalid_argument on an empty view list, duplicate view names, or
+    a view over another schema. *)
+
+val view_names : t -> string list
+
+val handle_transaction : t -> Strategy.change list -> unit
+
+val answer_query : t -> view:string -> Strategy.query -> (Tuple.t * int) list
+(** Range query on the named view's clustering column; refreshes all stale
+    views first (one shared [AD] read).
+    @raise Not_found for an unknown view name. *)
+
+val refreshes : t -> int
+(** Number of shared refresh passes performed so far. *)
+
+val view_contents : t -> view:string -> Bag.t
+(** Logical contents (pending changes applied), unmetered. *)

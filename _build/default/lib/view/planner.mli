@@ -1,0 +1,48 @@
+(** The access-path choice of §3.3: "a materialized view could be clustered
+    on one attribute, and the base relation on another.  In this situation,
+    a query optimizer could choose to process a view query in one of two
+    ways, depending on the query predicate" — through the base relation's
+    clustered index (query modification) or through the materialized view's
+    clustered index as an alternate access path.
+
+    The planner keeps the base relation clustered on a column of its own and
+    the view (immediately maintained) clustered on the view's predicate
+    column.  Range queries name the column they restrict; the planner
+    estimates both plans with the paper's cost arithmetic and runs the
+    cheaper one. *)
+
+open Vmat_storage
+
+type t
+
+type route = Via_base | Via_view
+
+val create :
+  disk:Disk.t ->
+  geometry:Strategy.geometry ->
+  view:View_def.sp ->
+  base_cluster:string ->
+  initial:Tuple.t list ->
+  unit ->
+  t
+(** [base_cluster] names the base column the relation is clustered on; it
+    must differ in general from the view's clustering column (if equal, the
+    planner still works — the base route then always wins on updates-free
+    workloads).
+    @raise Invalid_argument if [base_cluster] is not a base column. *)
+
+val handle_transaction : t -> Strategy.change list -> unit
+(** Base update plus immediate view maintenance. *)
+
+val plan : t -> column:string -> lo:Value.t -> hi:Value.t -> route
+(** The route the planner would choose for a range restriction on [column]
+    (estimated I/O: fraction of the clustered structure scanned if the
+    column matches its clustering, full scan otherwise).
+    @raise Invalid_argument if [column] is neither clustering column. *)
+
+val answer : t -> column:string -> lo:Value.t -> hi:Value.t -> route * (Tuple.t * int) list
+(** Execute the chosen plan: view tuples satisfying the view predicate and
+    the range restriction, with duplicate counts. *)
+
+val answer_via : t -> route -> column:string -> lo:Value.t -> hi:Value.t -> (Tuple.t * int) list
+(** Force a route (for comparing plans in tests and benchmarks). *)

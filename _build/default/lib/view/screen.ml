@@ -1,0 +1,46 @@
+open Vmat_storage
+open Vmat_relalg
+module Tlock = Vmat_index.Tlock
+
+type t = {
+  meter : Cost_meter.t;
+  view_name : string;
+  pred : Predicate.t;
+  locks : Tlock.t;
+  columns_read : int list;
+  mutable stage2 : int;
+}
+
+(* Unbounded interval ends become extreme sentinels for the t-lock table. *)
+let lo_sentinel = Value.Null
+let hi_sentinel = Value.Str "\xff\xff\xff\xff\xff\xff\xff\xff"
+
+let create ~meter ~view_name ~pred () =
+  let locks = Tlock.create () in
+  (match Predicate.tlock_intervals pred with
+  | None -> Tlock.lock_everything locks ~view:view_name
+  | Some intervals ->
+      List.iter
+        (fun (iv : Predicate.interval) ->
+          Tlock.lock locks ~view:view_name ~column:iv.column
+            ~lo:(Option.value ~default:lo_sentinel iv.lo)
+            ~hi:(Option.value ~default:hi_sentinel iv.hi))
+        intervals);
+  { meter; view_name; pred; locks; columns_read = Predicate.columns_read pred; stage2 = 0 }
+
+let screen t tuple =
+  if not (Tlock.breaks t.locks ~view:t.view_name tuple) then false
+  else begin
+    t.stage2 <- t.stage2 + 1;
+    Cost_meter.with_category t.meter Cost_meter.Screen (fun () ->
+        Cost_meter.charge_predicate_test t.meter);
+    let binding i = if i < Tuple.arity tuple then Some (Tuple.get tuple i) else None in
+    Predicate.satisfiable_with t.pred binding
+  end
+
+let stage2_tests t = t.stage2
+
+let readily_ignorable t ~written_columns =
+  not (List.exists (fun c -> List.mem c t.columns_read) written_columns)
+
+let tlocks t = t.locks

@@ -1,0 +1,60 @@
+open Vmat_storage
+open Vmat_relalg
+
+type change = { before : Tuple.t option; after : Tuple.t option }
+
+let modify ~old_tuple ~new_tuple = { before = Some old_tuple; after = Some new_tuple }
+let insert tuple = { before = None; after = Some tuple }
+let delete tuple = { before = Some tuple; after = None }
+
+type query = { q_lo : Value.t; q_hi : Value.t }
+
+type t = {
+  name : string;
+  handle_transaction : change list -> unit;
+  answer_query : query -> (Tuple.t * int) list;
+  scalar_query : unit -> float;
+  view_contents : unit -> Bag.t;
+}
+
+type geometry = { page_bytes : int; index_entry_bytes : int }
+
+let default_geometry = { page_bytes = 4000; index_entry_bytes = 20 }
+
+let fanout g = max 2 (g.page_bytes / g.index_entry_bytes)
+
+let blocking_factor g schema = max 1 (g.page_bytes / Schema.tuple_bytes schema)
+
+let no_scalar () = invalid_arg "Strategy.scalar_query: not an aggregate strategy"
+
+let min_sentinel = Value.Null
+let max_sentinel = Value.Str "\xff\xff\xff\xff\xff\xff\xff\xff"
+
+let clustered_scan_bounds pred ~cluster_col =
+  match Predicate.tlock_intervals pred with
+  | None -> (min_sentinel, max_sentinel)
+  | Some intervals -> (
+      match List.filter (fun (iv : Predicate.interval) -> iv.column = cluster_col) intervals with
+      | [] -> (min_sentinel, max_sentinel)
+      | on_cluster when List.length on_cluster <> List.length intervals ->
+          (* Part of the cover is on other columns; those tuples can lie
+             anywhere on the clustering column. *)
+          (min_sentinel, max_sentinel)
+      | on_cluster ->
+          let lo =
+            List.fold_left
+              (fun acc (iv : Predicate.interval) ->
+                match iv.lo with
+                | None -> min_sentinel
+                | Some v -> if Value.compare v acc < 0 then v else acc)
+              max_sentinel on_cluster
+          in
+          let hi =
+            List.fold_left
+              (fun acc (iv : Predicate.interval) ->
+                match iv.hi with
+                | None -> max_sentinel
+                | Some v -> if Value.compare v acc > 0 then v else acc)
+              min_sentinel on_cluster
+          in
+          (lo, hi))

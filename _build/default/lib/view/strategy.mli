@@ -1,0 +1,60 @@
+(** The common operational interface of the view materialization strategies.
+    A strategy owns its storage structures (built over a shared simulated
+    disk/meter) and processes two kinds of operations — update transactions
+    against the base relation(s) and queries against the view — charging
+    costs to the meter categories exactly as the paper attributes them. *)
+
+open Vmat_storage
+open Vmat_relalg
+
+type change = { before : Tuple.t option; after : Tuple.t option }
+(** One base-relation change within a transaction: insert ([before = None]),
+    delete ([after = None]) or modification (both present; the new tuple has
+    a fresh tid, per the hypothetical-relation discipline). *)
+
+val modify : old_tuple:Tuple.t -> new_tuple:Tuple.t -> change
+val insert : Tuple.t -> change
+val delete : Tuple.t -> change
+
+type query = { q_lo : Value.t; q_hi : Value.t }
+(** A range query on the view's clustering column (retrieving the fraction
+    [fv] of the view). *)
+
+type t = {
+  name : string;
+  handle_transaction : change list -> unit;
+      (** Process one update transaction (the paper's [l] tuples). *)
+  answer_query : query -> (Tuple.t * int) list;
+      (** Answer a view query: view tuples with duplicate counts. *)
+  scalar_query : unit -> float;
+      (** Aggregate strategies: current aggregate value (charging the state
+          page I/O).  Non-aggregate strategies raise [Invalid_argument]. *)
+  view_contents : unit -> Bag.t;
+      (** The logical view contents with all pending changes applied —
+          unmetered, for equivalence testing. *)
+}
+
+type geometry = { page_bytes : int; index_entry_bytes : int }
+(** The paper's [B] and [n]. *)
+
+val default_geometry : geometry
+(** [B = 4000], [n = 20]. *)
+
+val fanout : geometry -> int
+(** Index fanout [B/n]. *)
+
+val blocking_factor : geometry -> Schema.t -> int
+(** Tuples per page [B/S] for a schema (at least 1). *)
+
+val no_scalar : unit -> float
+(** Shared [scalar_query] for non-aggregate strategies. *)
+
+val min_sentinel : Value.t
+val max_sentinel : Value.t
+(** Extreme values bracketing every key (used for unbounded scans and
+    t-lock interval ends). *)
+
+val clustered_scan_bounds : Predicate.t -> cluster_col:int -> Value.t * Value.t
+(** The key range a clustered scan must cover to see every tuple satisfying
+    the predicate: the envelope of the predicate's interval cover on the
+    clustering column, or the whole key space if no cover exists. *)

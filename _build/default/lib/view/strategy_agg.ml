@@ -1,0 +1,223 @@
+open Vmat_storage
+open Vmat_relalg
+module Btree = Vmat_index.Btree
+module Hr = Vmat_hypo.Hr
+
+type env = {
+  disk : Disk.t;
+  geometry : Strategy.geometry;
+  agg : View_def.agg;
+  initial : Tuple.t list;
+  ad_buckets : int;
+}
+
+let meter env = Disk.meter env.disk
+
+let sp env = env.agg.View_def.a_over
+
+let base_cluster_col env = (sp env).sp_positions.((sp env).sp_cluster_out)
+
+let make_base_btree env =
+  let schema = (sp env).sp_base in
+  let col = base_cluster_col env in
+  let tree =
+    Btree.create ~disk:env.disk ~name:(Schema.name schema)
+      ~fanout:(Strategy.fanout env.geometry)
+      ~leaf_capacity:(Strategy.blocking_factor env.geometry schema)
+      ~key_of:(fun tuple -> Tuple.get tuple col)
+      ()
+  in
+  Btree.bulk_load tree env.initial;
+  Buffer_pool.invalidate (Btree.pool tree);
+  tree
+
+let make_screen env =
+  Screen.create ~meter:(meter env) ~view_name:env.agg.View_def.a_name
+    ~pred:(sp env).sp_pred ()
+
+let initial_state env =
+  Aggregate.of_tuples env.agg.View_def.a_kind
+    (Ops.select (sp env).sp_pred env.initial)
+
+let single_tuple_answer state =
+  [ (Tuple.make ~tid:(Tuple.fresh_tid ()) [| Value.Float (Aggregate.value state) |], 1) ]
+
+let bag_of_state state =
+  Bag.of_list [ Tuple.make ~tid:0 [| Value.Float (Aggregate.value state) |] ]
+
+(* One stored page holds the aggregate state. *)
+let alloc_state_page env = Disk.alloc env.disk ~file:("agg:" ^ env.agg.View_def.a_name)
+
+let read_state env page =
+  Cost_meter.with_category (meter env) Cost_meter.Query (fun () -> Disk.read env.disk page)
+
+let write_state env page =
+  Cost_meter.with_category (meter env) Cost_meter.Refresh (fun () -> Disk.write env.disk page)
+
+let deferred env =
+  let base = make_base_btree env in
+  let hr =
+    Hr.create ~disk:env.disk ~base ~schema:(sp env).sp_base ~ad_buckets:env.ad_buckets
+      ~tuples_per_page:(Strategy.blocking_factor env.geometry (sp env).sp_base)
+      ()
+  in
+  let state = initial_state env in
+  let page = alloc_state_page env in
+  let screen = make_screen env in
+  let handle_transaction changes =
+    List.iter
+      (fun (change : Strategy.change) ->
+        let mark = Option.map (Screen.screen screen) in
+        let marked_old = mark change.before and marked_new = mark change.after in
+        match (change.before, change.after) with
+        | Some old_tuple, Some new_tuple ->
+            Hr.apply_update hr ~old_tuple ~new_tuple
+              ~marked_old:(Option.value ~default:false marked_old)
+              ~marked_new:(Option.value ~default:false marked_new)
+        | None, Some tuple ->
+            Hr.apply_insert hr tuple ~marked:(Option.value ~default:false marked_new)
+        | Some tuple, None ->
+            Hr.apply_delete hr tuple ~marked:(Option.value ~default:false marked_old)
+        | None, None -> ())
+      changes;
+    Hr.end_transaction hr
+  in
+  let refresh () =
+    Cost_meter.with_category (meter env) Cost_meter.Refresh (fun () ->
+        let a_net, d_net = Hr.net_changes hr in
+        let touched = ref false in
+        List.iter
+          (fun (tuple, marked) ->
+            if marked then begin
+              Aggregate.delete state tuple;
+              touched := true
+            end)
+          d_net;
+        List.iter
+          (fun (tuple, marked) ->
+            if marked then begin
+              Aggregate.insert state tuple;
+              touched := true
+            end)
+          a_net;
+        (* No read is needed: the state is about to be read by the query
+           anyway (§3.6); only the write is charged. *)
+        if !touched then Disk.write env.disk page);
+    Hr.reset hr
+  in
+  let scalar_query () =
+    refresh ();
+    read_state env page;
+    Aggregate.value state
+  in
+  {
+    Strategy.name = "deferred";
+    handle_transaction;
+    answer_query =
+      (fun _q ->
+        let v = scalar_query () in
+        ignore v;
+        single_tuple_answer state);
+    scalar_query;
+    view_contents =
+      (fun () ->
+        let tuples = Ops.select (sp env).sp_pred (Hr.contents_unmetered hr) in
+        bag_of_state (Aggregate.of_tuples env.agg.View_def.a_kind tuples));
+  }
+
+let immediate env =
+  let base = make_base_btree env in
+  let state = initial_state env in
+  let page = alloc_state_page env in
+  let screen = make_screen env in
+  let m = meter env in
+  let handle_transaction changes =
+    let touched = ref false in
+    List.iter
+      (fun (change : Strategy.change) ->
+        Cost_meter.with_category m Cost_meter.Base (fun () ->
+            Option.iter
+              (fun tuple ->
+                ignore
+                  (Btree.remove base ~key:(Btree.key_of base tuple) ~tid:(Tuple.tid tuple)))
+              change.before;
+            Option.iter (Btree.insert base) change.after);
+        let mark = Option.map (Screen.screen screen) in
+        (match (change.before, mark change.before) with
+        | Some tuple, Some true ->
+            Aggregate.delete state tuple;
+            touched := true
+        | _ -> ());
+        match (change.after, mark change.after) with
+        | Some tuple, Some true ->
+            Aggregate.insert state tuple;
+            touched := true
+        | _ -> ())
+      changes;
+    Cost_meter.with_category m Cost_meter.Base (fun () ->
+        Buffer_pool.invalidate (Btree.pool base));
+    if !touched then write_state env page
+  in
+  let scalar_query () =
+    read_state env page;
+    Aggregate.value state
+  in
+  {
+    Strategy.name = "immediate";
+    handle_transaction;
+    answer_query =
+      (fun _q ->
+        ignore (scalar_query ());
+        single_tuple_answer state);
+    scalar_query;
+    view_contents =
+      (fun () ->
+        let tuples = ref [] in
+        Btree.iter_unmetered base (fun tuple -> tuples := tuple :: !tuples);
+        bag_of_state
+          (Aggregate.of_tuples env.agg.View_def.a_kind
+             (Ops.select (sp env).sp_pred !tuples)));
+  }
+
+let recompute env =
+  let base = make_base_btree env in
+  let m = meter env in
+  let handle_transaction changes =
+    Cost_meter.with_category m Cost_meter.Base (fun () ->
+        List.iter
+          (fun (change : Strategy.change) ->
+            Option.iter
+              (fun tuple ->
+                ignore
+                  (Btree.remove base ~key:(Btree.key_of base tuple) ~tid:(Tuple.tid tuple)))
+              change.before;
+            Option.iter (Btree.insert base) change.after)
+          changes;
+        Buffer_pool.invalidate (Btree.pool base))
+  in
+  let compute () =
+    Cost_meter.with_category m Cost_meter.Query (fun () ->
+        let state = Aggregate.create env.agg.View_def.a_kind in
+        let lo, hi =
+          Strategy.clustered_scan_bounds (sp env).sp_pred
+            ~cluster_col:(base_cluster_col env)
+        in
+        Btree.range base ~lo ~hi (fun tuple ->
+            Cost_meter.charge_predicate_test m;
+            if Predicate.eval (sp env).sp_pred tuple then Aggregate.insert state tuple);
+        Buffer_pool.invalidate (Btree.pool base);
+        state)
+  in
+  {
+    Strategy.name = "recompute";
+    handle_transaction;
+    answer_query = (fun _q -> single_tuple_answer (compute ()));
+    scalar_query = (fun () -> Aggregate.value (compute ()));
+    view_contents =
+      (fun () ->
+        let tuples = ref [] in
+        Btree.iter_unmetered base (fun tuple -> tuples := tuple :: !tuples);
+        bag_of_state
+          (Aggregate.of_tuples env.agg.View_def.a_kind
+             (Ops.select (sp env).sp_pred !tuples)));
+  }

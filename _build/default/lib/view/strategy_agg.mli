@@ -1,0 +1,24 @@
+(** Model 3 strategies (aggregates over Model-1 views): only the aggregate
+    state is stored (one page).  A query reads the state page; maintenance
+    writes it when at least one relevant tuple changed (§3.6). *)
+
+open Vmat_storage
+
+type env = {
+  disk : Disk.t;
+  geometry : Strategy.geometry;
+  agg : View_def.agg;
+  initial : Tuple.t list;
+  ad_buckets : int;
+}
+
+val deferred : env -> Strategy.t
+(** Net changes applied to the state just before each query. *)
+
+val immediate : env -> Strategy.t
+(** State updated after every transaction touching the aggregated set. *)
+
+val recompute : env -> Strategy.t
+(** Standard processing: recompute the aggregate with a clustered index scan
+    of the base relation on every query ([TOTAL_clustered] with the whole
+    aggregated set read). *)

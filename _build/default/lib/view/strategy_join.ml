@@ -1,0 +1,256 @@
+open Vmat_storage
+open Vmat_relalg
+module Btree = Vmat_index.Btree
+module Hash_file = Vmat_index.Hash_file
+module Hr = Vmat_hypo.Hr
+
+type env = {
+  disk : Disk.t;
+  geometry : Strategy.geometry;
+  view : View_def.join;
+  initial_left : Tuple.t list;
+  initial_right : Tuple.t list;
+  ad_buckets : int;
+  r2_buckets : int;
+}
+
+let meter env = Disk.meter env.disk
+
+let base_cluster_col env = env.view.j_positions_left.(env.view.j_cluster_out)
+
+let make_left_btree env =
+  let schema = env.view.j_left in
+  let col = base_cluster_col env in
+  let tree =
+    Btree.create ~disk:env.disk ~name:(Schema.name schema)
+      ~fanout:(Strategy.fanout env.geometry)
+      ~leaf_capacity:(Strategy.blocking_factor env.geometry schema)
+      ~key_of:(fun tuple -> Tuple.get tuple col)
+      ()
+  in
+  Btree.bulk_load tree env.initial_left;
+  Buffer_pool.invalidate (Btree.pool tree);
+  tree
+
+let make_right_hash env =
+  let schema = env.view.j_right in
+  let hash =
+    Hash_file.create ~disk:env.disk ~name:(Schema.name schema) ~buckets:env.r2_buckets
+      ~tuples_per_page:(Strategy.blocking_factor env.geometry schema)
+      ~key_of:(fun tuple -> Tuple.get tuple env.view.j_right_col)
+      ()
+  in
+  List.iter (Hash_file.insert hash) env.initial_right;
+  Buffer_pool.invalidate (Hash_file.pool hash);
+  hash
+
+let make_materialized env =
+  let mat =
+    Materialized.create ~disk:env.disk ~name:env.view.j_name
+      ~fanout:(Strategy.fanout env.geometry)
+      ~leaf_capacity:(Strategy.blocking_factor env.geometry env.view.j_out_schema)
+      ~cluster_col:env.view.j_cluster_out ()
+  in
+  Materialized.rebuild mat (Delta.recompute_join env.view env.initial_left env.initial_right);
+  mat
+
+let make_screen env =
+  Screen.create ~meter:(meter env) ~view_name:env.view.j_name ~pred:env.view.j_left_pred ()
+
+(* Join one marked left tuple to R2 through the hash index, charging C1 for
+   handling it (the paper's per-tuple CPU term in the refresh costs). *)
+let probe env r2 m left_tuple =
+  Cost_meter.charge_predicate_test m;
+  List.map
+    (fun right_tuple -> View_def.join_output env.view left_tuple right_tuple)
+    (Hash_file.lookup r2 (Tuple.get left_tuple env.view.j_left_col))
+
+let answer_from_materialized env mat (q : Strategy.query) =
+  let m = meter env in
+  Cost_meter.with_category m Cost_meter.Query (fun () ->
+      let out = ref [] in
+      Materialized.range mat ~lo:q.q_lo ~hi:q.q_hi (fun tuple count ->
+          Cost_meter.charge_predicate_test m;
+          out := (tuple, count) :: !out);
+      Buffer_pool.invalidate (Materialized.pool mat);
+      List.rev !out)
+
+let logical_view env left_tuples =
+  Delta.recompute_join env.view left_tuples env.initial_right
+
+let deferred env =
+  let m = meter env in
+  let base = make_left_btree env in
+  let r2 = make_right_hash env in
+  let hr =
+    Hr.create ~disk:env.disk ~base ~schema:env.view.j_left ~ad_buckets:env.ad_buckets
+      ~tuples_per_page:(Strategy.blocking_factor env.geometry env.view.j_left)
+      ()
+  in
+  let mat = make_materialized env in
+  let screen = make_screen env in
+  let handle_transaction changes =
+    List.iter
+      (fun (change : Strategy.change) ->
+        let mark = Option.map (Screen.screen screen) in
+        let marked_old = mark change.before and marked_new = mark change.after in
+        match (change.before, change.after) with
+        | Some old_tuple, Some new_tuple ->
+            Hr.apply_update hr ~old_tuple ~new_tuple
+              ~marked_old:(Option.value ~default:false marked_old)
+              ~marked_new:(Option.value ~default:false marked_new)
+        | None, Some tuple ->
+            Hr.apply_insert hr tuple ~marked:(Option.value ~default:false marked_new)
+        | Some tuple, None ->
+            Hr.apply_delete hr tuple ~marked:(Option.value ~default:false marked_old)
+        | None, None -> ())
+      changes;
+    Hr.end_transaction hr
+  in
+  let refresh () =
+    Cost_meter.with_category m Cost_meter.Refresh (fun () ->
+        let a_net, d_net = Hr.net_changes hr in
+        (* Pages of R2 read for the delete join stay buffered for the insert
+           join (§3.4.1); both joins complete before the pool is dropped. *)
+        List.iter
+          (fun (tuple, marked) ->
+            if marked then
+              List.iter (Materialized.apply mat Delete) (probe env r2 m tuple))
+          d_net;
+        List.iter
+          (fun (tuple, marked) ->
+            if marked then
+              List.iter (Materialized.apply mat Insert) (probe env r2 m tuple))
+          a_net;
+        Buffer_pool.invalidate (Hash_file.pool r2);
+        Materialized.flush mat);
+    Hr.reset hr
+  in
+  {
+    Strategy.name = "deferred";
+    handle_transaction;
+    answer_query =
+      (fun q ->
+        refresh ();
+        answer_from_materialized env mat q);
+    scalar_query = Strategy.no_scalar;
+    view_contents =
+      (fun () ->
+        let bag = Materialized.to_bag_unmetered mat in
+        let a_net, d_net = Hr.net_changes_unmetered hr in
+        let outputs tuple =
+          List.filter_map
+            (fun right_tuple ->
+              if Value.equal
+                   (Tuple.get tuple env.view.j_left_col)
+                   (Tuple.get right_tuple env.view.j_right_col)
+              then Some (View_def.join_output env.view tuple right_tuple)
+              else None)
+            env.initial_right
+        in
+        List.iter
+          (fun (tuple, marked) ->
+            if marked then List.iter (fun o -> ignore (Bag.remove bag o)) (outputs tuple))
+          d_net;
+        List.iter
+          (fun (tuple, marked) ->
+            if marked then List.iter (fun o -> ignore (Bag.add bag o)) (outputs tuple))
+          a_net;
+        bag);
+  }
+
+let immediate env =
+  let m = meter env in
+  let base = make_left_btree env in
+  let r2 = make_right_hash env in
+  let mat = make_materialized env in
+  let screen = make_screen env in
+  let handle_transaction changes =
+    let marked_deletes = ref [] and marked_inserts = ref [] in
+    List.iter
+      (fun (change : Strategy.change) ->
+        Cost_meter.with_category m Cost_meter.Base (fun () ->
+            Option.iter
+              (fun tuple ->
+                ignore
+                  (Btree.remove base ~key:(Btree.key_of base tuple) ~tid:(Tuple.tid tuple)))
+              change.before;
+            Option.iter (Btree.insert base) change.after);
+        let mark = Option.map (Screen.screen screen) in
+        (match (change.before, mark change.before) with
+        | Some tuple, Some true -> marked_deletes := tuple :: !marked_deletes
+        | _ -> ());
+        match (change.after, mark change.after) with
+        | Some tuple, Some true -> marked_inserts := tuple :: !marked_inserts
+        | _ -> ())
+      changes;
+    Cost_meter.with_category m Cost_meter.Base (fun () ->
+        Buffer_pool.invalidate (Btree.pool base));
+    Cost_meter.with_category m Cost_meter.Overhead (fun () ->
+        Cost_meter.charge_set_overhead m
+          (List.length !marked_deletes + List.length !marked_inserts));
+    Cost_meter.with_category m Cost_meter.Refresh (fun () ->
+        List.iter
+          (fun tuple -> List.iter (Materialized.apply mat Delete) (probe env r2 m tuple))
+          (List.rev !marked_deletes);
+        List.iter
+          (fun tuple -> List.iter (Materialized.apply mat Insert) (probe env r2 m tuple))
+          (List.rev !marked_inserts);
+        Buffer_pool.invalidate (Hash_file.pool r2);
+        Materialized.flush mat)
+  in
+  {
+    Strategy.name = "immediate";
+    handle_transaction;
+    answer_query = (fun q -> answer_from_materialized env mat q);
+    scalar_query = Strategy.no_scalar;
+    view_contents = (fun () -> Materialized.to_bag_unmetered mat);
+  }
+
+let qmod_loopjoin env =
+  let m = meter env in
+  let base = make_left_btree env in
+  let r2 = make_right_hash env in
+  let cluster_col = base_cluster_col env in
+  let handle_transaction changes =
+    Cost_meter.with_category m Cost_meter.Base (fun () ->
+        List.iter
+          (fun (change : Strategy.change) ->
+            Option.iter
+              (fun tuple ->
+                ignore
+                  (Btree.remove base ~key:(Btree.key_of base tuple) ~tid:(Tuple.tid tuple)))
+              change.before;
+            Option.iter (Btree.insert base) change.after)
+          changes;
+        Buffer_pool.invalidate (Btree.pool base))
+  in
+  let answer_query (q : Strategy.query) =
+    Cost_meter.with_category m Cost_meter.Query (fun () ->
+        let out = ref [] in
+        Btree.range base ~lo:q.q_lo ~hi:q.q_hi (fun left_tuple ->
+            Cost_meter.charge_predicate_test m;
+            if
+              Predicate.eval env.view.j_left_pred left_tuple
+              &&
+              let v = Tuple.get left_tuple cluster_col in
+              Value.compare q.q_lo v <= 0 && Value.compare v q.q_hi <= 0
+            then
+              List.iter
+                (fun view_tuple -> out := (view_tuple, 1) :: !out)
+                (probe env r2 m left_tuple));
+        Buffer_pool.invalidate (Btree.pool base);
+        Buffer_pool.invalidate (Hash_file.pool r2);
+        List.rev !out)
+  in
+  {
+    Strategy.name = "qmod-loopjoin";
+    handle_transaction;
+    answer_query;
+    scalar_query = Strategy.no_scalar;
+    view_contents =
+      (fun () ->
+        let tuples = ref [] in
+        Btree.iter_unmetered base (fun tuple -> tuples := tuple :: !tuples);
+        logical_view env !tuples);
+  }

@@ -1,0 +1,24 @@
+(** Model 2 strategies (two-way natural join views): deferred and immediate
+    maintenance, and query modification with a nested-loop join using the
+    clustered hash index on the inner relation [R2] (§3.4).  Only the left
+    relation [R1] receives updates, as in the paper. *)
+
+open Vmat_storage
+
+type env = {
+  disk : Disk.t;
+  geometry : Strategy.geometry;
+  view : View_def.join;
+  initial_left : Tuple.t list;
+  initial_right : Tuple.t list;
+  ad_buckets : int;
+  r2_buckets : int;  (** primary buckets of the [R2] hash file ([f_R2 b]). *)
+}
+
+val deferred : env -> Strategy.t
+val immediate : env -> Strategy.t
+
+val qmod_loopjoin : env -> Strategy.t
+(** Nested loops: clustered scan of [R1] as the outer, hash probes into
+    [R2] as the inner; [R2] pages stay buffered for the duration of one
+    join (§3.4.3). *)

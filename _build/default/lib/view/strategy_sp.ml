@@ -1,0 +1,504 @@
+open Vmat_storage
+open Vmat_relalg
+module Btree = Vmat_index.Btree
+module Hr = Vmat_hypo.Hr
+
+type env = {
+  disk : Disk.t;
+  geometry : Strategy.geometry;
+  view : View_def.sp;
+  initial : Tuple.t list;
+  ad_buckets : int;
+}
+
+let meter env = Disk.meter env.disk
+
+(* The base column the view is clustered on (the predicate column). *)
+let base_cluster_col env = env.view.sp_positions.(env.view.sp_cluster_out)
+
+let make_base_btree env =
+  let schema = env.view.sp_base in
+  let col = base_cluster_col env in
+  let tree =
+    Btree.create ~disk:env.disk ~name:(Schema.name schema)
+      ~fanout:(Strategy.fanout env.geometry)
+      ~leaf_capacity:(Strategy.blocking_factor env.geometry schema)
+      ~key_of:(fun tuple -> Tuple.get tuple col)
+      ()
+  in
+  Btree.bulk_load tree env.initial;
+  Buffer_pool.invalidate (Btree.pool tree);
+  tree
+
+let make_materialized env =
+  let mat =
+    Materialized.create ~disk:env.disk ~name:env.view.sp_name
+      ~fanout:(Strategy.fanout env.geometry)
+      ~leaf_capacity:(Strategy.blocking_factor env.geometry env.view.sp_out_schema)
+      ~cluster_col:env.view.sp_cluster_out ()
+  in
+  Materialized.rebuild mat (Delta.recompute_sp env.view env.initial);
+  mat
+
+let make_screen env =
+  Screen.create ~meter:(meter env) ~view_name:env.view.sp_name ~pred:env.view.sp_pred ()
+
+let answer_from_materialized env mat (q : Strategy.query) =
+  let m = meter env in
+  Cost_meter.with_category m Cost_meter.Query (fun () ->
+      let out = ref [] in
+      Materialized.range mat ~lo:q.q_lo ~hi:q.q_hi (fun tuple count ->
+          Cost_meter.charge_predicate_test m;
+          out := (tuple, count) :: !out);
+      Buffer_pool.invalidate (Materialized.pool mat);
+      List.rev !out)
+
+(* The readily-ignorable-update test of [Bune79], applied per change: a
+   modification that writes no column the view reads (predicate columns or
+   projected columns) cannot change the view, so it needs neither stage-2
+   screening nor maintenance.  The paper applies the test per command at
+   compile time; per change is the same test at a finer grain. *)
+let readily_ignorable env (change : Strategy.change) =
+  match (change.before, change.after) with
+  | Some old_tuple, Some new_tuple when Tuple.arity old_tuple = Tuple.arity new_tuple ->
+      let view_reads =
+        Predicate.columns_read env.view.sp_pred @ Array.to_list env.view.sp_positions
+      in
+      let ignorable = ref true in
+      Array.iteri
+        (fun i v ->
+          if (not (Value.equal v (Tuple.get new_tuple i))) && List.mem i view_reads then
+            ignorable := false)
+        (Tuple.values old_tuple);
+      !ignorable
+  | _ -> false
+
+(* Screening of one change: both the deleted and the inserted image are
+   screened (each is an insertion into or deletion from the base relation),
+   unless the RIU test already rules the change out. *)
+let screen_change env screen (change : Strategy.change) =
+  if readily_ignorable env change then (Some false, Some false)
+  else
+    let mark = Option.map (Screen.screen screen) in
+    (mark change.before, mark change.after)
+
+let logical_view_of_tuples env tuples = Delta.recompute_sp env.view tuples
+
+(* ------------------------------------------------------------------ *)
+(* Deferred view maintenance                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared machinery of the hypothetical-relation strategies: [deferred]
+   refreshes just before each query; [deferred_periodic] additionally
+   refreshes every [every] transactions (strictly more I/O, by the Yao
+   triangle inequality -- the paper's section-4 argument for refreshing only
+   on demand); [snapshot] refreshes ONLY every [period] transactions and
+   serves possibly-stale answers in between, like the database snapshots of
+   [Adib80, Lind86]. *)
+
+type refresh_policy =
+  | On_demand
+  | Periodic_and_on_demand of int
+  | Periodic_only of int
+
+let deferred_with_policy_internal ?layout ~policy ~name env =
+  let m = meter env in
+  let base = make_base_btree env in
+  let hr =
+    Hr.create ~disk:env.disk ~base ~schema:env.view.sp_base ~ad_buckets:env.ad_buckets
+      ~tuples_per_page:(Strategy.blocking_factor env.geometry env.view.sp_base)
+      ?layout ()
+  in
+  let mat = make_materialized env in
+  let screen = make_screen env in
+  let refresh ?(category = Cost_meter.Refresh) () =
+    Cost_meter.with_category m category (fun () ->
+        let a_net, d_net = Hr.net_changes hr in
+        List.iter
+          (fun (tuple, marked) ->
+            if marked then Materialized.apply mat Delete (View_def.sp_output env.view tuple))
+          d_net;
+        List.iter
+          (fun (tuple, marked) ->
+            if marked then Materialized.apply mat Insert (View_def.sp_output env.view tuple))
+          a_net;
+        Materialized.flush mat);
+    Hr.reset hr
+  in
+  let txns_since_refresh = ref 0 in
+  let handle_transaction changes =
+    List.iter
+      (fun (change : Strategy.change) ->
+        let marked_old, marked_new = screen_change env screen change in
+        match (change.before, change.after) with
+        | Some old_tuple, Some new_tuple ->
+            Hr.apply_update hr ~old_tuple ~new_tuple
+              ~marked_old:(Option.value ~default:false marked_old)
+              ~marked_new:(Option.value ~default:false marked_new)
+        | None, Some tuple ->
+            Hr.apply_insert hr tuple ~marked:(Option.value ~default:false marked_new)
+        | Some tuple, None ->
+            Hr.apply_delete hr tuple ~marked:(Option.value ~default:false marked_old)
+        | None, None -> ())
+      changes;
+    Hr.end_transaction hr;
+    incr txns_since_refresh;
+    match policy with
+    | Periodic_and_on_demand every | Periodic_only every ->
+        if !txns_since_refresh >= every then begin
+          refresh ();
+          txns_since_refresh := 0
+        end
+    | On_demand -> ()
+  in
+  let answer_query q =
+    (match policy with
+    | On_demand | Periodic_and_on_demand _ -> refresh ()
+    | Periodic_only _ -> () (* snapshots serve the last refreshed state *));
+    answer_from_materialized env mat q
+  in
+  ( {
+      Strategy.name;
+      handle_transaction;
+      answer_query;
+      scalar_query = Strategy.no_scalar;
+      view_contents =
+        (fun () ->
+          let bag = Materialized.to_bag_unmetered mat in
+          let a_net, d_net = Hr.net_changes_unmetered hr in
+          List.iter
+            (fun (tuple, marked) ->
+              if marked then ignore (Bag.remove bag (View_def.sp_output env.view tuple)))
+            d_net;
+          List.iter
+            (fun (tuple, marked) ->
+              if marked then ignore (Bag.add bag (View_def.sp_output env.view tuple)))
+            a_net;
+          bag);
+    },
+    refresh )
+
+let deferred_with_policy ?layout ~policy ~name env =
+  fst (deferred_with_policy_internal ?layout ~policy ~name env)
+
+let deferred env = deferred_with_policy ~policy:On_demand ~name:"deferred" env
+
+(* Asynchronous refresh (§4): "if there is idle CPU and disk time available,
+   it is likely to be useful to put it to work refreshing views
+   asynchronously.  This would improve the response time of view queries in
+   some situations since the views would not have to be refreshed first."
+   We model idle-time work by refreshing eagerly after every transaction and
+   charging that work to the excluded Base category: queries then find the
+   view already fresh. *)
+let deferred_async env =
+  let inner, refresh =
+    deferred_with_policy_internal ~policy:On_demand ~name:"deferred-async" env
+  in
+  {
+    inner with
+    Strategy.handle_transaction =
+      (fun changes ->
+        inner.Strategy.handle_transaction changes;
+        (* the idle-time refresh: same work, charged off the critical path *)
+        refresh ~category:Cost_meter.Base ());
+  }
+
+let deferred_split_ad env =
+  deferred_with_policy ~layout:Hr.Split ~policy:On_demand ~name:"deferred-split-ad" env
+
+let deferred_periodic ~every env =
+  if every < 1 then invalid_arg "Strategy_sp.deferred_periodic: every must be >= 1";
+  deferred_with_policy
+    ~policy:(Periodic_and_on_demand every)
+    ~name:(Printf.sprintf "deferred-every-%d" every)
+    env
+
+let snapshot ~period env =
+  if period < 1 then invalid_arg "Strategy_sp.snapshot: period must be >= 1";
+  deferred_with_policy ~policy:(Periodic_only period)
+    ~name:(Printf.sprintf "snapshot-%d" period)
+    env
+
+(* ------------------------------------------------------------------ *)
+(* Immediate view maintenance                                          *)
+(* ------------------------------------------------------------------ *)
+
+let immediate env =
+  let m = meter env in
+  let base = make_base_btree env in
+  let mat = make_materialized env in
+  let screen = make_screen env in
+  let update_base (change : Strategy.change) =
+    Cost_meter.with_category m Cost_meter.Base (fun () ->
+        Option.iter
+          (fun tuple ->
+            ignore
+              (Btree.remove base ~key:(Btree.key_of base tuple) ~tid:(Tuple.tid tuple)))
+          change.before;
+        Option.iter (Btree.insert base) change.after)
+  in
+  let handle_transaction changes =
+    let marked_deletes = ref [] and marked_inserts = ref [] in
+    List.iter
+      (fun (change : Strategy.change) ->
+        update_base change;
+        let marked_old, marked_new = screen_change env screen change in
+        (match (change.before, marked_old) with
+        | Some tuple, Some true -> marked_deletes := tuple :: !marked_deletes
+        | _ -> ());
+        match (change.after, marked_new) with
+        | Some tuple, Some true -> marked_inserts := tuple :: !marked_inserts
+        | _ -> ())
+      changes;
+    Cost_meter.with_category m Cost_meter.Base (fun () ->
+        Buffer_pool.invalidate (Btree.pool base));
+    (* Resetting the in-memory A and D sets costs C3 per tuple they hold. *)
+    Cost_meter.with_category m Cost_meter.Overhead (fun () ->
+        Cost_meter.charge_set_overhead m
+          (List.length !marked_deletes + List.length !marked_inserts));
+    Cost_meter.with_category m Cost_meter.Refresh (fun () ->
+        List.iter
+          (fun tuple -> Materialized.apply mat Delete (View_def.sp_output env.view tuple))
+          (List.rev !marked_deletes);
+        List.iter
+          (fun tuple -> Materialized.apply mat Insert (View_def.sp_output env.view tuple))
+          (List.rev !marked_inserts);
+        Materialized.flush mat)
+  in
+  {
+    Strategy.name = "immediate";
+    handle_transaction;
+    answer_query = (fun q -> answer_from_materialized env mat q);
+    scalar_query = Strategy.no_scalar;
+    view_contents = (fun () -> Materialized.to_bag_unmetered mat);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Query modification                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let in_range env tuple ~lo ~hi =
+  let v = Tuple.get tuple (base_cluster_col env) in
+  Value.compare lo v <= 0 && Value.compare v hi <= 0
+
+let qmod_answer env m examined (q : Strategy.query) =
+  (* [examined] feeds base tuples to the callback; each is tested against the
+     modified query (view predicate AND query range) at C1. *)
+  let out = ref [] in
+  examined (fun tuple ->
+      Cost_meter.charge_predicate_test m;
+      if Predicate.eval env.view.sp_pred tuple && in_range env tuple ~lo:q.q_lo ~hi:q.q_hi
+      then out := (View_def.sp_output env.view tuple, 1) :: !out);
+  List.rev !out
+
+let qmod_clustered env =
+  let m = meter env in
+  let base = make_base_btree env in
+  let handle_transaction changes =
+    Cost_meter.with_category m Cost_meter.Base (fun () ->
+        List.iter
+          (fun (change : Strategy.change) ->
+            Option.iter
+              (fun tuple ->
+                ignore
+                  (Btree.remove base ~key:(Btree.key_of base tuple) ~tid:(Tuple.tid tuple)))
+              change.before;
+            Option.iter (Btree.insert base) change.after)
+          changes;
+        Buffer_pool.invalidate (Btree.pool base))
+  in
+  let answer_query (q : Strategy.query) =
+    Cost_meter.with_category m Cost_meter.Query (fun () ->
+        let result =
+          qmod_answer env m
+            (fun f -> Btree.range base ~lo:q.q_lo ~hi:q.q_hi f)
+            q
+        in
+        Buffer_pool.invalidate (Btree.pool base);
+        result)
+  in
+  {
+    Strategy.name = "qmod-clustered";
+    handle_transaction;
+    answer_query;
+    scalar_query = Strategy.no_scalar;
+    view_contents =
+      (fun () ->
+        let tuples = ref [] in
+        Btree.iter_unmetered base (fun tuple -> tuples := tuple :: !tuples);
+        logical_view_of_tuples env !tuples);
+  }
+
+module Secondary_key = struct
+  type t = Value.t * int
+
+  let compare (v1, t1) (v2, t2) =
+    match Value.compare v1 v2 with 0 -> Int.compare t1 t2 | c -> c
+end
+
+module Secondary = Map.Make (Secondary_key)
+
+let qmod_unclustered env =
+  let m = meter env in
+  let heap =
+    Heap_file.create ~disk:env.disk ~page_bytes:env.geometry.Strategy.page_bytes
+      env.view.sp_base
+  in
+  let index = ref Secondary.empty in
+  let cluster_col = base_cluster_col env in
+  let key_of tuple = (Tuple.get tuple cluster_col, Tuple.tid tuple) in
+  let add tuple =
+    let locator = Heap_file.insert heap tuple in
+    index := Secondary.add (key_of tuple) locator !index
+  in
+  List.iter add env.initial;
+  Buffer_pool.invalidate (Heap_file.pool heap);
+  let handle_transaction changes =
+    Cost_meter.with_category m Cost_meter.Base (fun () ->
+        List.iter
+          (fun (change : Strategy.change) ->
+            Option.iter
+              (fun tuple ->
+                let key = key_of tuple in
+                (match Secondary.find_opt key !index with
+                | Some locator -> Heap_file.delete heap locator
+                | None -> invalid_arg "qmod_unclustered: deleting unknown tuple");
+                index := Secondary.remove key !index)
+              change.before;
+            Option.iter add change.after)
+          changes;
+        Buffer_pool.invalidate (Heap_file.pool heap))
+  in
+  let answer_query (q : Strategy.query) =
+    Cost_meter.with_category m Cost_meter.Query (fun () ->
+        (* Walk the secondary index over the query range; each entry costs a
+           (buffered) heap page read — the unclustered y(N, b, N f fv)
+           behaviour.  The secondary index itself is assumed resident, as in
+           the paper's generous treatment of access paths. *)
+        let examined f =
+          let seq = Secondary.to_seq_from (q.q_lo, Int.min_int) !index in
+          Seq.iter
+            (fun ((v, _), locator) ->
+              if Value.compare v q.q_hi <= 0 then f (Heap_file.read_at heap locator))
+            (Seq.take_while (fun ((v, _), _) -> Value.compare v q.q_hi <= 0) seq)
+        in
+        let result = qmod_answer env m examined q in
+        Buffer_pool.invalidate (Heap_file.pool heap);
+        result)
+  in
+  {
+    Strategy.name = "qmod-unclustered";
+    handle_transaction;
+    answer_query;
+    scalar_query = Strategy.no_scalar;
+    view_contents =
+      (fun () ->
+        let tuples = ref [] in
+        Heap_file.iter_unmetered heap (fun tuple -> tuples := tuple :: !tuples);
+        logical_view_of_tuples env !tuples);
+  }
+
+let qmod_sequential env =
+  let m = meter env in
+  let heap =
+    Heap_file.create ~disk:env.disk ~page_bytes:env.geometry.Strategy.page_bytes
+      env.view.sp_base
+  in
+  let locators = Hashtbl.create (List.length env.initial) in
+  let add tuple = Hashtbl.replace locators (Tuple.tid tuple) (Heap_file.insert heap tuple) in
+  List.iter add env.initial;
+  Buffer_pool.invalidate (Heap_file.pool heap);
+  let handle_transaction changes =
+    Cost_meter.with_category m Cost_meter.Base (fun () ->
+        List.iter
+          (fun (change : Strategy.change) ->
+            Option.iter
+              (fun tuple ->
+                match Hashtbl.find_opt locators (Tuple.tid tuple) with
+                | Some locator ->
+                    Heap_file.delete heap locator;
+                    Hashtbl.remove locators (Tuple.tid tuple)
+                | None -> invalid_arg "qmod_sequential: deleting unknown tuple")
+              change.before;
+            Option.iter add change.after)
+          changes;
+        Buffer_pool.invalidate (Heap_file.pool heap))
+  in
+  let answer_query (q : Strategy.query) =
+    Cost_meter.with_category m Cost_meter.Query (fun () ->
+        let result = qmod_answer env m (fun f -> Heap_file.scan heap f) q in
+        Buffer_pool.invalidate (Heap_file.pool heap);
+        result)
+  in
+  {
+    Strategy.name = "qmod-sequential";
+    handle_transaction;
+    answer_query;
+    scalar_query = Strategy.no_scalar;
+    view_contents =
+      (fun () ->
+        let tuples = ref [] in
+        Heap_file.iter_unmetered heap (fun tuple -> tuples := tuple :: !tuples);
+        logical_view_of_tuples env !tuples);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Full recompute on potentially-affecting update (Buneman & Clemons)  *)
+(* ------------------------------------------------------------------ *)
+
+let recompute env =
+  let m = meter env in
+  let base = make_base_btree env in
+  let mat = make_materialized env in
+  let screen = make_screen env in
+  let dirty = ref false in
+  let handle_transaction changes =
+    Cost_meter.with_category m Cost_meter.Base (fun () ->
+        List.iter
+          (fun (change : Strategy.change) ->
+            Option.iter
+              (fun tuple ->
+                ignore
+                  (Btree.remove base ~key:(Btree.key_of base tuple) ~tid:(Tuple.tid tuple)))
+              change.before;
+            Option.iter (Btree.insert base) change.after)
+          changes;
+        Buffer_pool.invalidate (Btree.pool base));
+    List.iter
+      (fun change ->
+        let marked_old, marked_new = screen_change env screen change in
+        if marked_old = Some true || marked_new = Some true then dirty := true)
+      changes
+  in
+  let refresh_if_needed () =
+    if !dirty then begin
+      Cost_meter.with_category m Cost_meter.Refresh (fun () ->
+          (* Recompute with a clustered scan of the base relation and replace
+             the stored copy wholesale. *)
+          let tuples = ref [] in
+          let lo, hi =
+            Strategy.clustered_scan_bounds env.view.sp_pred
+              ~cluster_col:(base_cluster_col env)
+          in
+          Btree.range base ~lo ~hi (fun tuple ->
+              Cost_meter.charge_predicate_test m;
+              tuples := tuple :: !tuples);
+          Buffer_pool.invalidate (Btree.pool base);
+          Materialized.rebuild mat (logical_view_of_tuples env !tuples));
+      dirty := false
+    end
+  in
+  {
+    Strategy.name = "recompute";
+    handle_transaction;
+    answer_query =
+      (fun q ->
+        refresh_if_needed ();
+        answer_from_materialized env mat q);
+    scalar_query = Strategy.no_scalar;
+    view_contents =
+      (fun () ->
+        let tuples = ref [] in
+        Btree.iter_unmetered base (fun tuple -> tuples := tuple :: !tuples);
+        logical_view_of_tuples env !tuples);
+  }

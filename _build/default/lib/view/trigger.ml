@@ -1,0 +1,88 @@
+open Vmat_storage
+open Vmat_relalg
+
+type condition = Above of float | Below of float | Nonempty | Empty
+
+type event = { condition : condition; transaction : int; value : float }
+
+type watch = { watched : condition; mutable was_true : bool }
+
+type t = {
+  meter : Cost_meter.t;
+  agg : View_def.agg;
+  state : Aggregate.t;
+  screen : Screen.t;
+  watches : watch list;
+  mutable txns : int;
+  mutable fired : event list;  (* newest first *)
+}
+
+let condition_holds condition ~value ~cardinality =
+  match condition with
+  | Above threshold -> (not (Float.is_nan value)) && value > threshold
+  | Below threshold -> (not (Float.is_nan value)) && value < threshold
+  | Nonempty -> cardinality > 0
+  | Empty -> cardinality = 0
+
+let evaluate t watch =
+  condition_holds watch.watched ~value:(Aggregate.value t.state)
+    ~cardinality:(Aggregate.cardinality t.state)
+
+let create ~disk ~geometry ~agg ~initial ~conditions () =
+  ignore geometry;
+  let meter = Disk.meter disk in
+  let sp = agg.View_def.a_over in
+  let state = Aggregate.of_tuples agg.View_def.a_kind (Ops.select sp.sp_pred initial) in
+  let t =
+    {
+      meter;
+      agg;
+      state;
+      screen = Screen.create ~meter ~view_name:agg.View_def.a_name ~pred:sp.sp_pred ();
+      watches = List.map (fun watched -> { watched; was_true = false }) conditions;
+      txns = 0;
+      fired = [];
+    }
+  in
+  List.iter (fun watch -> watch.was_true <- evaluate t watch) t.watches;
+  t
+
+let check_watches t =
+  List.iter
+    (fun watch ->
+      let now = evaluate t watch in
+      if now && not watch.was_true then
+        t.fired <-
+          { condition = watch.watched; transaction = t.txns; value = Aggregate.value t.state }
+          :: t.fired;
+      watch.was_true <- now)
+    t.watches
+
+let handle_transaction t changes =
+  let touched = ref false in
+  List.iter
+    (fun (change : Strategy.change) ->
+      (match change.Strategy.before with
+      | Some tuple when Screen.screen t.screen tuple ->
+          Aggregate.delete t.state tuple;
+          touched := true
+      | _ -> ());
+      match change.Strategy.after with
+      | Some tuple when Screen.screen t.screen tuple ->
+          Aggregate.insert t.state tuple;
+          touched := true
+      | _ -> ())
+    changes;
+  (* write the state page when the aggregated set changed, as in immediate
+     maintenance of Model 3 *)
+  if !touched then
+    Cost_meter.with_category t.meter Cost_meter.Refresh (fun () ->
+        Cost_meter.charge_write t.meter);
+  t.txns <- t.txns + 1;
+  check_watches t
+
+let current_value t = Aggregate.value t.state
+
+let events t = List.rev t.fired
+
+let transactions t = t.txns

@@ -1,0 +1,47 @@
+(** Triggers and alerters over materialized aggregates — the application §4
+    (after [Bune79]) suggests incremental view maintenance is best suited
+    for: "materialization could support conditions for complex triggers and
+    alerters".  An alerter watches an incrementally maintained aggregate over
+    a Model-1 view and fires when its condition's truth value {e becomes}
+    true (edge-triggered), which requires the maintained value after every
+    transaction — exactly what immediate maintenance provides and query
+    modification cannot do without recomputation. *)
+
+open Vmat_storage
+
+type condition =
+  | Above of float  (** aggregate value > threshold *)
+  | Below of float  (** aggregate value < threshold *)
+  | Nonempty  (** the aggregated set has at least one tuple *)
+  | Empty
+
+type event = { condition : condition; transaction : int; value : float }
+(** The condition that fired, after which transaction (1-based), and the
+    aggregate value at that point. *)
+
+type t
+
+val create :
+  disk:Disk.t ->
+  geometry:Strategy.geometry ->
+  agg:View_def.agg ->
+  initial:Tuple.t list ->
+  conditions:condition list ->
+  unit ->
+  t
+(** Conditions already true on the initial state do not fire until they
+    become false and then true again. *)
+
+val handle_transaction : t -> Strategy.change list -> unit
+(** Maintain the aggregate incrementally (screened, charged like immediate
+    maintenance) and evaluate every condition. *)
+
+val current_value : t -> float
+
+val events : t -> event list
+(** Fired events, oldest first. *)
+
+val transactions : t -> int
+
+val condition_holds : condition -> value:float -> cardinality:int -> bool
+(** The evaluation rule (exposed for testing). *)

@@ -1,0 +1,1 @@
+lib/workload/dataset.ml: Float List Predicate Printf Rng Schema Tuple Value View_def Vmat_relalg Vmat_storage Vmat_util Vmat_view

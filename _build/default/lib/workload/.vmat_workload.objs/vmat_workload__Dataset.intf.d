@@ -1,0 +1,1 @@
+lib/workload/dataset.mli: Rng Schema Tuple View_def Vmat_storage Vmat_util Vmat_view

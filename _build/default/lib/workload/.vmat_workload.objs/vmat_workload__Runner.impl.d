@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Cost_meter Disk Format List Strategy Stream Vmat_storage Vmat_view

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Cost_meter Disk Format Strategy Stream Vmat_storage Vmat_view

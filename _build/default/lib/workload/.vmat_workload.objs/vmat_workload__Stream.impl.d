@@ -1,0 +1,1 @@
+lib/workload/stream.ml: Array Float List Rng Strategy Tuple Value Vmat_storage Vmat_util Vmat_view

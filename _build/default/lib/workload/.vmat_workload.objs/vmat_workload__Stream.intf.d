@@ -1,0 +1,1 @@
+lib/workload/stream.mli: Rng Strategy Tuple Value Vmat_storage Vmat_util Vmat_view

@@ -1,0 +1,126 @@
+open Vmat_storage
+open Vmat_util
+open Vmat_relalg
+open Vmat_view
+
+let base_columns =
+  Schema.
+    [
+      { name = "id"; ty = T_int };
+      { name = "pval"; ty = T_float };
+      { name = "amount"; ty = T_float };
+      { name = "note"; ty = T_string };
+    ]
+
+let base_schema ~s_bytes =
+  Schema.make ~name:"R" ~columns:base_columns ~tuple_bytes:s_bytes ~key:"id"
+
+let base_tuple rng ~id =
+  Tuple.make ~tid:(Tuple.fresh_tid ())
+    [|
+      Value.Int id;
+      Value.Float (Rng.float rng);
+      Value.Float (Float.of_int (Rng.int rng 1000));
+      Value.Str (Printf.sprintf "n%06d" (Rng.int rng 1_000_000));
+    |]
+
+let pred_on schema ~f =
+  Predicate.Cmp (Predicate.Lt, Predicate.Column (Schema.column_index schema "pval"),
+                 Predicate.Const (Value.Float f))
+
+type model1 = {
+  m1_schema : Schema.t;
+  m1_view : View_def.sp;
+  m1_tuples : Tuple.t list;
+}
+
+let make_model1 ~rng ~n ~f ~s_bytes =
+  let schema = base_schema ~s_bytes in
+  let view =
+    View_def.make_sp ~name:"V" ~base:schema ~pred:(pred_on schema ~f)
+      ~project:[ "pval"; "amount" ] ~cluster:"pval"
+  in
+  {
+    m1_schema = schema;
+    m1_view = view;
+    m1_tuples = List.init n (fun id -> base_tuple rng ~id);
+  }
+
+type model2 = {
+  m2_left : Schema.t;
+  m2_right : Schema.t;
+  m2_view : View_def.join;
+  m2_left_tuples : Tuple.t list;
+  m2_right_tuples : Tuple.t list;
+}
+
+let make_model2 ~rng ~n ~f ~f_r2 ~s_bytes =
+  let left =
+    Schema.make ~name:"R1"
+      ~columns:
+        Schema.
+          [
+            { name = "id"; ty = T_int };
+            { name = "pval"; ty = T_float };
+            { name = "jkey"; ty = T_int };
+            { name = "c"; ty = T_string };
+          ]
+      ~tuple_bytes:s_bytes ~key:"id"
+  in
+  let right =
+    Schema.make ~name:"R2"
+      ~columns:
+        Schema.
+          [
+            { name = "jkey"; ty = T_int };
+            { name = "weight"; ty = T_float };
+            { name = "tag"; ty = T_string };
+          ]
+      ~tuple_bytes:s_bytes ~key:"jkey"
+  in
+  let n_right = max 1 (int_of_float (Float.round (f_r2 *. float_of_int n))) in
+  let view =
+    View_def.make_join ~name:"VJ" ~left ~right ~left_pred:(pred_on left ~f)
+      ~on:("jkey", "jkey") ~project_left:[ "pval"; "c" ] ~project_right:[ "weight" ]
+      ~cluster:"pval"
+  in
+  let right_tuples =
+    List.init n_right (fun jkey ->
+        Tuple.make ~tid:(Tuple.fresh_tid ())
+          [|
+            Value.Int jkey;
+            Value.Float (Rng.float rng);
+            Value.Str (Printf.sprintf "t%06d" (Rng.int rng 1_000_000));
+          |])
+  in
+  let left_tuples =
+    List.init n (fun id ->
+        Tuple.make ~tid:(Tuple.fresh_tid ())
+          [|
+            Value.Int id;
+            Value.Float (Rng.float rng);
+            Value.Int (Rng.int rng n_right);
+            Value.Str (Printf.sprintf "c%06d" (Rng.int rng 1_000_000));
+          |])
+  in
+  {
+    m2_left = left;
+    m2_right = right;
+    m2_view = view;
+    m2_left_tuples = left_tuples;
+    m2_right_tuples = right_tuples;
+  }
+
+type model3 = {
+  m3_schema : Schema.t;
+  m3_agg : View_def.agg;
+  m3_tuples : Tuple.t list;
+}
+
+let make_model3 ~rng ~n ~f ~s_bytes ~kind =
+  let { m1_schema; m1_view; m1_tuples } = make_model1 ~rng ~n ~f ~s_bytes in
+  {
+    m3_schema = m1_schema;
+    m3_agg = View_def.make_agg ~name:"VA" ~over:m1_view ~kind;
+    m3_tuples = m1_tuples;
+  }

@@ -1,0 +1,47 @@
+(** Synthetic datasets matching the paper's workload models.  All data is
+    derived from a deterministic RNG, so every experiment is reproducible.
+
+    The Model 1/3 base relation is [R(id, pval, amount, note)] with [pval]
+    uniform on [0, 1) (so the view predicate [pval < f] has selectivity [f])
+    and tuples of [s_bytes] bytes; the view projects half the attributes
+    ([pval, amount]) clustered on [pval].  The Model 2 pair adds
+    [R1.jkey] drawn uniformly from the key column of
+    [R2(jkey, weight, tag)], so every [R1] tuple joins exactly one [R2]
+    tuple. *)
+
+open Vmat_storage
+open Vmat_util
+open Vmat_view
+
+type model1 = {
+  m1_schema : Schema.t;
+  m1_view : View_def.sp;
+  m1_tuples : Tuple.t list;
+}
+
+val make_model1 : rng:Rng.t -> n:int -> f:float -> s_bytes:int -> model1
+
+type model2 = {
+  m2_left : Schema.t;
+  m2_right : Schema.t;
+  m2_view : View_def.join;
+  m2_left_tuples : Tuple.t list;
+  m2_right_tuples : Tuple.t list;
+}
+
+val make_model2 : rng:Rng.t -> n:int -> f:float -> f_r2:float -> s_bytes:int -> model2
+
+type model3 = {
+  m3_schema : Schema.t;
+  m3_agg : View_def.agg;
+  m3_tuples : Tuple.t list;
+}
+
+val make_model3 :
+  rng:Rng.t ->
+  n:int ->
+  f:float ->
+  s_bytes:int ->
+  kind:[ `Count | `Sum of string | `Avg of string | `Variance of string | `Min of string | `Max of string ] ->
+  model3
+(** The aggregated column for non-count kinds should be ["amount"]. *)

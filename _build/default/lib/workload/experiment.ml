@@ -1,0 +1,158 @@
+open Vmat_storage
+open Vmat_util
+open Vmat_view
+open Vmat_cost
+
+type model1_strategy =
+  [ `Deferred | `Immediate | `Clustered | `Unclustered | `Sequential | `Recompute ]
+
+type model2_strategy = [ `Deferred | `Immediate | `Loopjoin ]
+
+type model3_strategy = [ `Deferred | `Immediate | `Recompute ]
+
+let scale (p : Params.t) s =
+  if s <= 0. || s > 1. then invalid_arg "Experiment.scale: factor must be in (0, 1]";
+  { p with Params.n_tuples = Float.max 100. (Float.round (p.n_tuples *. s)) }
+
+let ad_buckets_for (p : Params.t) =
+  let u = Params.updates_per_query p in
+  max 1 (int_of_float (ceil (2. *. u /. Params.tuples_per_page p)))
+
+let geometry_of (p : Params.t) =
+  {
+    Strategy.page_bytes = int_of_float p.page_bytes;
+    index_entry_bytes = int_of_float p.index_bytes;
+  }
+
+let ints (p : Params.t) =
+  ( int_of_float p.n_tuples,
+    int_of_float (Float.round p.k_updates),
+    int_of_float p.l_per_txn,
+    int_of_float p.q_queries )
+
+let fresh_world (p : Params.t) =
+  let meter = Cost_meter.create ~c1:p.c1 ~c2:p.c2 ~c3:p.c3 () in
+  let disk = Disk.create meter in
+  (meter, disk)
+
+let amount_col = 2 (* R(id, pval, amount, note) *)
+
+let model1_stream ~rng ~(p : Params.t) (dataset : Dataset.model1) =
+  let _, k, l, q = ints p in
+  let tuples = Array.of_list dataset.m1_tuples in
+  let width = p.f *. p.fv in
+  Stream.generate ~rng ~tuples
+    ~mutate:
+      (Stream.mutate_column ~col:amount_col (fun rng ->
+           Value.Float (Float.of_int (Rng.int rng 1000))))
+    ~k ~l ~q
+    ~query_of:(Stream.range_query_of ~lo_max:(p.f -. width) ~width)
+
+let measure_model1 ?(seed = 42) (p : Params.t) strategies =
+  let rng = Rng.create seed in
+  let n, _, _, _ = ints p in
+  let dataset = Dataset.make_model1 ~rng ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes) in
+  let ops = model1_stream ~rng ~p dataset in
+  let run which =
+    let meter, disk = fresh_world p in
+    let env =
+      {
+        Strategy_sp.disk;
+        geometry = geometry_of p;
+        view = dataset.m1_view;
+        initial = dataset.m1_tuples;
+        ad_buckets = ad_buckets_for p;
+      }
+    in
+    let strategy =
+      match which with
+      | `Deferred -> Strategy_sp.deferred env
+      | `Immediate -> Strategy_sp.immediate env
+      | `Clustered -> Strategy_sp.qmod_clustered env
+      | `Unclustered -> Strategy_sp.qmod_unclustered env
+      | `Sequential -> Strategy_sp.qmod_sequential env
+      | `Recompute -> Strategy_sp.recompute env
+    in
+    let m = Runner.run ~meter ~disk ~strategy ~ops in
+    (m.Runner.strategy_name, m)
+  in
+  List.map run strategies
+
+let c_col = 3 (* R1(id, pval, jkey, c) *)
+
+let measure_model2 ?(seed = 42) (p : Params.t) strategies =
+  let rng = Rng.create seed in
+  let n, k, l, q = ints p in
+  let dataset =
+    Dataset.make_model2 ~rng ~n ~f:p.f ~f_r2:p.f_r2 ~s_bytes:(int_of_float p.tuple_bytes)
+  in
+  let tuples = Array.of_list dataset.m2_left_tuples in
+  let width = p.f *. p.fv in
+  let ops =
+    Stream.generate ~rng ~tuples
+      ~mutate:
+        (Stream.mutate_column ~col:c_col (fun rng ->
+             Value.Str (Printf.sprintf "c%06d" (Rng.int rng 1_000_000))))
+      ~k ~l ~q
+      ~query_of:(Stream.range_query_of ~lo_max:(p.f -. width) ~width)
+  in
+  let r2_buckets = max 1 (int_of_float (ceil (p.f_r2 *. Params.blocks p))) in
+  let run which =
+    let meter, disk = fresh_world p in
+    let env =
+      {
+        Strategy_join.disk;
+        geometry = geometry_of p;
+        view = dataset.m2_view;
+        initial_left = dataset.m2_left_tuples;
+        initial_right = dataset.m2_right_tuples;
+        ad_buckets = ad_buckets_for p;
+        r2_buckets;
+      }
+    in
+    let strategy =
+      match which with
+      | `Deferred -> Strategy_join.deferred env
+      | `Immediate -> Strategy_join.immediate env
+      | `Loopjoin -> Strategy_join.qmod_loopjoin env
+    in
+    let m = Runner.run ~meter ~disk ~strategy ~ops in
+    (m.Runner.strategy_name, m)
+  in
+  List.map run strategies
+
+let measure_model3 ?(seed = 42) ?(kind = `Sum "amount") (p : Params.t) strategies =
+  let rng = Rng.create seed in
+  let n, _, _, _ = ints p in
+  let dataset =
+    Dataset.make_model3 ~rng ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes) ~kind
+  in
+  let ops =
+    model1_stream ~rng ~p
+      {
+        Dataset.m1_schema = dataset.m3_schema;
+        m1_view = dataset.m3_agg.View_def.a_over;
+        m1_tuples = dataset.m3_tuples;
+      }
+  in
+  let run which =
+    let meter, disk = fresh_world p in
+    let env =
+      {
+        Strategy_agg.disk;
+        geometry = geometry_of p;
+        agg = dataset.m3_agg;
+        initial = dataset.m3_tuples;
+        ad_buckets = ad_buckets_for p;
+      }
+    in
+    let strategy =
+      match which with
+      | `Deferred -> Strategy_agg.deferred env
+      | `Immediate -> Strategy_agg.immediate env
+      | `Recompute -> Strategy_agg.recompute env
+    in
+    let m = Runner.run ~meter ~disk ~strategy ~ops in
+    (m.Runner.strategy_name, m)
+  in
+  List.map run strategies

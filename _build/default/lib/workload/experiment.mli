@@ -1,0 +1,36 @@
+(** One-call measured experiments: build the synthetic dataset and operation
+    stream implied by a parameter set, instantiate the requested strategies
+    on fresh simulated disks, replay, and report.  These are the "measured"
+    counterparts of the analytic formulas in [Vmat_cost]. *)
+
+open Vmat_cost
+
+type model1_strategy =
+  [ `Deferred | `Immediate | `Clustered | `Unclustered | `Sequential | `Recompute ]
+
+type model2_strategy = [ `Deferred | `Immediate | `Loopjoin ]
+
+type model3_strategy = [ `Deferred | `Immediate | `Recompute ]
+
+val scale : Params.t -> float -> Params.t
+(** [scale p s] shrinks the relation to [s * N] tuples (keeping fractions and
+    per-query update counts) for faster simulation. *)
+
+val measure_model1 :
+  ?seed:int -> Params.t -> model1_strategy list -> (string * Runner.measurement) list
+(** One shared dataset and stream; each strategy runs on its own disk and
+    meter. *)
+
+val measure_model2 :
+  ?seed:int -> Params.t -> model2_strategy list -> (string * Runner.measurement) list
+
+val measure_model3 :
+  ?seed:int ->
+  ?kind:[ `Count | `Sum of string | `Avg of string | `Variance of string | `Min of string | `Max of string ] ->
+  Params.t ->
+  model3_strategy list ->
+  (string * Runner.measurement) list
+
+val ad_buckets_for : Params.t -> int
+(** Static sizing of the deferred differential file: [ceil (2u / T)] primary
+    buckets (at least 1). *)

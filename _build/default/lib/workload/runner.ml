@@ -1,0 +1,49 @@
+open Vmat_storage
+open Vmat_view
+
+type measurement = {
+  strategy_name : string;
+  transactions : int;
+  queries : int;
+  cost_per_query : float;
+  category_costs : (Cost_meter.category * float) list;
+  physical_reads : int;
+  physical_writes : int;
+  tuples_returned : int;
+}
+
+let run ~meter ~disk ~strategy ~ops =
+  Cost_meter.reset meter;
+  let reads0 = Disk.physical_reads disk and writes0 = Disk.physical_writes disk in
+  let returned = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Stream.Txn changes -> strategy.Strategy.handle_transaction changes
+      | Stream.Query q ->
+          let result = strategy.Strategy.answer_query q in
+          returned := !returned + List.length result)
+    ops;
+  let transactions, queries = Stream.count_ops ops in
+  {
+    strategy_name = strategy.Strategy.name;
+    transactions;
+    queries;
+    cost_per_query =
+      (if queries = 0 then 0.
+       else Cost_meter.total_cost ~excluding:[ Cost_meter.Base ] meter /. float_of_int queries);
+    category_costs =
+      List.map (fun cat -> (cat, Cost_meter.cost meter cat)) Cost_meter.all_categories;
+    physical_reads = Disk.physical_reads disk - reads0;
+    physical_writes = Disk.physical_writes disk - writes0;
+    tuples_returned = !returned;
+  }
+
+let pp fmt m =
+  Format.fprintf fmt "%s: %.1f ms/query (%d txns, %d queries, %d reads, %d writes)"
+    m.strategy_name m.cost_per_query m.transactions m.queries m.physical_reads
+    m.physical_writes;
+  List.iter
+    (fun (cat, cost) ->
+      if cost > 0. then Format.fprintf fmt " %s=%.0f" (Cost_meter.category_name cat) cost)
+    m.category_costs

@@ -1,0 +1,23 @@
+(** Replay an operation stream against a strategy and report measured costs
+    in the paper's units (the per-query average excludes the [Base] category,
+    exactly like the paper's accounting). *)
+
+open Vmat_storage
+open Vmat_view
+
+type measurement = {
+  strategy_name : string;
+  transactions : int;
+  queries : int;
+  cost_per_query : float;  (** average, excluding ordinary base maintenance *)
+  category_costs : (Cost_meter.category * float) list;  (** totals, ms *)
+  physical_reads : int;
+  physical_writes : int;
+  tuples_returned : int;  (** across all queries (sanity signal) *)
+}
+
+val run : meter:Cost_meter.t -> disk:Disk.t -> strategy:Strategy.t -> ops:Stream.op list -> measurement
+(** Resets the meter (construction charges are setup, not workload), then
+    replays. *)
+
+val pp : Format.formatter -> measurement -> unit

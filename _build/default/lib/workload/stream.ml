@@ -1,0 +1,44 @@
+open Vmat_storage
+open Vmat_util
+open Vmat_view
+
+type op = Txn of Strategy.change list | Query of Strategy.query
+
+let generate ~rng ~tuples ~mutate ~k ~l ~q ~query_of =
+  if k < 0 || l <= 0 || q < 0 then invalid_arg "Stream.generate: bad k/l/q";
+  let total = k + q in
+  let ops = ref [] in
+  for i = 0 to total - 1 do
+    (* Bresenham-style even spacing of the q queries among k + q slots. *)
+    let is_query = (i + 1) * q / total > i * q / total in
+    if is_query then ops := Query (query_of rng) :: !ops
+    else begin
+      let population = Array.length tuples in
+      let indices = Rng.sample_without_replacement rng ~n:population ~k:(min l population) in
+      let changes =
+        List.map
+          (fun idx ->
+            let old_tuple = tuples.(idx) in
+            let new_tuple = mutate rng old_tuple in
+            tuples.(idx) <- new_tuple;
+            Strategy.modify ~old_tuple ~new_tuple)
+          indices
+      in
+      ops := Txn changes :: !ops
+    end
+  done;
+  List.rev !ops
+
+let mutate_column ~col draw rng tuple =
+  Tuple.with_tid (Tuple.set tuple col (draw rng)) (Tuple.fresh_tid ())
+
+let range_query_of ~lo_max ~width rng =
+  let lo = Rng.float rng *. Float.max 0. lo_max in
+  { Strategy.q_lo = Value.Float lo; q_hi = Value.Float (lo +. width) }
+
+let count_ops ops =
+  List.fold_left
+    (fun (txns, queries) -> function
+      | Txn _ -> (txns + 1, queries)
+      | Query _ -> (txns, queries + 1))
+    (0, 0) ops

@@ -1,0 +1,35 @@
+(** Operation streams: [k] update transactions of [l] tuple modifications
+    each, evenly interleaved with [q] view queries (so that [u = kl/q]
+    tuples change between consecutive queries, as the analysis assumes).
+    The stream is materialized once and replayed verbatim against every
+    strategy, which keeps measured comparisons apples-to-apples. *)
+
+open Vmat_storage
+open Vmat_util
+open Vmat_view
+
+type op = Txn of Strategy.change list | Query of Strategy.query
+
+val generate :
+  rng:Rng.t ->
+  tuples:Tuple.t array ->
+  mutate:(Rng.t -> Tuple.t -> Tuple.t) ->
+  k:int ->
+  l:int ->
+  q:int ->
+  query_of:(Rng.t -> Strategy.query) ->
+  op list
+(** [tuples] is the live population; it is updated in place as the stream is
+    generated so later transactions modify current versions.  [mutate] must
+    return a fresh-tid new version of the tuple. *)
+
+val mutate_column : col:int -> (Rng.t -> Value.t) -> Rng.t -> Tuple.t -> Tuple.t
+(** Standard mutation: replace one column with a newly drawn value. *)
+
+val range_query_of : lo_max:float -> width:float -> Rng.t -> Strategy.query
+(** A query over [pval in [x, x + width]] with [x] uniform on
+    [[0, lo_max]] — retrieving the fraction [fv] of a view of selectivity
+    [f] when [width = f fv] and [lo_max = f - width]. *)
+
+val count_ops : op list -> int * int
+(** [(transactions, queries)]. *)

@@ -1,0 +1,1 @@
+test/test_bilateral.ml: Alcotest Array Astring Bag Bilateral Core Cost_meter Dataset Disk List Predicate Printf QCheck QCheck_alcotest Rng Strategy Strategy_join Tuple Value

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Core Float List Model1 Model2 Model3 Option Params Printf QCheck QCheck_alcotest Regions Result Stats

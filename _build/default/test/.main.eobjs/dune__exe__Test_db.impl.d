@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Core Cost_meter Db List Printf Stats Tuple Value

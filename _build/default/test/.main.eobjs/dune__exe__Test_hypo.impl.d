@@ -1,0 +1,1 @@
+test/test_hypo.ml: Alcotest Array Btree Core Cost_meter Disk Float Hashtbl Hr Int List QCheck QCheck_alcotest Schema Tuple Value

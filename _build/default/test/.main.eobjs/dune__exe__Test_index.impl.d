@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Btree Buffer_pool Core Cost_meter Disk Fun Hash_file Hashtbl Int List QCheck QCheck_alcotest Tlock Tuple Value

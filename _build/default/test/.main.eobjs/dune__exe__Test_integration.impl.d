@@ -1,0 +1,1 @@
+test/test_integration.ml: Advisor Alcotest Astring Core Experiment Float List Model1 Params Printf Runner Stats

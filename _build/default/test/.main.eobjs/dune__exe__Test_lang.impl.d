@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Core Lexer List Parser Predicate Result Schema Tuple Value

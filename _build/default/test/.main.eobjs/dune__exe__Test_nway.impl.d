@@ -1,0 +1,1 @@
+test/test_nway.ml: Alcotest Array Bag Btree Core Cost_meter Delta Disk List Materialized QCheck QCheck_alcotest Rng Schema Strategy Strategy_sp Stream Tuple Value View_def

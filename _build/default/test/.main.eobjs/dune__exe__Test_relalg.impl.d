@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Bag Core Cost_meter Float Format List Ops Option Printf QCheck QCheck_alcotest Tuple Value

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Buffer_pool Core Cost_meter Disk Float Heap_file List Printf QCheck QCheck_alcotest Schema String Tuple Value

@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Array Bag Core Cost_meter Dataset Disk Float List Printf QCheck QCheck_alcotest Rng Runner Strategy Strategy_agg Strategy_join Strategy_sp Stream Tuple Value

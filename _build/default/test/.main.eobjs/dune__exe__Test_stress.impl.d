@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Bag Btree Core Cost_meter Dataset Db Disk Hashtbl Hr Int List Printf QCheck QCheck_alcotest Rng Schema Strategy Strategy_sp Stream String Tuple Value

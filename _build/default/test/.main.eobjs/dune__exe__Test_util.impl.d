@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_plot Astring Bloom Combin Core Float Fun Gen Int List Printf QCheck QCheck_alcotest Rng Stats String Table Yao

@@ -1,0 +1,1 @@
+test/test_view.ml: Aggregate Alcotest Bag Core Cost_meter Delta Disk Float Fun List Materialized Predicate QCheck QCheck_alcotest Schema Screen Tuple Value View_def

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Core Dataset Experiment Float Hashtbl Int List Params Predicate Printf Rng Runner Schema Strategy Stream Tuple Value View_def

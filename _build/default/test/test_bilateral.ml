@@ -1,0 +1,219 @@
+open Core
+
+(* Operational Appendix A: join-view maintenance with updates to both
+   relations.  The corrected maintainer always agrees with query
+   modification; Blakeley's maintainer works on one-sided transactions but
+   corrupts the stored view on a two-sided delete of joining tuples. *)
+
+let geometry = { Strategy.page_bytes = 400; index_entry_bytes = 20 }
+
+(* One dataset, fresh storage per maintainer (tids must match across the
+   maintainers so base updates find their tuples). *)
+let make_world ?(seed = 81) ?(n = 120) () =
+  let rng = Rng.create seed in
+  let dataset = Dataset.make_model2 ~rng ~n ~f:0.6 ~f_r2:0.25 ~s_bytes:100 in
+  let env () =
+    let meter = Cost_meter.create () in
+    let disk = Disk.create meter in
+    {
+      Strategy_join.disk;
+      geometry;
+      view = dataset.m2_view;
+      initial_left = dataset.m2_left_tuples;
+      initial_right = dataset.m2_right_tuples;
+      ad_buckets = 4;
+      r2_buckets = 8;
+    }
+  in
+  (dataset, env, rng)
+
+let whole_view = { Strategy.q_lo = Value.Float 0.; q_hi = Value.Float 1. }
+
+let bag_of results =
+  let bag = Bag.create () in
+  List.iter
+    (fun (t, c) ->
+      for _ = 1 to c do
+        ignore (Bag.add bag t)
+      done)
+    results;
+  bag
+
+let check_agree what a b =
+  if not (Bag.equal (bag_of (Bilateral.answer_query a whole_view))
+            (bag_of (Bilateral.answer_query b whole_view)))
+  then
+    Alcotest.failf "%s: %s and %s disagree" what (Bilateral.name a) (Bilateral.name b)
+
+(* a bilateral workload generator over the live populations of both sides *)
+let bilateral_ops ~rng ~dataset ~rounds =
+  let left = Array.of_list dataset.Dataset.m2_left_tuples in
+  let right = Array.of_list dataset.Dataset.m2_right_tuples in
+  let next_right_key = ref 10_000 in
+  List.concat
+    (List.init rounds (fun _ ->
+         let modify_left () =
+           let idx = Rng.int rng (Array.length left) in
+           let old_tuple = left.(idx) in
+           let new_tuple =
+             Tuple.with_tid
+               (Tuple.set old_tuple 3 (Value.Str (Printf.sprintf "c%d" (Rng.int rng 1000))))
+               (Tuple.fresh_tid ())
+           in
+           left.(idx) <- new_tuple;
+           (Bilateral.Left, Strategy.modify ~old_tuple ~new_tuple)
+         in
+         let modify_right () =
+           let idx = Rng.int rng (Array.length right) in
+           let old_tuple = right.(idx) in
+           let new_tuple =
+             Tuple.with_tid
+               (Tuple.set old_tuple 1 (Value.Float (Rng.float rng)))
+               (Tuple.fresh_tid ())
+           in
+           right.(idx) <- new_tuple;
+           (Bilateral.Right, Strategy.modify ~old_tuple ~new_tuple)
+         in
+         let insert_right () =
+           incr next_right_key;
+           let t =
+             Tuple.make ~tid:(Tuple.fresh_tid ())
+               [| Value.Int !next_right_key; Value.Float (Rng.float rng); Value.Str "t" |]
+           in
+           (Bilateral.Right, Strategy.insert t)
+         in
+         (* list literals evaluate elements right-to-left, so sequence the
+            side-effecting constructors explicitly *)
+         let c1 = modify_left () in
+         let c2 = modify_right () in
+         let c3 = modify_right () in
+         let c4 = insert_right () in
+         [ [ c1; c2 ]; [ c3; c4 ] ]))
+
+let test_corrected_matches_loopjoin () =
+  let dataset, env, rng = make_world () in
+  let immediate = Bilateral.immediate (env ()) in
+  let reference = Bilateral.loopjoin (env ()) in
+  List.iter
+    (fun txn ->
+      Bilateral.handle_transaction immediate txn;
+      Bilateral.handle_transaction reference txn;
+      check_agree "after txn" immediate reference)
+    (bilateral_ops ~rng ~dataset ~rounds:12);
+  Alcotest.(check bool) "final contents agree" true
+    (Bag.equal (Bilateral.view_contents immediate) (Bilateral.view_contents reference))
+
+let test_blakeley_ok_one_sided () =
+  (* With updates confined to one relation per transaction, Blakeley's
+     expression is fine. *)
+  let dataset, env, rng = make_world () in
+  let blakeley = Bilateral.blakeley (env ()) in
+  let reference = Bilateral.loopjoin (env ()) in
+  let left = Array.of_list dataset.Dataset.m2_left_tuples in
+  for _ = 1 to 8 do
+    let idx = Rng.int rng (Array.length left) in
+    let old_tuple = left.(idx) in
+    let new_tuple =
+      Tuple.with_tid
+        (Tuple.set old_tuple 3 (Value.Str (Printf.sprintf "x%d" (Rng.int rng 1000))))
+        (Tuple.fresh_tid ())
+    in
+    left.(idx) <- new_tuple;
+    let txn = [ (Bilateral.Left, Strategy.modify ~old_tuple ~new_tuple) ] in
+    Bilateral.handle_transaction blakeley txn;
+    Bilateral.handle_transaction reference txn;
+    check_agree "one-sided" blakeley reference
+  done
+
+let both_sided_delete_txn dataset =
+  (* pick a joining pair (every left tuple joins exactly one right tuple) *)
+  let left_tuple =
+    List.find
+      (fun t -> Predicate.eval dataset.Dataset.m2_view.j_left_pred t)
+      dataset.Dataset.m2_left_tuples
+  in
+  let jkey = Tuple.get left_tuple 2 in
+  let right_tuple =
+    List.find
+      (fun t -> Value.equal (Tuple.get t 0) jkey)
+      dataset.Dataset.m2_right_tuples
+  in
+  [
+    (Bilateral.Left, Strategy.delete left_tuple);
+    (Bilateral.Right, Strategy.delete right_tuple);
+  ]
+
+let test_blakeley_corrupts_on_two_sided_delete () =
+  let dataset, env, _ = make_world () in
+  let blakeley = Bilateral.blakeley (env ()) in
+  match Bilateral.handle_transaction blakeley (both_sided_delete_txn dataset) with
+  | exception Failure message ->
+      Alcotest.(check bool) "stored view detected the over-deletion" true
+        (Astring.String.is_infix ~affix:"delete of absent view tuple" message)
+  | () -> Alcotest.fail "Blakeley's expression went undetected"
+
+let test_corrected_handles_two_sided_delete () =
+  let dataset, env, _ = make_world () in
+  let immediate = Bilateral.immediate (env ()) in
+  let reference = Bilateral.loopjoin (env ()) in
+  let txn = both_sided_delete_txn dataset in
+  Bilateral.handle_transaction immediate txn;
+  Bilateral.handle_transaction reference txn;
+  check_agree "after two-sided delete" immediate reference
+
+let test_two_sided_insert_and_retarget () =
+  (* a transaction that inserts a new right tuple AND moves a left tuple onto
+     it exercises the A1 x A2 term *)
+  let dataset, env, _ = make_world () in
+  let immediate = Bilateral.immediate (env ()) in
+  let reference = Bilateral.loopjoin (env ()) in
+  let fresh_right =
+    Tuple.make ~tid:(Tuple.fresh_tid ()) [| Value.Int 777; Value.Float 0.5; Value.Str "t" |]
+  in
+  let old_left = List.hd dataset.Dataset.m2_left_tuples in
+  let new_left =
+    Tuple.with_tid (Tuple.set old_left 2 (Value.Int 777)) (Tuple.fresh_tid ())
+  in
+  let txn =
+    [
+      (Bilateral.Right, Strategy.insert fresh_right);
+      (Bilateral.Left, Strategy.modify ~old_tuple:old_left ~new_tuple:new_left);
+    ]
+  in
+  Bilateral.handle_transaction immediate txn;
+  Bilateral.handle_transaction reference txn;
+  check_agree "A1 x A2 term" immediate reference
+
+let prop_bilateral_random_equivalence =
+  QCheck.Test.make ~name:"bilateral corrected = loopjoin (random)" ~count:10
+    (QCheck.int_range 0 1000)
+    (fun seed ->
+      let dataset, env, _ = make_world ~seed:(9_000 + seed) ~n:60 () in
+      let rng = Rng.create (77_000 + seed) in
+      let immediate = Bilateral.immediate (env ()) in
+      let reference = Bilateral.loopjoin (env ()) in
+      List.for_all
+        (fun txn ->
+          Bilateral.handle_transaction immediate txn;
+          Bilateral.handle_transaction reference txn;
+          Bag.equal
+            (bag_of (Bilateral.answer_query immediate whole_view))
+            (bag_of (Bilateral.answer_query reference whole_view)))
+        (bilateral_ops ~rng ~dataset ~rounds:5))
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "bilateral",
+      [
+        Alcotest.test_case "corrected = loopjoin" `Quick test_corrected_matches_loopjoin;
+        Alcotest.test_case "Blakeley fine one-sided" `Quick test_blakeley_ok_one_sided;
+        Alcotest.test_case "Blakeley corrupts on two-sided delete" `Quick
+          test_blakeley_corrupts_on_two_sided_delete;
+        Alcotest.test_case "corrected survives two-sided delete" `Quick
+          test_corrected_handles_two_sided_delete;
+        Alcotest.test_case "A1 x A2 term" `Quick test_two_sided_insert_and_retarget;
+      ]
+      @ qcheck [ prop_bilateral_random_equivalence ] );
+  ]

@@ -1,0 +1,402 @@
+open Core
+
+let p = Params.defaults
+
+let close ?(tolerance = 0.01) what expected actual =
+  if Stats.relative_error ~expected ~actual > tolerance then
+    Alcotest.failf "%s: expected ~%g, got %g" what expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Parameters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_derived_quantities () =
+  close "b" 2500. (Params.blocks p);
+  close "T" 40. (Params.tuples_per_page p);
+  close "u" 25. (Params.updates_per_query p);
+  close "P" 0.5 (Params.update_probability p);
+  close "fanout" 200. (Params.fanout p);
+  (* H_vi = ceil(log_200 10000) = 2 *)
+  close "H_vi" 2. (Params.view_index_height p)
+
+let test_with_update_probability () =
+  let p9 = Params.with_update_probability p 0.9 in
+  close "P set" 0.9 (Params.update_probability p9);
+  close "q unchanged" 100. p9.Params.q_queries;
+  close "k adjusted" 900. p9.Params.k_updates;
+  let p0 = Params.with_update_probability p 0. in
+  close ~tolerance:1e-9 "P=0" 0. (Params.update_probability p0);
+  (* P=1 is clamped, not infinite *)
+  let p1 = Params.with_update_probability p 1. in
+  Alcotest.(check bool) "P=1 clamped finite" true (Float.is_finite p1.Params.k_updates)
+
+let test_validate () =
+  Alcotest.(check bool) "defaults valid" true (Result.is_ok (Params.validate p));
+  Alcotest.(check bool) "bad f rejected" true
+    (Result.is_error (Params.validate { p with Params.f = 1.5 }));
+  Alcotest.(check bool) "bad B rejected" true
+    (Result.is_error (Params.validate { p with Params.page_bytes = 10. }));
+  Alcotest.(check bool) "bad q rejected" true
+    (Result.is_error (Params.validate { p with Params.q_queries = 0. }))
+
+let test_rows () =
+  let rows = Params.rows p in
+  Alcotest.(check string) "N row" "100000" (List.assoc "N" rows);
+  Alcotest.(check string) "u row" "25" (List.assoc "u = kl/q" rows)
+
+(* ------------------------------------------------------------------ *)
+(* Model 1 golden values (hand-computed from the paper's formulas)     *)
+(* ------------------------------------------------------------------ *)
+
+let test_model1_components () =
+  (* C_query1 = 30 * (.1*.1*2500/2) + 30*2 + 1*(.1*.1*100000)
+             = 30*12.5 + 60 + 1000 = 1435 *)
+  close "C_query1" 1435. (Model1.c_query p);
+  (* C_ADread = 30 * 2*25/40 = 37.5 *)
+  close "C_ADread" 37.5 (Model1.c_ad_read p);
+  (* C_screen = 1 * .1 * 25 = 2.5 *)
+  close "C_screen" 2.5 (Model1.c_screen p);
+  (* C_AD = 30 * 1 * y(50, 1.25, 25): nearly all of the 1.25 pages *)
+  let c_ad = Model1.c_ad p in
+  Alcotest.(check bool) "C_AD in range" true (c_ad > 30. && c_ad <= 37.6);
+  (* X1 = y(10000, 125, 5) ~ 4.95; C_def_refresh = 30*5*X1 ~ 742 *)
+  close ~tolerance:0.02 "C_def_refresh" 743. (Model1.c_def_refresh p);
+  (* X2 = y(10000, 125, 5) same as X1 here (2fu = 2fl when k = q);
+     C_imm_refresh = 1 * 30 * 5 * X2 *)
+  close ~tolerance:0.02 "C_imm_refresh" 743. (Model1.c_imm_refresh p);
+  (* C_overhead = 1 * 2*.1*25 * 1 = 5 *)
+  close "C_overhead" 5. (Model1.c_overhead p);
+  (* clustered = 30*2500*.01 + 1*100000*.01 = 750 + 1000 = 1750 *)
+  close "clustered" 1750. (Model1.total_clustered p);
+  (* sequential = 30*2500 + 100000 = 175000 *)
+  close "sequential" 175000. (Model1.total_sequential p);
+  (* unclustered = 30*y(100000,2500,1000) + 1000; y ~ 835 *)
+  let unclustered = Model1.total_unclustered p in
+  Alcotest.(check bool) "unclustered range" true
+    (unclustered > 20000. && unclustered < 32000.)
+
+let test_model1_totals_consistent () =
+  close ~tolerance:1e-9 "deferred total"
+    (Model1.c_ad p +. Model1.c_ad_read p +. Model1.c_query p +. Model1.c_def_refresh p
+   +. Model1.c_screen p)
+    (Model1.total_deferred p);
+  close ~tolerance:1e-9 "immediate total"
+    (Model1.c_query p +. Model1.c_imm_refresh p +. Model1.c_screen p +. Model1.c_overhead p)
+    (Model1.total_immediate p)
+
+let test_model1_figure1_shape () =
+  (* Figure 1 at defaults (fv=.1): materialization edges out clustered query
+     modification at low P (the view packs twice as many tuples per page);
+     clustered wins from P ~ .3 up; unclustered and sequential are far worse
+     everywhere; deferred and immediate stay within a few percent of each
+     other at low P. *)
+  List.iter
+    (fun prob ->
+      let params = Params.with_update_probability p prob in
+      let deferred = Model1.total_deferred params in
+      let immediate = Model1.total_immediate params in
+      let clustered = Model1.total_clustered params in
+      let unclustered = Model1.total_unclustered params in
+      let sequential = Model1.total_sequential params in
+      if prob <= 0.25 then
+        Alcotest.(check bool)
+          (Printf.sprintf "immediate best at P=%.2f" prob)
+          true (immediate < clustered)
+      else if prob >= 0.35 then
+        Alcotest.(check bool)
+          (Printf.sprintf "clustered best at P=%.2f" prob)
+          true
+          (clustered <= deferred && clustered <= immediate);
+      Alcotest.(check bool) "unclustered worse than materialization" true
+        (unclustered > deferred && unclustered > immediate);
+      Alcotest.(check bool) "sequential off scale" true (sequential > unclustered);
+      if prob <= 0.3 then
+        Alcotest.(check bool)
+          (Printf.sprintf "def ~ imm at P=%.2f" prob)
+          true
+          (Stats.relative_error ~expected:immediate ~actual:deferred < 0.1))
+    [ 0.1; 0.2; 0.35; 0.5; 0.7; 0.9 ];
+  (* the clustered/immediate crossover sits near P = .3 at defaults *)
+  match
+    Regions.crossover ~lo:0.05 ~hi:0.9 (fun prob ->
+        let params = Params.with_update_probability p prob in
+        Model1.total_immediate params -. Model1.total_clustered params)
+  with
+  | Some crossover ->
+      Alcotest.(check bool)
+        (Printf.sprintf "crossover near .3 (got %.3f)" crossover)
+        true
+        (crossover > 0.2 && crossover < 0.4)
+  | None -> Alcotest.fail "no immediate/clustered crossover"
+
+let test_model1_fv_effect () =
+  (* §3.3 / Figure 3: lowering fv favors query modification. *)
+  let margin params = Model1.total_deferred params -. Model1.total_clustered params in
+  Alcotest.(check bool) "smaller fv widens qmod's margin" true
+    (margin { p with Params.fv = 0.01 } > 0.
+    && margin { p with Params.fv = 0.01 } /. Model1.total_clustered { p with Params.fv = 0.01 }
+       > margin p /. Model1.total_clustered p)
+
+let test_model1_c3_effect () =
+  (* Figure 4: raising C3 penalizes immediate only, making deferred win
+     somewhere. *)
+  let base = { p with Params.c3 = 2. } in
+  close ~tolerance:1e-9 "deferred insensitive to C3" (Model1.total_deferred p)
+    (Model1.total_deferred base);
+  Alcotest.(check bool) "immediate hurt by C3" true
+    (Model1.total_immediate base > Model1.total_immediate p);
+  (* at high selectivity and high P, deferred beats immediate when C3 = 2 *)
+  let high = Params.with_update_probability { base with Params.f = 0.9 } 0.9 in
+  Alcotest.(check bool) "deferred wins somewhere with C3=2" true
+    (Model1.total_deferred high < Model1.total_immediate high)
+
+(* ------------------------------------------------------------------ *)
+(* Model 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_model2_components () =
+  (* C_query2 = 30*2 + 30*(.1*.1*2500) + 1000 = 60 + 750 + 1000 = 1810 *)
+  close "C_query2" 1810. (Model2.c_query p);
+  (* loopjoin = 30*ceil(log200 1e5) + 30*25 + 30*y(10000,250,1000) + 2000;
+     y(10000,250,1000) ~ 245.6 -> total ~ 10187 *)
+  let loopjoin = Model2.total_loopjoin p in
+  Alcotest.(check bool) "loopjoin ~ 10000" true (loopjoin > 9000. && loopjoin < 11500.)
+
+let test_model2_figure5_shape () =
+  (* Materialization wins at moderate P; query modification becomes more
+     attractive as P grows (its cost is flat while maintenance grows). *)
+  let at prob =
+    let params = Params.with_update_probability p prob in
+    (Model2.total_deferred params, Model2.total_immediate params, Model2.total_loopjoin params)
+  in
+  let d1, i1, l1 = at 0.2 in
+  Alcotest.(check bool) "materialization wins at P=.2" true (d1 < l1 && i1 < l1);
+  let d9, i9, l9 = at 0.97 in
+  Alcotest.(check bool) "qmod competitive at very high P" true (l9 < d9 || l9 < i9);
+  Alcotest.(check bool) "loopjoin flat in P" true (Float.abs (l9 -. l1) < 1e-6);
+  (* maintenance cost grows monotonically with P *)
+  let d5, i5, _ = at 0.5 in
+  Alcotest.(check bool) "deferred grows" true (d1 < d5 && d5 < d9);
+  Alcotest.(check bool) "immediate grows" true (i1 < i5 && i5 < i9)
+
+let test_model2_vs_model1_contrast () =
+  (* §3.5: "when the view joins data from more than one relation,
+     incremental view maintenance performs better relative to query
+     modification" — at defaults materialization wins for Model 2 but loses
+     for Model 1. *)
+  Alcotest.(check bool) "model1: qmod best at defaults" true
+    (Model1.total_clustered p < Model1.total_deferred p
+    && Model1.total_clustered p < Model1.total_immediate p);
+  Alcotest.(check bool) "model2: materialization best at defaults" true
+    (Model2.total_deferred p < Model2.total_loopjoin p
+    && Model2.total_immediate p < Model2.total_loopjoin p)
+
+(* ------------------------------------------------------------------ *)
+(* Model 3                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_model3_components () =
+  close "C_query3" 30. (Model3.c_query p);
+  (* C_def_refresh3 = 30*(1-.9^50) ~ 30*(1-0.00515) ~ 29.85 *)
+  close ~tolerance:0.01 "C_def_refresh3" 29.85 (Model3.c_def_refresh p);
+  (* recompute = clustered with fv=1: 30*2500*.1 + 100000*.1 = 17500 *)
+  close "recompute3" 17500. (Model3.total_recompute p);
+  Alcotest.(check bool) "figure 8: maintenance far cheaper" true
+    (Model3.total_immediate p < Model3.total_recompute p /. 50.)
+
+let test_model3_figure8_shape () =
+  (* Cost vs l: maintenance grows with l (while recompute is flat), and for
+     small l it is a tiny fraction of recomputation. *)
+  let costs l =
+    let params = { p with Params.l_per_txn = l } in
+    (Model3.total_deferred params, Model3.total_immediate params, Model3.total_recompute params)
+  in
+  let d10, i10, r10 = costs 10. in
+  let d100, i100, r100 = costs 100. in
+  let d1000, i1000, r1000 = costs 1000. in
+  Alcotest.(check bool) "recompute flat" true (r10 = r100 && r100 = r1000);
+  Alcotest.(check bool) "deferred grows with l" true (d10 < d100 && d100 < d1000);
+  Alcotest.(check bool) "immediate grows with l" true (i10 <= i100 && i100 <= i1000);
+  Alcotest.(check bool) "small l: tiny fraction" true (i10 < r10 /. 100.)
+
+(* ------------------------------------------------------------------ *)
+(* Regions and crossovers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_argmin () =
+  Alcotest.(check string) "picks minimum" "b"
+    (fst (Regions.argmin [ ("a", 3.); ("b", 1.); ("c", 2.) ]));
+  match Regions.argmin [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty argmin accepted"
+
+let test_best_at_defaults () =
+  Alcotest.(check string) "model1 winner" "clustered" (fst (Regions.best_model1 p));
+  Alcotest.(check string) "model2 winner" "immediate" (fst (Regions.best_model2 p));
+  Alcotest.(check string) "model3 winner" "immediate" (fst (Regions.best_model3 p))
+
+let test_region_figure2_properties () =
+  (* Figure 2 (fv=.1): deferred never wins with C3=1; sequential never wins;
+     clustered dominates a large area. *)
+  let winners = ref [] in
+  List.iter
+    (fun prob ->
+      List.iter
+        (fun f ->
+          winners := Regions.classify ~best:Regions.best_model1 ~base:p ~p:prob ~f :: !winners)
+        [ 0.02; 0.1; 0.3; 0.5; 0.8 ])
+    [ 0.05; 0.2; 0.4; 0.6; 0.8; 0.95 ];
+  Alcotest.(check bool) "deferred never best (C3=1, fv=.1)" true
+    (not (List.mem "deferred" !winners));
+  Alcotest.(check bool) "sequential never best" true (not (List.mem "sequential" !winners));
+  Alcotest.(check bool) "clustered wins somewhere" true (List.mem "clustered" !winners)
+
+let test_region_figure4_properties () =
+  (* Figure 4 (C3=2): the cost of the materialization methods is very
+     sensitive to the A/D set overhead.  In our reconstruction the region
+     where deferred beats immediate strictly grows when C3 doubles (the
+     paper's Figure 4 additionally shows deferred becoming globally best in a
+     sliver; with our C_AD reconstruction clustered query modification keeps
+     that sliver — see EXPERIMENTS.md). *)
+  let grid = [ 0.3; 0.5; 0.7; 0.9; 0.95 ] and fs = [ 0.1; 0.3; 0.5; 0.8; 1.0 ] in
+  let deferred_beats_immediate c3 =
+    let base = { p with Params.c3 } in
+    List.fold_left
+      (fun acc prob ->
+        List.fold_left
+          (fun acc f ->
+            let params = Params.with_update_probability { base with Params.f } prob in
+            if Model1.total_deferred params < Model1.total_immediate params then acc + 1
+            else acc)
+          acc fs)
+      0 grid
+  in
+  let at1 = deferred_beats_immediate 1. and at2 = deferred_beats_immediate 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "deferred-over-immediate region grows with C3 (%d -> %d)" at1 at2)
+    true (at2 > at1);
+  Alcotest.(check bool) "deferred beats immediate somewhere at C3=2" true (at2 > 0)
+
+let test_crossover_bisection () =
+  (match Regions.crossover ~lo:0. ~hi:4. (fun x -> x -. 3.) with
+  | Some root -> close ~tolerance:1e-6 "root found" 3. root
+  | None -> Alcotest.fail "no root");
+  Alcotest.(check bool) "no sign change -> None" true
+    (Option.is_none (Regions.crossover ~lo:0. ~hi:1. (fun _ -> 1.)))
+
+let test_fig9_closed_form_vs_bisection () =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun l ->
+          let params = { p with Params.f } in
+          let closed = Regions.fig9_equal_cost_p params ~l in
+          if closed > 0.0002 && closed < 0.9998 then begin
+            let gap prob =
+              let pp =
+                Params.with_update_probability { params with Params.l_per_txn = l } prob
+              in
+              Model3.total_immediate pp -. Model3.total_recompute pp
+            in
+            match Regions.crossover ~lo:0.0001 ~hi:0.9999 gap with
+            | Some numeric -> close ~tolerance:1e-3 "closed form = bisection" numeric closed
+            | None -> Alcotest.failf "no numeric crossover for f=%g l=%g" f l
+          end)
+        [ 1.; 10.; 100.; 1000. ])
+    [ 0.001; 0.01; 0.1; 1. ]
+
+let test_fig9_monotonicity () =
+  (* Figure 9: the equal-cost P falls as l grows, and larger f raises the
+     curve (maintenance attractive for a wider region). *)
+  let curve f l = Regions.fig9_equal_cost_p { p with Params.f } ~l in
+  Alcotest.(check bool) "P* decreasing in l" true
+    (curve 0.1 1. >= curve 0.1 100. && curve 0.1 100. >= curve 0.1 10000.);
+  Alcotest.(check bool) "larger f raises the curve" true
+    (curve 1. 100. >= curve 0.01 100.)
+
+let test_emp_dept_case () =
+  (* §3.5: f=1, l=1, fv=1/(fN): query modification wins for P >= ~.08. *)
+  (match Regions.emp_dept_crossover p with
+  | Some crossover ->
+      Alcotest.(check bool)
+        (Printf.sprintf "crossover near .08 (got %.3f)" crossover)
+        true
+        (crossover > 0.01 && crossover < 0.25)
+  | None -> Alcotest.fail "no EMP-DEPT crossover");
+  let emp = Params.with_update_probability (Regions.emp_dept_params p) 0.3 in
+  Alcotest.(check string) "qmod wins above crossover" "loopjoin"
+    (fst (Regions.best_model2 emp))
+
+(* Property: every total is positive and finite over a wide parameter box. *)
+let prop_totals_sane =
+  let gen =
+    QCheck.Gen.(
+      let frac = float_bound_inclusive 1. in
+      quad frac (float_range 0.001 1.) (float_range 0.01 1.) (float_range 1. 200.))
+  in
+  QCheck.Test.make ~name:"totals positive and finite" ~count:200 (QCheck.make gen)
+    (fun (prob, f, fv, l) ->
+      let prob = Float.min prob 0.99 in
+      let f = Float.max f 0.001 in
+      let params =
+        Params.with_update_probability { p with Params.f; fv; l_per_txn = l } prob
+      in
+      List.for_all
+        (fun (_, c) -> Float.is_finite c && c >= 0.)
+        (Model1.all params @ Model2.all params @ Model3.all params))
+
+(* Property: maintenance totals are monotone in P (more updates, more cost). *)
+let prop_monotone_in_p =
+  QCheck.Test.make ~name:"maintenance cost monotone in P" ~count:100
+    (QCheck.pair (QCheck.float_range 0.01 0.90) (QCheck.float_range 0.01 0.08))
+    (fun (p1, dp) ->
+      let a = Params.with_update_probability p p1 in
+      let b = Params.with_update_probability p (p1 +. dp) in
+      Model1.total_deferred a <= Model1.total_deferred b +. 1e-6
+      && Model1.total_immediate a <= Model1.total_immediate b +. 1e-6
+      && Model2.total_deferred a <= Model2.total_deferred b +. 1e-6
+      && Model3.total_immediate a <= Model3.total_immediate b +. 1e-6)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "cost.params",
+      [
+        Alcotest.test_case "derived quantities" `Quick test_derived_quantities;
+        Alcotest.test_case "with_update_probability" `Quick test_with_update_probability;
+        Alcotest.test_case "validate" `Quick test_validate;
+        Alcotest.test_case "table rows" `Quick test_rows;
+      ] );
+    ( "cost.model1",
+      [
+        Alcotest.test_case "component formulas" `Quick test_model1_components;
+        Alcotest.test_case "totals consistent" `Quick test_model1_totals_consistent;
+        Alcotest.test_case "Figure 1 shape" `Quick test_model1_figure1_shape;
+        Alcotest.test_case "fv effect (Figure 3)" `Quick test_model1_fv_effect;
+        Alcotest.test_case "C3 effect (Figure 4)" `Quick test_model1_c3_effect;
+      ] );
+    ( "cost.model2",
+      [
+        Alcotest.test_case "component formulas" `Quick test_model2_components;
+        Alcotest.test_case "Figure 5 shape" `Quick test_model2_figure5_shape;
+        Alcotest.test_case "Model 1 vs Model 2 contrast" `Quick test_model2_vs_model1_contrast;
+      ] );
+    ( "cost.model3",
+      [
+        Alcotest.test_case "component formulas" `Quick test_model3_components;
+        Alcotest.test_case "Figure 8 shape" `Quick test_model3_figure8_shape;
+      ] );
+    ( "cost.regions",
+      [
+        Alcotest.test_case "argmin" `Quick test_argmin;
+        Alcotest.test_case "winners at defaults" `Quick test_best_at_defaults;
+        Alcotest.test_case "Figure 2 properties" `Quick test_region_figure2_properties;
+        Alcotest.test_case "Figure 4 properties" `Quick test_region_figure4_properties;
+        Alcotest.test_case "bisection" `Quick test_crossover_bisection;
+        Alcotest.test_case "Figure 9 closed form" `Quick test_fig9_closed_form_vs_bisection;
+        Alcotest.test_case "Figure 9 monotonicity" `Quick test_fig9_monotonicity;
+        Alcotest.test_case "EMP-DEPT case" `Quick test_emp_dept_case;
+      ]
+      @ qcheck [ prop_totals_sane; prop_monotone_in_p ] );
+  ]

@@ -1,0 +1,226 @@
+open Core
+
+(* End-to-end through the database facade: every statement kind, consistency
+   of views under every strategy, aggregate maintenance, staleness of
+   snapshots, and error paths. *)
+
+let db () = Db.create ()
+
+let run db statement =
+  match Db.exec db statement with
+  | Ok result -> result
+  | Error message -> Alcotest.failf "%s: %s" statement message
+
+let expect_error db statement =
+  match Db.exec db statement with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "accepted: %s" statement
+
+let rows = function
+  | Db.Rows rows -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let scalar = function
+  | Db.Scalar v -> v
+  | _ -> Alcotest.fail "expected a scalar"
+
+let setup_emp db' =
+  ignore (run db' "create table emp (eno int key, salary float, dno int, name string) size 100");
+  ignore (run db' "create table dept (dno int key, budget float, dname string) size 100");
+  List.iter
+    (fun s -> ignore (run db' s))
+    [
+      "insert into dept values (1, 1000, 'engineering')";
+      "insert into dept values (2, 500, 'sales')";
+      "insert into emp values (10, 120, 1, 'alice')";
+      "insert into emp values (11, 95, 1, 'bob')";
+      "insert into emp values (12, 80, 2, 'carol')";
+    ]
+
+let test_table_lifecycle () =
+  let db' = db () in
+  setup_emp db';
+  Alcotest.(check (list string)) "tables" [ "dept"; "emp" ] (Db.table_names db');
+  Alcotest.(check int) "table scan" 3 (List.length (rows (run db' "select * from emp")));
+  Alcotest.(check int) "range scan" 2
+    (List.length (rows (run db' "select * from emp where salary between 90 and 200")));
+  expect_error db' "create table emp (x int) size 10";
+  expect_error db' "insert into emp values (1, 2)";
+  expect_error db' "insert into missing values (1)";
+  expect_error db' "create table two_keys (a int key, b int key) size 10"
+
+let test_sp_view_strategies_agree () =
+  (* one database per strategy, same statements, same answers *)
+  let strategies = [ "immediate"; "deferred"; "clustered"; "unclustered"; "sequential"; "recompute" ] in
+  let answers =
+    List.map
+      (fun strategy ->
+        let db' = db () in
+        setup_emp db';
+        ignore
+          (run db'
+             (Printf.sprintf
+                "define view wellpaid (salary, name) from emp where salary >= 90 \
+                 cluster on salary using %s"
+                strategy));
+        ignore (run db' "update emp set salary = 85 where name = 'bob'");
+        ignore (run db' "insert into emp values (13, 200, 2, 'dave')");
+        ignore (run db' "delete from emp where name = 'alice'");
+        let result = rows (run db' "select * from wellpaid") in
+        ( strategy,
+          List.sort compare
+            (List.map (fun (t, c) -> (Tuple.value_key t, c)) result) ))
+      strategies
+  in
+  match answers with
+  | (_, reference) :: rest ->
+      List.iter
+        (fun (strategy, result) ->
+          Alcotest.(check (list (pair string int))) (strategy ^ " agrees") reference result)
+        rest;
+      Alcotest.(check int) "one wellpaid employee left" 1 (List.length reference)
+  | [] -> ()
+
+let test_join_view_bilateral_updates () =
+  let db' = db () in
+  setup_emp db';
+  ignore
+    (run db'
+       "define view empdept (emp.salary, emp.name, dept.dname) from emp join dept on \
+        emp.dno = dept.dno where emp.salary > 0 cluster on salary");
+  Alcotest.(check int) "initial join" 3 (List.length (rows (run db' "select * from empdept")));
+  (* right-side update: department renamed; all joined tuples move *)
+  ignore (run db' "update dept set dname = 'eng' where dno = 1");
+  let renamed = rows (run db' "select * from empdept") in
+  Alcotest.(check int) "still 3" 3 (List.length renamed);
+  Alcotest.(check int) "renamed rows" 2
+    (List.length
+       (List.filter (fun (t, _) -> Value.equal (Value.Str "eng") (Tuple.get t 2)) renamed));
+  (* right-side delete removes the joining employees *)
+  ignore (run db' "delete from dept where dno = 2");
+  Alcotest.(check int) "sales employees gone" 2
+    (List.length (rows (run db' "select * from empdept")))
+
+let test_aggregates_track_recompute () =
+  let db' = db () in
+  setup_emp db';
+  ignore (run db' "define aggregate payroll as sum(salary) from emp using immediate");
+  ignore (run db' "define aggregate headcount as count(*) from emp using deferred");
+  ignore (run db' "define aggregate top as max(salary) from emp using recompute");
+  let check_all () =
+    let expected =
+      List.map (fun (t, _) -> Value.as_float (Tuple.get t 1)) (rows (run db' "select * from emp"))
+    in
+    let sum = List.fold_left ( +. ) 0. expected in
+    Alcotest.(check (float 1e-6)) "sum" sum (scalar (run db' "select value from payroll"));
+    Alcotest.(check (float 1e-6)) "count" (float_of_int (List.length expected))
+      (scalar (run db' "select value from headcount"));
+    Alcotest.(check (float 1e-6)) "max" (Stats.maximum expected)
+      (scalar (run db' "select value from top"))
+  in
+  check_all ();
+  ignore (run db' "update emp set salary = 300 where name = 'carol'");
+  check_all ();
+  ignore (run db' "delete from emp where name = 'alice'");
+  check_all ();
+  ignore (run db' "insert into emp values (20, 77, 1, 'erin')");
+  check_all ()
+
+let test_snapshot_view_is_stale () =
+  let db' = db () in
+  setup_emp db';
+  ignore
+    (run db'
+       "define view wellpaid (salary, name) from emp where salary >= 90 cluster on salary \
+        using snapshot");
+  (* a snapshot (period 10) does not see this update yet *)
+  ignore (run db' "insert into emp values (30, 500, 1, 'zoe')");
+  Alcotest.(check int) "stale" 2 (List.length (rows (run db' "select * from wellpaid")));
+  (* ... until enough transactions have passed *)
+  for i = 0 to 9 do
+    ignore (run db' (Printf.sprintf "insert into emp values (%d, 10, 2, 'tmp')" (40 + i)))
+  done;
+  Alcotest.(check int) "refreshed" 3 (List.length (rows (run db' "select * from wellpaid")))
+
+let test_blakeley_via_sql () =
+  let db' = db () in
+  setup_emp db';
+  ignore
+    (run db'
+       "define view empdept (emp.salary, emp.name, dept.dname) from emp join dept on \
+        emp.dno = dept.dno where emp.salary > 0 cluster on salary using blakeley");
+  (* one-sided transactions are fine *)
+  ignore (run db' "update emp set salary = 99 where name = 'bob'");
+  Alcotest.(check int) "still consistent" 3
+    (List.length (rows (run db' "select * from empdept")));
+  (* a two-sided delete needs one statement per side here, so Blakeley's
+     expression survives; the corruption needs a single transaction touching
+     both relations, which the facade's statement-per-transaction model
+     cannot express — exactly why the paper's algebra matters. *)
+  ()
+
+let test_join_strategies_agree () =
+  let outcomes strategy =
+    let db' = db () in
+    setup_emp db';
+    ignore
+      (run db'
+         (Printf.sprintf
+            "define view empdept (emp.salary, emp.name, dept.dname) from emp join dept on \
+             emp.dno = dept.dno where emp.salary > 0 cluster on salary using %s"
+            strategy));
+    ignore (run db' "update emp set salary = 99 where name = 'bob'");
+    ignore (run db' "update dept set dname = 'eng' where dno = 1");
+    ignore (run db' "delete from emp where name = 'carol'");
+    List.sort compare
+      (List.map (fun (t, c) -> (Tuple.value_key t, c)) (rows (run db' "select * from empdept")))
+  in
+  let reference = outcomes "immediate" in
+  Alcotest.(check (list (pair string int))) "loopjoin agrees" reference (outcomes "loopjoin");
+  Alcotest.(check int) "two employees joined" 2 (List.length reference)
+
+let test_query_validation () =
+  let db' = db () in
+  setup_emp db';
+  ignore
+    (run db'
+       "define view wellpaid (salary, name) from emp where salary >= 90 cluster on salary");
+  expect_error db' "select * from wellpaid where name between 'a' and 'z'";
+  expect_error db' "select value from wellpaid";
+  expect_error db' "select value from emp";
+  expect_error db' "define view wellpaid (salary) from emp cluster on salary";
+  expect_error db' "define view v2 (salary) from emp where nope < 1 cluster on salary";
+  expect_error db' "define view v3 (salary) from emp cluster on name";
+  expect_error db' "define aggregate a as sum(*) from emp";
+  expect_error db' "define view j (emp.name) from emp join dept on dept.dno = emp.dno \
+                    cluster on name"
+
+let test_costs_accrue () =
+  let db' = db () in
+  setup_emp db';
+  ignore
+    (run db'
+       "define view wellpaid (salary, name) from emp where salary >= 90 cluster on salary \
+        using deferred");
+  let before = Cost_meter.total_cost ~excluding:[ Cost_meter.Base ] (Db.meter db') in
+  ignore (run db' "update emp set salary = 101 where name = 'carol'");
+  ignore (run db' "select * from wellpaid");
+  let after = Cost_meter.total_cost ~excluding:[ Cost_meter.Base ] (Db.meter db') in
+  Alcotest.(check bool) "screening + refresh + query charged" true (after > before)
+
+let suites =
+  [
+    ( "db",
+      [
+        Alcotest.test_case "table lifecycle" `Quick test_table_lifecycle;
+        Alcotest.test_case "sp view strategies agree" `Quick test_sp_view_strategies_agree;
+        Alcotest.test_case "join view bilateral updates" `Quick
+          test_join_view_bilateral_updates;
+        Alcotest.test_case "aggregates track recompute" `Quick test_aggregates_track_recompute;
+        Alcotest.test_case "snapshot staleness" `Quick test_snapshot_view_is_stale;
+        Alcotest.test_case "blakeley via sql" `Quick test_blakeley_via_sql;
+        Alcotest.test_case "join strategies agree" `Quick test_join_strategies_agree;
+        Alcotest.test_case "query validation" `Quick test_query_validation;
+        Alcotest.test_case "costs accrue" `Quick test_costs_accrue;
+      ] );
+  ]

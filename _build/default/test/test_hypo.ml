@@ -1,0 +1,257 @@
+open Core
+
+let schema =
+  Schema.make ~name:"R"
+    ~columns:
+      Schema.[
+        { name = "id"; ty = T_int };
+        { name = "pval"; ty = T_float };
+        { name = "amount"; ty = T_float };
+      ]
+    ~tuple_bytes:100 ~key:"id"
+
+let tuple ?(tid = Tuple.fresh_tid ()) id pval amount =
+  Tuple.make ~tid [| Value.Int id; Value.Float pval; Value.Float amount |]
+
+let make_hr ?(initial = []) () =
+  let meter = Cost_meter.create () in
+  let disk = Disk.create meter in
+  let base =
+    Btree.create ~disk ~name:"R" ~fanout:8 ~leaf_capacity:4
+      ~key_of:(fun t -> Tuple.get t 1)
+      ()
+  in
+  Btree.bulk_load base initial;
+  let hr = Hr.create ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4 () in
+  Cost_meter.reset meter;
+  (meter, disk, hr)
+
+let ids tuples =
+  List.sort Int.compare (List.map (fun t -> Value.as_int (Tuple.get t 0)) tuples)
+
+let test_insert_visible () =
+  let _, _, hr = make_hr () in
+  Hr.apply_insert hr (tuple 1 0.5 10.) ~marked:true;
+  Hr.apply_insert hr (tuple 2 0.6 20.) ~marked:false;
+  Alcotest.(check (list int)) "both visible" [ 1; 2 ] (ids (Hr.contents_unmetered hr));
+  let a_net, d_net = Hr.net_changes_unmetered hr in
+  Alcotest.(check int) "a_net" 2 (List.length a_net);
+  Alcotest.(check int) "d_net" 0 (List.length d_net);
+  Alcotest.(check bool) "markers preserved" true
+    (List.exists (fun (t, m) -> Value.as_int (Tuple.get t 0) = 1 && m) a_net);
+  Alcotest.(check bool) "unmarked preserved" true
+    (List.exists (fun (t, m) -> Value.as_int (Tuple.get t 0) = 2 && not m) a_net)
+
+let test_delete_of_base_tuple () =
+  let t1 = tuple 1 0.5 10. and t2 = tuple 2 0.6 20. in
+  let _, _, hr = make_hr ~initial:[ t1; t2 ] () in
+  Hr.apply_delete hr t1 ~marked:true;
+  Alcotest.(check (list int)) "t1 gone" [ 2 ] (ids (Hr.contents_unmetered hr));
+  let a_net, d_net = Hr.net_changes_unmetered hr in
+  Alcotest.(check int) "no appends" 0 (List.length a_net);
+  Alcotest.(check (list int)) "d_net has t1" [ 1 ] (ids (List.map fst d_net))
+
+let test_append_then_delete_cancels () =
+  let _, _, hr = make_hr () in
+  let t = tuple 5 0.1 1. in
+  Hr.apply_insert hr t ~marked:true;
+  Hr.apply_delete hr t ~marked:true;
+  let a_net, d_net = Hr.net_changes_unmetered hr in
+  Alcotest.(check int) "a_net empty" 0 (List.length a_net);
+  Alcotest.(check int) "d_net empty" 0 (List.length d_net);
+  Alcotest.(check (list int)) "invisible" [] (ids (Hr.contents_unmetered hr))
+
+let test_update_chain_nets () =
+  (* v0 -> v1 -> v2 within one epoch: net = delete v0, append v2. *)
+  let v0 = tuple ~tid:100 7 0.3 1. in
+  let _, _, hr = make_hr ~initial:[ v0 ] () in
+  let v1 = tuple ~tid:101 7 0.3 2. in
+  let v2 = tuple ~tid:102 7 0.3 3. in
+  Hr.apply_update hr ~old_tuple:v0 ~new_tuple:v1 ~marked_old:true ~marked_new:true;
+  Hr.end_transaction hr;
+  Hr.apply_update hr ~old_tuple:v1 ~new_tuple:v2 ~marked_old:true ~marked_new:true;
+  Hr.end_transaction hr;
+  let a_net, d_net = Hr.net_changes_unmetered hr in
+  Alcotest.(check (list int)) "a_net = v2" [ 102 ] (List.map (fun (t, _) -> Tuple.tid t) a_net);
+  Alcotest.(check (list int)) "d_net = v0" [ 100 ] (List.map (fun (t, _) -> Tuple.tid t) d_net);
+  match Hr.contents_unmetered hr with
+  | [ t ] -> Alcotest.(check (float 0.)) "visible amount" 3. (Value.as_float (Tuple.get t 2))
+  | other -> Alcotest.failf "expected 1 tuple, got %d" (List.length other)
+
+let test_update_io_discipline () =
+  (* §2.2.2: one base read (charged Base) plus one AD page read (the single
+     extra I/O, charged Hr); the page write lands at end_transaction. *)
+  let meter, disk, hr = make_hr ~initial:[ tuple ~tid:100 1 0.5 10. ] () in
+  let writes0 = Disk.physical_writes disk in
+  Hr.apply_update hr ~old_tuple:(tuple ~tid:100 1 0.5 10.)
+    ~new_tuple:(tuple ~tid:101 1 0.5 11.) ~marked_old:true ~marked_new:true;
+  Alcotest.(check int) "one base read" 1 (Cost_meter.reads meter Cost_meter.Base);
+  Alcotest.(check int) "one extra AD read" 1 (Cost_meter.reads meter Cost_meter.Hr);
+  Alcotest.(check int) "no write before txn end" 0 (Disk.physical_writes disk - writes0);
+  Hr.end_transaction hr;
+  Alcotest.(check int) "one write at txn end" 1 (Disk.physical_writes disk - writes0);
+  Alcotest.(check int) "write charged to base" 1 (Cost_meter.writes meter Cost_meter.Base)
+
+let test_ad_page_recharged_across_transactions () =
+  let meter, _, hr = make_hr ~initial:[ tuple ~tid:100 1 0.5 10.; tuple ~tid:200 2 0.6 20. ] () in
+  Hr.apply_update hr ~old_tuple:(tuple ~tid:100 1 0.5 10.)
+    ~new_tuple:(tuple ~tid:101 1 0.5 11.) ~marked_old:true ~marked_new:true;
+  Hr.end_transaction hr;
+  let hr_reads = Cost_meter.reads meter Cost_meter.Hr in
+  Hr.apply_update hr ~old_tuple:(tuple ~tid:200 2 0.6 20.)
+    ~new_tuple:(tuple ~tid:201 2 0.6 21.) ~marked_old:true ~marked_new:true;
+  Hr.end_transaction hr;
+  Alcotest.(check bool) "second transaction recharged" true
+    (Cost_meter.reads meter Cost_meter.Hr > hr_reads)
+
+let test_reset_folds_into_base () =
+  let v0 = tuple ~tid:100 1 0.5 10. in
+  let _, _, hr = make_hr ~initial:[ v0 ] () in
+  Hr.apply_update hr ~old_tuple:v0 ~new_tuple:(tuple ~tid:101 1 0.5 99.) ~marked_old:true
+    ~marked_new:true;
+  Hr.apply_insert hr (tuple ~tid:102 2 0.7 5.) ~marked:false;
+  Hr.end_transaction hr;
+  Hr.reset hr;
+  Alcotest.(check int) "AD empty" 0 (Hr.ad_entry_count hr);
+  let base_tuples = ref [] in
+  Btree.iter_unmetered (Hr.base hr) (fun t -> base_tuples := t :: !base_tuples);
+  Alcotest.(check (list int)) "base updated" [ 1; 2 ] (ids !base_tuples);
+  let amounts = List.sort Float.compare (List.map (fun t -> Value.as_float (Tuple.get t 2)) !base_tuples) in
+  Alcotest.(check (list (float 0.))) "new values in base" [ 5.; 99. ] amounts;
+  (* contents are unchanged by the fold-in *)
+  Alcotest.(check (list int)) "contents stable" [ 1; 2 ] (ids (Hr.contents_unmetered hr))
+
+let test_lookup_read_through () =
+  let v0 = tuple ~tid:100 1 0.5 10. in
+  let _, _, hr = make_hr ~initial:[ v0; tuple ~tid:200 2 0.6 20. ] () in
+  (* untouched tuple comes from base *)
+  (match Hr.lookup hr ~key:(Value.Int 2) with
+  | Some t -> Alcotest.(check int) "base tuple" 200 (Tuple.tid t)
+  | None -> Alcotest.fail "base tuple not found");
+  (* updated tuple: the AD version wins *)
+  Hr.apply_update hr ~old_tuple:v0 ~new_tuple:(tuple ~tid:101 1 0.5 11.) ~marked_old:true
+    ~marked_new:true;
+  (match Hr.lookup hr ~key:(Value.Int 1) with
+  | Some t -> Alcotest.(check int) "AD version" 101 (Tuple.tid t)
+  | None -> Alcotest.fail "updated tuple not found");
+  (* deleted tuple is invisible *)
+  Hr.apply_delete hr (tuple ~tid:200 2 0.6 20.) ~marked:true;
+  (match Hr.lookup hr ~key:(Value.Int 2) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "deleted tuple visible");
+  (* unknown key *)
+  match Hr.lookup hr ~key:(Value.Int 42) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "phantom tuple"
+
+(* Property: HR read-through semantics equal replaying the log on a list. *)
+let prop_hr_equals_log_replay =
+  let op_gen =
+    QCheck.Gen.(
+      list_size (int_range 0 40)
+        (pair (int_range 0 2) (pair (int_range 0 9) (int_range 0 100))))
+  in
+  QCheck.Test.make ~name:"HR contents = log replay" ~count:50 (QCheck.make op_gen)
+    (fun ops ->
+      let _, _, hr = make_hr () in
+      let reference = Hashtbl.create 16 in
+      (* key -> current tuple *)
+      List.iter
+        (fun (kind, (id, amount)) ->
+          let current = Hashtbl.find_opt reference id in
+          match (kind, current) with
+          | 0, None ->
+              let t = tuple id (float_of_int id /. 10.) (float_of_int amount) in
+              Hr.apply_insert hr t ~marked:true;
+              Hashtbl.replace reference id t
+          | 1, Some old_tuple ->
+              let t = tuple id (float_of_int id /. 10.) (float_of_int amount) in
+              Hr.apply_update hr ~old_tuple ~new_tuple:t ~marked_old:true ~marked_new:true;
+              Hashtbl.replace reference id t
+          | 2, Some old_tuple ->
+              Hr.apply_delete hr old_tuple ~marked:true;
+              Hashtbl.remove reference id
+          | _ -> ())
+        ops;
+      Hr.end_transaction hr;
+      let expected = Hashtbl.fold (fun _ t acc -> Tuple.tid t :: acc) reference [] in
+      let actual = List.map Tuple.tid (Hr.contents_unmetered hr) in
+      List.sort Int.compare expected = List.sort Int.compare actual)
+
+(* Property: reset preserves contents and empties AD. *)
+let prop_reset_preserves_contents =
+  QCheck.Test.make ~name:"reset preserves contents" ~count:40
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 20) (pair (int_range 0 9) (int_range 0 50))))
+    (fun updates ->
+      let initial = List.init 10 (fun i -> tuple ~tid:(1000 + i) i (float_of_int i /. 10.) 0.) in
+      let _, _, hr = make_hr ~initial () in
+      let live = Array.of_list initial in
+      List.iter
+        (fun (idx, amount) ->
+          let old_tuple = live.(idx) in
+          let new_tuple =
+            Tuple.with_tid (Tuple.set old_tuple 2 (Value.Float (float_of_int amount)))
+              (Tuple.fresh_tid ())
+          in
+          Hr.apply_update hr ~old_tuple ~new_tuple ~marked_old:true ~marked_new:true;
+          live.(idx) <- new_tuple)
+        updates;
+      Hr.end_transaction hr;
+      let before = List.sort Int.compare (List.map Tuple.tid (Hr.contents_unmetered hr)) in
+      Hr.reset hr;
+      let after = List.sort Int.compare (List.map Tuple.tid (Hr.contents_unmetered hr)) in
+      before = after && Hr.ad_entry_count hr = 0)
+
+let test_lookup_with_tiny_bloom () =
+  (* An 8-bit Bloom filter saturates quickly, forcing the false-positive
+     path (filter says maybe, differential file says no, base answers).
+     Correctness must be unaffected. *)
+  let initial = List.init 30 (fun i -> tuple (500 + i) (float_of_int i /. 30.) 1.) in
+  let meter = Cost_meter.create () in
+  let disk = Disk.create meter in
+  let base =
+    Btree.create ~disk ~name:"R" ~fanout:8 ~leaf_capacity:4
+      ~key_of:(fun t -> Tuple.get t 1)
+      ()
+  in
+  Btree.bulk_load base initial;
+  let hr = Hr.create ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4 ~bloom_bits:8 () in
+  List.iteri
+    (fun i t -> if i < 10 then Hr.apply_insert hr (Tuple.set t 0 (Value.Int i)) ~marked:true)
+    initial;
+  Hr.end_transaction hr;
+  (* base tuples answer through the saturated filter *)
+  List.iter
+    (fun i ->
+      match Hr.lookup hr ~key:(Value.Int (500 + i)) with
+      | Some t -> Alcotest.(check int) "base key found" (500 + i) (Value.as_int (Tuple.get t 0))
+      | None -> Alcotest.failf "base key %d lost behind the bloom filter" (500 + i))
+    [ 0; 7; 15; 29 ];
+  (* absent keys stay absent *)
+  List.iter
+    (fun k ->
+      match Hr.lookup hr ~key:(Value.Int k) with
+      | None -> ()
+      | Some _ -> Alcotest.failf "phantom key %d" k)
+    [ 9999; 777; 123456 ]
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "hypo.hr",
+      [
+        Alcotest.test_case "inserts visible" `Quick test_insert_visible;
+        Alcotest.test_case "delete of base tuple" `Quick test_delete_of_base_tuple;
+        Alcotest.test_case "append-then-delete cancels" `Quick test_append_then_delete_cancels;
+        Alcotest.test_case "update chain nets" `Quick test_update_chain_nets;
+        Alcotest.test_case "3-I/O update discipline" `Quick test_update_io_discipline;
+        Alcotest.test_case "AD recharged across txns" `Quick
+          test_ad_page_recharged_across_transactions;
+        Alcotest.test_case "reset folds into base" `Quick test_reset_folds_into_base;
+        Alcotest.test_case "lookup read-through" `Quick test_lookup_read_through;
+        Alcotest.test_case "lookup with tiny bloom filter" `Quick test_lookup_with_tiny_bloom;
+      ]
+      @ qcheck [ prop_hr_equals_log_replay; prop_reset_preserves_contents ] );
+  ]

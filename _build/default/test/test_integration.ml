@@ -1,0 +1,141 @@
+open Core
+
+(* End-to-end: do the measured simulations agree with the analytic model on
+   the paper's qualitative claims?  (Absolute numbers differ — smaller
+   relations, real B+-trees — but orderings and crossovers should hold.) *)
+
+let scaled = Experiment.scale Params.defaults 0.08 (* N = 8000 *)
+
+let measured_cost results name = (List.assoc name results).Runner.cost_per_query
+
+let test_model1_measured_ordering () =
+  let p = Params.with_update_probability scaled 0.5 in
+  let results = Experiment.measure_model1 p [ `Deferred; `Immediate; `Clustered; `Unclustered ] in
+  let deferred = measured_cost results "deferred" in
+  let immediate = measured_cost results "immediate" in
+  let clustered = measured_cost results "qmod-clustered" in
+  let unclustered = measured_cost results "qmod-unclustered" in
+  (* Figure 1's ordering at P = .5 *)
+  Alcotest.(check bool) "clustered cheapest" true
+    (clustered < deferred && clustered < immediate);
+  Alcotest.(check bool) "unclustered most expensive" true
+    (unclustered > deferred && unclustered > immediate && unclustered > clustered);
+  Alcotest.(check bool) "deferred within 2x of immediate" true
+    (deferred < 2. *. immediate && immediate < 2. *. deferred)
+
+let test_model1_measured_p_trend () =
+  (* Maintenance cost per query grows with P; query modification's does
+     not (same queries, just more base updates which are excluded). *)
+  let run prob which =
+    let p = Params.with_update_probability scaled prob in
+    measured_cost (Experiment.measure_model1 p [ which ])
+      (match which with `Immediate -> "immediate" | `Clustered -> "qmod-clustered" | _ -> "deferred")
+  in
+  Alcotest.(check bool) "immediate grows with P" true
+    (run 0.2 `Immediate < run 0.8 `Immediate);
+  let qm_low = run 0.2 `Clustered and qm_high = run 0.8 `Clustered in
+  Alcotest.(check bool) "qmod roughly flat in P" true
+    (Stats.relative_error ~expected:qm_low ~actual:qm_high < 0.25)
+
+let test_model2_measured_ordering () =
+  let p = Params.with_update_probability scaled 0.3 in
+  let results = Experiment.measure_model2 p [ `Deferred; `Immediate; `Loopjoin ] in
+  let deferred = measured_cost results "deferred" in
+  let immediate = measured_cost results "immediate" in
+  let loopjoin = measured_cost results "qmod-loopjoin" in
+  (* Figure 5: materialization wins for join views at moderate P *)
+  Alcotest.(check bool) "materialization beats loopjoin" true
+    (deferred < loopjoin && immediate < loopjoin)
+
+let test_model3_measured_ordering () =
+  let p = Params.with_update_probability scaled 0.5 in
+  let results = Experiment.measure_model3 p [ `Deferred; `Immediate; `Recompute ] in
+  let deferred = measured_cost results "deferred" in
+  let immediate = measured_cost results "immediate" in
+  let recompute = measured_cost results "recompute" in
+  (* Figure 8: maintaining the aggregate is dramatically cheaper *)
+  Alcotest.(check bool) "immediate << recompute" true (immediate < recompute /. 10.);
+  Alcotest.(check bool) "deferred << recompute" true (deferred < recompute /. 3.)
+
+let test_measured_vs_analytic_magnitude () =
+  (* The simulator and the model should agree within a modest factor for the
+     clustered query-modification strategy, whose formula involves no Yao
+     approximation (reads = view pages + descent, CPU = tuples tested).  The
+     gap is boundary pages + index descent, which the formula ignores; it
+     shrinks as the scanned range grows with N. *)
+  let p = Params.with_update_probability (Experiment.scale Params.defaults 0.3) 0.5 in
+  let measured = measured_cost (Experiment.measure_model1 p [ `Clustered ]) "qmod-clustered" in
+  let analytic = Model1.total_clustered p in
+  Alcotest.(check bool)
+    (Printf.sprintf "clustered measured %.0f ~ analytic %.0f" measured analytic)
+    true
+    (Stats.relative_error ~expected:analytic ~actual:measured < 0.35)
+
+(* ------------------------------------------------------------------ *)
+(* Advisor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_advisor_defaults () =
+  let r = Advisor.recommend Advisor.Selection_projection Params.defaults in
+  Alcotest.(check string) "model1 winner" "clustered" r.Advisor.winner;
+  Alcotest.(check int) "all candidates ranked" 5 (List.length r.Advisor.costs);
+  Alcotest.(check bool) "sorted ascending" true
+    (let costs = List.map snd r.Advisor.costs in
+     List.sort Float.compare costs = costs);
+  let r2 = Advisor.recommend Advisor.Two_way_join Params.defaults in
+  Alcotest.(check bool) "model2 winner materialized" true
+    (r2.Advisor.winner = "immediate" || r2.Advisor.winner = "deferred");
+  let r3 = Advisor.recommend Advisor.Aggregate_over_view Params.defaults in
+  Alcotest.(check string) "model3 winner" "immediate" r3.Advisor.winner
+
+let test_advisor_notes () =
+  let high_p = Params.with_update_probability Params.defaults 0.9 in
+  let r = Advisor.recommend Advisor.Selection_projection high_p in
+  Alcotest.(check bool) "high P note" true
+    (List.exists
+       (fun note -> Astring.String.is_infix ~affix:"update probability" note)
+       r.Advisor.notes)
+
+let test_advisor_matches_measured_winner () =
+  (* At two contrasting parameter points, the advisor's pick and the measured
+     winner coincide. *)
+  let check_point prob =
+    let p = Params.with_update_probability scaled prob in
+    let advised = (Advisor.recommend Advisor.Selection_projection p).Advisor.winner in
+    let results =
+      Experiment.measure_model1 p [ `Deferred; `Immediate; `Clustered; `Unclustered ]
+    in
+    let measured_winner =
+      fst
+        (List.fold_left
+           (fun (bn, bc) (name, m) ->
+             if m.Runner.cost_per_query < bc then (name, m.Runner.cost_per_query)
+             else (bn, bc))
+           ("none", Float.infinity) results)
+    in
+    let rename = function "qmod-clustered" -> "clustered" | "qmod-unclustered" -> "unclustered" | s -> s in
+    Alcotest.(check string)
+      (Printf.sprintf "advisor = measured at P=%.1f" prob)
+      advised (rename measured_winner)
+  in
+  check_point 0.7
+
+let suites =
+  [
+    ( "integration.measured",
+      [
+        Alcotest.test_case "model1 ordering" `Slow test_model1_measured_ordering;
+        Alcotest.test_case "model1 P trend" `Slow test_model1_measured_p_trend;
+        Alcotest.test_case "model2 ordering" `Slow test_model2_measured_ordering;
+        Alcotest.test_case "model3 ordering" `Slow test_model3_measured_ordering;
+        Alcotest.test_case "measured ~ analytic (clustered)" `Slow
+          test_measured_vs_analytic_magnitude;
+      ] );
+    ( "integration.advisor",
+      [
+        Alcotest.test_case "defaults" `Quick test_advisor_defaults;
+        Alcotest.test_case "notes" `Quick test_advisor_notes;
+        Alcotest.test_case "advisor matches measured winner" `Slow
+          test_advisor_matches_measured_winner;
+      ] );
+  ]

@@ -1,0 +1,256 @@
+open Core
+open Core.Predicate
+
+(* The general N-relation differential update of §2.1, checked against full
+   recomputation, plus duplicate-heavy end-to-end runs that stress the
+   duplicate-count machinery through the whole strategy stack. *)
+
+let tuple ?(tid = Tuple.fresh_tid ()) values = Tuple.make ~tid values
+
+(* ------------------------------------------------------------------ *)
+(* N-way differential update                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_nway_empty_sources () =
+  match Delta.nway ~pred:True ~positions:[| 0 |] [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty source list accepted"
+
+let test_nway_single_relation_is_sp () =
+  (* With one relation, nway degenerates to the Model-1 delta. *)
+  let pred = Cmp (Lt, Column 0, Const (Value.Int 5)) in
+  let a = [ tuple [| Value.Int 3 |]; tuple [| Value.Int 7 |] ] in
+  let d = [ tuple [| Value.Int 1 |] ] in
+  let current = [ tuple [| Value.Int 2 |] ] in
+  let delta =
+    Delta.nway ~pred ~positions:[| 0 |]
+      [ { Delta.src_current = current; src_inserted = a; src_deleted = d } ]
+  in
+  Alcotest.(check int) "one insert passes" 1 (List.length delta.ins);
+  Alcotest.(check int) "one delete passes" 1 (List.length delta.del)
+
+let test_nway_three_relations_hand_case () =
+  (* R1(x), R2(x), R3(x); V = σ(R1.x = R2.x and R2.x = R3.x) — a 3-way
+     equi-join via the cross-product predicate. *)
+  let pred = And (Cmp (Eq, Column 0, Column 1), Cmp (Eq, Column 1, Column 2)) in
+  let positions = [| 0 |] in
+  let r v = tuple [| Value.Int v |] in
+  let r1 = [ r 1; r 2 ] and r2 = [ r 1; r 2 ] and r3 = [ r 1 ] in
+  let v0 = Delta.recompute_nway ~pred ~positions [ r1; r2; r3 ] in
+  Alcotest.(check int) "v0 = {1}" 1 (Bag.total_size v0);
+  (* insert 2 into R3: now both 1 and 2 join *)
+  let sources =
+    [
+      { Delta.src_current = r1; src_inserted = []; src_deleted = [] };
+      { Delta.src_current = r2; src_inserted = []; src_deleted = [] };
+      { Delta.src_current = r3; src_inserted = [ r 2 ]; src_deleted = [] };
+    ]
+  in
+  let delta = Delta.nway ~pred ~positions sources in
+  Delta.apply v0 delta;
+  let expected = Delta.recompute_nway ~pred ~positions [ r1; r2; r3 @ [ r 2 ] ] in
+  Alcotest.(check bool) "incremental = recompute" true (Bag.equal v0 expected)
+
+let test_nway_appendix_a_generalizes () =
+  (* The two-sided delete that breaks Blakeley's formulation is handled by
+     the general form: deleting the joining tuples from all three relations
+     in one transaction removes the join result exactly once. *)
+  let pred = And (Cmp (Eq, Column 0, Column 1), Cmp (Eq, Column 1, Column 2)) in
+  let positions = [| 0 |] in
+  let x = tuple [| Value.Int 7 |] in
+  let y = tuple [| Value.Int 7 |] in
+  let z = tuple [| Value.Int 7 |] in
+  let v0 = Delta.recompute_nway ~pred ~positions [ [ x ]; [ y ]; [ z ] ] in
+  Alcotest.(check int) "joined once" 1 (Bag.total_size v0);
+  let gone t = { Delta.src_current = []; src_inserted = []; src_deleted = [ t ] } in
+  let delta = Delta.nway ~pred ~positions [ gone x; gone y; gone z ] in
+  Alcotest.(check int) "exactly one deletion term survives" 1 (List.length delta.del);
+  Delta.apply v0 delta;
+  Alcotest.(check int) "view empty" 0 (Bag.total_size v0);
+  Alcotest.(check bool) "no negative counts" false (Bag.has_negative_count v0)
+
+let nway_gen =
+  (* three small relations of single-int tuples plus delete masks and
+     inserts *)
+  QCheck.Gen.(
+    let relation = list_size (int_range 0 5) (int_range 0 3) in
+    let triple_rel = triple relation relation relation in
+    pair triple_rel (pair (list_size (int_range 0 4) bool) (list_size (int_range 0 3) (int_range 0 3))))
+
+let prop_nway_equals_recompute =
+  QCheck.Test.make ~name:"3-way delta = recompute" ~count:120 (QCheck.make nway_gen)
+    (fun ((l1, l2, l3), (mask, extra)) ->
+      let pred = And (Cmp (Eq, Column 0, Column 1), Cmp (Eq, Column 1, Column 2)) in
+      let positions = [| 0; 2 |] in
+      let mk vs = List.map (fun v -> tuple [| Value.Int v |]) vs in
+      let r1 = mk l1 and r2 = mk l2 and r3 = mk l3 in
+      (* delete a masked subset of r2, insert extras into r1 and r3 *)
+      let deleted =
+        List.filteri (fun i _ -> i < List.length mask && List.nth mask i) r2
+      in
+      let r2' =
+        List.filter (fun t -> not (List.exists (fun d -> Tuple.tid d = Tuple.tid t) deleted)) r2
+      in
+      let a1 = mk extra and a3 = mk extra in
+      let v0 = Delta.recompute_nway ~pred ~positions [ r1; r2; r3 ] in
+      let sources =
+        [
+          { Delta.src_current = r1; src_inserted = a1; src_deleted = [] };
+          { Delta.src_current = r2'; src_inserted = []; src_deleted = deleted };
+          { Delta.src_current = r3; src_inserted = a3; src_deleted = [] };
+        ]
+      in
+      Delta.apply v0 (Delta.nway ~pred ~positions sources);
+      let expected = Delta.recompute_nway ~pred ~positions [ r1 @ a1; r2'; r3 @ a3 ] in
+      Bag.equal v0 expected && not (Bag.has_negative_count v0))
+
+(* ------------------------------------------------------------------ *)
+(* Duplicate-heavy views through the full strategy stack               *)
+(* ------------------------------------------------------------------ *)
+
+let geometry = { Strategy.page_bytes = 400; index_entry_bytes = 20 }
+
+(* A view projecting only a low-cardinality bucket of pval, so projection
+   produces many duplicate view tuples and duplicate counts do real work. *)
+let dup_heavy_view base =
+  View_def.make_sp ~name:"VDUP" ~base
+    ~pred:(Cmp (Lt, Column 1, Const (Value.Float 0.6)))
+    ~project:[ "bucket" ] ~cluster:"bucket"
+
+let dup_heavy_dataset ~rng ~n =
+  let base =
+    Schema.make ~name:"RD"
+      ~columns:
+        Schema.[
+          { name = "id"; ty = T_int };
+          { name = "pval"; ty = T_float };
+          { name = "bucket"; ty = T_int };
+        ]
+      ~tuple_bytes:100 ~key:"id"
+  in
+  let tuples =
+    List.init n (fun id ->
+        tuple
+          [| Value.Int id; Value.Float (Rng.float rng); Value.Int (Rng.int rng 5) |])
+  in
+  (base, tuples)
+
+let test_duplicate_counts_through_strategies () =
+  let rng = Rng.create 71 in
+  let base, initial = dup_heavy_dataset ~rng ~n:150 in
+  let view = dup_heavy_view base in
+  let make ctor =
+    let meter = Cost_meter.create () in
+    let disk = Disk.create meter in
+    ctor { Strategy_sp.disk; geometry; view; initial; ad_buckets = 4 }
+  in
+  let strategies =
+    [
+      ("deferred", make Strategy_sp.deferred);
+      ("immediate", make Strategy_sp.immediate);
+      ("qmod-sequential", make Strategy_sp.qmod_sequential);
+      ("recompute", make Strategy_sp.recompute);
+    ]
+  in
+  (* updates move tuples between buckets AND across the predicate line *)
+  let live = Array.of_list initial in
+  let ops =
+    List.concat
+      (List.init 10 (fun round ->
+           let changes =
+             List.map
+               (fun i ->
+                 let idx = ((round * 13) + (i * 7)) mod Array.length live in
+                 let old_tuple = live.(idx) in
+                 let new_tuple =
+                   Tuple.with_tid
+                     (Tuple.set
+                        (Tuple.set old_tuple 2 (Value.Int (Rng.int rng 5)))
+                        1
+                        (Value.Float (Rng.float rng)))
+                     (Tuple.fresh_tid ())
+                 in
+                 live.(idx) <- new_tuple;
+                 Strategy.modify ~old_tuple ~new_tuple)
+               [ 0; 1; 2 ]
+           in
+           [
+             Stream.Txn changes;
+             Stream.Query { Strategy.q_lo = Value.Int 0; q_hi = Value.Int 4 };
+           ]))
+  in
+  let collect (s : Strategy.t) =
+    List.filter_map
+      (fun op ->
+        match op with
+        | Stream.Txn changes ->
+            s.Strategy.handle_transaction changes;
+            None
+        | Stream.Query q ->
+            let bag = Bag.create () in
+            List.iter
+              (fun (t, c) ->
+                for _ = 1 to c do
+                  ignore (Bag.add bag t)
+                done)
+              (s.Strategy.answer_query q);
+            Some bag)
+      ops
+  in
+  match List.map (fun (name, s) -> (name, collect s)) strategies with
+  | (ref_name, ref_answers) :: rest ->
+      List.iter
+        (fun (name, answers) ->
+          List.iteri
+            (fun i (a, b) ->
+              if not (Bag.equal a b) then
+                Alcotest.failf "query %d: %s vs %s differ" i ref_name name)
+            (List.combine ref_answers answers))
+        rest;
+      (* sanity: duplicates really occurred *)
+      let last = List.nth ref_answers (List.length ref_answers - 1) in
+      Alcotest.(check bool) "duplicate counts in play" true
+        (Bag.total_size last > Bag.distinct_size last)
+  | [] -> ()
+
+let test_materialized_many_duplicates_per_key () =
+  (* hundreds of duplicates of few distinct values on one clustering key *)
+  let meter = Cost_meter.create () in
+  let disk = Disk.create meter in
+  let mat = Materialized.create ~disk ~name:"dup" ~fanout:8 ~leaf_capacity:4 ~cluster_col:0 () in
+  let v k = tuple [| Value.Int k |] in
+  for _ = 1 to 200 do
+    Materialized.apply mat Insert (v 1)
+  done;
+  for _ = 1 to 100 do
+    Materialized.apply mat Insert (v 2)
+  done;
+  Alcotest.(check int) "two distinct" 2 (Materialized.distinct_count mat);
+  Alcotest.(check int) "300 total" 300 (Materialized.total_count mat);
+  for _ = 1 to 200 do
+    Materialized.apply mat Delete (v 1)
+  done;
+  Alcotest.(check int) "one distinct left" 1 (Materialized.distinct_count mat);
+  Alcotest.(check int) "100 total left" 100 (Materialized.total_count mat);
+  Btree.check_invariants (Materialized.tree mat)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "nway.delta",
+      [
+        Alcotest.test_case "empty sources" `Quick test_nway_empty_sources;
+        Alcotest.test_case "single relation = sp" `Quick test_nway_single_relation_is_sp;
+        Alcotest.test_case "3-way hand case" `Quick test_nway_three_relations_hand_case;
+        Alcotest.test_case "Appendix A generalizes" `Quick test_nway_appendix_a_generalizes;
+      ]
+      @ qcheck [ prop_nway_equals_recompute ] );
+    ( "nway.duplicates",
+      [
+        Alcotest.test_case "duplicate-heavy strategy equivalence" `Quick
+          test_duplicate_counts_through_strategies;
+        Alcotest.test_case "many duplicates per key" `Quick
+          test_materialized_many_duplicates_per_key;
+      ] );
+  ]

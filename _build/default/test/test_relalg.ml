@@ -1,0 +1,338 @@
+open Core
+open Core.Predicate
+
+let tuple values = Tuple.make ~tid:(Tuple.fresh_tid ()) values
+
+let pval_lt f = Cmp (Lt, Column 1, Const (Value.Float f))
+
+let sample id pval = tuple [| Value.Int id; Value.Float pval |]
+
+(* ------------------------------------------------------------------ *)
+(* Predicate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_eval_comparisons () =
+  let t = sample 1 0.5 in
+  let cases =
+    [
+      (Cmp (Lt, Column 1, Const (Value.Float 0.6)), true);
+      (Cmp (Lt, Column 1, Const (Value.Float 0.5)), false);
+      (Cmp (Le, Column 1, Const (Value.Float 0.5)), true);
+      (Cmp (Gt, Const (Value.Float 0.6), Column 1), true);
+      (Cmp (Eq, Column 0, Const (Value.Int 1)), true);
+      (Cmp (Ne, Column 0, Const (Value.Int 1)), false);
+      (Cmp (Ge, Column 1, Const (Value.Int 0)), true);
+      (Between (1, Value.Float 0.4, Value.Float 0.6), true);
+      (Between (1, Value.Float 0.6, Value.Float 0.9), false);
+      (True, true);
+      (False, false);
+    ]
+  in
+  List.iteri
+    (fun i (pred, expected) ->
+      Alcotest.(check bool) (Printf.sprintf "case %d" i) expected (eval pred t))
+    cases
+
+let test_eval_boolean_connectives () =
+  let t = sample 1 0.5 in
+  let yes = True and no = False in
+  Alcotest.(check bool) "and" false (eval (And (yes, no)) t);
+  Alcotest.(check bool) "or" true (eval (Or (yes, no)) t);
+  Alcotest.(check bool) "not" true (eval (Not no) t);
+  Alcotest.(check bool) "nested" true (eval (And (yes, Or (no, Not no))) t)
+
+let test_eval3_partial () =
+  let pred = And (pval_lt 0.5, Cmp (Eq, Column 2, Const (Value.Int 7))) in
+  let binding_full i =
+    [| Some (Value.Int 1); Some (Value.Float 0.3); Some (Value.Int 7) |].(i)
+  in
+  let binding_partial i = if i = 1 then Some (Value.Float 0.3) else None in
+  let binding_fails i = if i = 1 then Some (Value.Float 0.9) else None in
+  Alcotest.(check (option bool)) "fully bound" (Some true) (eval3 pred binding_full);
+  Alcotest.(check (option bool)) "partial unknown" None (eval3 pred binding_partial);
+  Alcotest.(check (option bool)) "partially refuted" (Some false) (eval3 pred binding_fails);
+  (* short circuit: And with a false side is false even if other unknown *)
+  Alcotest.(check (option bool)) "and short-circuit" (Some false)
+    (eval3 (And (False, Cmp (Eq, Column 9, Const (Value.Int 0)))) (fun _ -> None));
+  Alcotest.(check (option bool)) "or short-circuit" (Some true)
+    (eval3 (Or (True, Cmp (Eq, Column 9, Const (Value.Int 0)))) (fun _ -> None))
+
+let test_satisfiable_with () =
+  (* Model 2 screening: Cf on R1 plus a join clause over an unbound column. *)
+  let pred = And (pval_lt 0.5, Cmp (Eq, Column 5, Column 6)) in
+  let bind pv i = if i = 1 then Some (Value.Float pv) else None in
+  Alcotest.(check bool) "still satisfiable" true (satisfiable_with pred (bind 0.3));
+  Alcotest.(check bool) "refuted" false (satisfiable_with pred (bind 0.7))
+
+let test_columns_read () =
+  let pred = And (pval_lt 0.5, Or (Cmp (Eq, Column 3, Column 0), Between (2, Value.Int 0, Value.Int 9))) in
+  Alcotest.(check (list int)) "columns" [ 0; 1; 2; 3 ] (columns_read pred)
+
+let interval_testable =
+  Alcotest.testable
+    (fun fmt (iv : interval) ->
+      Format.fprintf fmt "col %d [%s, %s]" iv.column
+        (match iv.lo with Some v -> Value.to_string v | None -> "-inf")
+        (match iv.hi with Some v -> Value.to_string v | None -> "+inf"))
+    (fun a b ->
+      a.column = b.column
+      && Option.equal Value.equal a.lo b.lo
+      && Option.equal Value.equal a.hi b.hi)
+
+let test_tlock_intervals () =
+  let check what pred expected =
+    Alcotest.(check (option (list interval_testable))) what expected (tlock_intervals pred)
+  in
+  check "lt" (pval_lt 0.1) (Some [ { column = 1; lo = None; hi = Some (Value.Float 0.1) } ]);
+  check "const-on-left" (Cmp (Gt, Const (Value.Float 0.1), Column 1))
+    (Some [ { column = 1; lo = None; hi = Some (Value.Float 0.1) } ]);
+  check "eq" (Cmp (Eq, Column 0, Const (Value.Int 5)))
+    (Some [ { column = 0; lo = Some (Value.Int 5); hi = Some (Value.Int 5) } ]);
+  check "between" (Between (2, Value.Int 1, Value.Int 3))
+    (Some [ { column = 2; lo = Some (Value.Int 1); hi = Some (Value.Int 3) } ]);
+  check "and picks one side" (And (pval_lt 0.1, Cmp (Ne, Column 0, Const (Value.Int 1))))
+    (Some [ { column = 1; lo = None; hi = Some (Value.Float 0.1) } ]);
+  check "or unions"
+    (Or (pval_lt 0.1, Cmp (Ge, Column 0, Const (Value.Int 5))))
+    (Some
+       [
+         { column = 1; lo = None; hi = Some (Value.Float 0.1) };
+         { column = 0; lo = Some (Value.Int 5); hi = None };
+       ]);
+  check "column-column not indexable" (Cmp (Eq, Column 0, Column 1)) None;
+  check "ne not indexable" (Cmp (Ne, Column 0, Const (Value.Int 1))) None;
+  check "false locks nothing" False (Some []);
+  check "or with unindexable side"
+    (Or (pval_lt 0.1, Cmp (Eq, Column 0, Column 1)))
+    None
+
+let prop_tlock_cover =
+  (* Soundness: any tuple satisfying the predicate must fall in some
+     interval of the cover. *)
+  let pred_gen =
+    QCheck.Gen.(
+      let cmp =
+        map2
+          (fun op x -> Cmp (op, Column 0, Const (Value.Float x)))
+          (oneofl [ Lt; Le; Gt; Ge; Eq ])
+          (float_bound_inclusive 1.)
+      in
+      let between =
+        map2
+          (fun a b -> Between (0, Value.Float (Float.min a b), Value.Float (Float.max a b)))
+          (float_bound_inclusive 1.) (float_bound_inclusive 1.)
+      in
+      let leaf = oneof [ cmp; between ] in
+      let rec tree n =
+        if n = 0 then leaf
+        else
+          frequency
+            [
+              (2, leaf);
+              (1, map2 (fun a b -> And (a, b)) (tree (n - 1)) (tree (n - 1)));
+              (1, map2 (fun a b -> Or (a, b)) (tree (n - 1)) (tree (n - 1)));
+            ]
+      in
+      tree 3)
+  in
+  QCheck.Test.make ~name:"t-lock intervals cover the predicate" ~count:200
+    (QCheck.pair (QCheck.make pred_gen) (QCheck.float_bound_inclusive 1.))
+    (fun (pred, x) ->
+      let t = Tuple.make ~tid:1 [| Value.Float x |] in
+      match tlock_intervals pred with
+      | None -> true
+      | Some intervals ->
+          (not (eval pred t))
+          || List.exists
+               (fun (iv : interval) ->
+                 iv.column = 0
+                 && (match iv.lo with None -> true | Some lo -> Value.compare lo (Value.Float x) <= 0)
+                 && match iv.hi with None -> true | Some hi -> Value.compare (Value.Float x) hi <= 0)
+               intervals)
+
+let test_selectivity () =
+  let check what pred expected =
+    Alcotest.(check (float 1e-9)) what expected (selectivity_on_unit_column pred ~column:1)
+  in
+  check "lt" (pval_lt 0.1) 0.1;
+  check "between" (Between (1, Value.Float 0.2, Value.Float 0.5)) 0.3;
+  check "not" (Not (pval_lt 0.1)) 0.9;
+  check "true" True 1.;
+  check "false" False 0.;
+  check "other column ignored" (Cmp (Lt, Column 0, Const (Value.Int 5))) 1.
+
+(* ------------------------------------------------------------------ *)
+(* Bag                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_bag_counts () =
+  let bag = Bag.create () in
+  let a = sample 1 0.1 and a' = Tuple.with_tid (sample 1 0.1) 999 in
+  Alcotest.(check int) "first add" 1 (Bag.add bag a);
+  Alcotest.(check int) "tid ignored" 2 (Bag.add bag (Tuple.with_tid a' 5));
+  Alcotest.(check int) "count" 2 (Bag.count bag a);
+  Alcotest.(check int) "remove" 1 (Bag.remove bag a);
+  Alcotest.(check int) "remove to zero" 0 (Bag.remove bag a);
+  Alcotest.(check int) "absent after zero" 0 (Bag.count bag a);
+  Alcotest.(check int) "distinct empty" 0 (Bag.distinct_size bag)
+
+let test_bag_negative () =
+  let bag = Bag.create () in
+  let t = sample 1 0.5 in
+  Alcotest.(check int) "remove from empty" (-1) (Bag.remove bag t);
+  Alcotest.(check bool) "negative flagged" true (Bag.has_negative_count bag);
+  Alcotest.(check int) "total ignores negatives" 0 (Bag.total_size bag)
+
+let test_bag_union_diff () =
+  let a = Bag.of_list [ sample 1 0.1; sample 1 0.1; sample 2 0.2 ] in
+  let b = Bag.of_list [ sample 1 0.1; sample 3 0.3 ] in
+  let u = Bag.union a b in
+  Alcotest.(check int) "union count" 3 (Bag.count u (sample 1 0.1));
+  Alcotest.(check int) "union total" 5 (Bag.total_size u);
+  let d = Bag.diff a b in
+  Alcotest.(check int) "diff count" 1 (Bag.count d (sample 1 0.1));
+  Alcotest.(check int) "diff removes absent" (-1) (Bag.count d (sample 3 0.3));
+  Alcotest.(check bool) "diff keeps others" true (Bag.count d (sample 2 0.2) = 1);
+  (* a and b unchanged *)
+  Alcotest.(check int) "a intact" 2 (Bag.count a (sample 1 0.1))
+
+let test_bag_equal () =
+  let a = Bag.of_list [ sample 1 0.1; sample 2 0.2 ] in
+  let b = Bag.of_list [ sample 2 0.2; sample 1 0.1 ] in
+  Alcotest.(check bool) "order independent" true (Bag.equal a b);
+  ignore (Bag.add b (sample 1 0.1));
+  Alcotest.(check bool) "count matters" false (Bag.equal a b)
+
+let tuple_list_gen =
+  QCheck.list_of_size
+    (QCheck.Gen.int_range 0 40)
+    (QCheck.map (fun (i, f) -> sample i (float_of_int f /. 7.))
+       (QCheck.pair (QCheck.int_range 0 5) (QCheck.int_range 0 3)))
+
+let prop_bag_union_comm =
+  QCheck.Test.make ~name:"bag union commutative" ~count:100
+    (QCheck.pair tuple_list_gen tuple_list_gen)
+    (fun (xs, ys) ->
+      Bag.equal (Bag.union (Bag.of_list xs) (Bag.of_list ys))
+        (Bag.union (Bag.of_list ys) (Bag.of_list xs)))
+
+let prop_bag_diff_inverse =
+  QCheck.Test.make ~name:"(a ∪ b) − b = a" ~count:100
+    (QCheck.pair tuple_list_gen tuple_list_gen)
+    (fun (xs, ys) ->
+      let a = Bag.of_list xs and b = Bag.of_list ys in
+      Bag.equal (Bag.diff (Bag.union a b) b) a)
+
+let prop_projection_distributes =
+  (* π distributes over ∪, and over − when the deleted set is drawn from the
+     existing contents — exactly the situation of the differential update
+     algorithm (§2.1, duplicate counts). *)
+  QCheck.Test.make ~name:"projection distributes over union/diff" ~count:100
+    (QCheck.pair tuple_list_gen (QCheck.list QCheck.bool))
+    (fun (xs, keep_flags) ->
+      let ys =
+        (* a sub-multiset of xs chosen by the boolean mask *)
+        List.filteri
+          (fun i _ -> i < List.length keep_flags && List.nth keep_flags i)
+          xs
+      in
+      let project = Ops.project ~positions:[| 1 |] in
+      let direct_union = Bag.of_list (project (Ops.union_all xs ys)) in
+      let split_union = Bag.union (Bag.of_list (project xs)) (Bag.of_list (project ys)) in
+      let direct_diff = Bag.of_list (project (Ops.minus_bag xs ys)) in
+      let split_diff = Bag.diff (Bag.of_list (project xs)) (Bag.of_list (project ys)) in
+      Bag.equal direct_union split_union && Bag.equal direct_diff split_diff)
+
+(* ------------------------------------------------------------------ *)
+(* Ops                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_select_charges_c1 () =
+  let m = Cost_meter.create () in
+  let tuples = List.init 10 (fun i -> sample i (float_of_int i /. 10.)) in
+  let selected = Ops.select ~meter:m (pval_lt 0.45) tuples in
+  Alcotest.(check int) "selected" 5 (List.length selected);
+  Alcotest.(check int) "C1 per tuple" 10 (Cost_meter.predicate_tests m Cost_meter.Base)
+
+let test_project_bag_semantics () =
+  let tuples = [ sample 1 0.5; sample 2 0.5; sample 3 0.7 ] in
+  let projected = Ops.project ~positions:[| 1 |] tuples in
+  Alcotest.(check int) "duplicates preserved" 3 (List.length projected);
+  let bag = Bag.of_list projected in
+  Alcotest.(check int) "two sources for 0.5" 2
+    (Bag.count bag (tuple [| Value.Float 0.5 |]))
+
+let test_equi_join () =
+  let left = [ tuple [| Value.Int 1; Value.Str "a" |]; tuple [| Value.Int 2; Value.Str "b" |] ] in
+  let right =
+    [
+      tuple [| Value.Int 1; Value.Str "x" |];
+      tuple [| Value.Int 1; Value.Str "y" |];
+      tuple [| Value.Int 3; Value.Str "z" |];
+    ]
+  in
+  let joined = Ops.equi_join ~left_col:0 ~right_col:0 left right in
+  Alcotest.(check int) "match count" 2 (List.length joined);
+  List.iter
+    (fun tu ->
+      Alcotest.(check int) "joined arity" 4 (Tuple.arity tu);
+      Alcotest.(check bool) "key 1" true (Value.equal (Value.Int 1) (Tuple.get tu 0)))
+    joined
+
+let test_cross () =
+  let a = [ sample 1 0.1; sample 2 0.2 ] and b = [ sample 3 0.3 ] in
+  Alcotest.(check int) "cross size" 2 (List.length (Ops.cross a b));
+  Alcotest.(check int) "empty cross" 0 (List.length (Ops.cross a []))
+
+let test_minus_bag () =
+  let xs = [ sample 1 0.1; sample 1 0.1; sample 2 0.2 ] in
+  let ys = [ sample 1 0.1 ] in
+  let result = Ops.minus_bag xs ys in
+  Alcotest.(check int) "one occurrence cancelled" 2 (List.length result);
+  let bag = Bag.of_list result in
+  Alcotest.(check int) "remaining dup" 1 (Bag.count bag (sample 1 0.1))
+
+let test_distinct_values () =
+  let xs = [ sample 1 0.1; sample 1 0.1; sample 2 0.2 ] in
+  Alcotest.(check int) "distinct" 2 (List.length (Ops.distinct_values xs))
+
+let test_sp_view () =
+  let tuples = List.init 10 (fun i -> sample i (float_of_int i /. 10.)) in
+  let result = Ops.sp_view (pval_lt 0.35) ~positions:[| 1 |] tuples in
+  Alcotest.(check int) "selected and projected" 4 (List.length result);
+  List.iter (fun tu -> Alcotest.(check int) "arity 1" 1 (Tuple.arity tu)) result
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "relalg.predicate",
+      [
+        Alcotest.test_case "comparisons" `Quick test_eval_comparisons;
+        Alcotest.test_case "connectives" `Quick test_eval_boolean_connectives;
+        Alcotest.test_case "three-valued eval" `Quick test_eval3_partial;
+        Alcotest.test_case "satisfiability screening" `Quick test_satisfiable_with;
+        Alcotest.test_case "columns read" `Quick test_columns_read;
+        Alcotest.test_case "t-lock intervals" `Quick test_tlock_intervals;
+        Alcotest.test_case "selectivity" `Quick test_selectivity;
+      ]
+      @ qcheck [ prop_tlock_cover ] );
+    ( "relalg.bag",
+      [
+        Alcotest.test_case "duplicate counts" `Quick test_bag_counts;
+        Alcotest.test_case "negative counts" `Quick test_bag_negative;
+        Alcotest.test_case "union/diff" `Quick test_bag_union_diff;
+        Alcotest.test_case "equality" `Quick test_bag_equal;
+      ]
+      @ qcheck [ prop_bag_union_comm; prop_bag_diff_inverse; prop_projection_distributes ] );
+    ( "relalg.ops",
+      [
+        Alcotest.test_case "select charges C1" `Quick test_select_charges_c1;
+        Alcotest.test_case "project bag semantics" `Quick test_project_bag_semantics;
+        Alcotest.test_case "equi join" `Quick test_equi_join;
+        Alcotest.test_case "cross" `Quick test_cross;
+        Alcotest.test_case "minus bag" `Quick test_minus_bag;
+        Alcotest.test_case "distinct values" `Quick test_distinct_values;
+        Alcotest.test_case "sp view" `Quick test_sp_view;
+      ] );
+  ]

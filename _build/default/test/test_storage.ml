@@ -1,0 +1,449 @@
+open Core
+
+let v_int i = Value.Int i
+let v_float f = Value.Float f
+let v_str s = Value.Str s
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_ordering () =
+  let check what a b expected =
+    Alcotest.(check int) what expected (compare (Value.compare a b) 0)
+  in
+  check "null lowest" Value.Null (v_int 0) (-1);
+  check "bool below int" (Value.Bool true) (v_int 0) (-1);
+  check "int/float numeric" (v_int 2) (v_float 2.) 0;
+  check "int below float" (v_int 2) (v_float 2.5) (-1);
+  check "float above int" (v_float 2.5) (v_int 2) 1;
+  check "numbers below strings" (v_int 999) (v_str "a") (-1);
+  check "string order" (v_str "a") (v_str "b") (-1)
+
+let test_value_key_string_injective () =
+  let values =
+    [ Value.Null; Value.Bool true; Value.Bool false; v_int 0; v_int 1; v_float 1.5;
+      v_str "x"; v_str "1"; v_str "" ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let same_key = String.equal (Value.key_string a) (Value.key_string b) in
+          Alcotest.(check bool)
+            (Printf.sprintf "keys %s/%s" (Value.to_string a) (Value.to_string b))
+            (Value.equal a b) same_key)
+        values)
+    values
+
+let test_value_coercions () =
+  Alcotest.(check int) "as_int" 5 (Value.as_int (v_int 5));
+  Alcotest.(check (float 0.)) "as_float of int" 5. (Value.as_float (v_int 5));
+  Alcotest.(check (float 0.)) "as_float" 2.5 (Value.as_float (v_float 2.5));
+  (match Value.as_int (v_str "x") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "as_int of string accepted");
+  (* int and equal float share a key (they compare equal) *)
+  Alcotest.(check string) "int/float key unified" (Value.key_string (v_int 3))
+    (Value.key_string (v_float 3.))
+
+let test_value_nan_deterministic () =
+  (* Float.compare-based ordering keeps NaN usable as a key: it equals
+     itself and orders consistently, so structures never lose tuples. *)
+  let nan_v = v_float Float.nan in
+  Alcotest.(check int) "nan = nan" 0 (Value.compare nan_v nan_v);
+  Alcotest.(check bool) "nan below numbers" true (Value.compare nan_v (v_float 0.) < 0);
+  Alcotest.(check bool) "key_string stable" true
+    (String.equal (Value.key_string nan_v) (Value.key_string nan_v))
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_schema () =
+  Schema.make ~name:"R"
+    ~columns:
+      Schema.[
+        { name = "id"; ty = T_int };
+        { name = "pval"; ty = T_float };
+        { name = "amount"; ty = T_float };
+        { name = "note"; ty = T_string };
+      ]
+    ~tuple_bytes:100 ~key:"id"
+
+let test_schema_basics () =
+  let s = sample_schema () in
+  Alcotest.(check int) "arity" 4 (Schema.arity s);
+  Alcotest.(check int) "key index" 0 (Schema.key_index s);
+  Alcotest.(check int) "column index" 1 (Schema.column_index s "pval");
+  Alcotest.(check string) "column name" "amount" (Schema.column_name s 2);
+  (match Schema.column_index s "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "missing column accepted")
+
+let test_schema_validation () =
+  let cols = Schema.[ { name = "a"; ty = T_int } ] in
+  (match Schema.make ~name:"x" ~columns:cols ~tuple_bytes:0 ~key:"a" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero tuple_bytes accepted");
+  (match Schema.make ~name:"x" ~columns:cols ~tuple_bytes:10 ~key:"b" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing key accepted");
+  match
+    Schema.make ~name:"x"
+      ~columns:Schema.[ { name = "a"; ty = T_int }; { name = "a"; ty = T_int } ]
+      ~tuple_bytes:10 ~key:"a"
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate column accepted"
+
+let test_schema_project () =
+  let s = sample_schema () in
+  let p = Schema.project s ~name:"V" ~column_names:[ "pval"; "amount" ] ~key:"pval" in
+  Alcotest.(check int) "projected arity" 2 (Schema.arity p);
+  Alcotest.(check int) "half the bytes" 50 (Schema.tuple_bytes p);
+  Alcotest.(check int) "cluster key" 0 (Schema.key_index p)
+
+let test_schema_join () =
+  let a = sample_schema () in
+  let b =
+    Schema.make ~name:"S"
+      ~columns:Schema.[ { name = "jkey"; ty = T_int }; { name = "w"; ty = T_float } ]
+      ~tuple_bytes:60 ~key:"jkey"
+  in
+  let j = Schema.join a b ~name:"J" ~key:"id" in
+  Alcotest.(check int) "joined arity" 6 (Schema.arity j);
+  Alcotest.(check int) "joined bytes" 160 (Schema.tuple_bytes j)
+
+(* ------------------------------------------------------------------ *)
+(* Tuple                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tuple values = Tuple.make ~tid:(Tuple.fresh_tid ()) values
+
+let test_tuple_basics () =
+  let t = tuple [| v_int 1; v_float 0.5; v_str "a" |] in
+  Alcotest.(check int) "arity" 3 (Tuple.arity t);
+  Alcotest.(check bool) "get" true (Value.equal (v_float 0.5) (Tuple.get t 1));
+  let t2 = Tuple.set t 2 (v_str "b") in
+  Alcotest.(check bool) "set immutable" true (Value.equal (v_str "a") (Tuple.get t 2));
+  Alcotest.(check bool) "set applied" true (Value.equal (v_str "b") (Tuple.get t2 2));
+  Alcotest.(check int) "tid preserved" (Tuple.tid t) (Tuple.tid t2)
+
+let test_tuple_equalities () =
+  let a = Tuple.make ~tid:1 [| v_int 1; v_str "x" |] in
+  let b = Tuple.make ~tid:2 [| v_int 1; v_str "x" |] in
+  Alcotest.(check bool) "value equality ignores tid" true (Tuple.equal_values a b);
+  Alcotest.(check bool) "full equality uses tid" false (Tuple.equal a b);
+  Alcotest.(check bool) "same value_key" true
+    (String.equal (Tuple.value_key a) (Tuple.value_key b));
+  Alcotest.(check int) "compare_values equal" 0 (Tuple.compare_values a b)
+
+let test_tuple_project_concat () =
+  let t = tuple [| v_int 1; v_float 0.5; v_str "a" |] in
+  let p = Tuple.project t [| 2; 0 |] in
+  Alcotest.(check bool) "projection order" true
+    (Value.equal (v_str "a") (Tuple.get p 0) && Value.equal (v_int 1) (Tuple.get p 1));
+  let c = Tuple.concat ~tid:99 t p in
+  Alcotest.(check int) "concat arity" 5 (Tuple.arity c);
+  Alcotest.(check int) "concat tid" 99 (Tuple.tid c)
+
+let test_fresh_tid_monotone () =
+  let a = Tuple.fresh_tid () in
+  let b = Tuple.fresh_tid () in
+  Alcotest.(check bool) "monotone" true (b > a)
+
+(* ------------------------------------------------------------------ *)
+(* Cost meter                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_meter_categories () =
+  let m = Cost_meter.create ~c1:1. ~c2:30. ~c3:2. () in
+  Cost_meter.charge_read m;
+  Cost_meter.with_category m Cost_meter.Query (fun () ->
+      Cost_meter.charge_read m;
+      Cost_meter.charge_write m;
+      Cost_meter.charge_predicate_test m);
+  Cost_meter.with_category m Cost_meter.Overhead (fun () -> Cost_meter.charge_set_overhead m 5);
+  Alcotest.(check int) "base reads" 1 (Cost_meter.reads m Cost_meter.Base);
+  Alcotest.(check int) "query reads" 1 (Cost_meter.reads m Cost_meter.Query);
+  Alcotest.(check (float 1e-9)) "query cost" 61. (Cost_meter.cost m Cost_meter.Query);
+  Alcotest.(check (float 1e-9)) "overhead cost" 10. (Cost_meter.cost m Cost_meter.Overhead);
+  Alcotest.(check (float 1e-9)) "total excl base" 71.
+    (Cost_meter.total_cost ~excluding:[ Cost_meter.Base ] m);
+  Alcotest.(check (float 1e-9)) "total" 101. (Cost_meter.total_cost m)
+
+let test_meter_nesting_and_exceptions () =
+  let m = Cost_meter.create () in
+  (try
+     Cost_meter.with_category m Cost_meter.Refresh (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check string) "category restored after exception" "base"
+    (Cost_meter.category_name (Cost_meter.current_category m));
+  Cost_meter.with_category m Cost_meter.Refresh (fun () ->
+      Cost_meter.with_category m Cost_meter.Screen (fun () ->
+          Cost_meter.charge_predicate_test m);
+      Cost_meter.charge_read m);
+  Alcotest.(check int) "nested inner" 1 (Cost_meter.predicate_tests m Cost_meter.Screen);
+  Alcotest.(check int) "nested outer" 1 (Cost_meter.reads m Cost_meter.Refresh)
+
+let test_meter_snapshot () =
+  let m = Cost_meter.create () in
+  Cost_meter.charge_read m;
+  let snap = Cost_meter.snapshot m in
+  Cost_meter.charge_read m;
+  Cost_meter.charge_read m;
+  Alcotest.(check (float 1e-9)) "since snapshot" 60. (Cost_meter.cost_since m snap ());
+  Cost_meter.reset m;
+  Alcotest.(check (float 1e-9)) "reset" 0. (Cost_meter.total_cost m)
+
+(* ------------------------------------------------------------------ *)
+(* Disk                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_disk_alloc_and_accounting () =
+  let m = Cost_meter.create () in
+  let disk = Disk.create m in
+  let p1 = Disk.alloc disk ~file:"a" in
+  let p2 = Disk.alloc disk ~file:"a" in
+  let p3 = Disk.alloc disk ~file:"b" in
+  Alcotest.(check int) "pages in a" 2 (Disk.pages_in_file disk "a");
+  Alcotest.(check int) "pages in b" 1 (Disk.pages_in_file disk "b");
+  Alcotest.(check int) "allocated" 3 (Disk.allocated_pages disk);
+  Disk.read disk p1;
+  Disk.write disk p2;
+  Alcotest.(check int) "physical reads" 1 (Disk.physical_reads disk);
+  Alcotest.(check int) "physical writes" 1 (Disk.physical_writes disk);
+  Alcotest.(check (float 1e-9)) "charged" 60. (Cost_meter.total_cost m);
+  Alcotest.(check string) "file_of" "b" (Disk.file_of disk p3);
+  Disk.free disk p3;
+  Alcotest.(check int) "freed" 0 (Disk.pages_in_file disk "b");
+  match Disk.read disk p3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "read of freed page accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_hit_miss () =
+  let m = Cost_meter.create () in
+  let disk = Disk.create m in
+  let pool = Buffer_pool.create disk in
+  let p = Disk.alloc disk ~file:"f" in
+  Buffer_pool.read pool p;
+  Buffer_pool.read pool p;
+  Buffer_pool.read pool p;
+  Alcotest.(check int) "one physical read" 1 (Disk.physical_reads disk);
+  Alcotest.(check int) "hits" 2 (Buffer_pool.hits pool);
+  Alcotest.(check int) "misses" 1 (Buffer_pool.misses pool)
+
+let test_pool_write_coalescing () =
+  (* The Yao-function accounting: many writes to one page in a batch cost a
+     single physical write at flush. *)
+  let m = Cost_meter.create () in
+  let disk = Disk.create m in
+  let pool = Buffer_pool.create disk in
+  let p = Disk.alloc disk ~file:"f" in
+  Buffer_pool.read pool p;
+  for _ = 1 to 10 do
+    Buffer_pool.write pool p
+  done;
+  Alcotest.(check int) "no writes before flush" 0 (Disk.physical_writes disk);
+  Buffer_pool.flush pool;
+  Alcotest.(check int) "one write at flush" 1 (Disk.physical_writes disk);
+  Buffer_pool.flush pool;
+  Alcotest.(check int) "clean after flush" 1 (Disk.physical_writes disk)
+
+let test_pool_eviction_writes_dirty () =
+  let m = Cost_meter.create () in
+  let disk = Disk.create m in
+  let pool = Buffer_pool.create ~capacity:2 disk in
+  let pages = List.init 3 (fun _ -> Disk.alloc disk ~file:"f") in
+  (match pages with
+  | [ a; b; c ] ->
+      Buffer_pool.read pool a;
+      Buffer_pool.write pool a;
+      Buffer_pool.read pool b;
+      Buffer_pool.read pool c;
+      (* a is LRU and dirty: eviction must write it *)
+      Alcotest.(check bool) "a evicted" false (Buffer_pool.resident pool a);
+      Alcotest.(check int) "dirty write-back" 1 (Disk.physical_writes disk);
+      Buffer_pool.read pool a;
+      Alcotest.(check int) "re-read charged" 4 (Disk.physical_reads disk)
+  | _ -> assert false)
+
+let test_pool_invalidate_and_discard () =
+  let m = Cost_meter.create () in
+  let disk = Disk.create m in
+  let pool = Buffer_pool.create disk in
+  let p = Disk.alloc disk ~file:"f" in
+  Buffer_pool.write pool p;
+  Buffer_pool.invalidate pool;
+  Alcotest.(check int) "invalidate flushes" 1 (Disk.physical_writes disk);
+  Alcotest.(check int) "empty" 0 (Buffer_pool.resident_count pool);
+  Buffer_pool.write pool p;
+  Buffer_pool.discard pool p;
+  Buffer_pool.flush pool;
+  Alcotest.(check int) "discard drops dirty page" 1 (Disk.physical_writes disk)
+
+let test_pool_lru_order () =
+  let m = Cost_meter.create () in
+  let disk = Disk.create m in
+  let pool = Buffer_pool.create ~capacity:2 disk in
+  let a = Disk.alloc disk ~file:"f" and b = Disk.alloc disk ~file:"f" in
+  let c = Disk.alloc disk ~file:"f" in
+  Buffer_pool.read pool a;
+  Buffer_pool.read pool b;
+  Buffer_pool.read pool a;
+  (* touch a again: b is now LRU *)
+  Buffer_pool.read pool c;
+  Alcotest.(check bool) "a kept (recently used)" true (Buffer_pool.resident pool a);
+  Alcotest.(check bool) "b evicted" false (Buffer_pool.resident pool b)
+
+(* Model-based check: the pool's physical reads equal those of a reference
+   LRU simulation over the same access trace. *)
+let prop_pool_matches_reference_lru =
+  let ops_gen =
+    QCheck.Gen.(
+      pair (int_range 1 6)
+        (list_size (int_range 0 120) (pair bool (int_range 0 11))))
+  in
+  QCheck.Test.make ~name:"pool = reference LRU" ~count:80 (QCheck.make ops_gen)
+    (fun (capacity, ops) ->
+      let m = Cost_meter.create () in
+      let disk = Disk.create m in
+      let pool = Buffer_pool.create ~capacity disk in
+      let pages = Array.init 12 (fun _ -> Disk.alloc disk ~file:"f") in
+      (* reference: list of (page index, dirty) in LRU order, MRU first *)
+      let reference = ref [] in
+      let ref_reads = ref 0 and ref_writes = ref 0 in
+      let touch idx ~dirty =
+        let present = List.mem_assoc idx !reference in
+        let was_dirty = try List.assoc idx !reference with Not_found -> false in
+        if (not present) && not dirty then incr ref_reads;
+        reference := (idx, (was_dirty || dirty)) :: List.remove_assoc idx !reference;
+        if List.length !reference > capacity then begin
+          match List.rev !reference with
+          | (victim, victim_dirty) :: _ ->
+              if victim_dirty then incr ref_writes;
+              reference := List.remove_assoc victim !reference
+          | [] -> ()
+        end
+      in
+      List.iter
+        (fun (is_write, idx) ->
+          if is_write then begin
+            Buffer_pool.write pool pages.(idx);
+            touch idx ~dirty:true
+          end
+          else begin
+            Buffer_pool.read pool pages.(idx);
+            touch idx ~dirty:false
+          end)
+        ops;
+      Disk.physical_reads disk = !ref_reads && Disk.physical_writes disk = !ref_writes)
+
+(* ------------------------------------------------------------------ *)
+(* Heap file                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let heap () =
+  let m = Cost_meter.create () in
+  let disk = Disk.create m in
+  let schema = sample_schema () in
+  (m, disk, Heap_file.create ~disk ~page_bytes:400 schema)
+
+let heap_tuple i =
+  tuple [| v_int i; v_float (float_of_int i /. 100.); v_float 1.; v_str "x" |]
+
+let test_heap_insert_scan () =
+  let _, _, h = heap () in
+  Alcotest.(check int) "tuples per page" 4 (Heap_file.tuples_per_page h);
+  let tuples = List.init 10 heap_tuple in
+  List.iter (fun t -> ignore (Heap_file.insert h t)) tuples;
+  Alcotest.(check int) "count" 10 (Heap_file.tuple_count h);
+  Alcotest.(check int) "pages" 3 (Heap_file.page_count h);
+  let seen = ref 0 in
+  Heap_file.scan h (fun _ -> incr seen);
+  Alcotest.(check int) "scan sees all" 10 !seen
+
+let test_heap_scan_cost () =
+  let m, disk, h = heap () in
+  List.iter (fun t -> ignore (Heap_file.insert h t)) (List.init 12 heap_tuple);
+  Buffer_pool.invalidate (Heap_file.pool h);
+  Cost_meter.reset m;
+  let reads0 = Disk.physical_reads disk in
+  Heap_file.scan h (fun _ -> ());
+  Alcotest.(check int) "one read per page" (Heap_file.page_count h)
+    (Disk.physical_reads disk - reads0)
+
+let test_heap_delete_and_locators () =
+  let _, _, h = heap () in
+  let tuples = List.init 8 heap_tuple in
+  let locators = List.map (fun t -> (Heap_file.insert h t, t)) tuples in
+  let loc, t = List.nth locators 3 in
+  Alcotest.(check bool) "read_at" true (Tuple.equal t (Heap_file.read_at h loc));
+  Heap_file.delete h loc;
+  Alcotest.(check int) "deleted" 7 (Heap_file.tuple_count h);
+  (match Heap_file.delete h loc with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stale locator accepted");
+  (* deleted slot is reused by a later insert *)
+  ignore (Heap_file.insert h (heap_tuple 100));
+  Alcotest.(check int) "page count stable" 2 (Heap_file.page_count h)
+
+let test_heap_find_unmetered () =
+  let _, _, h = heap () in
+  List.iter (fun t -> ignore (Heap_file.insert h t)) (List.init 5 heap_tuple);
+  match Heap_file.find_unmetered h (fun t -> Value.equal (Tuple.get t 0) (v_int 3)) with
+  | Some (_, t) -> Alcotest.(check bool) "found id 3" true (Value.equal (v_int 3) (Tuple.get t 0))
+  | None -> Alcotest.fail "not found"
+
+let suites =
+  [
+    ( "storage.value",
+      [
+        Alcotest.test_case "ordering" `Quick test_value_ordering;
+        Alcotest.test_case "key_string injective" `Quick test_value_key_string_injective;
+        Alcotest.test_case "coercions" `Quick test_value_coercions;
+        Alcotest.test_case "NaN determinism" `Quick test_value_nan_deterministic;
+      ] );
+    ( "storage.schema",
+      [
+        Alcotest.test_case "basics" `Quick test_schema_basics;
+        Alcotest.test_case "validation" `Quick test_schema_validation;
+        Alcotest.test_case "project" `Quick test_schema_project;
+        Alcotest.test_case "join" `Quick test_schema_join;
+      ] );
+    ( "storage.tuple",
+      [
+        Alcotest.test_case "basics" `Quick test_tuple_basics;
+        Alcotest.test_case "equalities" `Quick test_tuple_equalities;
+        Alcotest.test_case "project/concat" `Quick test_tuple_project_concat;
+        Alcotest.test_case "fresh tid monotone" `Quick test_fresh_tid_monotone;
+      ] );
+    ( "storage.meter",
+      [
+        Alcotest.test_case "categories" `Quick test_meter_categories;
+        Alcotest.test_case "nesting and exceptions" `Quick test_meter_nesting_and_exceptions;
+        Alcotest.test_case "snapshot" `Quick test_meter_snapshot;
+      ] );
+    ("storage.disk", [ Alcotest.test_case "alloc/accounting" `Quick test_disk_alloc_and_accounting ]);
+    ( "storage.pool",
+      [
+        Alcotest.test_case "hit/miss" `Quick test_pool_hit_miss;
+        Alcotest.test_case "write coalescing" `Quick test_pool_write_coalescing;
+        Alcotest.test_case "eviction writes dirty" `Quick test_pool_eviction_writes_dirty;
+        Alcotest.test_case "invalidate/discard" `Quick test_pool_invalidate_and_discard;
+        Alcotest.test_case "lru order" `Quick test_pool_lru_order;
+        QCheck_alcotest.to_alcotest prop_pool_matches_reference_lru;
+      ] );
+    ( "storage.heap",
+      [
+        Alcotest.test_case "insert/scan" `Quick test_heap_insert_scan;
+        Alcotest.test_case "scan cost" `Quick test_heap_scan_cost;
+        Alcotest.test_case "delete/locators" `Quick test_heap_delete_and_locators;
+        Alcotest.test_case "find_unmetered" `Quick test_heap_find_unmetered;
+      ] );
+  ]

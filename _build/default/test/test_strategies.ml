@@ -1,0 +1,449 @@
+open Core
+
+(* Every strategy must compute the same view.  We run identical operation
+   streams through all strategies of a model and require: (a) every query
+   answer is the same multiset of view tuples, and (b) the final logical view
+   contents agree.  This exercises the whole stack: screening, hypothetical
+   relations, the differential algorithm, duplicate counts and the stored
+   access methods. *)
+
+let geometry = { Strategy.page_bytes = 400; index_entry_bytes = 20 }
+
+let fresh_world () =
+  let meter = Cost_meter.create () in
+  (meter, Disk.create meter)
+
+let answer_bag answers =
+  let bag = Bag.create () in
+  List.iter
+    (fun (tuple, count) ->
+      for _ = 1 to count do
+        ignore (Bag.add bag tuple)
+      done)
+    answers;
+  bag
+
+let run_collect (strategy : Strategy.t) ops =
+  List.filter_map
+    (fun op ->
+      match op with
+      | Stream.Txn changes ->
+          strategy.Strategy.handle_transaction changes;
+          None
+      | Stream.Query q -> Some (answer_bag (strategy.Strategy.answer_query q)))
+    ops
+
+let check_equivalent ~what strategies_with_answers =
+  match strategies_with_answers with
+  | [] | [ _ ] -> ()
+  | (ref_name, ref_answers) :: rest ->
+      List.iter
+        (fun (name, answers) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s answers as many queries as %s" what name ref_name)
+            (List.length ref_answers) (List.length answers);
+          List.iteri
+            (fun i (a, b) ->
+              if not (Bag.equal a b) then
+                Alcotest.failf "%s: query %d differs between %s and %s" what i ref_name name)
+            (List.combine ref_answers answers))
+        rest
+
+(* ------------------------------------------------------------------ *)
+(* Model 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let model1_env () =
+  let rng = Rng.create 11 in
+  let dataset = Dataset.make_model1 ~rng ~n:300 ~f:0.3 ~s_bytes:100 in
+  let tuples = Array.of_list dataset.m1_tuples in
+  let ops =
+    Stream.generate ~rng ~tuples
+      ~mutate:
+        (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
+      ~k:24 ~l:4 ~q:8
+      ~query_of:(Stream.range_query_of ~lo_max:0.27 ~width:0.03)
+  in
+  (dataset, ops)
+
+let sp_strategies dataset =
+  let make ctor =
+    let _, disk = fresh_world () in
+    ctor
+      {
+        Strategy_sp.disk;
+        geometry;
+        view = dataset.Dataset.m1_view;
+        initial = dataset.Dataset.m1_tuples;
+        ad_buckets = 4;
+      }
+  in
+  [
+    ("deferred", make Strategy_sp.deferred);
+    ("immediate", make Strategy_sp.immediate);
+    ("qmod-clustered", make Strategy_sp.qmod_clustered);
+    ("qmod-unclustered", make Strategy_sp.qmod_unclustered);
+    ("qmod-sequential", make Strategy_sp.qmod_sequential);
+    ("recompute", make Strategy_sp.recompute);
+  ]
+
+let test_model1_equivalence () =
+  let dataset, ops = model1_env () in
+  let strategies = sp_strategies dataset in
+  let results =
+    List.map (fun (name, s) -> (name, run_collect s ops)) strategies
+  in
+  check_equivalent ~what:"model1" results;
+  (* final logical contents *)
+  match List.map (fun (name, s) -> (name, s.Strategy.view_contents ())) strategies with
+  | [] -> ()
+  | (ref_name, ref_bag) :: rest ->
+      List.iter
+        (fun (name, bag) ->
+          if not (Bag.equal ref_bag bag) then
+            Alcotest.failf "final contents differ: %s vs %s" ref_name name)
+        rest
+
+let test_model1_inserts_and_deletes () =
+  let rng = Rng.create 13 in
+  let dataset = Dataset.make_model1 ~rng ~n:100 ~f:0.5 ~s_bytes:100 in
+  let strategies = sp_strategies dataset in
+  let live = Array.of_list dataset.m1_tuples in
+  let fresh i =
+    Tuple.make ~tid:(Tuple.fresh_tid ())
+      [| Value.Int (1000 + i); Value.Float (Rng.float rng); Value.Float 1.; Value.Str "new" |]
+  in
+  let inserted = List.init 10 fresh in
+  let deletions = List.map (fun i -> Strategy.delete live.(i)) [ 0; 5; 10; 15; 20 ] in
+  let ops =
+    [
+      Stream.Txn (List.map Strategy.insert inserted);
+      Stream.Query { Strategy.q_lo = Value.Float 0.; q_hi = Value.Float 0.5 };
+      Stream.Txn deletions;
+      Stream.Txn [ Strategy.delete (List.nth inserted 0) ];
+      Stream.Query { Strategy.q_lo = Value.Float 0.; q_hi = Value.Float 0.5 };
+    ]
+  in
+  let results = List.map (fun (name, s) -> (name, run_collect s ops)) strategies in
+  check_equivalent ~what:"insert/delete" results
+
+let test_model1_empty_view () =
+  (* f = 0: the view is empty and stays empty; nothing crashes. *)
+  let rng = Rng.create 17 in
+  let dataset = Dataset.make_model1 ~rng ~n:50 ~f:0. ~s_bytes:100 in
+  let tuples = Array.of_list dataset.m1_tuples in
+  let ops =
+    Stream.generate ~rng ~tuples
+      ~mutate:(Stream.mutate_column ~col:2 (fun _ -> Value.Float 0.))
+      ~k:4 ~l:2 ~q:3
+      ~query_of:(fun _ -> { Strategy.q_lo = Value.Float 0.; q_hi = Value.Float 0. })
+  in
+  let strategies = sp_strategies dataset in
+  List.iter
+    (fun (name, s) ->
+      ignore (run_collect s ops);
+      Alcotest.(check int) (name ^ " view empty") 0 (Bag.total_size (s.Strategy.view_contents ())))
+    strategies
+
+let test_model1_full_selectivity () =
+  (* f = 1: every tuple is in the view. *)
+  let rng = Rng.create 19 in
+  let dataset = Dataset.make_model1 ~rng ~n:60 ~f:1.0 ~s_bytes:100 in
+  let tuples = Array.of_list dataset.m1_tuples in
+  let ops =
+    Stream.generate ~rng ~tuples
+      ~mutate:(Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 9))))
+      ~k:6 ~l:3 ~q:4
+      ~query_of:(Stream.range_query_of ~lo_max:0.9 ~width:0.1)
+  in
+  let strategies = sp_strategies dataset in
+  let results = List.map (fun (name, s) -> (name, run_collect s ops)) strategies in
+  check_equivalent ~what:"f=1" results;
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check int) (name ^ " full view") 60 (Bag.total_size (s.Strategy.view_contents ())))
+    strategies
+
+let test_model1_cost_structure () =
+  let dataset, ops = model1_env () in
+  let run ctor =
+    let meter, disk = fresh_world () in
+    let env =
+      {
+        Strategy_sp.disk;
+        geometry;
+        view = dataset.Dataset.m1_view;
+        initial = dataset.Dataset.m1_tuples;
+        ad_buckets = 4;
+      }
+    in
+    let s = ctor env in
+    let m = Runner.run ~meter ~disk ~strategy:s ~ops in
+    (m, meter)
+  in
+  let deferred, _ = run Strategy_sp.deferred in
+  let immediate, _ = run Strategy_sp.immediate in
+  let clustered, _ = run Strategy_sp.qmod_clustered in
+  let cost m cat = List.assoc cat m.Runner.category_costs in
+  (* structural expectations from the paper's accounting *)
+  Alcotest.(check bool) "deferred pays HR" true (cost deferred Cost_meter.Hr > 0.);
+  Alcotest.(check (float 1e-9)) "immediate pays no HR" 0. (cost immediate Cost_meter.Hr);
+  Alcotest.(check bool) "immediate pays overhead" true
+    (cost immediate Cost_meter.Overhead > 0.);
+  Alcotest.(check (float 1e-9)) "deferred pays no C3 overhead" 0.
+    (cost deferred Cost_meter.Overhead);
+  Alcotest.(check (float 1e-9)) "qmod never refreshes" 0. (cost clustered Cost_meter.Refresh);
+  Alcotest.(check (float 1e-9)) "qmod never screens" 0. (cost clustered Cost_meter.Screen);
+  Alcotest.(check bool) "both maintenance schemes refresh" true
+    (cost deferred Cost_meter.Refresh > 0. && cost immediate Cost_meter.Refresh > 0.);
+  Alcotest.(check bool) "screen cost equal across maintenance schemes" true
+    (Float.abs (cost deferred Cost_meter.Screen -. cost immediate Cost_meter.Screen) < 1e-9);
+  Alcotest.(check bool) "all queries answered" true
+    (deferred.Runner.tuples_returned = immediate.Runner.tuples_returned
+    && immediate.Runner.tuples_returned = clustered.Runner.tuples_returned)
+
+(* Randomized equivalence across seeds. *)
+let prop_model1_equivalence =
+  QCheck.Test.make ~name:"model1 strategies agree (random seeds)" ~count:8
+    (QCheck.int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let f = 0.2 +. (0.6 *. Rng.float rng) in
+      let dataset = Dataset.make_model1 ~rng ~n:120 ~f ~s_bytes:100 in
+      let tuples = Array.of_list dataset.m1_tuples in
+      let ops =
+        Stream.generate ~rng ~tuples
+          ~mutate:
+            (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 50))))
+          ~k:10 ~l:3 ~q:5
+          ~query_of:(Stream.range_query_of ~lo_max:(0.8 *. f) ~width:(0.2 *. f))
+      in
+      let strategies = sp_strategies dataset in
+      let results = List.map (fun (name, s) -> (name, run_collect s ops)) strategies in
+      match results with
+      | (_, ref_answers) :: rest ->
+          List.for_all
+            (fun (_, answers) ->
+              List.length answers = List.length ref_answers
+              && List.for_all2 Bag.equal ref_answers answers)
+            rest
+      | [] -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Model 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let join_strategies dataset =
+  let make ctor =
+    let _, disk = fresh_world () in
+    ctor
+      {
+        Strategy_join.disk;
+        geometry;
+        view = dataset.Dataset.m2_view;
+        initial_left = dataset.Dataset.m2_left_tuples;
+        initial_right = dataset.Dataset.m2_right_tuples;
+        ad_buckets = 4;
+        r2_buckets = 8;
+      }
+  in
+  [
+    ("deferred", make Strategy_join.deferred);
+    ("immediate", make Strategy_join.immediate);
+    ("qmod-loopjoin", make Strategy_join.qmod_loopjoin);
+  ]
+
+let test_model2_equivalence () =
+  let rng = Rng.create 23 in
+  let dataset = Dataset.make_model2 ~rng ~n:200 ~f:0.4 ~f_r2:0.2 ~s_bytes:100 in
+  let tuples = Array.of_list dataset.m2_left_tuples in
+  let ops =
+    Stream.generate ~rng ~tuples
+      ~mutate:
+        (Stream.mutate_column ~col:3 (fun rng ->
+             Value.Str (Printf.sprintf "c%d" (Rng.int rng 1000))))
+      ~k:16 ~l:4 ~q:6
+      ~query_of:(Stream.range_query_of ~lo_max:0.35 ~width:0.05)
+  in
+  let strategies = join_strategies dataset in
+  let results = List.map (fun (name, s) -> (name, run_collect s ops)) strategies in
+  check_equivalent ~what:"model2" results;
+  match List.map (fun (name, s) -> (name, s.Strategy.view_contents ())) strategies with
+  | (ref_name, ref_bag) :: rest ->
+      List.iter
+        (fun (name, bag) ->
+          if not (Bag.equal ref_bag bag) then
+            Alcotest.failf "final join contents differ: %s vs %s" ref_name name)
+        rest
+  | [] -> ()
+
+let test_model2_join_column_update () =
+  (* Changing the join key must move the view tuple to the new R2 partner. *)
+  let rng = Rng.create 29 in
+  let dataset = Dataset.make_model2 ~rng ~n:50 ~f:1.0 ~f_r2:0.2 ~s_bytes:100 in
+  let strategies = join_strategies dataset in
+  let live = Array.of_list dataset.m2_left_tuples in
+  let retarget idx new_jkey =
+    let old_tuple = live.(idx) in
+    let new_tuple =
+      Tuple.with_tid (Tuple.set old_tuple 2 (Value.Int new_jkey)) (Tuple.fresh_tid ())
+    in
+    live.(idx) <- new_tuple;
+    Strategy.modify ~old_tuple ~new_tuple
+  in
+  (* Build transactions in program order: retarget mutates [live], so the
+     list literal must not interleave its (unspecified-order) element
+     evaluation with it. *)
+  let txn1 = Stream.Txn [ retarget 0 3; retarget 1 3 ] in
+  let txn2 = Stream.Txn [ retarget 0 5 ] in
+  let query = Stream.Query { Strategy.q_lo = Value.Float 0.; q_hi = Value.Float 1. } in
+  let ops = [ txn1; query; txn2; query ] in
+  let results = List.map (fun (name, s) -> (name, run_collect s ops)) strategies in
+  check_equivalent ~what:"join-key update" results
+
+(* ------------------------------------------------------------------ *)
+(* Model 3                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let agg_strategies dataset =
+  let make ctor =
+    let _, disk = fresh_world () in
+    ctor
+      {
+        Strategy_agg.disk;
+        geometry;
+        agg = dataset.Dataset.m3_agg;
+        initial = dataset.Dataset.m3_tuples;
+        ad_buckets = 4;
+      }
+  in
+  [
+    ("deferred", make Strategy_agg.deferred);
+    ("immediate", make Strategy_agg.immediate);
+    ("recompute", make Strategy_agg.recompute);
+  ]
+
+let scalar_answers (strategy : Strategy.t) ops =
+  List.filter_map
+    (fun op ->
+      match op with
+      | Stream.Txn changes ->
+          strategy.Strategy.handle_transaction changes;
+          None
+      | Stream.Query _ -> Some (strategy.Strategy.scalar_query ()))
+    ops
+
+let test_model3_equivalence () =
+  let rng = Rng.create 31 in
+  let dataset = Dataset.make_model3 ~rng ~n:150 ~f:0.4 ~s_bytes:100 ~kind:(`Sum "amount") in
+  let tuples = Array.of_list dataset.m3_tuples in
+  let ops =
+    Stream.generate ~rng ~tuples
+      ~mutate:
+        (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
+      ~k:12 ~l:4 ~q:6
+      ~query_of:(Stream.range_query_of ~lo_max:0.3 ~width:0.1)
+  in
+  let strategies = agg_strategies dataset in
+  let results = List.map (fun (name, s) -> (name, scalar_answers s ops)) strategies in
+  match results with
+  | (ref_name, ref_answers) :: rest ->
+      List.iter
+        (fun (name, answers) ->
+          List.iteri
+            (fun i (a, b) ->
+              if Float.abs (a -. b) > 1e-6 then
+                Alcotest.failf "query %d: %s=%f %s=%f" i ref_name a name b)
+            (List.combine ref_answers answers))
+        rest
+  | [] -> ()
+
+let test_model3_kinds () =
+  List.iter
+    (fun kind ->
+      let rng = Rng.create 37 in
+      let dataset = Dataset.make_model3 ~rng ~n:80 ~f:0.5 ~s_bytes:100 ~kind in
+      let tuples = Array.of_list dataset.m3_tuples in
+      let ops =
+        Stream.generate ~rng ~tuples
+          ~mutate:
+            (Stream.mutate_column ~col:2 (fun rng ->
+                 Value.Float (float_of_int (Rng.int rng 100))))
+          ~k:6 ~l:3 ~q:4
+          ~query_of:(Stream.range_query_of ~lo_max:0.4 ~width:0.1)
+      in
+      let strategies = agg_strategies dataset in
+      let results = List.map (fun (name, s) -> (name, scalar_answers s ops)) strategies in
+      match results with
+      | (_, ref_answers) :: rest ->
+          List.iter
+            (fun (name, answers) ->
+              List.iteri
+                (fun i (a, b) ->
+                  let both_nan = Float.is_nan a && Float.is_nan b in
+                  if (not both_nan) && Float.abs (a -. b) > 1e-6 then
+                    Alcotest.failf "%s query %d differs (%f vs %f)" name i a b)
+                (List.combine ref_answers answers))
+            rest
+      | [] -> ())
+    [ `Count; `Sum "amount"; `Avg "amount"; `Variance "amount"; `Min "amount"; `Max "amount" ]
+
+let test_model3_cost_structure () =
+  let rng = Rng.create 41 in
+  let dataset = Dataset.make_model3 ~rng ~n:200 ~f:0.3 ~s_bytes:100 ~kind:(`Sum "amount") in
+  let tuples = Array.of_list dataset.m3_tuples in
+  let ops =
+    Stream.generate ~rng ~tuples
+      ~mutate:
+        (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
+      ~k:10 ~l:3 ~q:5
+      ~query_of:(Stream.range_query_of ~lo_max:0.2 ~width:0.1)
+  in
+  let run ctor =
+    let meter, disk = fresh_world () in
+    let env =
+      {
+        Strategy_agg.disk;
+        geometry;
+        agg = dataset.Dataset.m3_agg;
+        initial = dataset.Dataset.m3_tuples;
+        ad_buckets = 4;
+      }
+    in
+    Runner.run ~meter ~disk ~strategy:(ctor env) ~ops
+  in
+  let deferred = run Strategy_agg.deferred in
+  let immediate = run Strategy_agg.immediate in
+  let recompute = run Strategy_agg.recompute in
+  (* Figure 8's shape: maintaining the aggregate is far cheaper than
+     recomputing it (the gap grows with relation size; this is a tiny one). *)
+  Alcotest.(check bool) "immediate beats recompute" true
+    (immediate.Runner.cost_per_query < recompute.Runner.cost_per_query /. 2.);
+  Alcotest.(check bool) "deferred beats recompute" true
+    (deferred.Runner.cost_per_query < recompute.Runner.cost_per_query)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "strategies.model1",
+      [
+        Alcotest.test_case "equivalence on mixed stream" `Quick test_model1_equivalence;
+        Alcotest.test_case "inserts and deletes" `Quick test_model1_inserts_and_deletes;
+        Alcotest.test_case "empty view (f=0)" `Quick test_model1_empty_view;
+        Alcotest.test_case "full view (f=1)" `Quick test_model1_full_selectivity;
+        Alcotest.test_case "cost structure" `Quick test_model1_cost_structure;
+      ]
+      @ qcheck [ prop_model1_equivalence ] );
+    ( "strategies.model2",
+      [
+        Alcotest.test_case "equivalence on mixed stream" `Quick test_model2_equivalence;
+        Alcotest.test_case "join-key updates" `Quick test_model2_join_column_update;
+      ] );
+    ( "strategies.model3",
+      [
+        Alcotest.test_case "equivalence (sum)" `Quick test_model3_equivalence;
+        Alcotest.test_case "all aggregate kinds" `Quick test_model3_kinds;
+        Alcotest.test_case "cost structure (Figure 8 shape)" `Quick test_model3_cost_structure;
+      ] );
+  ]

@@ -1,0 +1,220 @@
+open Core
+
+(* ------------------------------------------------------------------ *)
+(* Dataset                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_model1_dataset () =
+  let rng = Rng.create 1 in
+  let d = Dataset.make_model1 ~rng ~n:1000 ~f:0.25 ~s_bytes:100 in
+  Alcotest.(check int) "n tuples" 1000 (List.length d.m1_tuples);
+  Alcotest.(check int) "schema bytes" 100 (Schema.tuple_bytes d.m1_schema);
+  (* selectivity of the predicate is ~f on the uniform pval column *)
+  let matching =
+    List.length (List.filter (Predicate.eval d.m1_view.sp_pred) d.m1_tuples)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "selectivity ~ f (%d/1000)" matching)
+    true
+    (matching > 180 && matching < 320);
+  (* ids are unique *)
+  let ids = List.map (fun t -> Value.as_int (Tuple.get t 0)) d.m1_tuples in
+  Alcotest.(check int) "unique ids" 1000 (List.length (List.sort_uniq Int.compare ids))
+
+let test_model1_dataset_deterministic () =
+  let make () =
+    let rng = Rng.create 99 in
+    let d = Dataset.make_model1 ~rng ~n:50 ~f:0.5 ~s_bytes:100 in
+    List.map Tuple.value_key d.m1_tuples
+  in
+  Alcotest.(check (list string)) "same data for same seed" (make ()) (make ())
+
+let test_model2_dataset () =
+  let rng = Rng.create 2 in
+  let d = Dataset.make_model2 ~rng ~n:500 ~f:0.3 ~f_r2:0.2 ~s_bytes:100 in
+  Alcotest.(check int) "left size" 500 (List.length d.m2_left_tuples);
+  Alcotest.(check int) "right size" 100 (List.length d.m2_right_tuples);
+  (* R2 keys unique (join on a key field) *)
+  let right_keys = List.map (fun t -> Value.as_int (Tuple.get t 0)) d.m2_right_tuples in
+  Alcotest.(check int) "right keys unique" 100
+    (List.length (List.sort_uniq Int.compare right_keys));
+  (* every left tuple joins exactly one right tuple *)
+  List.iter
+    (fun l ->
+      let jk = Value.as_int (Tuple.get l 2) in
+      if not (List.mem jk right_keys) then Alcotest.failf "dangling jkey %d" jk)
+    d.m2_left_tuples
+
+let test_model3_dataset () =
+  let rng = Rng.create 3 in
+  let d = Dataset.make_model3 ~rng ~n:100 ~f:0.5 ~s_bytes:100 ~kind:(`Avg "amount") in
+  match d.m3_agg.a_kind with
+  | View_def.Avg 2 -> ()
+  | _ -> Alcotest.fail "aggregate kind not resolved to the amount column"
+
+(* ------------------------------------------------------------------ *)
+(* Stream                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let stream_env () =
+  let rng = Rng.create 4 in
+  let d = Dataset.make_model1 ~rng ~n:200 ~f:0.5 ~s_bytes:100 in
+  (rng, Array.of_list d.m1_tuples)
+
+let mutate = Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 10)))
+
+let test_stream_counts () =
+  let rng, tuples = stream_env () in
+  let ops =
+    Stream.generate ~rng ~tuples ~mutate ~k:30 ~l:5 ~q:10
+      ~query_of:(Stream.range_query_of ~lo_max:0.4 ~width:0.05)
+  in
+  let txns, queries = Stream.count_ops ops in
+  Alcotest.(check int) "txn count" 30 txns;
+  Alcotest.(check int) "query count" 10 queries;
+  Alcotest.(check int) "total" 40 (List.length ops);
+  List.iter
+    (fun op ->
+      match op with
+      | Stream.Txn changes -> Alcotest.(check int) "l changes" 5 (List.length changes)
+      | Stream.Query _ -> ())
+    ops
+
+let test_stream_even_interleaving () =
+  let rng, tuples = stream_env () in
+  let ops =
+    Stream.generate ~rng ~tuples ~mutate ~k:30 ~l:2 ~q:10
+      ~query_of:(Stream.range_query_of ~lo_max:0.4 ~width:0.05)
+  in
+  (* exactly k/q transactions between consecutive queries *)
+  let gaps = ref [] in
+  let since = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Stream.Txn _ -> incr since
+      | Stream.Query _ ->
+          gaps := !since :: !gaps;
+          since := 0)
+    ops;
+  List.iter (fun gap -> Alcotest.(check int) "uniform gap" 3 gap) !gaps
+
+let test_stream_modifies_current_version () =
+  let rng, tuples = stream_env () in
+  (* snapshot the initial population before generation mutates the array *)
+  let initial = Array.to_list tuples in
+  let ops =
+    Stream.generate ~rng ~tuples ~mutate ~k:40 ~l:5 ~q:5
+      ~query_of:(Stream.range_query_of ~lo_max:0.4 ~width:0.05)
+  in
+  (* Replaying deletions against a tid set must always find the tuple: every
+     change's [before] is the version produced by the previous change of that
+     id (or the initial one). *)
+  let live = Hashtbl.create 256 in
+  List.iter (fun t -> Hashtbl.replace live (Tuple.tid t) ()) initial;
+  List.iter
+    (fun op ->
+      match op with
+      | Stream.Query _ -> ()
+      | Stream.Txn changes ->
+          List.iter
+            (fun (c : Strategy.change) ->
+              (match c.before with
+              | Some old_tuple ->
+                  if not (Hashtbl.mem live (Tuple.tid old_tuple)) then
+                    Alcotest.fail "change references a stale version";
+                  Hashtbl.remove live (Tuple.tid old_tuple)
+              | None -> ());
+              match c.after with
+              | Some new_tuple -> Hashtbl.replace live (Tuple.tid new_tuple) ()
+              | None -> ())
+            changes)
+    ops
+
+let test_stream_bad_args () =
+  let rng, tuples = stream_env () in
+  match
+    Stream.generate ~rng ~tuples ~mutate ~k:1 ~l:0 ~q:1
+      ~query_of:(Stream.range_query_of ~lo_max:0.4 ~width:0.05)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "l=0 accepted"
+
+let test_range_query_of () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 100 do
+    let q = Stream.range_query_of ~lo_max:0.27 ~width:0.03 rng in
+    let lo = Value.as_float q.Strategy.q_lo and hi = Value.as_float q.Strategy.q_hi in
+    Alcotest.(check (float 1e-9)) "width" 0.03 (hi -. lo);
+    if lo < 0. || lo > 0.27 then Alcotest.failf "lo out of range: %f" lo
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Runner / Experiment                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let small = Experiment.scale Params.defaults 0.01
+
+let test_runner_measurement_fields () =
+  let results = Experiment.measure_model1 small [ `Clustered ] in
+  match results with
+  | [ (name, m) ] ->
+      Alcotest.(check string) "name" "qmod-clustered" name;
+      Alcotest.(check int) "transactions" 100 m.Runner.transactions;
+      Alcotest.(check int) "queries" 100 m.Runner.queries;
+      Alcotest.(check bool) "positive cost" true (m.Runner.cost_per_query > 0.);
+      Alcotest.(check bool) "did I/O" true (m.Runner.physical_reads > 0)
+  | _ -> Alcotest.fail "expected one measurement"
+
+let test_experiment_reproducible () =
+  let run () =
+    List.map (fun (_, m) -> m.Runner.cost_per_query) (Experiment.measure_model1 small [ `Deferred; `Immediate ])
+  in
+  Alcotest.(check (list (float 1e-9))) "same seed, same measurement" (run ()) (run ())
+
+let test_experiment_seed_changes_data () =
+  let c1 = (snd (List.hd (Experiment.measure_model1 ~seed:1 small [ `Clustered ]))).Runner.cost_per_query in
+  let c2 = (snd (List.hd (Experiment.measure_model1 ~seed:2 small [ `Clustered ]))).Runner.cost_per_query in
+  (* different data, almost surely different measured cost *)
+  Alcotest.(check bool) "different seeds differ" true (Float.abs (c1 -. c2) > 1e-12)
+
+let test_scale () =
+  let scaled = Experiment.scale Params.defaults 0.1 in
+  Alcotest.(check (float 1e-9)) "N scaled" 10000. scaled.Params.n_tuples;
+  Alcotest.(check (float 1e-9)) "f kept" 0.1 scaled.Params.f;
+  match Experiment.scale Params.defaults 0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero scale accepted"
+
+let test_ad_buckets_for () =
+  Alcotest.(check int) "2u/T pages" 2 (Experiment.ad_buckets_for Params.defaults);
+  let big = Params.with_update_probability Params.defaults 0.9 in
+  Alcotest.(check int) "scales with u" 12 (Experiment.ad_buckets_for big)
+
+let suites =
+  [
+    ( "workload.dataset",
+      [
+        Alcotest.test_case "model1" `Quick test_model1_dataset;
+        Alcotest.test_case "deterministic" `Quick test_model1_dataset_deterministic;
+        Alcotest.test_case "model2" `Quick test_model2_dataset;
+        Alcotest.test_case "model3" `Quick test_model3_dataset;
+      ] );
+    ( "workload.stream",
+      [
+        Alcotest.test_case "counts" `Quick test_stream_counts;
+        Alcotest.test_case "even interleaving" `Quick test_stream_even_interleaving;
+        Alcotest.test_case "modifies current versions" `Quick
+          test_stream_modifies_current_version;
+        Alcotest.test_case "bad args" `Quick test_stream_bad_args;
+        Alcotest.test_case "range queries" `Quick test_range_query_of;
+      ] );
+    ( "workload.experiment",
+      [
+        Alcotest.test_case "measurement fields" `Quick test_runner_measurement_fields;
+        Alcotest.test_case "reproducible" `Quick test_experiment_reproducible;
+        Alcotest.test_case "seed changes data" `Quick test_experiment_seed_changes_data;
+        Alcotest.test_case "scale" `Quick test_scale;
+        Alcotest.test_case "ad bucket sizing" `Quick test_ad_buckets_for;
+      ] );
+  ]
