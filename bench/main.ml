@@ -7,6 +7,8 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- figure-1 ... -- selected sections
      dune exec bench/main.exe -- --scale 0.2  -- larger measured runs
+     dune exec bench/main.exe -- --json adaptive figure-1-measured
+                                              -- also write BENCH_*.json
 
    See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
    the recorded paper-vs-measured comparison. *)
@@ -16,6 +18,56 @@ open Core
 let default_scale = 1.0
 
 let scale = ref default_scale
+
+let json_enabled = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Hand-rolled JSON (no dependencies)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let j_str s = Printf.sprintf "\"%s\"" (json_escape s)
+let j_num f = if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f else Printf.sprintf "%.6g" f
+let j_int i = string_of_int i
+let j_bool b = if b then "true" else "false"
+let j_arr items = "[" ^ String.concat "," items ^ "]"
+let j_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> j_str k ^ ":" ^ v) fields) ^ "}"
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let json_of_measurement (m : Runner.measurement) =
+  j_obj
+    [
+      ("strategy", j_str m.Runner.strategy_name);
+      ("transactions", j_int m.Runner.transactions);
+      ("queries", j_int m.Runner.queries);
+      ("cost_per_query", j_num m.Runner.cost_per_query);
+      ("physical_reads", j_int m.Runner.physical_reads);
+      ("physical_writes", j_int m.Runner.physical_writes);
+      ( "category_costs",
+        j_obj
+          (List.filter_map
+             (fun (cat, cost) ->
+               if cost > 0. then Some (Cost_meter.category_name cat, j_num cost) else None)
+             m.Runner.category_costs) );
+    ]
 
 let section title =
   let rule = String.make 78 '=' in
@@ -107,13 +159,17 @@ let figure_1_measured () =
     (Printf.sprintf "Figure 1 (measured): simulated engine at N = %.0f"
        (Experiment.scale Params.defaults !scale).Params.n_tuples);
   let headers = [ "P"; "deferred"; "immediate"; "clustered"; "unclustered"; "winner" ] in
-  let rows =
+  let measured =
     List.map
       (fun prob ->
         let p = scaled_params prob in
-        let results =
-          Experiment.measure_model1 p [ `Deferred; `Immediate; `Clustered; `Unclustered ]
-        in
+        ( prob,
+          Experiment.measure_model1 p [ `Deferred; `Immediate; `Clustered; `Unclustered ] ))
+      measured_p_grid
+  in
+  let rows =
+    List.map
+      (fun (prob, results) ->
         let cost name = (List.assoc name results).Runner.cost_per_query in
         let winner =
           fst
@@ -131,9 +187,27 @@ let figure_1_measured () =
           Table.float_cell ~decimals:1 (cost "qmod-unclustered");
           winner;
         ])
-      measured_p_grid
+      measured
   in
-  print_table ~headers rows
+  print_table ~headers rows;
+  if !json_enabled then
+    write_json "BENCH_figures.json"
+      (j_obj
+         [
+           ("figure", j_str "figure-1-measured");
+           ("n_tuples", j_num (Experiment.scale Params.defaults !scale).Params.n_tuples);
+           ( "points",
+             j_arr
+               (List.map
+                  (fun (prob, results) ->
+                    j_obj
+                      [
+                        ("P", j_num prob);
+                        ( "strategies",
+                          j_arr (List.map (fun (_, m) -> json_of_measurement m) results) );
+                      ])
+                  measured) );
+         ])
 
 (* ------------------------------------------------------------------ *)
 (* Figures 2, 3, 4, 6, 7: region maps                                  *)
@@ -651,6 +725,142 @@ let ablation_planner () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive maintenance on a phase-shifting workload                   *)
+(* ------------------------------------------------------------------ *)
+
+let adaptive_bench () =
+  section "Adaptive: phase-shifting workload (update-heavy -> query-heavy)";
+  (* A region-boundary-crossing workload: phase 1 is update-heavy (query
+     modification's region), phase 2 query-heavy (materialization's region).
+     The adaptive strategy starts on query modification and must notice the
+     shift, pay one migration and track the per-phase winner.  Sized at
+     N = 5000 so the cost gap clears the controller's hysteresis margin. *)
+  let p =
+    {
+      (Experiment.scale Params.defaults (Float.min 1. (0.05 *. !scale))) with
+      Params.f = 0.5;
+      fv = 0.5;
+    }
+  in
+  let l = 8 in
+  let phase_specs = [ (120, l, 12); (12, l, 240) ] in
+  let phases =
+    List.map
+      (fun (k, l, q) -> { Experiment.sp_k = k; sp_l = l; sp_q = q; sp_fv = p.Params.fv })
+      phase_specs
+  in
+  let results =
+    Experiment.measure_phased p ~phases ~adaptive_initial:Migrate.Qmod_clustered
+      [ `Clustered; `Deferred; `Immediate; `Adaptive ]
+  in
+  print_table
+    ~headers:[ "strategy"; "phase1 ms/q"; "phase2 ms/q"; "overall ms/q" ]
+    (List.map
+       (fun r ->
+         r.Experiment.ph_name
+         :: (List.map
+               (fun m -> Table.float_cell ~decimals:1 m.Runner.cost_per_query)
+               r.Experiment.ph_per_phase
+            @ [ Table.float_cell ~decimals:1 r.Experiment.ph_overall.Runner.cost_per_query ]))
+       results);
+  let adaptive = List.find (fun r -> r.Experiment.ph_adaptive <> None) results in
+  let statics = List.filter (fun r -> r.Experiment.ph_adaptive = None) results in
+  let phase_cost r i = (List.nth r.Experiment.ph_per_phase i).Runner.cost_per_query in
+  let nphases = List.length phases in
+  let per_phase_ok =
+    List.init nphases (fun i ->
+        let best =
+          List.fold_left (fun acc r -> Float.min acc (phase_cost r i)) Float.infinity statics
+        in
+        let a = phase_cost adaptive i in
+        let ok = a <= 1.1 *. best in
+        Printf.printf "phase %d: adaptive %.1f vs best static %.1f (%+.1f%%) %s\n" (i + 1) a
+          best
+          (100. *. ((a /. best) -. 1.))
+          (if ok then "[within 10%]" else "[MISSED 10%]");
+        ok)
+  in
+  let worst_overall =
+    List.fold_left
+      (fun acc r -> Float.max acc r.Experiment.ph_overall.Runner.cost_per_query)
+      0. statics
+  in
+  let adaptive_overall = adaptive.Experiment.ph_overall.Runner.cost_per_query in
+  let overall_ok = adaptive_overall < worst_overall in
+  Printf.printf "overall: adaptive %.1f vs worst static %.1f %s\n" adaptive_overall
+    worst_overall
+    (if overall_ok then "[strictly better]" else "[NOT better]");
+  (match adaptive.Experiment.ph_adaptive with
+  | None -> ()
+  | Some a ->
+      List.iter
+        (fun m ->
+          Printf.printf "migration after query %d: %s -> %s (measured %.0f ms)\n"
+            m.Adaptive.at_query
+            (Migrate.kind_name m.Adaptive.from_kind)
+            (Migrate.kind_name m.Adaptive.to_kind)
+            m.Adaptive.measured_cost)
+        (Adaptive.migrations a));
+  if !json_enabled then
+    let adaptive_json =
+      match adaptive.Experiment.ph_adaptive with
+      | None -> []
+      | Some a ->
+          [
+            ( "migrations",
+              j_arr
+                (List.map
+                   (fun m ->
+                     j_obj
+                       [
+                         ("at_query", j_int m.Adaptive.at_query);
+                         ("from", j_str (Migrate.kind_name m.Adaptive.from_kind));
+                         ("to", j_str (Migrate.kind_name m.Adaptive.to_kind));
+                         ("measured_cost", j_num m.Adaptive.measured_cost);
+                       ])
+                   (Adaptive.migrations a)) );
+            ("decisions", j_int (List.length (Adaptive.decision_log a)));
+            ("switches", j_int (Controller.switches (Adaptive.controller a)));
+          ]
+    in
+    write_json "BENCH_adaptive.json"
+      (j_obj
+         ([
+            ( "workload",
+              j_obj
+                [
+                  ("n_tuples", j_num p.Params.n_tuples);
+                  ("f", j_num p.Params.f);
+                  ("fv", j_num p.Params.fv);
+                  ( "phases",
+                    j_arr
+                      (List.map
+                         (fun (k, l, q) ->
+                           j_obj [ ("k", j_int k); ("l", j_int l); ("q", j_int q) ])
+                         phase_specs) );
+                ] );
+            ( "strategies",
+              j_arr
+                (List.map
+                   (fun r ->
+                     j_obj
+                       [
+                         ("strategy", j_str r.Experiment.ph_name);
+                         ("overall", json_of_measurement r.Experiment.ph_overall);
+                         ( "phases",
+                           j_arr (List.map json_of_measurement r.Experiment.ph_per_phase) );
+                       ])
+                   results) );
+            ( "acceptance",
+              j_obj
+                [
+                  ("within_10pct_each_phase", j_bool (List.for_all Fun.id per_phase_ok));
+                  ("better_than_worst_overall", j_bool overall_ok);
+                ] );
+          ]
+         @ adaptive_json))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -826,6 +1036,7 @@ let sections =
     ("ablation-multidisk", ablation_multidisk);
     ("ablation-multiview", ablation_multiview);
     ("ablation-planner", ablation_planner);
+    ("adaptive", adaptive_bench);
     ("yao", yao_table);
     ("csv", csv_export);
     ("bechamel", microbenchmarks);
@@ -840,6 +1051,9 @@ let () =
         parse acc rest
     | "--csv-dir" :: v :: rest ->
         csv_dir := v;
+        parse acc rest
+    | "--json" :: rest ->
+        json_enabled := true;
         parse acc rest
     | arg :: rest -> parse (arg :: acc) rest
   in

@@ -6,6 +6,7 @@
      vmperf advise   --model 2 --fv 0.01          strategy recommendation
      vmperf regions  --model 1 --c3 2             best-strategy map (Figures 2-4, 6-7)
      vmperf sweep    --model 3 --param l          cost table over a parameter sweep
+     vmperf adapt    --scale 0.05 -f 0.5          adaptive vs static on a phase shift
      vmperf params                                the paper's parameter table *)
 
 open Core
@@ -213,7 +214,15 @@ let sweep_cmd =
   let from_term = Arg.(value & opt float 0.05 & info [ "from" ] ~docv:"FLOAT") in
   let to_term = Arg.(value & opt float 0.95 & info [ "to" ] ~docv:"FLOAT") in
   let steps_term = Arg.(value & opt int 10 & info [ "steps" ] ~docv:"INT") in
-  let run model p param lo hi steps =
+  let measured_term =
+    Arg.(
+      value & flag
+      & info [ "measured" ]
+          ~doc:
+            "Measure each sweep point on the simulated engine (seeded by --seed, \
+             shrunk by --scale) instead of evaluating the analytic formulas.")
+  in
+  let run model p param lo hi steps measured scale seed =
     let model = model_of_int model in
     let apply v =
       match param with
@@ -226,19 +235,141 @@ let sweep_cmd =
           Printf.eprintf "unknown sweep parameter %s\n" other;
           exit 2
     in
-    let names = List.map fst (costs_of_model model p) in
+    let costs_at p =
+      if not measured then costs_of_model model p
+      else
+        let p = Experiment.scale p scale in
+        let results =
+          match model with
+          | Advisor.Selection_projection ->
+              Experiment.measure_model1 ~seed p [ `Deferred; `Immediate; `Clustered ]
+          | Advisor.Two_way_join ->
+              Experiment.measure_model2 ~seed p [ `Deferred; `Immediate; `Loopjoin ]
+          | Advisor.Aggregate_over_view ->
+              Experiment.measure_model3 ~seed p [ `Deferred; `Immediate; `Recompute ]
+        in
+        List.map (fun (name, m) -> (name, m.Runner.cost_per_query)) results
+    in
+    let names = List.map fst (costs_at p) in
     let rows =
       List.init (max 2 steps) (fun i ->
           let v = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (max 1 (steps - 1))) in
-          let costs = costs_of_model model (apply v) in
+          let costs = costs_at (apply v) in
           Table.float_cell ~decimals:3 v
           :: (List.map (fun (_, c) -> Table.float_cell ~decimals:1 c) costs
              @ [ fst (Regions.argmin costs) ]))
     in
     print_endline (Table.render ~headers:(param :: (names @ [ "best" ])) rows)
   in
-  Cmd.v (Cmd.info "sweep" ~doc:"Analytic cost table over a parameter sweep.")
-    Term.(const run $ model_term $ params_term $ param_term $ from_term $ to_term $ steps_term)
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Cost table over a parameter sweep (analytic, or measured with --measured).")
+    Term.(
+      const run $ model_term $ params_term $ param_term $ from_term $ to_term $ steps_term
+      $ measured_term $ scale_term $ seed_term)
+
+let adapt_cmd =
+  let int_flag name doc default =
+    Arg.(value & opt int default & info [ name ] ~doc ~docv:"INT")
+  in
+  let k1_term = int_flag "k1" "Update transactions in phase 1." 120 in
+  let q1_term = int_flag "q1" "View queries in phase 1." 12 in
+  let k2_term = int_flag "k2" "Update transactions in phase 2." 12 in
+  let q2_term = int_flag "q2" "View queries in phase 2." 240 in
+  let initial_term =
+    Arg.(
+      value
+      & opt string "clustered"
+      & info [ "initial" ] ~docv:"KIND"
+          ~doc:"Initial maintenance discipline (immediate, deferred, clustered, ...).")
+  in
+  let horizon_term =
+    Arg.(
+      value
+      & opt float Controller.default_config.Controller.horizon
+      & info [ "horizon" ] ~docv:"FLOAT"
+          ~doc:"Queries over which a migration must pay for itself.")
+  in
+  let hysteresis_term =
+    Arg.(
+      value
+      & opt float Controller.default_config.Controller.hysteresis
+      & info [ "hysteresis" ] ~docv:"FLOAT"
+          ~doc:"Relative advantage a challenger needs before a switch (e.g. 0.15).")
+  in
+  let run p scale seed k1 q1 k2 q2 initial horizon hysteresis =
+    let p = Experiment.scale p scale in
+    let initial_kind =
+      match Migrate.kind_of_name initial with
+      | Some k -> k
+      | None ->
+          Printf.eprintf "unknown strategy kind %s\n" initial;
+          exit 2
+    in
+    let l = max 1 (int_of_float p.Params.l_per_txn) in
+    let phases =
+      [
+        { Experiment.sp_k = k1; sp_l = l; sp_q = q1; sp_fv = p.Params.fv };
+        { Experiment.sp_k = k2; sp_l = l; sp_q = q2; sp_fv = p.Params.fv };
+      ]
+    in
+    let cfg = { Controller.default_config with Controller.horizon; hysteresis } in
+    Format.printf
+      "phase-shifting workload at N = %.0f, f = %g, fv = %g, seed %d:@.  phase 1: %d \
+       txns x %d tuples, %d queries@.  phase 2: %d txns x %d tuples, %d queries@.@."
+      p.Params.n_tuples p.Params.f p.Params.fv seed k1 l q1 k2 l q2;
+    let results =
+      Experiment.measure_phased ~seed ~adaptive_config:cfg ~adaptive_initial:initial_kind
+        p ~phases
+        [ `Clustered; `Deferred; `Immediate; `Adaptive ]
+    in
+    print_endline
+      (Table.render
+         ~headers:[ "strategy"; "phase1 ms/q"; "phase2 ms/q"; "overall ms/q" ]
+         (List.map
+            (fun r ->
+              r.Experiment.ph_name
+              :: (List.map
+                    (fun m -> Table.float_cell ~decimals:1 m.Runner.cost_per_query)
+                    r.Experiment.ph_per_phase
+                 @ [
+                     Table.float_cell ~decimals:1
+                       r.Experiment.ph_overall.Runner.cost_per_query;
+                   ]))
+            results));
+    List.iter
+      (fun r ->
+        match r.Experiment.ph_adaptive with
+        | None -> ()
+        | Some a ->
+            Format.printf "@.adaptive decision log:@.";
+            List.iter
+              (fun d -> Format.printf "  %a@." Controller.pp_decision d)
+              (Adaptive.decision_log a);
+            Format.printf "@.migrations:@.";
+            (match Adaptive.migrations a with
+            | [] -> Format.printf "  (none)@."
+            | ms ->
+                List.iter
+                  (fun m ->
+                    Format.printf "  after query %d: %s -> %s (measured %.0f ms)@."
+                      m.Adaptive.at_query
+                      (Migrate.kind_name m.Adaptive.from_kind)
+                      (Migrate.kind_name m.Adaptive.to_kind)
+                      m.Adaptive.measured_cost)
+                  ms);
+            Format.printf "@.final observer state: %a@." Wstats.pp (Adaptive.wstats a))
+      results
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Replay a two-phase (update-heavy then query-heavy) workload against the \
+          static strategies and the adaptive one, printing per-phase costs and the \
+          adaptive controller's decision log.")
+    Term.(
+      const run $ params_term $ scale_term $ seed_term $ k1_term $ q1_term $ k2_term
+      $ q2_term $ initial_term $ horizon_term $ hysteresis_term)
 
 let shell_cmd =
   let run () =
@@ -248,6 +379,9 @@ let shell_cmd =
       \  create table r (id int key, pval float, amount float) size 100\n\
       \  insert into r values (1, 0.05, 10)\n\
       \  define view v (pval, amount) from r where pval < 0.1 cluster on pval using deferred\n\
+      \    -- strategies: immediate, deferred, clustered, unclustered, sequential,\n\
+      \    --             recompute, snapshot, adaptive (observes the workload and\n\
+      \    --             migrates between disciplines on its own)\n\
       \  select * from v\n\
       \  cost          -- accumulated modeled cost\n\
       \  quit\n\n";
@@ -279,4 +413,8 @@ let () =
   let info = Cmd.info "vmperf" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ params_cmd; costs_cmd; simulate_cmd; advise_cmd; regions_cmd; sweep_cmd; shell_cmd ]))
+       (Cmd.group info
+          [
+            params_cmd; costs_cmd; simulate_cmd; advise_cmd; regions_cmd; sweep_cmd;
+            adapt_cmd; shell_cmd;
+          ]))

@@ -1,0 +1,178 @@
+open Vmat_storage
+open Vmat_relalg
+open Vmat_view
+module Params = Vmat_cost.Params
+
+type migration = {
+  at_query : int;
+  from_kind : Migrate.kind;
+  to_kind : Migrate.kind;
+  measured_cost : float;
+}
+
+type t = {
+  env : Strategy_sp.env;
+  meter : Cost_meter.t;
+  (* The logical base-relation contents (tid -> tuple), maintained by the
+     observer so a migration can rebuild storage from the current state.
+     Pure catalog bookkeeping: no meter charges. *)
+  table : (int, Tuple.t) Hashtbl.t;
+  mutable match_count : int;  (** tuples currently satisfying the view predicate *)
+  ws : Wstats.t;
+  ctl : Controller.t;
+  mutable active : Strategy.t;
+  mutable kind : Migrate.kind;
+  mutable n_queries : int;
+  mutable migs : migration list;  (* newest first *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Logical base tracking                                               *)
+(* ------------------------------------------------------------------ *)
+
+let matches t tuple = Predicate.eval t.env.Strategy_sp.view.View_def.sp_pred tuple
+
+let remove_tuple t tuple =
+  let tid = Tuple.tid tuple in
+  if Hashtbl.mem t.table tid then begin
+    Hashtbl.remove t.table tid;
+    if matches t tuple then t.match_count <- t.match_count - 1
+  end
+
+let add_tuple t tuple =
+  let tid = Tuple.tid tuple in
+  if not (Hashtbl.mem t.table tid) then begin
+    Hashtbl.add t.table tid tuple;
+    if matches t tuple then t.match_count <- t.match_count + 1
+  end
+
+let apply_change t { Strategy.before; after } =
+  (match before with Some tuple -> remove_tuple t tuple | None -> ());
+  match after with Some tuple -> add_tuple t tuple | None -> ()
+
+let current_tuples t = Hashtbl.fold (fun _ tuple acc -> tuple :: acc) t.table []
+
+(* ------------------------------------------------------------------ *)
+(* Migration                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let perform_migration t target =
+  let env' = { t.env with Strategy_sp.initial = current_tuples t } in
+  let replacement, cost =
+    Migrate.migrate ~env:env' ~from_:t.kind ~current:t.active ~to_:target
+  in
+  t.migs <-
+    { at_query = t.n_queries; from_kind = t.kind; to_kind = target; measured_cost = cost }
+    :: t.migs;
+  t.active <- replacement;
+  t.kind <- target;
+  cost
+
+(* ------------------------------------------------------------------ *)
+(* The observing strategy                                              *)
+(* ------------------------------------------------------------------ *)
+
+let handle_transaction t changes =
+  List.iter (apply_change t) changes;
+  let snap = Cost_meter.snapshot t.meter in
+  t.active.Strategy.handle_transaction changes;
+  let cost = Cost_meter.cost_since t.meter snap ~excluding:[ Cost_meter.Base ] () in
+  Wstats.observe_txn t.ws ~l:(List.length changes) ~cost
+
+let answer_query t q =
+  let snap = Cost_meter.snapshot t.meter in
+  let rows = t.active.Strategy.answer_query q in
+  let cost = Cost_meter.cost_since t.meter snap ~excluding:[ Cost_meter.Base ] () in
+  let returned = List.fold_left (fun acc (_, dup) -> acc + dup) 0 rows in
+  Wstats.observe_query t.ws ~returned ~view_size:t.match_count ~cost;
+  t.n_queries <- t.n_queries + 1;
+  let n = Hashtbl.length t.table in
+  let f = if n = 0 then 0. else float_of_int t.match_count /. float_of_int n in
+  (match
+     Controller.decide t.ctl ~wstats:t.ws
+       ~n_tuples:(float_of_int (max 1 n))
+       ~f ~at_query:t.n_queries
+   with
+  | None -> ()
+  | Some target -> ignore (perform_migration t target));
+  rows
+
+let strategy t =
+  {
+    Strategy.name = "adaptive";
+    handle_transaction = (fun changes -> handle_transaction t changes);
+    answer_query = (fun q -> answer_query t q);
+    scalar_query = (fun () -> t.active.Strategy.scalar_query ());
+    view_contents = (fun () -> t.active.Strategy.view_contents ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let base_params_of (env : Strategy_sp.env) meter =
+  {
+    Params.defaults with
+    Params.n_tuples = Float.max 1. (float_of_int (List.length env.Strategy_sp.initial));
+    tuple_bytes =
+      float_of_int (Schema.tuple_bytes env.Strategy_sp.view.View_def.sp_base);
+    page_bytes = float_of_int env.Strategy_sp.geometry.Strategy.page_bytes;
+    index_bytes = float_of_int env.Strategy_sp.geometry.Strategy.index_entry_bytes;
+    c1 = Cost_meter.c1 meter;
+    c2 = Cost_meter.c2 meter;
+    c3 = Cost_meter.c3 meter;
+  }
+
+let default_candidates = [ Migrate.Deferred; Migrate.Immediate; Migrate.Qmod_clustered ]
+
+let wrap ?config ?(candidates = default_candidates) ?initial_kind
+    (env : Strategy_sp.env) =
+  let initial_kind =
+    match initial_kind with
+    | Some k -> k
+    | None -> (
+        match candidates with
+        | k :: _ -> k
+        | [] -> invalid_arg "Adaptive.wrap: no candidates")
+  in
+  let meter = Disk.meter env.Strategy_sp.disk in
+  let cfg = Option.value ~default:Controller.default_config config in
+  let ctl =
+    Controller.create ~config:cfg ~candidates ~initial:initial_kind
+      ~base_params:(base_params_of env meter) ()
+  in
+  let active =
+    Cost_meter.with_category meter Cost_meter.Base (fun () ->
+        Migrate.build env initial_kind)
+  in
+  let t =
+    {
+      env;
+      meter;
+      table = Hashtbl.create (max 16 (List.length env.Strategy_sp.initial));
+      match_count = 0;
+      ws = Wstats.create ~alpha:cfg.Controller.alpha ();
+      ctl;
+      active;
+      kind = initial_kind;
+      n_queries = 0;
+      migs = [];
+    }
+  in
+  List.iter (add_tuple t) env.Strategy_sp.initial;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let controller t = t.ctl
+let wstats t = t.ws
+let current_kind t = t.kind
+let migrations t = List.rev t.migs
+let decision_log t = Controller.log t.ctl
+
+let force_migrate t target =
+  let cost = perform_migration t target in
+  Controller.force t.ctl target;
+  cost

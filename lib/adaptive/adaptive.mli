@@ -1,0 +1,49 @@
+(** Adaptive view maintenance: an ordinary {!Vmat_view.Strategy.t} that
+    observes its own workload ({!Wstats}), periodically consults the
+    analytic model ({!Controller}) and migrates live between maintenance
+    disciplines ({!Migrate}) when the workload crosses a region boundary.
+
+    Because the result is a plain [Strategy.t], it drops unchanged into
+    {!Vmat_workload.Runner.run}, the equivalence tests, the [Db] engine
+    ([using adaptive]) and the bench harness. *)
+
+open Vmat_view
+
+type migration = {
+  at_query : int;  (** queries answered when the migration ran *)
+  from_kind : Migrate.kind;
+  to_kind : Migrate.kind;
+  measured_cost : float;  (** ms, everything charged outside [Base] *)
+}
+
+type t
+
+val wrap :
+  ?config:Controller.config ->
+  ?candidates:Migrate.kind list ->
+  ?initial_kind:Migrate.kind ->
+  Strategy_sp.env ->
+  t
+(** Build an adaptive strategy over a selection-projection view.
+    [candidates] defaults to
+    [[Deferred; Immediate; Qmod_clustered]] (the paper's three contenders);
+    [initial_kind] defaults to the head of [candidates].  The base-relation
+    contents are tracked logically (the observer's catalog bookkeeping, not
+    charged) so migrations can rebuild storage from the current state. *)
+
+val strategy : t -> Strategy.t
+(** The pluggable strategy (name ["adaptive"]). *)
+
+val controller : t -> Controller.t
+val wstats : t -> Wstats.t
+val current_kind : t -> Migrate.kind
+
+val migrations : t -> migration list
+(** Migrations performed, oldest first. *)
+
+val decision_log : t -> Controller.decision list
+
+val force_migrate : t -> Migrate.kind -> float
+(** Migrate immediately to the given kind regardless of the controller's
+    opinion, returning the measured migration cost (tests, operator
+    override).  The controller's current kind is kept in sync. *)

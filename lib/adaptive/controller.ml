@@ -1,0 +1,131 @@
+module Params = Vmat_cost.Params
+module Advisor = Vmat_cost.Advisor
+
+type config = {
+  decide_every : int;
+  min_ops : int;
+  hysteresis : float;
+  horizon : float;
+  alpha : float;
+}
+
+let default_config =
+  { decide_every = 4; min_ops = 6; hysteresis = 0.15; horizon = 200.; alpha = 0.25 }
+
+type decision = {
+  d_at_query : int;
+  d_current : Migrate.kind;
+  d_best : Migrate.kind;
+  d_costs : (string * float) list;
+  d_params : Params.t;
+  d_saving : float;
+  d_migration : float;
+  d_switched : bool;
+  d_reason : string;
+}
+
+type t = {
+  cfg : config;
+  cands : Migrate.kind list;
+  base_params : Params.t;
+  mutable cur : Migrate.kind;
+  mutable last_decision_query : int;
+  mutable decisions : decision list;  (* newest first *)
+  mutable nswitches : int;
+}
+
+let create ?(config = default_config) ~candidates ~initial ~base_params () =
+  if candidates = [] then invalid_arg "Controller.create: no candidates";
+  if not (List.mem initial candidates) then
+    invalid_arg "Controller.create: initial kind is not a candidate";
+  if config.decide_every < 1 then invalid_arg "Controller.create: decide_every must be >= 1";
+  {
+    cfg = config;
+    cands = candidates;
+    base_params;
+    cur = initial;
+    last_decision_query = 0;
+    decisions = [];
+    nswitches = 0;
+  }
+
+let config t = t.cfg
+let current t = t.cur
+let candidates t = t.cands
+let log t = List.rev t.decisions
+let switches t = t.nswitches
+let force t kind = t.cur <- kind
+
+let candidate_costs t params =
+  let r = Advisor.recommend Advisor.Selection_projection params in
+  List.filter
+    (fun (name, _) ->
+      List.exists (fun kind -> String.equal (Migrate.kind_name kind) name) t.cands)
+    r.Advisor.costs
+
+let record t d = t.decisions <- d :: t.decisions
+
+let decide t ~wstats ~n_tuples ~f ~at_query =
+  if
+    Wstats.ops_seen wstats < t.cfg.min_ops
+    || at_query - t.last_decision_query < t.cfg.decide_every
+  then None
+  else begin
+    t.last_decision_query <- at_query;
+    let params = Wstats.to_params wstats ~base:t.base_params ~n_tuples ~f in
+    let costs = candidate_costs t params in
+    let cost_of kind = List.assoc_opt (Migrate.kind_name kind) costs in
+    match (costs, cost_of t.cur) with
+    | [], _ | _, None -> None
+    | (best_name, best_cost) :: _, Some current_cost ->
+        let best =
+          match Migrate.kind_of_name best_name with Some k -> k | None -> t.cur
+        in
+        let saving = current_cost -. best_cost in
+        let migration = Migrate.predicted_cost params ~from_:t.cur ~to_:best in
+        let margin = t.cfg.hysteresis *. current_cost in
+        let switched, reason =
+          if best = t.cur then (false, "already on the cheapest candidate")
+          else if saving <= margin then
+            ( false,
+              Printf.sprintf "hysteresis: saving %.1f <= %.0f%% margin %.1f" saving
+                (100. *. t.cfg.hysteresis) margin )
+          else if saving *. t.cfg.horizon <= migration then
+            ( false,
+              Printf.sprintf
+                "break-even: saving %.1f x horizon %.0f <= migration %.1f" saving
+                t.cfg.horizon migration )
+          else
+            ( true,
+              Printf.sprintf "switch: saving %.1f/query amortizes %.1f in %.0f queries"
+                saving migration
+                (Float.round (migration /. Float.max 1e-9 saving)) )
+        in
+        record t
+          {
+            d_at_query = at_query;
+            d_current = t.cur;
+            d_best = best;
+            d_costs = costs;
+            d_params = params;
+            d_saving = saving;
+            d_migration = migration;
+            d_switched = switched;
+            d_reason = reason;
+          };
+        if switched then begin
+          t.cur <- best;
+          t.nswitches <- t.nswitches + 1;
+          Some best
+        end
+        else None
+  end
+
+let pp_decision fmt d =
+  Format.fprintf fmt "q%-5d %-11s -> %-11s P=%.2f l=%.0f fv=%.3f %s [%s]" d.d_at_query
+    (Migrate.kind_name d.d_current)
+    (Migrate.kind_name (if d.d_switched then d.d_best else d.d_current))
+    (Params.update_probability d.d_params)
+    d.d_params.Params.l_per_txn d.d_params.Params.fv
+    (if d.d_switched then "SWITCH" else "stay")
+    d.d_reason

@@ -1,0 +1,79 @@
+(** The adaptive policy loop: periodically re-evaluate the analytic cost
+    model ({!Vmat_cost.Advisor}) at the parameter point the {!Wstats}
+    observer currently estimates, and decide whether switching the view's
+    maintenance strategy is worth a live migration.
+
+    Two guards keep the controller from flapping on a region boundary
+    (the paper's Figures 2–4 show the winning regions touch along curves
+    where the costs are {e equal}, so a noisy estimate sitting on a boundary
+    would otherwise oscillate):
+
+    - {b hysteresis}: the challenger must beat the incumbent by at least
+      [hysteresis] (a relative margin, e.g. 0.15 = 15%) of the incumbent's
+      predicted per-query cost;
+    - {b break-even}: the predicted per-query saving must amortize the
+      predicted migration cost ({!Migrate.predicted_cost}) within [horizon]
+      queries.
+
+    Every evaluation is appended to a decision log for observability,
+    whether or not it results in a switch. *)
+
+type config = {
+  decide_every : int;  (** queries between decision points *)
+  min_ops : int;  (** observed operations before the first decision *)
+  hysteresis : float;  (** required relative advantage, e.g. [0.15] *)
+  horizon : float;  (** queries over which a migration must pay for itself *)
+  alpha : float;  (** EWMA decay for the {!Wstats} observer *)
+}
+
+val default_config : config
+(** [{ decide_every = 4; min_ops = 6; hysteresis = 0.15; horizon = 200.; alpha = 0.25 }] *)
+
+type decision = {
+  d_at_query : int;  (** queries answered when the decision was taken *)
+  d_current : Migrate.kind;
+  d_best : Migrate.kind;  (** cheapest candidate at the estimated point *)
+  d_costs : (string * float) list;  (** candidate costs, cheapest first *)
+  d_params : Vmat_cost.Params.t;  (** the estimated parameter point *)
+  d_saving : float;  (** predicted per-query saving of switching *)
+  d_migration : float;  (** predicted one-time migration cost *)
+  d_switched : bool;
+  d_reason : string;  (** why the controller stayed or switched *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  candidates:Migrate.kind list ->
+  initial:Migrate.kind ->
+  base_params:Vmat_cost.Params.t ->
+  unit ->
+  t
+(** [base_params] supplies the physical constants ([S], [B], [n], [C1..C3])
+    that observation cannot see.  @raise Invalid_argument if [candidates]
+    is empty or does not contain [initial]. *)
+
+val config : t -> config
+val current : t -> Migrate.kind
+val candidates : t -> Migrate.kind list
+
+val decide :
+  t -> wstats:Wstats.t -> n_tuples:float -> f:float -> at_query:int -> Migrate.kind option
+(** Called after every answered query.  Returns [Some target] when the
+    controller commits to a migration (and updates its notion of the current
+    kind — the caller must actually perform the {!Migrate.migrate}); [None]
+    otherwise.  Decisions are only evaluated every [decide_every] queries
+    once [min_ops] operations have been observed. *)
+
+val force : t -> Migrate.kind -> unit
+(** Overwrite the current kind (used when the caller migrates out-of-band,
+    e.g. in tests). *)
+
+val log : t -> decision list
+(** All evaluations, oldest first. *)
+
+val switches : t -> int
+(** Number of migrations committed. *)
+
+val pp_decision : Format.formatter -> decision -> unit

@@ -1,0 +1,64 @@
+(** Live strategy migration for selection-projection views.
+
+    A migration replaces the running {!Vmat_view.Strategy.t} of a view with
+    an equivalent one under a different maintenance discipline, {e preserving
+    the exact view contents}, and meters the work a real system would do:
+
+    - query-modification → materialized (immediate or deferred): one
+      clustered scan of the base relation (a read per base page plus a [C1]
+      predicate test per tuple) and a write per page of the freshly
+      materialized view — charged to the {!Vmat_storage.Cost_meter.Migrate}
+      category;
+    - deferred → anywhere: the hypothetical relation is drained first (the
+      net [A]/[D] sets are applied to the stored view and the differential
+      file is folded into the base), charged through the strategy's own
+      refresh path exactly as an ordinary deferred refresh would be;
+    - materialized → materialized: the stored view is retained, so beyond a
+      possible drain the switch is free;
+    - anywhere → query modification: dematerializing is a catalog update
+      (one page write); the base relation already exists.
+
+    Rebuilding the simulator's per-strategy storage structures is an artifact
+    of strategy instances owning their files; that construction work is
+    charged to the excluded [Base] category so measurements see only the
+    migration work a shared-storage system would pay. *)
+
+open Vmat_view
+
+type kind = Immediate | Deferred | Qmod_clustered | Qmod_unclustered | Qmod_sequential
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+(** The analytic model's candidate name ("immediate", "deferred",
+    "clustered", "unclustered", "sequential") — matches
+    {!Vmat_cost.Model1.all}. *)
+
+val strategy_name : kind -> string
+(** The operational strategy's name ("immediate", "deferred",
+    "qmod-clustered", ...) — matches {!Vmat_view.Strategy.t.name}. *)
+
+val kind_of_name : string -> kind option
+(** Accepts either spelling. *)
+
+val is_materialized : kind -> bool
+
+val build : Strategy_sp.env -> kind -> Strategy.t
+(** Construct a fresh strategy of the given kind over [env] (whose
+    [initial] must be the current base-relation contents). *)
+
+val predicted_cost : Vmat_cost.Params.t -> from_:kind -> to_:kind -> float
+(** Analytic estimate of the one-time migration cost in ms, used by the
+    {!Controller}'s break-even test {e before} committing to a switch:
+    leaving deferred costs one differential-file read plus one refresh
+    ({!Vmat_cost.Model1.c_ad_read} + {!Vmat_cost.Model1.c_def_refresh});
+    materializing from query modification costs [C2 (b + f b / 2) + C1 N];
+    dematerializing costs one page write. *)
+
+val migrate :
+  env:Strategy_sp.env -> from_:kind -> current:Strategy.t -> to_:kind -> Strategy.t * float
+(** [migrate ~env ~from_ ~current ~to_] performs the transition and returns
+    the replacement strategy together with its measured cost (everything
+    charged outside [Base] while migrating, in ms).  [env.initial] must hold
+    the current logical base contents; [current] is the strategy being
+    retired (drained if deferred). *)

@@ -1,0 +1,99 @@
+module Params = Vmat_cost.Params
+
+type t = {
+  w_alpha : float;
+  (* decayed event counters: every observed operation multiplies both by
+     (1 - alpha) and adds 1 to its own.  Their ratio estimates k : q with
+     exponentially fading memory. *)
+  mutable dk : float;
+  mutable dq : float;
+  (* EWMA estimates ([None] until the first sample of that kind). *)
+  mutable e_l : float option;
+  mutable e_fv : float option;
+  mutable e_txn_cost : float option;
+  mutable e_query_cost : float option;
+  mutable n_txns : int;
+  mutable n_queries : int;
+}
+
+let create ?(alpha = 0.25) () =
+  if not (alpha > 0. && alpha <= 1.) then invalid_arg "Wstats.create: alpha must be in (0, 1]";
+  {
+    w_alpha = alpha;
+    dk = 0.;
+    dq = 0.;
+    e_l = None;
+    e_fv = None;
+    e_txn_cost = None;
+    e_query_cost = None;
+    n_txns = 0;
+    n_queries = 0;
+  }
+
+let alpha t = t.w_alpha
+
+let ewma t prev sample =
+  match prev with
+  | None -> Some sample
+  | Some old -> Some (((1. -. t.w_alpha) *. old) +. (t.w_alpha *. sample))
+
+let decay t =
+  t.dk <- (1. -. t.w_alpha) *. t.dk;
+  t.dq <- (1. -. t.w_alpha) *. t.dq
+
+let observe_txn t ~l ~cost =
+  if l < 0 then invalid_arg "Wstats.observe_txn: negative l";
+  decay t;
+  t.dk <- t.dk +. 1.;
+  t.e_l <- ewma t t.e_l (float_of_int l);
+  t.e_txn_cost <- ewma t t.e_txn_cost cost;
+  t.n_txns <- t.n_txns + 1
+
+let observe_query t ~returned ~view_size ~cost =
+  decay t;
+  t.dq <- t.dq +. 1.;
+  let fv =
+    if view_size <= 0 then 0.
+    else Float.min 1. (float_of_int (max 0 returned) /. float_of_int view_size)
+  in
+  t.e_fv <- ewma t t.e_fv fv;
+  t.e_query_cost <- ewma t t.e_query_cost cost;
+  t.n_queries <- t.n_queries + 1
+
+let txns_seen t = t.n_txns
+let queries_seen t = t.n_queries
+let ops_seen t = t.n_txns + t.n_queries
+
+let update_probability t =
+  let total = t.dk +. t.dq in
+  if total <= 0. then 0.5 else t.dk /. total
+
+let update_ratio t =
+  if t.dq <= 0. then if t.dk <= 0. then 1. else 1e6 else t.dk /. t.dq
+
+let mean_l t = Option.value ~default:1. t.e_l
+let mean_fv t = Option.value ~default:0.1 t.e_fv
+let mean_txn_cost t = Option.value ~default:0. t.e_txn_cost
+let mean_query_cost t = Option.value ~default:0. t.e_query_cost
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let to_params t ~(base : Params.t) ~n_tuples ~f =
+  let p =
+    {
+      base with
+      Params.n_tuples = Float.max 1. n_tuples;
+      f = clamp 0. 1. f;
+      fv = clamp 1e-4 1. (mean_fv t);
+      l_per_txn = Float.max 1. (Float.round (mean_l t));
+    }
+  in
+  (* Only the ratio k : q enters the per-query formulas; anchor q at the
+     base's value and derive k from the decayed update probability. *)
+  Params.with_update_probability p (clamp 0. 0.999 (update_probability t))
+
+let pp fmt t =
+  Format.fprintf fmt
+    "wstats: P=%.3f l=%.1f fv=%.4f (txns=%d queries=%d, txn=%.1fms query=%.1fms)"
+    (update_probability t) (mean_l t) (mean_fv t) t.n_txns t.n_queries (mean_txn_cost t)
+    (mean_query_cost t)

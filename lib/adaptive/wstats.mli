@@ -1,0 +1,61 @@
+(** Online workload statistics for one view.
+
+    The paper's winning strategy is a function of workload parameters —
+    update probability [P], transaction size [l], per-query view fraction
+    [fv] — that drift in production.  [Wstats] observes the operation stream
+    as it happens and maintains exponentially-decayed estimates of those
+    parameters, plus the measured per-operation costs (from {!Cost_meter}
+    deltas), so the {!Controller} can re-evaluate the analytic model against
+    the workload the view is {e actually} seeing.
+
+    All estimators use the same decay [alpha] (the weight of the newest
+    sample): after a phase shift, an estimate converges to the new regime in
+    roughly [1/alpha] operations. *)
+
+type t
+
+val create : ?alpha:float -> unit -> t
+(** [alpha] defaults to [0.25]. @raise Invalid_argument unless [0 < alpha <= 1]. *)
+
+val alpha : t -> float
+
+val observe_txn : t -> l:int -> cost:float -> unit
+(** Record one update transaction of [l] tuple changes whose measured
+    (non-[Base]) cost was [cost] ms. *)
+
+val observe_query : t -> returned:int -> view_size:int -> cost:float -> unit
+(** Record one view query that returned [returned] tuples out of a view
+    currently holding [view_size] tuples, at measured cost [cost] ms. *)
+
+val txns_seen : t -> int
+val queries_seen : t -> int
+val ops_seen : t -> int
+
+val update_probability : t -> float
+(** Decayed estimate of [P = k / (k + q)]; [0.5] before any observation. *)
+
+val update_ratio : t -> float
+(** Decayed [k / q] (clamped to a large finite value while no query has
+    been seen). *)
+
+val mean_l : t -> float
+(** Decayed mean transaction size; [1.] before any transaction. *)
+
+val mean_fv : t -> float
+(** Decayed mean fraction of the view retrieved per query; [0.1] before any
+    query. *)
+
+val mean_txn_cost : t -> float
+val mean_query_cost : t -> float
+(** Decayed measured cost per operation (observability; the controller's
+    decisions use the analytic model, these ground it in reality). *)
+
+val to_params :
+  t -> base:Vmat_cost.Params.t -> n_tuples:float -> f:float -> Vmat_cost.Params.t
+(** Project the observed workload onto the paper's parameter space: keep
+    [base]'s physical constants ([S], [B], [n], [C1..C3], [f_R2]), install
+    the observed [n_tuples] and [f], and set [l], [fv], and the [k : q]
+    ratio from the decayed estimates.  All fractions are clamped to valid
+    ranges so the result always passes {!Vmat_cost.Params.validate}. *)
+
+val pp : Format.formatter -> t -> unit

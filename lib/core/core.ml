@@ -14,7 +14,9 @@
     - {!Params}, {!Model1}, {!Model2}, {!Model3}, {!Regions} — the paper's
       analytic cost model;
     - {!Dataset}, {!Stream}, {!Runner}, {!Experiment} — measured workloads;
-    - {!Advisor} — strategy selection from the model. *)
+    - {!Advisor} — strategy selection from the model;
+    - {!Wstats}, {!Migrate}, {!Controller}, {!Adaptive} — online workload
+      observation and live strategy migration (adaptive maintenance). *)
 
 module Yao = Vmat_util.Yao
 module Combin = Vmat_util.Combin
@@ -64,4 +66,8 @@ module Lexer = Vmat_lang.Lexer
 module Ast = Vmat_lang.Ast
 module Parser = Vmat_lang.Parser
 module Db = Vmat_db.Db
-module Advisor = Advisor
+module Advisor = Vmat_cost.Advisor
+module Wstats = Vmat_adaptive.Wstats
+module Migrate = Vmat_adaptive.Migrate
+module Controller = Vmat_adaptive.Controller
+module Adaptive = Vmat_adaptive.Adaptive

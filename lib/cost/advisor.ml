@@ -1,0 +1,59 @@
+
+type model = Selection_projection | Two_way_join | Aggregate_over_view
+
+let model_name = function
+  | Selection_projection -> "Model 1 (selection-projection)"
+  | Two_way_join -> "Model 2 (two-way join)"
+  | Aggregate_over_view -> "Model 3 (aggregate)"
+
+type recommendation = {
+  model : model;
+  winner : string;
+  winner_cost : float;
+  costs : (string * float) list;
+  notes : string list;
+}
+
+let notes_for model (p : Params.t) winner =
+  let prob = Params.update_probability p in
+  let say cond note acc = if cond then note :: acc else acc in
+  []
+  |> say (prob >= 0.5)
+       "high update probability favors the method with the least per-transaction \
+        overhead (query modification)"
+  |> say (p.fv <= 0.02)
+       "small per-query view fractions favor query modification: maintenance overhead \
+        is independent of fv while the query cost shrinks with it"
+  |> say (p.f >= 0.5 && model <> Aggregate_over_view)
+       "high predicate selectivity means most updates hit the view, raising \
+        maintenance cost"
+  |> say (model = Two_way_join && String.length winner >= 4 && String.sub winner 0 4 <> "qmod"
+          && winner <> "loopjoin")
+       "materialization clusters joining tuples on one page, cutting join queries to \
+        one I/O per result page"
+  |> say (model = Aggregate_over_view && winner <> "recompute")
+       "the aggregate state fits in one page, so maintenance is nearly free compared \
+        with rescanning the aggregated set"
+  |> say (p.c3 >= 2. && winner = "deferred")
+       "with expensive in-memory A/D set manipulation (C3), deferring the refresh \
+        amortizes set maintenance across transactions"
+  |> List.rev
+
+let recommend model p =
+  let costs =
+    match model with
+    | Selection_projection -> Model1.all p
+    | Two_way_join -> Model2.all p
+    | Aggregate_over_view -> Model3.all p
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) costs in
+  match sorted with
+  | [] -> invalid_arg "Advisor.recommend: no candidates"
+  | (winner, winner_cost) :: _ ->
+      { model; winner; winner_cost; costs = sorted; notes = notes_for model p winner }
+
+let pp fmt r =
+  Format.fprintf fmt "%s: use %s (%.1f ms/query)@." (model_name r.model) r.winner
+    r.winner_cost;
+  List.iter (fun (name, cost) -> Format.fprintf fmt "  %-12s %10.1f ms@." name cost) r.costs;
+  List.iter (fun note -> Format.fprintf fmt "  - %s@." note) r.notes

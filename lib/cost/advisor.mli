@@ -1,0 +1,20 @@
+(** Strategy advisor: operationalizes the paper's §4 conclusions by
+    evaluating the analytic cost model at a parameter point and explaining
+    the recommendation. *)
+
+
+type model = Selection_projection | Two_way_join | Aggregate_over_view
+
+val model_name : model -> string
+
+type recommendation = {
+  model : model;
+  winner : string;
+  winner_cost : float;
+  costs : (string * float) list;  (** every candidate, cheapest first *)
+  notes : string list;  (** qualitative drivers of the choice *)
+}
+
+val recommend : model -> Params.t -> recommendation
+
+val pp : Format.formatter -> recommendation -> unit

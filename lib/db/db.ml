@@ -132,6 +132,7 @@ let define_sp_view t ~view_name ~columns ~table ~where_ ~cluster ~using =
     | "sequential" -> Strategy_sp.qmod_sequential env
     | "recompute" -> Strategy_sp.recompute env
     | "snapshot" -> Strategy_sp.snapshot ~period:10 env
+    | "adaptive" -> Vmat_adaptive.Adaptive.strategy (Vmat_adaptive.Adaptive.wrap env)
     | other -> fail "unknown view strategy %s" other
   in
   table.dependents <- Sp_dep strategy :: table.dependents;

@@ -1,6 +1,6 @@
-type category = Base | Hr | Refresh | Query | Screen | Overhead
+type category = Base | Hr | Refresh | Query | Screen | Overhead | Migrate
 
-let all_categories = [ Base; Hr; Refresh; Query; Screen; Overhead ]
+let all_categories = [ Base; Hr; Refresh; Query; Screen; Overhead; Migrate ]
 
 let category_name = function
   | Base -> "base"
@@ -9,6 +9,7 @@ let category_name = function
   | Query -> "query"
   | Screen -> "screen"
   | Overhead -> "overhead"
+  | Migrate -> "migrate"
 
 let category_index = function
   | Base -> 0
@@ -17,8 +18,9 @@ let category_index = function
   | Query -> 3
   | Screen -> 4
   | Overhead -> 5
+  | Migrate -> 6
 
-let ncategories = 6
+let ncategories = 7
 
 type t = {
   c1 : float;

@@ -11,6 +11,9 @@ type category =
   | Query  (** answering a view query *)
   | Screen  (** stage-2 screening of inserted/deleted tuples ([C_screen]) *)
   | Overhead  (** in-memory A/D set manipulation in immediate ([C_overhead]) *)
+  | Migrate
+      (** one-time cost of a live strategy migration (adaptive maintenance):
+          materializing a view from a base scan, or dematerializing one *)
 
 val all_categories : category list
 val category_name : category -> string

@@ -3,8 +3,10 @@ open Vmat_util
 open Vmat_view
 open Vmat_cost
 
+module Adaptive = Vmat_adaptive.Adaptive
+
 type model1_strategy =
-  [ `Deferred | `Immediate | `Clustered | `Unclustered | `Sequential | `Recompute ]
+  [ `Deferred | `Immediate | `Clustered | `Unclustered | `Sequential | `Recompute | `Adaptive ]
 
 type model2_strategy = [ `Deferred | `Immediate | `Loopjoin ]
 
@@ -72,9 +74,78 @@ let measure_model1 ?(seed = 42) (p : Params.t) strategies =
       | `Unclustered -> Strategy_sp.qmod_unclustered env
       | `Sequential -> Strategy_sp.qmod_sequential env
       | `Recompute -> Strategy_sp.recompute env
+      | `Adaptive -> Adaptive.strategy (Adaptive.wrap env)
     in
     let m = Runner.run ~meter ~disk ~strategy ~ops in
     (m.Runner.strategy_name, m)
+  in
+  List.map run strategies
+
+type phase_spec = { sp_k : int; sp_l : int; sp_q : int; sp_fv : float }
+
+type phased_result = {
+  ph_name : string;
+  ph_per_phase : Runner.measurement list;
+  ph_overall : Runner.measurement;
+  ph_adaptive : Adaptive.t option;
+}
+
+let measure_phased ?(seed = 42) ?adaptive_config ?adaptive_candidates ?adaptive_initial
+    (p : Params.t) ~phases strategies =
+  if phases = [] then invalid_arg "Experiment.measure_phased: no phases";
+  let rng = Rng.create seed in
+  let n, _, _, _ = ints p in
+  let dataset = Dataset.make_model1 ~rng ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes) in
+  let tuples = Array.of_list dataset.m1_tuples in
+  let phase_streams =
+    List.map
+      (fun { sp_k; sp_l; sp_q; sp_fv } ->
+        let width = p.f *. sp_fv in
+        {
+          Stream.ph_k = sp_k;
+          ph_l = sp_l;
+          ph_q = sp_q;
+          ph_mutate =
+            Stream.mutate_column ~col:amount_col (fun rng ->
+                Value.Float (Float.of_int (Rng.int rng 1000)));
+          ph_query_of = Stream.range_query_of ~lo_max:(p.f -. width) ~width;
+        })
+      phases
+  in
+  let ops_phases = Stream.generate_phased ~rng ~tuples phase_streams in
+  let run which =
+    let meter, disk = fresh_world p in
+    let env =
+      {
+        Strategy_sp.disk;
+        geometry = geometry_of p;
+        view = dataset.m1_view;
+        initial = dataset.m1_tuples;
+        ad_buckets = ad_buckets_for p;
+      }
+    in
+    let strategy, handle =
+      match which with
+      | `Deferred -> (Strategy_sp.deferred env, None)
+      | `Immediate -> (Strategy_sp.immediate env, None)
+      | `Clustered -> (Strategy_sp.qmod_clustered env, None)
+      | `Unclustered -> (Strategy_sp.qmod_unclustered env, None)
+      | `Sequential -> (Strategy_sp.qmod_sequential env, None)
+      | `Recompute -> (Strategy_sp.recompute env, None)
+      | `Adaptive ->
+          let a =
+            Adaptive.wrap ?config:adaptive_config ?candidates:adaptive_candidates
+              ?initial_kind:adaptive_initial env
+          in
+          (Adaptive.strategy a, Some a)
+    in
+    let per_phase, overall = Runner.run_phases ~meter ~disk ~strategy ~phases:ops_phases in
+    {
+      ph_name = overall.Runner.strategy_name;
+      ph_per_phase = per_phase;
+      ph_overall = overall;
+      ph_adaptive = handle;
+    }
   in
   List.map run strategies
 

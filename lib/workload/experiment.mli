@@ -6,7 +6,7 @@
 open Vmat_cost
 
 type model1_strategy =
-  [ `Deferred | `Immediate | `Clustered | `Unclustered | `Sequential | `Recompute ]
+  [ `Deferred | `Immediate | `Clustered | `Unclustered | `Sequential | `Recompute | `Adaptive ]
 
 type model2_strategy = [ `Deferred | `Immediate | `Loopjoin ]
 
@@ -20,6 +20,35 @@ val measure_model1 :
   ?seed:int -> Params.t -> model1_strategy list -> (string * Runner.measurement) list
 (** One shared dataset and stream; each strategy runs on its own disk and
     meter. *)
+
+type phase_spec = { sp_k : int; sp_l : int; sp_q : int; sp_fv : float }
+(** One segment of a phase-shifting Model-1 workload: [sp_k] transactions of
+    [sp_l] tuples interleaved with [sp_q] queries, each retrieving the
+    fraction [sp_fv] of the view.  The base parameter set supplies everything
+    else ([N], [S], [B], [f], [C1..C3]). *)
+
+type phased_result = {
+  ph_name : string;
+  ph_per_phase : Runner.measurement list;  (** one measurement per phase, in order *)
+  ph_overall : Runner.measurement;  (** whole-run combination *)
+  ph_adaptive : Vmat_adaptive.Adaptive.t option;
+      (** the adaptive handle (decision log, migrations) when the strategy
+          was [`Adaptive] *)
+}
+
+val measure_phased :
+  ?seed:int ->
+  ?adaptive_config:Vmat_adaptive.Controller.config ->
+  ?adaptive_candidates:Vmat_adaptive.Migrate.kind list ->
+  ?adaptive_initial:Vmat_adaptive.Migrate.kind ->
+  Params.t ->
+  phases:phase_spec list ->
+  model1_strategy list ->
+  phased_result list
+(** Generate one phase-shifting stream (shared across strategies, each on its
+    own fresh disk and meter) and measure every strategy per phase and
+    overall.  The [adaptive_*] options configure the [`Adaptive] contender
+    and are ignored for static strategies. *)
 
 val measure_model2 :
   ?seed:int -> Params.t -> model2_strategy list -> (string * Runner.measurement) list

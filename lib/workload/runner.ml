@@ -39,6 +39,37 @@ let run ~meter ~disk ~strategy ~ops =
     tuples_returned = !returned;
   }
 
+let combine name ms =
+  let sum f = List.fold_left (fun acc m -> acc + f m) 0 ms in
+  let queries = sum (fun m -> m.queries) in
+  let total_excl_base =
+    List.fold_left
+      (fun acc m -> acc +. (m.cost_per_query *. float_of_int m.queries))
+      0. ms
+  in
+  {
+    strategy_name = name;
+    transactions = sum (fun m -> m.transactions);
+    queries;
+    cost_per_query = (if queries = 0 then 0. else total_excl_base /. float_of_int queries);
+    category_costs =
+      List.map
+        (fun cat ->
+          ( cat,
+            List.fold_left
+              (fun acc m ->
+                acc +. (try List.assoc cat m.category_costs with Not_found -> 0.))
+              0. ms ))
+        Cost_meter.all_categories;
+    physical_reads = sum (fun m -> m.physical_reads);
+    physical_writes = sum (fun m -> m.physical_writes);
+    tuples_returned = sum (fun m -> m.tuples_returned);
+  }
+
+let run_phases ~meter ~disk ~strategy ~phases =
+  let per_phase = List.map (fun ops -> run ~meter ~disk ~strategy ~ops) phases in
+  (per_phase, combine strategy.Strategy.name per_phase)
+
 let pp fmt m =
   Format.fprintf fmt "%s: %.1f ms/query (%d txns, %d queries, %d reads, %d writes)"
     m.strategy_name m.cost_per_query m.transactions m.queries m.physical_reads

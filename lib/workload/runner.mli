@@ -20,4 +20,16 @@ val run : meter:Cost_meter.t -> disk:Disk.t -> strategy:Strategy.t -> ops:Stream
 (** Resets the meter (construction charges are setup, not workload), then
     replays. *)
 
+val run_phases :
+  meter:Cost_meter.t ->
+  disk:Disk.t ->
+  strategy:Strategy.t ->
+  phases:Stream.op list list ->
+  measurement list * measurement
+(** Replay a phase-shifting workload (see {!Stream.generate_phased}) against
+    one live strategy instance, resetting the meter at each phase boundary so
+    every phase gets its own measurement.  Returns the per-phase measurements
+    in order plus the combined whole-run measurement (cost per query weighted
+    over all phases). *)
+
 val pp : Format.formatter -> measurement -> unit

@@ -29,6 +29,22 @@ let generate ~rng ~tuples ~mutate ~k ~l ~q ~query_of =
   done;
   List.rev !ops
 
+type phase = {
+  ph_k : int;
+  ph_l : int;
+  ph_q : int;
+  ph_mutate : Rng.t -> Tuple.t -> Tuple.t;
+  ph_query_of : Rng.t -> Strategy.query;
+}
+
+let generate_phased ~rng ~tuples phases =
+  if phases = [] then invalid_arg "Stream.generate_phased: no phases";
+  List.map
+    (fun ph ->
+      generate ~rng ~tuples ~mutate:ph.ph_mutate ~k:ph.ph_k ~l:ph.ph_l ~q:ph.ph_q
+        ~query_of:ph.ph_query_of)
+    phases
+
 let mutate_column ~col draw rng tuple =
   Tuple.with_tid (Tuple.set tuple col (draw rng)) (Tuple.fresh_tid ())
 

@@ -23,6 +23,23 @@ val generate :
     generated so later transactions modify current versions.  [mutate] must
     return a fresh-tid new version of the tuple. *)
 
+type phase = {
+  ph_k : int;  (** update transactions in this phase *)
+  ph_l : int;  (** tuples modified per transaction *)
+  ph_q : int;  (** view queries in this phase *)
+  ph_mutate : Rng.t -> Tuple.t -> Tuple.t;
+  ph_query_of : Rng.t -> Strategy.query;
+}
+(** One segment of a phase-shifting workload. *)
+
+val generate_phased : rng:Rng.t -> tuples:Tuple.t array -> phase list -> op list list
+(** Generate each phase with {!generate} over the {e same} live tuple
+    population, so later phases modify the tuple versions earlier phases
+    produced.  Returns one op list per phase (concatenate for a single
+    stream; keep separate for per-phase measurement with
+    {!Runner.run_phases}).  @raise Invalid_argument on an empty phase
+    list or a bad [k]/[l]/[q]. *)
+
 val mutate_column : col:int -> (Rng.t -> Value.t) -> Rng.t -> Tuple.t -> Tuple.t
 (** Standard mutation: replace one column with a newly drawn value. *)
 

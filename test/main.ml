@@ -3,5 +3,5 @@ let () =
     (Test_util.suites @ Test_storage.suites @ Test_index.suites @ Test_relalg.suites
     @ Test_hypo.suites @ Test_view.suites @ Test_nway.suites @ Test_strategies.suites
     @ Test_bilateral.suites @ Test_cost.suites @ Test_workload.suites
-    @ Test_extensions.suites @ Test_lang.suites @ Test_db.suites @ Test_stress.suites
-    @ Test_integration.suites)
+    @ Test_extensions.suites @ Test_adaptive.suites @ Test_lang.suites @ Test_db.suites
+    @ Test_stress.suites @ Test_integration.suites)

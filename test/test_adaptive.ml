@@ -1,0 +1,373 @@
+open Core
+
+(* Adaptive maintenance: (a) live migrations must preserve the exact view —
+   answers and final contents equal a query-modification reference along every
+   migration path, including migrations taken while the deferred strategy's
+   hypothetical relation holds pending updates; (b) the controller's guards
+   (min_ops, decide_every, hysteresis, break-even) must hold and the policy
+   must not flap on a steady workload. *)
+
+let geometry = { Strategy.page_bytes = 400; index_entry_bytes = 20 }
+
+let fresh_disk () =
+  let meter = Cost_meter.create () in
+  Disk.create meter
+
+let answer_bag answers =
+  let bag = Bag.create () in
+  List.iter
+    (fun (tuple, count) ->
+      for _ = 1 to count do
+        ignore (Bag.add bag tuple)
+      done)
+    answers;
+  bag
+
+let make_env dataset =
+  {
+    Strategy_sp.disk = fresh_disk ();
+    geometry;
+    view = dataset.Dataset.m1_view;
+    initial = dataset.Dataset.m1_tuples;
+    ad_buckets = 4;
+  }
+
+(* A controller config that never volunteers a migration, so tests drive
+   every transition through [force_migrate]. *)
+let no_auto = { Controller.default_config with Controller.min_ops = max_int }
+
+let mutate =
+  Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100)))
+
+let dataset_and_ops seed =
+  let rng = Rng.create (11 + seed) in
+  let dataset = Dataset.make_model1 ~rng ~n:200 ~f:0.3 ~s_bytes:100 in
+  let tuples = Array.of_list dataset.Dataset.m1_tuples in
+  let ops =
+    Stream.generate ~rng ~tuples ~mutate ~k:18 ~l:3 ~q:6
+      ~query_of:(Stream.range_query_of ~lo_max:0.27 ~width:0.03)
+  in
+  (dataset, ops)
+
+(* ------------------------------------------------------------------ *)
+(* Forced-migration equivalence                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic walk over every interesting edge of the migration graph,
+   with update transactions (and NO draining query) before each hop, so
+   deferred is migrated away from while its differential file is non-empty. *)
+let test_forced_paths () =
+  let rng = Rng.create 5 in
+  let dataset = Dataset.make_model1 ~rng ~n:150 ~f:0.3 ~s_bytes:100 in
+  let tuples = Array.of_list dataset.Dataset.m1_tuples in
+  let path =
+    Migrate.
+      [ Immediate; Deferred; Qmod_clustered; Deferred; Immediate; Qmod_unclustered ]
+  in
+  let txn_phase =
+    {
+      Stream.ph_k = 4;
+      ph_l = 3;
+      ph_q = 0;
+      ph_mutate = mutate;
+      ph_query_of = Stream.range_query_of ~lo_max:0.27 ~width:0.03;
+    }
+  in
+  let segments =
+    Stream.generate_phased ~rng ~tuples (List.map (fun _ -> txn_phase) path)
+  in
+  let reference = Strategy_sp.qmod_clustered (make_env dataset) in
+  let a =
+    Adaptive.wrap ~config:no_auto ~candidates:Migrate.all_kinds
+      ~initial_kind:Migrate.Qmod_clustered (make_env dataset)
+  in
+  let s = Adaptive.strategy a in
+  let whole_view = { Strategy.q_lo = Strategy.min_sentinel; q_hi = Strategy.max_sentinel } in
+  List.iter2
+    (fun ops target ->
+      List.iter
+        (fun op ->
+          match op with
+          | Stream.Txn changes ->
+              reference.Strategy.handle_transaction changes;
+              s.Strategy.handle_transaction changes
+          | Stream.Query _ -> ())
+        ops;
+      let from_ = Adaptive.current_kind a in
+      let cost = Adaptive.force_migrate a target in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s -> %s migration cost is finite and non-negative"
+           (Migrate.kind_name from_) (Migrate.kind_name target))
+        true
+        (Float.is_finite cost && cost >= 0.);
+      Alcotest.(check bool)
+        (Printf.sprintf "controller tracks forced kind %s" (Migrate.kind_name target))
+        true
+        (Adaptive.current_kind a = target
+        && Controller.current (Adaptive.controller a) = target);
+      if
+        not
+          (Bag.equal
+             (answer_bag (reference.Strategy.answer_query whole_view))
+             (answer_bag (s.Strategy.answer_query whole_view)))
+      then
+        Alcotest.failf "query answers differ after migrating to %s"
+          (Migrate.kind_name target);
+      if
+        not
+          (Bag.equal (reference.Strategy.view_contents ()) (s.Strategy.view_contents ()))
+      then
+        Alcotest.failf "view contents differ after migrating to %s"
+          (Migrate.kind_name target))
+    segments path;
+  Alcotest.(check int) "all migrations recorded" (List.length path)
+    (List.length (Adaptive.migrations a))
+
+(* Property: any sequence of forced migrations at arbitrary points of a
+   random stream leaves the adaptive view indistinguishable from the
+   query-modification reference. *)
+let prop_forced_migration_equivalence =
+  let gen =
+    QCheck.Gen.(pair (int_range 0 1000) (list_size (int_range 1 6) (int_range 0 4)))
+  in
+  QCheck.Test.make ~name:"random forced migrations preserve the view" ~count:25
+    (QCheck.make gen)
+    (fun (seed, path) ->
+      let dataset, ops = dataset_and_ops seed in
+      let reference = Strategy_sp.qmod_clustered (make_env dataset) in
+      let a =
+        Adaptive.wrap ~config:no_auto ~candidates:Migrate.all_kinds (make_env dataset)
+      in
+      let s = Adaptive.strategy a in
+      let nops = List.length ops in
+      let kinds = List.map (List.nth Migrate.all_kinds) path in
+      let nmig = List.length kinds in
+      let mig_at = Array.make (nops + 1) None in
+      List.iteri (fun j kind -> mig_at.((j + 1) * nops / (nmig + 1)) <- Some kind) kinds;
+      let ok = ref true in
+      List.iteri
+        (fun i op ->
+          (match mig_at.(i) with
+          | Some kind -> ignore (Adaptive.force_migrate a kind)
+          | None -> ());
+          match op with
+          | Stream.Txn changes ->
+              reference.Strategy.handle_transaction changes;
+              s.Strategy.handle_transaction changes
+          | Stream.Query q ->
+              if
+                not
+                  (Bag.equal
+                     (answer_bag (reference.Strategy.answer_query q))
+                     (answer_bag (s.Strategy.answer_query q)))
+              then ok := false)
+        ops;
+      !ok
+      && Bag.equal (reference.Strategy.view_contents ()) (s.Strategy.view_contents ()))
+
+(* ------------------------------------------------------------------ *)
+(* Controller guards                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let base_params = { Params.defaults with Params.n_tuples = 5000.; f = 0.5; fv = 0.5 }
+
+let candidates = Migrate.[ Deferred; Immediate; Qmod_clustered ]
+
+let controller ?(config = Controller.default_config) ?(initial = Migrate.Qmod_clustered) ()
+    =
+  Controller.create ~config ~candidates ~initial ~base_params ()
+
+let query_heavy_wstats () =
+  (* all queries, no updates: P ~ 0, squarely in materialization's region *)
+  let ws = Wstats.create () in
+  for _ = 1 to 40 do
+    Wstats.observe_query ws ~returned:1250 ~view_size:2500 ~cost:100.
+  done;
+  ws
+
+let decide c ws ~at_query =
+  Controller.decide c ~wstats:ws ~n_tuples:5000. ~f:0.5 ~at_query
+
+let test_min_ops_gate () =
+  let c = controller () in
+  let ws = Wstats.create () in
+  Wstats.observe_query ws ~returned:10 ~view_size:100 ~cost:1.;
+  Alcotest.(check bool) "no decision before min_ops" true (decide c ws ~at_query:10 = None);
+  Alcotest.(check int) "nothing logged" 0 (List.length (Controller.log c))
+
+let test_decide_every_gate () =
+  let c = controller () in
+  let ws = query_heavy_wstats () in
+  ignore (decide c ws ~at_query:10);
+  let logged = List.length (Controller.log c) in
+  Alcotest.(check bool) "too soon after last decision" true
+    (decide c ws ~at_query:11 = None);
+  Alcotest.(check int) "no extra evaluation logged" logged
+    (List.length (Controller.log c))
+
+let test_switch_on_clear_advantage () =
+  let c = controller () in
+  let ws = query_heavy_wstats () in
+  (match decide c ws ~at_query:10 with
+  | Some kind ->
+      Alcotest.(check bool) "switched to a materialized kind" true
+        (Migrate.is_materialized kind);
+      Alcotest.(check bool) "controller current updated" true
+        (Controller.current c = kind)
+  | None -> Alcotest.fail "expected a switch on a query-heavy workload");
+  Alcotest.(check int) "one switch" 1 (Controller.switches c)
+
+let test_hysteresis_blocks () =
+  let c =
+    controller ~config:{ Controller.default_config with Controller.hysteresis = 1e6 } ()
+  in
+  let ws = query_heavy_wstats () in
+  Alcotest.(check bool) "huge hysteresis prevents any switch" true
+    (decide c ws ~at_query:10 = None);
+  match Controller.log c with
+  | [ d ] ->
+      Alcotest.(check bool) "evaluation logged but not switched" false d.Controller.d_switched;
+      Alcotest.(check bool) "reason names hysteresis" true
+        (Astring.String.is_infix ~affix:"hysteresis" d.Controller.d_reason)
+  | l -> Alcotest.failf "expected exactly one logged decision, got %d" (List.length l)
+
+let test_break_even_blocks () =
+  let c =
+    controller ~config:{ Controller.default_config with Controller.horizon = 0. } ()
+  in
+  let ws = query_heavy_wstats () in
+  Alcotest.(check bool) "zero horizon prevents any switch" true
+    (decide c ws ~at_query:10 = None);
+  match Controller.log c with
+  | [ d ] ->
+      Alcotest.(check bool) "reason names break-even" true
+        (Astring.String.is_infix ~affix:"break-even" d.Controller.d_reason)
+  | l -> Alcotest.failf "expected exactly one logged decision, got %d" (List.length l)
+
+let test_no_flapping () =
+  let c = controller () in
+  let ws = query_heavy_wstats () in
+  let switched_first = decide c ws ~at_query:10 <> None in
+  Alcotest.(check bool) "first decision switches" true switched_first;
+  (* the workload stays query-heavy: the controller must now hold still *)
+  for i = 1 to 30 do
+    Wstats.observe_query ws ~returned:1250 ~view_size:2500 ~cost:100.;
+    match decide c ws ~at_query:(10 + (i * Controller.default_config.Controller.decide_every)) with
+    | Some _ -> Alcotest.failf "flapped at evaluation %d" i
+    | None -> ()
+  done;
+  Alcotest.(check int) "exactly one switch over the steady regime" 1
+    (Controller.switches c)
+
+(* ------------------------------------------------------------------ *)
+(* Workload observer                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_wstats_tracks_shift () =
+  let ws = Wstats.create ~alpha:0.25 () in
+  for _ = 1 to 50 do
+    Wstats.observe_txn ws ~l:8 ~cost:50.
+  done;
+  Alcotest.(check bool) "update-heavy: P near 1" true (Wstats.update_probability ws > 0.9);
+  Alcotest.(check (float 1e-6)) "mean l" 8. (Wstats.mean_l ws);
+  for _ = 1 to 50 do
+    Wstats.observe_query ws ~returned:50 ~view_size:100 ~cost:10.
+  done;
+  Alcotest.(check bool) "after the shift: P near 0" true
+    (Wstats.update_probability ws < 0.1);
+  Alcotest.(check bool) "fv observed" true (Float.abs (Wstats.mean_fv ws -. 0.5) < 0.01);
+  let p = Wstats.to_params ws ~base:base_params ~n_tuples:5000. ~f:0.5 in
+  (match Params.validate p with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "projected params invalid: %s" msg);
+  Alcotest.(check int) "ops counted" 100 (Wstats.ops_seen ws)
+
+(* ------------------------------------------------------------------ *)
+(* End to end                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The wrapped strategy drops into the language layer: [using adaptive]. *)
+let test_using_adaptive_in_db () =
+  let db = Db.create () in
+  let run statement =
+    match Db.exec db statement with
+    | Ok result -> result
+    | Error message -> Alcotest.failf "%s: %s" statement message
+  in
+  ignore (run "create table r (id int key, pval float, amount float) size 100");
+  for i = 1 to 20 do
+    ignore
+      (run
+         (Printf.sprintf "insert into r values (%d, %g, %d)" i
+            (float_of_int i /. 20.)
+            (10 * i)))
+  done;
+  ignore
+    (run "define view v (pval, amount) from r where pval < 0.5 cluster on pval using adaptive");
+  (match run "select * from v" with
+  | Db.Rows rows -> Alcotest.(check int) "adaptive view answers" 9 (List.length rows)
+  | _ -> Alcotest.fail "expected rows");
+  ignore (run "insert into r values (21, 0.05, 5)");
+  match run "select * from v" with
+  | Db.Rows rows -> Alcotest.(check int) "insert visible through view" 10 (List.length rows)
+  | _ -> Alcotest.fail "expected rows"
+
+(* The controller actually migrates (and pays off) on a phase shift. *)
+let test_phase_shift_end_to_end () =
+  let p =
+    { (Experiment.scale Params.defaults 0.05) with Params.f = 0.5; fv = 0.5 }
+  in
+  let phases =
+    [
+      { Experiment.sp_k = 120; sp_l = 8; sp_q = 12; sp_fv = 0.5 };
+      { Experiment.sp_k = 12; sp_l = 8; sp_q = 240; sp_fv = 0.5 };
+    ]
+  in
+  let results =
+    Experiment.measure_phased p ~phases ~adaptive_initial:Migrate.Qmod_clustered
+      [ `Clustered; `Deferred; `Immediate; `Adaptive ]
+  in
+  let adaptive = List.find (fun r -> r.Experiment.ph_adaptive <> None) results in
+  let statics = List.filter (fun r -> r.Experiment.ph_adaptive = None) results in
+  let a = Option.get adaptive.Experiment.ph_adaptive in
+  Alcotest.(check bool) "at least one migration" true (Adaptive.migrations a <> []);
+  List.iteri
+    (fun i _ ->
+      let cost r = (List.nth r.Experiment.ph_per_phase i).Runner.cost_per_query in
+      let best = List.fold_left (fun acc r -> Float.min acc (cost r)) Float.infinity statics in
+      if cost adaptive > 1.1 *. best then
+        Alcotest.failf "phase %d: adaptive %.1f exceeds best static %.1f by > 10%%" (i + 1)
+          (cost adaptive) best)
+    phases;
+  let overall r = r.Experiment.ph_overall.Runner.cost_per_query in
+  let worst = List.fold_left (fun acc r -> Float.max acc (overall r)) 0. statics in
+  Alcotest.(check bool) "adaptive strictly beats the worst static overall" true
+    (overall adaptive < worst)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "adaptive.migrate",
+      [
+        Alcotest.test_case "forced path equivalence (pending HR)" `Quick test_forced_paths;
+      ]
+      @ qcheck [ prop_forced_migration_equivalence ] );
+    ( "adaptive.controller",
+      [
+        Alcotest.test_case "min_ops gate" `Quick test_min_ops_gate;
+        Alcotest.test_case "decide_every gate" `Quick test_decide_every_gate;
+        Alcotest.test_case "switches on clear advantage" `Quick test_switch_on_clear_advantage;
+        Alcotest.test_case "hysteresis blocks" `Quick test_hysteresis_blocks;
+        Alcotest.test_case "break-even blocks" `Quick test_break_even_blocks;
+        Alcotest.test_case "no flapping on a steady workload" `Quick test_no_flapping;
+      ] );
+    ( "adaptive.wstats",
+      [ Alcotest.test_case "tracks a phase shift" `Quick test_wstats_tracks_shift ] );
+    ( "adaptive.end-to-end",
+      [
+        Alcotest.test_case "using adaptive via sql" `Quick test_using_adaptive_in_db;
+        Alcotest.test_case "migrates and pays off on a phase shift" `Slow
+          test_phase_shift_end_to_end;
+      ] );
+  ]
