@@ -61,6 +61,8 @@ let json_of_measurement (m : Runner.measurement) =
       ("cost_per_query", j_num m.Runner.cost_per_query);
       ("physical_reads", j_int m.Runner.physical_reads);
       ("physical_writes", j_int m.Runner.physical_writes);
+      ("buffer_pool_hits", j_int m.Runner.buffer_pool_hits);
+      ("buffer_pool_misses", j_int m.Runner.buffer_pool_misses);
       ( "category_costs",
         j_obj
           (List.filter_map
@@ -68,6 +70,20 @@ let json_of_measurement (m : Runner.measurement) =
                if cost > 0. then Some (Cost_meter.category_name cat, j_num cost) else None)
              m.Runner.category_costs) );
     ]
+
+(* When --json is on, measured sections run under a live recorder whose
+   metric registry is embedded in the BENCH_*.json they write (the
+   ["metrics"] field, in Metrics.to_json shape).  Without --json there is no
+   recorder, and either way the measured numbers are identical (the recorder
+   never touches the meter). *)
+let bench_recorder () =
+  if not !json_enabled then (None, None)
+  else
+    let metrics = Metrics.create () in
+    (Some metrics, Some (Recorder.create ~metrics ()))
+
+let metrics_field metrics =
+  match metrics with None -> [] | Some m -> [ ("metrics", Metrics.to_json m) ]
 
 let section title =
   let rule = String.make 78 '=' in
@@ -159,12 +175,14 @@ let figure_1_measured () =
     (Printf.sprintf "Figure 1 (measured): simulated engine at N = %.0f"
        (Experiment.scale Params.defaults !scale).Params.n_tuples);
   let headers = [ "P"; "deferred"; "immediate"; "clustered"; "unclustered"; "winner" ] in
+  let metrics, recorder = bench_recorder () in
   let measured =
     List.map
       (fun prob ->
         let p = scaled_params prob in
         ( prob,
-          Experiment.measure_model1 p [ `Deferred; `Immediate; `Clustered; `Unclustered ] ))
+          Experiment.measure_model1 ?recorder p
+            [ `Deferred; `Immediate; `Clustered; `Unclustered ] ))
       measured_p_grid
   in
   let rows =
@@ -193,7 +211,7 @@ let figure_1_measured () =
   if !json_enabled then
     write_json "BENCH_figures.json"
       (j_obj
-         [
+         ([
            ("figure", j_str "figure-1-measured");
            ("n_tuples", j_num (Experiment.scale Params.defaults !scale).Params.n_tuples);
            ( "points",
@@ -207,7 +225,8 @@ let figure_1_measured () =
                           j_arr (List.map (fun (_, m) -> json_of_measurement m) results) );
                       ])
                   measured) );
-         ])
+          ]
+         @ metrics_field metrics))
 
 (* ------------------------------------------------------------------ *)
 (* Figures 2, 3, 4, 6, 7: region maps                                  *)
@@ -530,7 +549,7 @@ let run_sp_strategy dataset ops ctor =
       ad_buckets = 4;
     }
   in
-  Runner.run ~meter ~disk ~strategy:(ctor env) ~ops
+  Runner.run ~meter ~disk ~strategy:(ctor env) ~ops ()
 
 let ablation_refresh_interval () =
   section "Ablation: refresh frequency (the Yao triangle inequality, section 4)";
@@ -749,8 +768,10 @@ let adaptive_bench () =
       (fun (k, l, q) -> { Experiment.sp_k = k; sp_l = l; sp_q = q; sp_fv = p.Params.fv })
       phase_specs
   in
+  let metrics, recorder = bench_recorder () in
   let results =
-    Experiment.measure_phased p ~phases ~adaptive_initial:Migrate.Qmod_clustered
+    Experiment.measure_phased ?recorder p ~phases
+      ~adaptive_initial:Migrate.Qmod_clustered
       [ `Clustered; `Deferred; `Immediate; `Adaptive ]
   in
   print_table
@@ -858,7 +879,7 @@ let adaptive_bench () =
                   ("better_than_worst_overall", j_bool overall_ok);
                 ] );
           ]
-         @ adaptive_json))
+         @ adaptive_json @ metrics_field metrics))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)

@@ -7,7 +7,11 @@
      vmperf regions  --model 1 --c3 2             best-strategy map (Figures 2-4, 6-7)
      vmperf sweep    --model 3 --param l          cost table over a parameter sweep
      vmperf adapt    --scale 0.05 -f 0.5          adaptive vs static on a phase shift
-     vmperf params                                the paper's parameter table *)
+     vmperf top      --strategy deferred          profile one strategy (spans + metrics)
+     vmperf params                                the paper's parameter table
+
+   simulate, adapt and top accept --trace FILE (Chrome trace_event JSON),
+   --metrics FILE (Prometheus text) and --metrics-json FILE. *)
 
 open Core
 open Cmdliner
@@ -120,20 +124,128 @@ let scale_term =
 let seed_term =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc:"Workload RNG seed.")
 
+(* ------------------------------------------------------------------ *)
+(* Observability flags (simulate / adapt / top)                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the run to $(docv) (load it in \
+           chrome://tracing or ui.perfetto.dev).  Timestamps are modeled \
+           milliseconds — the cost meter's virtual clock — so traces of a seeded \
+           workload are deterministic.")
+
+let metrics_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a Prometheus text-format metrics snapshot to $(docv) after the run.  \
+           The vmat_cost_ms_total counters mirror the cost meter and are reset at each \
+           strategy's run start, so with several strategies they reflect the last one \
+           measured; use --only (or the top command) for an unambiguous snapshot.")
+
+let metrics_json_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Write a JSON metrics snapshot to $(docv) after the run.")
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+(* Build the recorder implied by the flags (if any) and a flush function that
+   writes the requested files after the run. *)
+let make_recorder ~trace_file ~metrics_file ~metrics_json_file =
+  if trace_file = None && metrics_file = None && metrics_json_file = None then
+    (None, fun () -> ())
+  else begin
+    let trace = if trace_file = None then None else Some (Trace.create ()) in
+    let metrics =
+      if metrics_file = None && metrics_json_file = None then None
+      else Some (Metrics.create ())
+    in
+    let recorder = Recorder.create ?trace ?metrics () in
+    let flush () =
+      Option.iter
+        (fun path ->
+          write_file path (Trace.to_chrome_json (Option.get trace));
+          Printf.printf "trace written to %s (%d events)\n" path
+            (Trace.event_count (Option.get trace)))
+        trace_file;
+      Option.iter
+        (fun path ->
+          write_file path (Metrics.to_prometheus (Option.get metrics));
+          Printf.printf "metrics written to %s\n" path)
+        metrics_file;
+      Option.iter
+        (fun path ->
+          write_file path (Metrics.to_json (Option.get metrics));
+          Printf.printf "metrics JSON written to %s\n" path)
+        metrics_json_file
+    in
+    (Some recorder, flush)
+  end
+
+let strategy_tag = function
+  | `Deferred -> "deferred"
+  | `Immediate -> "immediate"
+  | `Clustered -> "clustered"
+  | `Unclustered -> "unclustered"
+  | `Sequential -> "sequential"
+  | `Recompute -> "recompute"
+  | `Adaptive -> "adaptive"
+  | `Loopjoin -> "loopjoin"
+
+let filter_only only all =
+  match only with
+  | None -> all
+  | Some name -> (
+      let name = String.lowercase_ascii name in
+      match List.filter (fun s -> strategy_tag s = name) all with
+      | [] ->
+          Printf.eprintf "unknown or unavailable strategy %s (expected one of: %s)\n"
+            name
+            (String.concat ", " (List.map strategy_tag all));
+          exit 2
+      | l -> l)
+
+let only_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~docv:"NAME"
+        ~doc:
+          "Measure only the named strategy (deferred, immediate, clustered, ...).  \
+           With --metrics this makes the cost counters an unambiguous mirror of that \
+           strategy's meter.")
+
 let simulate_cmd =
-  let run model p scale seed =
+  let run model p scale seed only trace_file metrics_file metrics_json_file =
     let p = Experiment.scale p scale in
+    let recorder, flush_obs = make_recorder ~trace_file ~metrics_file ~metrics_json_file in
     Format.printf "simulating at N = %.0f, P = %.3f, seed %d@." p.Params.n_tuples
       (Params.update_probability p) seed;
     let results =
       match model_of_int model with
       | Advisor.Selection_projection ->
-          Experiment.measure_model1 ~seed p
-            [ `Deferred; `Immediate; `Clustered; `Unclustered; `Recompute ]
+          Experiment.measure_model1 ~seed ?recorder p
+            (filter_only only
+               [ `Deferred; `Immediate; `Clustered; `Unclustered; `Recompute ])
       | Advisor.Two_way_join ->
-          Experiment.measure_model2 ~seed p [ `Deferred; `Immediate; `Loopjoin ]
+          Experiment.measure_model2 ~seed ?recorder p
+            (filter_only only [ `Deferred; `Immediate; `Loopjoin ])
       | Advisor.Aggregate_over_view ->
-          Experiment.measure_model3 ~seed p [ `Deferred; `Immediate; `Recompute ]
+          Experiment.measure_model3 ~seed ?recorder p
+            (filter_only only [ `Deferred; `Immediate; `Recompute ])
     in
     let category_names =
       List.filter (fun c -> c <> Cost_meter.Base) Cost_meter.all_categories
@@ -155,12 +267,15 @@ let simulate_cmd =
                   (fun c ->
                     Table.float_cell ~decimals:0 (List.assoc c m.Runner.category_costs))
                   category_names)
-            results))
+            results));
+    flush_obs ()
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the strategies on the simulated engine and report measured costs.")
-    Term.(const run $ model_term $ params_term $ scale_term $ seed_term)
+    Term.(
+      const run $ model_term $ params_term $ scale_term $ seed_term $ only_term
+      $ trace_term $ metrics_term $ metrics_json_term)
 
 let advise_cmd =
   let run model p =
@@ -297,8 +412,10 @@ let adapt_cmd =
       & info [ "hysteresis" ] ~docv:"FLOAT"
           ~doc:"Relative advantage a challenger needs before a switch (e.g. 0.15).")
   in
-  let run p scale seed k1 q1 k2 q2 initial horizon hysteresis =
+  let run p scale seed k1 q1 k2 q2 initial horizon hysteresis trace_file metrics_file
+      metrics_json_file =
     let p = Experiment.scale p scale in
+    let recorder, flush_obs = make_recorder ~trace_file ~metrics_file ~metrics_json_file in
     let initial_kind =
       match Migrate.kind_of_name initial with
       | Some k -> k
@@ -319,8 +436,8 @@ let adapt_cmd =
        txns x %d tuples, %d queries@.  phase 2: %d txns x %d tuples, %d queries@.@."
       p.Params.n_tuples p.Params.f p.Params.fv seed k1 l q1 k2 l q2;
     let results =
-      Experiment.measure_phased ~seed ~adaptive_config:cfg ~adaptive_initial:initial_kind
-        p ~phases
+      Experiment.measure_phased ~seed ?recorder ~adaptive_config:cfg
+        ~adaptive_initial:initial_kind p ~phases
         [ `Clustered; `Deferred; `Immediate; `Adaptive ]
     in
     print_endline
@@ -359,7 +476,8 @@ let adapt_cmd =
                       m.Adaptive.measured_cost)
                   ms);
             Format.printf "@.final observer state: %a@." Wstats.pp (Adaptive.wstats a))
-      results
+      results;
+    flush_obs ()
   in
   Cmd.v
     (Cmd.info "adapt"
@@ -369,7 +487,131 @@ let adapt_cmd =
           adaptive controller's decision log.")
     Term.(
       const run $ params_term $ scale_term $ seed_term $ k1_term $ q1_term $ k2_term
-      $ q2_term $ initial_term $ horizon_term $ hysteresis_term)
+      $ q2_term $ initial_term $ horizon_term $ hysteresis_term $ trace_term
+      $ metrics_term $ metrics_json_term)
+
+let top_cmd =
+  let strategy_term =
+    Arg.(
+      value
+      & opt string "deferred"
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:
+            "Strategy to profile (model 1: deferred, immediate, clustered, \
+             unclustered, sequential, recompute, adaptive; model 2: deferred, \
+             immediate, loopjoin; model 3: deferred, immediate, recompute).")
+  in
+  let run model p scale seed strat trace_file metrics_file metrics_json_file =
+    let p = Experiment.scale p scale in
+    let trace = if trace_file = None then None else Some (Trace.create ()) in
+    let metrics = Metrics.create () in
+    let recorder = Recorder.create ?trace ~metrics () in
+    let name, m =
+      let one = function
+        | [ r ] -> r
+        | _ -> assert false (* filter_only returns exactly one strategy *)
+      in
+      match model_of_int model with
+      | Advisor.Selection_projection ->
+          one
+            (Experiment.measure_model1 ~seed ~recorder p
+               (filter_only (Some strat)
+                  [
+                    `Deferred; `Immediate; `Clustered; `Unclustered; `Sequential;
+                    `Recompute; `Adaptive;
+                  ]))
+      | Advisor.Two_way_join ->
+          one
+            (Experiment.measure_model2 ~seed ~recorder p
+               (filter_only (Some strat) [ `Deferred; `Immediate; `Loopjoin ]))
+      | Advisor.Aggregate_over_view ->
+          one
+            (Experiment.measure_model3 ~seed ~recorder p
+               (filter_only (Some strat) [ `Deferred; `Immediate; `Recompute ]))
+    in
+    Format.printf "%a@.@." Runner.pp m;
+    (* Per-category cost, meter vs the mirrored metric counter (the two agree
+       by construction; printing both makes the consistency visible). *)
+    let active = List.filter (fun (_, c) -> c > 0.) m.Runner.category_costs in
+    let max_cost = List.fold_left (fun acc (_, c) -> Float.max acc c) 1. active in
+    print_endline
+      (Table.render
+         ~headers:[ "category"; "meter ms"; "metric ms"; "" ]
+         (List.map
+            (fun (cat, cost) ->
+              let mirrored =
+                Option.value ~default:0.
+                  (Metrics.counter_value metrics
+                     ~labels:[ ("category", Cost_meter.category_name cat) ]
+                     "vmat_cost_ms_total")
+              in
+              [
+                Cost_meter.category_name cat;
+                Table.float_cell ~decimals:1 cost;
+                Table.float_cell ~decimals:1 mirrored;
+                String.make
+                  (max 1 (int_of_float (Float.round (24. *. cost /. max_cost))))
+                  '#';
+              ])
+            active));
+    Format.printf "@.per-operation cost (log2 buckets, 1 ms .. overflow):@.";
+    List.iter
+      (fun op ->
+        let labels = [ ("op", op); ("strategy", name) ] in
+        match Metrics.histogram_buckets metrics ~labels "vmat_op_cost_ms" with
+        | None -> ()
+        | Some (_, counts) ->
+            let n, sum =
+              Option.value ~default:(0, 0.)
+                (Metrics.histogram_totals metrics ~labels "vmat_op_cost_ms")
+            in
+            Format.printf "  %-6s |%s|  n=%d, mean %.1f ms@." op
+              (Ascii_plot.sparkline
+                 (Array.to_list (Array.map float_of_int counts)))
+              n
+              (if n = 0 then 0. else sum /. float_of_int n))
+      [ "txn"; "query" ];
+    Format.printf "@.counters and gauges:@.";
+    let series =
+      Metrics.fold_series metrics
+        (fun acc ~name ~kind ~labels value ->
+          match kind with
+          | Metrics.Histogram -> acc
+          | _ when value = 0. -> acc
+          | _ ->
+              let rendered =
+                match labels with
+                | [] -> name
+                | l ->
+                    name ^ "{"
+                    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+                    ^ "}"
+              in
+              (rendered, value) :: acc)
+        []
+    in
+    List.iter
+      (fun (nm, v) -> Format.printf "  %-60s %.1f@." nm v)
+      (List.sort compare series);
+    Option.iter
+      (fun t -> Format.printf "@.trace: %d events recorded@." (Trace.event_count t))
+      trace;
+    Option.iter
+      (fun path -> write_file path (Trace.to_chrome_json (Option.get trace)))
+      trace_file;
+    Option.iter (fun path -> write_file path (Metrics.to_prometheus metrics)) metrics_file;
+    Option.iter (fun path -> write_file path (Metrics.to_json metrics)) metrics_json_file
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Profile one strategy with the full observability layer: measured costs \
+          beside their mirrored metric counters, per-operation cost histograms as \
+          sparklines, and every counter the run touched (Bloom probes, buffer-pool \
+          hits, screening tests, migrations).")
+    Term.(
+      const run $ model_term $ params_term $ scale_term $ seed_term $ strategy_term
+      $ trace_term $ metrics_term $ metrics_json_term)
 
 let shell_cmd =
   let run () =
@@ -416,5 +658,5 @@ let () =
        (Cmd.group info
           [
             params_cmd; costs_cmd; simulate_cmd; advise_cmd; regions_cmd; sweep_cmd;
-            adapt_cmd; shell_cmd;
+            adapt_cmd; top_cmd; shell_cmd;
           ]))

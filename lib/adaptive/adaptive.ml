@@ -2,6 +2,7 @@ open Vmat_storage
 open Vmat_relalg
 open Vmat_view
 module Params = Vmat_cost.Params
+module Recorder = Vmat_obs.Recorder
 
 type migration = {
   at_query : int;
@@ -57,10 +58,28 @@ let current_tuples t = Hashtbl.fold (fun _ tuple acc -> tuple :: acc) t.table []
 (* ------------------------------------------------------------------ *)
 
 let perform_migration t target =
+  let r = Cost_meter.recorder t.meter in
   let env' = { t.env with Strategy_sp.initial = current_tuples t } in
   let replacement, cost =
-    Migrate.migrate ~env:env' ~from_:t.kind ~current:t.active ~to_:target
+    Recorder.span r ~cat:"adaptive" "migrate"
+      ~args:
+        [ ("from", Migrate.kind_name t.kind); ("to", Migrate.kind_name target) ]
+      (fun () -> Migrate.migrate ~env:env' ~from_:t.kind ~current:t.active ~to_:target)
   in
+  if Recorder.enabled r then begin
+    Recorder.inc r ~help:"Live strategy migrations performed by the adaptive controller."
+      ~labels:
+        [ ("from", Migrate.kind_name t.kind); ("to", Migrate.kind_name target) ]
+      "vmat_migrations_total" 1.;
+    Recorder.instant r ~cat:"adaptive" "migration"
+      ~args:
+        [
+          ("from", Migrate.kind_name t.kind);
+          ("to", Migrate.kind_name target);
+          ("at_query", string_of_int t.n_queries);
+          ("cost_ms", Printf.sprintf "%.3f" cost);
+        ]
+  end;
   t.migs <-
     { at_query = t.n_queries; from_kind = t.kind; to_kind = target; measured_cost = cost }
     :: t.migs;

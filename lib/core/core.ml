@@ -16,7 +16,10 @@
     - {!Dataset}, {!Stream}, {!Runner}, {!Experiment} — measured workloads;
     - {!Advisor} — strategy selection from the model;
     - {!Wstats}, {!Migrate}, {!Controller}, {!Adaptive} — online workload
-      observation and live strategy migration (adaptive maintenance). *)
+      observation and live strategy migration (adaptive maintenance);
+    - {!Span}, {!Trace}, {!Metrics}, {!Recorder}, {!Json_text} — the
+      zero-dependency observability layer (Chrome-trace spans, Prometheus
+      metrics) threaded through every layer above via the cost meter. *)
 
 module Yao = Vmat_util.Yao
 module Combin = Vmat_util.Combin
@@ -25,6 +28,11 @@ module Rng = Vmat_util.Rng
 module Stats = Vmat_util.Stats
 module Table = Vmat_util.Table
 module Ascii_plot = Vmat_util.Ascii_plot
+module Span = Vmat_obs.Span
+module Trace = Vmat_obs.Trace
+module Metrics = Vmat_obs.Metrics
+module Recorder = Vmat_obs.Recorder
+module Json_text = Vmat_obs.Json_text
 module Value = Vmat_storage.Value
 module Schema = Vmat_storage.Schema
 module Tuple = Vmat_storage.Tuple

@@ -2,6 +2,7 @@ open Vmat_storage
 open Vmat_util
 module Btree = Vmat_index.Btree
 module Hash_file = Vmat_index.Hash_file
+module Recorder = Vmat_obs.Recorder
 
 (* AD entries extend the base tuple with three bookkeeping columns:
    role ("A" or "D"), the original tid, and the screening marker.  The entry
@@ -91,6 +92,31 @@ let charge_base_read t =
   Cost_meter.with_category t.meter Cost_meter.Base (fun () ->
       Cost_meter.charge_read t.meter)
 
+let ad_files_entry_count files =
+  List.fold_left (fun acc f -> acc + Hash_file.tuple_count f) 0 files
+
+let ad_files_page_count files =
+  List.fold_left (fun acc f -> acc + Hash_file.page_count f) 0 files
+
+let bloom t = t.bloom
+
+(* Keep the differential-file gauges fresh at transaction granularity (cheap:
+   page/tuple counts are O(#files)).  Gauges, unlike the cost counters, are
+   point-in-time, so sampling at txn boundaries is the honest reading. *)
+let note_ad_gauges t =
+  let r = Cost_meter.recorder t.meter in
+  if Recorder.enabled r then begin
+    Recorder.set_gauge r ~help:"Pages currently in the differential (A/D) file(s)."
+      "vmat_hr_ad_pages"
+      (float_of_int (ad_files_page_count (all_files t)));
+    Recorder.set_gauge r ~help:"Entries currently in the differential (A/D) file(s)."
+      "vmat_hr_ad_entries"
+      (float_of_int (ad_files_entry_count (all_files t)));
+    Recorder.set_gauge r
+      ~help:"Analytic false-positive probability of the A/D Bloom filter at current load."
+      "vmat_bloom_fp_rate" (Bloom.false_positive_rate t.bloom)
+  end
+
 let store t ~role entry =
   Cost_meter.with_category t.meter Cost_meter.Hr (fun () ->
       Hash_file.insert (file_for t role) entry)
@@ -121,7 +147,8 @@ let end_transaction t =
      charge afresh, which is what the paper's per-transaction Yao term
      models. *)
   Cost_meter.with_category t.meter Cost_meter.Base (fun () ->
-      List.iter (fun f -> Buffer_pool.invalidate (Hash_file.pool f)) (all_files t))
+      List.iter (fun f -> Buffer_pool.invalidate (Hash_file.pool f)) (all_files t));
+  note_ad_gauges t
 
 let identity_key tuple = Tuple.value_key tuple ^ "#" ^ string_of_int (Tuple.tid tuple)
 
@@ -189,31 +216,55 @@ let reset t =
     (all_files t);
   Bloom.clear t.bloom;
   t.a_count <- 0;
-  t.d_count <- 0
+  t.d_count <- 0;
+  note_ad_gauges t
 
 let lookup t ~key =
+  let r = Cost_meter.recorder t.meter in
   let find_in_base () =
     Cost_meter.charge_read t.meter;
     Btree.find_unmetered t.base (fun tuple -> Value.equal (Tuple.get tuple t.key_col) key)
   in
-  if not (Bloom.mem t.bloom (Value.key_string key)) then find_in_base ()
-  else begin
-    let entries = List.concat_map (fun f -> Hash_file.lookup f key) (all_files t) in
-    let matching =
-      List.filter (fun entry -> Value.equal (Tuple.get entry t.key_col) key) entries
-    in
-    let a, d = cancel_pairs (partition_entries t matching) in
-    match a with
-    | (tuple, _) :: _ -> Some tuple
-    | [] -> (
-        match find_in_base () with
-        | None -> None
-        | Some tuple ->
-            let gone =
-              List.exists (fun (del, _) -> Tuple.equal del tuple) d
-            in
-            if gone then None else Some tuple)
-  end
+  Recorder.span r ~cat:"hr" "hr.lookup" (fun () ->
+      let screened_in = Bloom.mem t.bloom (Value.key_string key) in
+      if Recorder.enabled r then begin
+        Recorder.inc r ~help:"Bloom membership probes against the A/D filter."
+          "vmat_bloom_probes_total" 1.;
+        if screened_in then
+          Recorder.inc r ~help:"Bloom probes that answered maybe-present."
+            "vmat_bloom_positives_total" 1.
+      end;
+      if not screened_in then find_in_base ()
+      else begin
+        let entries = List.concat_map (fun f -> Hash_file.lookup f key) (all_files t) in
+        let matching =
+          List.filter (fun entry -> Value.equal (Tuple.get entry t.key_col) key) entries
+        in
+        (* Every A/D insertion also feeds the filter and entries are only
+           removed wholesale (with a filter clear), so an empty hash-file
+           answer after a positive probe is, by construction, a false
+           positive — the one outcome the probe itself cannot see. *)
+        if matching = [] then begin
+          Bloom.note_false_positive t.bloom;
+          if Recorder.enabled r then begin
+            Recorder.inc r
+              ~help:"Positive Bloom probes the differential file then refuted (wasted I/O)."
+              "vmat_bloom_false_positives_total" 1.;
+            Recorder.instant r ~cat:"hr" "bloom.false_positive"
+          end
+        end;
+        let a, d = cancel_pairs (partition_entries t matching) in
+        match a with
+        | (tuple, _) :: _ -> Some tuple
+        | [] -> (
+            match find_in_base () with
+            | None -> None
+            | Some tuple ->
+                let gone =
+                  List.exists (fun (del, _) -> Tuple.equal del tuple) d
+                in
+                if gone then None else Some tuple)
+      end)
 
 let contents_unmetered t =
   let a_net, d_net = net_changes_unmetered t in

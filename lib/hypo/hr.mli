@@ -71,6 +71,12 @@ val net_changes : t -> (Tuple.t * bool) list * (Tuple.t * bool) list
 val ad_entry_count : t -> int
 val ad_page_count : t -> int
 
+val bloom : t -> Vmat_util.Bloom.t
+(** The screening filter, exposed for its probe/false-positive counters
+    ({!Vmat_util.Bloom.probes} and friends): {!lookup} reports spurious
+    positive probes back to the filter, so the empirical FP rate is finally
+    distinguishable from true differential-file hits. *)
+
 val reset : t -> unit
 (** Fold the differential file into the base relation
     ([R := (R ∪ A) − D; A := ∅; D := ∅]) and clear the Bloom filter.  The

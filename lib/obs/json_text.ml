@@ -1,0 +1,35 @@
+(* Minimal JSON *text construction* for the exporters.  Zero dependencies by
+   design (see the library's charter in recorder.mli): we only ever need to
+   *emit* well-formed JSON, never parse it, so a handful of string builders
+   suffices. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+let num f =
+  if Float.is_nan f then str "nan"
+  else if f = Float.infinity then str "+inf"
+  else if f = Float.neg_infinity then str "-inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let int i = string_of_int i
+let bool b = if b then "true" else "false"
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"

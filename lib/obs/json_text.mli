@@ -1,0 +1,17 @@
+(** JSON text builders shared by the trace and metrics exporters.  Emission
+    only — the observability layer never parses JSON. *)
+
+val escape : string -> string
+(** Backslash-escape a string for inclusion inside JSON quotes. *)
+
+val str : string -> string
+(** Quoted, escaped JSON string literal. *)
+
+val num : float -> string
+(** JSON number.  Non-finite floats (illegal in JSON) are emitted as the
+    strings ["nan"], ["+inf"], ["-inf"]. *)
+
+val int : int -> string
+val bool : bool -> string
+val arr : string list -> string
+val obj : (string * string) list -> string

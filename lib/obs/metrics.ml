@@ -1,0 +1,279 @@
+type kind = Counter | Gauge | Histogram
+
+let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Histogram -> "histogram"
+
+type histo = {
+  bounds : float array; (* strictly increasing finite upper bounds *)
+  counts : int array; (* length = Array.length bounds + 1; last bucket is +Inf *)
+  mutable sum : float;
+  mutable nobs : int;
+}
+
+type series = {
+  s_labels : (string * string) list; (* sorted by label name *)
+  mutable value : float; (* counters and gauges *)
+  histo : histo option;
+}
+
+type counter = series
+type gauge = series
+type histogram = series
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : kind;
+  mutable f_series : series list; (* newest first *)
+  f_tbl : (string, series) Hashtbl.t;
+}
+
+type t = { families : (string, family) Hashtbl.t; mutable order : string list }
+
+let create () = { families = Hashtbl.create 64; order = [] }
+
+let canon_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let label_key labels =
+  String.concat "\x00" (List.concat_map (fun (k, v) -> [ k; v ]) labels)
+
+(* ------------------------------------------------------------------ *)
+(* Log-scale histogram bucket math                                     *)
+(* ------------------------------------------------------------------ *)
+
+let log_bounds ?(start = 1.) ?(growth = 2.) ~count () =
+  if count < 1 then invalid_arg "Metrics.log_bounds: count must be >= 1";
+  if start <= 0. then invalid_arg "Metrics.log_bounds: start must be positive";
+  if growth <= 1. then invalid_arg "Metrics.log_bounds: growth must be > 1";
+  Array.init count (fun i -> start *. (growth ** float_of_int i))
+
+let default_bounds = log_bounds ~start:1. ~growth:2. ~count:16 ()
+
+(* Smallest bucket whose upper bound is >= v; the overflow bucket (index
+   [Array.length bounds]) catches everything above the last bound. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec search lo hi =
+    (* invariant: every i < lo has bounds.(i) < v; every i >= hi admits v *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= bounds.(mid) then search lo mid else search (mid + 1) hi
+  in
+  search 0 n
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let family t ~kind ~help name =
+  match Hashtbl.find_opt t.families name with
+  | Some f ->
+      if f.f_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s" name
+             (kind_name f.f_kind));
+      f
+  | None ->
+      let f =
+        { f_name = name; f_help = help; f_kind = kind; f_series = []; f_tbl = Hashtbl.create 4 }
+      in
+      Hashtbl.replace t.families name f;
+      t.order <- name :: t.order;
+      f
+
+let series f ~labels ~histo =
+  let labels = canon_labels labels in
+  let key = label_key labels in
+  match Hashtbl.find_opt f.f_tbl key with
+  | Some s -> s
+  | None ->
+      let s = { s_labels = labels; value = 0.; histo = histo () } in
+      Hashtbl.replace f.f_tbl key s;
+      f.f_series <- s :: f.f_series;
+      s
+
+let counter t ?(help = "") ?(labels = []) name : counter =
+  series (family t ~kind:Counter ~help name) ~labels ~histo:(fun () -> None)
+
+let gauge t ?(help = "") ?(labels = []) name : gauge =
+  series (family t ~kind:Gauge ~help name) ~labels ~histo:(fun () -> None)
+
+let histogram t ?(help = "") ?(labels = []) ?(bounds = default_bounds) name : histogram =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Metrics.histogram: no buckets";
+  for i = 1 to n - 1 do
+    if bounds.(i - 1) >= bounds.(i) then
+      invalid_arg "Metrics.histogram: bounds must be strictly increasing"
+  done;
+  series (family t ~kind:Histogram ~help name) ~labels ~histo:(fun () ->
+      Some { bounds = Array.copy bounds; counts = Array.make (n + 1) 0; sum = 0.; nobs = 0 })
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let inc c by =
+  if by < 0. then invalid_arg "Metrics.inc: counters only go up";
+  c.value <- c.value +. by
+
+let reset_counter c = c.value <- 0.
+let set g v = g.value <- v
+
+let observe h v =
+  match h.histo with
+  | None -> invalid_arg "Metrics.observe: not a histogram"
+  | Some histo ->
+      let i = bucket_index histo.bounds v in
+      histo.counts.(i) <- histo.counts.(i) + 1;
+      histo.sum <- histo.sum +. v;
+      histo.nobs <- histo.nobs + 1
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let find t ?(labels = []) name =
+  match Hashtbl.find_opt t.families name with
+  | None -> None
+  | Some f -> Hashtbl.find_opt f.f_tbl (label_key (canon_labels labels))
+
+let counter_value t ?labels name = Option.map (fun s -> s.value) (find t ?labels name)
+let gauge_value t ?labels name = Option.map (fun s -> s.value) (find t ?labels name)
+
+let histogram_totals t ?labels name =
+  match find t ?labels name with
+  | Some { histo = Some h; _ } -> Some (h.nobs, h.sum)
+  | _ -> None
+
+let histogram_buckets t ?labels name =
+  match find t ?labels name with
+  | Some { histo = Some h; _ } -> Some (Array.copy h.bounds, Array.copy h.counts)
+  | _ -> None
+
+let families t =
+  List.filter_map (fun name -> Hashtbl.find_opt t.families name) (List.rev t.order)
+
+let fold_series t f init =
+  List.fold_left
+    (fun acc fam ->
+      List.fold_left
+        (fun acc s -> f acc ~name:fam.f_name ~kind:fam.f_kind ~labels:s.s_labels s.value)
+        acc (List.rev fam.f_series))
+    init (families t)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prom_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) labels)
+      ^ "}"
+
+let prom_num f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let to_prometheus t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun fam ->
+      if fam.f_help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" fam.f_name (prom_escape fam.f_help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam.f_name (kind_name fam.f_kind));
+      List.iter
+        (fun s ->
+          match s.histo with
+          | None ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" fam.f_name (prom_labels s.s_labels) (prom_num s.value))
+          | Some h ->
+              let cumulative = ref 0 in
+              Array.iteri
+                (fun i count ->
+                  cumulative := !cumulative + count;
+                  let le =
+                    if i < Array.length h.bounds then prom_num h.bounds.(i) else "+Inf"
+                  in
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s %d\n" fam.f_name
+                       (prom_labels (s.s_labels @ [ ("le", le) ]))
+                       !cumulative))
+                h.counts;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_sum%s %s\n" fam.f_name (prom_labels s.s_labels)
+                   (prom_num h.sum));
+              Buffer.add_string buf
+                (Printf.sprintf "%s_count%s %d\n" fam.f_name (prom_labels s.s_labels) h.nobs))
+        (List.rev fam.f_series))
+    (families t);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON snapshot                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_labels labels =
+  Json_text.obj (List.map (fun (k, v) -> (k, Json_text.str v)) labels)
+
+let to_json t =
+  Json_text.obj
+    [
+      ( "metrics",
+        Json_text.arr
+          (List.concat_map
+             (fun fam ->
+               List.map
+                 (fun s ->
+                   let base =
+                     [
+                       ("name", Json_text.str fam.f_name);
+                       ("kind", Json_text.str (kind_name fam.f_kind));
+                       ("labels", json_of_labels s.s_labels);
+                     ]
+                   in
+                   match s.histo with
+                   | None -> Json_text.obj (base @ [ ("value", Json_text.num s.value) ])
+                   | Some h ->
+                       Json_text.obj
+                         (base
+                         @ [
+                             ( "buckets",
+                               Json_text.arr
+                                 (Array.to_list
+                                    (Array.mapi
+                                       (fun i count ->
+                                         Json_text.obj
+                                           [
+                                             ( "le",
+                                               if i < Array.length h.bounds then
+                                                 Json_text.num h.bounds.(i)
+                                               else Json_text.str "+Inf" );
+                                             ("count", Json_text.int count);
+                                           ])
+                                       h.counts)) );
+                             ("sum", Json_text.num h.sum);
+                             ("count", Json_text.int h.nobs);
+                           ]))
+                 (List.rev fam.f_series))
+             (families t)) );
+    ]

@@ -1,0 +1,86 @@
+(** A metric registry: counters, gauges and log-scale histograms with
+    optional labels, Prometheus text exposition and a JSON snapshot.
+
+    Handles ({!counter}, {!gauge}, {!histogram}) are resolved once and then
+    updated with plain field writes, so instrumented hot paths pay one
+    hashtable lookup at registration, not per update.  Registering the same
+    name and label set twice returns the same handle.
+
+    Unlike a production Prometheus client, counters here can be {e reset}:
+    the cost meter zeroes its mirrored counters whenever it is itself reset
+    (at the start of a measured run), which is exactly what keeps metric
+    totals provably equal to the meter's report — see
+    {!Vmat_storage.Cost_meter.set_recorder}. *)
+
+type t
+
+type kind = Counter | Gauge | Histogram
+
+val kind_name : kind -> string
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {1 Registration} *)
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  t -> ?help:string -> ?labels:(string * string) list -> ?bounds:float array -> string -> histogram
+(** [bounds] are strictly increasing finite bucket upper bounds; an implicit
+    [+Inf] overflow bucket is always appended.  The default is
+    {!log_bounds}[ ~start:1. ~growth:2. ~count:16 ()] — covering 1 ms to
+    32.8 s of modeled time at power-of-two resolution. *)
+
+val log_bounds : ?start:float -> ?growth:float -> count:int -> unit -> float array
+(** [log_bounds ~start ~growth ~count ()] is
+    [[| start; start*growth; ...; start*growth^(count-1) |]]. *)
+
+val bucket_index : float array -> float -> int
+(** [bucket_index bounds v] is the index of the bucket that [v] falls in:
+    the smallest [i] with [v <= bounds.(i)], or [Array.length bounds] for the
+    overflow bucket. *)
+
+(** {1 Updates} *)
+
+val inc : counter -> float -> unit
+(** @raise Invalid_argument on negative increments. *)
+
+val reset_counter : counter -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {1 Reads} *)
+
+val counter_value : t -> ?labels:(string * string) list -> string -> float option
+val gauge_value : t -> ?labels:(string * string) list -> string -> float option
+
+val histogram_totals : t -> ?labels:(string * string) list -> string -> (int * float) option
+(** [(observation count, sum)]. *)
+
+val histogram_buckets :
+  t -> ?labels:(string * string) list -> string -> (float array * int array) option
+(** [(bounds, per-bucket counts)]; the count array has one extra trailing
+    overflow cell.  Counts are raw per-bucket (not cumulative). *)
+
+val fold_series :
+  t ->
+  ('a -> name:string -> kind:kind -> labels:(string * string) list -> float -> 'a) ->
+  'a ->
+  'a
+(** Fold over every non-histogram-aware scalar value (histogram series fold
+    their [sum]s as 0 — use {!histogram_totals} for those). *)
+
+(** {1 Exporters} *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format, version 0.0.4: [# HELP]/[# TYPE]
+    headers, cumulative [_bucket{le=...}] lines plus [_sum]/[_count] for
+    histograms. *)
+
+val to_json : t -> string
+(** [{"metrics": [{"name", "kind", "labels", "value" | "buckets"/"sum"/"count"}, ...]}] *)

@@ -1,0 +1,96 @@
+type t = {
+  enabled : bool;
+  trace : Trace.t option;
+  metrics : Metrics.t option;
+  trace_charges : bool;
+  mutable clock : unit -> float;
+  (* Monotonic repair: the virtual clock (usually the cost meter's running
+     total) can jump backwards when the meter is reset between phases; we
+     fold such jumps into a growing offset so exported timestamps never
+     decrease. *)
+  mutable last_raw : float;
+  mutable offset : float;
+}
+
+let noop =
+  {
+    enabled = false;
+    trace = None;
+    metrics = None;
+    trace_charges = false;
+    clock = (fun () -> 0.);
+    last_raw = 0.;
+    offset = 0.;
+  }
+
+let create ?trace ?metrics ?(trace_charges = false) () =
+  {
+    enabled = (trace <> None || metrics <> None);
+    trace;
+    metrics;
+    trace_charges;
+    clock = (fun () -> 0.);
+    last_raw = 0.;
+    offset = 0.;
+  }
+
+let enabled t = t.enabled
+let trace t = t.trace
+let metrics t = t.metrics
+let trace_charges t = t.enabled && t.trace_charges && t.trace <> None
+
+let set_clock t clock = if t.enabled then t.clock <- clock
+
+let now t =
+  let raw = t.clock () in
+  if raw < t.last_raw then t.offset <- t.offset +. (t.last_raw -. raw);
+  t.last_raw <- raw;
+  raw +. t.offset
+
+(* ------------------------------------------------------------------ *)
+(* Spans and events                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let span t ?cat ?args ?end_args name f =
+  match t.trace with
+  | None -> f ()
+  | Some trace ->
+      let span = Trace.begin_span trace ~ts:(now t) ?cat ?args name in
+      Fun.protect
+        ~finally:(fun () ->
+          let args = match end_args with None -> [] | Some g -> g () in
+          Trace.end_span trace ~ts:(now t) ~args span)
+        f
+
+let instant t ?cat ?args name =
+  match t.trace with
+  | None -> ()
+  | Some trace -> Trace.instant trace ~ts:(now t) ?cat ?args name
+
+let trace_counter t name values =
+  match t.trace with
+  | None -> ()
+  | Some trace -> Trace.counter trace ~ts:(now t) name values
+
+let set_thread t ~tid ~label =
+  match t.trace with None -> () | Some trace -> Trace.set_thread trace ~tid ~label
+
+(* ------------------------------------------------------------------ *)
+(* Name-addressed metric conveniences (slow path: one registry lookup
+   per call; hot loops should resolve handles once via [metrics]).     *)
+(* ------------------------------------------------------------------ *)
+
+let inc t ?help ?labels name by =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.inc (Metrics.counter m ?help ?labels name) by
+
+let set_gauge t ?help ?labels name v =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.set (Metrics.gauge m ?help ?labels name) v
+
+let observe t ?help ?labels ?bounds name v =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.observe (Metrics.histogram m ?help ?labels ?bounds name) v

@@ -1,0 +1,72 @@
+(** The handle instrumented code records against: an optional {!Trace} plus an
+    optional {!Metrics} registry behind one enabled/disabled switch.
+
+    The charter of this library: {b zero dependencies, zero observer effect}.
+    Nothing in here touches the cost meter, the disk, or any other metered
+    structure, so a run with any recorder — no-op or live — reports costs
+    bit-identical to a recorder-free run (there is a test for exactly that in
+    [test/test_obs.ml]).  The disabled ({!noop}) path costs one branch.
+
+    Time: spans and events are stamped with a {e virtual clock}, installed by
+    the runner as the cost meter's accumulated modeled milliseconds.  That
+    makes traces deterministic across machines and exactly aligned with the
+    paper's cost accounting.  The clock is monotonically repaired across
+    meter resets (phase boundaries). *)
+
+type t
+
+val noop : t
+(** Permanently disabled recorder; every operation is a no-op. *)
+
+val create : ?trace:Trace.t -> ?metrics:Metrics.t -> ?trace_charges:bool -> unit -> t
+(** A live recorder writing to the given sinks.  [trace_charges] (default
+    [false]) additionally emits a Chrome counter event for {e every} cost
+    meter charge — fine-grained but large; leave off for big workloads. *)
+
+val enabled : t -> bool
+val trace : t -> Trace.t option
+val metrics : t -> Metrics.t option
+val trace_charges : t -> bool
+
+val set_clock : t -> (unit -> float) -> unit
+(** Install the virtual clock (modeled ms).  Ignored on {!noop}. *)
+
+val now : t -> float
+(** Current virtual time, monotonically repaired. *)
+
+val span :
+  t ->
+  ?cat:string ->
+  ?args:(string * string) list ->
+  ?end_args:(unit -> (string * string) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [span t name f] runs [f] inside a named span (exception-safe, so spans
+    are well-nested by construction).  [end_args] is evaluated only when
+    tracing is live, after [f] returns — use it for "how much did this
+    cost" attributes. *)
+
+val instant : t -> ?cat:string -> ?args:(string * string) list -> string -> unit
+val trace_counter : t -> string -> (string * float) list -> unit
+
+val set_thread : t -> tid:int -> label:string -> unit
+(** Route subsequent trace events to a labelled Chrome-trace lane (one per
+    strategy run by convention). *)
+
+(** {1 Name-addressed metric conveniences}
+
+    One registry lookup per call; hot loops should resolve handles once via
+    {!metrics} and the {!Metrics} API instead. *)
+
+val inc : t -> ?help:string -> ?labels:(string * string) list -> string -> float -> unit
+val set_gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> float -> unit
+
+val observe :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?bounds:float array ->
+  string ->
+  float ->
+  unit

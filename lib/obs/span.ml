@@ -1,0 +1,19 @@
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  cat : string;
+  start_ts : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+let make ~id ~name ~cat ~start_ts ~tid ~args = { id; name; cat; start_ts; tid; args }
+
+let id t = t.id
+let name t = t.name
+let cat t = t.cat
+let start_ts t = t.start_ts
+let tid t = t.tid
+let args t = t.args

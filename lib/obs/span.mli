@@ -1,0 +1,31 @@
+(** An open span: a named, nestable interval of (virtual) time with key/value
+    attributes.  Spans are created by {!Trace.begin_span} and closed by
+    {!Trace.end_span}; well-nestedness is enforced by the trace's span stack
+    (and guaranteed by construction when going through
+    {!Recorder.span}). *)
+
+type id = int
+
+type t
+
+val make :
+  id:id ->
+  name:string ->
+  cat:string ->
+  start_ts:float ->
+  tid:int ->
+  args:(string * string) list ->
+  t
+
+val id : t -> id
+val name : t -> string
+val cat : t -> string
+
+val start_ts : t -> float
+(** Timestamp in virtual milliseconds (see {!Recorder.set_clock}: the default
+    wiring uses the cost meter's modeled time, so traces are deterministic). *)
+
+val tid : t -> int
+(** Chrome-trace thread id: one logical lane per strategy run. *)
+
+val args : t -> (string * string) list

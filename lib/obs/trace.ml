@@ -1,0 +1,120 @@
+type event =
+  | Begin of Span.t
+  | End of { span : Span.t; ts : float; args : (string * string) list }
+  | Instant of { name : string; cat : string; ts : float; tid : int; args : (string * string) list }
+  | Counter of { name : string; ts : float; tid : int; values : (string * float) list }
+  | Thread_name of { tid : int; label : string }
+
+type t = {
+  mutable events : event list; (* newest first *)
+  mutable stack : Span.t list; (* open spans, innermost first *)
+  mutable next_id : int;
+  mutable cur_tid : int;
+  mutable n_events : int;
+}
+
+let create () = { events = []; stack = []; next_id = 1; cur_tid = 1; n_events = 0 }
+
+let push t ev =
+  t.events <- ev :: t.events;
+  t.n_events <- t.n_events + 1
+
+let set_thread t ~tid ~label =
+  t.cur_tid <- tid;
+  push t (Thread_name { tid; label })
+
+let current_tid t = t.cur_tid
+
+let begin_span t ~ts ?(cat = "") ?(args = []) name =
+  let span = Span.make ~id:t.next_id ~name ~cat ~start_ts:ts ~tid:t.cur_tid ~args in
+  t.next_id <- t.next_id + 1;
+  t.stack <- span :: t.stack;
+  push t (Begin span);
+  span
+
+let end_span t ~ts ?(args = []) span =
+  (match t.stack with
+  | top :: rest when Span.id top = Span.id span -> t.stack <- rest
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Trace.end_span: span %S (#%d) is not innermost" (Span.name span)
+           (Span.id span)));
+  push t (End { span; ts; args })
+
+let instant t ~ts ?(cat = "") ?(args = []) name =
+  push t (Instant { name; cat; ts; tid = t.cur_tid; args })
+
+let counter t ~ts name values = push t (Counter { name; ts; tid = t.cur_tid; values })
+
+let open_depth t = List.length t.stack
+let event_count t = t.n_events
+let events t = List.rev t.events
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Chrome trace_event timestamps are microseconds; our virtual clock is
+   modeled milliseconds, so scale by 1000 to keep the UI's ms ruler honest. *)
+let us_of_ms ms = ms *. 1000.
+
+let json_of_args args = Json_text.obj (List.map (fun (k, v) -> (k, Json_text.str v)) args)
+
+let json_of_event ev =
+  let common ~ph ~name ~cat ~ts ~tid extra =
+    Json_text.obj
+      ([
+         ("name", Json_text.str name);
+         ("cat", Json_text.str (if cat = "" then "vmat" else cat));
+         ("ph", Json_text.str ph);
+         ("ts", Json_text.num (us_of_ms ts));
+         ("pid", Json_text.int 1);
+         ("tid", Json_text.int tid);
+       ]
+      @ extra)
+  in
+  match ev with
+  | Begin span ->
+      common ~ph:"B" ~name:(Span.name span) ~cat:(Span.cat span) ~ts:(Span.start_ts span)
+        ~tid:(Span.tid span)
+        [ ("args", json_of_args (Span.args span)) ]
+  | End { span; ts; args } ->
+      common ~ph:"E" ~name:(Span.name span) ~cat:(Span.cat span) ~ts ~tid:(Span.tid span)
+        [ ("args", json_of_args args) ]
+  | Instant { name; cat; ts; tid; args } ->
+      common ~ph:"i" ~name ~cat ~ts ~tid
+        [ ("s", Json_text.str "t"); ("args", json_of_args args) ]
+  | Counter { name; ts; tid; values } ->
+      common ~ph:"C" ~name ~cat:"vmat" ~ts ~tid
+        [ ("args", Json_text.obj (List.map (fun (k, v) -> (k, Json_text.num v)) values)) ]
+  | Thread_name { tid; label } ->
+      Json_text.obj
+        [
+          ("name", Json_text.str "thread_name");
+          ("ph", Json_text.str "M");
+          ("pid", Json_text.int 1);
+          ("tid", Json_text.int tid);
+          ("args", Json_text.obj [ ("name", Json_text.str label) ]);
+        ]
+
+let to_chrome_json t =
+  Json_text.obj
+    [
+      ("traceEvents", Json_text.arr (List.map json_of_event (events t)));
+      ("displayTimeUnit", Json_text.str "ms");
+      ( "otherData",
+        Json_text.obj
+          [
+            ("clock", Json_text.str "modeled-cost-ms");
+            ("producer", Json_text.str "vmat");
+          ] );
+    ]
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (json_of_event ev);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf

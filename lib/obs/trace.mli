@@ -1,0 +1,58 @@
+(** An append-only event log of spans, instants and counter samples, with
+    exporters for the Chrome [trace_event] JSON format (load the file in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}) and for
+    line-delimited JSON.
+
+    Timestamps are in {e modeled milliseconds} — the deterministic virtual
+    clock of the cost meter, not wall time — so two runs of the same seeded
+    workload produce byte-identical traces. *)
+
+type event =
+  | Begin of Span.t
+  | End of { span : Span.t; ts : float; args : (string * string) list }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts : float;
+      tid : int;
+      args : (string * string) list;
+    }
+  | Counter of { name : string; ts : float; tid : int; values : (string * float) list }
+  | Thread_name of { tid : int; label : string }
+
+type t
+
+val create : unit -> t
+
+val set_thread : t -> tid:int -> label:string -> unit
+(** Route subsequent events to Chrome-trace thread [tid], labelled [label]
+    (one lane per strategy run is the convention). *)
+
+val current_tid : t -> int
+
+val begin_span : t -> ts:float -> ?cat:string -> ?args:(string * string) list -> string -> Span.t
+(** Open a span; it becomes the innermost open span. *)
+
+val end_span : t -> ts:float -> ?args:(string * string) list -> Span.t -> unit
+(** Close a span.  @raise Invalid_argument if it is not the innermost open
+    span — spans must nest (use {!Recorder.span} for by-construction
+    nesting). *)
+
+val instant : t -> ts:float -> ?cat:string -> ?args:(string * string) list -> string -> unit
+val counter : t -> ts:float -> string -> (string * float) list -> unit
+
+val open_depth : t -> int
+(** Number of currently open spans. *)
+
+val event_count : t -> int
+
+val events : t -> event list
+(** In emission order. *)
+
+val to_chrome_json : t -> string
+(** The whole log as one Chrome [trace_event] JSON object
+    ([{"traceEvents": [...]}], timestamps scaled to microseconds as the
+    format requires). *)
+
+val to_jsonl : t -> string
+(** One JSON object per line per event (same shapes as the Chrome export). *)

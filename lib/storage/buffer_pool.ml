@@ -1,3 +1,5 @@
+module Recorder = Vmat_obs.Recorder
+
 type entry = { mutable dirty : bool; mutable stamp : int }
 
 type t = {
@@ -25,6 +27,25 @@ let touch t pid entry =
   entry.stamp <- t.tick;
   Queue.push (pid, t.tick) t.queue
 
+(* Observability: pools also report to the disk-wide tallies (plain integer
+   bumps, so measurements are unaffected) and, when a live recorder is
+   attached to the meter, to the metric registry / trace. *)
+let recorder t = Cost_meter.recorder (Disk.meter t.disk)
+
+let note_eviction t pid ~dirty =
+  Disk.note_pool_eviction t.disk;
+  let r = recorder t in
+  if Recorder.enabled r then begin
+    Recorder.inc r ~help:"Buffer-pool evictions (LRU victims written back when dirty)."
+      "vmat_buffer_pool_evictions_total" 1.;
+    Recorder.instant r ~cat:"buffer_pool" "evict"
+      ~args:
+        [
+          ("page", string_of_int (Disk.page_id_to_int pid));
+          ("dirty", string_of_bool dirty);
+        ]
+  end
+
 let evict_one t =
   let rec loop () =
     match Queue.take_opt t.queue with
@@ -32,6 +53,7 @@ let evict_one t =
     | Some (pid, stamp) -> (
         match Hashtbl.find_opt t.entries pid with
         | Some entry when entry.stamp = stamp ->
+            note_eviction t pid ~dirty:entry.dirty;
             if entry.dirty then Disk.write t.disk pid;
             Hashtbl.remove t.entries pid
         | _ -> loop ())
@@ -50,9 +72,19 @@ let read t pid =
   match Hashtbl.find_opt t.entries pid with
   | Some entry ->
       t.hits <- t.hits + 1;
+      Disk.note_pool_hit t.disk;
+      let r = recorder t in
+      if Recorder.enabled r then
+        Recorder.inc r ~help:"Buffer-pool logical reads served without I/O."
+          "vmat_buffer_pool_hits_total" 1.;
       touch t pid entry
   | None ->
       t.misses <- t.misses + 1;
+      Disk.note_pool_miss t.disk;
+      let r = recorder t in
+      if Recorder.enabled r then
+        Recorder.inc r ~help:"Buffer-pool logical reads that paid a physical read."
+          "vmat_buffer_pool_misses_total" 1.;
       Disk.read t.disk pid;
       let entry = { dirty = false; stamp = 0 } in
       Hashtbl.replace t.entries pid entry;

@@ -1,3 +1,6 @@
+module Recorder = Vmat_obs.Recorder
+module Metrics = Vmat_obs.Metrics
+
 type category = Base | Hr | Refresh | Query | Screen | Overhead | Migrate
 
 let all_categories = [ Base; Hr; Refresh; Query; Screen; Overhead; Migrate ]
@@ -22,6 +25,30 @@ let category_index = function
 
 let ncategories = 7
 
+let category_of_index = Array.of_list all_categories
+
+type charge_kind = Read | Write | Predicate_test | Overhead_tuples
+
+let charge_kind_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Predicate_test -> "test"
+  | Overhead_tuples -> "overhead_tuples"
+
+let charge_kind_index = function
+  | Read -> 0
+  | Write -> 1
+  | Predicate_test -> 2
+  | Overhead_tuples -> 3
+
+let all_charge_kinds = [ Read; Write; Predicate_test; Overhead_tuples ]
+
+type hook = {
+  on_charge : category -> charge_kind -> int -> float -> unit;
+      (** category, kind, amount, cost of this charge in ms *)
+  on_reset : unit -> unit;  (** the meter was zeroed; mirrors must follow *)
+}
+
 type t = {
   c1 : float;
   c2 : float;
@@ -31,6 +58,8 @@ type t = {
   tests : int array;
   overhead_tuples : int array;
   mutable current : category;
+  mutable hook : hook option;
+  mutable recorder : Recorder.t;
 }
 
 let create ?(c1 = 1.) ?(c2 = 30.) ?(c3 = 1.) () =
@@ -43,6 +72,8 @@ let create ?(c1 = 1.) ?(c2 = 30.) ?(c3 = 1.) () =
     tests = Array.make ncategories 0;
     overhead_tuples = Array.make ncategories 0;
     current = Base;
+    hook = None;
+    recorder = Recorder.noop;
   }
 
 let c1 t = t.c1
@@ -56,15 +87,17 @@ let with_category t cat f =
 
 let current_category t = t.current
 
-let bump arr t = arr.(category_index t.current) <- arr.(category_index t.current) + 1
-
-let charge_read t = bump t.reads t
-let charge_write t = bump t.writes t
-let charge_predicate_test t = bump t.tests t
-
-let charge_set_overhead t n =
+let charge t arr kind unit_cost n =
   let i = category_index t.current in
-  t.overhead_tuples.(i) <- t.overhead_tuples.(i) + n
+  arr.(i) <- arr.(i) + n;
+  match t.hook with
+  | None -> ()
+  | Some h -> h.on_charge t.current kind n (unit_cost *. float_of_int n)
+
+let charge_read t = charge t t.reads Read t.c2 1
+let charge_write t = charge t t.writes Write t.c2 1
+let charge_predicate_test t = charge t t.tests Predicate_test t.c1 1
+let charge_set_overhead t n = charge t t.overhead_tuples Overhead_tuples t.c3 n
 
 let reads t cat = t.reads.(category_index cat)
 let writes t cat = t.writes.(category_index cat)
@@ -85,7 +118,77 @@ let reset t =
   Array.fill t.reads 0 ncategories 0;
   Array.fill t.writes 0 ncategories 0;
   Array.fill t.tests 0 ncategories 0;
-  Array.fill t.overhead_tuples 0 ncategories 0
+  Array.fill t.overhead_tuples 0 ncategories 0;
+  match t.hook with None -> () | Some h -> h.on_reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Observability wiring                                                *)
+(* ------------------------------------------------------------------ *)
+
+let set_hook t hook = t.hook <- hook
+let recorder t = t.recorder
+
+(* Mirror every charge into the recorder's metric registry through handles
+   resolved once here, so the instrumented hot path pays array indexing, not
+   registry lookups.  The per-category ms counters are zeroed whenever the
+   meter itself is reset — that is the invariant making
+   [vmat_cost_ms_total{category=...}] provably equal to [cost t cat] at all
+   times (see the qcheck property in test/test_obs.ml). *)
+let install_metric_hook t r m =
+  let ms_help = "Modeled cost in ms accrued per accounting category (= Cost_meter.cost)." in
+  let charges_help = "Raw charge events per category and kind (reads/writes/tests/A-D tuples)." in
+  let ms =
+    Array.map
+      (fun cat ->
+        Metrics.counter m ~help:ms_help
+          ~labels:[ ("category", category_name cat) ]
+          "vmat_cost_ms_total")
+      category_of_index
+  in
+  let charges =
+    Array.map
+      (fun cat ->
+        Array.of_list
+          (List.map
+             (fun kind ->
+               Metrics.counter m ~help:charges_help
+                 ~labels:
+                   [ ("category", category_name cat); ("kind", charge_kind_name kind) ]
+                 "vmat_cost_charges_total")
+             all_charge_kinds))
+      category_of_index
+  in
+  let trace_charges = Recorder.trace_charges r in
+  let on_charge cat kind n cost_ms =
+    let i = category_index cat in
+    Metrics.inc charges.(i).(charge_kind_index kind) (float_of_int n);
+    Metrics.inc ms.(i) cost_ms;
+    if trace_charges then
+      Recorder.trace_counter r "vmat_cost_ms" [ (category_name cat, cost t cat) ]
+  in
+  let on_reset () =
+    Array.iter Metrics.reset_counter ms;
+    Array.iter (Array.iter Metrics.reset_counter) charges
+  in
+  t.hook <- Some { on_charge; on_reset }
+
+let set_recorder t r =
+  t.recorder <- r;
+  if not (Recorder.enabled r) then t.hook <- None
+  else
+    match Recorder.metrics r with
+    | Some m -> install_metric_hook t r m
+    | None ->
+        if Recorder.trace_charges r then
+          t.hook <-
+            Some
+              {
+                on_charge =
+                  (fun cat _kind _n _cost ->
+                    Recorder.trace_counter r "vmat_cost_ms" [ (category_name cat, cost t cat) ]);
+                on_reset = Fun.id;
+              }
+        else t.hook <- None
 
 type snapshot = {
   s_reads : int array;

@@ -18,6 +18,23 @@ type category =
 val all_categories : category list
 val category_name : category -> string
 
+type charge_kind =
+  | Read  (** one [C2] page read *)
+  | Write  (** one [C2] page write *)
+  | Predicate_test  (** one [C1] CPU predicate evaluation *)
+  | Overhead_tuples  (** [n] tuples of [C3] A/D-set manipulation *)
+
+val charge_kind_name : charge_kind -> string
+val all_charge_kinds : charge_kind list
+
+type hook = {
+  on_charge : category -> charge_kind -> int -> float -> unit;
+      (** [on_charge cat kind amount cost_ms] fires on every charge, after the
+          meter's own tally.  Must not touch the meter (observer effect!). *)
+  on_reset : unit -> unit;
+      (** The meter was zeroed; any mirrored state must be zeroed too. *)
+}
+
 type t
 
 val create : ?c1:float -> ?c2:float -> ?c3:float -> unit -> t
@@ -52,6 +69,34 @@ val cost : t -> category -> float
 val total_cost : ?excluding:category list -> t -> float
 
 val reset : t -> unit
+(** Zero every tally (and fire the hook's [on_reset], keeping mirrored
+    metrics consistent). *)
+
+(** {1 Observability wiring} *)
+
+val set_hook : t -> hook option -> unit
+(** Install (or clear) a raw charge hook.  Most callers want
+    {!set_recorder}, which installs a hook mirroring charges into a metric
+    registry; this lower-level entry point exists for tests and custom
+    sinks. *)
+
+val set_recorder : t -> Vmat_obs.Recorder.t -> unit
+(** Attach a recorder: every subsequent charge increments
+    [vmat_cost_charges_total{category,kind}] and
+    [vmat_cost_ms_total{category}] in the recorder's metric registry (when it
+    has one), with handles pre-resolved so the per-charge overhead is a few
+    array reads.  When the recorder was built with [~trace_charges:true],
+    each charge additionally emits a Chrome counter event of the running
+    per-category cost.  [reset] zeroes the mirrored counters, so metric
+    totals always equal {!cost} per category.  Attaching {!Recorder.noop}
+    detaches.  The hook never charges the meter: measurements are
+    bit-identical with or without a recorder. *)
+
+val recorder : t -> Vmat_obs.Recorder.t
+(** The attached recorder ({!Recorder.noop} when none): how instrumented
+    code everywhere below the workload layer (buffer pool, differential
+    files, strategies) reaches the observability sinks without new plumbing
+    through every constructor. *)
 
 type snapshot
 

@@ -7,6 +7,12 @@ type t = {
   mutable next_page : int;
   mutable reads : int;
   mutable writes : int;
+  (* Disk-wide aggregation of the buffer pools layered on top: individual
+     pools live inside strategies and are invisible to the runner, so they
+     report their hit/miss/eviction tallies here. *)
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  mutable pool_evictions : int;
 }
 
 let create meter =
@@ -17,6 +23,9 @@ let create meter =
     next_page = 0;
     reads = 0;
     writes = 0;
+    pool_hits = 0;
+    pool_misses = 0;
+    pool_evictions = 0;
   }
 
 let meter t = t.meter
@@ -59,4 +68,12 @@ let pages_in_file t file = Option.value ~default:0 (Hashtbl.find_opt t.file_size
 let allocated_pages t = Hashtbl.length t.owner
 let physical_reads t = t.reads
 let physical_writes t = t.writes
+
+let note_pool_hit t = t.pool_hits <- t.pool_hits + 1
+let note_pool_miss t = t.pool_misses <- t.pool_misses + 1
+let note_pool_eviction t = t.pool_evictions <- t.pool_evictions + 1
+let pool_hits t = t.pool_hits
+let pool_misses t = t.pool_misses
+let pool_evictions t = t.pool_evictions
+
 let page_id_to_int pid = pid

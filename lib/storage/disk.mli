@@ -33,4 +33,17 @@ val allocated_pages : t -> int
 val physical_reads : t -> int
 val physical_writes : t -> int
 
+(** {1 Buffer-pool aggregation}
+
+    Buffer pools are created privately inside strategies; they report their
+    hit/miss/eviction tallies to the shared disk so the runner can include
+    pool behaviour in its measurement without threading every pool out. *)
+
+val note_pool_hit : t -> unit
+val note_pool_miss : t -> unit
+val note_pool_eviction : t -> unit
+val pool_hits : t -> int
+val pool_misses : t -> int
+val pool_evictions : t -> int
+
 val page_id_to_int : page_id -> int

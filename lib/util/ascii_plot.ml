@@ -97,3 +97,24 @@ let region_map ?(width = 60) ?(height = 20) ~title ~x_label ~y_label ~x_range ~y
   in
   Buffer.add_string buf (Printf.sprintf "%*s %s\n" (label_width + 1) "" (String.concat "   " legend_line));
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Sparklines                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let default_levels = " ._-=+*#@"
+
+let sparkline ?(levels = default_levels) values =
+  if levels = "" then invalid_arg "Ascii_plot.sparkline: empty level alphabet";
+  match values with
+  | [] -> ""
+  | _ ->
+      let vmax = List.fold_left (fun acc v -> Float.max acc v) 0. values in
+      let n = String.length levels in
+      let cell v =
+        if not (Float.is_finite v) || v <= 0. || vmax <= 0. then levels.[0]
+        else
+          let i = 1 + int_of_float (Float.of_int (n - 2) *. v /. vmax) in
+          levels.[min (n - 1) (max 1 i)]
+      in
+      String.init (List.length values) (fun i -> cell (List.nth values i))

@@ -29,3 +29,9 @@ val region_map :
 (** [region_map ~x_range ~y_range ~classify ()] paints [classify x y] for the
     cell centers of a [width] x [height] grid (x left-to-right, y
     bottom-to-top) with axis labels and the given legend. *)
+
+val sparkline : ?levels:string -> float list -> string
+(** [sparkline values] renders non-negative values as one character each,
+    scaled against the maximum: the first character of [levels] (default
+    [" ._-=+*#@"]) means zero/absent, the last means the maximum.  Used by
+    [vmperf top] for per-category cost bars and histogram shapes. *)

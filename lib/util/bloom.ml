@@ -3,13 +3,28 @@ type t = {
   nbits : int;
   hashes : int;
   mutable insertions : int;
+  (* Lifetime probe accounting (survives {!clear}): a membership test alone
+     cannot tell a true hit from a false positive, so the caller that goes on
+     to search the backing structure reports spurious hits back via
+     {!note_false_positive}. *)
+  mutable probes : int;
+  mutable positives : int;
+  mutable false_positives : int;
 }
 
 let create ?(hashes = 3) ~bits () =
   if hashes <= 0 then invalid_arg "Bloom.create: hashes must be positive";
   let nbits = max 8 bits in
   let nbytes = (nbits + 7) / 8 in
-  { bits = Bytes.make nbytes '\000'; nbits; hashes; insertions = 0 }
+  {
+    bits = Bytes.make nbytes '\000';
+    nbits;
+    hashes;
+    insertions = 0;
+    probes = 0;
+    positives = 0;
+    false_positives = 0;
+  }
 
 let bit_index t seed key = Hashtbl.seeded_hash seed key mod t.nbits
 
@@ -34,7 +49,19 @@ let mem t key =
     else if get_bit t (bit_index t seed key) then loop (seed + 1)
     else false
   in
-  loop 0
+  let hit = loop 0 in
+  t.probes <- t.probes + 1;
+  if hit then t.positives <- t.positives + 1;
+  hit
+
+let note_false_positive t = t.false_positives <- t.false_positives + 1
+
+let probes t = t.probes
+let positives t = t.positives
+let false_positives t = t.false_positives
+
+let observed_fp_rate t =
+  if t.probes = 0 then 0. else float_of_int t.false_positives /. float_of_int t.probes
 
 let clear t =
   Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';

@@ -16,7 +16,27 @@ val add : t -> string -> unit
 
 val mem : t -> string -> bool
 (** [mem t key] is [false] only if [key] was never {!add}ed (no false
-    negatives); [true] may be a false positive. *)
+    negatives); [true] may be a false positive.  Counted in {!probes} (and
+    {!positives} when [true]). *)
+
+val note_false_positive : t -> unit
+(** The caller — the only party that can tell — reports that the latest
+    positive probe turned out to be spurious (the backing structure had no
+    entry for the key).  Feeds {!false_positives} and {!observed_fp_rate}. *)
+
+val probes : t -> int
+(** Lifetime {!mem} calls (probe stats survive {!clear}: they describe the
+    filter's workload, not its contents). *)
+
+val positives : t -> int
+(** Lifetime [true] results from {!mem}. *)
+
+val false_positives : t -> int
+(** Positive probes the caller reported spurious via {!note_false_positive}. *)
+
+val observed_fp_rate : t -> float
+(** [false_positives / probes] as measured (0 when never probed) — the
+    empirical counterpart of the analytic {!false_positive_rate}. *)
 
 val clear : t -> unit
 (** Reset to empty (used when the hypothetical relation is folded in). *)

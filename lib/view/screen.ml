@@ -1,6 +1,7 @@
 open Vmat_storage
 open Vmat_relalg
 module Tlock = Vmat_index.Tlock
+module Recorder = Vmat_obs.Recorder
 
 type t = {
   meter : Cost_meter.t;
@@ -32,6 +33,12 @@ let screen t tuple =
   if not (Tlock.breaks t.locks ~view:t.view_name tuple) then false
   else begin
     t.stage2 <- t.stage2 + 1;
+    (let r = Cost_meter.recorder t.meter in
+     if Recorder.enabled r then
+       Recorder.inc r
+         ~help:"Stage-2 screening tests (a t-lock broke, so the full predicate ran)."
+         ~labels:[ ("view", t.view_name) ]
+         "vmat_screen_stage2_total" 1.);
     Cost_meter.with_category t.meter Cost_meter.Screen (fun () ->
         Cost_meter.charge_predicate_test t.meter);
     let binding i = if i < Tuple.arity tuple then Some (Tuple.get tuple i) else None in

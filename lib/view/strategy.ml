@@ -27,6 +27,24 @@ let blocking_factor g schema = max 1 (g.page_bytes / Schema.tuple_bytes schema)
 
 let no_scalar () = invalid_arg "Strategy.scalar_query: not an aggregate strategy"
 
+(* Observability: run a refresh body inside a trace span that records, at
+   span end, how much the refresh actually charged (modeled ms, all
+   categories).  The disabled-recorder path is a single branch — no
+   snapshot, no allocation — and snapshots are read-only, so the meter
+   readings are identical either way. *)
+let refresh_span meter ~view ?(name = "refresh") f =
+  let module Recorder = Vmat_obs.Recorder in
+  let r = Cost_meter.recorder meter in
+  if not (Recorder.enabled r) then f ()
+  else begin
+    let snap = Cost_meter.snapshot meter in
+    Recorder.span r ~cat:"view" name
+      ~args:[ ("view", view) ]
+      ~end_args:(fun () ->
+        [ ("cost_ms", Printf.sprintf "%.3f" (Cost_meter.cost_since meter snap ())) ])
+      f
+  end
+
 let min_sentinel = Value.Null
 let max_sentinel = Value.Str "\xff\xff\xff\xff\xff\xff\xff\xff"
 

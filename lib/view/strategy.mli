@@ -49,6 +49,13 @@ val blocking_factor : geometry -> Schema.t -> int
 val no_scalar : unit -> float
 (** Shared [scalar_query] for non-aggregate strategies. *)
 
+val refresh_span : Cost_meter.t -> view:string -> ?name:string -> (unit -> 'a) -> 'a
+(** [refresh_span meter ~view f] runs the refresh body [f] inside a
+    [cat:"view"] trace span (default name ["refresh"]) on the meter's
+    recorder, attaching the modeled cost the body charged as a [cost_ms]
+    end-attribute.  Free (one branch) when the recorder is disabled; never
+    affects the meter either way. *)
+
 val min_sentinel : Value.t
 val max_sentinel : Value.t
 (** Extreme values bracketing every key (used for unbounded scans and

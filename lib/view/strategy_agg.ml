@@ -83,6 +83,7 @@ let deferred env =
     Hr.end_transaction hr
   in
   let refresh () =
+    Strategy.refresh_span (meter env) ~view:env.agg.View_def.a_name @@ fun () ->
     Cost_meter.with_category (meter env) Cost_meter.Refresh (fun () ->
         let a_net, d_net = Hr.net_changes hr in
         let touched = ref false in

@@ -108,6 +108,7 @@ let deferred env =
     Hr.end_transaction hr
   in
   let refresh () =
+    Strategy.refresh_span m ~view:env.view.j_name @@ fun () ->
     Cost_meter.with_category m Cost_meter.Refresh (fun () ->
         let a_net, d_net = Hr.net_changes hr in
         (* Pages of R2 read for the delete join stay buffered for the insert
@@ -189,6 +190,7 @@ let immediate env =
     Cost_meter.with_category m Cost_meter.Overhead (fun () ->
         Cost_meter.charge_set_overhead m
           (List.length !marked_deletes + List.length !marked_inserts));
+    Strategy.refresh_span m ~view:env.view.j_name @@ fun () ->
     Cost_meter.with_category m Cost_meter.Refresh (fun () ->
         List.iter
           (fun tuple -> List.iter (Materialized.apply mat Delete) (probe env r2 m tuple))

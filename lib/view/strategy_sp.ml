@@ -112,18 +112,21 @@ let deferred_with_policy_internal ?layout ~policy ~name env =
   let mat = make_materialized env in
   let screen = make_screen env in
   let refresh ?(category = Cost_meter.Refresh) () =
-    Cost_meter.with_category m category (fun () ->
-        let a_net, d_net = Hr.net_changes hr in
-        List.iter
-          (fun (tuple, marked) ->
-            if marked then Materialized.apply mat Delete (View_def.sp_output env.view tuple))
-          d_net;
-        List.iter
-          (fun (tuple, marked) ->
-            if marked then Materialized.apply mat Insert (View_def.sp_output env.view tuple))
-          a_net;
-        Materialized.flush mat);
-    Hr.reset hr
+    Strategy.refresh_span m ~view:env.view.sp_name (fun () ->
+        Cost_meter.with_category m category (fun () ->
+            let a_net, d_net = Hr.net_changes hr in
+            List.iter
+              (fun (tuple, marked) ->
+                if marked then
+                  Materialized.apply mat Delete (View_def.sp_output env.view tuple))
+              d_net;
+            List.iter
+              (fun (tuple, marked) ->
+                if marked then
+                  Materialized.apply mat Insert (View_def.sp_output env.view tuple))
+              a_net;
+            Materialized.flush mat);
+        Hr.reset hr)
   in
   let txns_since_refresh = ref 0 in
   let handle_transaction changes =
@@ -256,14 +259,17 @@ let immediate env =
     Cost_meter.with_category m Cost_meter.Overhead (fun () ->
         Cost_meter.charge_set_overhead m
           (List.length !marked_deletes + List.length !marked_inserts));
-    Cost_meter.with_category m Cost_meter.Refresh (fun () ->
-        List.iter
-          (fun tuple -> Materialized.apply mat Delete (View_def.sp_output env.view tuple))
-          (List.rev !marked_deletes);
-        List.iter
-          (fun tuple -> Materialized.apply mat Insert (View_def.sp_output env.view tuple))
-          (List.rev !marked_inserts);
-        Materialized.flush mat)
+    Strategy.refresh_span m ~view:env.view.sp_name (fun () ->
+        Cost_meter.with_category m Cost_meter.Refresh (fun () ->
+            List.iter
+              (fun tuple ->
+                Materialized.apply mat Delete (View_def.sp_output env.view tuple))
+              (List.rev !marked_deletes);
+            List.iter
+              (fun tuple ->
+                Materialized.apply mat Insert (View_def.sp_output env.view tuple))
+              (List.rev !marked_inserts);
+            Materialized.flush mat))
   in
   {
     Strategy.name = "immediate";
@@ -472,6 +478,7 @@ let recompute env =
   in
   let refresh_if_needed () =
     if !dirty then begin
+      Strategy.refresh_span m ~view:env.view.sp_name ~name:"recompute" @@ fun () ->
       Cost_meter.with_category m Cost_meter.Refresh (fun () ->
           (* Recompute with a clustered scan of the base relation and replace
              the stored copy wholesale. *)

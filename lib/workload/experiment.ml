@@ -50,7 +50,7 @@ let model1_stream ~rng ~(p : Params.t) (dataset : Dataset.model1) =
     ~k ~l ~q
     ~query_of:(Stream.range_query_of ~lo_max:(p.f -. width) ~width)
 
-let measure_model1 ?(seed = 42) (p : Params.t) strategies =
+let measure_model1 ?(seed = 42) ?recorder (p : Params.t) strategies =
   let rng = Rng.create seed in
   let n, _, _, _ = ints p in
   let dataset = Dataset.make_model1 ~rng ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes) in
@@ -76,7 +76,7 @@ let measure_model1 ?(seed = 42) (p : Params.t) strategies =
       | `Recompute -> Strategy_sp.recompute env
       | `Adaptive -> Adaptive.strategy (Adaptive.wrap env)
     in
-    let m = Runner.run ~meter ~disk ~strategy ~ops in
+    let m = Runner.run ?recorder ~meter ~disk ~strategy ~ops () in
     (m.Runner.strategy_name, m)
   in
   List.map run strategies
@@ -90,8 +90,8 @@ type phased_result = {
   ph_adaptive : Adaptive.t option;
 }
 
-let measure_phased ?(seed = 42) ?adaptive_config ?adaptive_candidates ?adaptive_initial
-    (p : Params.t) ~phases strategies =
+let measure_phased ?(seed = 42) ?recorder ?adaptive_config ?adaptive_candidates
+    ?adaptive_initial (p : Params.t) ~phases strategies =
   if phases = [] then invalid_arg "Experiment.measure_phased: no phases";
   let rng = Rng.create seed in
   let n, _, _, _ = ints p in
@@ -139,7 +139,7 @@ let measure_phased ?(seed = 42) ?adaptive_config ?adaptive_candidates ?adaptive_
           in
           (Adaptive.strategy a, Some a)
     in
-    let per_phase, overall = Runner.run_phases ~meter ~disk ~strategy ~phases:ops_phases in
+    let per_phase, overall = Runner.run_phases ?recorder ~meter ~disk ~strategy ~phases:ops_phases () in
     {
       ph_name = overall.Runner.strategy_name;
       ph_per_phase = per_phase;
@@ -151,7 +151,7 @@ let measure_phased ?(seed = 42) ?adaptive_config ?adaptive_candidates ?adaptive_
 
 let c_col = 3 (* R1(id, pval, jkey, c) *)
 
-let measure_model2 ?(seed = 42) (p : Params.t) strategies =
+let measure_model2 ?(seed = 42) ?recorder (p : Params.t) strategies =
   let rng = Rng.create seed in
   let n, k, l, q = ints p in
   let dataset =
@@ -187,12 +187,12 @@ let measure_model2 ?(seed = 42) (p : Params.t) strategies =
       | `Immediate -> Strategy_join.immediate env
       | `Loopjoin -> Strategy_join.qmod_loopjoin env
     in
-    let m = Runner.run ~meter ~disk ~strategy ~ops in
+    let m = Runner.run ?recorder ~meter ~disk ~strategy ~ops () in
     (m.Runner.strategy_name, m)
   in
   List.map run strategies
 
-let measure_model3 ?(seed = 42) ?(kind = `Sum "amount") (p : Params.t) strategies =
+let measure_model3 ?(seed = 42) ?recorder ?(kind = `Sum "amount") (p : Params.t) strategies =
   let rng = Rng.create seed in
   let n, _, _, _ = ints p in
   let dataset =
@@ -223,7 +223,7 @@ let measure_model3 ?(seed = 42) ?(kind = `Sum "amount") (p : Params.t) strategie
       | `Immediate -> Strategy_agg.immediate env
       | `Recompute -> Strategy_agg.recompute env
     in
-    let m = Runner.run ~meter ~disk ~strategy ~ops in
+    let m = Runner.run ?recorder ~meter ~disk ~strategy ~ops () in
     (m.Runner.strategy_name, m)
   in
   List.map run strategies

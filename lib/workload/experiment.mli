@@ -17,9 +17,17 @@ val scale : Params.t -> float -> Params.t
     per-query update counts) for faster simulation. *)
 
 val measure_model1 :
-  ?seed:int -> Params.t -> model1_strategy list -> (string * Runner.measurement) list
+  ?seed:int ->
+  ?recorder:Vmat_obs.Recorder.t ->
+  Params.t ->
+  model1_strategy list ->
+  (string * Runner.measurement) list
 (** One shared dataset and stream; each strategy runs on its own disk and
-    meter. *)
+    meter.  [recorder], when given, is installed on every strategy's meter:
+    trace spans carry a [strategy] attribute, so a shared trace reads
+    naturally, but the mirrored cost {e counters} are reset per strategy run
+    — pass one strategy (or one recorder per call) for per-strategy metric
+    snapshots. *)
 
 type phase_spec = { sp_k : int; sp_l : int; sp_q : int; sp_fv : float }
 (** One segment of a phase-shifting Model-1 workload: [sp_k] transactions of
@@ -38,6 +46,7 @@ type phased_result = {
 
 val measure_phased :
   ?seed:int ->
+  ?recorder:Vmat_obs.Recorder.t ->
   ?adaptive_config:Vmat_adaptive.Controller.config ->
   ?adaptive_candidates:Vmat_adaptive.Migrate.kind list ->
   ?adaptive_initial:Vmat_adaptive.Migrate.kind ->
@@ -51,10 +60,15 @@ val measure_phased :
     and are ignored for static strategies. *)
 
 val measure_model2 :
-  ?seed:int -> Params.t -> model2_strategy list -> (string * Runner.measurement) list
+  ?seed:int ->
+  ?recorder:Vmat_obs.Recorder.t ->
+  Params.t ->
+  model2_strategy list ->
+  (string * Runner.measurement) list
 
 val measure_model3 :
   ?seed:int ->
+  ?recorder:Vmat_obs.Recorder.t ->
   ?kind:[ `Count | `Sum of string | `Avg of string | `Variance of string | `Min of string | `Max of string ] ->
   Params.t ->
   model3_strategy list ->

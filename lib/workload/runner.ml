@@ -1,5 +1,6 @@
 open Vmat_storage
 open Vmat_view
+module Recorder = Vmat_obs.Recorder
 
 type measurement = {
   strategy_name : string;
@@ -9,21 +10,67 @@ type measurement = {
   category_costs : (Cost_meter.category * float) list;
   physical_reads : int;
   physical_writes : int;
+  buffer_pool_hits : int;
+  buffer_pool_misses : int;
   tuples_returned : int;
 }
 
-let run ~meter ~disk ~strategy ~ops =
+(* The virtual trace clock: accumulated modeled milliseconds.  Deterministic
+   across machines and exactly the paper's cost axis; the recorder repairs
+   monotonicity across the meter resets at run/phase boundaries. *)
+let install_clock recorder meter =
+  Recorder.set_clock recorder (fun () -> Cost_meter.total_cost meter)
+
+let run ?recorder ~meter ~disk ~strategy ~ops () =
+  (match recorder with
+  | Some r ->
+      (* Wiring point: the meter carries the recorder to every layer below
+         (storage, hypo, view, adaptive) without constructor changes. *)
+      Cost_meter.set_recorder meter r;
+      install_clock r meter
+  | None -> ());
+  let r = Cost_meter.recorder meter in
   Cost_meter.reset meter;
   let reads0 = Disk.physical_reads disk and writes0 = Disk.physical_writes disk in
+  let hits0 = Disk.pool_hits disk and misses0 = Disk.pool_misses disk in
   let returned = ref 0 in
-  List.iter
-    (fun op ->
-      match op with
-      | Stream.Txn changes -> strategy.Strategy.handle_transaction changes
-      | Stream.Query q ->
-          let result = strategy.Strategy.answer_query q in
-          returned := !returned + List.length result)
-    ops;
+  let exec op =
+    match op with
+    | Stream.Txn changes -> strategy.Strategy.handle_transaction changes
+    | Stream.Query q ->
+        let result = strategy.Strategy.answer_query q in
+        returned := !returned + List.length result
+  in
+  let run_op op =
+    if not (Recorder.enabled r) then exec op
+    else begin
+      (* Span per operation with its modeled cost as an end-attribute, plus a
+         log-scale latency histogram per op kind.  Snapshots are read-only,
+         so none of this perturbs the measurement (see the observer-effect
+         test in test/test_obs.ml). *)
+      let op_kind, span_name =
+        match op with
+        | Stream.Txn _ -> ("txn", "handle_transaction")
+        | Stream.Query _ -> ("query", "answer_query")
+      in
+      let snap = Cost_meter.snapshot meter in
+      let cost () = Cost_meter.cost_since meter snap () in
+      Recorder.span r ~cat:"workload" span_name
+        ~args:[ ("strategy", strategy.Strategy.name) ]
+        ~end_args:(fun () -> [ ("cost_ms", Printf.sprintf "%.3f" (cost ())) ])
+        (fun () -> exec op);
+      Recorder.observe r ~help:"Modeled cost of one workload operation (ms)."
+        ~labels:[ ("op", op_kind); ("strategy", strategy.Strategy.name) ]
+        "vmat_op_cost_ms" (cost ())
+    end
+  in
+  Recorder.span r ~cat:"workload" "run"
+    ~args:
+      [
+        ("strategy", strategy.Strategy.name);
+        ("ops", string_of_int (List.length ops));
+      ]
+    (fun () -> List.iter run_op ops);
   let transactions, queries = Stream.count_ops ops in
   {
     strategy_name = strategy.Strategy.name;
@@ -36,6 +83,8 @@ let run ~meter ~disk ~strategy ~ops =
       List.map (fun cat -> (cat, Cost_meter.cost meter cat)) Cost_meter.all_categories;
     physical_reads = Disk.physical_reads disk - reads0;
     physical_writes = Disk.physical_writes disk - writes0;
+    buffer_pool_hits = Disk.pool_hits disk - hits0;
+    buffer_pool_misses = Disk.pool_misses disk - misses0;
     tuples_returned = !returned;
   }
 
@@ -63,17 +112,34 @@ let combine name ms =
         Cost_meter.all_categories;
     physical_reads = sum (fun m -> m.physical_reads);
     physical_writes = sum (fun m -> m.physical_writes);
+    buffer_pool_hits = sum (fun m -> m.buffer_pool_hits);
+    buffer_pool_misses = sum (fun m -> m.buffer_pool_misses);
     tuples_returned = sum (fun m -> m.tuples_returned);
   }
 
-let run_phases ~meter ~disk ~strategy ~phases =
-  let per_phase = List.map (fun ops -> run ~meter ~disk ~strategy ~ops) phases in
+let run_phases ?recorder ~meter ~disk ~strategy ~phases () =
+  let phase_no = ref 0 in
+  let per_phase =
+    List.map
+      (fun ops ->
+        incr phase_no;
+        (match recorder with
+        | Some r when Recorder.enabled r ->
+            Recorder.instant r ~cat:"workload" "phase"
+              ~args:[ ("phase", string_of_int !phase_no) ]
+        | _ -> ());
+        run ?recorder ~meter ~disk ~strategy ~ops ())
+      phases
+  in
   (per_phase, combine strategy.Strategy.name per_phase)
 
 let pp fmt m =
   Format.fprintf fmt "%s: %.1f ms/query (%d txns, %d queries, %d reads, %d writes)"
     m.strategy_name m.cost_per_query m.transactions m.queries m.physical_reads
     m.physical_writes;
+  if m.buffer_pool_hits + m.buffer_pool_misses > 0 then
+    Format.fprintf fmt " pool=%d/%d" m.buffer_pool_hits
+      (m.buffer_pool_hits + m.buffer_pool_misses);
   List.iter
     (fun (cat, cost) ->
       if cost > 0. then Format.fprintf fmt " %s=%.0f" (Cost_meter.category_name cat) cost)

@@ -1,6 +1,13 @@
 (** Replay an operation stream against a strategy and report measured costs
     in the paper's units (the per-query average excludes the [Base] category,
-    exactly like the paper's accounting). *)
+    exactly like the paper's accounting).
+
+    The runner is also the wiring point for observability: pass a live
+    {!Vmat_obs.Recorder.t} and it is installed on the meter (reaching every
+    layer below), given the virtual clock (accumulated modeled ms), and fed a
+    span per operation plus a per-op-kind cost histogram.  Without a
+    recorder — or with {!Vmat_obs.Recorder.noop} — the measured numbers are
+    bit-identical (tested). *)
 
 open Vmat_storage
 open Vmat_view
@@ -13,18 +20,30 @@ type measurement = {
   category_costs : (Cost_meter.category * float) list;  (** totals, ms *)
   physical_reads : int;
   physical_writes : int;
+  buffer_pool_hits : int;  (** logical reads served without I/O, all pools *)
+  buffer_pool_misses : int;  (** logical reads that paid a physical read *)
   tuples_returned : int;  (** across all queries (sanity signal) *)
 }
 
-val run : meter:Cost_meter.t -> disk:Disk.t -> strategy:Strategy.t -> ops:Stream.op list -> measurement
+val run :
+  ?recorder:Vmat_obs.Recorder.t ->
+  meter:Cost_meter.t ->
+  disk:Disk.t ->
+  strategy:Strategy.t ->
+  ops:Stream.op list ->
+  unit ->
+  measurement
 (** Resets the meter (construction charges are setup, not workload), then
-    replays. *)
+    replays.  [recorder], when given, is installed on the meter first —
+    subsequent runs on the same meter keep it until another is installed. *)
 
 val run_phases :
+  ?recorder:Vmat_obs.Recorder.t ->
   meter:Cost_meter.t ->
   disk:Disk.t ->
   strategy:Strategy.t ->
   phases:Stream.op list list ->
+  unit ->
   measurement list * measurement
 (** Replay a phase-shifting workload (see {!Stream.generate_phased}) against
     one live strategy instance, resetting the meter at each phase boundary so

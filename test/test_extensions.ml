@@ -35,7 +35,7 @@ let model1_workload ?(seed = 51) ?(n = 200) ?(f = 0.4) ?(k = 20) ?(l = 4) ?(q = 
 
 let run_measure ctor dataset ops =
   let meter, disk = fresh_world () in
-  Runner.run ~meter ~disk ~strategy:(ctor (sp_env dataset disk)) ~ops
+  Runner.run ~meter ~disk ~strategy:(ctor (sp_env dataset disk)) ~ops ()
 
 let answers (strategy : Strategy.t) ops =
   List.filter_map

@@ -178,7 +178,7 @@ let test_model1_cost_structure () =
       }
     in
     let s = ctor env in
-    let m = Runner.run ~meter ~disk ~strategy:s ~ops in
+    let m = Runner.run ~meter ~disk ~strategy:s ~ops () in
     (m, meter)
   in
   let deferred, _ = run Strategy_sp.deferred in
@@ -410,7 +410,7 @@ let test_model3_cost_structure () =
         ad_buckets = 4;
       }
     in
-    Runner.run ~meter ~disk ~strategy:(ctor env) ~ops
+    Runner.run ~meter ~disk ~strategy:(ctor env) ~ops ()
   in
   let deferred = run Strategy_agg.deferred in
   let immediate = run Strategy_agg.immediate in
