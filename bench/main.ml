@@ -9,6 +9,9 @@
      dune exec bench/main.exe -- --scale 0.2  -- larger measured runs
      dune exec bench/main.exe -- --json adaptive figure-1-measured
                                               -- also write BENCH_*.json
+     dune exec bench/main.exe -- --jobs 4 figure-1-measured
+                                              -- sweep points on 4 domains
+                                                 (output byte-identical to --jobs 1)
 
    See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
    the recorded paper-vs-measured comparison. *)
@@ -20,6 +23,11 @@ let default_scale = 1.0
 let scale = ref default_scale
 
 let json_enabled = ref false
+
+(* Number of domains for the measured sweeps (--jobs N; 0 = all cores).
+   Every sweep point builds its own Ctx.t, so points are embarrassingly
+   parallel and the output is byte-identical for any jobs value. *)
+let jobs = ref 1
 
 (* ------------------------------------------------------------------ *)
 (* Hand-rolled JSON (no dependencies)                                  *)
@@ -175,19 +183,23 @@ let figure_1_measured () =
     (Printf.sprintf "Figure 1 (measured): simulated engine at N = %.0f"
        (Experiment.scale Params.defaults !scale).Params.n_tuples);
   let headers = [ "P"; "deferred"; "immediate"; "clustered"; "unclustered"; "winner" ] in
-  let metrics, recorder = bench_recorder () in
+  (* One recorder (and metric registry) per sweep point: every point is an
+     isolated engine, so the points can run on separate domains and the
+     output is byte-identical for any --jobs value. *)
   let measured =
-    List.map
+    Parallel.map_points ~jobs:!jobs
       (fun prob ->
         let p = scaled_params prob in
+        let metrics, recorder = bench_recorder () in
         ( prob,
           Experiment.measure_model1 ?recorder p
-            [ `Deferred; `Immediate; `Clustered; `Unclustered ] ))
+            [ `Deferred; `Immediate; `Clustered; `Unclustered ],
+          metrics ))
       measured_p_grid
   in
   let rows =
     List.map
-      (fun (prob, results) ->
+      (fun (prob, results, _) ->
         let cost name = (List.assoc name results).Runner.cost_per_query in
         let winner =
           fst
@@ -217,16 +229,16 @@ let figure_1_measured () =
            ( "points",
              j_arr
                (List.map
-                  (fun (prob, results) ->
+                  (fun (prob, results, metrics) ->
                     j_obj
-                      [
-                        ("P", j_num prob);
-                        ( "strategies",
-                          j_arr (List.map (fun (_, m) -> json_of_measurement m) results) );
-                      ])
+                      ([
+                         ("P", j_num prob);
+                         ( "strategies",
+                           j_arr (List.map (fun (_, m) -> json_of_measurement m) results) );
+                       ]
+                      @ metrics_field metrics))
                   measured) );
-          ]
-         @ metrics_field metrics))
+          ]))
 
 (* ------------------------------------------------------------------ *)
 (* Figures 2, 3, 4, 6, 7: region maps                                  *)
@@ -346,7 +358,7 @@ let figure_5_measured () =
     (Printf.sprintf "Figure 5 (measured): simulated engine at N = %.0f"
        (Experiment.scale Params.defaults !scale).Params.n_tuples);
   let rows =
-    List.map
+    Parallel.map_points ~jobs:!jobs
       (fun prob ->
         let p = scaled_params prob in
         let results = Experiment.measure_model2 p [ `Deferred; `Immediate; `Loopjoin ] in
@@ -417,7 +429,7 @@ let figure_8_measured () =
     (Printf.sprintf "Figure 8 (measured): simulated engine at N = %.0f"
        (Experiment.scale Params.defaults !scale).Params.n_tuples);
   let rows =
-    List.map
+    Parallel.map_points ~jobs:!jobs
       (fun l ->
         let p = { (Experiment.scale Params.defaults !scale) with Params.l_per_txn = l } in
         let results = Experiment.measure_model3 p [ `Deferred; `Immediate; `Recompute ] in
@@ -526,30 +538,30 @@ let small_geometry = { Strategy.page_bytes = 400; index_entry_bytes = 20 }
 
 let ablation_workload ?(seed = 77) ~n ~f ~k ~l ~q () =
   let rng = Rng.create seed in
-  let dataset = Dataset.make_model1 ~rng ~n ~f ~s_bytes:100 in
+  let tids = Tuple.source () in
+  let dataset = Dataset.make_model1 ~rng ~tids ~n ~f ~s_bytes:100 in
   let tuples = Array.of_list dataset.Dataset.m1_tuples in
   let ops =
     Stream.generate ~rng ~tuples
       ~mutate:
-        (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
+        (Stream.mutate_column ~tids ~col:2 (fun rng ->
+             Value.Float (float_of_int (Rng.int rng 100))))
       ~k ~l ~q
       ~query_of:(Stream.range_query_of ~lo_max:(0.8 *. f) ~width:(0.2 *. f))
   in
-  (dataset, ops)
+  (dataset, ops, Tuple.peek tids)
 
-let run_sp_strategy dataset ops ctor =
-  let meter = Cost_meter.create () in
-  let disk = Disk.create meter in
+let run_sp_strategy ~first_tid dataset ops ctor =
+  let ctx = Ctx.create ~geometry:small_geometry ~first_tid () in
   let env =
     {
-      Strategy_sp.disk;
-      geometry = small_geometry;
+      Strategy_sp.ctx;
       view = dataset.Dataset.m1_view;
       initial = dataset.Dataset.m1_tuples;
       ad_buckets = 4;
     }
   in
-  Runner.run ~meter ~disk ~strategy:(ctor env) ~ops ()
+  Runner.run ~ctx ~strategy:(ctor env) ~ops ()
 
 let ablation_refresh_interval () =
   section "Ablation: refresh frequency (the Yao triangle inequality, section 4)";
@@ -564,11 +576,11 @@ let ablation_refresh_interval () =
          ])
        [ 1.; 2.; 5.; 10.; 25. ]);
   print_endline "Measured: refresh-category cost per query (simulated engine)";
-  let dataset, ops = ablation_workload ~n:2000 ~f:0.3 ~k:100 ~l:8 ~q:20 () in
+  let dataset, ops, first_tid = ablation_workload ~n:2000 ~f:0.3 ~k:100 ~l:8 ~q:20 () in
   print_table ~headers:[ "policy"; "refresh ms/query"; "total ms/query" ]
-    (List.map
+    (Parallel.map_points ~jobs:!jobs
        (fun (name, ctor) ->
-         let m = run_sp_strategy dataset ops ctor in
+         let m = run_sp_strategy ~first_tid dataset ops ctor in
          [
            name;
            Table.float_cell ~decimals:1
@@ -593,11 +605,11 @@ let ablation_split_ad () =
     (Model1.total_deferred Params.defaults)
     (Extensions.deferred_split_ad Params.defaults)
     (2. *. Model1.c_ad Params.defaults);
-  let dataset, ops = ablation_workload ~n:2000 ~f:0.3 ~k:100 ~l:8 ~q:20 () in
+  let dataset, ops, first_tid = ablation_workload ~n:2000 ~f:0.3 ~k:100 ~l:8 ~q:20 () in
   print_table ~headers:[ "layout"; "physical I/Os"; "hr ms"; "total ms/query" ]
-    (List.map
+    (Parallel.map_points ~jobs:!jobs
        (fun (name, ctor) ->
-         let m = run_sp_strategy dataset ops ctor in
+         let m = run_sp_strategy ~first_tid dataset ops ctor in
          [
            name;
            string_of_int (m.Runner.physical_reads + m.Runner.physical_writes);
@@ -631,7 +643,8 @@ let ablation_multidisk () =
 let ablation_multiview () =
   section "Ablation: n views sharing one hypothetical relation (section 4)";
   let rng = Rng.create 88 in
-  let dataset = Dataset.make_model1 ~rng ~n:2000 ~f:0.9 ~s_bytes:100 in
+  let gen_tids = Tuple.source () in
+  let dataset = Dataset.make_model1 ~rng ~tids:gen_tids ~n:2000 ~f:0.9 ~s_bytes:100 in
   let base = dataset.Dataset.m1_schema in
   let views =
     List.map
@@ -645,16 +658,17 @@ let ablation_multiview () =
   let ops =
     Stream.generate ~rng ~tuples
       ~mutate:
-        (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
+        (Stream.mutate_column ~tids:gen_tids ~col:2 (fun rng ->
+             Value.Float (float_of_int (Rng.int rng 100))))
       ~k:100 ~l:8 ~q:20
       ~query_of:(Stream.range_query_of ~lo_max:0.8 ~width:0.1)
   in
+  let first_tid = Tuple.peek gen_tids in
   (* shared manager *)
-  let meter = Cost_meter.create () in
-  let disk = Disk.create meter in
+  let ctx = Ctx.create ~geometry:small_geometry ~first_tid () in
+  let meter = Ctx.meter ctx in
   let multi =
-    Multi_view.create ~disk ~geometry:small_geometry ~base ~views
-      ~initial:dataset.Dataset.m1_tuples ~ad_buckets:4 ()
+    Multi_view.create ~ctx ~base ~views ~initial:dataset.Dataset.m1_tuples ~ad_buckets:4 ()
   in
   Cost_meter.reset meter;
   List.iter
@@ -670,13 +684,12 @@ let ablation_multiview () =
   let separate =
     List.fold_left
       (fun acc v ->
-        let meter = Cost_meter.create () in
-        let disk = Disk.create meter in
+        let ctx = Ctx.create ~geometry:small_geometry ~first_tid () in
+        let meter = Ctx.meter ctx in
         let s =
           Strategy_sp.deferred
             {
-              Strategy_sp.disk;
-              geometry = small_geometry;
+              Strategy_sp.ctx;
               view = v;
               initial = dataset.Dataset.m1_tuples;
               ad_buckets = 4;
@@ -703,13 +716,15 @@ let ablation_multiview () =
 let ablation_planner () =
   section "Ablation: optimizer choice of access path (section 3.3)";
   let rng = Rng.create 99 in
-  let dataset = Dataset.make_model1 ~rng ~n:2000 ~f:0.5 ~s_bytes:100 in
+  let gen_tids = Tuple.source () in
+  let dataset = Dataset.make_model1 ~rng ~tids:gen_tids ~n:2000 ~f:0.5 ~s_bytes:100 in
+  let first_tid = Tuple.peek gen_tids in
   let measure route column lo hi =
-    let meter = Cost_meter.create () in
-    let disk = Disk.create meter in
+    let ctx = Ctx.create ~geometry:small_geometry ~first_tid () in
+    let meter = Ctx.meter ctx in
     let planner =
-      Planner.create ~disk ~geometry:small_geometry ~view:dataset.Dataset.m1_view
-        ~base_cluster:"amount" ~initial:dataset.Dataset.m1_tuples ()
+      Planner.create ~ctx ~view:dataset.Dataset.m1_view ~base_cluster:"amount"
+        ~initial:dataset.Dataset.m1_tuples ()
     in
     Cost_meter.reset meter;
     ignore (Planner.answer_via planner route ~column ~lo ~hi);
@@ -721,11 +736,10 @@ let ablation_planner () =
        (fun (label, column, lo, hi) ->
          let base_cost = measure Planner.Via_base column lo hi in
          let view_cost = measure Planner.Via_view column lo hi in
-         let meter = Cost_meter.create () in
-         let disk = Disk.create meter in
+         let ctx = Ctx.create ~geometry:small_geometry ~first_tid () in
          let planner =
-           Planner.create ~disk ~geometry:small_geometry ~view:dataset.Dataset.m1_view
-             ~base_cluster:"amount" ~initial:dataset.Dataset.m1_tuples ()
+           Planner.create ~ctx ~view:dataset.Dataset.m1_view ~base_cluster:"amount"
+             ~initial:dataset.Dataset.m1_tuples ()
          in
          let route =
            match Planner.plan planner ~column ~lo ~hi with
@@ -917,8 +931,9 @@ let microbenchmarks () =
         (Predicate.Cmp (Predicate.Lt, Predicate.Column 1, Predicate.Const (Value.Float 0.1)))
       ()
   in
+  let tids = Tuple.source ~first:20_001 () in
   let sample_tuple () =
-    Tuple.make ~tid:(Tuple.fresh_tid ())
+    Tuple.make ~tid:(Tuple.next tids)
       [| Value.Int (Rng.int rng 10_000); Value.Float (Rng.float rng) |]
   in
   let tests =
@@ -1075,6 +1090,10 @@ let () =
         parse acc rest
     | "--json" :: rest ->
         json_enabled := true;
+        parse acc rest
+    | "--jobs" :: v :: rest ->
+        let n = int_of_string v in
+        jobs := (if n = 0 then Parallel.default_jobs () else n);
         parse acc rest
     | arg :: rest -> parse (arg :: acc) rest
   in

@@ -337,8 +337,25 @@ let sweep_cmd =
             "Measure each sweep point on the simulated engine (seeded by --seed, \
              shrunk by --scale) instead of evaluating the analytic formulas.")
   in
-  let run model p param lo hi steps measured scale seed =
+  let jobs_term =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run the sweep points on $(docv) domains in parallel (0 = one per \
+             core).  Every point is an isolated engine, so the output is \
+             byte-identical for any value of $(docv).")
+  in
+  let csv_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Also write the sweep as CSV to $(docv) (use - for stdout).")
+  in
+  let run model p param lo hi steps measured scale seed jobs csv =
     let model = model_of_int model in
+    let jobs = if jobs = 0 then Parallel.default_jobs () else jobs in
     let apply v =
       match param with
       | "P" -> Params.with_update_probability p v
@@ -366,22 +383,51 @@ let sweep_cmd =
         List.map (fun (name, m) -> (name, m.Runner.cost_per_query)) results
     in
     let names = List.map fst (costs_at p) in
-    let rows =
+    let values =
       List.init (max 2 steps) (fun i ->
-          let v = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (max 1 (steps - 1))) in
-          let costs = costs_at (apply v) in
+          lo +. ((hi -. lo) *. float_of_int i /. float_of_int (max 1 (steps - 1))))
+    in
+    (* Each sweep point builds its own execution context inside [costs_at],
+       so the points are independent and run on [jobs] domains. *)
+    let point_costs = Parallel.map_points ~jobs (fun v -> (v, costs_at (apply v))) values in
+    let rows =
+      List.map
+        (fun (v, costs) ->
           Table.float_cell ~decimals:3 v
           :: (List.map (fun (_, c) -> Table.float_cell ~decimals:1 c) costs
              @ [ fst (Regions.argmin costs) ]))
+        point_costs
     in
-    print_endline (Table.render ~headers:(param :: (names @ [ "best" ])) rows)
+    print_endline (Table.render ~headers:(param :: (names @ [ "best" ])) rows);
+    match csv with
+    | None -> ()
+    | Some path ->
+        let header = String.concat "," (param :: (names @ [ "best" ])) in
+        let line (v, costs) =
+          String.concat ","
+            (Printf.sprintf "%.6g" v
+            :: (List.map (fun (_, c) -> Printf.sprintf "%.6g" c) costs
+               @ [ fst (Regions.argmin costs) ]))
+        in
+        let text =
+          String.concat "\n" (header :: List.map line point_costs) ^ "\n"
+        in
+        if path = "-" then print_string text
+        else begin
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Printf.eprintf "wrote %s (%d rows)\n%!" path (List.length point_costs)
+        end
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Cost table over a parameter sweep (analytic, or measured with --measured).")
+       ~doc:
+         "Cost table over a parameter sweep (analytic, or measured with --measured; \
+          points run in parallel with --jobs).")
     Term.(
       const run $ model_term $ params_term $ param_term $ from_term $ to_term $ steps_term
-      $ measured_term $ scale_term $ seed_term)
+      $ measured_term $ scale_term $ seed_term $ jobs_term $ csv_term)
 
 let adapt_cmd =
   let int_flag name doc default =

@@ -12,7 +12,10 @@ open Core
 let () =
   let rng = Rng.create 2024 in
   let n = 5_000 and f = 0.2 in
-  let dataset = Dataset.make_model3 ~rng ~n ~f ~s_bytes:100 ~kind:(`Sum "amount") in
+  let ctx = Ctx.create () in
+  let dataset =
+    Dataset.make_model3 ~rng ~tids:(Ctx.tids ctx) ~n ~f ~s_bytes:100 ~kind:(`Sum "amount")
+  in
   let kinds =
     [
       ("count", View_def.Count);
@@ -39,7 +42,7 @@ let () =
       let new_tuple =
         Tuple.with_tid
           (Tuple.set old_tuple 2 (Value.Float (float_of_int (Rng.int rng 1000))))
-          (Tuple.fresh_tid ())
+          (Ctx.fresh_tid ctx)
       in
       live.(idx) <- new_tuple;
       (* screening: only tuples inside the aggregated set touch the states *)

@@ -11,20 +11,21 @@ open Core
 let () =
   let rng = Rng.create 7 in
   let n = 1_000 in
-  let dataset = Dataset.make_model3 ~rng ~n ~f:0.5 ~s_bytes:100 ~kind:(`Sum "amount") in
-  let meter = Cost_meter.create () in
-  let disk = Disk.create meter in
-  let geometry = Strategy.default_geometry in
+  let ctx = Ctx.create () in
+  let meter = Ctx.meter ctx in
+  let dataset =
+    Dataset.make_model3 ~rng ~tids:(Ctx.tids ctx) ~n ~f:0.5 ~s_bytes:100
+      ~kind:(`Sum "amount")
+  in
   let initial_value =
     let t =
-      Trigger.create ~disk ~geometry ~agg:dataset.m3_agg ~initial:dataset.m3_tuples
-        ~conditions:[] ()
+      Trigger.create ~ctx ~agg:dataset.m3_agg ~initial:dataset.m3_tuples ~conditions:[] ()
     in
     Trigger.current_value t
   in
   let upper = initial_value *. 1.05 and lower = initial_value *. 0.95 in
   let watch =
-    Trigger.create ~disk ~geometry ~agg:dataset.m3_agg ~initial:dataset.m3_tuples
+    Trigger.create ~ctx ~agg:dataset.m3_agg ~initial:dataset.m3_tuples
       ~conditions:[ Trigger.Above upper; Trigger.Below lower ] ()
   in
   Printf.printf "initial exposure: %.0f  (alert above %.0f or below %.0f)\n\n" initial_value
@@ -39,7 +40,7 @@ let () =
           let drift = float_of_int (Rng.int rng 400) -. 150. in
           let amount = Float.max 0. (Value.as_float (Tuple.get old_tuple 2) +. drift) in
           let new_tuple =
-            Tuple.with_tid (Tuple.set old_tuple 2 (Value.Float amount)) (Tuple.fresh_tid ())
+            Tuple.with_tid (Tuple.set old_tuple 2 (Value.Float amount)) (Ctx.fresh_tid ctx)
           in
           live.(idx) <- new_tuple;
           Strategy.modify ~old_tuple ~new_tuple)

@@ -27,8 +27,9 @@ let () =
   in
   let t1 = Tuple.make ~tid:1 [| Value.Int 5; Value.Int 7 |] in
   let t2 = Tuple.make ~tid:2 [| Value.Int 7; Value.Int 99 |] in
+  let tids = Tuple.source ~first:3 () in
   let r1 = [ t1 ] and r2 = [ t2 ] in
-  let v0 () = Delta.recompute_join view r1 r2 in
+  let v0 () = Delta.recompute_join ~tids view r1 r2 in
   Format.printf "R1 = { (a=5, b=7) },  R2 = { (b=7, c=99) }@.";
   Format.printf "V0 = %a@.@." Bag.pp (v0 ());
 
@@ -36,7 +37,7 @@ let () =
 
   (* Blakeley's formulation evaluates the deletion terms against the OLD
      relations: D1xD2, D1xR2 and R1xD2 each rediscover the joined tuple. *)
-  let blakeley = Delta.join_blakeley view ~r1 ~r2 ~a1:[] ~d1:[ t1 ] ~a2:[] ~d2:[ t2 ] in
+  let blakeley = Delta.join_blakeley ~tids view ~r1 ~r2 ~a1:[] ~d1:[ t1 ] ~a2:[] ~d2:[ t2 ] in
   Format.printf "Blakeley's expression deletes %d time(s):@." (List.length blakeley.del);
   let v_blakeley = v0 () in
   Delta.apply v_blakeley blakeley;
@@ -45,7 +46,7 @@ let () =
 
   (* The corrected formulation uses R1' = R1 − D1 and R2' = R2 − D2. *)
   let corrected =
-    Delta.join_corrected view ~r1_prime:[] ~r2_prime:[] ~a1:[] ~d1:[ t1 ] ~a2:[] ~d2:[ t2 ]
+    Delta.join_corrected ~tids view ~r1_prime:[] ~r2_prime:[] ~a1:[] ~d1:[ t1 ] ~a2:[] ~d2:[ t2 ]
   in
   Format.printf "Hanson's corrected expression deletes %d time(s):@."
     (List.length corrected.del);

@@ -135,8 +135,8 @@ let base_params_of (env : Strategy_sp.env) meter =
     Params.n_tuples = Float.max 1. (float_of_int (List.length env.Strategy_sp.initial));
     tuple_bytes =
       float_of_int (Schema.tuple_bytes env.Strategy_sp.view.View_def.sp_base);
-    page_bytes = float_of_int env.Strategy_sp.geometry.Strategy.page_bytes;
-    index_bytes = float_of_int env.Strategy_sp.geometry.Strategy.index_entry_bytes;
+    page_bytes = float_of_int (Ctx.geometry env.Strategy_sp.ctx).Strategy.page_bytes;
+    index_bytes = float_of_int (Ctx.geometry env.Strategy_sp.ctx).Strategy.index_entry_bytes;
     c1 = Cost_meter.c1 meter;
     c2 = Cost_meter.c2 meter;
     c3 = Cost_meter.c3 meter;
@@ -154,7 +154,7 @@ let wrap ?config ?(candidates = default_candidates) ?initial_kind
         | k :: _ -> k
         | [] -> invalid_arg "Adaptive.wrap: no candidates")
   in
-  let meter = Disk.meter env.Strategy_sp.disk in
+  let meter = Ctx.meter env.Strategy_sp.ctx in
   let cfg = Option.value ~default:Controller.default_config config in
   let ctl =
     Controller.create ~config:cfg ~candidates ~initial:initial_kind

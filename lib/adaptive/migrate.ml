@@ -79,7 +79,7 @@ let drain (current : Strategy.t) =
 let pages ~tuples ~per_page = (tuples + per_page - 1) / max 1 per_page
 
 let migrate ~(env : Strategy_sp.env) ~from_ ~current ~to_ =
-  let m = Disk.meter env.Strategy_sp.disk in
+  let m = Ctx.meter env.Strategy_sp.ctx in
   let snap = Cost_meter.snapshot m in
   if from_ = Deferred && to_ <> Deferred then drain current;
   (* Rebuilding per-strategy storage is a simulator artifact (a shared-storage
@@ -101,13 +101,13 @@ let migrate ~(env : Strategy_sp.env) ~from_ ~current ~to_ =
           let base_pages =
             pages ~tuples:n_base
               ~per_page:
-                (Strategy.blocking_factor env.Strategy_sp.geometry
+                (Strategy.blocking_factor (Ctx.geometry env.Strategy_sp.ctx)
                    env.Strategy_sp.view.View_def.sp_base)
           in
           let view_pages =
             pages ~tuples:n_view
               ~per_page:
-                (Strategy.blocking_factor env.Strategy_sp.geometry
+                (Strategy.blocking_factor (Ctx.geometry env.Strategy_sp.ctx)
                    env.Strategy_sp.view.View_def.sp_out_schema)
           in
           for _ = 1 to base_pages do

@@ -3,7 +3,8 @@
     The layers, bottom-up:
     - {!Yao}, {!Bloom}, {!Rng} — analytic and probabilistic primitives;
     - {!Value}, {!Schema}, {!Tuple}, {!Disk}, {!Buffer_pool}, {!Cost_meter},
-      {!Heap_file} — the simulated storage engine;
+      {!Heap_file}, {!Ctx} — the simulated storage engine and the per-engine
+      execution context that owns all of its mutable state;
     - {!Btree}, {!Hash_file}, {!Tlock} — access methods;
     - {!Predicate}, {!Bag}, {!Ops} — relational algebra with duplicate
       counts;
@@ -13,7 +14,8 @@
       and the three materialization strategies;
     - {!Params}, {!Model1}, {!Model2}, {!Model3}, {!Regions} — the paper's
       analytic cost model;
-    - {!Dataset}, {!Stream}, {!Runner}, {!Experiment} — measured workloads;
+    - {!Dataset}, {!Stream}, {!Runner}, {!Experiment}, {!Parallel} —
+      measured workloads and the domain-parallel sweep driver;
     - {!Advisor} — strategy selection from the model;
     - {!Wstats}, {!Migrate}, {!Controller}, {!Adaptive} — online workload
       observation and live strategy migration (adaptive maintenance);
@@ -38,6 +40,7 @@ module Schema = Vmat_storage.Schema
 module Tuple = Vmat_storage.Tuple
 module Cost_meter = Vmat_storage.Cost_meter
 module Disk = Vmat_storage.Disk
+module Ctx = Vmat_storage.Ctx
 module Buffer_pool = Vmat_storage.Buffer_pool
 module Heap_file = Vmat_storage.Heap_file
 module Btree = Vmat_index.Btree
@@ -70,6 +73,7 @@ module Dataset = Vmat_workload.Dataset
 module Stream = Vmat_workload.Stream
 module Runner = Vmat_workload.Runner
 module Experiment = Vmat_workload.Experiment
+module Parallel = Vmat_workload.Parallel
 module Lexer = Vmat_lang.Lexer
 module Ast = Vmat_lang.Ast
 module Parser = Vmat_lang.Parser

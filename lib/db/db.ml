@@ -20,9 +20,7 @@ type view_handle =
   | Agg_view of Strategy.t * View_def.agg
 
 type t = {
-  meter : Cost_meter.t;
-  disk : Disk.t;
-  geometry : Strategy.geometry;
+  ctx : Ctx.t;
   ad_buckets : int;
   tables : (string, table) Hashtbl.t;
   views : (string, view_handle) Hashtbl.t;
@@ -37,18 +35,17 @@ exception Exec_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Exec_error m)) fmt
 
-let create ?(page_bytes = 4000) ?(index_entry_bytes = 20) ?(ad_buckets = 8) () =
-  let meter = Cost_meter.create () in
+let create ?(page_bytes = 4000) ?(index_entry_bytes = 20) ?(ad_buckets = 8) ?(seed = 42)
+    () =
   {
-    meter;
-    disk = Disk.create meter;
-    geometry = { Strategy.page_bytes; index_entry_bytes };
+    ctx = Ctx.create ~geometry:{ Ctx.page_bytes; index_entry_bytes } ~seed ();
     ad_buckets;
     tables = Hashtbl.create 8;
     views = Hashtbl.create 8;
   }
 
-let meter t = t.meter
+let ctx t = t.ctx
+let meter t = Ctx.meter t.ctx
 
 let table_names t =
   List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [])
@@ -116,8 +113,7 @@ let define_sp_view t ~view_name ~columns ~table ~where_ ~cluster ~using =
   in
   let env =
     {
-      Strategy_sp.disk = t.disk;
-      geometry = t.geometry;
+      Strategy_sp.ctx = t.ctx;
       view;
       initial = List.rev table.rows;
       ad_buckets = t.ad_buckets;
@@ -184,8 +180,7 @@ let define_join_view t ~view_name ~columns ~left ~right ~on:(on_l, on_r) ~where_
   in
   let env =
     {
-      Strategy_join.disk = t.disk;
-      geometry = t.geometry;
+      Strategy_join.ctx = t.ctx;
       view;
       initial_left = List.rev left.rows;
       initial_right = List.rev right.rows;
@@ -234,8 +229,7 @@ let define_aggregate t ~view_name ~func ~arg ~table ~where_ ~using =
   let agg = View_def.make_agg ~name:view_name ~over ~kind in
   let env =
     {
-      Strategy_agg.disk = t.disk;
-      geometry = t.geometry;
+      Strategy_agg.ctx = t.ctx;
       agg;
       initial = List.rev table.rows;
       ad_buckets = t.ad_buckets;
@@ -273,7 +267,7 @@ let insert t ~table_name ~values =
     fail "table %s expects %d values, got %d" table_name (List.length columns)
       (List.length values);
   let tuple =
-    Tuple.make ~tid:(Tuple.fresh_tid ())
+    Tuple.make ~tid:(Ctx.fresh_tid t.ctx)
       (Array.of_list
          (List.map2
             (fun (c : Schema.column) v -> Ast.value_of_literal (Some c.ty) v)
@@ -306,7 +300,7 @@ let update t ~table_name ~set_column ~set_value ~where_ =
         let new_tuple =
           Tuple.with_tid
             (Tuple.set old_tuple col (Ast.value_of_literal (Some ty) set_value))
-            (Tuple.fresh_tid ())
+            (Ctx.fresh_tid t.ctx)
         in
         Strategy.modify ~old_tuple ~new_tuple)
       victims
@@ -384,7 +378,7 @@ let select_view t ~view_name ~range =
                 Value.compare lo v <= 0 && Value.compare v hi <= 0)
               (List.rev table.rows)
       in
-      List.iter (fun _ -> Cost_meter.charge_predicate_test t.meter) table.rows;
+      List.iter (fun _ -> Cost_meter.charge_predicate_test (Ctx.meter t.ctx)) table.rows;
       Rows (List.map (fun row -> (row, 1)) rows)
 
 let select_value t ~view_name =

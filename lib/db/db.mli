@@ -30,9 +30,12 @@ type result =
   | Rows of (Tuple.t * int) list  (** view tuples with duplicate counts *)
   | Scalar of float  (** aggregate value *)
 
-val create : ?page_bytes:int -> ?index_entry_bytes:int -> ?ad_buckets:int -> unit -> t
-(** Defaults: the paper's geometry ([B = 4000], [n = 20]) and 8
-    differential-file buckets. *)
+val create :
+  ?page_bytes:int -> ?index_entry_bytes:int -> ?ad_buckets:int -> ?seed:int -> unit -> t
+(** Defaults: the paper's geometry ([B = 4000], [n = 20]), 8
+    differential-file buckets, RNG seed 42.  Each [Db.t] owns its own
+    {!Vmat_storage.Ctx.t} (meter, disk, tuple-id source, RNG): any number of
+    databases coexist in one process in perfect isolation. *)
 
 val exec : t -> string -> (result, string) Stdlib.result
 (** Parse and execute one statement.  SP views accept strategies
@@ -43,6 +46,10 @@ val exec : t -> string -> (result, string) Stdlib.result
 
 val meter : t -> Cost_meter.t
 (** The shared cost meter ([C1]/[C2]/[C3] at the paper's defaults). *)
+
+val ctx : t -> Ctx.t
+(** The database's execution context (owns the meter, disk, tid source,
+    RNG). *)
 
 val table_names : t -> string list
 val view_names : t -> string list

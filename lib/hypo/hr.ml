@@ -21,12 +21,13 @@ type t = {
   ad_deletes : Hash_file.t option;  (* split layout only *)
   bloom : Bloom.t;
   meter : Cost_meter.t;
+  tids : Tuple.source;
   key_col : int;
   mutable a_count : int;
   mutable d_count : int;
 }
 
-let create ~disk ~base ~schema ~ad_buckets ~tuples_per_page ?bloom_bits
+let create ~disk ~tids ~base ~schema ~ad_buckets ~tuples_per_page ?bloom_bits
     ?(layout = Combined) () =
   let bloom_bits =
     match bloom_bits with
@@ -54,6 +55,7 @@ let create ~disk ~base ~schema ~ad_buckets ~tuples_per_page ?bloom_bits
     ad_deletes;
     bloom = Bloom.create ~bits:bloom_bits ();
     meter = Disk.meter disk;
+    tids;
     key_col = Schema.key_index schema;
     a_count = 0;
     d_count = 0;
@@ -70,8 +72,8 @@ let all_files t = t.ad :: Option.to_list t.ad_deletes
 let base t = t.base
 let schema t = t.schema
 
-let encode tuple ~role ~marked =
-  Tuple.make ~tid:(Tuple.fresh_tid ())
+let encode t tuple ~role ~marked =
+  Tuple.make ~tid:(Tuple.next t.tids)
     (Array.append (Tuple.values tuple)
        [| role; Value.Int (Tuple.tid tuple); Value.Bool marked |])
 
@@ -122,20 +124,20 @@ let store t ~role entry =
       Hash_file.insert (file_for t role) entry)
 
 let apply_insert t tuple ~marked =
-  store t ~role:role_appended (encode tuple ~role:role_appended ~marked);
+  store t ~role:role_appended (encode t tuple ~role:role_appended ~marked);
   note_in_bloom t tuple;
   t.a_count <- t.a_count + 1
 
 let apply_delete t tuple ~marked =
   charge_base_read t;
-  store t ~role:role_deleted (encode tuple ~role:role_deleted ~marked);
+  store t ~role:role_deleted (encode t tuple ~role:role_deleted ~marked);
   note_in_bloom t tuple;
   t.d_count <- t.d_count + 1
 
 let apply_update t ~old_tuple ~new_tuple ~marked_old ~marked_new =
   charge_base_read t;
-  store t ~role:role_deleted (encode old_tuple ~role:role_deleted ~marked:marked_old);
-  store t ~role:role_appended (encode new_tuple ~role:role_appended ~marked:marked_new);
+  store t ~role:role_deleted (encode t old_tuple ~role:role_deleted ~marked:marked_old);
+  store t ~role:role_appended (encode t new_tuple ~role:role_appended ~marked:marked_new);
   note_in_bloom t old_tuple;
   note_in_bloom t new_tuple;
   t.a_count <- t.a_count + 1;

@@ -25,6 +25,7 @@ type layout =
 
 val create :
   disk:Disk.t ->
+  tids:Tuple.source ->
   base:Vmat_index.Btree.t ->
   schema:Schema.t ->
   ad_buckets:int ->
@@ -34,9 +35,10 @@ val create :
   unit ->
   t
 (** [base] is the stored copy of [R]; [schema] its schema (the key column of
-    the schema clusters [AD]).  [ad_buckets] sizes the static hash file
-    (the paper's [2u/T] pages); [bloom_bits] defaults to a 1% false-positive
-    size for [ad_buckets * tuples_per_page] keys. *)
+    the schema clusters [AD]).  [tids] is the owning engine's tuple-id source
+    (A/D entries get fresh tids from it).  [ad_buckets] sizes the static hash
+    file (the paper's [2u/T] pages); [bloom_bits] defaults to a 1%
+    false-positive size for [ad_buckets * tuples_per_page] keys. *)
 
 val base : t -> Vmat_index.Btree.t
 val schema : t -> Schema.t

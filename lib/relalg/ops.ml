@@ -9,15 +9,15 @@ let select ?meter pred tuples =
       Predicate.eval pred tuple)
     tuples
 
-let project ~positions tuples =
-  List.map (fun tuple -> Tuple.with_tid (Tuple.project tuple positions) (Tuple.fresh_tid ())) tuples
+let project ~tids ~positions tuples =
+  List.map (fun tuple -> Tuple.with_tid (Tuple.project tuple positions) (Tuple.next tids)) tuples
 
-let cross left right =
+let cross ~tids left right =
   List.concat_map
-    (fun l -> List.map (fun r -> Tuple.concat ~tid:(Tuple.fresh_tid ()) l r) right)
+    (fun l -> List.map (fun r -> Tuple.concat ~tid:(Tuple.next tids) l r) right)
     left
 
-let equi_join ?meter ~left_col ~right_col left right =
+let equi_join ?meter ~tids ~left_col ~right_col left right =
   let index = Hashtbl.create (List.length right) in
   List.iter
     (fun r ->
@@ -28,7 +28,7 @@ let equi_join ?meter ~left_col ~right_col left right =
     (fun l ->
       charge meter;
       let key = Value.key_string (Tuple.get l left_col) in
-      List.rev_map (fun r -> Tuple.concat ~tid:(Tuple.fresh_tid ()) l r) (Hashtbl.find_all index key))
+      List.rev_map (fun r -> Tuple.concat ~tid:(Tuple.next tids) l r) (Hashtbl.find_all index key))
     left
 
 let union_all a b = a @ b
@@ -51,7 +51,8 @@ let minus_bag left right =
       | _ -> true)
     left
 
-let sp_view ?meter pred ~positions tuples = project ~positions (select ?meter pred tuples)
+let sp_view ?meter ~tids pred ~positions tuples =
+  project ~tids ~positions (select ?meter pred tuples)
 
 let distinct_values tuples =
   let seen = Hashtbl.create 64 in

@@ -10,16 +10,22 @@ open Vmat_storage
 
 val select : ?meter:Cost_meter.t -> Predicate.t -> Tuple.t list -> Tuple.t list
 
-val project : positions:int array -> Tuple.t list -> Tuple.t list
+val project : tids:Tuple.source -> positions:int array -> Tuple.t list -> Tuple.t list
 (** Keep the listed fields; duplicates are preserved (bag semantics).  Result
-    tuples get fresh tids. *)
+    tuples get fresh tids drawn from [tids]. *)
 
-val cross : Tuple.t list -> Tuple.t list -> Tuple.t list
-(** Cartesian product; result tuples concatenate fields and get fresh
-    tids. *)
+val cross : tids:Tuple.source -> Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Cartesian product; result tuples concatenate fields and get fresh tids
+    from [tids]. *)
 
 val equi_join :
-  ?meter:Cost_meter.t -> left_col:int -> right_col:int -> Tuple.t list -> Tuple.t list -> Tuple.t list
+  ?meter:Cost_meter.t ->
+  tids:Tuple.source ->
+  left_col:int ->
+  right_col:int ->
+  Tuple.t list ->
+  Tuple.t list ->
+  Tuple.t list
 (** In-memory hash equi-join.  With a meter, charges [C1] per left tuple
     probed. *)
 
@@ -29,7 +35,13 @@ val minus_bag : Tuple.t list -> Tuple.t list -> Tuple.t list
 (** Multiset difference by field values (each occurrence in the right list
     cancels one occurrence in the left list). *)
 
-val sp_view : ?meter:Cost_meter.t -> Predicate.t -> positions:int array -> Tuple.t list -> Tuple.t list
+val sp_view :
+  ?meter:Cost_meter.t ->
+  tids:Tuple.source ->
+  Predicate.t ->
+  positions:int array ->
+  Tuple.t list ->
+  Tuple.t list
 (** [π_positions (σ_pred tuples)] — the paper's Model 1 view expression. *)
 
 val distinct_values : Tuple.t list -> Tuple.t list

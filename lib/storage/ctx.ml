@@ -1,0 +1,36 @@
+type geometry = { page_bytes : int; index_entry_bytes : int }
+
+let default_geometry = { page_bytes = 4000; index_entry_bytes = 20 }
+
+type t = {
+  geometry : geometry;
+  meter : Cost_meter.t;
+  disk : Disk.t;
+  tids : Tuple.source;
+  rng : Vmat_util.Rng.t;
+}
+
+let of_parts ?(geometry = default_geometry) ?(seed = 42) ?(first_tid = 1)
+    ~meter ~disk () =
+  {
+    geometry;
+    meter;
+    disk;
+    tids = Tuple.source ~first:first_tid ();
+    rng = Vmat_util.Rng.create seed;
+  }
+
+let create ?geometry ?c1 ?c2 ?c3 ?seed ?first_tid () =
+  let meter = Cost_meter.create ?c1 ?c2 ?c3 () in
+  let disk = Disk.create meter in
+  of_parts ?geometry ?seed ?first_tid ~meter ~disk ()
+
+let geometry t = t.geometry
+let meter t = t.meter
+let disk t = t.disk
+let tids t = t.tids
+let rng t = t.rng
+let fresh_tid t = Tuple.next t.tids
+let split_rng t = Vmat_util.Rng.split t.rng
+let recorder t = Cost_meter.recorder t.meter
+let set_recorder t r = Cost_meter.set_recorder t.meter r

@@ -1,0 +1,59 @@
+(** Per-engine execution context.
+
+    A [Ctx.t] owns every piece of state that used to be ambient: the tuple-id
+    source, the device geometry, the cost meter (and through it the
+    observability recorder), the disk, and a root deterministic RNG.  Each
+    engine ([Db.t], a strategy environment, one sweep point of a measured
+    experiment) owns exactly one context, so any number of engines can coexist
+    in one process — or run in parallel domains — in perfect isolation. *)
+
+type geometry = { page_bytes : int; index_entry_bytes : int }
+(** Device geometry of §4: usable page payload and bytes per index entry. *)
+
+val default_geometry : geometry
+(** 4000-byte pages, 20-byte index entries (paper defaults). *)
+
+type t
+
+val create :
+  ?geometry:geometry ->
+  ?c1:float ->
+  ?c2:float ->
+  ?c3:float ->
+  ?seed:int ->
+  ?first_tid:int ->
+  unit ->
+  t
+(** Fresh context with its own meter, disk, tid source (first tid
+    [first_tid], default 1) and RNG ([seed], default 42). *)
+
+val of_parts :
+  ?geometry:geometry ->
+  ?seed:int ->
+  ?first_tid:int ->
+  meter:Cost_meter.t ->
+  disk:Disk.t ->
+  unit ->
+  t
+(** Wrap an existing meter/disk pair (the disk must have been created from
+    that meter) in a context. *)
+
+val geometry : t -> geometry
+val meter : t -> Cost_meter.t
+val disk : t -> Disk.t
+val tids : t -> Tuple.source
+val rng : t -> Vmat_util.Rng.t
+
+val fresh_tid : t -> int
+(** Draw the next tuple id from this context's source. *)
+
+val split_rng : t -> Vmat_util.Rng.t
+(** Independent child generator derived from the context's root RNG. *)
+
+val recorder : t -> Vmat_obs.Recorder.t
+(** The recorder attached to this context's meter ([Recorder.noop] when
+    none). *)
+
+val set_recorder : t -> Vmat_obs.Recorder.t -> unit
+(** Attach a recorder to this context's meter (see
+    {!Cost_meter.set_recorder}). *)

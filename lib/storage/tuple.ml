@@ -2,13 +2,16 @@ type t = { tid : int; values : Value.t array }
 
 let make ~tid values = { tid; values }
 
-let tid_source = ref 0
+type source = { mutable next_tid : int }
 
-let fresh_tid () =
-  incr tid_source;
-  !tid_source
+let source ?(first = 1) () = { next_tid = first }
 
-let reset_tid_source () = tid_source := 0
+let next s =
+  let tid = s.next_tid in
+  s.next_tid <- tid + 1;
+  tid
+
+let peek s = s.next_tid
 
 let tid t = t.tid
 let values t = t.values

@@ -7,11 +7,19 @@ type t = private { tid : int; values : Value.t array }
 
 val make : tid:int -> Value.t array -> t
 
-val fresh_tid : unit -> int
-(** Next value of the global monotonic tid source. *)
+type source
+(** A monotonic tuple-id source.  There is deliberately no process-global
+    source: every engine owns one (via [Ctx.t]), so independent engines in
+    one process are perfectly isolated and runs are reproducible. *)
 
-val reset_tid_source : unit -> unit
-(** Reset the source (tests only). *)
+val source : ?first:int -> unit -> source
+(** Fresh source whose first emitted tid is [first] (default 1). *)
+
+val next : source -> int
+(** Draw the next tid and advance the source. *)
+
+val peek : source -> int
+(** The tid [next] would return, without advancing. *)
 
 val tid : t -> int
 val values : t -> Value.t array

@@ -7,6 +7,7 @@ type side = Left | Right
 
 type store = {
   meter : Cost_meter.t;
+  tids : Tuple.source;
   view : View_def.join;
   r1 : Btree.t;
   (* Unclustered access path on R1's join column: the in-memory directory of
@@ -29,13 +30,15 @@ let answer_query t q = t.answer q
 let view_contents t = t.contents ()
 
 let make_store (env : Strategy_join.env) =
-  let meter = Disk.meter env.disk in
+  let ctx = env.Strategy_join.ctx in
+  let meter = Ctx.meter ctx in
+  let geometry = Ctx.geometry ctx in
   let view = env.view in
   let cluster_col = view.j_positions_left.(view.j_cluster_out) in
   let r1 =
-    Btree.create ~disk:env.disk ~name:(Schema.name view.j_left)
-      ~fanout:(Strategy.fanout env.geometry)
-      ~leaf_capacity:(Strategy.blocking_factor env.geometry view.j_left)
+    Btree.create ~disk:(Ctx.disk ctx) ~name:(Schema.name view.j_left)
+      ~fanout:(Strategy.fanout geometry)
+      ~leaf_capacity:(Strategy.blocking_factor geometry view.j_left)
       ~key_of:(fun tuple -> Tuple.get tuple cluster_col)
       ()
   in
@@ -58,15 +61,16 @@ let make_store (env : Strategy_join.env) =
   in
   List.iter index_add env.initial_left;
   let r2 =
-    Hash_file.create ~disk:env.disk ~name:(Schema.name view.j_right) ~buckets:env.r2_buckets
-      ~tuples_per_page:(Strategy.blocking_factor env.geometry view.j_right)
+    Hash_file.create ~disk:(Ctx.disk ctx) ~name:(Schema.name view.j_right)
+      ~buckets:env.r2_buckets
+      ~tuples_per_page:(Strategy.blocking_factor geometry view.j_right)
       ~key_of:(fun tuple -> Tuple.get tuple view.j_right_col)
       ()
   in
   List.iter (Hash_file.insert r2) env.initial_right;
   Buffer_pool.invalidate (Hash_file.pool r2);
   let screen = Screen.create ~meter ~view_name:view.j_name ~pred:view.j_left_pred () in
-  let store = { meter; view; r1; r1_by_jkey; r2; screen } in
+  let store = { meter; tids = Ctx.tids ctx; view; r1; r1_by_jkey; r2; screen } in
   (store, index_add, index_remove)
 
 (* Collect the A and D sets of one transaction per relation (a modification
@@ -86,7 +90,7 @@ let passes store tuple = Predicate.eval store.view.j_left_pred tuple
 let probe_r2 store left_tuple =
   Cost_meter.charge_predicate_test store.meter;
   List.map
-    (fun right -> View_def.join_output store.view left_tuple right)
+    (fun right -> View_def.join_output ~tids:store.tids store.view left_tuple right)
     (Hash_file.lookup store.r2 (Tuple.get left_tuple store.view.j_left_col))
 
 (* Join one right tuple to the stored R1 through the unclustered join-column
@@ -98,7 +102,7 @@ let probe_r1 store right_tuple =
   let key = Value.key_string (Tuple.get right_tuple store.view.j_right_col) in
   List.filter_map
     (fun left ->
-      if passes store left then Some (View_def.join_output store.view left right_tuple)
+      if passes store left then Some (View_def.join_output ~tids:store.tids store.view left right_tuple)
       else None)
     (Option.value ~default:[] (Hashtbl.find_opt store.r1_by_jkey key))
 
@@ -115,7 +119,7 @@ let join_deltas store lefts rights =
               Value.equal
                 (Tuple.get left store.view.j_left_col)
                 (Tuple.get right store.view.j_right_col)
-            then Some (View_def.join_output store.view left right)
+            then Some (View_def.join_output ~tids:store.tids store.view left right)
             else None)
           rights)
     lefts
@@ -152,13 +156,16 @@ let answer_from store mat (q : Strategy.query) =
       List.rev !out)
 
 let make_materialized (env : Strategy_join.env) =
+  let ctx = env.Strategy_join.ctx in
+  let geometry = Ctx.geometry ctx in
   let mat =
-    Materialized.create ~disk:env.disk ~name:env.view.j_name
-      ~fanout:(Strategy.fanout env.geometry)
-      ~leaf_capacity:(Strategy.blocking_factor env.geometry env.view.j_out_schema)
+    Materialized.create ~disk:(Ctx.disk ctx) ~name:env.view.j_name
+      ~fanout:(Strategy.fanout geometry)
+      ~leaf_capacity:(Strategy.blocking_factor geometry env.view.j_out_schema)
       ~cluster_col:env.view.j_cluster_out ()
   in
-  Materialized.rebuild mat (Delta.recompute_join env.view env.initial_left env.initial_right);
+  Materialized.rebuild mat
+    (Delta.recompute_join ~tids:(Ctx.tids ctx) env.view env.initial_left env.initial_right);
   mat
 
 let marked store tuple = Screen.screen store.screen tuple
@@ -256,6 +263,6 @@ let loopjoin env =
     Btree.iter_unmetered store.r1 (fun t -> lefts := t :: !lefts);
     let rights = ref [] in
     Hash_file.iter_unmetered store.r2 (fun t -> rights := t :: !rights);
-    Delta.recompute_join store.view !lefts !rights
+    Delta.recompute_join ~tids:store.tids store.view !lefts !rights
   in
   { name = "bilateral-loopjoin"; handle; answer; contents }

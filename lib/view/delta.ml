@@ -7,18 +7,18 @@ let apply bag { ins; del } =
   List.iter (fun tuple -> ignore (Bag.add bag tuple)) ins;
   List.iter (fun tuple -> ignore (Bag.remove bag tuple)) del
 
-let sp ?meter (view : View_def.sp) ~a ~d =
+let sp ?meter ~tids (view : View_def.sp) ~a ~d =
   let transform tuples =
-    Ops.sp_view ?meter view.sp_pred ~positions:view.sp_positions tuples
+    Ops.sp_view ?meter ~tids view.sp_pred ~positions:view.sp_positions tuples
   in
   { ins = transform a; del = transform d }
 
 (* πσ(L × R) for a natural-join view: restrict L by the view's left clause,
    join, project both sides' target lists. *)
-let join_term ?meter (view : View_def.join) left right =
+let join_term ?meter ~tids (view : View_def.join) left right =
   let restricted = Ops.select ?meter view.j_left_pred left in
   let joined =
-    Ops.equi_join ?meter ~left_col:view.j_left_col ~right_col:view.j_right_col
+    Ops.equi_join ?meter ~tids ~left_col:view.j_left_col ~right_col:view.j_right_col
       restricted right
   in
   (* [equi_join] concatenates full tuples; re-project into view shape. *)
@@ -30,18 +30,18 @@ let join_term ?meter (view : View_def.join) left right =
       let r =
         Tuple.make ~tid:0 (Array.sub values left_arity (Array.length values - left_arity))
       in
-      View_def.join_output view l r)
+      View_def.join_output ~tids view l r)
     joined
 
-let join_corrected ?meter view ~r1_prime ~r2_prime ~a1 ~d1 ~a2 ~d2 =
-  let term = join_term ?meter view in
+let join_corrected ?meter ~tids view ~r1_prime ~r2_prime ~a1 ~d1 ~a2 ~d2 =
+  let term = join_term ?meter ~tids view in
   {
     ins = term r1_prime a2 @ term a1 r2_prime @ term a1 a2;
     del = term r1_prime d2 @ term d1 d2 @ term d1 r2_prime;
   }
 
-let join_blakeley ?meter view ~r1 ~r2 ~a1 ~d1 ~a2 ~d2 =
-  let term = join_term ?meter view in
+let join_blakeley ?meter ~tids view ~r1 ~r2 ~a1 ~d1 ~a2 ~d2 =
+  let term = join_term ?meter ~tids view in
   {
     ins = term a1 a2 @ term a1 r2 @ term r1 a2;
     del = term d1 d2 @ term d1 r2 @ term r1 d2;
@@ -64,7 +64,7 @@ let cross_all parts =
     [ Tuple.make ~tid:0 [||] ]
     parts
 
-let nway ?meter ~pred ~positions sources =
+let nway ?meter ~tids ~pred ~positions sources =
   if sources = [] then invalid_arg "Delta.nway: no sources";
   let n = List.length sources in
   let sources = Array.of_list sources in
@@ -79,7 +79,7 @@ let nway ?meter ~pred ~positions sources =
             else sources.(i).src_current)
       in
       let raw = cross_all parts in
-      out := Ops.sp_view ?meter pred ~positions raw @ !out
+      out := Ops.sp_view ?meter ~tids pred ~positions raw @ !out
     done;
     !out
   in
@@ -88,10 +88,11 @@ let nway ?meter ~pred ~positions sources =
     del = terms (fun src -> src.src_deleted);
   }
 
-let recompute_nway ?meter ~pred ~positions relations =
-  Bag.of_list (Ops.sp_view ?meter pred ~positions (cross_all relations))
+let recompute_nway ?meter ~tids ~pred ~positions relations =
+  Bag.of_list (Ops.sp_view ?meter ~tids pred ~positions (cross_all relations))
 
-let recompute_sp ?meter (view : View_def.sp) tuples =
-  Bag.of_list (Ops.sp_view ?meter view.sp_pred ~positions:view.sp_positions tuples)
+let recompute_sp ?meter ~tids (view : View_def.sp) tuples =
+  Bag.of_list (Ops.sp_view ?meter ~tids view.sp_pred ~positions:view.sp_positions tuples)
 
-let recompute_join ?meter view r1 r2 = Bag.of_list (join_term ?meter view r1 r2)
+let recompute_join ?meter ~tids view r1 r2 =
+  Bag.of_list (join_term ?meter ~tids view r1 r2)

@@ -19,11 +19,19 @@ val apply : Bag.t -> t -> unit
 (** Apply to a duplicate-counted view: inserts increment, deletes decrement
     (counts can go negative, which is exactly the Blakeley corruption). *)
 
-val sp : ?meter:Cost_meter.t -> View_def.sp -> a:Tuple.t list -> d:Tuple.t list -> t
-(** Model 1: [ins = π(σ(A))], [del = π(σ(D))]. *)
+val sp :
+  ?meter:Cost_meter.t ->
+  tids:Tuple.source ->
+  View_def.sp ->
+  a:Tuple.t list ->
+  d:Tuple.t list ->
+  t
+(** Model 1: [ins = π(σ(A))], [del = π(σ(D))].  Result tuples draw fresh tids
+    from [tids] (the owning engine's source). *)
 
 val join_corrected :
   ?meter:Cost_meter.t ->
+  tids:Tuple.source ->
   View_def.join ->
   r1_prime:Tuple.t list ->
   r2_prime:Tuple.t list ->
@@ -40,6 +48,7 @@ val join_corrected :
 
 val join_blakeley :
   ?meter:Cost_meter.t ->
+  tids:Tuple.source ->
   View_def.join ->
   r1:Tuple.t list ->
   r2:Tuple.t list ->
@@ -63,6 +72,7 @@ type source = {
 
 val nway :
   ?meter:Cost_meter.t ->
+  tids:Tuple.source ->
   pred:Predicate.t ->
   positions:int array ->
   source list ->
@@ -76,12 +86,25 @@ val nway :
     paper's analysis stops at [N = 2]).
     @raise Invalid_argument on an empty source list. *)
 
-val recompute_nway : ?meter:Cost_meter.t -> pred:Predicate.t -> positions:int array -> Tuple.t list list -> Bag.t
+val recompute_nway :
+  ?meter:Cost_meter.t ->
+  tids:Tuple.source ->
+  pred:Predicate.t ->
+  positions:int array ->
+  Tuple.t list list ->
+  Bag.t
 (** Reference full recomputation of an N-way view from the current base
     relation states. *)
 
-val recompute_sp : ?meter:Cost_meter.t -> View_def.sp -> Tuple.t list -> Bag.t
+val recompute_sp :
+  ?meter:Cost_meter.t -> tids:Tuple.source -> View_def.sp -> Tuple.t list -> Bag.t
 (** Reference full recomputation of a Model-1 view. *)
 
-val recompute_join : ?meter:Cost_meter.t -> View_def.join -> Tuple.t list -> Tuple.t list -> Bag.t
+val recompute_join :
+  ?meter:Cost_meter.t ->
+  tids:Tuple.source ->
+  View_def.join ->
+  Tuple.t list ->
+  Tuple.t list ->
+  Bag.t
 (** Reference full recomputation of a Model-2 view. *)

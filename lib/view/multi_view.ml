@@ -12,12 +12,16 @@ type view_state = {
 
 type t = {
   meter : Cost_meter.t;
+  tids : Tuple.source;
   hr : Hr.t;
   views : (string * view_state) list;
   mutable refreshes : int;
 }
 
-let create ~disk ~geometry ~base ~views ~initial ~ad_buckets () =
+let create ~ctx ~base ~views ~initial ~ad_buckets () =
+  let disk = Ctx.disk ctx in
+  let geometry = Ctx.geometry ctx in
+  let tids = Ctx.tids ctx in
   if views = [] then invalid_arg "Multi_view.create: no views";
   let names = List.map (fun (v : View_def.sp) -> v.sp_name) views in
   if List.length (List.sort_uniq String.compare names) <> List.length names then
@@ -27,7 +31,7 @@ let create ~disk ~geometry ~base ~views ~initial ~ad_buckets () =
       if not (Schema.name v.sp_base = Schema.name base) then
         invalid_arg ("Multi_view.create: view " ^ v.sp_name ^ " is over another schema"))
     views;
-  let meter = Disk.meter disk in
+  let meter = Ctx.meter ctx in
   let first = List.hd views in
   let base_cluster = first.sp_positions.(first.sp_cluster_out) in
   let base_tree =
@@ -39,7 +43,7 @@ let create ~disk ~geometry ~base ~views ~initial ~ad_buckets () =
   Btree.bulk_load base_tree initial;
   Buffer_pool.invalidate (Btree.pool base_tree);
   let hr =
-    Hr.create ~disk ~base:base_tree ~schema:base ~ad_buckets
+    Hr.create ~disk ~tids ~base:base_tree ~schema:base ~ad_buckets
       ~tuples_per_page:(Strategy.blocking_factor geometry base)
       ()
   in
@@ -49,7 +53,7 @@ let create ~disk ~geometry ~base ~views ~initial ~ad_buckets () =
         ~leaf_capacity:(Strategy.blocking_factor geometry v.sp_out_schema)
         ~cluster_col:v.sp_cluster_out ()
     in
-    Materialized.rebuild mat (Delta.recompute_sp v initial);
+    Materialized.rebuild mat (Delta.recompute_sp ~tids v initial);
     ( v.sp_name,
       {
         def = v;
@@ -58,7 +62,7 @@ let create ~disk ~geometry ~base ~views ~initial ~ad_buckets () =
         stale = false;
       } )
   in
-  { meter; hr; views = List.map make_state views; refreshes = 0 }
+  { meter; tids; hr; views = List.map make_state views; refreshes = 0 }
 
 let view_names t = List.map fst t.views
 
@@ -105,12 +109,12 @@ let refresh_all t =
             List.iter
               (fun (tuple, marked) ->
                 if marked && relevant state tuple then
-                  Materialized.apply state.mat Delete (View_def.sp_output state.def tuple))
+                  Materialized.apply state.mat Delete (View_def.sp_output ~tids:t.tids state.def tuple))
               d_net;
             List.iter
               (fun (tuple, marked) ->
                 if marked && relevant state tuple then
-                  Materialized.apply state.mat Insert (View_def.sp_output state.def tuple))
+                  Materialized.apply state.mat Insert (View_def.sp_output ~tids:t.tids state.def tuple))
               a_net;
             Materialized.flush state.mat;
             state.stale <- false)
@@ -143,11 +147,11 @@ let view_contents t ~view =
   List.iter
     (fun (tuple, marked) ->
       if marked && relevant state tuple then
-        ignore (Bag.remove bag (View_def.sp_output state.def tuple)))
+        ignore (Bag.remove bag (View_def.sp_output ~tids:t.tids state.def tuple)))
     d_net;
   List.iter
     (fun (tuple, marked) ->
       if marked && relevant state tuple then
-        ignore (Bag.add bag (View_def.sp_output state.def tuple)))
+        ignore (Bag.add bag (View_def.sp_output ~tids:t.tids state.def tuple)))
     a_net;
   bag

@@ -19,8 +19,7 @@ open Vmat_relalg
 type t
 
 val create :
-  disk:Disk.t ->
-  geometry:Strategy.geometry ->
+  ctx:Ctx.t ->
   base:Schema.t ->
   views:View_def.sp list ->
   initial:Tuple.t list ->

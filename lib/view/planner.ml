@@ -6,6 +6,7 @@ type route = Via_base | Via_view
 
 type t = {
   meter : Cost_meter.t;
+  tids : Tuple.source;
   view : View_def.sp;
   base_cluster_col : int;
   base : Btree.t;
@@ -14,14 +15,17 @@ type t = {
   geometry : Strategy.geometry;
 }
 
-let create ~disk ~geometry ~view ~base_cluster ~initial () =
+let create ~ctx ~view ~base_cluster ~initial () =
+  let disk = Ctx.disk ctx in
+  let geometry = Ctx.geometry ctx in
+  let tids = Ctx.tids ctx in
   let base_cluster_col =
     match Schema.column_index view.View_def.sp_base base_cluster with
     | i -> i
     | exception Not_found ->
         invalid_arg ("Planner.create: unknown base column " ^ base_cluster)
   in
-  let meter = Disk.meter disk in
+  let meter = Ctx.meter ctx in
   let base =
     Btree.create ~disk ~name:(Schema.name view.sp_base) ~fanout:(Strategy.fanout geometry)
       ~leaf_capacity:(Strategy.blocking_factor geometry view.sp_base)
@@ -35,9 +39,9 @@ let create ~disk ~geometry ~view ~base_cluster ~initial () =
       ~leaf_capacity:(Strategy.blocking_factor geometry view.sp_out_schema)
       ~cluster_col:view.sp_cluster_out ()
   in
-  Materialized.rebuild mat (Delta.recompute_sp view initial);
+  Materialized.rebuild mat (Delta.recompute_sp ~tids view initial);
   let screen = Screen.create ~meter ~view_name:view.sp_name ~pred:view.sp_pred () in
-  { meter; view; base_cluster_col; base; mat; screen; geometry }
+  { meter; tids; view; base_cluster_col; base; mat; screen; geometry }
 
 let handle_transaction t changes =
   let marked_deletes = ref [] and marked_inserts = ref [] in
@@ -61,10 +65,10 @@ let handle_transaction t changes =
       Buffer_pool.invalidate (Btree.pool t.base));
   Cost_meter.with_category t.meter Cost_meter.Refresh (fun () ->
       List.iter
-        (fun tuple -> Materialized.apply t.mat Delete (View_def.sp_output t.view tuple))
+        (fun tuple -> Materialized.apply t.mat Delete (View_def.sp_output ~tids:t.tids t.view tuple))
         (List.rev !marked_deletes);
       List.iter
-        (fun tuple -> Materialized.apply t.mat Insert (View_def.sp_output t.view tuple))
+        (fun tuple -> Materialized.apply t.mat Insert (View_def.sp_output ~tids:t.tids t.view tuple))
         (List.rev !marked_inserts);
       Materialized.flush t.mat)
 
@@ -137,7 +141,7 @@ let answer_via t route ~column ~lo ~hi =
               if
                 Predicate.eval t.view.sp_pred tuple
                 && in_range (Tuple.get tuple base_col) ~lo ~hi
-              then out := (View_def.sp_output t.view tuple, 1) :: !out);
+              then out := (View_def.sp_output ~tids:t.tids t.view tuple, 1) :: !out);
           Buffer_pool.invalidate (Btree.pool t.base);
           List.rev !out)
   | Via_view -> (

@@ -18,8 +18,7 @@ type t
 type route = Via_base | Via_view
 
 val create :
-  disk:Disk.t ->
-  geometry:Strategy.geometry ->
+  ctx:Ctx.t ->
   view:View_def.sp ->
   base_cluster:string ->
   initial:Tuple.t list ->

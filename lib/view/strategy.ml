@@ -17,9 +17,9 @@ type t = {
   view_contents : unit -> Bag.t;
 }
 
-type geometry = { page_bytes : int; index_entry_bytes : int }
+type geometry = Ctx.geometry = { page_bytes : int; index_entry_bytes : int }
 
-let default_geometry = { page_bytes = 4000; index_entry_bytes = 20 }
+let default_geometry = Ctx.default_geometry
 
 let fanout g = max 2 (g.page_bytes / g.index_entry_bytes)
 

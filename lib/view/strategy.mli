@@ -34,11 +34,12 @@ type t = {
           unmetered, for equivalence testing. *)
 }
 
-type geometry = { page_bytes : int; index_entry_bytes : int }
-(** The paper's [B] and [n]. *)
+type geometry = Ctx.geometry = { page_bytes : int; index_entry_bytes : int }
+(** The paper's [B] and [n] — an alias of {!Vmat_storage.Ctx.geometry}, the
+    per-engine execution context's geometry. *)
 
 val default_geometry : geometry
-(** [B = 4000], [n = 20]. *)
+(** [B = 4000], [n = 20] (= {!Vmat_storage.Ctx.default_geometry}). *)
 
 val fanout : geometry -> int
 (** Index fanout [B/n]. *)

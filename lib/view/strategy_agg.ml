@@ -4,14 +4,16 @@ module Btree = Vmat_index.Btree
 module Hr = Vmat_hypo.Hr
 
 type env = {
-  disk : Disk.t;
-  geometry : Strategy.geometry;
+  ctx : Ctx.t;
   agg : View_def.agg;
   initial : Tuple.t list;
   ad_buckets : int;
 }
 
-let meter env = Disk.meter env.disk
+let meter env = Ctx.meter env.ctx
+let disk env = Ctx.disk env.ctx
+let geometry env = Ctx.geometry env.ctx
+let tids env = Ctx.tids env.ctx
 
 let sp env = env.agg.View_def.a_over
 
@@ -21,9 +23,9 @@ let make_base_btree env =
   let schema = (sp env).sp_base in
   let col = base_cluster_col env in
   let tree =
-    Btree.create ~disk:env.disk ~name:(Schema.name schema)
-      ~fanout:(Strategy.fanout env.geometry)
-      ~leaf_capacity:(Strategy.blocking_factor env.geometry schema)
+    Btree.create ~disk:(disk env) ~name:(Schema.name schema)
+      ~fanout:(Strategy.fanout (geometry env))
+      ~leaf_capacity:(Strategy.blocking_factor (geometry env) schema)
       ~key_of:(fun tuple -> Tuple.get tuple col)
       ()
   in
@@ -39,26 +41,26 @@ let initial_state env =
   Aggregate.of_tuples env.agg.View_def.a_kind
     (Ops.select (sp env).sp_pred env.initial)
 
-let single_tuple_answer state =
-  [ (Tuple.make ~tid:(Tuple.fresh_tid ()) [| Value.Float (Aggregate.value state) |], 1) ]
+let single_tuple_answer env state =
+  [ (Tuple.make ~tid:(Tuple.next (tids env)) [| Value.Float (Aggregate.value state) |], 1) ]
 
 let bag_of_state state =
   Bag.of_list [ Tuple.make ~tid:0 [| Value.Float (Aggregate.value state) |] ]
 
 (* One stored page holds the aggregate state. *)
-let alloc_state_page env = Disk.alloc env.disk ~file:("agg:" ^ env.agg.View_def.a_name)
+let alloc_state_page env = Disk.alloc (disk env) ~file:("agg:" ^ env.agg.View_def.a_name)
 
 let read_state env page =
-  Cost_meter.with_category (meter env) Cost_meter.Query (fun () -> Disk.read env.disk page)
+  Cost_meter.with_category (meter env) Cost_meter.Query (fun () -> Disk.read (disk env) page)
 
 let write_state env page =
-  Cost_meter.with_category (meter env) Cost_meter.Refresh (fun () -> Disk.write env.disk page)
+  Cost_meter.with_category (meter env) Cost_meter.Refresh (fun () -> Disk.write (disk env) page)
 
 let deferred env =
   let base = make_base_btree env in
   let hr =
-    Hr.create ~disk:env.disk ~base ~schema:(sp env).sp_base ~ad_buckets:env.ad_buckets
-      ~tuples_per_page:(Strategy.blocking_factor env.geometry (sp env).sp_base)
+    Hr.create ~disk:(disk env) ~tids:(tids env) ~base ~schema:(sp env).sp_base ~ad_buckets:env.ad_buckets
+      ~tuples_per_page:(Strategy.blocking_factor (geometry env) (sp env).sp_base)
       ()
   in
   let state = initial_state env in
@@ -103,7 +105,7 @@ let deferred env =
           a_net;
         (* No read is needed: the state is about to be read by the query
            anyway (§3.6); only the write is charged. *)
-        if !touched then Disk.write env.disk page);
+        if !touched then Disk.write (disk env) page);
     Hr.reset hr
   in
   let scalar_query () =
@@ -118,7 +120,7 @@ let deferred env =
       (fun _q ->
         let v = scalar_query () in
         ignore v;
-        single_tuple_answer state);
+        single_tuple_answer env state);
     scalar_query;
     view_contents =
       (fun () ->
@@ -169,7 +171,7 @@ let immediate env =
     answer_query =
       (fun _q ->
         ignore (scalar_query ());
-        single_tuple_answer state);
+        single_tuple_answer env state);
     scalar_query;
     view_contents =
       (fun () ->
@@ -212,7 +214,7 @@ let recompute env =
   {
     Strategy.name = "recompute";
     handle_transaction;
-    answer_query = (fun _q -> single_tuple_answer (compute ()));
+    answer_query = (fun _q -> single_tuple_answer env (compute ()));
     scalar_query = (fun () -> Aggregate.value (compute ()));
     view_contents =
       (fun () ->

@@ -5,8 +5,9 @@
 open Vmat_storage
 
 type env = {
-  disk : Disk.t;
-  geometry : Strategy.geometry;
+  ctx : Ctx.t;
+      (** The owning engine's execution context (disk, meter, geometry,
+          tuple-id source, RNG). *)
   agg : View_def.agg;
   initial : Tuple.t list;
   ad_buckets : int;

@@ -5,8 +5,7 @@ module Hash_file = Vmat_index.Hash_file
 module Hr = Vmat_hypo.Hr
 
 type env = {
-  disk : Disk.t;
-  geometry : Strategy.geometry;
+  ctx : Ctx.t;
   view : View_def.join;
   initial_left : Tuple.t list;
   initial_right : Tuple.t list;
@@ -14,7 +13,11 @@ type env = {
   r2_buckets : int;
 }
 
-let meter env = Disk.meter env.disk
+let meter env = Ctx.meter env.ctx
+let disk env = Ctx.disk env.ctx
+let geometry env = Ctx.geometry env.ctx
+let tids env = Ctx.tids env.ctx
+let join_output env l r = View_def.join_output ~tids:(tids env) env.view l r
 
 let base_cluster_col env = env.view.j_positions_left.(env.view.j_cluster_out)
 
@@ -22,9 +25,9 @@ let make_left_btree env =
   let schema = env.view.j_left in
   let col = base_cluster_col env in
   let tree =
-    Btree.create ~disk:env.disk ~name:(Schema.name schema)
-      ~fanout:(Strategy.fanout env.geometry)
-      ~leaf_capacity:(Strategy.blocking_factor env.geometry schema)
+    Btree.create ~disk:(disk env) ~name:(Schema.name schema)
+      ~fanout:(Strategy.fanout (geometry env))
+      ~leaf_capacity:(Strategy.blocking_factor (geometry env) schema)
       ~key_of:(fun tuple -> Tuple.get tuple col)
       ()
   in
@@ -35,8 +38,8 @@ let make_left_btree env =
 let make_right_hash env =
   let schema = env.view.j_right in
   let hash =
-    Hash_file.create ~disk:env.disk ~name:(Schema.name schema) ~buckets:env.r2_buckets
-      ~tuples_per_page:(Strategy.blocking_factor env.geometry schema)
+    Hash_file.create ~disk:(disk env) ~name:(Schema.name schema) ~buckets:env.r2_buckets
+      ~tuples_per_page:(Strategy.blocking_factor (geometry env) schema)
       ~key_of:(fun tuple -> Tuple.get tuple env.view.j_right_col)
       ()
   in
@@ -46,12 +49,12 @@ let make_right_hash env =
 
 let make_materialized env =
   let mat =
-    Materialized.create ~disk:env.disk ~name:env.view.j_name
-      ~fanout:(Strategy.fanout env.geometry)
-      ~leaf_capacity:(Strategy.blocking_factor env.geometry env.view.j_out_schema)
+    Materialized.create ~disk:(disk env) ~name:env.view.j_name
+      ~fanout:(Strategy.fanout (geometry env))
+      ~leaf_capacity:(Strategy.blocking_factor (geometry env) env.view.j_out_schema)
       ~cluster_col:env.view.j_cluster_out ()
   in
-  Materialized.rebuild mat (Delta.recompute_join env.view env.initial_left env.initial_right);
+  Materialized.rebuild mat (Delta.recompute_join ~tids:(tids env) env.view env.initial_left env.initial_right);
   mat
 
 let make_screen env =
@@ -62,7 +65,7 @@ let make_screen env =
 let probe env r2 m left_tuple =
   Cost_meter.charge_predicate_test m;
   List.map
-    (fun right_tuple -> View_def.join_output env.view left_tuple right_tuple)
+    (fun right_tuple -> join_output env left_tuple right_tuple)
     (Hash_file.lookup r2 (Tuple.get left_tuple env.view.j_left_col))
 
 let answer_from_materialized env mat (q : Strategy.query) =
@@ -76,15 +79,15 @@ let answer_from_materialized env mat (q : Strategy.query) =
       List.rev !out)
 
 let logical_view env left_tuples =
-  Delta.recompute_join env.view left_tuples env.initial_right
+  Delta.recompute_join ~tids:(tids env) env.view left_tuples env.initial_right
 
 let deferred env =
   let m = meter env in
   let base = make_left_btree env in
   let r2 = make_right_hash env in
   let hr =
-    Hr.create ~disk:env.disk ~base ~schema:env.view.j_left ~ad_buckets:env.ad_buckets
-      ~tuples_per_page:(Strategy.blocking_factor env.geometry env.view.j_left)
+    Hr.create ~disk:(disk env) ~tids:(tids env) ~base ~schema:env.view.j_left ~ad_buckets:env.ad_buckets
+      ~tuples_per_page:(Strategy.blocking_factor (geometry env) env.view.j_left)
       ()
   in
   let mat = make_materialized env in
@@ -145,7 +148,7 @@ let deferred env =
               if Value.equal
                    (Tuple.get tuple env.view.j_left_col)
                    (Tuple.get right_tuple env.view.j_right_col)
-              then Some (View_def.join_output env.view tuple right_tuple)
+              then Some (join_output env tuple right_tuple)
               else None)
             env.initial_right
         in

@@ -6,8 +6,9 @@
 open Vmat_storage
 
 type env = {
-  disk : Disk.t;
-  geometry : Strategy.geometry;
+  ctx : Ctx.t;
+      (** The owning engine's execution context (disk, meter, geometry,
+          tuple-id source, RNG). *)
   view : View_def.join;
   initial_left : Tuple.t list;
   initial_right : Tuple.t list;

@@ -4,14 +4,17 @@ module Btree = Vmat_index.Btree
 module Hr = Vmat_hypo.Hr
 
 type env = {
-  disk : Disk.t;
-  geometry : Strategy.geometry;
+  ctx : Ctx.t;
   view : View_def.sp;
   initial : Tuple.t list;
   ad_buckets : int;
 }
 
-let meter env = Disk.meter env.disk
+let meter env = Ctx.meter env.ctx
+let disk env = Ctx.disk env.ctx
+let geometry env = Ctx.geometry env.ctx
+let tids env = Ctx.tids env.ctx
+let sp_output env tuple = View_def.sp_output ~tids:(tids env) env.view tuple
 
 (* The base column the view is clustered on (the predicate column). *)
 let base_cluster_col env = env.view.sp_positions.(env.view.sp_cluster_out)
@@ -20,9 +23,9 @@ let make_base_btree env =
   let schema = env.view.sp_base in
   let col = base_cluster_col env in
   let tree =
-    Btree.create ~disk:env.disk ~name:(Schema.name schema)
-      ~fanout:(Strategy.fanout env.geometry)
-      ~leaf_capacity:(Strategy.blocking_factor env.geometry schema)
+    Btree.create ~disk:(disk env) ~name:(Schema.name schema)
+      ~fanout:(Strategy.fanout (geometry env))
+      ~leaf_capacity:(Strategy.blocking_factor (geometry env) schema)
       ~key_of:(fun tuple -> Tuple.get tuple col)
       ()
   in
@@ -32,12 +35,12 @@ let make_base_btree env =
 
 let make_materialized env =
   let mat =
-    Materialized.create ~disk:env.disk ~name:env.view.sp_name
-      ~fanout:(Strategy.fanout env.geometry)
-      ~leaf_capacity:(Strategy.blocking_factor env.geometry env.view.sp_out_schema)
+    Materialized.create ~disk:(disk env) ~name:env.view.sp_name
+      ~fanout:(Strategy.fanout (geometry env))
+      ~leaf_capacity:(Strategy.blocking_factor (geometry env) env.view.sp_out_schema)
       ~cluster_col:env.view.sp_cluster_out ()
   in
-  Materialized.rebuild mat (Delta.recompute_sp env.view env.initial);
+  Materialized.rebuild mat (Delta.recompute_sp ~tids:(tids env) env.view env.initial);
   mat
 
 let make_screen env =
@@ -82,7 +85,8 @@ let screen_change env screen (change : Strategy.change) =
     let mark = Option.map (Screen.screen screen) in
     (mark change.before, mark change.after)
 
-let logical_view_of_tuples env tuples = Delta.recompute_sp env.view tuples
+let logical_view_of_tuples env tuples =
+  Delta.recompute_sp ~tids:(tids env) env.view tuples
 
 (* ------------------------------------------------------------------ *)
 (* Deferred view maintenance                                           *)
@@ -105,8 +109,9 @@ let deferred_with_policy_internal ?layout ~policy ~name env =
   let m = meter env in
   let base = make_base_btree env in
   let hr =
-    Hr.create ~disk:env.disk ~base ~schema:env.view.sp_base ~ad_buckets:env.ad_buckets
-      ~tuples_per_page:(Strategy.blocking_factor env.geometry env.view.sp_base)
+    Hr.create ~disk:(disk env) ~tids:(tids env) ~base ~schema:env.view.sp_base
+      ~ad_buckets:env.ad_buckets
+      ~tuples_per_page:(Strategy.blocking_factor (geometry env) env.view.sp_base)
       ?layout ()
   in
   let mat = make_materialized env in
@@ -118,12 +123,12 @@ let deferred_with_policy_internal ?layout ~policy ~name env =
             List.iter
               (fun (tuple, marked) ->
                 if marked then
-                  Materialized.apply mat Delete (View_def.sp_output env.view tuple))
+                  Materialized.apply mat Delete (sp_output env tuple))
               d_net;
             List.iter
               (fun (tuple, marked) ->
                 if marked then
-                  Materialized.apply mat Insert (View_def.sp_output env.view tuple))
+                  Materialized.apply mat Insert (sp_output env tuple))
               a_net;
             Materialized.flush mat);
         Hr.reset hr)
@@ -171,11 +176,11 @@ let deferred_with_policy_internal ?layout ~policy ~name env =
           let a_net, d_net = Hr.net_changes_unmetered hr in
           List.iter
             (fun (tuple, marked) ->
-              if marked then ignore (Bag.remove bag (View_def.sp_output env.view tuple)))
+              if marked then ignore (Bag.remove bag (sp_output env tuple)))
             d_net;
           List.iter
             (fun (tuple, marked) ->
-              if marked then ignore (Bag.add bag (View_def.sp_output env.view tuple)))
+              if marked then ignore (Bag.add bag (sp_output env tuple)))
             a_net;
           bag);
     },
@@ -263,11 +268,11 @@ let immediate env =
         Cost_meter.with_category m Cost_meter.Refresh (fun () ->
             List.iter
               (fun tuple ->
-                Materialized.apply mat Delete (View_def.sp_output env.view tuple))
+                Materialized.apply mat Delete (sp_output env tuple))
               (List.rev !marked_deletes);
             List.iter
               (fun tuple ->
-                Materialized.apply mat Insert (View_def.sp_output env.view tuple))
+                Materialized.apply mat Insert (sp_output env tuple))
               (List.rev !marked_inserts);
             Materialized.flush mat))
   in
@@ -294,7 +299,7 @@ let qmod_answer env m examined (q : Strategy.query) =
   examined (fun tuple ->
       Cost_meter.charge_predicate_test m;
       if Predicate.eval env.view.sp_pred tuple && in_range env tuple ~lo:q.q_lo ~hi:q.q_hi
-      then out := (View_def.sp_output env.view tuple, 1) :: !out);
+      then out := (sp_output env tuple, 1) :: !out);
   List.rev !out
 
 let qmod_clustered env =
@@ -347,7 +352,7 @@ module Secondary = Map.Make (Secondary_key)
 let qmod_unclustered env =
   let m = meter env in
   let heap =
-    Heap_file.create ~disk:env.disk ~page_bytes:env.geometry.Strategy.page_bytes
+    Heap_file.create ~disk:(disk env) ~page_bytes:(geometry env).Strategy.page_bytes
       env.view.sp_base
   in
   let index = ref Secondary.empty in
@@ -407,7 +412,7 @@ let qmod_unclustered env =
 let qmod_sequential env =
   let m = meter env in
   let heap =
-    Heap_file.create ~disk:env.disk ~page_bytes:env.geometry.Strategy.page_bytes
+    Heap_file.create ~disk:(disk env) ~page_bytes:(geometry env).Strategy.page_bytes
       env.view.sp_base
   in
   let locators = Hashtbl.create (List.length env.initial) in

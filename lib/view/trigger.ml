@@ -28,9 +28,8 @@ let evaluate t watch =
   condition_holds watch.watched ~value:(Aggregate.value t.state)
     ~cardinality:(Aggregate.cardinality t.state)
 
-let create ~disk ~geometry ~agg ~initial ~conditions () =
-  ignore geometry;
-  let meter = Disk.meter disk in
+let create ~ctx ~agg ~initial ~conditions () =
+  let meter = Ctx.meter ctx in
   let sp = agg.View_def.a_over in
   let state = Aggregate.of_tuples agg.View_def.a_kind (Ops.select sp.sp_pred initial) in
   let t =

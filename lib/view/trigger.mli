@@ -22,8 +22,7 @@ type event = { condition : condition; transaction : int; value : float }
 type t
 
 val create :
-  disk:Disk.t ->
-  geometry:Strategy.geometry ->
+  ctx:Ctx.t ->
   agg:View_def.agg ->
   initial:Tuple.t list ->
   conditions:condition list ->

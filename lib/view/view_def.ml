@@ -35,8 +35,8 @@ let make_sp ~name ~base ~pred ~project ~cluster =
     sp_out_schema = Schema.project base ~name ~column_names:project ~key:cluster;
   }
 
-let sp_output sp tuple =
-  Tuple.with_tid (Tuple.project tuple sp.sp_positions) (Tuple.fresh_tid ())
+let sp_output ~tids sp tuple =
+  Tuple.with_tid (Tuple.project tuple sp.sp_positions) (Tuple.next tids)
 
 type join = {
   j_name : string;
@@ -78,10 +78,10 @@ let make_join ~name ~left ~right ~left_pred ~on:(left_on, right_on) ~project_lef
     j_out_schema = out_schema;
   }
 
-let join_output j left_tuple right_tuple =
+let join_output ~tids j left_tuple right_tuple =
   let l = Tuple.project left_tuple j.j_positions_left in
   let r = Tuple.project right_tuple j.j_positions_right in
-  Tuple.concat ~tid:(Tuple.fresh_tid ()) l r
+  Tuple.concat ~tid:(Tuple.next tids) l r
 
 type agg_kind =
   | Count

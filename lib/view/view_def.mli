@@ -24,8 +24,8 @@ val make_sp :
 (** @raise Invalid_argument if [cluster] is not among the projected columns
     or the projection names a missing column. *)
 
-val sp_output : sp -> Tuple.t -> Tuple.t
-(** Project a base tuple into view shape (fresh tid). *)
+val sp_output : tids:Tuple.source -> sp -> Tuple.t -> Tuple.t
+(** Project a base tuple into view shape (fresh tid from [tids]). *)
 
 type join = {
   j_name : string;
@@ -52,8 +52,8 @@ val make_join :
   join
 (** [cluster] must name a projected column of the left relation. *)
 
-val join_output : join -> Tuple.t -> Tuple.t -> Tuple.t
-(** Build the view tuple for a joining pair (fresh tid). *)
+val join_output : tids:Tuple.source -> join -> Tuple.t -> Tuple.t -> Tuple.t
+(** Build the view tuple for a joining pair (fresh tid from [tids]). *)
 
 type agg_kind =
   | Count

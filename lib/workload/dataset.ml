@@ -15,8 +15,8 @@ let base_columns =
 let base_schema ~s_bytes =
   Schema.make ~name:"R" ~columns:base_columns ~tuple_bytes:s_bytes ~key:"id"
 
-let base_tuple rng ~id =
-  Tuple.make ~tid:(Tuple.fresh_tid ())
+let base_tuple ~tids rng ~id =
+  Tuple.make ~tid:(Tuple.next tids)
     [|
       Value.Int id;
       Value.Float (Rng.float rng);
@@ -34,7 +34,7 @@ type model1 = {
   m1_tuples : Tuple.t list;
 }
 
-let make_model1 ~rng ~n ~f ~s_bytes =
+let make_model1 ~rng ~tids ~n ~f ~s_bytes =
   let schema = base_schema ~s_bytes in
   let view =
     View_def.make_sp ~name:"V" ~base:schema ~pred:(pred_on schema ~f)
@@ -43,7 +43,7 @@ let make_model1 ~rng ~n ~f ~s_bytes =
   {
     m1_schema = schema;
     m1_view = view;
-    m1_tuples = List.init n (fun id -> base_tuple rng ~id);
+    m1_tuples = List.init n (fun id -> base_tuple ~tids rng ~id);
   }
 
 type model2 = {
@@ -54,7 +54,7 @@ type model2 = {
   m2_right_tuples : Tuple.t list;
 }
 
-let make_model2 ~rng ~n ~f ~f_r2 ~s_bytes =
+let make_model2 ~rng ~tids ~n ~f ~f_r2 ~s_bytes =
   let left =
     Schema.make ~name:"R1"
       ~columns:
@@ -86,7 +86,7 @@ let make_model2 ~rng ~n ~f ~f_r2 ~s_bytes =
   in
   let right_tuples =
     List.init n_right (fun jkey ->
-        Tuple.make ~tid:(Tuple.fresh_tid ())
+        Tuple.make ~tid:(Tuple.next tids)
           [|
             Value.Int jkey;
             Value.Float (Rng.float rng);
@@ -95,7 +95,7 @@ let make_model2 ~rng ~n ~f ~f_r2 ~s_bytes =
   in
   let left_tuples =
     List.init n (fun id ->
-        Tuple.make ~tid:(Tuple.fresh_tid ())
+        Tuple.make ~tid:(Tuple.next tids)
           [|
             Value.Int id;
             Value.Float (Rng.float rng);
@@ -117,8 +117,8 @@ type model3 = {
   m3_tuples : Tuple.t list;
 }
 
-let make_model3 ~rng ~n ~f ~s_bytes ~kind =
-  let { m1_schema; m1_view; m1_tuples } = make_model1 ~rng ~n ~f ~s_bytes in
+let make_model3 ~rng ~tids ~n ~f ~s_bytes ~kind =
+  let { m1_schema; m1_view; m1_tuples } = make_model1 ~rng ~tids ~n ~f ~s_bytes in
   {
     m3_schema = m1_schema;
     m3_agg = View_def.make_agg ~name:"VA" ~over:m1_view ~kind;

@@ -19,7 +19,8 @@ type model1 = {
   m1_tuples : Tuple.t list;
 }
 
-val make_model1 : rng:Rng.t -> n:int -> f:float -> s_bytes:int -> model1
+val make_model1 :
+  rng:Rng.t -> tids:Tuple.source -> n:int -> f:float -> s_bytes:int -> model1
 
 type model2 = {
   m2_left : Schema.t;
@@ -29,7 +30,14 @@ type model2 = {
   m2_right_tuples : Tuple.t list;
 }
 
-val make_model2 : rng:Rng.t -> n:int -> f:float -> f_r2:float -> s_bytes:int -> model2
+val make_model2 :
+  rng:Rng.t ->
+  tids:Tuple.source ->
+  n:int ->
+  f:float ->
+  f_r2:float ->
+  s_bytes:int ->
+  model2
 
 type model3 = {
   m3_schema : Schema.t;
@@ -39,6 +47,7 @@ type model3 = {
 
 val make_model3 :
   rng:Rng.t ->
+  tids:Tuple.source ->
   n:int ->
   f:float ->
   s_bytes:int ->

@@ -32,35 +32,40 @@ let ints (p : Params.t) =
     int_of_float p.l_per_txn,
     int_of_float p.q_queries )
 
-let fresh_world (p : Params.t) =
-  let meter = Cost_meter.create ~c1:p.c1 ~c2:p.c2 ~c3:p.c3 () in
-  let disk = Disk.create meter in
-  (meter, disk)
+(* One execution context per strategy run, all pinned to the same
+   [first_tid] (the next tid after dataset/stream generation), so every
+   strategy sees identical tuple identities regardless of run order.  This is
+   what makes back-to-back in-process measurements bit-identical. *)
+let fresh_ctx (p : Params.t) ~first_tid =
+  Ctx.create ~geometry:(geometry_of p) ~c1:p.c1 ~c2:p.c2 ~c3:p.c3 ~first_tid ()
 
 let amount_col = 2 (* R(id, pval, amount, note) *)
 
-let model1_stream ~rng ~(p : Params.t) (dataset : Dataset.model1) =
+let model1_stream ~rng ~tids ~(p : Params.t) (dataset : Dataset.model1) =
   let _, k, l, q = ints p in
   let tuples = Array.of_list dataset.m1_tuples in
   let width = p.f *. p.fv in
   Stream.generate ~rng ~tuples
     ~mutate:
-      (Stream.mutate_column ~col:amount_col (fun rng ->
+      (Stream.mutate_column ~tids ~col:amount_col (fun rng ->
            Value.Float (Float.of_int (Rng.int rng 1000))))
     ~k ~l ~q
     ~query_of:(Stream.range_query_of ~lo_max:(p.f -. width) ~width)
 
 let measure_model1 ?(seed = 42) ?recorder (p : Params.t) strategies =
   let rng = Rng.create seed in
+  let tids = Tuple.source () in
   let n, _, _, _ = ints p in
-  let dataset = Dataset.make_model1 ~rng ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes) in
-  let ops = model1_stream ~rng ~p dataset in
+  let dataset =
+    Dataset.make_model1 ~rng ~tids ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes)
+  in
+  let ops = model1_stream ~rng ~tids ~p dataset in
+  let first_tid = Tuple.peek tids in
   let run which =
-    let meter, disk = fresh_world p in
+    let ctx = fresh_ctx p ~first_tid in
     let env =
       {
-        Strategy_sp.disk;
-        geometry = geometry_of p;
+        Strategy_sp.ctx;
         view = dataset.m1_view;
         initial = dataset.m1_tuples;
         ad_buckets = ad_buckets_for p;
@@ -76,7 +81,7 @@ let measure_model1 ?(seed = 42) ?recorder (p : Params.t) strategies =
       | `Recompute -> Strategy_sp.recompute env
       | `Adaptive -> Adaptive.strategy (Adaptive.wrap env)
     in
-    let m = Runner.run ?recorder ~meter ~disk ~strategy ~ops () in
+    let m = Runner.run ?recorder ~ctx ~strategy ~ops () in
     (m.Runner.strategy_name, m)
   in
   List.map run strategies
@@ -94,8 +99,11 @@ let measure_phased ?(seed = 42) ?recorder ?adaptive_config ?adaptive_candidates
     ?adaptive_initial (p : Params.t) ~phases strategies =
   if phases = [] then invalid_arg "Experiment.measure_phased: no phases";
   let rng = Rng.create seed in
+  let tids = Tuple.source () in
   let n, _, _, _ = ints p in
-  let dataset = Dataset.make_model1 ~rng ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes) in
+  let dataset =
+    Dataset.make_model1 ~rng ~tids ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes)
+  in
   let tuples = Array.of_list dataset.m1_tuples in
   let phase_streams =
     List.map
@@ -106,19 +114,19 @@ let measure_phased ?(seed = 42) ?recorder ?adaptive_config ?adaptive_candidates
           ph_l = sp_l;
           ph_q = sp_q;
           ph_mutate =
-            Stream.mutate_column ~col:amount_col (fun rng ->
+            Stream.mutate_column ~tids ~col:amount_col (fun rng ->
                 Value.Float (Float.of_int (Rng.int rng 1000)));
           ph_query_of = Stream.range_query_of ~lo_max:(p.f -. width) ~width;
         })
       phases
   in
   let ops_phases = Stream.generate_phased ~rng ~tuples phase_streams in
+  let first_tid = Tuple.peek tids in
   let run which =
-    let meter, disk = fresh_world p in
+    let ctx = fresh_ctx p ~first_tid in
     let env =
       {
-        Strategy_sp.disk;
-        geometry = geometry_of p;
+        Strategy_sp.ctx;
         view = dataset.m1_view;
         initial = dataset.m1_tuples;
         ad_buckets = ad_buckets_for p;
@@ -139,7 +147,7 @@ let measure_phased ?(seed = 42) ?recorder ?adaptive_config ?adaptive_candidates
           in
           (Adaptive.strategy a, Some a)
     in
-    let per_phase, overall = Runner.run_phases ?recorder ~meter ~disk ~strategy ~phases:ops_phases () in
+    let per_phase, overall = Runner.run_phases ?recorder ~ctx ~strategy ~phases:ops_phases () in
     {
       ph_name = overall.Runner.strategy_name;
       ph_per_phase = per_phase;
@@ -153,27 +161,29 @@ let c_col = 3 (* R1(id, pval, jkey, c) *)
 
 let measure_model2 ?(seed = 42) ?recorder (p : Params.t) strategies =
   let rng = Rng.create seed in
+  let tids = Tuple.source () in
   let n, k, l, q = ints p in
   let dataset =
-    Dataset.make_model2 ~rng ~n ~f:p.f ~f_r2:p.f_r2 ~s_bytes:(int_of_float p.tuple_bytes)
+    Dataset.make_model2 ~rng ~tids ~n ~f:p.f ~f_r2:p.f_r2
+      ~s_bytes:(int_of_float p.tuple_bytes)
   in
   let tuples = Array.of_list dataset.m2_left_tuples in
   let width = p.f *. p.fv in
   let ops =
     Stream.generate ~rng ~tuples
       ~mutate:
-        (Stream.mutate_column ~col:c_col (fun rng ->
+        (Stream.mutate_column ~tids ~col:c_col (fun rng ->
              Value.Str (Printf.sprintf "c%06d" (Rng.int rng 1_000_000))))
       ~k ~l ~q
       ~query_of:(Stream.range_query_of ~lo_max:(p.f -. width) ~width)
   in
   let r2_buckets = max 1 (int_of_float (ceil (p.f_r2 *. Params.blocks p))) in
+  let first_tid = Tuple.peek tids in
   let run which =
-    let meter, disk = fresh_world p in
+    let ctx = fresh_ctx p ~first_tid in
     let env =
       {
-        Strategy_join.disk;
-        geometry = geometry_of p;
+        Strategy_join.ctx;
         view = dataset.m2_view;
         initial_left = dataset.m2_left_tuples;
         initial_right = dataset.m2_right_tuples;
@@ -187,31 +197,32 @@ let measure_model2 ?(seed = 42) ?recorder (p : Params.t) strategies =
       | `Immediate -> Strategy_join.immediate env
       | `Loopjoin -> Strategy_join.qmod_loopjoin env
     in
-    let m = Runner.run ?recorder ~meter ~disk ~strategy ~ops () in
+    let m = Runner.run ?recorder ~ctx ~strategy ~ops () in
     (m.Runner.strategy_name, m)
   in
   List.map run strategies
 
 let measure_model3 ?(seed = 42) ?recorder ?(kind = `Sum "amount") (p : Params.t) strategies =
   let rng = Rng.create seed in
+  let tids = Tuple.source () in
   let n, _, _, _ = ints p in
   let dataset =
-    Dataset.make_model3 ~rng ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes) ~kind
+    Dataset.make_model3 ~rng ~tids ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes) ~kind
   in
   let ops =
-    model1_stream ~rng ~p
+    model1_stream ~rng ~tids ~p
       {
         Dataset.m1_schema = dataset.m3_schema;
         m1_view = dataset.m3_agg.View_def.a_over;
         m1_tuples = dataset.m3_tuples;
       }
   in
+  let first_tid = Tuple.peek tids in
   let run which =
-    let meter, disk = fresh_world p in
+    let ctx = fresh_ctx p ~first_tid in
     let env =
       {
-        Strategy_agg.disk;
-        geometry = geometry_of p;
+        Strategy_agg.ctx;
         agg = dataset.m3_agg;
         initial = dataset.m3_tuples;
         ad_buckets = ad_buckets_for p;
@@ -223,7 +234,7 @@ let measure_model3 ?(seed = 42) ?recorder ?(kind = `Sum "amount") (p : Params.t)
       | `Immediate -> Strategy_agg.immediate env
       | `Recompute -> Strategy_agg.recompute env
     in
-    let m = Runner.run ?recorder ~meter ~disk ~strategy ~ops () in
+    let m = Runner.run ?recorder ~ctx ~strategy ~ops () in
     (m.Runner.strategy_name, m)
   in
   List.map run strategies

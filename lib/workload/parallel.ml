@@ -1,0 +1,42 @@
+open Vmat_util
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let split_seeds ~root n =
+  if n < 0 then invalid_arg "Parallel.split_seeds: negative count";
+  let rng = Rng.create root in
+  List.init n (fun _ ->
+      let child = Rng.split rng in
+      Int64.to_int (Rng.next child) land max_int)
+
+let map_points ?(jobs = 1) f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.to_list (Array.map f items)
+  else begin
+    let results : ('b, exn) result option array = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (results.(i) <- (try Some (Ok (f items.(i))) with e -> Some (Error e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (* Deterministic error behavior: whatever [jobs] was, the exception
+       reported is the one the serial run would have raised first. *)
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok r) -> r
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end

@@ -1,0 +1,29 @@
+(** Domain-parallel execution of independent sweep points.
+
+    Every point of a parameter sweep is an isolated simulation: it builds its
+    own {!Vmat_storage.Ctx.t} (meter, disk, tid source, RNG), so no state is
+    shared between points and they may run on separate domains.  The contract
+    is strict determinism: [map_points ~jobs f points] returns {e exactly}
+    [List.map f points] for every [jobs], including which exception is raised
+    when [f] fails — so a [--jobs 4] sweep writes byte-identical CSV/JSON to
+    a [--jobs 1] sweep.
+
+    Each [f point] call must be self-contained: derive the point's seed with
+    {!split_seeds} up front (never from a generator shared across points) and
+    build all mutable state inside [f].  Uses the stdlib [Domain] module
+    only; no extra dependencies. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: a sensible [--jobs 0] default. *)
+
+val split_seeds : root:int -> int -> int list
+(** [split_seeds ~root n] derives [n] independent RNG seeds from one root
+    seed by repeatedly splitting a SplitMix64 generator.  Depends only on
+    [root] and the position in the list — never on scheduling — so seed
+    assignment is identical under any [jobs]. *)
+
+val map_points : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_points ~jobs f points] is [List.map f points] computed by [jobs]
+    domains pulling points off a shared atomic cursor (order-preserving
+    results; [jobs] is clamped to [[1, length points]]).  [jobs = 1] (the
+    default) runs serially on the calling domain with no spawns at all. *)

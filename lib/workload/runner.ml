@@ -21,7 +21,8 @@ type measurement = {
 let install_clock recorder meter =
   Recorder.set_clock recorder (fun () -> Cost_meter.total_cost meter)
 
-let run ?recorder ~meter ~disk ~strategy ~ops () =
+let run ?recorder ~ctx ~strategy ~ops () =
+  let meter = Ctx.meter ctx and disk = Ctx.disk ctx in
   (match recorder with
   | Some r ->
       (* Wiring point: the meter carries the recorder to every layer below
@@ -117,7 +118,7 @@ let combine name ms =
     tuples_returned = sum (fun m -> m.tuples_returned);
   }
 
-let run_phases ?recorder ~meter ~disk ~strategy ~phases () =
+let run_phases ?recorder ~ctx ~strategy ~phases () =
   let phase_no = ref 0 in
   let per_phase =
     List.map
@@ -128,7 +129,7 @@ let run_phases ?recorder ~meter ~disk ~strategy ~phases () =
             Recorder.instant r ~cat:"workload" "phase"
               ~args:[ ("phase", string_of_int !phase_no) ]
         | _ -> ());
-        run ?recorder ~meter ~disk ~strategy ~ops ())
+        run ?recorder ~ctx ~strategy ~ops ())
       phases
   in
   (per_phase, combine strategy.Strategy.name per_phase)

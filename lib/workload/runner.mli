@@ -27,20 +27,19 @@ type measurement = {
 
 val run :
   ?recorder:Vmat_obs.Recorder.t ->
-  meter:Cost_meter.t ->
-  disk:Disk.t ->
+  ctx:Ctx.t ->
   strategy:Strategy.t ->
   ops:Stream.op list ->
   unit ->
   measurement
-(** Resets the meter (construction charges are setup, not workload), then
-    replays.  [recorder], when given, is installed on the meter first —
-    subsequent runs on the same meter keep it until another is installed. *)
+(** Resets the context's meter (construction charges are setup, not
+    workload), then replays.  [recorder], when given, is installed on the
+    meter first — subsequent runs on the same meter keep it until another is
+    installed. *)
 
 val run_phases :
   ?recorder:Vmat_obs.Recorder.t ->
-  meter:Cost_meter.t ->
-  disk:Disk.t ->
+  ctx:Ctx.t ->
   strategy:Strategy.t ->
   phases:Stream.op list list ->
   unit ->

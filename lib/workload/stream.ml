@@ -45,8 +45,8 @@ let generate_phased ~rng ~tuples phases =
         ~query_of:ph.ph_query_of)
     phases
 
-let mutate_column ~col draw rng tuple =
-  Tuple.with_tid (Tuple.set tuple col (draw rng)) (Tuple.fresh_tid ())
+let mutate_column ~tids ~col draw rng tuple =
+  Tuple.with_tid (Tuple.set tuple col (draw rng)) (Tuple.next tids)
 
 let range_query_of ~lo_max ~width rng =
   let lo = Rng.float rng *. Float.max 0. lo_max in

@@ -40,8 +40,10 @@ val generate_phased : rng:Rng.t -> tuples:Tuple.t array -> phase list -> op list
     {!Runner.run_phases}).  @raise Invalid_argument on an empty phase
     list or a bad [k]/[l]/[q]. *)
 
-val mutate_column : col:int -> (Rng.t -> Value.t) -> Rng.t -> Tuple.t -> Tuple.t
-(** Standard mutation: replace one column with a newly drawn value. *)
+val mutate_column :
+  tids:Tuple.source -> col:int -> (Rng.t -> Value.t) -> Rng.t -> Tuple.t -> Tuple.t
+(** Standard mutation: replace one column with a newly drawn value (drawing
+    the new tuple version's tid from [tids]). *)
 
 val range_query_of : lo_max:float -> width:float -> Rng.t -> Strategy.query
 (** A query over [pval in [x, x + width]] with [x] uniform on

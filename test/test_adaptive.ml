@@ -9,9 +9,10 @@ open Core
 
 let geometry = { Strategy.page_bytes = 400; index_entry_bytes = 20 }
 
-let fresh_disk () =
-  let meter = Cost_meter.create () in
-  Disk.create meter
+(* Every strategy engine gets its own context.  Output tids start well above
+   any generation tid, so identical engines produce identical tid streams
+   and can never collide with base-tuple tids. *)
+let fresh_ctx () = Ctx.create ~geometry ~first_tid:1_000_000 ()
 
 let answer_bag answers =
   let bag = Bag.create () in
@@ -25,8 +26,7 @@ let answer_bag answers =
 
 let make_env dataset =
   {
-    Strategy_sp.disk = fresh_disk ();
-    geometry;
+    Strategy_sp.ctx = fresh_ctx ();
     view = dataset.Dataset.m1_view;
     initial = dataset.Dataset.m1_tuples;
     ad_buckets = 4;
@@ -36,15 +36,16 @@ let make_env dataset =
    every transition through [force_migrate]. *)
 let no_auto = { Controller.default_config with Controller.min_ops = max_int }
 
-let mutate =
-  Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100)))
+let mutate ~tids =
+  Stream.mutate_column ~tids ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100)))
 
 let dataset_and_ops seed =
   let rng = Rng.create (11 + seed) in
-  let dataset = Dataset.make_model1 ~rng ~n:200 ~f:0.3 ~s_bytes:100 in
+  let tids = Tuple.source () in
+  let dataset = Dataset.make_model1 ~rng ~tids ~n:200 ~f:0.3 ~s_bytes:100 in
   let tuples = Array.of_list dataset.Dataset.m1_tuples in
   let ops =
-    Stream.generate ~rng ~tuples ~mutate ~k:18 ~l:3 ~q:6
+    Stream.generate ~rng ~tuples ~mutate:(mutate ~tids) ~k:18 ~l:3 ~q:6
       ~query_of:(Stream.range_query_of ~lo_max:0.27 ~width:0.03)
   in
   (dataset, ops)
@@ -58,7 +59,8 @@ let dataset_and_ops seed =
    deferred is migrated away from while its differential file is non-empty. *)
 let test_forced_paths () =
   let rng = Rng.create 5 in
-  let dataset = Dataset.make_model1 ~rng ~n:150 ~f:0.3 ~s_bytes:100 in
+  let tids = Tuple.source () in
+  let dataset = Dataset.make_model1 ~rng ~tids ~n:150 ~f:0.3 ~s_bytes:100 in
   let tuples = Array.of_list dataset.Dataset.m1_tuples in
   let path =
     Migrate.
@@ -69,7 +71,7 @@ let test_forced_paths () =
       Stream.ph_k = 4;
       ph_l = 3;
       ph_q = 0;
-      ph_mutate = mutate;
+      ph_mutate = mutate ~tids;
       ph_query_of = Stream.range_query_of ~lo_max:0.27 ~width:0.03;
     }
   in

@@ -1,5 +1,7 @@
 open Core
 
+let test_tids = Tuple.source ()
+
 (* Operational Appendix A: join-view maintenance with updates to both
    relations.  The corrected maintainer always agrees with query
    modification; Blakeley's maintainer works on one-sided transactions but
@@ -11,13 +13,12 @@ let geometry = { Strategy.page_bytes = 400; index_entry_bytes = 20 }
    maintainers so base updates find their tuples). *)
 let make_world ?(seed = 81) ?(n = 120) () =
   let rng = Rng.create seed in
-  let dataset = Dataset.make_model2 ~rng ~n ~f:0.6 ~f_r2:0.25 ~s_bytes:100 in
+  let dataset = Dataset.make_model2 ~rng ~tids:test_tids ~n ~f:0.6 ~f_r2:0.25 ~s_bytes:100 in
   let env () =
-    let meter = Cost_meter.create () in
-    let disk = Disk.create meter in
+    (* engines must agree on generated tids, so each gets a ctx pinned to the
+       same first_tid, far above any base-tuple tid *)
     {
-      Strategy_join.disk;
-      geometry;
+      Strategy_join.ctx = Ctx.create ~geometry ~first_tid:1_000_000 ();
       view = dataset.m2_view;
       initial_left = dataset.m2_left_tuples;
       initial_right = dataset.m2_right_tuples;
@@ -58,7 +59,7 @@ let bilateral_ops ~rng ~dataset ~rounds =
            let new_tuple =
              Tuple.with_tid
                (Tuple.set old_tuple 3 (Value.Str (Printf.sprintf "c%d" (Rng.int rng 1000))))
-               (Tuple.fresh_tid ())
+               (Tuple.next test_tids)
            in
            left.(idx) <- new_tuple;
            (Bilateral.Left, Strategy.modify ~old_tuple ~new_tuple)
@@ -69,7 +70,7 @@ let bilateral_ops ~rng ~dataset ~rounds =
            let new_tuple =
              Tuple.with_tid
                (Tuple.set old_tuple 1 (Value.Float (Rng.float rng)))
-               (Tuple.fresh_tid ())
+               (Tuple.next test_tids)
            in
            right.(idx) <- new_tuple;
            (Bilateral.Right, Strategy.modify ~old_tuple ~new_tuple)
@@ -77,7 +78,7 @@ let bilateral_ops ~rng ~dataset ~rounds =
          let insert_right () =
            incr next_right_key;
            let t =
-             Tuple.make ~tid:(Tuple.fresh_tid ())
+             Tuple.make ~tid:(Tuple.next test_tids)
                [| Value.Int !next_right_key; Value.Float (Rng.float rng); Value.Str "t" |]
            in
            (Bilateral.Right, Strategy.insert t)
@@ -116,7 +117,7 @@ let test_blakeley_ok_one_sided () =
     let new_tuple =
       Tuple.with_tid
         (Tuple.set old_tuple 3 (Value.Str (Printf.sprintf "x%d" (Rng.int rng 1000))))
-        (Tuple.fresh_tid ())
+        (Tuple.next test_tids)
     in
     left.(idx) <- new_tuple;
     let txn = [ (Bilateral.Left, Strategy.modify ~old_tuple ~new_tuple) ] in
@@ -168,11 +169,11 @@ let test_two_sided_insert_and_retarget () =
   let immediate = Bilateral.immediate (env ()) in
   let reference = Bilateral.loopjoin (env ()) in
   let fresh_right =
-    Tuple.make ~tid:(Tuple.fresh_tid ()) [| Value.Int 777; Value.Float 0.5; Value.Str "t" |]
+    Tuple.make ~tid:(Tuple.next test_tids) [| Value.Int 777; Value.Float 0.5; Value.Str "t" |]
   in
   let old_left = List.hd dataset.Dataset.m2_left_tuples in
   let new_left =
-    Tuple.with_tid (Tuple.set old_left 2 (Value.Int 777)) (Tuple.fresh_tid ())
+    Tuple.with_tid (Tuple.set old_left 2 (Value.Int 777)) (Tuple.next test_tids)
   in
   let txn =
     [

@@ -1,0 +1,221 @@
+open Core
+
+(* Re-entrancy and isolation of execution contexts (Ctx), plus the
+   determinism contract of the domain-parallel sweep driver (Parallel).
+
+   The invariants under test:
+   - two [Db.t] (hence two [Ctx.t]) in one process are perfectly isolated:
+     creating or using the second never perturbs the first's meter, disk
+     counters, tid source, or answers;
+   - interleaving two engines gives exactly the same results as running each
+     alone in a fresh process-like state;
+   - a second metrics registry/recorder starts from zeroed counters;
+   - [Parallel.map_points ~jobs] is a pure, order-preserving [List.map] for
+     every jobs value, including under exceptions, so [--jobs N] output is
+     byte-identical to serial output. *)
+
+let small = Experiment.scale Params.defaults 0.01
+
+(* ------------------------------------------------------------------ *)
+(* Dual-engine isolation through the Db facade                         *)
+(* ------------------------------------------------------------------ *)
+
+let script =
+  [
+    "create table r (id int key, pval float, amount float) size 100";
+    "insert into r values (1, 0.05, 10)";
+    "insert into r values (2, 0.25, 20)";
+    "insert into r values (3, 0.75, 30)";
+    "define view v (pval, amount) from r where pval < 0.5 cluster on pval using deferred";
+    "update r set amount = 42 where id = 1";
+    "insert into r values (4, 0.15, 40)";
+  ]
+
+let run_script db statements =
+  List.iter
+    (fun s ->
+      match Db.exec db s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "statement %S failed: %s" s e)
+    statements
+
+let rows db query =
+  match Db.exec db query with
+  | Ok (Db.Rows rows) ->
+      List.sort compare
+        (List.map (fun (t, c) -> (Tuple.value_key t, c)) rows)
+  | Ok _ -> Alcotest.failf "%S did not return rows" query
+  | Error e -> Alcotest.failf "%S failed: %s" query e
+
+let test_second_db_starts_zeroed () =
+  let db1 = Db.create () in
+  run_script db1 script;
+  let cost1 = Cost_meter.total_cost (Db.meter db1) in
+  Alcotest.(check bool) "db1 accrued cost" true (cost1 > 0.);
+  (* a second engine in the same process starts from nothing *)
+  let db2 = Db.create () in
+  Alcotest.(check (float 0.)) "db2 meter starts at zero" 0.
+    (Cost_meter.total_cost (Db.meter db2));
+  Alcotest.(check int) "db2 disk starts at zero" 0
+    (Disk.physical_reads (Ctx.disk (Db.ctx db2)) + Disk.physical_writes (Ctx.disk (Db.ctx db2)));
+  Alcotest.(check (list string)) "db2 has no tables" [] (Db.table_names db2);
+  (* and creating it did not touch db1 *)
+  Alcotest.(check (float 0.)) "db1 meter untouched by db2 creation" cost1
+    (Cost_meter.total_cost (Db.meter db1))
+
+let test_interleaved_equals_isolated () =
+  (* run the script alone ... *)
+  let solo = Db.create () in
+  run_script solo script;
+  let solo_rows = rows solo "select * from v" in
+  let solo_cost = Cost_meter.total_cost (Db.meter solo) in
+  (* ... then run two engines with their statements interleaved 1:1 *)
+  let a = Db.create () and b = Db.create () in
+  List.iter
+    (fun s ->
+      run_script a [ s ];
+      run_script b [ s ])
+    script;
+  let a_rows = rows a "select * from v" and b_rows = rows b "select * from v" in
+  Alcotest.(check (list (pair string int))) "engine A matches solo" solo_rows a_rows;
+  Alcotest.(check (list (pair string int))) "engine B matches solo" solo_rows b_rows;
+  Alcotest.(check (float 0.)) "engine A cost matches solo" solo_cost
+    (Cost_meter.total_cost (Db.meter a));
+  Alcotest.(check (float 0.)) "engine B cost matches solo" solo_cost
+    (Cost_meter.total_cost (Db.meter b))
+
+let test_tid_sources_independent () =
+  let c1 = Ctx.create () and c2 = Ctx.create () in
+  let a = Ctx.fresh_tid c1 in
+  let _ = Ctx.fresh_tid c1 in
+  let b = Ctx.fresh_tid c2 in
+  Alcotest.(check int) "both sources start at the same first tid" a b;
+  Alcotest.(check int) "drawing from c1 does not advance c2" (a + 1)
+    (Ctx.fresh_tid c2)
+
+(* ------------------------------------------------------------------ *)
+(* Per-run metric/trace isolation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cost_counter metrics cat =
+  Metrics.counter_value metrics
+    ~labels:[ ("category", Cost_meter.category_name cat) ]
+    "vmat_cost_ms_total"
+
+let test_second_recorder_starts_zeroed () =
+  (* first instrumented run *)
+  let m1 = Metrics.create () in
+  let r1 = Recorder.create ~metrics:m1 () in
+  let run1 = Experiment.measure_model1 ~seed:5 ~recorder:r1 small [ `Deferred ] in
+  let refresh1 = cost_counter m1 Cost_meter.Refresh in
+  Alcotest.(check bool) "first run recorded refresh cost" true
+    (match refresh1 with Some v -> v > 0. | None -> false);
+  (* a second registry starts from zeroed counters ... *)
+  let m2 = Metrics.create () in
+  let r2 = Recorder.create ~metrics:m2 () in
+  Alcotest.(check bool) "second registry starts empty" true
+    (cost_counter m2 Cost_meter.Refresh = None);
+  (* ... and using it accumulates independently, without touching m1 *)
+  let run2 = Experiment.measure_model1 ~seed:5 ~recorder:r2 small [ `Deferred ] in
+  Alcotest.(check bool) "runs are bit-identical" true (run1 = run2);
+  Alcotest.(check bool) "registries agree on the run's cost" true
+    (cost_counter m2 Cost_meter.Refresh = refresh1);
+  Alcotest.(check bool) "first registry untouched by second run" true
+    (cost_counter m1 Cost_meter.Refresh = refresh1)
+
+let test_interleaved_measured_runs_identical () =
+  (* two measured experiments whose strategy runs are interleaved via
+     separate recorders equal the same experiments run back-to-back *)
+  let solo () = Experiment.measure_model1 ~seed:11 small [ `Deferred; `Clustered ] in
+  let first = solo () in
+  let trace = Trace.create () in
+  let recorder = Recorder.create ~trace () in
+  let instrumented = Experiment.measure_model1 ~seed:11 ~recorder small [ `Deferred; `Clustered ] in
+  let second = solo () in
+  Alcotest.(check bool) "repeat equals first" true (first = second);
+  Alcotest.(check bool) "instrumented equals bare" true (first = instrumented);
+  Alcotest.(check bool) "trace events captured" true (Trace.event_count trace > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel.map_points determinism                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_points_is_map () =
+  let items = List.init 23 Fun.id in
+  let f x = (x * x) - (3 * x) in
+  let expected = List.map f items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d equals List.map" jobs)
+        expected
+        (Parallel.map_points ~jobs f items))
+    [ 1; 2; 3; 4; 8; 64 ]
+
+let test_map_points_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map_points ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 7 ]
+    (Parallel.map_points ~jobs:4 (fun x -> x) [ 7 ])
+
+exception Boom of int
+
+let test_map_points_propagates_first_exception () =
+  List.iter
+    (fun jobs ->
+      match
+        Parallel.map_points ~jobs
+          (fun x -> if x >= 5 then raise (Boom x) else x)
+          (List.init 10 Fun.id)
+      with
+      | _ -> Alcotest.failf "jobs=%d: exception swallowed" jobs
+      | exception Boom i ->
+          (* the first failing index wins, regardless of scheduling *)
+          Alcotest.(check int) (Printf.sprintf "jobs=%d: first failure" jobs) 5 i)
+    [ 1; 2; 4 ]
+
+let test_split_seeds_deterministic () =
+  let a = Parallel.split_seeds ~root:42 6 in
+  let b = Parallel.split_seeds ~root:42 6 in
+  Alcotest.(check (list int)) "same root, same seeds" a b;
+  Alcotest.(check int) "seeds are distinct" 6 (List.length (List.sort_uniq compare a));
+  let c = Parallel.split_seeds ~root:43 6 in
+  Alcotest.(check bool) "different root differs" true (a <> c)
+
+let test_parallel_measured_sweep_identical () =
+  (* the bench/vmperf --jobs contract, in miniature: a measured sweep over a
+     parameter grid gives bit-identical measurements for any jobs value *)
+  let grid = [ 0.1; 0.3; 0.5 ] in
+  let point prob =
+    let p = Params.with_update_probability small prob in
+    Experiment.measure_model1 p [ `Deferred; `Immediate ]
+  in
+  let serial = Parallel.map_points ~jobs:1 point grid in
+  let parallel = Parallel.map_points ~jobs:4 point grid in
+  Alcotest.(check bool) "jobs=4 sweep bit-identical to jobs=1" true (serial = parallel)
+
+let suites =
+  [
+    ( "ctx.isolation",
+      [
+        Alcotest.test_case "second db starts zeroed" `Quick test_second_db_starts_zeroed;
+        Alcotest.test_case "interleaved = isolated" `Quick test_interleaved_equals_isolated;
+        Alcotest.test_case "tid sources independent" `Quick test_tid_sources_independent;
+      ] );
+    ( "ctx.observability",
+      [
+        Alcotest.test_case "second recorder starts zeroed" `Quick
+          test_second_recorder_starts_zeroed;
+        Alcotest.test_case "interleaved measured runs identical" `Quick
+          test_interleaved_measured_runs_identical;
+      ] );
+    ( "ctx.parallel",
+      [
+        Alcotest.test_case "map_points = List.map for all jobs" `Quick test_map_points_is_map;
+        Alcotest.test_case "empty and singleton" `Quick test_map_points_empty_and_singleton;
+        Alcotest.test_case "first exception wins" `Quick
+          test_map_points_propagates_first_exception;
+        Alcotest.test_case "split seeds deterministic" `Quick test_split_seeds_deterministic;
+        Alcotest.test_case "measured sweep jobs-invariant" `Quick
+          test_parallel_measured_sweep_identical;
+      ] );
+  ]

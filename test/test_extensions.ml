@@ -1,20 +1,21 @@
 open Core
 open Core.Predicate
 
+let test_tids = Tuple.source ()
+
 (* Tests for the section-4 extensions: refresh policies and snapshots, the
    split-AD ablation, multi-view shared refresh, triggers/alerters, the
    access-path planner, and the cost-model extension formulas. *)
 
 let geometry = { Strategy.page_bytes = 400; index_entry_bytes = 20 }
 
-let fresh_world () =
-  let meter = Cost_meter.create () in
-  (meter, Disk.create meter)
+(* each engine owns an isolated ctx; engines whose answers are compared pin
+   the same first_tid so their generated view tids agree *)
+let fresh_ctx () = Ctx.create ~geometry ~first_tid:1_000_000 ()
 
-let sp_env dataset disk =
+let sp_env dataset ctx =
   {
-    Strategy_sp.disk;
-    geometry;
+    Strategy_sp.ctx;
     view = dataset.Dataset.m1_view;
     initial = dataset.Dataset.m1_tuples;
     ad_buckets = 4;
@@ -22,20 +23,20 @@ let sp_env dataset disk =
 
 let model1_workload ?(seed = 51) ?(n = 200) ?(f = 0.4) ?(k = 20) ?(l = 4) ?(q = 8) () =
   let rng = Rng.create seed in
-  let dataset = Dataset.make_model1 ~rng ~n ~f ~s_bytes:100 in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n ~f ~s_bytes:100 in
   let tuples = Array.of_list dataset.m1_tuples in
   let ops =
     Stream.generate ~rng ~tuples
       ~mutate:
-        (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
+        (Stream.mutate_column ~tids:test_tids ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
       ~k ~l ~q
       ~query_of:(Stream.range_query_of ~lo_max:(0.8 *. f) ~width:(0.2 *. f))
   in
   (dataset, ops)
 
 let run_measure ctor dataset ops =
-  let meter, disk = fresh_world () in
-  Runner.run ~meter ~disk ~strategy:(ctor (sp_env dataset disk)) ~ops ()
+  let ctx = fresh_ctx () in
+  Runner.run ~ctx ~strategy:(ctor (sp_env dataset ctx)) ~ops ()
 
 let answers (strategy : Strategy.t) ops =
   List.filter_map
@@ -62,13 +63,13 @@ let answers (strategy : Strategy.t) ops =
 let test_periodic_same_answers () =
   let dataset, ops = model1_workload () in
   let reference =
-    let _, disk = fresh_world () in
-    answers (Strategy_sp.deferred (sp_env dataset disk)) ops
+    let ctx = fresh_ctx () in
+    answers (Strategy_sp.deferred (sp_env dataset ctx)) ops
   in
   List.iter
     (fun every ->
-      let _, disk = fresh_world () in
-      let periodic = answers (Strategy_sp.deferred_periodic ~every (sp_env dataset disk)) ops in
+      let ctx = fresh_ctx () in
+      let periodic = answers (Strategy_sp.deferred_periodic ~every (sp_env dataset ctx)) ops in
       List.iteri
         (fun i (a, b) ->
           if not (Bag.equal a b) then Alcotest.failf "every=%d: query %d differs" every i)
@@ -94,8 +95,7 @@ let test_periodic_costs_more_refresh_io () =
 
 let test_periodic_validation () =
   let dataset, _ = model1_workload () in
-  let _, disk = fresh_world () in
-  match Strategy_sp.deferred_periodic ~every:0 (sp_env dataset disk) with
+  match Strategy_sp.deferred_periodic ~every:0 (sp_env dataset (fresh_ctx ())) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "every=0 accepted"
 
@@ -104,12 +104,12 @@ let test_async_same_answers_lower_visible_cost () =
      query path no longer pays the refresh. *)
   let dataset, ops = model1_workload ~seed:61 ~n:400 ~k:30 ~l:6 ~q:10 () in
   let plain_answers =
-    let _, disk = fresh_world () in
-    answers (Strategy_sp.deferred (sp_env dataset disk)) ops
+    let ctx = fresh_ctx () in
+    answers (Strategy_sp.deferred (sp_env dataset ctx)) ops
   in
   let async_answers =
-    let _, disk = fresh_world () in
-    answers (Strategy_sp.deferred_async (sp_env dataset disk)) ops
+    let ctx = fresh_ctx () in
+    answers (Strategy_sp.deferred_async (sp_env dataset ctx)) ops
   in
   List.iteri
     (fun i (a, b) -> if not (Bag.equal a b) then Alcotest.failf "query %d differs" i)
@@ -131,14 +131,13 @@ let test_async_same_answers_lower_visible_cost () =
 
 let test_snapshot_staleness_and_catchup () =
   let rng = Rng.create 52 in
-  let dataset = Dataset.make_model1 ~rng ~n:100 ~f:1.0 ~s_bytes:100 in
-  let _, disk = fresh_world () in
-  let snap = Strategy_sp.snapshot ~period:2 (sp_env dataset disk) in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:100 ~f:1.0 ~s_bytes:100 in
+  let snap = Strategy_sp.snapshot ~period:2 (sp_env dataset (fresh_ctx ())) in
   let live = Array.of_list dataset.m1_tuples in
   let change idx =
     let old_tuple = live.(idx) in
     let new_tuple =
-      Tuple.with_tid (Tuple.set old_tuple 2 (Value.Float 777.)) (Tuple.fresh_tid ())
+      Tuple.with_tid (Tuple.set old_tuple 2 (Value.Float 777.)) (Tuple.next test_tids)
     in
     live.(idx) <- new_tuple;
     Strategy.modify ~old_tuple ~new_tuple
@@ -176,12 +175,12 @@ let test_snapshot_cheaper_queries_than_deferred () =
 let test_split_ad_same_answers () =
   let dataset, ops = model1_workload ~seed:53 () in
   let reference =
-    let _, disk = fresh_world () in
-    answers (Strategy_sp.deferred (sp_env dataset disk)) ops
+    let ctx = fresh_ctx () in
+    answers (Strategy_sp.deferred (sp_env dataset ctx)) ops
   in
   let split =
-    let _, disk = fresh_world () in
-    answers (Strategy_sp.deferred_split_ad (sp_env dataset disk)) ops
+    let ctx = fresh_ctx () in
+    answers (Strategy_sp.deferred_split_ad (sp_env dataset ctx)) ops
   in
   List.iteri
     (fun i (a, b) -> if not (Bag.equal a b) then Alcotest.failf "query %d differs" i)
@@ -214,7 +213,7 @@ let test_hr_split_layout_semantics () =
         ]
       ~tuple_bytes:100 ~key:"id"
   in
-  let _, disk = fresh_world () in
+  let disk = Disk.create (Cost_meter.create ()) in
   let base =
     Btree.create ~disk ~name:"R" ~fanout:8 ~leaf_capacity:4
       ~key_of:(fun t -> Tuple.get t 1)
@@ -223,7 +222,8 @@ let test_hr_split_layout_semantics () =
   let t0 = Tuple.make ~tid:100 [| Value.Int 1; Value.Float 0.5; Value.Float 1. |] in
   Btree.bulk_load base [ t0 ];
   let hr =
-    Hr.create ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4 ~layout:Hr.Split ()
+    Hr.create ~tids:test_tids ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4
+      ~layout:Hr.Split ()
   in
   let t1 = Tuple.make ~tid:101 [| Value.Int 1; Value.Float 0.5; Value.Float 2. |] in
   Hr.apply_update hr ~old_tuple:t0 ~new_tuple:t1 ~marked_old:true ~marked_new:true;
@@ -254,27 +254,26 @@ let make_views base =
 
 let test_multiview_matches_separate_instances () =
   let rng = Rng.create 54 in
-  let dataset = Dataset.make_model1 ~rng ~n:200 ~f:0.5 ~s_bytes:100 in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:200 ~f:0.5 ~s_bytes:100 in
   let base = dataset.m1_schema in
   let views = make_views base in
-  let _, disk = fresh_world () in
   let multi =
-    Multi_view.create ~disk ~geometry ~base ~views ~initial:dataset.m1_tuples ~ad_buckets:4 ()
+    Multi_view.create ~ctx:(fresh_ctx ()) ~base ~views ~initial:dataset.m1_tuples
+      ~ad_buckets:4 ()
   in
   let separate =
     List.map
       (fun (v : View_def.sp) ->
-        let _, disk = fresh_world () in
         ( v.sp_name,
           Strategy_sp.deferred
-            { Strategy_sp.disk; geometry; view = v; initial = dataset.m1_tuples; ad_buckets = 4 } ))
+            { Strategy_sp.ctx = fresh_ctx (); view = v; initial = dataset.m1_tuples; ad_buckets = 4 } ))
       views
   in
   let tuples = Array.of_list dataset.m1_tuples in
   let ops =
     Stream.generate ~rng ~tuples
       ~mutate:
-        (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
+        (Stream.mutate_column ~tids:test_tids ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
       ~k:15 ~l:4 ~q:5
       ~query_of:(Stream.range_query_of ~lo_max:0.5 ~width:0.1)
   in
@@ -314,21 +313,22 @@ let test_multiview_shares_ad_read () =
   (* one shared refresh serves all views: the multi-view manager's Refresh
      I/O is below the sum of three separate deferred instances *)
   let rng = Rng.create 55 in
-  let dataset = Dataset.make_model1 ~rng ~n:400 ~f:0.9 ~s_bytes:100 in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:400 ~f:0.9 ~s_bytes:100 in
   let base = dataset.m1_schema in
   let views = make_views base in
   let tuples = Array.of_list dataset.m1_tuples in
   let ops =
     Stream.generate ~rng ~tuples
       ~mutate:
-        (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
+        (Stream.mutate_column ~tids:test_tids ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
       ~k:30 ~l:6 ~q:6
       ~query_of:(Stream.range_query_of ~lo_max:0.05 ~width:0.05)
   in
   (* shared *)
-  let meter, disk = fresh_world () in
+  let ctx = fresh_ctx () in
+  let meter = Ctx.meter ctx in
   let multi =
-    Multi_view.create ~disk ~geometry ~base ~views ~initial:dataset.m1_tuples ~ad_buckets:4 ()
+    Multi_view.create ~ctx ~base ~views ~initial:dataset.m1_tuples ~ad_buckets:4 ()
   in
   Cost_meter.reset meter;
   List.iter
@@ -347,10 +347,11 @@ let test_multiview_shares_ad_read () =
   let separate_total =
     List.fold_left
       (fun acc (v : View_def.sp) ->
-        let meter, disk = fresh_world () in
+        let ctx = fresh_ctx () in
+        let meter = Ctx.meter ctx in
         let s =
           Strategy_sp.deferred
-            { Strategy_sp.disk; geometry; view = v; initial = dataset.m1_tuples; ad_buckets = 4 }
+            { Strategy_sp.ctx; view = v; initial = dataset.m1_tuples; ad_buckets = 4 }
         in
         Cost_meter.reset meter;
         List.iter
@@ -371,17 +372,16 @@ let test_multiview_shares_ad_read () =
 
 let test_multiview_validation () =
   let rng = Rng.create 56 in
-  let dataset = Dataset.make_model1 ~rng ~n:20 ~f:0.5 ~s_bytes:100 in
-  let _, disk = fresh_world () in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:20 ~f:0.5 ~s_bytes:100 in
   (match
-     Multi_view.create ~disk ~geometry ~base:dataset.m1_schema ~views:[]
+     Multi_view.create ~ctx:(fresh_ctx ()) ~base:dataset.m1_schema ~views:[]
        ~initial:dataset.m1_tuples ~ad_buckets:2 ()
    with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty view list accepted");
   let v = List.hd (make_views dataset.m1_schema) in
   match
-    Multi_view.create ~disk ~geometry ~base:dataset.m1_schema ~views:[ v; v ]
+    Multi_view.create ~ctx:(fresh_ctx ()) ~base:dataset.m1_schema ~views:[ v; v ]
       ~initial:dataset.m1_tuples ~ad_buckets:2 ()
   with
   | exception Invalid_argument _ -> ()
@@ -393,10 +393,10 @@ let test_multiview_validation () =
 
 let trigger_setup conditions =
   let rng = Rng.create 57 in
-  let dataset = Dataset.make_model3 ~rng ~n:20 ~f:1.0 ~s_bytes:100 ~kind:(`Sum "amount") in
-  let _, disk = fresh_world () in
+  let dataset = Dataset.make_model3 ~rng ~tids:test_tids ~n:20 ~f:1.0 ~s_bytes:100 ~kind:(`Sum "amount") in
   let t =
-    Trigger.create ~disk ~geometry ~agg:dataset.m3_agg ~initial:dataset.m3_tuples ~conditions ()
+    Trigger.create ~ctx:(fresh_ctx ()) ~agg:dataset.m3_agg ~initial:dataset.m3_tuples
+      ~conditions ()
   in
   (t, Array.of_list dataset.m3_tuples)
 
@@ -404,7 +404,7 @@ let bump_amount live idx delta =
   let old_tuple = live.(idx) in
   let new_amount = Value.as_float (Tuple.get old_tuple 2) +. delta in
   let new_tuple =
-    Tuple.with_tid (Tuple.set old_tuple 2 (Value.Float new_amount)) (Tuple.fresh_tid ())
+    Tuple.with_tid (Tuple.set old_tuple 2 (Value.Float new_amount)) (Tuple.next test_tids)
   in
   live.(idx) <- new_tuple;
   Strategy.modify ~old_tuple ~new_tuple
@@ -434,13 +434,12 @@ let test_trigger_threshold_fires_once_per_crossing () =
 let test_trigger_empty_nonempty () =
   let rng = Rng.create 58 in
   (* f = 0.5 view: tuples with pval < 0.5 are aggregated *)
-  let dataset = Dataset.make_model3 ~rng ~n:4 ~f:0.5 ~s_bytes:100 ~kind:`Count in
-  let _, disk = fresh_world () in
+  let dataset = Dataset.make_model3 ~rng ~tids:test_tids ~n:4 ~f:0.5 ~s_bytes:100 ~kind:`Count in
   let t =
-    Trigger.create ~disk ~geometry ~agg:dataset.m3_agg ~initial:[]
+    Trigger.create ~ctx:(fresh_ctx ()) ~agg:dataset.m3_agg ~initial:[]
       ~conditions:[ Trigger.Nonempty; Trigger.Empty ] ()
   in
-  let inside = Tuple.make ~tid:(Tuple.fresh_tid ()) [| Value.Int 1; Value.Float 0.1; Value.Float 1.; Value.Str "n" |] in
+  let inside = Tuple.make ~tid:(Tuple.next test_tids) [| Value.Int 1; Value.Float 0.1; Value.Float 1.; Value.Str "n" |] in
   Trigger.handle_transaction t [ Strategy.insert inside ];
   Alcotest.(check int) "nonempty fired" 1
     (List.length (List.filter (fun e -> e.Trigger.condition = Trigger.Nonempty) (Trigger.events t)));
@@ -450,10 +449,9 @@ let test_trigger_empty_nonempty () =
 
 let test_trigger_screens_irrelevant_updates () =
   let rng = Rng.create 59 in
-  let dataset = Dataset.make_model3 ~rng ~n:10 ~f:0.0001 ~s_bytes:100 ~kind:(`Sum "amount") in
-  let _, disk = fresh_world () in
+  let dataset = Dataset.make_model3 ~rng ~tids:test_tids ~n:10 ~f:0.0001 ~s_bytes:100 ~kind:(`Sum "amount") in
   let t =
-    Trigger.create ~disk ~geometry ~agg:dataset.m3_agg ~initial:dataset.m3_tuples
+    Trigger.create ~ctx:(fresh_ctx ()) ~agg:dataset.m3_agg ~initial:dataset.m3_tuples
       ~conditions:[ Trigger.Above 0. ] ()
   in
   let live = Array.of_list dataset.m3_tuples in
@@ -479,10 +477,9 @@ let planner_setup () =
   let rng = Rng.create 60 in
   (* amount uniform-ish in [0, 1000); base clustered on amount, the view on
      pval.  View predicate selects pval < .5. *)
-  let dataset = Dataset.make_model1 ~rng ~n:300 ~f:0.5 ~s_bytes:100 in
-  let _, disk = fresh_world () in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:300 ~f:0.5 ~s_bytes:100 in
   let planner =
-    Planner.create ~disk ~geometry ~view:dataset.m1_view ~base_cluster:"amount"
+    Planner.create ~ctx:(fresh_ctx ()) ~view:dataset.m1_view ~base_cluster:"amount"
       ~initial:dataset.m1_tuples ()
   in
   (planner, dataset)
@@ -530,7 +527,7 @@ let test_planner_after_updates () =
   let live = Array.of_list dataset.m1_tuples in
   let old_tuple = live.(0) in
   let new_tuple =
-    Tuple.with_tid (Tuple.set old_tuple 2 (Value.Float 123456.)) (Tuple.fresh_tid ())
+    Tuple.with_tid (Tuple.set old_tuple 2 (Value.Float 123456.)) (Tuple.next test_tids)
   in
   Planner.handle_transaction planner [ Strategy.modify ~old_tuple ~new_tuple ];
   let route, results =
@@ -545,10 +542,11 @@ let test_planner_chosen_route_costs_less () =
      really is cheaper than forcing the base route, and vice versa *)
   let measure ~column ~lo ~hi route =
     let rng = Rng.create 60 in
-    let dataset = Dataset.make_model1 ~rng ~n:300 ~f:0.5 ~s_bytes:100 in
-    let meter, disk = fresh_world () in
+    let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:300 ~f:0.5 ~s_bytes:100 in
+    let ctx = fresh_ctx () in
+    let meter = Ctx.meter ctx in
     let planner =
-      Planner.create ~disk ~geometry ~view:dataset.m1_view ~base_cluster:"amount"
+      Planner.create ~ctx ~view:dataset.m1_view ~base_cluster:"amount"
         ~initial:dataset.m1_tuples ()
     in
     Cost_meter.reset meter;
@@ -581,13 +579,13 @@ let test_riu_skips_screening_and_maintenance () =
   (* the Model-1 view reads pval (predicate) and projects pval, amount;
      updates to the unread, unprojected note column are readily ignorable *)
   let rng = Rng.create 91 in
-  let dataset = Dataset.make_model1 ~rng ~n:150 ~f:0.5 ~s_bytes:100 in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:150 ~f:0.5 ~s_bytes:100 in
   let note_col = 3 in
   let tuples = Array.of_list dataset.m1_tuples in
   let riu_ops =
     Stream.generate ~rng ~tuples
       ~mutate:
-        (Stream.mutate_column ~col:note_col (fun rng ->
+        (Stream.mutate_column ~tids:test_tids ~col:note_col (fun rng ->
              Value.Str (Printf.sprintf "n%d" (Rng.int rng 1000))))
       ~k:10 ~l:5 ~q:4
       ~query_of:(Stream.range_query_of ~lo_max:0.4 ~width:0.1)
@@ -608,11 +606,11 @@ let test_riu_skips_screening_and_maintenance () =
     (List.assoc Cost_meter.Overhead m.Runner.category_costs);
   (* a pval-writing workload from the same seed is NOT ignorable *)
   let rng = Rng.create 91 in
-  let dataset2 = Dataset.make_model1 ~rng ~n:150 ~f:0.5 ~s_bytes:100 in
+  let dataset2 = Dataset.make_model1 ~rng ~tids:test_tids ~n:150 ~f:0.5 ~s_bytes:100 in
   let tuples2 = Array.of_list dataset2.m1_tuples in
   let hot_ops =
     Stream.generate ~rng ~tuples:tuples2
-      ~mutate:(Stream.mutate_column ~col:1 (fun rng -> Value.Float (Rng.float rng)))
+      ~mutate:(Stream.mutate_column ~tids:test_tids ~col:1 (fun rng -> Value.Float (Rng.float rng)))
       ~k:10 ~l:5 ~q:4
       ~query_of:(Stream.range_query_of ~lo_max:0.4 ~width:0.1)
   in

@@ -1,5 +1,7 @@
 open Core
 
+let test_tids = Tuple.source ()
+
 let schema =
   Schema.make ~name:"R"
     ~columns:
@@ -10,7 +12,7 @@ let schema =
       ]
     ~tuple_bytes:100 ~key:"id"
 
-let tuple ?(tid = Tuple.fresh_tid ()) id pval amount =
+let tuple ?(tid = Tuple.next test_tids) id pval amount =
   Tuple.make ~tid [| Value.Int id; Value.Float pval; Value.Float amount |]
 
 let make_hr ?(initial = []) () =
@@ -22,7 +24,7 @@ let make_hr ?(initial = []) () =
       ()
   in
   Btree.bulk_load base initial;
-  let hr = Hr.create ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4 () in
+  let hr = Hr.create ~tids:test_tids ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4 () in
   Cost_meter.reset meter;
   (meter, disk, hr)
 
@@ -192,7 +194,7 @@ let prop_reset_preserves_contents =
           let old_tuple = live.(idx) in
           let new_tuple =
             Tuple.with_tid (Tuple.set old_tuple 2 (Value.Float (float_of_int amount)))
-              (Tuple.fresh_tid ())
+              (Tuple.next test_tids)
           in
           Hr.apply_update hr ~old_tuple ~new_tuple ~marked_old:true ~marked_new:true;
           live.(idx) <- new_tuple)
@@ -216,7 +218,7 @@ let test_lookup_with_tiny_bloom () =
       ()
   in
   Btree.bulk_load base initial;
-  let hr = Hr.create ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4 ~bloom_bits:8 () in
+  let hr = Hr.create ~tids:test_tids ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4 ~bloom_bits:8 () in
   List.iteri
     (fun i t -> if i < 10 then Hr.apply_insert hr (Tuple.set t 0 (Value.Int i)) ~marked:true)
     initial;

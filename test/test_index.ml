@@ -1,12 +1,14 @@
 open Core
 
+let test_tids = Tuple.source ()
+
 let world () =
   let m = Cost_meter.create () in
   (m, Disk.create m)
 
 let key_col0 tuple = Tuple.get tuple 0
 
-let tuple ?(tid = Tuple.fresh_tid ()) key payload =
+let tuple ?(tid = Tuple.next test_tids) key payload =
   Tuple.make ~tid [| Value.Int key; Value.Str payload |]
 
 (* ------------------------------------------------------------------ *)

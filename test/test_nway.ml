@@ -1,18 +1,20 @@
 open Core
 open Core.Predicate
 
+let test_tids = Tuple.source ()
+
 (* The general N-relation differential update of §2.1, checked against full
    recomputation, plus duplicate-heavy end-to-end runs that stress the
    duplicate-count machinery through the whole strategy stack. *)
 
-let tuple ?(tid = Tuple.fresh_tid ()) values = Tuple.make ~tid values
+let tuple ?(tid = Tuple.next test_tids) values = Tuple.make ~tid values
 
 (* ------------------------------------------------------------------ *)
 (* N-way differential update                                           *)
 (* ------------------------------------------------------------------ *)
 
 let test_nway_empty_sources () =
-  match Delta.nway ~pred:True ~positions:[| 0 |] [] with
+  match Delta.nway ~tids:test_tids ~pred:True ~positions:[| 0 |] [] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty source list accepted"
 
@@ -23,7 +25,7 @@ let test_nway_single_relation_is_sp () =
   let d = [ tuple [| Value.Int 1 |] ] in
   let current = [ tuple [| Value.Int 2 |] ] in
   let delta =
-    Delta.nway ~pred ~positions:[| 0 |]
+    Delta.nway ~tids:test_tids ~pred ~positions:[| 0 |]
       [ { Delta.src_current = current; src_inserted = a; src_deleted = d } ]
   in
   Alcotest.(check int) "one insert passes" 1 (List.length delta.ins);
@@ -36,7 +38,7 @@ let test_nway_three_relations_hand_case () =
   let positions = [| 0 |] in
   let r v = tuple [| Value.Int v |] in
   let r1 = [ r 1; r 2 ] and r2 = [ r 1; r 2 ] and r3 = [ r 1 ] in
-  let v0 = Delta.recompute_nway ~pred ~positions [ r1; r2; r3 ] in
+  let v0 = Delta.recompute_nway ~tids:test_tids ~pred ~positions [ r1; r2; r3 ] in
   Alcotest.(check int) "v0 = {1}" 1 (Bag.total_size v0);
   (* insert 2 into R3: now both 1 and 2 join *)
   let sources =
@@ -46,9 +48,9 @@ let test_nway_three_relations_hand_case () =
       { Delta.src_current = r3; src_inserted = [ r 2 ]; src_deleted = [] };
     ]
   in
-  let delta = Delta.nway ~pred ~positions sources in
+  let delta = Delta.nway ~tids:test_tids ~pred ~positions sources in
   Delta.apply v0 delta;
-  let expected = Delta.recompute_nway ~pred ~positions [ r1; r2; r3 @ [ r 2 ] ] in
+  let expected = Delta.recompute_nway ~tids:test_tids ~pred ~positions [ r1; r2; r3 @ [ r 2 ] ] in
   Alcotest.(check bool) "incremental = recompute" true (Bag.equal v0 expected)
 
 let test_nway_appendix_a_generalizes () =
@@ -60,10 +62,10 @@ let test_nway_appendix_a_generalizes () =
   let x = tuple [| Value.Int 7 |] in
   let y = tuple [| Value.Int 7 |] in
   let z = tuple [| Value.Int 7 |] in
-  let v0 = Delta.recompute_nway ~pred ~positions [ [ x ]; [ y ]; [ z ] ] in
+  let v0 = Delta.recompute_nway ~tids:test_tids ~pred ~positions [ [ x ]; [ y ]; [ z ] ] in
   Alcotest.(check int) "joined once" 1 (Bag.total_size v0);
   let gone t = { Delta.src_current = []; src_inserted = []; src_deleted = [ t ] } in
-  let delta = Delta.nway ~pred ~positions [ gone x; gone y; gone z ] in
+  let delta = Delta.nway ~tids:test_tids ~pred ~positions [ gone x; gone y; gone z ] in
   Alcotest.(check int) "exactly one deletion term survives" 1 (List.length delta.del);
   Delta.apply v0 delta;
   Alcotest.(check int) "view empty" 0 (Bag.total_size v0);
@@ -92,7 +94,7 @@ let prop_nway_equals_recompute =
         List.filter (fun t -> not (List.exists (fun d -> Tuple.tid d = Tuple.tid t) deleted)) r2
       in
       let a1 = mk extra and a3 = mk extra in
-      let v0 = Delta.recompute_nway ~pred ~positions [ r1; r2; r3 ] in
+      let v0 = Delta.recompute_nway ~tids:test_tids ~pred ~positions [ r1; r2; r3 ] in
       let sources =
         [
           { Delta.src_current = r1; src_inserted = a1; src_deleted = [] };
@@ -100,8 +102,8 @@ let prop_nway_equals_recompute =
           { Delta.src_current = r3; src_inserted = a3; src_deleted = [] };
         ]
       in
-      Delta.apply v0 (Delta.nway ~pred ~positions sources);
-      let expected = Delta.recompute_nway ~pred ~positions [ r1 @ a1; r2'; r3 @ a3 ] in
+      Delta.apply v0 (Delta.nway ~tids:test_tids ~pred ~positions sources);
+      let expected = Delta.recompute_nway ~tids:test_tids ~pred ~positions [ r1 @ a1; r2'; r3 @ a3 ] in
       Bag.equal v0 expected && not (Bag.has_negative_count v0))
 
 (* ------------------------------------------------------------------ *)
@@ -140,9 +142,10 @@ let test_duplicate_counts_through_strategies () =
   let base, initial = dup_heavy_dataset ~rng ~n:150 in
   let view = dup_heavy_view base in
   let make ctor =
-    let meter = Cost_meter.create () in
-    let disk = Disk.create meter in
-    ctor { Strategy_sp.disk; geometry; view; initial; ad_buckets = 4 }
+    (* each strategy engine gets an isolated ctx pinned to the same first_tid
+       so generated view tids agree across engines *)
+    let ctx = Ctx.create ~geometry ~first_tid:1_000_000 () in
+    ctor { Strategy_sp.ctx; view; initial; ad_buckets = 4 }
   in
   let strategies =
     [
@@ -168,7 +171,7 @@ let test_duplicate_counts_through_strategies () =
                         (Tuple.set old_tuple 2 (Value.Int (Rng.int rng 5)))
                         1
                         (Value.Float (Rng.float rng)))
-                     (Tuple.fresh_tid ())
+                     (Tuple.next test_tids)
                  in
                  live.(idx) <- new_tuple;
                  Strategy.modify ~old_tuple ~new_tuple)

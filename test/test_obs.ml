@@ -499,16 +499,14 @@ let metric_matches_meter =
         m.Runner.category_costs)
 
 let test_observer_effect () =
-  (* A live recorder must not change any measured number.  The global tuple-id
-     source shifts Hashtbl bucketing between successive runs in one process
-     (a pre-existing property, unrelated to the recorder), so pin it to the
-     same base before each batch to compare like with like. *)
-  Tuple.reset_tid_source ();
+  (* A live recorder must not change any measured number.  Each
+     [Experiment.measure_*] run owns its execution contexts and tuple-id
+     sources, so two back-to-back in-process runs are bit-identical with no
+     manual state reset. *)
   let bare = Experiment.measure_model1 ~seed:7 small [ `Deferred; `Clustered ] in
   let trace = Trace.create () in
   let metrics = Metrics.create () in
   let recorder = Recorder.create ~trace ~metrics ~trace_charges:true () in
-  Tuple.reset_tid_source ();
   let observed =
     Experiment.measure_model1 ~seed:7 ~recorder small [ `Deferred; `Clustered ]
   in

@@ -1,7 +1,9 @@
 open Core
 open Core.Predicate
 
-let tuple values = Tuple.make ~tid:(Tuple.fresh_tid ()) values
+let test_tids = Tuple.source ()
+
+let tuple values = Tuple.make ~tid:(Tuple.next test_tids) values
 
 let pval_lt f = Cmp (Lt, Column 1, Const (Value.Float f))
 
@@ -236,7 +238,7 @@ let prop_projection_distributes =
           (fun i _ -> i < List.length keep_flags && List.nth keep_flags i)
           xs
       in
-      let project = Ops.project ~positions:[| 1 |] in
+      let project = Ops.project ~tids:test_tids ~positions:[| 1 |] in
       let direct_union = Bag.of_list (project (Ops.union_all xs ys)) in
       let split_union = Bag.union (Bag.of_list (project xs)) (Bag.of_list (project ys)) in
       let direct_diff = Bag.of_list (project (Ops.minus_bag xs ys)) in
@@ -256,7 +258,7 @@ let test_select_charges_c1 () =
 
 let test_project_bag_semantics () =
   let tuples = [ sample 1 0.5; sample 2 0.5; sample 3 0.7 ] in
-  let projected = Ops.project ~positions:[| 1 |] tuples in
+  let projected = Ops.project ~tids:test_tids ~positions:[| 1 |] tuples in
   Alcotest.(check int) "duplicates preserved" 3 (List.length projected);
   let bag = Bag.of_list projected in
   Alcotest.(check int) "two sources for 0.5" 2
@@ -271,7 +273,7 @@ let test_equi_join () =
       tuple [| Value.Int 3; Value.Str "z" |];
     ]
   in
-  let joined = Ops.equi_join ~left_col:0 ~right_col:0 left right in
+  let joined = Ops.equi_join ~tids:test_tids ~left_col:0 ~right_col:0 left right in
   Alcotest.(check int) "match count" 2 (List.length joined);
   List.iter
     (fun tu ->
@@ -281,8 +283,8 @@ let test_equi_join () =
 
 let test_cross () =
   let a = [ sample 1 0.1; sample 2 0.2 ] and b = [ sample 3 0.3 ] in
-  Alcotest.(check int) "cross size" 2 (List.length (Ops.cross a b));
-  Alcotest.(check int) "empty cross" 0 (List.length (Ops.cross a []))
+  Alcotest.(check int) "cross size" 2 (List.length (Ops.cross ~tids:test_tids a b));
+  Alcotest.(check int) "empty cross" 0 (List.length (Ops.cross ~tids:test_tids a []))
 
 let test_minus_bag () =
   let xs = [ sample 1 0.1; sample 1 0.1; sample 2 0.2 ] in
@@ -298,7 +300,7 @@ let test_distinct_values () =
 
 let test_sp_view () =
   let tuples = List.init 10 (fun i -> sample i (float_of_int i /. 10.)) in
-  let result = Ops.sp_view (pval_lt 0.35) ~positions:[| 1 |] tuples in
+  let result = Ops.sp_view ~tids:test_tids (pval_lt 0.35) ~positions:[| 1 |] tuples in
   Alcotest.(check int) "selected and projected" 4 (List.length result);
   List.iter (fun tu -> Alcotest.(check int) "arity 1" 1 (Tuple.arity tu)) result
 

@@ -1,5 +1,7 @@
 open Core
 
+let test_tids = Tuple.source ()
+
 let v_int i = Value.Int i
 let v_float f = Value.Float f
 let v_str s = Value.Str s
@@ -119,7 +121,7 @@ let test_schema_join () =
 (* Tuple                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let tuple values = Tuple.make ~tid:(Tuple.fresh_tid ()) values
+let tuple values = Tuple.make ~tid:(Tuple.next test_tids) values
 
 let test_tuple_basics () =
   let t = tuple [| v_int 1; v_float 0.5; v_str "a" |] in
@@ -149,8 +151,8 @@ let test_tuple_project_concat () =
   Alcotest.(check int) "concat tid" 99 (Tuple.tid c)
 
 let test_fresh_tid_monotone () =
-  let a = Tuple.fresh_tid () in
-  let b = Tuple.fresh_tid () in
+  let a = Tuple.next test_tids in
+  let b = Tuple.next test_tids in
   Alcotest.(check bool) "monotone" true (b > a)
 
 (* ------------------------------------------------------------------ *)

@@ -1,5 +1,7 @@
 open Core
 
+let test_tids = Tuple.source ()
+
 (* Every strategy must compute the same view.  We run identical operation
    streams through all strategies of a model and require: (a) every query
    answer is the same multiset of view tuples, and (b) the final logical view
@@ -9,9 +11,9 @@ open Core
 
 let geometry = { Strategy.page_bytes = 400; index_entry_bytes = 20 }
 
-let fresh_world () =
-  let meter = Cost_meter.create () in
-  (meter, Disk.create meter)
+(* Each strategy engine owns an isolated ctx; all engines in a test pin the
+   same first_tid (far above any dataset tid) so generated view tids agree. *)
+let fresh_ctx () = Ctx.create ~geometry ~first_tid:1_000_000 ()
 
 let answer_bag answers =
   let bag = Bag.create () in
@@ -55,12 +57,12 @@ let check_equivalent ~what strategies_with_answers =
 
 let model1_env () =
   let rng = Rng.create 11 in
-  let dataset = Dataset.make_model1 ~rng ~n:300 ~f:0.3 ~s_bytes:100 in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:300 ~f:0.3 ~s_bytes:100 in
   let tuples = Array.of_list dataset.m1_tuples in
   let ops =
     Stream.generate ~rng ~tuples
       ~mutate:
-        (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
+        (Stream.mutate_column ~tids:test_tids ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
       ~k:24 ~l:4 ~q:8
       ~query_of:(Stream.range_query_of ~lo_max:0.27 ~width:0.03)
   in
@@ -68,11 +70,9 @@ let model1_env () =
 
 let sp_strategies dataset =
   let make ctor =
-    let _, disk = fresh_world () in
     ctor
       {
-        Strategy_sp.disk;
-        geometry;
+        Strategy_sp.ctx = fresh_ctx ();
         view = dataset.Dataset.m1_view;
         initial = dataset.Dataset.m1_tuples;
         ad_buckets = 4;
@@ -106,11 +106,11 @@ let test_model1_equivalence () =
 
 let test_model1_inserts_and_deletes () =
   let rng = Rng.create 13 in
-  let dataset = Dataset.make_model1 ~rng ~n:100 ~f:0.5 ~s_bytes:100 in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:100 ~f:0.5 ~s_bytes:100 in
   let strategies = sp_strategies dataset in
   let live = Array.of_list dataset.m1_tuples in
   let fresh i =
-    Tuple.make ~tid:(Tuple.fresh_tid ())
+    Tuple.make ~tid:(Tuple.next test_tids)
       [| Value.Int (1000 + i); Value.Float (Rng.float rng); Value.Float 1.; Value.Str "new" |]
   in
   let inserted = List.init 10 fresh in
@@ -130,11 +130,11 @@ let test_model1_inserts_and_deletes () =
 let test_model1_empty_view () =
   (* f = 0: the view is empty and stays empty; nothing crashes. *)
   let rng = Rng.create 17 in
-  let dataset = Dataset.make_model1 ~rng ~n:50 ~f:0. ~s_bytes:100 in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:50 ~f:0. ~s_bytes:100 in
   let tuples = Array.of_list dataset.m1_tuples in
   let ops =
     Stream.generate ~rng ~tuples
-      ~mutate:(Stream.mutate_column ~col:2 (fun _ -> Value.Float 0.))
+      ~mutate:(Stream.mutate_column ~tids:test_tids ~col:2 (fun _ -> Value.Float 0.))
       ~k:4 ~l:2 ~q:3
       ~query_of:(fun _ -> { Strategy.q_lo = Value.Float 0.; q_hi = Value.Float 0. })
   in
@@ -148,11 +148,11 @@ let test_model1_empty_view () =
 let test_model1_full_selectivity () =
   (* f = 1: every tuple is in the view. *)
   let rng = Rng.create 19 in
-  let dataset = Dataset.make_model1 ~rng ~n:60 ~f:1.0 ~s_bytes:100 in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:60 ~f:1.0 ~s_bytes:100 in
   let tuples = Array.of_list dataset.m1_tuples in
   let ops =
     Stream.generate ~rng ~tuples
-      ~mutate:(Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 9))))
+      ~mutate:(Stream.mutate_column ~tids:test_tids ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 9))))
       ~k:6 ~l:3 ~q:4
       ~query_of:(Stream.range_query_of ~lo_max:0.9 ~width:0.1)
   in
@@ -167,19 +167,18 @@ let test_model1_full_selectivity () =
 let test_model1_cost_structure () =
   let dataset, ops = model1_env () in
   let run ctor =
-    let meter, disk = fresh_world () in
+    let ctx = fresh_ctx () in
     let env =
       {
-        Strategy_sp.disk;
-        geometry;
+        Strategy_sp.ctx;
         view = dataset.Dataset.m1_view;
         initial = dataset.Dataset.m1_tuples;
         ad_buckets = 4;
       }
     in
     let s = ctor env in
-    let m = Runner.run ~meter ~disk ~strategy:s ~ops () in
-    (m, meter)
+    let m = Runner.run ~ctx ~strategy:s ~ops () in
+    (m, Ctx.meter ctx)
   in
   let deferred, _ = run Strategy_sp.deferred in
   let immediate, _ = run Strategy_sp.immediate in
@@ -209,12 +208,12 @@ let prop_model1_equivalence =
     (fun seed ->
       let rng = Rng.create seed in
       let f = 0.2 +. (0.6 *. Rng.float rng) in
-      let dataset = Dataset.make_model1 ~rng ~n:120 ~f ~s_bytes:100 in
+      let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:120 ~f ~s_bytes:100 in
       let tuples = Array.of_list dataset.m1_tuples in
       let ops =
         Stream.generate ~rng ~tuples
           ~mutate:
-            (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 50))))
+            (Stream.mutate_column ~tids:test_tids ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 50))))
           ~k:10 ~l:3 ~q:5
           ~query_of:(Stream.range_query_of ~lo_max:(0.8 *. f) ~width:(0.2 *. f))
       in
@@ -235,11 +234,9 @@ let prop_model1_equivalence =
 
 let join_strategies dataset =
   let make ctor =
-    let _, disk = fresh_world () in
     ctor
       {
-        Strategy_join.disk;
-        geometry;
+        Strategy_join.ctx = fresh_ctx ();
         view = dataset.Dataset.m2_view;
         initial_left = dataset.Dataset.m2_left_tuples;
         initial_right = dataset.Dataset.m2_right_tuples;
@@ -255,12 +252,12 @@ let join_strategies dataset =
 
 let test_model2_equivalence () =
   let rng = Rng.create 23 in
-  let dataset = Dataset.make_model2 ~rng ~n:200 ~f:0.4 ~f_r2:0.2 ~s_bytes:100 in
+  let dataset = Dataset.make_model2 ~rng ~tids:test_tids ~n:200 ~f:0.4 ~f_r2:0.2 ~s_bytes:100 in
   let tuples = Array.of_list dataset.m2_left_tuples in
   let ops =
     Stream.generate ~rng ~tuples
       ~mutate:
-        (Stream.mutate_column ~col:3 (fun rng ->
+        (Stream.mutate_column ~tids:test_tids ~col:3 (fun rng ->
              Value.Str (Printf.sprintf "c%d" (Rng.int rng 1000))))
       ~k:16 ~l:4 ~q:6
       ~query_of:(Stream.range_query_of ~lo_max:0.35 ~width:0.05)
@@ -280,13 +277,13 @@ let test_model2_equivalence () =
 let test_model2_join_column_update () =
   (* Changing the join key must move the view tuple to the new R2 partner. *)
   let rng = Rng.create 29 in
-  let dataset = Dataset.make_model2 ~rng ~n:50 ~f:1.0 ~f_r2:0.2 ~s_bytes:100 in
+  let dataset = Dataset.make_model2 ~rng ~tids:test_tids ~n:50 ~f:1.0 ~f_r2:0.2 ~s_bytes:100 in
   let strategies = join_strategies dataset in
   let live = Array.of_list dataset.m2_left_tuples in
   let retarget idx new_jkey =
     let old_tuple = live.(idx) in
     let new_tuple =
-      Tuple.with_tid (Tuple.set old_tuple 2 (Value.Int new_jkey)) (Tuple.fresh_tid ())
+      Tuple.with_tid (Tuple.set old_tuple 2 (Value.Int new_jkey)) (Tuple.next test_tids)
     in
     live.(idx) <- new_tuple;
     Strategy.modify ~old_tuple ~new_tuple
@@ -307,11 +304,9 @@ let test_model2_join_column_update () =
 
 let agg_strategies dataset =
   let make ctor =
-    let _, disk = fresh_world () in
     ctor
       {
-        Strategy_agg.disk;
-        geometry;
+        Strategy_agg.ctx = fresh_ctx ();
         agg = dataset.Dataset.m3_agg;
         initial = dataset.Dataset.m3_tuples;
         ad_buckets = 4;
@@ -335,12 +330,12 @@ let scalar_answers (strategy : Strategy.t) ops =
 
 let test_model3_equivalence () =
   let rng = Rng.create 31 in
-  let dataset = Dataset.make_model3 ~rng ~n:150 ~f:0.4 ~s_bytes:100 ~kind:(`Sum "amount") in
+  let dataset = Dataset.make_model3 ~rng ~tids:test_tids ~n:150 ~f:0.4 ~s_bytes:100 ~kind:(`Sum "amount") in
   let tuples = Array.of_list dataset.m3_tuples in
   let ops =
     Stream.generate ~rng ~tuples
       ~mutate:
-        (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
+        (Stream.mutate_column ~tids:test_tids ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
       ~k:12 ~l:4 ~q:6
       ~query_of:(Stream.range_query_of ~lo_max:0.3 ~width:0.1)
   in
@@ -362,12 +357,12 @@ let test_model3_kinds () =
   List.iter
     (fun kind ->
       let rng = Rng.create 37 in
-      let dataset = Dataset.make_model3 ~rng ~n:80 ~f:0.5 ~s_bytes:100 ~kind in
+      let dataset = Dataset.make_model3 ~rng ~tids:test_tids ~n:80 ~f:0.5 ~s_bytes:100 ~kind in
       let tuples = Array.of_list dataset.m3_tuples in
       let ops =
         Stream.generate ~rng ~tuples
           ~mutate:
-            (Stream.mutate_column ~col:2 (fun rng ->
+            (Stream.mutate_column ~tids:test_tids ~col:2 (fun rng ->
                  Value.Float (float_of_int (Rng.int rng 100))))
           ~k:6 ~l:3 ~q:4
           ~query_of:(Stream.range_query_of ~lo_max:0.4 ~width:0.1)
@@ -390,27 +385,26 @@ let test_model3_kinds () =
 
 let test_model3_cost_structure () =
   let rng = Rng.create 41 in
-  let dataset = Dataset.make_model3 ~rng ~n:200 ~f:0.3 ~s_bytes:100 ~kind:(`Sum "amount") in
+  let dataset = Dataset.make_model3 ~rng ~tids:test_tids ~n:200 ~f:0.3 ~s_bytes:100 ~kind:(`Sum "amount") in
   let tuples = Array.of_list dataset.m3_tuples in
   let ops =
     Stream.generate ~rng ~tuples
       ~mutate:
-        (Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
+        (Stream.mutate_column ~tids:test_tids ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 100))))
       ~k:10 ~l:3 ~q:5
       ~query_of:(Stream.range_query_of ~lo_max:0.2 ~width:0.1)
   in
   let run ctor =
-    let meter, disk = fresh_world () in
+    let ctx = fresh_ctx () in
     let env =
       {
-        Strategy_agg.disk;
-        geometry;
+        Strategy_agg.ctx;
         agg = dataset.Dataset.m3_agg;
         initial = dataset.Dataset.m3_tuples;
         ad_buckets = 4;
       }
     in
-    Runner.run ~meter ~disk ~strategy:(ctor env) ~ops ()
+    Runner.run ~ctx ~strategy:(ctor env) ~ops ()
   in
   let deferred = run Strategy_agg.deferred in
   let immediate = run Strategy_agg.immediate in

@@ -1,5 +1,7 @@
 open Core
 
+let test_tids = Tuple.source ()
+
 (* Stress runs: long mixed workloads where updates move tuples across the
    view predicate boundary (tuples enter and leave the view, not just change
    inside it), combined inserts/deletes/modifications, and a randomized
@@ -9,12 +11,12 @@ let geometry = { Strategy.page_bytes = 400; index_entry_bytes = 20 }
 
 let sp_strategies dataset =
   let make ctor =
-    let meter = Cost_meter.create () in
-    let disk = Disk.create meter in
+    (* one isolated ctx per engine, pinned to a common first_tid so the
+       engines' generated view tids agree *)
+    let ctx = Ctx.create ~geometry ~first_tid:10_000_000 () in
     ctor
       {
-        Strategy_sp.disk;
-        geometry;
+        Strategy_sp.ctx;
         view = dataset.Dataset.m1_view;
         initial = dataset.Dataset.m1_tuples;
         ad_buckets = 4;
@@ -55,7 +57,7 @@ let boundary_crossing_ops ~rng ~dataset ~rounds ~f =
       Hashtbl.replace touched idx ();
       let old_tuple = !live.(idx) in
       let new_tuple =
-        Tuple.with_tid (Tuple.set old_tuple 1 (Value.Float (Rng.float rng))) (Tuple.fresh_tid ())
+        Tuple.with_tid (Tuple.set old_tuple 1 (Value.Float (Rng.float rng))) (Tuple.next test_tids)
       in
       !live.(idx) <- new_tuple;
       changes := !changes @ [ Strategy.modify ~old_tuple ~new_tuple ]
@@ -73,7 +75,7 @@ let boundary_crossing_ops ~rng ~dataset ~rounds ~f =
     (* one insert of a brand-new tuple *)
     incr fresh_id;
     let inserted =
-      Tuple.make ~tid:(Tuple.fresh_tid ())
+      Tuple.make ~tid:(Tuple.next test_tids)
         [| Value.Int !fresh_id; Value.Float (Rng.float rng); Value.Float 1.; Value.Str "new" |]
     in
     changes := !changes @ [ Strategy.insert inserted ];
@@ -104,7 +106,7 @@ let collect (s : Strategy.t) ops =
 let test_boundary_crossing_equivalence () =
   let rng = Rng.create 1001 in
   let f = 0.5 in
-  let dataset = Dataset.make_model1 ~rng ~n:250 ~f ~s_bytes:100 in
+  let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:250 ~f ~s_bytes:100 in
   let ops = boundary_crossing_ops ~rng ~dataset ~rounds:25 ~f in
   let results = List.map (fun (name, s) -> (name, collect s ops)) (sp_strategies dataset) in
   match results with
@@ -125,7 +127,7 @@ let prop_boundary_crossing_seeds =
     (fun seed ->
       let rng = Rng.create seed in
       let f = 0.1 +. (0.8 *. Rng.float rng) in
-      let dataset = Dataset.make_model1 ~rng ~n:120 ~f ~s_bytes:100 in
+      let dataset = Dataset.make_model1 ~rng ~tids:test_tids ~n:120 ~f ~s_bytes:100 in
       let ops = boundary_crossing_ops ~rng ~dataset ~rounds:10 ~f in
       let strategies =
         List.filter
@@ -252,10 +254,10 @@ let test_hr_soak () =
   in
   let initial =
     List.init 100 (fun i ->
-        Tuple.make ~tid:(Tuple.fresh_tid ()) [| Value.Int i; Value.Float (Rng.float rng) |])
+        Tuple.make ~tid:(Tuple.next test_tids) [| Value.Int i; Value.Float (Rng.float rng) |])
   in
   Btree.bulk_load base initial;
-  let hr = Hr.create ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4 () in
+  let hr = Hr.create ~tids:test_tids ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4 () in
   let reference = Hashtbl.create 256 in
   List.iter (fun t -> Hashtbl.replace reference (Value.as_int (Tuple.get t 0)) t) initial;
   let next_id = ref 100 in
@@ -264,7 +266,7 @@ let test_hr_soak () =
     | 0 ->
         incr next_id;
         let t =
-          Tuple.make ~tid:(Tuple.fresh_tid ())
+          Tuple.make ~tid:(Tuple.next test_tids)
             [| Value.Int !next_id; Value.Float (Rng.float rng) |]
         in
         Hr.apply_insert hr t ~marked:true;
@@ -275,7 +277,7 @@ let test_hr_soak () =
         let old_tuple = Hashtbl.find reference key in
         let new_tuple =
           Tuple.with_tid (Tuple.set old_tuple 1 (Value.Float (Rng.float rng)))
-            (Tuple.fresh_tid ())
+            (Tuple.next test_tids)
         in
         Hr.apply_update hr ~old_tuple ~new_tuple ~marked_old:true ~marked_new:true;
         Hashtbl.replace reference key new_tuple

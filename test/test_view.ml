@@ -1,6 +1,8 @@
 open Core
 open Core.Predicate
 
+let test_tids = Tuple.source ()
+
 let base_schema =
   Schema.make ~name:"R"
     ~columns:
@@ -12,7 +14,7 @@ let base_schema =
       ]
     ~tuple_bytes:100 ~key:"id"
 
-let base ?(tid = Tuple.fresh_tid ()) id pval amount =
+let base ?(tid = Tuple.next test_tids) id pval amount =
   Tuple.make ~tid [| Value.Int id; Value.Float pval; Value.Float amount; Value.Str "n" |]
 
 let sp_view ?(f = 0.5) () =
@@ -29,7 +31,7 @@ let test_sp_definition () =
   Alcotest.(check int) "cluster position" 0 v.sp_cluster_out;
   Alcotest.(check int) "out arity" 2 (Schema.arity v.sp_out_schema);
   Alcotest.(check int) "half the bytes" 50 (Schema.tuple_bytes v.sp_out_schema);
-  let out = View_def.sp_output v (base 1 0.25 7.) in
+  let out = View_def.sp_output ~tids:test_tids v (base 1 0.25 7.) in
   Alcotest.(check bool) "projected fields" true
     (Value.equal (Value.Float 0.25) (Tuple.get out 0)
     && Value.equal (Value.Float 7.) (Tuple.get out 1))
@@ -79,10 +81,10 @@ let join_view ?(f = 0.5) () =
     ~on:("jkey", "jkey") ~project_left:[ "pval"; "c" ] ~project_right:[ "weight" ]
     ~cluster:"pval"
 
-let left_tuple ?(tid = Tuple.fresh_tid ()) id pval jkey =
+let left_tuple ?(tid = Tuple.next test_tids) id pval jkey =
   Tuple.make ~tid [| Value.Int id; Value.Float pval; Value.Int jkey; Value.Str "c" |]
 
-let right_tuple ?(tid = Tuple.fresh_tid ()) jkey weight =
+let right_tuple ?(tid = Tuple.next test_tids) jkey weight =
   Tuple.make ~tid [| Value.Int jkey; Value.Float weight; Value.Str "t" |]
 
 let test_join_definition () =
@@ -91,7 +93,7 @@ let test_join_definition () =
   Alcotest.(check int) "right key" 0 j.j_right_col;
   Alcotest.(check int) "out arity" 3 (Schema.arity j.j_out_schema);
   Alcotest.(check int) "S bytes output" 100 (Schema.tuple_bytes j.j_out_schema);
-  let out = View_def.join_output j (left_tuple 1 0.3 7) (right_tuple 7 2.5) in
+  let out = View_def.join_output ~tids:test_tids j (left_tuple 1 0.3 7) (right_tuple 7 2.5) in
   Alcotest.(check bool) "fields" true
     (Value.equal (Value.Float 0.3) (Tuple.get out 0)
     && Value.equal (Value.Str "c") (Tuple.get out 1)
@@ -115,7 +117,7 @@ let make_mat () =
   let disk = Disk.create meter in
   (meter, disk, Materialized.create ~disk ~name:"V" ~fanout:8 ~leaf_capacity:4 ~cluster_col:0 ())
 
-let vtuple ?(tid = Tuple.fresh_tid ()) pval amount =
+let vtuple ?(tid = Tuple.next test_tids) pval amount =
   Tuple.make ~tid [| Value.Float pval; Value.Float amount |]
 
 let test_mat_insert_delete_counts () =
@@ -173,7 +175,7 @@ let test_delta_sp () =
   let v = sp_view ~f:0.5 () in
   let a = [ base 1 0.3 10.; base 2 0.7 20. ] in
   let d = [ base 3 0.4 30. ] in
-  let delta = Delta.sp v ~a ~d in
+  let delta = Delta.sp ~tids:test_tids v ~a ~d in
   Alcotest.(check int) "inserts pass predicate" 1 (List.length delta.ins);
   Alcotest.(check int) "deletes pass predicate" 1 (List.length delta.del);
   let bag = Bag.of_list [ Tuple.make ~tid:0 [| Value.Float 0.4; Value.Float 30. |] ] in
@@ -193,11 +195,11 @@ let test_delta_join_corrected_basic () =
   let r1_prime = [ List.nth r1 1 ] in
   (* r1 minus d1... note r1' excludes the deleted old_t *)
   let delta =
-    Delta.join_corrected j ~r1_prime ~r2_prime:r2 ~a1:[ new_t ] ~d1:[ old_t ] ~a2:[] ~d2:[]
+    Delta.join_corrected ~tids:test_tids j ~r1_prime ~r2_prime:r2 ~a1:[ new_t ] ~d1:[ old_t ] ~a2:[] ~d2:[]
   in
-  let v0 = Delta.recompute_join j r1 r2 in
+  let v0 = Delta.recompute_join ~tids:test_tids j r1 r2 in
   Delta.apply v0 delta;
-  let expected = Delta.recompute_join j (new_t :: r1_prime) r2 in
+  let expected = Delta.recompute_join ~tids:test_tids j (new_t :: r1_prime) r2 in
   Alcotest.(check bool) "incremental = recompute" true (Bag.equal v0 expected);
   Alcotest.(check bool) "no negative counts" false (Bag.has_negative_count v0)
 
@@ -215,10 +217,10 @@ let appendix_a_scenario () =
 
 let test_appendix_a_blakeley_corrupts () =
   let j, r1, r2, t1, t2 = appendix_a_scenario () in
-  let v = Delta.recompute_join j r1 r2 in
+  let v = Delta.recompute_join ~tids:test_tids j r1 r2 in
   Alcotest.(check int) "v0 size" 2 (Bag.total_size v);
   let delta =
-    Delta.join_blakeley j ~r1 ~r2 ~a1:[] ~d1:[ t1 ] ~a2:[] ~d2:[ t2 ]
+    Delta.join_blakeley ~tids:test_tids j ~r1 ~r2 ~a1:[] ~d1:[ t1 ] ~a2:[] ~d2:[ t2 ]
   in
   (* D1xD2, D1xR2, R1xD2 each produce the joined tuple: 3 deletions. *)
   Alcotest.(check int) "three deletions" 3 (List.length delta.del);
@@ -227,14 +229,14 @@ let test_appendix_a_blakeley_corrupts () =
 
 let test_appendix_a_corrected () =
   let j, r1, r2, t1, t2 = appendix_a_scenario () in
-  let v = Delta.recompute_join j r1 r2 in
+  let v = Delta.recompute_join ~tids:test_tids j r1 r2 in
   let r1_prime = List.filter (fun t -> Tuple.tid t <> Tuple.tid t1) r1 in
   let r2_prime = List.filter (fun t -> Tuple.tid t <> Tuple.tid t2) r2 in
-  let delta = Delta.join_corrected j ~r1_prime ~r2_prime ~a1:[] ~d1:[ t1 ] ~a2:[] ~d2:[ t2 ] in
+  let delta = Delta.join_corrected ~tids:test_tids j ~r1_prime ~r2_prime ~a1:[] ~d1:[ t1 ] ~a2:[] ~d2:[ t2 ] in
   Alcotest.(check int) "one deletion" 1 (List.length delta.del);
   Delta.apply v delta;
   Alcotest.(check bool) "no corruption" false (Bag.has_negative_count v);
-  let expected = Delta.recompute_join j r1_prime r2_prime in
+  let expected = Delta.recompute_join ~tids:test_tids j r1_prime r2_prime in
   Alcotest.(check bool) "matches recomputation" true (Bag.equal v expected)
 
 (* Property: the corrected join delta always agrees with recomputation under
@@ -268,10 +270,10 @@ let prop_join_corrected_equals_recompute =
       (* a couple of fresh inserts on both sides *)
       let a1 = [ left_tuple ~tid:3001 100 0.05 2 ] in
       let a2 = [ right_tuple ~tid:3002 9 1.5 ] in
-      let v = Delta.recompute_join j r1 r2 in
-      let delta = Delta.join_corrected j ~r1_prime ~r2_prime ~a1 ~d1 ~a2 ~d2 in
+      let v = Delta.recompute_join ~tids:test_tids j r1 r2 in
+      let delta = Delta.join_corrected ~tids:test_tids j ~r1_prime ~r2_prime ~a1 ~d1 ~a2 ~d2 in
       Delta.apply v delta;
-      let expected = Delta.recompute_join j (r1_prime @ a1) (r2_prime @ a2) in
+      let expected = Delta.recompute_join ~tids:test_tids j (r1_prime @ a1) (r2_prime @ a2) in
       Bag.equal v expected && not (Bag.has_negative_count v))
 
 (* ------------------------------------------------------------------ *)
@@ -327,7 +329,7 @@ let test_riu () =
 (* Aggregates                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let agg_tuple amount = Tuple.make ~tid:(Tuple.fresh_tid ()) [| Value.Float amount |]
+let agg_tuple amount = Tuple.make ~tid:(Tuple.next test_tids) [| Value.Float amount |]
 
 let test_agg_sum_count_avg () =
   let sum = Aggregate.create (View_def.Sum 0) in

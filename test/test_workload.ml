@@ -1,12 +1,14 @@
 open Core
 
+let test_tids = Tuple.source ()
+
 (* ------------------------------------------------------------------ *)
 (* Dataset                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let test_model1_dataset () =
   let rng = Rng.create 1 in
-  let d = Dataset.make_model1 ~rng ~n:1000 ~f:0.25 ~s_bytes:100 in
+  let d = Dataset.make_model1 ~rng ~tids:test_tids ~n:1000 ~f:0.25 ~s_bytes:100 in
   Alcotest.(check int) "n tuples" 1000 (List.length d.m1_tuples);
   Alcotest.(check int) "schema bytes" 100 (Schema.tuple_bytes d.m1_schema);
   (* selectivity of the predicate is ~f on the uniform pval column *)
@@ -24,14 +26,14 @@ let test_model1_dataset () =
 let test_model1_dataset_deterministic () =
   let make () =
     let rng = Rng.create 99 in
-    let d = Dataset.make_model1 ~rng ~n:50 ~f:0.5 ~s_bytes:100 in
+    let d = Dataset.make_model1 ~rng ~tids:test_tids ~n:50 ~f:0.5 ~s_bytes:100 in
     List.map Tuple.value_key d.m1_tuples
   in
   Alcotest.(check (list string)) "same data for same seed" (make ()) (make ())
 
 let test_model2_dataset () =
   let rng = Rng.create 2 in
-  let d = Dataset.make_model2 ~rng ~n:500 ~f:0.3 ~f_r2:0.2 ~s_bytes:100 in
+  let d = Dataset.make_model2 ~rng ~tids:test_tids ~n:500 ~f:0.3 ~f_r2:0.2 ~s_bytes:100 in
   Alcotest.(check int) "left size" 500 (List.length d.m2_left_tuples);
   Alcotest.(check int) "right size" 100 (List.length d.m2_right_tuples);
   (* R2 keys unique (join on a key field) *)
@@ -47,7 +49,7 @@ let test_model2_dataset () =
 
 let test_model3_dataset () =
   let rng = Rng.create 3 in
-  let d = Dataset.make_model3 ~rng ~n:100 ~f:0.5 ~s_bytes:100 ~kind:(`Avg "amount") in
+  let d = Dataset.make_model3 ~rng ~tids:test_tids ~n:100 ~f:0.5 ~s_bytes:100 ~kind:(`Avg "amount") in
   match d.m3_agg.a_kind with
   | View_def.Avg 2 -> ()
   | _ -> Alcotest.fail "aggregate kind not resolved to the amount column"
@@ -58,10 +60,10 @@ let test_model3_dataset () =
 
 let stream_env () =
   let rng = Rng.create 4 in
-  let d = Dataset.make_model1 ~rng ~n:200 ~f:0.5 ~s_bytes:100 in
+  let d = Dataset.make_model1 ~rng ~tids:test_tids ~n:200 ~f:0.5 ~s_bytes:100 in
   (rng, Array.of_list d.m1_tuples)
 
-let mutate = Stream.mutate_column ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 10)))
+let mutate = Stream.mutate_column ~tids:test_tids ~col:2 (fun rng -> Value.Float (float_of_int (Rng.int rng 10)))
 
 let test_stream_counts () =
   let rng, tuples = stream_env () in
