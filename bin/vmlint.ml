@@ -1,0 +1,128 @@
+(* vmlint: the determinism & ctx-discipline static analyzer (DESIGN §8).
+
+     vmlint lib                      lint everything under lib/
+     vmlint --format json lib        machine-readable findings
+     vmlint --json-out f.json lib    human output + JSON artifact
+     vmlint --allowlist .vmlint lib  suppress justified findings
+     vmlint --fail-on warning lib    strict mode (default: error)
+     vmlint --rules                  list the rules
+
+   Exit codes: 0 clean (after allowlist), 1 findings at/above the fail-on
+   threshold, 2 usage error. *)
+
+open Vmat_analysis
+open Cmdliner
+
+let default_allowlist = ".vmlint"
+
+let run paths format allowlist_path fail_on json_out list_rules =
+  if list_rules then begin
+    List.iter
+      (fun rule -> Printf.printf "%-5s %s\n" rule.Rule.id rule.Rule.doc)
+      Driver.all_rules;
+    0
+  end
+  else begin
+    let allowlist =
+      match allowlist_path with
+      | Some path -> (
+          match Allowlist.load path with
+          | Ok entries -> entries
+          | Error message ->
+              Printf.eprintf "vmlint: bad allowlist %s: %s\n" path message;
+              exit 2)
+      | None ->
+          if Sys.file_exists default_allowlist then
+            match Allowlist.load default_allowlist with
+            | Ok entries -> entries
+            | Error message ->
+                Printf.eprintf "vmlint: bad allowlist %s: %s\n" default_allowlist
+                  message;
+                exit 2
+          else Allowlist.empty
+    in
+    let findings = Driver.lint_paths paths in
+    let kept = Driver.filter_allowed allowlist findings in
+    (match json_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Finding.list_to_json kept);
+        close_out oc
+    | None -> ());
+    (match format with
+    | `Human ->
+        List.iter (fun f -> print_endline (Finding.to_human f)) kept;
+        List.iter
+          (fun (entry : Allowlist.entry) ->
+            Printf.eprintf
+              "vmlint: unused allowlist entry: %s %s (%s) — the code it excused \
+               is gone; remove it\n"
+              entry.Allowlist.rule entry.Allowlist.path entry.Allowlist.justification)
+          (Allowlist.unused allowlist);
+        let errors, warnings =
+          List.partition (fun f -> f.Finding.severity = Finding.Error) kept
+        in
+        Printf.printf "%d finding%s (%d error%s, %d warning%s), %d suppressed\n"
+          (List.length kept)
+          (if List.length kept = 1 then "" else "s")
+          (List.length errors)
+          (if List.length errors = 1 then "" else "s")
+          (List.length warnings)
+          (if List.length warnings = 1 then "" else "s")
+          (List.length findings - List.length kept)
+    | `Json -> print_string (Finding.list_to_json kept));
+    let threshold =
+      match fail_on with `Error -> Finding.Error | `Warning -> Finding.Warning
+    in
+    let failing =
+      List.filter
+        (fun f ->
+          Finding.severity_rank f.Finding.severity
+          >= Finding.severity_rank threshold)
+        kept
+    in
+    if List.length failing = 0 then 0 else 1
+  end
+
+let paths_term =
+  Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: lib).")
+
+let format_term =
+  Arg.(
+    value
+    & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+    & info [ "format" ] ~docv:"human|json" ~doc:"Output format.")
+
+let allowlist_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "allowlist" ] ~docv:"FILE"
+        ~doc:"Allowlist file (default: .vmlint in the current directory, if present).")
+
+let fail_on_term =
+  Arg.(
+    value
+    & opt (enum [ ("error", `Error); ("warning", `Warning) ]) `Error
+    & info [ "fail-on" ] ~docv:"error|warning"
+        ~doc:"Lowest severity that makes the exit code nonzero.")
+
+let json_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json-out" ] ~docv:"FILE"
+        ~doc:"Also write the findings as JSON to $(docv) (CI artifact).")
+
+let rules_term =
+  Arg.(value & flag & info [ "rules" ] ~doc:"List the rules and exit.")
+
+let () =
+  let doc = "determinism & ctx-discipline static analyzer for the vmat codebase" in
+  let info = Cmd.info "vmlint" ~version:"1.0.0" ~doc in
+  let term =
+    Term.(
+      const run $ paths_term $ format_term $ allowlist_term $ fail_on_term
+      $ json_out_term $ rules_term)
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -228,8 +228,21 @@ let only_term =
            With --metrics this makes the cost counters an unambiguous mirror of that \
            strategy's meter.")
 
+let sanitize_term =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Enable the runtime invariant sanitizers (cost conservation, Bloom \
+           no-false-negatives, refresh = recompute) in every measured context; \
+           violations abort with exit code 3.  Equivalent to VMAT_SANITIZE=1.")
+
+(* The flag only *forces on*: absent, the env default (VMAT_SANITIZE) applies. *)
+let sanitize_opt flag = if flag then Some true else None
+
 let simulate_cmd =
-  let run model p scale seed only trace_file metrics_file metrics_json_file =
+  let run model p scale seed only sanitize trace_file metrics_file metrics_json_file =
+    let sanitize = sanitize_opt sanitize in
     let p = Experiment.scale p scale in
     let recorder, flush_obs = make_recorder ~trace_file ~metrics_file ~metrics_json_file in
     Format.printf "simulating at N = %.0f, P = %.3f, seed %d@." p.Params.n_tuples
@@ -237,14 +250,14 @@ let simulate_cmd =
     let results =
       match model_of_int model with
       | Advisor.Selection_projection ->
-          Experiment.measure_model1 ~seed ?recorder p
+          Experiment.measure_model1 ~seed ?recorder ?sanitize p
             (filter_only only
                [ `Deferred; `Immediate; `Clustered; `Unclustered; `Recompute ])
       | Advisor.Two_way_join ->
-          Experiment.measure_model2 ~seed ?recorder p
+          Experiment.measure_model2 ~seed ?recorder ?sanitize p
             (filter_only only [ `Deferred; `Immediate; `Loopjoin ])
       | Advisor.Aggregate_over_view ->
-          Experiment.measure_model3 ~seed ?recorder p
+          Experiment.measure_model3 ~seed ?recorder ?sanitize p
             (filter_only only [ `Deferred; `Immediate; `Recompute ])
     in
     let category_names =
@@ -275,7 +288,7 @@ let simulate_cmd =
        ~doc:"Run the strategies on the simulated engine and report measured costs.")
     Term.(
       const run $ model_term $ params_term $ scale_term $ seed_term $ only_term
-      $ trace_term $ metrics_term $ metrics_json_term)
+      $ sanitize_term $ trace_term $ metrics_term $ metrics_json_term)
 
 let advise_cmd =
   let run model p =
@@ -353,7 +366,8 @@ let sweep_cmd =
       & info [ "csv" ] ~docv:"FILE"
           ~doc:"Also write the sweep as CSV to $(docv) (use - for stdout).")
   in
-  let run model p param lo hi steps measured scale seed jobs csv =
+  let run model p param lo hi steps measured scale seed jobs csv sanitize =
+    let sanitize = sanitize_opt sanitize in
     let model = model_of_int model in
     let jobs = if jobs = 0 then Parallel.default_jobs () else jobs in
     let apply v =
@@ -374,11 +388,14 @@ let sweep_cmd =
         let results =
           match model with
           | Advisor.Selection_projection ->
-              Experiment.measure_model1 ~seed p [ `Deferred; `Immediate; `Clustered ]
+              Experiment.measure_model1 ~seed ?sanitize p
+                [ `Deferred; `Immediate; `Clustered ]
           | Advisor.Two_way_join ->
-              Experiment.measure_model2 ~seed p [ `Deferred; `Immediate; `Loopjoin ]
+              Experiment.measure_model2 ~seed ?sanitize p
+                [ `Deferred; `Immediate; `Loopjoin ]
           | Advisor.Aggregate_over_view ->
-              Experiment.measure_model3 ~seed p [ `Deferred; `Immediate; `Recompute ]
+              Experiment.measure_model3 ~seed ?sanitize p
+                [ `Deferred; `Immediate; `Recompute ]
         in
         List.map (fun (name, m) -> (name, m.Runner.cost_per_query)) results
     in
@@ -427,7 +444,7 @@ let sweep_cmd =
           points run in parallel with --jobs).")
     Term.(
       const run $ model_term $ params_term $ param_term $ from_term $ to_term $ steps_term
-      $ measured_term $ scale_term $ seed_term $ jobs_term $ csv_term)
+      $ measured_term $ scale_term $ seed_term $ jobs_term $ csv_term $ sanitize_term)
 
 let adapt_cmd =
   let int_flag name doc default =
@@ -638,7 +655,7 @@ let top_cmd =
     in
     List.iter
       (fun (nm, v) -> Format.printf "  %-60s %.1f@." nm v)
-      (List.sort compare series);
+      (List.sort (fun (n1, _) (n2, _) -> String.compare n1 n2) series);
     Option.iter
       (fun t -> Format.printf "@.trace: %d events recorded@." (Trace.event_count t))
       trace;
@@ -699,10 +716,17 @@ let shell_cmd =
 let () =
   let doc = "cost analysis and simulation of view materialization strategies (Hanson, SIGMOD 1987)" in
   let info = Cmd.info "vmperf" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            params_cmd; costs_cmd; simulate_cmd; advise_cmd; regions_cmd; sweep_cmd;
-            adapt_cmd; top_cmd; shell_cmd;
-          ]))
+  match
+    Cmd.eval_value
+      (Cmd.group info
+         [
+           params_cmd; costs_cmd; simulate_cmd; advise_cmd; regions_cmd; sweep_cmd;
+           adapt_cmd; top_cmd; shell_cmd;
+         ])
+  with
+  | exception Sanitize.Violation message ->
+      Printf.eprintf "sanitizer violation: %s\n" message;
+      exit 3
+  | Ok (`Ok () | `Version | `Help) -> exit 0
+  | Error `Parse -> exit Cmd.Exit.cli_error
+  | Error (`Term | `Exn) -> exit Cmd.Exit.internal_error

@@ -51,7 +51,13 @@ let apply_change t { Strategy.before; after } =
   (match before with Some tuple -> remove_tuple t tuple | None -> ());
   match after with Some tuple -> add_tuple t tuple | None -> ()
 
-let current_tuples t = Hashtbl.fold (fun _ tuple acc -> tuple :: acc) t.table []
+(* Canonical (tid) order: the fold's hash-table iteration order is
+   unspecified, and these tuples seed the migration target's storage
+   structures, whose page layout the meter observes (vmlint rule D3). *)
+let current_tuples t =
+  List.sort
+    (fun t1 t2 -> Int.compare (Tuple.tid t1) (Tuple.tid t2))
+    (Hashtbl.fold (fun _ tuple acc -> tuple :: acc) t.table [])
 
 (* ------------------------------------------------------------------ *)
 (* Migration                                                           *)

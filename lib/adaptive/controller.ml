@@ -35,7 +35,7 @@ type t = {
 }
 
 let create ?(config = default_config) ~candidates ~initial ~base_params () =
-  if candidates = [] then invalid_arg "Controller.create: no candidates";
+  if List.is_empty candidates then invalid_arg "Controller.create: no candidates";
   if not (List.mem initial candidates) then
     invalid_arg "Controller.create: initial kind is not a candidate";
   if config.decide_every < 1 then invalid_arg "Controller.create: decide_every must be >= 1";

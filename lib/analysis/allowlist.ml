@@ -1,0 +1,95 @@
+(* The .vmlint allowlist: one suppressed finding per line, with a mandatory
+   justification —
+
+     # comment
+     D1 lib/storage/cost_meter.ml read-only category lookup table
+     D3 lib/relalg/bag.ml:61 order re-established by the caller
+
+   An entry matches a finding when the rule matches, the path matches
+   exactly or as a path suffix, and (when given) the line matches.  Entries
+   that match nothing are reported so suppressions cannot outlive the code
+   they excused. *)
+
+type entry = {
+  rule : string;
+  path : string;
+  line : int option;
+  justification : string;
+  mutable used : bool;
+}
+
+type t = entry list
+
+let empty : t = []
+
+let parse_line lineno line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then Ok None
+  else
+    match String.split_on_char ' ' trimmed with
+    | rule :: target :: rest when not (List.is_empty rest) ->
+        let path, line_opt =
+          match String.rindex_opt target ':' with
+          | Some i -> (
+              let file = String.sub target 0 i in
+              let tail = String.sub target (i + 1) (String.length target - i - 1) in
+              match int_of_string_opt tail with
+              | Some n -> (file, Some n)
+              | None -> (target, None))
+          | None -> (target, None)
+        in
+        Ok
+          (Some
+             {
+               rule;
+               path;
+               line = line_opt;
+               justification = String.trim (String.concat " " rest);
+               used = false;
+             })
+    | _ ->
+        Error
+          (Printf.sprintf
+             "line %d: expected \"RULE path[:line] justification...\", got %S"
+             lineno trimmed)
+
+let of_string source =
+  let lines = String.split_on_char '\n' source in
+  let rec loop lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok None -> loop (lineno + 1) acc rest
+        | Ok (Some entry) -> loop (lineno + 1) (entry :: acc) rest
+        | Error _ as e -> e)
+  in
+  loop 1 [] lines
+
+let load path =
+  match Source.read_file path with
+  | source -> of_string source
+  | exception Sys_error message -> Error message
+
+let path_matches ~entry_path ~file =
+  entry_path = file
+  ||
+  let le = String.length entry_path and lf = String.length file in
+  lf > le
+  && String.sub file (lf - le) le = entry_path
+  && file.[lf - le - 1] = '/'
+
+let matches (t : t) (finding : Finding.t) =
+  match
+    List.find_opt
+      (fun entry ->
+        entry.rule = finding.Finding.rule
+        && path_matches ~entry_path:entry.path ~file:finding.Finding.file
+        && match entry.line with None -> true | Some n -> n = finding.Finding.line)
+      t
+  with
+  | Some entry ->
+      entry.used <- true;
+      true
+  | None -> false
+
+let unused (t : t) = List.filter (fun entry -> not entry.used) t

@@ -1,0 +1,48 @@
+(* The rule engine: parse, run every rule, collect findings in canonical
+   order.  [lint_string] exists for the golden-fixture tests — each rule must
+   both fire on a minimal violating program and stay silent on the idiomatic
+   fix, without touching the filesystem. *)
+
+let all_rules = Rules_determinism.all @ Rules_discipline.all
+
+let rule_ids = List.map (fun rule -> rule.Rule.id) all_rules
+
+let parse_error_finding ~file message =
+  {
+    Finding.rule = "PARSE";
+    severity = Finding.Error;
+    file;
+    line = 1;
+    col = 0;
+    message;
+  }
+
+let lint_structure ?(rules = all_rules) ~file structure =
+  let findings = ref [] in
+  List.iter
+    (fun rule ->
+      let report ~severity ~loc message =
+        let line, col = Rule.position loc in
+        findings :=
+          { Finding.rule = rule.Rule.id; severity; file; line; col; message }
+          :: !findings
+      in
+      rule.Rule.check { Rule.file; report } structure)
+    rules;
+  List.sort Finding.compare !findings
+
+let lint_string ?rules ~file source =
+  match Source.parse_string ~file source with
+  | Ok structure -> lint_structure ?rules ~file structure
+  | Error message -> [ parse_error_finding ~file message ]
+
+let lint_paths ?rules paths =
+  Source.discover_all paths
+  |> List.concat_map (fun file ->
+         match Source.parse_file file with
+         | Ok structure -> lint_structure ?rules ~file structure
+         | Error message -> [ parse_error_finding ~file message ])
+  |> List.sort Finding.compare
+
+let filter_allowed allowlist findings =
+  List.filter (fun finding -> not (Allowlist.matches allowlist finding)) findings

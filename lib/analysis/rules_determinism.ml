@@ -1,0 +1,251 @@
+(* Determinism rules D1-D3: the static side of the engine's reproducibility
+   story (DESIGN §7-§8).  All three are heuristic — they over- and
+   under-approximate type information the parser doesn't have — but they are
+   tuned so that every firing on this tree is either a real hazard or worth
+   an explicit .vmlint justification. *)
+
+open Parsetree
+
+(* ------------------------------------------------------------------ *)
+(* D1: no module-level mutable state                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* PR 3 removed every ambient global so that engines are re-entrant and
+   domain-parallel runs are isolated; D1 keeps it that way.  We walk the
+   right-hand sides of toplevel [let]s, descending only through positions
+   the module initializer actually evaluates — a mutable constructor under a
+   lambda is per-call state and fine. *)
+
+let mutable_constructors =
+  [
+    "ref";
+    "Hashtbl.create";
+    "Atomic.make";
+    "Buffer.create";
+    "Queue.create";
+    "Stack.create";
+    "Bytes.create";
+    "Bytes.make";
+    "Array.make";
+    "Array.init";
+    "Array.create_float";
+    "Array.of_list";
+    "Array.copy";
+    "Array.append";
+    "Array.map";
+    "Array.mapi";
+    "Random.State.make";
+    "Random.State.make_self_init";
+  ]
+
+let d1 =
+  {
+    Rule.id = "D1";
+    doc =
+      "no module-level mutable state (refs, hash tables, arrays, buffers) \
+       outside an execution context";
+    check =
+      (fun ctx structure ->
+        let mutable_fields = Rule.mutable_field_names structure in
+        let report loc what =
+          ctx.Rule.report ~severity:Finding.Error ~loc
+            (Printf.sprintf
+               "module-level mutable state (%s): engines must own their state \
+                via Ctx.t so runs are re-entrant and parallel domains are \
+                isolated (DESIGN \xc2\xa77)"
+               what)
+        in
+        (* Immediate-evaluation positions only; the wildcard stops at
+           lambdas, functors and anything else deferred. *)
+        let rec walk expr =
+          match expr.pexp_desc with
+          | Pexp_apply (f, args) ->
+              (match Rule.applied_path f with
+              | Some path when List.mem path mutable_constructors ->
+                  report expr.pexp_loc path
+              | _ -> ());
+              List.iter (fun (_, arg) -> walk arg) args
+          | Pexp_record (fields, base) ->
+              List.iter
+                (fun (lid, value) ->
+                  (match lid.Location.txt with
+                  | Longident.Lident name when List.mem name mutable_fields ->
+                      report expr.pexp_loc
+                        (Printf.sprintf "record literal with mutable field %s" name)
+                  | _ -> ());
+                  walk value)
+                fields;
+              Option.iter walk base
+          | Pexp_let (_, bindings, body) ->
+              List.iter (fun vb -> walk vb.pvb_expr) bindings;
+              walk body
+          | Pexp_sequence (a, b) ->
+              walk a;
+              walk b
+          | Pexp_tuple exprs -> List.iter walk exprs
+          | Pexp_construct (_, arg) -> Option.iter walk arg
+          | Pexp_variant (_, arg) -> Option.iter walk arg
+          | Pexp_field (inner, _) -> walk inner
+          | Pexp_ifthenelse (c, t, e) ->
+              walk c;
+              walk t;
+              Option.iter walk e
+          | Pexp_match (scrutinee, cases) | Pexp_try (scrutinee, cases) ->
+              walk scrutinee;
+              List.iter (fun case -> walk case.pc_rhs) cases
+          | Pexp_constraint (inner, _) -> walk inner
+          | Pexp_open (_, inner) -> walk inner
+          | Pexp_lazy inner ->
+              (* deferred, but still module-level state once forced *)
+              walk inner
+          | _ -> ()
+        in
+        List.iter
+          (fun item ->
+            match item.pstr_desc with
+            | Pstr_value (_, bindings) ->
+                List.iter (fun vb -> walk vb.pvb_expr) bindings
+            | _ -> ())
+          structure);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* D2: forbidden nondeterminism                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine's only randomness source is the seeded SplitMix64 in
+   lib/util/rng.ml; wall clocks never feed measurements (the trace clock is
+   the modeled-cost virtual clock); hashing goes through the monomorphic
+   String.hash on canonical key strings so layouts cannot drift with the
+   polymorphic hash function's treatment of a changed representation. *)
+
+let forbidden_prefixes = [ "Random." ] (* any use of the global generator *)
+
+let forbidden_paths =
+  [
+    "Sys.time";
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Hashtbl.hash";
+    "Hashtbl.seeded_hash";
+    "Hashtbl.hash_param";
+  ]
+
+let has_suffix ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let d2 =
+  {
+    Rule.id = "D2";
+    doc =
+      "no ambient nondeterminism: Random.*, wall clocks, polymorphic \
+       Hashtbl.hash (use the seeded Rng and canonical key strings)";
+    check =
+      (fun ctx structure ->
+        (* The one blessed wrapper around randomness. *)
+        if not (has_suffix ~suffix:"util/rng.ml" ctx.Rule.file) then begin
+          let visit e =
+            match e.pexp_desc with
+            | Pexp_ident { txt; _ } ->
+                let path = Rule.path_of_longident txt in
+                let hit =
+                  List.mem path forbidden_paths
+                  || List.exists
+                       (fun prefix ->
+                         String.length path > String.length prefix
+                         && String.sub path 0 (String.length prefix) = prefix)
+                       forbidden_prefixes
+                in
+                if hit then
+                  ctx.Rule.report ~severity:Finding.Error ~loc:e.pexp_loc
+                    (Printf.sprintf
+                       "%s is nondeterministic (or representation-dependent): \
+                        draw randomness from the context Rng, time from the \
+                        modeled-cost clock, hashes from Value.hash/String.hash"
+                       path)
+            | _ -> ()
+          in
+          let iterator =
+            {
+              Ast_iterator.default_iterator with
+              expr =
+                (fun iter e ->
+                  visit e;
+                  Ast_iterator.default_iterator.expr iter e);
+            }
+          in
+          iterator.structure iterator structure
+        end);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* D3: hash-order escaping into ordered output                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Hashtbl iteration order is unspecified; building a list (or string) in an
+   iter/fold callback bakes that order into whatever the caller prints,
+   diffs, or — worse — feeds to storage structures whose page layout the
+   meter observes.  Sorting the escape canonically (by tid or value key)
+   makes it deterministic by construction; folds syntactically under a
+   List.sort* application are therefore exempt. *)
+
+let hashtbl_escapes = [ "Hashtbl.iter"; "Hashtbl.fold" ]
+
+let sort_paths =
+  [ "List.sort"; "List.stable_sort"; "List.fast_sort"; "List.sort_uniq" ]
+
+let accumulates_ordered expr =
+  Rule.expr_contains
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) -> true
+      | Pexp_ident { txt = Longident.Lident ("@" | "^"); _ } -> true
+      | _ -> false)
+    expr
+
+let d3 =
+  {
+    Rule.id = "D3";
+    doc =
+      "Hashtbl.iter/fold accumulating an ordered result (list/string) \
+       without a canonical sort leaks hash order";
+    check =
+      (fun ctx structure ->
+        let under_sort = ref false in
+        let iterator =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun iter e ->
+                match e.pexp_desc with
+                | Pexp_apply (f, args) -> (
+                    match Rule.applied_path f with
+                    | Some path when List.mem path sort_paths ->
+                        let saved = !under_sort in
+                        under_sort := true;
+                        Fun.protect
+                          ~finally:(fun () -> under_sort := saved)
+                          (fun () -> Ast_iterator.default_iterator.expr iter e)
+                    | Some path when List.mem path hashtbl_escapes ->
+                        (if not !under_sort then
+                           match Rule.unlabelled args with
+                           | callback :: _ when accumulates_ordered callback ->
+                               ctx.Rule.report ~severity:Finding.Warning
+                                 ~loc:e.pexp_loc
+                                 (Printf.sprintf
+                                    "%s callback accumulates an ordered result: \
+                                     hash-table iteration order escapes; sort \
+                                     the result canonically (by tid / value \
+                                     key) or justify in .vmlint"
+                                    path)
+                           | _ -> ());
+                        Ast_iterator.default_iterator.expr iter e
+                    | _ -> Ast_iterator.default_iterator.expr iter e)
+                | _ -> Ast_iterator.default_iterator.expr iter e);
+          }
+        in
+        iterator.structure iterator structure);
+  }
+
+let all = [ d1; d2; d3 ]

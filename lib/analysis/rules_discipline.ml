@@ -1,0 +1,192 @@
+(* Discipline rules D4-D5: comparator hygiene and ctx-discipline. *)
+
+open Parsetree
+
+(* ------------------------------------------------------------------ *)
+(* D4: polymorphic comparison where monomorphic comparators exist       *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural compare on Tuple.t/Value.t is both a representation trap (a
+   future change of Value.t — say interning strings — silently reorders
+   everything) and slower than the dedicated comparators.  Three syntactic
+   cues, each a warning:
+     1. a bare [compare] passed as a function (to List.sort etc.);
+     2. [= []] / [<> []] — use List.is_empty or a pattern match;
+     3. a polymorphic comparison whose operand syntactically produces a
+        Tuple.t or Value.t (Tuple.* application or Value.* constructor). *)
+
+let poly_binops = [ "="; "<>" ]
+let poly_functions = [ "compare"; "Stdlib.compare"; "List.mem"; "List.assoc" ]
+
+let tuple_producers =
+  [
+    "Tuple.get";
+    "Tuple.project";
+    "Tuple.make";
+    "Tuple.with_tid";
+    "Tuple.set";
+    "Tuple.concat";
+  ]
+
+let is_nil expr =
+  match expr.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident "[]"; _ }, None) -> true
+  | _ -> false
+
+let rec produces_tuple_or_value expr =
+  match expr.pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match Rule.applied_path f with
+      | Some path -> List.mem path tuple_producers
+      | None -> false)
+  | Pexp_construct ({ txt = Longident.Ldot (Longident.Lident "Value", _); _ }, _) ->
+      true
+  | Pexp_constraint (inner, _) -> produces_tuple_or_value inner
+  | _ -> false
+
+let d4 =
+  {
+    Rule.id = "D4";
+    doc =
+      "polymorphic compare/=/List.mem on values with monomorphic comparators \
+       (Tuple.equal, Value.compare, List.is_empty)";
+    check =
+      (fun ctx structure ->
+        let file_defines_compare =
+          List.mem "compare" (Rule.toplevel_value_names structure)
+        in
+        let report loc message =
+          ctx.Rule.report ~severity:Finding.Warning ~loc message
+        in
+        let check_apply e f args =
+          match Rule.applied_path f with
+          | Some op when List.mem op poly_binops -> (
+              match Rule.unlabelled args with
+              | [ a; b ] ->
+                  if is_nil a || is_nil b then
+                    report e.pexp_loc
+                      (Printf.sprintf
+                         "[%s []] is a polymorphic comparison: use \
+                          List.is_empty or match on the list"
+                         op)
+                  else if produces_tuple_or_value a || produces_tuple_or_value b
+                  then
+                    report e.pexp_loc
+                      (Printf.sprintf
+                         "polymorphic %s on a Tuple.t/Value.t operand: use \
+                          Tuple.equal / Value.equal (representation-stable \
+                          and cheaper)"
+                         op)
+              | _ -> ())
+          | Some fn when List.mem fn poly_functions -> (
+              match List.find_opt produces_tuple_or_value (Rule.unlabelled args) with
+              | Some _ ->
+                  report e.pexp_loc
+                    (Printf.sprintf
+                       "%s uses polymorphic equality on a Tuple.t/Value.t \
+                        operand: use the monomorphic comparator"
+                       fn)
+              | None -> ())
+          | _ -> ()
+        in
+        let visit e =
+          match e.pexp_desc with
+          | Pexp_apply (f, args) -> check_apply e f args
+          | Pexp_ident { txt = Longident.Lident "compare"; _ }
+            when not file_defines_compare ->
+              report e.pexp_loc
+                "bare polymorphic [compare]: pass a monomorphic comparator \
+                 (Value.compare, Int.compare, String.compare, ...)"
+          | Pexp_ident { txt; _ }
+            when Rule.path_of_longident txt = "Stdlib.compare" ->
+              report e.pexp_loc
+                "Stdlib.compare is polymorphic: pass a monomorphic comparator"
+          | _ -> ()
+        in
+        (* A [compare] that is the *head* of an application with operands we
+           can't type is still reported (cue 1) — unless this file defines
+           its own compare (a Map/Set functor argument idiom). *)
+        let iterator =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun iter e ->
+                visit e;
+                Ast_iterator.default_iterator.expr iter e);
+          }
+        in
+        iterator.structure iterator structure);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* D5: ctx-discipline for meter access                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every charge must flow through a meter the caller received — a Ctx.t, an
+   env struct holding one, or a function parameter — never a module-level
+   binding.  A meter reachable without being passed is exactly the ambient
+   state PR 3 eliminated: it couples engines that must be isolated.  The
+   heuristic: the meter operand's root identifier (through field projections
+   and receiver-style applications) must not be a toplevel [let] of the same
+   file, nor a qualified path into another module. *)
+
+let metered_calls =
+  [
+    "Cost_meter.charge_read";
+    "Cost_meter.charge_write";
+    "Cost_meter.charge_predicate_test";
+    "Cost_meter.charge_set_overhead";
+    "Cost_meter.with_category";
+    "Ctx.meter";
+  ]
+
+let d5 =
+  {
+    Rule.id = "D5";
+    doc =
+      "meter/ctx discipline: Cost_meter charges must use a meter passed in \
+       (ctx or env), never a module-level binding";
+    check =
+      (fun ctx structure ->
+        let toplevel = Rule.toplevel_value_names structure in
+        let visit e =
+          match e.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match Rule.applied_path f with
+              | Some path when List.mem path metered_calls -> (
+                  match Rule.unlabelled args with
+                  | receiver :: _ -> (
+                      match Rule.root_ident receiver with
+                      | Some (`Local name) when List.mem name toplevel ->
+                          ctx.Rule.report ~severity:Finding.Error ~loc:e.pexp_loc
+                            (Printf.sprintf
+                               "%s reaches the meter through module-level \
+                                binding [%s]: take a Ctx.t (or env) parameter \
+                                instead, so engines stay isolated and \
+                                re-entrant"
+                               path name)
+                      | Some (`Qualified qpath) ->
+                          ctx.Rule.report ~severity:Finding.Error ~loc:e.pexp_loc
+                            (Printf.sprintf
+                               "%s reaches the meter through qualified path \
+                                [%s]: meters must be passed in via Ctx.t, \
+                                never reached ambiently"
+                               path qpath)
+                      | _ -> ())
+                  | [] -> ())
+              | _ -> ())
+          | _ -> ()
+        in
+        let iterator =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun iter e ->
+                visit e;
+                Ast_iterator.default_iterator.expr iter e);
+          }
+        in
+        iterator.structure iterator structure);
+  }
+
+let all = [ d4; d5 ]

@@ -1,0 +1,39 @@
+(* Source discovery and parsing.  Discovery returns paths in sorted order so
+   a report never depends on readdir order (the linter obeys its own D3);
+   parsing uses the running compiler's own frontend (compiler-libs), so the
+   linter accepts exactly the language the build does. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec discover path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.filter (fun name ->
+           (* _build, .git and friends are never lint targets *)
+           String.length name > 0 && name.[0] <> '_' && name.[0] <> '.')
+    |> List.sort String.compare
+    |> List.concat_map (fun name -> discover (Filename.concat path name))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let discover_all paths = List.concat_map discover paths
+
+let parse_string ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn ->
+      let message =
+        match Location.error_of_exn exn with
+        | Some (`Ok report) ->
+            Format.asprintf "%a" Location.print_report report
+        | _ -> Printexc.to_string exn
+      in
+      Error message
+
+let parse_file path = parse_string ~file:path (read_file path)

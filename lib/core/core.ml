@@ -41,6 +41,7 @@ module Tuple = Vmat_storage.Tuple
 module Cost_meter = Vmat_storage.Cost_meter
 module Disk = Vmat_storage.Disk
 module Ctx = Vmat_storage.Ctx
+module Sanitize = Vmat_storage.Sanitize
 module Buffer_pool = Vmat_storage.Buffer_pool
 module Heap_file = Vmat_storage.Heap_file
 module Btree = Vmat_index.Btree

@@ -251,7 +251,7 @@ let define_aggregate t ~view_name ~func ~arg ~table ~where_ ~using =
 (* ------------------------------------------------------------------ *)
 
 let feed table changes =
-  if changes <> [] then
+  if not (List.is_empty changes) then
     List.iter
       (fun dependent ->
         match dependent with

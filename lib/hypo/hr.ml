@@ -23,12 +23,13 @@ type t = {
   meter : Cost_meter.t;
   tids : Tuple.source;
   key_col : int;
+  san : Sanitize.t;
   mutable a_count : int;
   mutable d_count : int;
 }
 
 let create ~disk ~tids ~base ~schema ~ad_buckets ~tuples_per_page ?bloom_bits
-    ?(layout = Combined) () =
+    ?(layout = Combined) ?(sanitize = Sanitize.none) () =
   let bloom_bits =
     match bloom_bits with
     | Some b -> b
@@ -57,6 +58,7 @@ let create ~disk ~tids ~base ~schema ~ad_buckets ~tuples_per_page ?bloom_bits
     meter = Disk.meter disk;
     tids;
     key_col = Schema.key_index schema;
+    san = sanitize;
     a_count = 0;
     d_count = 0;
   }
@@ -166,7 +168,14 @@ let partition_entries t entries =
 
 (* Cancel append/delete pairs that refer to the same tuple instance (all
    fields including the tid): a tuple appended and deleted within the same
-   epoch contributes to neither net set. *)
+   epoch contributes to neither net set.  Both net sets come back in
+   canonical (original-tid) order: [d_net] falls out of a [Hashtbl.fold],
+   whose iteration order is unspecified, and the order in which net changes
+   are later applied to the materialized view decides the page-access
+   pattern the meter sees — so it must not depend on the hash function of
+   the running compiler (vmlint rule D3). *)
+let by_tid (t1, _) (t2, _) = Int.compare (Tuple.tid t1) (Tuple.tid t2)
+
 let cancel_pairs (a, d) =
   let deleted = Hashtbl.create (List.length d) in
   List.iter
@@ -184,8 +193,10 @@ let cancel_pairs (a, d) =
         else true)
       a
   in
-  let d_net = Hashtbl.fold (fun _ entry acc -> entry :: acc) deleted [] in
-  (a_net, d_net)
+  let d_net =
+    List.sort by_tid (Hashtbl.fold (fun _ entry acc -> entry :: acc) deleted [])
+  in
+  (List.sort by_tid a_net, d_net)
 
 let net_changes t =
   let entries = ref [] in
@@ -236,7 +247,29 @@ let lookup t ~key =
           Recorder.inc r ~help:"Bloom probes that answered maybe-present."
             "vmat_bloom_positives_total" 1.
       end;
-      if not screened_in then find_in_base ()
+      if not screened_in then begin
+        (* Sanitizer: a negative screen asserts the A/D file holds no entry
+           for this key — the "no false negatives" half of the Bloom
+           contract, which the probe statistics cannot observe (they only
+           see positives).  The audit scans unmetered, so the measured I/O
+           pattern is identical with the sanitizer off. *)
+        if Sanitize.sample t.san ~rule:"bloom-no-false-negative" then
+          Sanitize.check t.san ~rule:"bloom-no-false-negative"
+            (fun () ->
+              let found = ref false in
+              List.iter
+                (fun f ->
+                  Hash_file.iter_unmetered f (fun entry ->
+                      if Value.equal (Tuple.get entry t.key_col) key then found := true))
+                (all_files t);
+              not !found)
+            ~detail:(fun () ->
+              Printf.sprintf
+                "negative screen for key %s but the differential file holds an entry \
+                 for it (filter cleared or bypassed without clearing the A/D file?)"
+                (Value.to_string key));
+        find_in_base ()
+      end
       else begin
         let entries = List.concat_map (fun f -> Hash_file.lookup f key) (all_files t) in
         let matching =
@@ -246,7 +279,7 @@ let lookup t ~key =
            removed wholesale (with a filter clear), so an empty hash-file
            answer after a positive probe is, by construction, a false
            positive — the one outcome the probe itself cannot see. *)
-        if matching = [] then begin
+        if List.is_empty matching then begin
           Bloom.note_false_positive t.bloom;
           if Recorder.enabled r then begin
             Recorder.inc r

@@ -32,13 +32,17 @@ val create :
   tuples_per_page:int ->
   ?bloom_bits:int ->
   ?layout:layout ->
+  ?sanitize:Sanitize.t ->
   unit ->
   t
 (** [base] is the stored copy of [R]; [schema] its schema (the key column of
     the schema clusters [AD]).  [tids] is the owning engine's tuple-id source
     (A/D entries get fresh tids from it).  [ad_buckets] sizes the static hash
     file (the paper's [2u/T] pages); [bloom_bits] defaults to a 1%
-    false-positive size for [ad_buckets * tuples_per_page] keys. *)
+    false-positive size for [ad_buckets * tuples_per_page] keys.
+    [sanitize] (default {!Sanitize.none}) enables the sampled
+    no-false-negative audit in {!lookup}: after a negative Bloom screen the
+    A/D file is scanned unmetered to confirm the key really is absent. *)
 
 val base : t -> Vmat_index.Btree.t
 val schema : t -> Schema.t

@@ -330,7 +330,7 @@ let find_unmetered t pred =
 
 let chunk size list =
   let rec loop acc current n = function
-    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | [] -> List.rev (if List.is_empty current then acc else List.rev current :: acc)
     | x :: rest ->
         if n = size then loop (List.rev current :: acc) [ x ] 1 rest
         else loop acc (x :: current) (n + 1) rest
@@ -363,7 +363,7 @@ let bulk_load t tuples =
       t.n_leaves <- List.length leaves;
       (* The old empty root leaf is abandoned; free its page. *)
       (match t.root with
-      | Leaf old when old.l_tuples = [] ->
+      | Leaf old when List.is_empty old.l_tuples ->
           Buffer_pool.discard t.pool old.l_pid;
           Disk.free t.disk old.l_pid;
           t.n_leaves <- t.n_leaves (* already replaced by the new count *)

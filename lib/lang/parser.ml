@@ -275,7 +275,7 @@ let run_parser f input =
       let st = { tokens } in
       match f st with
       | result ->
-          if st.tokens <> [] then
+          if not (List.is_empty st.tokens) then
             Error
               (Printf.sprintf "trailing input starting at %s"
                  (token_to_string (List.hd st.tokens)))

@@ -52,12 +52,21 @@ let total_size t =
 
 let iter t f = Hashtbl.iter (fun _ entry -> f entry.representative entry.count) t
 
+(* Canonical (value-key) order: a bag is an unordered multiset, so the only
+   defensible list rendering is a sorted one — the raw [Hashtbl.fold] order
+   would leak the hash function of the running compiler into whatever the
+   caller prints or diffs (vmlint rule D3). *)
 let to_list t =
-  Hashtbl.fold
-    (fun _ entry acc ->
-      if entry.count <= 0 then acc
-      else List.init entry.count (fun _ -> entry.representative) @ acc)
-    t []
+  let entries =
+    List.sort
+      (fun (k1, _) (k2, _) -> String.compare k1 k2)
+      (Hashtbl.fold (fun key entry acc -> (key, entry) :: acc) t [])
+  in
+  List.concat_map
+    (fun (_, entry) ->
+      if entry.count <= 0 then []
+      else List.init entry.count (fun _ -> entry.representative))
+    entries
 
 let equal a b =
   Hashtbl.length a = Hashtbl.length b

@@ -59,6 +59,9 @@ type t = {
   overhead_tuples : int array;
   mutable current : category;
   mutable hook : hook option;
+  mutable san_hook : hook option;
+      (* second, independent slot: the sanitizer's conservation mirror must
+         coexist with the recorder's metric mirror (which owns [hook]) *)
   mutable recorder : Recorder.t;
 }
 
@@ -73,6 +76,7 @@ let create ?(c1 = 1.) ?(c2 = 30.) ?(c3 = 1.) () =
     overhead_tuples = Array.make ncategories 0;
     current = Base;
     hook = None;
+    san_hook = None;
     recorder = Recorder.noop;
   }
 
@@ -90,7 +94,10 @@ let current_category t = t.current
 let charge t arr kind unit_cost n =
   let i = category_index t.current in
   arr.(i) <- arr.(i) + n;
-  match t.hook with
+  (match t.hook with
+  | None -> ()
+  | Some h -> h.on_charge t.current kind n (unit_cost *. float_of_int n));
+  match t.san_hook with
   | None -> ()
   | Some h -> h.on_charge t.current kind n (unit_cost *. float_of_int n)
 
@@ -102,6 +109,7 @@ let charge_set_overhead t n = charge t t.overhead_tuples Overhead_tuples t.c3 n
 let reads t cat = t.reads.(category_index cat)
 let writes t cat = t.writes.(category_index cat)
 let predicate_tests t cat = t.tests.(category_index cat)
+let overhead_tuples t cat = t.overhead_tuples.(category_index cat)
 
 let cost t cat =
   let i = category_index cat in
@@ -119,13 +127,15 @@ let reset t =
   Array.fill t.writes 0 ncategories 0;
   Array.fill t.tests 0 ncategories 0;
   Array.fill t.overhead_tuples 0 ncategories 0;
-  match t.hook with None -> () | Some h -> h.on_reset ()
+  (match t.hook with None -> () | Some h -> h.on_reset ());
+  match t.san_hook with None -> () | Some h -> h.on_reset ()
 
 (* ------------------------------------------------------------------ *)
 (* Observability wiring                                                *)
 (* ------------------------------------------------------------------ *)
 
 let set_hook t hook = t.hook <- hook
+let set_san_hook t hook = t.san_hook <- hook
 let recorder t = t.recorder
 
 (* Mirror every charge into the recorder's metric registry through handles

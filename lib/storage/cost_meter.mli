@@ -18,6 +18,13 @@ type category =
 val all_categories : category list
 val category_name : category -> string
 
+val category_index : category -> int
+(** Dense index in [0, ncategories): lets external mirrors (recorder
+    metrics, sanitizer conservation counters) use array indexing on the
+    per-charge hot path instead of association lookups. *)
+
+val ncategories : int
+
 type charge_kind =
   | Read  (** one [C2] page read *)
   | Write  (** one [C2] page write *)
@@ -63,6 +70,12 @@ val reads : t -> category -> int
 val writes : t -> category -> int
 val predicate_tests : t -> category -> int
 
+val overhead_tuples : t -> category -> int
+(** Accumulated [C3] tuple-manipulation units for one category (the fourth
+    tally next to {!reads}/{!writes}/{!predicate_tests}; exposed so an
+    external mirror — e.g. the sanitizer's conservation check — can audit
+    every tally the meter keeps). *)
+
 val cost : t -> category -> float
 (** Accumulated cost in ms for one category. *)
 
@@ -79,6 +92,12 @@ val set_hook : t -> hook option -> unit
     {!set_recorder}, which installs a hook mirroring charges into a metric
     registry; this lower-level entry point exists for tests and custom
     sinks. *)
+
+val set_san_hook : t -> hook option -> unit
+(** Install (or clear) the {e sanitizer} charge hook — a second, independent
+    slot so the runtime invariant checker (Sanitize) can mirror charges
+    without clobbering the recorder's metric hook, and vice versa.  Same
+    contract as {!set_hook}: the hook must never charge the meter. *)
 
 val set_recorder : t -> Vmat_obs.Recorder.t -> unit
 (** Attach a recorder: every subsequent charge increments

@@ -8,28 +8,38 @@ type t = {
   disk : Disk.t;
   tids : Tuple.source;
   rng : Vmat_util.Rng.t;
+  san : Sanitize.t;
 }
 
 let of_parts ?(geometry = default_geometry) ?(seed = 42) ?(first_tid = 1)
-    ~meter ~disk () =
+    ?(sanitizer = Sanitize.none) ~meter ~disk () =
+  Sanitize.attach_meter sanitizer meter;
   {
     geometry;
     meter;
     disk;
     tids = Tuple.source ~first:first_tid ();
     rng = Vmat_util.Rng.create seed;
+    san = sanitizer;
   }
 
-let create ?geometry ?c1 ?c2 ?c3 ?seed ?first_tid () =
+let create ?geometry ?c1 ?c2 ?c3 ?seed ?first_tid ?sanitize () =
   let meter = Cost_meter.create ?c1 ?c2 ?c3 () in
   let disk = Disk.create meter in
-  of_parts ?geometry ?seed ?first_tid ~meter ~disk ()
+  let sanitizer =
+    let wanted =
+      match sanitize with Some b -> b | None -> Sanitize.env_enabled ()
+    in
+    if wanted then Sanitize.create () else Sanitize.none
+  in
+  of_parts ?geometry ?seed ?first_tid ~sanitizer ~meter ~disk ()
 
 let geometry t = t.geometry
 let meter t = t.meter
 let disk t = t.disk
 let tids t = t.tids
 let rng t = t.rng
+let sanitizer t = t.san
 let fresh_tid t = Tuple.next t.tids
 let split_rng t = Vmat_util.Rng.split t.rng
 let recorder t = Cost_meter.recorder t.meter

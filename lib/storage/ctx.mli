@@ -22,27 +22,38 @@ val create :
   ?c3:float ->
   ?seed:int ->
   ?first_tid:int ->
+  ?sanitize:bool ->
   unit ->
   t
 (** Fresh context with its own meter, disk, tid source (first tid
-    [first_tid], default 1) and RNG ([seed], default 42). *)
+    [first_tid], default 1) and RNG ([seed], default 42).  [sanitize]
+    (default: {!Sanitize.env_enabled}, i.e. the [VMAT_SANITIZE] environment
+    variable) attaches an enabled {!Sanitize.t}, installing its
+    cost-conservation mirror in the meter's sanitizer hook slot. *)
 
 val of_parts :
   ?geometry:geometry ->
   ?seed:int ->
   ?first_tid:int ->
+  ?sanitizer:Sanitize.t ->
   meter:Cost_meter.t ->
   disk:Disk.t ->
   unit ->
   t
 (** Wrap an existing meter/disk pair (the disk must have been created from
-    that meter) in a context. *)
+    that meter) in a context.  [sanitizer] (default {!Sanitize.none}) lets
+    tests supply a custom sanitizer (e.g. one whose [~on_violation]
+    accumulates instead of raising); it is attached to [meter] here. *)
 
 val geometry : t -> geometry
 val meter : t -> Cost_meter.t
 val disk : t -> Disk.t
 val tids : t -> Tuple.source
 val rng : t -> Vmat_util.Rng.t
+
+val sanitizer : t -> Sanitize.t
+(** This context's runtime invariant checker ({!Sanitize.none} unless
+    created with [~sanitize:true] / [VMAT_SANITIZE=1]). *)
 
 val fresh_tid : t -> int
 (** Draw the next tuple id from this context's source. *)

@@ -12,7 +12,7 @@ type t = {
 
 let make ~name ~columns ~tuple_bytes ~key =
   if tuple_bytes <= 0 then invalid_arg "Schema.make: tuple_bytes must be positive";
-  if columns = [] then invalid_arg "Schema.make: no columns";
+  if List.is_empty columns then invalid_arg "Schema.make: no columns";
   let arr : column array = Array.of_list columns in
   let index_of = Hashtbl.create (Array.length arr) in
   Array.iteri

@@ -36,7 +36,10 @@ let key_string = function
       else "F" ^ string_of_float f
   | Str s -> "S" ^ s
 
-let hash v = Hashtbl.hash (key_string v)
+(* Monomorphic [String.hash] over the canonical key string: same value as the
+   polymorphic hash on strings (so bucket layouts are unchanged), but
+   deterministic by type rather than by convention (vmlint rule D2). *)
+let hash v = String.hash (key_string v)
 
 let as_int = function
   | Int i -> i

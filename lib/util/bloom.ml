@@ -14,6 +14,7 @@ type t = {
 
 let create ?(hashes = 3) ~bits () =
   if hashes <= 0 then invalid_arg "Bloom.create: hashes must be positive";
+  if bits <= 0 then invalid_arg "Bloom.create: bits must be positive";
   let nbits = max 8 bits in
   let nbytes = (nbits + 7) / 8 in
   {
@@ -26,7 +27,11 @@ let create ?(hashes = 3) ~bits () =
     false_positives = 0;
   }
 
-let bit_index t seed key = Hashtbl.seeded_hash seed key mod t.nbits
+(* [String.seeded_hash] (not the polymorphic [Hashtbl.seeded_hash]): keys are
+   flat strings, and the monomorphic hash is representation-stable by
+   construction — it computes the same value as the polymorphic one on
+   strings, so filter contents are unchanged (vmlint rule D2). *)
+let bit_index t seed key = String.seeded_hash seed key mod t.nbits
 
 let set_bit t i =
   let byte = i / 8 and off = i mod 8 in

@@ -9,7 +9,11 @@ val create : ?hashes:int -> bits:int -> unit -> t
 (** [create ~bits ()] is an empty filter over a bit array of size [bits]
     (rounded up to at least 8).  [hashes] defaults to 3, matching the paper's
     assumption that differential-file misses are screened out "with
-    arbitrarily small probability" at modest memory cost. *)
+    arbitrarily small probability" at modest memory cost.
+
+    @raise Invalid_argument if [bits <= 0] or [hashes <= 0] — catching a
+    degenerate [m = 0]/[k = 0] geometry at construction instead of as a
+    division by zero on the first probe. *)
 
 val add : t -> string -> unit
 (** Insert a key.  Idempotent. *)

@@ -65,7 +65,7 @@ let cross_all parts =
     parts
 
 let nway ?meter ~tids ~pred ~positions sources =
-  if sources = [] then invalid_arg "Delta.nway: no sources";
+  if List.is_empty sources then invalid_arg "Delta.nway: no sources";
   let n = List.length sources in
   let sources = Array.of_list sources in
   (* One term per non-zero bitmask: bit i set means relation i contributes

@@ -22,7 +22,7 @@ let create ~ctx ~base ~views ~initial ~ad_buckets () =
   let disk = Ctx.disk ctx in
   let geometry = Ctx.geometry ctx in
   let tids = Ctx.tids ctx in
-  if views = [] then invalid_arg "Multi_view.create: no views";
+  if List.is_empty views then invalid_arg "Multi_view.create: no views";
   let names = List.map (fun (v : View_def.sp) -> v.sp_name) views in
   if List.length (List.sort_uniq String.compare names) <> List.length names then
     invalid_arg "Multi_view.create: duplicate view names";
@@ -45,7 +45,7 @@ let create ~ctx ~base ~views ~initial ~ad_buckets () =
   let hr =
     Hr.create ~disk ~tids ~base:base_tree ~schema:base ~ad_buckets
       ~tuples_per_page:(Strategy.blocking_factor geometry base)
-      ()
+      ~sanitize:(Ctx.sanitizer ctx) ()
   in
   let make_state (v : View_def.sp) =
     let mat =

@@ -61,7 +61,7 @@ let deferred env =
   let hr =
     Hr.create ~disk:(disk env) ~tids:(tids env) ~base ~schema:(sp env).sp_base ~ad_buckets:env.ad_buckets
       ~tuples_per_page:(Strategy.blocking_factor (geometry env) (sp env).sp_base)
-      ()
+      ~sanitize:(Ctx.sanitizer env.ctx) ()
   in
   let state = initial_state env in
   let page = alloc_state_page env in

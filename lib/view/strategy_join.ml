@@ -88,7 +88,7 @@ let deferred env =
   let hr =
     Hr.create ~disk:(disk env) ~tids:(tids env) ~base ~schema:env.view.j_left ~ad_buckets:env.ad_buckets
       ~tuples_per_page:(Strategy.blocking_factor (geometry env) env.view.j_left)
-      ()
+      ~sanitize:(Ctx.sanitizer env.ctx) ()
   in
   let mat = make_materialized env in
   let screen = make_screen env in

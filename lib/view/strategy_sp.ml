@@ -88,6 +88,31 @@ let screen_change env screen (change : Strategy.change) =
 let logical_view_of_tuples env tuples =
   Delta.recompute_sp ~tids:(tids env) env.view tuples
 
+(* Sanitizer: refresh ≡ recompute.  After an incremental maintenance step the
+   stored view must equal the from-scratch recomputation over the current
+   base contents — the semantic core of every materialization strategy, and
+   exactly the kind of drift (a missed marker, a stale A/D entry, a wrong
+   cancellation) that survives unit tests on toy workloads.  Everything here
+   is observer-free: the base is read unmetered, and output tids come from a
+   throwaway source (minting them from the context source would shift every
+   subsequent tid the engine hands out). *)
+let check_refresh_equals_recompute env ~name base mat =
+  let san = Ctx.sanitizer env.ctx in
+  if Sanitize.sample san ~rule:"refresh-equals-recompute" then
+    Sanitize.check san ~rule:"refresh-equals-recompute"
+      (fun () ->
+        let tuples = ref [] in
+        Btree.iter_unmetered base (fun tuple -> tuples := tuple :: !tuples);
+        let expect =
+          Delta.recompute_sp ~tids:(Tuple.source ~first:0 ()) env.view !tuples
+        in
+        Bag.equal (Materialized.to_bag_unmetered mat) expect)
+      ~detail:(fun () ->
+        Printf.sprintf
+          "%s: incrementally maintained view %s diverged from the from-scratch \
+           recomputation over current base contents"
+          name env.view.sp_name)
+
 (* ------------------------------------------------------------------ *)
 (* Deferred view maintenance                                           *)
 (* ------------------------------------------------------------------ *)
@@ -112,7 +137,8 @@ let deferred_with_policy_internal ?layout ~policy ~name env =
     Hr.create ~disk:(disk env) ~tids:(tids env) ~base ~schema:env.view.sp_base
       ~ad_buckets:env.ad_buckets
       ~tuples_per_page:(Strategy.blocking_factor (geometry env) env.view.sp_base)
-      ?layout ()
+      ?layout
+      ~sanitize:(Ctx.sanitizer env.ctx) ()
   in
   let mat = make_materialized env in
   let screen = make_screen env in
@@ -131,7 +157,8 @@ let deferred_with_policy_internal ?layout ~policy ~name env =
                   Materialized.apply mat Insert (sp_output env tuple))
               a_net;
             Materialized.flush mat);
-        Hr.reset hr)
+        Hr.reset hr;
+        check_refresh_equals_recompute env ~name base mat)
   in
   let txns_since_refresh = ref 0 in
   let handle_transaction changes =
@@ -274,7 +301,8 @@ let immediate env =
               (fun tuple ->
                 Materialized.apply mat Insert (sp_output env tuple))
               (List.rev !marked_inserts);
-            Materialized.flush mat))
+            Materialized.flush mat));
+    check_refresh_equals_recompute env ~name:"immediate" base mat
   in
   {
     Strategy.name = "immediate";

@@ -36,8 +36,8 @@ let ints (p : Params.t) =
    [first_tid] (the next tid after dataset/stream generation), so every
    strategy sees identical tuple identities regardless of run order.  This is
    what makes back-to-back in-process measurements bit-identical. *)
-let fresh_ctx (p : Params.t) ~first_tid =
-  Ctx.create ~geometry:(geometry_of p) ~c1:p.c1 ~c2:p.c2 ~c3:p.c3 ~first_tid ()
+let fresh_ctx ?sanitize (p : Params.t) ~first_tid =
+  Ctx.create ~geometry:(geometry_of p) ~c1:p.c1 ~c2:p.c2 ~c3:p.c3 ~first_tid ?sanitize ()
 
 let amount_col = 2 (* R(id, pval, amount, note) *)
 
@@ -52,7 +52,7 @@ let model1_stream ~rng ~tids ~(p : Params.t) (dataset : Dataset.model1) =
     ~k ~l ~q
     ~query_of:(Stream.range_query_of ~lo_max:(p.f -. width) ~width)
 
-let measure_model1 ?(seed = 42) ?recorder (p : Params.t) strategies =
+let measure_model1 ?(seed = 42) ?recorder ?sanitize (p : Params.t) strategies =
   let rng = Rng.create seed in
   let tids = Tuple.source () in
   let n, _, _, _ = ints p in
@@ -62,7 +62,7 @@ let measure_model1 ?(seed = 42) ?recorder (p : Params.t) strategies =
   let ops = model1_stream ~rng ~tids ~p dataset in
   let first_tid = Tuple.peek tids in
   let run which =
-    let ctx = fresh_ctx p ~first_tid in
+    let ctx = fresh_ctx ?sanitize p ~first_tid in
     let env =
       {
         Strategy_sp.ctx;
@@ -95,9 +95,9 @@ type phased_result = {
   ph_adaptive : Adaptive.t option;
 }
 
-let measure_phased ?(seed = 42) ?recorder ?adaptive_config ?adaptive_candidates
+let measure_phased ?(seed = 42) ?recorder ?sanitize ?adaptive_config ?adaptive_candidates
     ?adaptive_initial (p : Params.t) ~phases strategies =
-  if phases = [] then invalid_arg "Experiment.measure_phased: no phases";
+  if List.is_empty phases then invalid_arg "Experiment.measure_phased: no phases";
   let rng = Rng.create seed in
   let tids = Tuple.source () in
   let n, _, _, _ = ints p in
@@ -123,7 +123,7 @@ let measure_phased ?(seed = 42) ?recorder ?adaptive_config ?adaptive_candidates
   let ops_phases = Stream.generate_phased ~rng ~tuples phase_streams in
   let first_tid = Tuple.peek tids in
   let run which =
-    let ctx = fresh_ctx p ~first_tid in
+    let ctx = fresh_ctx ?sanitize p ~first_tid in
     let env =
       {
         Strategy_sp.ctx;
@@ -159,7 +159,7 @@ let measure_phased ?(seed = 42) ?recorder ?adaptive_config ?adaptive_candidates
 
 let c_col = 3 (* R1(id, pval, jkey, c) *)
 
-let measure_model2 ?(seed = 42) ?recorder (p : Params.t) strategies =
+let measure_model2 ?(seed = 42) ?recorder ?sanitize (p : Params.t) strategies =
   let rng = Rng.create seed in
   let tids = Tuple.source () in
   let n, k, l, q = ints p in
@@ -180,7 +180,7 @@ let measure_model2 ?(seed = 42) ?recorder (p : Params.t) strategies =
   let r2_buckets = max 1 (int_of_float (ceil (p.f_r2 *. Params.blocks p))) in
   let first_tid = Tuple.peek tids in
   let run which =
-    let ctx = fresh_ctx p ~first_tid in
+    let ctx = fresh_ctx ?sanitize p ~first_tid in
     let env =
       {
         Strategy_join.ctx;
@@ -202,7 +202,7 @@ let measure_model2 ?(seed = 42) ?recorder (p : Params.t) strategies =
   in
   List.map run strategies
 
-let measure_model3 ?(seed = 42) ?recorder ?(kind = `Sum "amount") (p : Params.t) strategies =
+let measure_model3 ?(seed = 42) ?recorder ?sanitize ?(kind = `Sum "amount") (p : Params.t) strategies =
   let rng = Rng.create seed in
   let tids = Tuple.source () in
   let n, _, _, _ = ints p in
@@ -219,7 +219,7 @@ let measure_model3 ?(seed = 42) ?recorder ?(kind = `Sum "amount") (p : Params.t)
   in
   let first_tid = Tuple.peek tids in
   let run which =
-    let ctx = fresh_ctx p ~first_tid in
+    let ctx = fresh_ctx ?sanitize p ~first_tid in
     let env =
       {
         Strategy_agg.ctx;

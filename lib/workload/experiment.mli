@@ -19,6 +19,7 @@ val scale : Params.t -> float -> Params.t
 val measure_model1 :
   ?seed:int ->
   ?recorder:Vmat_obs.Recorder.t ->
+  ?sanitize:bool ->
   Params.t ->
   model1_strategy list ->
   (string * Runner.measurement) list
@@ -27,7 +28,9 @@ val measure_model1 :
     trace spans carry a [strategy] attribute, so a shared trace reads
     naturally, but the mirrored cost {e counters} are reset per strategy run
     — pass one strategy (or one recorder per call) for per-strategy metric
-    snapshots. *)
+    snapshots.  [sanitize] forces the runtime invariant checker on (or off)
+    for every strategy's context, overriding the [VMAT_SANITIZE] environment
+    default (see {!Vmat_storage.Sanitize}). *)
 
 type phase_spec = { sp_k : int; sp_l : int; sp_q : int; sp_fv : float }
 (** One segment of a phase-shifting Model-1 workload: [sp_k] transactions of
@@ -47,6 +50,7 @@ type phased_result = {
 val measure_phased :
   ?seed:int ->
   ?recorder:Vmat_obs.Recorder.t ->
+  ?sanitize:bool ->
   ?adaptive_config:Vmat_adaptive.Controller.config ->
   ?adaptive_candidates:Vmat_adaptive.Migrate.kind list ->
   ?adaptive_initial:Vmat_adaptive.Migrate.kind ->
@@ -62,6 +66,7 @@ val measure_phased :
 val measure_model2 :
   ?seed:int ->
   ?recorder:Vmat_obs.Recorder.t ->
+  ?sanitize:bool ->
   Params.t ->
   model2_strategy list ->
   (string * Runner.measurement) list
@@ -69,6 +74,7 @@ val measure_model2 :
 val measure_model3 :
   ?seed:int ->
   ?recorder:Vmat_obs.Recorder.t ->
+  ?sanitize:bool ->
   ?kind:[ `Count | `Sum of string | `Avg of string | `Variance of string | `Min of string | `Max of string ] ->
   Params.t ->
   model3_strategy list ->

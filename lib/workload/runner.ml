@@ -35,12 +35,18 @@ let run ?recorder ~ctx ~strategy ~ops () =
   let reads0 = Disk.physical_reads disk and writes0 = Disk.physical_writes disk in
   let hits0 = Disk.pool_hits disk and misses0 = Disk.pool_misses disk in
   let returned = ref 0 in
+  let san = Ctx.sanitizer ctx in
   let exec op =
-    match op with
+    (match op with
     | Stream.Txn changes -> strategy.Strategy.handle_transaction changes
     | Stream.Query q ->
         let result = strategy.Strategy.answer_query q in
-        returned := !returned + List.length result
+        returned := !returned + List.length result);
+    (* Sanitizer: after every operation the meter's tallies must equal the
+       independent mirror fed by the charge hook — any divergence means a
+       charge path bypassed the hook (or a tally was mutated directly).
+       Reads only; never charges. *)
+    if Sanitize.enabled san then Sanitize.check_meter san meter
   in
   let run_op op =
     if not (Recorder.enabled r) then exec op

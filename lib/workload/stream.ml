@@ -38,7 +38,7 @@ type phase = {
 }
 
 let generate_phased ~rng ~tuples phases =
-  if phases = [] then invalid_arg "Stream.generate_phased: no phases";
+  if List.is_empty phases then invalid_arg "Stream.generate_phased: no phases";
   List.map
     (fun ph ->
       generate ~rng ~tuples ~mutate:ph.ph_mutate ~k:ph.ph_k ~l:ph.ph_l ~q:ph.ph_q

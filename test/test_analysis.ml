@@ -1,0 +1,241 @@
+(* Golden fixtures for the vmlint rules (DESIGN §8): each rule must fire on
+   a minimal violating program and stay silent on the idiomatic fix.  The
+   fixtures go through [Driver.lint_string], so no filesystem is involved
+   and the expected findings are pinned down to rule id and count. *)
+
+module Driver = Vmat_analysis.Driver
+module Finding = Vmat_analysis.Finding
+module Allowlist = Vmat_analysis.Allowlist
+
+let lint ?(file = "lib/fixture.ml") source = Driver.lint_string ~file source
+
+let rules_fired findings =
+  List.sort_uniq String.compare (List.map (fun f -> f.Finding.rule) findings)
+
+let check_fires ~what ~rule source =
+  let fired = rules_fired (lint source) in
+  if not (List.mem rule fired) then
+    Alcotest.failf "%s: expected %s to fire, got [%s]" what rule
+      (String.concat "; " fired)
+
+let check_silent ~what ?file source =
+  let findings = lint ?file source in
+  if not (List.is_empty findings) then
+    Alcotest.failf "%s: expected no findings, got: %s" what
+      (String.concat " | " (List.map Finding.to_human findings))
+
+(* ------------------------------------------------------------------ *)
+(* D1: module-level mutable state                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_d1_fires () =
+  check_fires ~what:"toplevel ref" ~rule:"D1" "let counter = ref 0";
+  check_fires ~what:"toplevel hashtable" ~rule:"D1"
+    "let cache = Hashtbl.create 16";
+  check_fires ~what:"toplevel array" ~rule:"D1" "let slots = Array.make 8 0";
+  check_fires ~what:"ref under let-in" ~rule:"D1"
+    "let table = let n = 4 in ref n";
+  check_fires ~what:"lazy mutable" ~rule:"D1"
+    "let memo = lazy (Array.make 64 0.)";
+  check_fires ~what:"mutable record literal" ~rule:"D1"
+    "type s = { mutable hits : int }\nlet stats = { hits = 0 }"
+
+let test_d1_silent () =
+  check_silent ~what:"ref under lambda"
+    "let make_counter () = ref 0\nlet use c = incr c";
+  check_silent ~what:"immutable toplevel" "let names = [ \"a\"; \"b\" ]";
+  check_silent ~what:"record without mutable fields"
+    "type s = { hits : int }\nlet stats = { hits = 0 }"
+
+(* ------------------------------------------------------------------ *)
+(* D2: ambient nondeterminism                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_d2_fires () =
+  check_fires ~what:"global Random" ~rule:"D2"
+    "let draw () = Random.int 10";
+  check_fires ~what:"wall clock" ~rule:"D2" "let now () = Sys.time ()";
+  check_fires ~what:"Unix clock" ~rule:"D2"
+    "let now () = Unix.gettimeofday ()";
+  check_fires ~what:"polymorphic hash" ~rule:"D2"
+    "let h key = Hashtbl.hash key"
+
+let test_d2_silent () =
+  check_silent ~what:"monomorphic String.hash"
+    "let h key = String.hash key";
+  (* The one blessed wrapper around randomness is exempt by path. *)
+  check_silent ~what:"rng.ml exemption" ~file:"lib/util/rng.ml"
+    "let draw () = Random.int 10"
+
+(* ------------------------------------------------------------------ *)
+(* D3: hash order escaping into ordered output                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_d3_fires () =
+  check_fires ~what:"fold building list" ~rule:"D3"
+    "let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []";
+  check_fires ~what:"iter building string" ~rule:"D3"
+    "let dump t b = Hashtbl.iter (fun k _ -> ignore (k ^ \",\")) t"
+
+let test_d3_silent () =
+  check_silent ~what:"fold under canonical sort"
+    "let keys t =\n\
+    \  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])";
+  check_silent ~what:"fold accumulating a scalar"
+    "let total t = Hashtbl.fold (fun _ v acc -> acc + v) t 0"
+
+(* ------------------------------------------------------------------ *)
+(* D4: polymorphic comparison                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_d4_fires () =
+  check_fires ~what:"= []" ~rule:"D4" "let empty xs = xs = []";
+  check_fires ~what:"<> []" ~rule:"D4" "let nonempty xs = xs <> []";
+  check_fires ~what:"bare compare" ~rule:"D4"
+    "let sorted xs = List.sort compare xs";
+  check_fires ~what:"poly = on Tuple.get" ~rule:"D4"
+    "let same t u = Tuple.get t 0 = Tuple.get u 0";
+  check_fires ~what:"List.mem on Value" ~rule:"D4"
+    "let has v vs = List.mem (Value.Int v) vs"
+
+let test_d4_silent () =
+  check_silent ~what:"List.is_empty" "let empty xs = List.is_empty xs";
+  check_silent ~what:"monomorphic comparator"
+    "let sorted xs = List.sort String.compare xs";
+  check_silent ~what:"Value.equal"
+    "let same a b = Value.equal a b";
+  (* Map/Set functor-argument idiom: the file's own compare is fine. *)
+  check_silent ~what:"file defining compare"
+    "let compare a b = Stdlib.Int.compare a b\nlet sorted xs = List.sort compare xs"
+
+(* ------------------------------------------------------------------ *)
+(* D5: ctx-discipline for meter access                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_d5_fires () =
+  check_fires ~what:"toplevel meter" ~rule:"D5"
+    "let meter = Cost_meter.create ()\n\
+     let f () = Cost_meter.charge_read meter";
+  check_fires ~what:"qualified ambient meter" ~rule:"D5"
+    "let f () = Cost_meter.charge_write Globals.meter"
+
+let test_d5_silent () =
+  check_silent ~what:"meter from parameter"
+    "let f meter = Cost_meter.charge_read meter";
+  check_silent ~what:"meter through ctx parameter"
+    "let f ctx = Cost_meter.charge_read (Ctx.meter ctx)";
+  check_silent ~what:"meter from env field"
+    "let f env = Cost_meter.charge_write env.meter"
+
+(* ------------------------------------------------------------------ *)
+(* Infrastructure: parse errors, allowlist                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_error () =
+  match lint "let let let" with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "PARSE" f.Finding.rule;
+      Alcotest.(check bool) "severity" true (f.Finding.severity = Finding.Error)
+  | other -> Alcotest.failf "expected one PARSE finding, got %d" (List.length other)
+
+let finding rule file line =
+  { Finding.rule; severity = Finding.Error; file; line; col = 0; message = "m" }
+
+let test_allowlist_matching () =
+  let allowlist =
+    match
+      Allowlist.of_string
+        "# comment\n\
+         D1 lib/storage/cost_meter.ml:28 read-only lookup table\n\
+         D3 bag.ml caller re-sorts\n"
+    with
+    | Ok entries -> entries
+    | Error message -> Alcotest.failf "allowlist parse: %s" message
+  in
+  Alcotest.(check bool) "rule+path+line match" true
+    (Allowlist.matches allowlist (finding "D1" "lib/storage/cost_meter.ml" 28));
+  Alcotest.(check bool) "wrong line" false
+    (Allowlist.matches allowlist (finding "D1" "lib/storage/cost_meter.ml" 99));
+  Alcotest.(check bool) "wrong rule" false
+    (Allowlist.matches allowlist (finding "D2" "lib/storage/cost_meter.ml" 28));
+  Alcotest.(check bool) "path suffix match" true
+    (Allowlist.matches allowlist (finding "D3" "lib/relalg/bag.ml" 7));
+  Alcotest.(check bool) "suffix needs / boundary" false
+    (Allowlist.matches allowlist (finding "D3" "lib/relalg/notbag.ml" 7))
+
+let test_allowlist_unused_and_errors () =
+  (match Allowlist.of_string "D1 lib/a.ml justified\nD2 lib/b.ml never hit\n" with
+  | Ok allowlist ->
+      ignore (Allowlist.matches allowlist (finding "D1" "lib/a.ml" 3));
+      let unused = Allowlist.unused allowlist in
+      Alcotest.(check int) "one unused" 1 (List.length unused);
+      Alcotest.(check string) "unused is D2" "D2"
+        (List.hd unused).Allowlist.rule
+  | Error message -> Alcotest.failf "allowlist parse: %s" message);
+  match Allowlist.of_string "D1 missing-justification\n" with
+  | Ok _ -> Alcotest.fail "entry without justification should be rejected"
+  | Error _ -> ()
+
+let test_filter_allowed () =
+  let findings = lint "let counter = ref 0" in
+  Alcotest.(check bool) "fixture fires" false (List.is_empty findings);
+  let allowlist =
+    match Allowlist.of_string "D1 lib/fixture.ml deliberate fixture\n" with
+    | Ok entries -> entries
+    | Error message -> Alcotest.failf "allowlist parse: %s" message
+  in
+  Alcotest.(check int) "all suppressed" 0
+    (List.length (Driver.filter_allowed allowlist findings))
+
+let test_finding_format () =
+  let f = finding "D1" "lib/x.ml" 3 in
+  Alcotest.(check string) "human line" "lib/x.ml:3:0 · D1 · m [error]"
+    (Finding.to_human f);
+  let json = Finding.list_to_json [ f ] in
+  Alcotest.(check bool) "json mentions rule" true
+    (Astring.String.is_infix ~affix:"\"rule\":\"D1\"" json)
+
+(* The self-test that keeps the analyzer honest about its own tree: the
+   checked-in .vmlint suppresses every remaining finding, and carries no
+   stale entries.  Only meaningful when run from the repo root (dune's test
+   sandbox has no lib/); CI's lint job is the authoritative enforcement. *)
+let test_lint_own_tree () =
+  if not (Sys.file_exists ".vmlint" && Sys.file_exists "lib") then ()
+  else begin
+  let findings = Driver.lint_paths [ "lib" ] in
+  let allowlist =
+    match Allowlist.load ".vmlint" with
+    | Ok entries -> entries
+    | Error message -> Alcotest.failf ".vmlint: %s" message
+  in
+  let kept = Driver.filter_allowed allowlist findings in
+  if not (List.is_empty kept) then
+    Alcotest.failf "unsuppressed findings on lib/: %s"
+      (String.concat " | " (List.map Finding.to_human kept));
+  Alcotest.(check int) "no stale allowlist entries" 0
+    (List.length (Allowlist.unused allowlist))
+  end
+
+let suites =
+  [
+    ( "analysis",
+      Alcotest.
+        [
+          test_case "D1 fires" `Quick test_d1_fires;
+          test_case "D1 silent" `Quick test_d1_silent;
+          test_case "D2 fires" `Quick test_d2_fires;
+          test_case "D2 silent" `Quick test_d2_silent;
+          test_case "D3 fires" `Quick test_d3_fires;
+          test_case "D3 silent" `Quick test_d3_silent;
+          test_case "D4 fires" `Quick test_d4_fires;
+          test_case "D4 silent" `Quick test_d4_silent;
+          test_case "D5 fires" `Quick test_d5_fires;
+          test_case "D5 silent" `Quick test_d5_silent;
+          test_case "parse error finding" `Quick test_parse_error;
+          test_case "allowlist matching" `Quick test_allowlist_matching;
+          test_case "allowlist unused + errors" `Quick test_allowlist_unused_and_errors;
+          test_case "filter allowed" `Quick test_filter_allowed;
+          test_case "finding format" `Quick test_finding_format;
+          test_case "lint own tree" `Quick test_lint_own_tree;
+        ] );
+  ]
