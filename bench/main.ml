@@ -12,6 +12,11 @@
      dune exec bench/main.exe -- --jobs 4 figure-1-measured
                                               -- sweep points on 4 domains
                                                  (output byte-identical to --jobs 1)
+     dune exec bench/main.exe -- --durability wal figure-1-measured
+                                              -- measured sections under the WAL
+                                                 engine (wal cost column only)
+     dune exec bench/main.exe -- durability   -- WAL overhead + observer-effect
+                                                 check (BENCH_durability.json)
 
    See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
    the recorded paper-vs-measured comparison. *)
@@ -28,6 +33,23 @@ let json_enabled = ref false
    Every sweep point builds its own Ctx.t, so points are embarrassingly
    parallel and the output is byte-identical for any jobs value. *)
 let jobs = ref 1
+
+(* --durability wal runs every measured section under the write-ahead-
+   logging engine (DESIGN section 9).  The log device is in-memory, so the
+   sweeps stay domain-parallel safe; the only cost difference is the wal
+   category. *)
+let durability = ref "none"
+
+let durability_wrap () : Experiment.wrap option =
+  match !durability with
+  | "none" -> None
+  | "wal" ->
+      Some
+        (fun ~ctx ~initial strategy ->
+          Durable.strategy (Durable.wrap ~ctx ~dev:(Device.memory ()) ~initial strategy))
+  | other ->
+      Printf.eprintf "unknown durability mode %s (expected wal or none)\n" other;
+      exit 2
 
 (* ------------------------------------------------------------------ *)
 (* Hand-rolled JSON (no dependencies)                                  *)
@@ -192,7 +214,7 @@ let figure_1_measured () =
         let p = scaled_params prob in
         let metrics, recorder = bench_recorder () in
         ( prob,
-          Experiment.measure_model1 ?recorder p
+          Experiment.measure_model1 ?recorder ?wrap:(durability_wrap ()) p
             [ `Deferred; `Immediate; `Clustered; `Unclustered ],
           metrics ))
       measured_p_grid
@@ -361,7 +383,10 @@ let figure_5_measured () =
     Parallel.map_points ~jobs:!jobs
       (fun prob ->
         let p = scaled_params prob in
-        let results = Experiment.measure_model2 p [ `Deferred; `Immediate; `Loopjoin ] in
+        let results =
+          Experiment.measure_model2 ?wrap:(durability_wrap ()) p
+            [ `Deferred; `Immediate; `Loopjoin ]
+        in
         let cost name = (List.assoc name results).Runner.cost_per_query in
         [
           Table.float_cell ~decimals:2 prob;
@@ -432,7 +457,10 @@ let figure_8_measured () =
     Parallel.map_points ~jobs:!jobs
       (fun l ->
         let p = { (Experiment.scale Params.defaults !scale) with Params.l_per_txn = l } in
-        let results = Experiment.measure_model3 p [ `Deferred; `Immediate; `Recompute ] in
+        let results =
+          Experiment.measure_model3 ?wrap:(durability_wrap ()) p
+            [ `Deferred; `Immediate; `Recompute ]
+        in
         let cost name = (List.assoc name results).Runner.cost_per_query in
         [
           Table.float_cell ~decimals:0 l;
@@ -896,6 +924,109 @@ let adaptive_bench () =
          @ adaptive_json @ metrics_field metrics))
 
 (* ------------------------------------------------------------------ *)
+(* Durability: WAL + checkpoint overhead                               *)
+(* ------------------------------------------------------------------ *)
+
+let durability_bench () =
+  section "Durability: WAL + checkpoint overhead (model 1, in-memory log device)";
+  let group_commit = 4 and checkpoint_every = 32 in
+  let config = Wal.config ~group_commit ~checkpoint_every () in
+  let wrap : Experiment.wrap =
+   fun ~ctx ~initial strategy ->
+    Durable.strategy (Durable.wrap ~config ~ctx ~dev:(Device.memory ()) ~initial strategy)
+  in
+  let strategies = [ `Deferred; `Immediate; `Clustered ] in
+  Printf.printf "group commit every %d txns, checkpoint every %d txns\n" group_commit
+    checkpoint_every;
+  (* Each point measures the same seeded workload twice — plain and under
+     the durable engine — so the delta is exactly the wal category and the
+     zero-observer-effect claim is checked on every row. *)
+  let measured =
+    Parallel.map_points ~jobs:!jobs
+      (fun prob ->
+        let p = scaled_params prob in
+        let plain = Experiment.measure_model1 p strategies in
+        let durable = Experiment.measure_model1 ~wrap p strategies in
+        (prob, plain, durable))
+      measured_p_grid
+  in
+  let wal_ms (m : Runner.measurement) =
+    Option.value ~default:0. (List.assoc_opt Cost_meter.Wal m.Runner.category_costs)
+  in
+  let observer_free (a : Runner.measurement) (b : Runner.measurement) =
+    a.Runner.physical_reads = b.Runner.physical_reads
+    && a.Runner.physical_writes = b.Runner.physical_writes
+    && List.for_all
+         (fun (cat, cost) ->
+           cat = Cost_meter.Wal
+           || Float.abs (cost -. Option.value ~default:0. (List.assoc_opt cat b.Runner.category_costs)) < 1e-9)
+         a.Runner.category_costs
+  in
+  let rows =
+    List.concat_map
+      (fun (prob, plain, durable) ->
+        List.map
+          (fun (name, (d : Runner.measurement)) ->
+            let p0 = List.assoc name plain in
+            [
+              Table.float_cell ~decimals:2 prob;
+              name;
+              Table.float_cell ~decimals:1 p0.Runner.cost_per_query;
+              Table.float_cell ~decimals:1 d.Runner.cost_per_query;
+              Table.float_cell ~decimals:1 (wal_ms d /. float_of_int d.Runner.queries);
+              Printf.sprintf "%.1f%%"
+                (100. *. (d.Runner.cost_per_query /. p0.Runner.cost_per_query -. 1.));
+              (if observer_free p0 d then "ok" else "DRIFT");
+            ])
+          durable)
+      measured
+  in
+  print_table
+    ~headers:
+      [ "P"; "strategy"; "none ms/q"; "wal ms/q"; "wal-only ms/q"; "overhead"; "observer" ]
+    rows;
+  let drift =
+    List.exists (fun row -> match List.rev row with last :: _ -> last <> "ok" | [] -> false) rows
+  in
+  if drift then print_endline "WARNING: durability changed a non-wal cost category"
+  else
+    print_endline
+      "durability cost is fully isolated to the wal category (no observer effect)";
+  if !json_enabled then
+    write_json "BENCH_durability.json"
+      (j_obj
+         [
+           ("figure", j_str "durability");
+           ("n_tuples", j_num (Experiment.scale Params.defaults !scale).Params.n_tuples);
+           ("group_commit", j_int group_commit);
+           ("checkpoint_every", j_int checkpoint_every);
+           ( "points",
+             j_arr
+               (List.map
+                  (fun (prob, plain, durable) ->
+                    j_obj
+                      [
+                        ("P", j_num prob);
+                        ( "strategies",
+                          j_arr
+                            (List.map
+                               (fun (name, (d : Runner.measurement)) ->
+                                 let p0 = List.assoc name plain in
+                                 j_obj
+                                   [
+                                     ("strategy", j_str name);
+                                     ("none", json_of_measurement p0);
+                                     ("wal", json_of_measurement d);
+                                     ( "wal_ms_per_query",
+                                       j_num (wal_ms d /. float_of_int d.Runner.queries) );
+                                     ("observer_effect_free", j_bool (observer_free p0 d));
+                                   ])
+                               durable) );
+                      ])
+                  measured) );
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1073,6 +1204,7 @@ let sections =
     ("ablation-multiview", ablation_multiview);
     ("ablation-planner", ablation_planner);
     ("adaptive", adaptive_bench);
+    ("durability", durability_bench);
     ("yao", yao_table);
     ("csv", csv_export);
     ("bechamel", microbenchmarks);
@@ -1094,6 +1226,9 @@ let () =
     | "--jobs" :: v :: rest ->
         let n = int_of_string v in
         jobs := (if n = 0 then Parallel.default_jobs () else n);
+        parse acc rest
+    | "--durability" :: v :: rest ->
+        durability := v;
         parse acc rest
     | arg :: rest -> parse (arg :: acc) rest
   in

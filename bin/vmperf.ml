@@ -9,9 +9,14 @@
      vmperf adapt    --scale 0.05 -f 0.5          adaptive vs static on a phase shift
      vmperf top      --strategy deferred          profile one strategy (spans + metrics)
      vmperf params                                the paper's parameter table
+     vmperf crash-test --scale 0.002              crash at every WAL point, check
+                                                  recovery == the uncrashed run
+     vmperf recover  --dir DIR --strategy KIND    recover a crashed on-disk engine
 
    simulate, adapt and top accept --trace FILE (Chrome trace_event JSON),
-   --metrics FILE (Prometheus text) and --metrics-json FILE. *)
+   --metrics FILE (Prometheus text) and --metrics-json FILE.  simulate and
+   sweep accept --durability wal (write-ahead logging + checkpoints; the
+   cost lands in the wal category and nowhere else). *)
 
 open Core
 open Cmdliner
@@ -240,24 +245,80 @@ let sanitize_term =
 (* The flag only *forces on*: absent, the env default (VMAT_SANITIZE) applies. *)
 let sanitize_opt flag = if flag then Some true else None
 
+(* ------------------------------------------------------------------ *)
+(* Durability flags (simulate / sweep / crash-test / recover)          *)
+(* ------------------------------------------------------------------ *)
+
+let durability_term =
+  Arg.(
+    value
+    & opt string "none"
+    & info [ "durability" ] ~docv:"wal|none"
+        ~doc:
+          "Run every measured strategy under the write-ahead-logging engine \
+           (group commit + periodic checkpoints, DESIGN section 9).  Durability \
+           I/O is charged to the wal cost category and nowhere else: every other \
+           column is identical to --durability none.")
+
+let group_commit_term =
+  Arg.(
+    value
+    & opt int Wal.default_config.Wal.group_commit
+    & info [ "group-commit" ] ~docv:"INT"
+        ~doc:"Force the log after $(docv) committed transactions (default 1).")
+
+let checkpoint_every_term =
+  Arg.(
+    value
+    & opt int Wal.default_config.Wal.checkpoint_every
+    & info [ "checkpoint-every" ] ~docv:"INT"
+        ~doc:"Take a checkpoint image every $(docv) transactions.")
+
+let wal_config ~group_commit ~checkpoint_every =
+  match Wal.config ~group_commit ~checkpoint_every () with
+  | config -> config
+  | exception Invalid_argument msg ->
+      Printf.eprintf "invalid durability configuration: %s\n" msg;
+      exit 2
+
+(* An [Experiment.wrap] that slips the durable engine (over an in-memory
+   device, so sweeps stay domain-parallel safe) between the workload
+   runner and the strategy it measures. *)
+let wrap_of_durability ~durability ~group_commit ~checkpoint_every :
+    Experiment.wrap option =
+  match durability with
+  | "none" -> None
+  | "wal" ->
+      let config = wal_config ~group_commit ~checkpoint_every in
+      Some
+        (fun ~ctx ~initial strategy ->
+          Durable.strategy
+            (Durable.wrap ~config ~ctx ~dev:(Device.memory ()) ~initial strategy))
+  | other ->
+      Printf.eprintf "unknown durability mode %s (expected wal or none)\n" other;
+      exit 2
+
 let simulate_cmd =
-  let run model p scale seed only sanitize trace_file metrics_file metrics_json_file =
+  let run model p scale seed only sanitize durability group_commit checkpoint_every
+      trace_file metrics_file metrics_json_file =
     let sanitize = sanitize_opt sanitize in
+    let wrap = wrap_of_durability ~durability ~group_commit ~checkpoint_every in
     let p = Experiment.scale p scale in
     let recorder, flush_obs = make_recorder ~trace_file ~metrics_file ~metrics_json_file in
-    Format.printf "simulating at N = %.0f, P = %.3f, seed %d@." p.Params.n_tuples
-      (Params.update_probability p) seed;
+    Format.printf "simulating at N = %.0f, P = %.3f, seed %d%s@." p.Params.n_tuples
+      (Params.update_probability p) seed
+      (if Option.is_none wrap then "" else ", durability wal");
     let results =
       match model_of_int model with
       | Advisor.Selection_projection ->
-          Experiment.measure_model1 ~seed ?recorder ?sanitize p
+          Experiment.measure_model1 ~seed ?recorder ?sanitize ?wrap p
             (filter_only only
                [ `Deferred; `Immediate; `Clustered; `Unclustered; `Recompute ])
       | Advisor.Two_way_join ->
-          Experiment.measure_model2 ~seed ?recorder ?sanitize p
+          Experiment.measure_model2 ~seed ?recorder ?sanitize ?wrap p
             (filter_only only [ `Deferred; `Immediate; `Loopjoin ])
       | Advisor.Aggregate_over_view ->
-          Experiment.measure_model3 ~seed ?recorder ?sanitize p
+          Experiment.measure_model3 ~seed ?recorder ?sanitize ?wrap p
             (filter_only only [ `Deferred; `Immediate; `Recompute ])
     in
     let category_names =
@@ -288,7 +349,8 @@ let simulate_cmd =
        ~doc:"Run the strategies on the simulated engine and report measured costs.")
     Term.(
       const run $ model_term $ params_term $ scale_term $ seed_term $ only_term
-      $ sanitize_term $ trace_term $ metrics_term $ metrics_json_term)
+      $ sanitize_term $ durability_term $ group_commit_term $ checkpoint_every_term
+      $ trace_term $ metrics_term $ metrics_json_term)
 
 let advise_cmd =
   let run model p =
@@ -366,8 +428,10 @@ let sweep_cmd =
       & info [ "csv" ] ~docv:"FILE"
           ~doc:"Also write the sweep as CSV to $(docv) (use - for stdout).")
   in
-  let run model p param lo hi steps measured scale seed jobs csv sanitize =
+  let run model p param lo hi steps measured scale seed jobs csv sanitize durability
+      group_commit checkpoint_every =
     let sanitize = sanitize_opt sanitize in
+    let wrap = wrap_of_durability ~durability ~group_commit ~checkpoint_every in
     let model = model_of_int model in
     let jobs = if jobs = 0 then Parallel.default_jobs () else jobs in
     let apply v =
@@ -388,13 +452,13 @@ let sweep_cmd =
         let results =
           match model with
           | Advisor.Selection_projection ->
-              Experiment.measure_model1 ~seed ?sanitize p
+              Experiment.measure_model1 ~seed ?sanitize ?wrap p
                 [ `Deferred; `Immediate; `Clustered ]
           | Advisor.Two_way_join ->
-              Experiment.measure_model2 ~seed ?sanitize p
+              Experiment.measure_model2 ~seed ?sanitize ?wrap p
                 [ `Deferred; `Immediate; `Loopjoin ]
           | Advisor.Aggregate_over_view ->
-              Experiment.measure_model3 ~seed ?sanitize p
+              Experiment.measure_model3 ~seed ?sanitize ?wrap p
                 [ `Deferred; `Immediate; `Recompute ]
         in
         List.map (fun (name, m) -> (name, m.Runner.cost_per_query)) results
@@ -444,7 +508,8 @@ let sweep_cmd =
           points run in parallel with --jobs).")
     Term.(
       const run $ model_term $ params_term $ param_term $ from_term $ to_term $ steps_term
-      $ measured_term $ scale_term $ seed_term $ jobs_term $ csv_term $ sanitize_term)
+      $ measured_term $ scale_term $ seed_term $ jobs_term $ csv_term $ sanitize_term
+      $ durability_term $ group_commit_term $ checkpoint_every_term)
 
 let adapt_cmd =
   let int_flag name doc default =
@@ -713,6 +778,239 @@ let shell_cmd =
        ~doc:"Interactive session: tables, views under chosen strategies, queries.")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* Durability commands: crash-test and recover                         *)
+(* ------------------------------------------------------------------ *)
+
+let kind_arg name =
+  match Crash_harness.kind_of_name (String.lowercase_ascii name) with
+  | Some kind -> kind
+  | None ->
+      Printf.eprintf "unknown strategy kind %s (expected one of: %s)\n" name
+        (String.concat ", " (List.map Crash_harness.kind_name Crash_harness.all_kinds));
+      exit 2
+
+let write_state_file path outcome =
+  write_file path (String.concat "\n" (Crash_harness.state_lines outcome) ^ "\n")
+
+let crash_test_cmd =
+  let strategy_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "strategy" ] ~docv:"KIND"
+          ~doc:
+            "Only test $(docv) (immediate, deferred, clustered, unclustered, \
+             sequential, adaptive).  Default: all six.")
+  in
+  let crash_at_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-at" ] ~docv:"K"
+          ~doc:
+            "Instead of the full matrix, crash once at fault point $(docv) and \
+             stop, leaving the device exactly as the crash left it (requires \
+             --dir and --strategy); inspect and heal it with `vmperf recover'.")
+  in
+  let dir_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Directory device for --crash-at (log segments + checkpoint images).")
+  in
+  let out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write KIND-reference.txt and KIND-recovered.txt (canonical final \
+             state of the uncrashed run and of recovery from the deepest crash \
+             point) to $(docv) for a byte-for-byte diff — the CI recovery-smoke \
+             job's artifact.")
+  in
+  let run p scale seed group_commit checkpoint_every strategy crash_at dir out =
+    let p = Experiment.scale p scale in
+    let config = wal_config ~group_commit ~checkpoint_every in
+    let kinds =
+      match strategy with
+      | None -> Crash_harness.all_kinds
+      | Some name -> [ kind_arg name ]
+    in
+    match crash_at with
+    | Some point -> begin
+        let kind =
+          match kinds with
+          | [ kind ] -> kind
+          | _ ->
+              Printf.eprintf "--crash-at needs --strategy to pick one kind\n";
+              exit 2
+        in
+        let dev =
+          match dir with
+          | Some d -> Device.dir d
+          | None ->
+              Printf.eprintf "--crash-at needs --dir (the device must outlive the crash)\n";
+              exit 2
+        in
+        let spec = Crash_harness.spec ~seed ~config ~params:p kind in
+        match Crash_harness.crash_into spec ~dev ~crash_at:point with
+        | Ok outcome ->
+            Printf.printf
+              "run completed before reaching point %d (%d ops, %d checkpoints) — \
+               nothing to recover\n"
+              point outcome.Crash_harness.oc_ops outcome.Crash_harness.oc_checkpoints
+        | Error (label, _) ->
+            Printf.printf "crashed at point %d (%s)\n" point label;
+            Printf.printf "device: %s (%d bytes in %d files)\n" (Device.describe dev)
+              (Device.total_bytes dev)
+              (List.length (Device.files dev));
+            Printf.printf "recover with: vmperf recover --dir %s --strategy %s --seed %d --scale %g\n"
+              (Option.get dir) (Crash_harness.kind_name kind) seed scale
+      end
+    | None ->
+        let total_mismatches = ref 0 in
+        let rows =
+          List.map
+            (fun kind ->
+              let spec = Crash_harness.spec ~seed ~config ~params:p kind in
+              let m = Crash_harness.crash_matrix spec in
+              total_mismatches := !total_mismatches + List.length m.Crash_harness.mx_mismatches;
+              Option.iter
+                (fun out_dir ->
+                  let dev = Device.dir out_dir in
+                  ignore (Device.describe dev);
+                  let name = Crash_harness.kind_name kind in
+                  write_state_file
+                    (Filename.concat out_dir (name ^ "-reference.txt"))
+                    m.Crash_harness.mx_reference;
+                  (* The deepest crash point exercises the longest
+                     checkpoint-plus-log-tail recovery. *)
+                  match List.rev m.Crash_harness.mx_reports with
+                  | deepest :: _ ->
+                      write_state_file
+                        (Filename.concat out_dir (name ^ "-recovered.txt"))
+                        deepest.Crash_harness.cr_outcome
+                  | [] -> ())
+                out;
+              let torn =
+                List.length
+                  (List.filter
+                     (fun r ->
+                       match r.Crash_harness.cr_tail with
+                       | Wal_record.Clean -> false
+                       | Wal_record.Torn | Wal_record.Bad_crc -> true)
+                     m.Crash_harness.mx_reports)
+              in
+              [
+                Crash_harness.kind_name kind;
+                string_of_int m.Crash_harness.mx_points;
+                string_of_int torn;
+                string_of_int m.Crash_harness.mx_reference.Crash_harness.oc_checkpoints;
+                (match m.Crash_harness.mx_mismatches with
+                | [] -> "ok"
+                | points ->
+                    "MISMATCH at "
+                    ^ String.concat "," (List.map string_of_int points));
+              ])
+            kinds
+        in
+        Printf.printf
+          "crash-equivalence matrix at N = %.0f, seed %d, group commit %d, checkpoint \
+           every %d:\n"
+          p.Params.n_tuples seed config.Wal.group_commit config.Wal.checkpoint_every;
+        print_endline
+          (Table.render
+             ~headers:[ "strategy"; "crash points"; "torn tails"; "checkpoints"; "recovery" ]
+             rows);
+        if !total_mismatches > 0 then begin
+          Printf.eprintf "%d crash point(s) diverged from the uncrashed run\n"
+            !total_mismatches;
+          exit 1
+        end
+        else print_endline "every crash point recovered to the uncrashed outcome"
+  in
+  Cmd.v
+    (Cmd.info "crash-test"
+       ~doc:
+         "Enumerate every WAL/checkpoint fault point the workload passes, crash at \
+          each, recover, and verify the recovered run is logically identical to the \
+          uncrashed one (exit 1 on any divergence).")
+    Term.(
+      const run $ params_term $ scale_term $ seed_term $ group_commit_term
+      $ checkpoint_every_term $ strategy_term $ crash_at_term $ dir_term $ out_term)
+
+let recover_cmd =
+  let dir_term =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Device directory holding the log segments and checkpoint images.")
+  in
+  let strategy_term =
+    Arg.(
+      value
+      & opt string "deferred"
+      & info [ "strategy" ] ~docv:"KIND"
+          ~doc:"Strategy kind the crashed engine was running (must match crash-test).")
+  in
+  let state_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state" ] ~docv:"FILE"
+          ~doc:"Also write the canonical recovered state (view + base) to $(docv).")
+  in
+  let run p scale seed group_commit checkpoint_every strategy dir state =
+    let p = Experiment.scale p scale in
+    let config = wal_config ~group_commit ~checkpoint_every in
+    let kind = kind_arg strategy in
+    let dev = Device.dir dir in
+    let spec = Crash_harness.spec ~seed ~config ~params:p kind in
+    let outcome, scan = Crash_harness.recover_on spec ~dev in
+    Printf.printf "device            %s\n" (Device.describe dev);
+    Printf.printf "checkpoint image  %s\n"
+      (match scan.Recovery.sc_image with
+      | None -> "none (recovering from the initial base)"
+      | Some im ->
+          Printf.sprintf "%s (op %d, strategy %s)"
+            (Checkpoint.file_name im.Checkpoint.ck_id)
+            im.Checkpoint.ck_op_index im.Checkpoint.ck_strategy);
+    Printf.printf "log tail          %s%s\n"
+      (Wal_record.tail_name scan.Recovery.sc_tail)
+      (match scan.Recovery.sc_invalid with
+      | None -> ""
+      | Some (segment, keep) ->
+          Printf.sprintf " (truncated %s to %d bytes)" segment keep);
+    Printf.printf "log records       %d valid (%d bytes)\n" scan.Recovery.sc_records
+      scan.Recovery.sc_log_bytes;
+    Printf.printf "txns replayed     %d\n" (List.length scan.Recovery.sc_txns);
+    Printf.printf "resume op         %d (next txn id %d)\n" scan.Recovery.sc_resume
+      scan.Recovery.sc_next_txn_id;
+    Printf.printf "re-driven to      %d ops, %d checkpoints\n"
+      outcome.Crash_harness.oc_ops outcome.Crash_harness.oc_checkpoints;
+    Printf.printf "final state       %d view rows, %d base tuples\n"
+      (List.length outcome.Crash_harness.oc_view)
+      (List.length outcome.Crash_harness.oc_base);
+    Option.iter
+      (fun path ->
+        write_state_file path outcome;
+        Printf.printf "state written to %s\n" path)
+      state
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "ARIES-lite recovery of a crashed on-disk engine (see crash-test --crash-at): \
+          load the newest valid checkpoint, replay the committed log tail, truncate \
+          any torn frame, then re-drive the rest of the seeded workload.")
+    Term.(
+      const run $ params_term $ scale_term $ seed_term $ group_commit_term
+      $ checkpoint_every_term $ strategy_term $ dir_term $ state_term)
+
 let () =
   let doc = "cost analysis and simulation of view materialization strategies (Hanson, SIGMOD 1987)" in
   let info = Cmd.info "vmperf" ~version:"1.0.0" ~doc in
@@ -721,7 +1019,7 @@ let () =
       (Cmd.group info
          [
            params_cmd; costs_cmd; simulate_cmd; advise_cmd; regions_cmd; sweep_cmd;
-           adapt_cmd; top_cmd; shell_cmd;
+           adapt_cmd; top_cmd; shell_cmd; crash_test_cmd; recover_cmd;
          ])
   with
   | exception Sanitize.Violation message ->

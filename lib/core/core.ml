@@ -21,7 +21,11 @@
       observation and live strategy migration (adaptive maintenance);
     - {!Span}, {!Trace}, {!Metrics}, {!Recorder}, {!Json_text} — the
       zero-dependency observability layer (Chrome-trace spans, Prometheus
-      metrics) threaded through every layer above via the cost meter. *)
+      metrics) threaded through every layer above via the cost meter;
+    - {!Codec}, {!Fault}, {!Device}, {!Wal_record}, {!Wal}, {!Checkpoint},
+      {!Durable}, {!Recovery}, {!Crash_harness} — the durability subsystem:
+      write-ahead logging, checkpoints, ARIES-lite crash recovery, and
+      deterministic fault injection (DESIGN §9). *)
 
 module Yao = Vmat_util.Yao
 module Combin = Vmat_util.Combin
@@ -84,3 +88,12 @@ module Wstats = Vmat_adaptive.Wstats
 module Migrate = Vmat_adaptive.Migrate
 module Controller = Vmat_adaptive.Controller
 module Adaptive = Vmat_adaptive.Adaptive
+module Codec = Vmat_storage.Codec
+module Fault = Vmat_storage.Fault
+module Device = Vmat_wal.Device
+module Wal_record = Vmat_wal.Record
+module Wal = Vmat_wal.Wal
+module Checkpoint = Vmat_wal.Checkpoint
+module Durable = Vmat_wal.Durable
+module Recovery = Vmat_wal.Recovery
+module Crash_harness = Vmat_wal.Harness

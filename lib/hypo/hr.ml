@@ -232,6 +232,22 @@ let reset t =
   t.d_count <- 0;
   note_ad_gauges t
 
+(* The Bloom filter is derived state: every resident A/D entry fed it exactly
+   one key (apply_insert/apply_delete note one tuple per stored entry;
+   apply_update notes both), and entries only leave wholesale via {!reset},
+   which clears the filter too.  So the filter is reconstructible from the
+   A/D heap alone — which is what makes a checkpoint image that carries the
+   heap but lost (or never stored) the filter recoverable.  Rebuilding scans
+   unmetered: recovery cost is charged where the recovery driver says, not
+   here. *)
+let rebuild_filter t =
+  Bloom.clear t.bloom;
+  List.iter
+    (fun f ->
+      Hash_file.iter_unmetered f (fun entry ->
+          Bloom.add t.bloom (Value.key_string (Tuple.get entry t.key_col))))
+    (all_files t)
+
 let lookup t ~key =
   let r = Cost_meter.recorder t.meter in
   let find_in_base () =

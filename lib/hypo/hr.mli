@@ -83,6 +83,16 @@ val bloom : t -> Vmat_util.Bloom.t
     positive probes back to the filter, so the empirical FP rate is finally
     distinguishable from true differential-file hits. *)
 
+val rebuild_filter : t -> unit
+(** Reconstruct the Bloom filter from the resident A/D entries alone
+    (unmetered scan).  The filter is derived state — every resident entry
+    fed it exactly one key, and entries only leave together with a filter
+    clear ({!reset}) — so the rebuilt filter is bit-identical to the live
+    one and, in particular, admits no false negatives over the resident
+    entries.  This is what makes the differential file self-describing for
+    crash recovery (DESIGN §9): a checkpoint that carries the A/D heap
+    need not trust a separately-stored filter image. *)
+
 val reset : t -> unit
 (** Fold the differential file into the base relation
     ([R := (R ∪ A) − D; A := ∅; D := ∅]) and clear the Bloom filter.  The

@@ -1,9 +1,9 @@
 module Recorder = Vmat_obs.Recorder
 module Metrics = Vmat_obs.Metrics
 
-type category = Base | Hr | Refresh | Query | Screen | Overhead | Migrate
+type category = Base | Hr | Refresh | Query | Screen | Overhead | Migrate | Wal
 
-let all_categories = [ Base; Hr; Refresh; Query; Screen; Overhead; Migrate ]
+let all_categories = [ Base; Hr; Refresh; Query; Screen; Overhead; Migrate; Wal ]
 
 let category_name = function
   | Base -> "base"
@@ -13,6 +13,7 @@ let category_name = function
   | Screen -> "screen"
   | Overhead -> "overhead"
   | Migrate -> "migrate"
+  | Wal -> "wal"
 
 let category_index = function
   | Base -> 0
@@ -22,8 +23,9 @@ let category_index = function
   | Screen -> 4
   | Overhead -> 5
   | Migrate -> 6
+  | Wal -> 7
 
-let ncategories = 7
+let ncategories = 8
 
 let category_of_index = Array.of_list all_categories
 

@@ -14,6 +14,9 @@ type category =
   | Migrate
       (** one-time cost of a live strategy migration (adaptive maintenance):
           materializing a view from a base scan, or dematerializing one *)
+  | Wal
+      (** durability: write-ahead-log appends/forces and checkpoint images —
+          the cost axis the paper never measured (DESIGN §9) *)
 
 val all_categories : category list
 val category_name : category -> string

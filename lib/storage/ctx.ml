@@ -9,10 +9,11 @@ type t = {
   tids : Tuple.source;
   rng : Vmat_util.Rng.t;
   san : Sanitize.t;
+  fault : Fault.t;
 }
 
 let of_parts ?(geometry = default_geometry) ?(seed = 42) ?(first_tid = 1)
-    ?(sanitizer = Sanitize.none) ~meter ~disk () =
+    ?(sanitizer = Sanitize.none) ?(fault = Fault.none) ~meter ~disk () =
   Sanitize.attach_meter sanitizer meter;
   {
     geometry;
@@ -21,9 +22,10 @@ let of_parts ?(geometry = default_geometry) ?(seed = 42) ?(first_tid = 1)
     tids = Tuple.source ~first:first_tid ();
     rng = Vmat_util.Rng.create seed;
     san = sanitizer;
+    fault;
   }
 
-let create ?geometry ?c1 ?c2 ?c3 ?seed ?first_tid ?sanitize () =
+let create ?geometry ?c1 ?c2 ?c3 ?seed ?first_tid ?sanitize ?fault () =
   let meter = Cost_meter.create ?c1 ?c2 ?c3 () in
   let disk = Disk.create meter in
   let sanitizer =
@@ -32,7 +34,7 @@ let create ?geometry ?c1 ?c2 ?c3 ?seed ?first_tid ?sanitize () =
     in
     if wanted then Sanitize.create () else Sanitize.none
   in
-  of_parts ?geometry ?seed ?first_tid ~sanitizer ~meter ~disk ()
+  of_parts ?geometry ?seed ?first_tid ~sanitizer ?fault ~meter ~disk ()
 
 let geometry t = t.geometry
 let meter t = t.meter
@@ -40,6 +42,7 @@ let disk t = t.disk
 let tids t = t.tids
 let rng t = t.rng
 let sanitizer t = t.san
+let fault t = t.fault
 let fresh_tid t = Tuple.next t.tids
 let split_rng t = Vmat_util.Rng.split t.rng
 let recorder t = Cost_meter.recorder t.meter

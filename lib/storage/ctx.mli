@@ -23,19 +23,23 @@ val create :
   ?seed:int ->
   ?first_tid:int ->
   ?sanitize:bool ->
+  ?fault:Fault.t ->
   unit ->
   t
 (** Fresh context with its own meter, disk, tid source (first tid
     [first_tid], default 1) and RNG ([seed], default 42).  [sanitize]
     (default: {!Sanitize.env_enabled}, i.e. the [VMAT_SANITIZE] environment
     variable) attaches an enabled {!Sanitize.t}, installing its
-    cost-conservation mirror in the meter's sanitizer hook slot. *)
+    cost-conservation mirror in the meter's sanitizer hook slot.  [fault]
+    (default {!Fault.none}) attaches a deterministic crash-point injector
+    for durability testing (DESIGN §9). *)
 
 val of_parts :
   ?geometry:geometry ->
   ?seed:int ->
   ?first_tid:int ->
   ?sanitizer:Sanitize.t ->
+  ?fault:Fault.t ->
   meter:Cost_meter.t ->
   disk:Disk.t ->
   unit ->
@@ -54,6 +58,9 @@ val rng : t -> Vmat_util.Rng.t
 val sanitizer : t -> Sanitize.t
 (** This context's runtime invariant checker ({!Sanitize.none} unless
     created with [~sanitize:true] / [VMAT_SANITIZE=1]). *)
+
+val fault : t -> Fault.t
+(** This context's crash-point injector ({!Fault.none} unless supplied). *)
 
 val fresh_tid : t -> int
 (** Draw the next tuple id from this context's source. *)

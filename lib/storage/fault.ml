@@ -1,0 +1,62 @@
+(* Deterministic fault injection (DESIGN §9).  Crash points are named
+   call sites threaded through the execution context: every call to
+   [point] increments a per-context counter, and when the counter reaches
+   the configured crash index the process "crashes" by raising [Crash].
+   Because the counter is advanced identically on every run at a fixed
+   seed, crash point [k] always lands on the same operation — the
+   crash-equivalence property (recover after crash at k ≡ uncrashed run)
+   is checkable for every k by simple enumeration.
+
+   Zero observer effect: with [none] (the default in every context), the
+   disabled handle carries no state at all, [point] is a single match on
+   an immutable record, and no meter/RNG/tid state is ever touched. *)
+
+exception Crash of string * int
+(** [Crash (label, k)]: the simulated machine died at crash point [k],
+    whose call site is [label]. *)
+
+type state = {
+  mutable counter : int;
+  mutable crash_at : int;  (* 0 = count only, never crash *)
+  mutable labels : (int * string) list;  (* most recent first *)
+  keep_labels : bool;
+}
+
+type t = { state : state option }
+
+(* Immutable literal on purpose (same pattern as [Sanitize.none]): the
+   disabled injector is a shared stateless handle, so vmlint's D1 rule has
+   nothing to object to. *)
+let none = { state = None }
+
+let create ?(crash_at = 0) ?(keep_labels = false) () =
+  if crash_at < 0 then invalid_arg "Fault.create: crash_at must be >= 0";
+  { state = Some { counter = 0; crash_at; labels = []; keep_labels } }
+
+let enabled t = Option.is_some t.state
+
+let point t label =
+  match t.state with
+  | None -> ()
+  | Some s ->
+      s.counter <- s.counter + 1;
+      if s.keep_labels then s.labels <- (s.counter, label) :: s.labels;
+      if s.crash_at > 0 && s.counter = s.crash_at then
+        raise (Crash (label, s.counter))
+
+let points_seen t = match t.state with None -> 0 | Some s -> s.counter
+
+let labels t =
+  match t.state with None -> [] | Some s -> List.rev s.labels
+
+let reset ?crash_at t =
+  match t.state with
+  | None -> ()
+  | Some s ->
+      s.counter <- 0;
+      s.labels <- [];
+      (match crash_at with
+      | None -> ()
+      | Some k ->
+          if k < 0 then invalid_arg "Fault.reset: crash_at must be >= 0";
+          s.crash_at <- k)

@@ -1,0 +1,43 @@
+(** Deterministic fault injection for crash-recovery testing (DESIGN §9).
+
+    Durability-critical call sites declare named crash points via
+    {!point}.  An enabled injector counts every point it passes; when the
+    count reaches the configured index it raises {!Crash}, simulating the
+    machine dying at exactly that operation.  At a fixed seed the counter
+    sequence is deterministic, so the crash-point space can be enumerated
+    exhaustively: run once with a counting injector to learn [K], then for
+    each [k <= K] crash at [k], recover, and demand bit-identity with the
+    uncrashed run.
+
+    The disabled handle {!none} carries no state (the [Sanitize.none]
+    pattern) and is the default in every context — production paths pay one
+    pattern match and nothing else. *)
+
+exception Crash of string * int
+(** [Crash (label, k)] — simulated crash at point [k] (label = call site). *)
+
+type t
+
+val none : t
+(** The disabled injector: stateless, shareable, never crashes. *)
+
+val create : ?crash_at:int -> ?keep_labels:bool -> unit -> t
+(** [crash_at = 0] (default) counts points without crashing — used to
+    enumerate the crash-point space.  [crash_at = k > 0] raises {!Crash} at
+    the [k]-th point.  [keep_labels] records the label of every point
+    passed (for the crash-point catalog; off by default). *)
+
+val enabled : t -> bool
+
+val point : t -> string -> unit
+(** Declare a crash point.  No-op on {!none}. *)
+
+val points_seen : t -> int
+(** Number of points passed so far (0 for {!none}). *)
+
+val labels : t -> (int * string) list
+(** Points passed, in order, when [keep_labels] was set. *)
+
+val reset : ?crash_at:int -> t -> unit
+(** Zero the counter (and optionally retarget the crash index) so one
+    injector can drive multiple enumeration runs. *)

@@ -76,6 +76,19 @@ let cardinality t = t.insertions
 
 let bits t = t.nbits
 
+let snapshot_bits t = Bytes.to_string t.bits
+
+let restore_bits t ~insertions data =
+  if String.length data <> Bytes.length t.bits then
+    invalid_arg
+      (Printf.sprintf "Bloom.restore_bits: %d bytes for a %d-byte filter"
+         (String.length data) (Bytes.length t.bits));
+  if insertions < 0 then invalid_arg "Bloom.restore_bits: negative insertions";
+  Bytes.blit_string data 0 t.bits 0 (String.length data);
+  t.insertions <- insertions
+
+let equal_bits a b = Bytes.equal a.bits b.bits
+
 let false_positive_rate t =
   let k = float_of_int t.hashes in
   let n = float_of_int t.insertions in

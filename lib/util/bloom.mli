@@ -50,6 +50,21 @@ val cardinality : t -> int
 
 val bits : t -> int
 
+val snapshot_bits : t -> string
+(** The raw bit array (for checkpoint images, DESIGN §9).  Stable: the bit
+    layout depends only on the monomorphic [String.seeded_hash]. *)
+
+val restore_bits : t -> insertions:int -> string -> unit
+(** Overwrite the bit array with a {!snapshot_bits} image taken from a
+    filter of the same geometry, and set the insertion count.
+
+    @raise Invalid_argument on a byte-length mismatch. *)
+
+val equal_bits : t -> t -> bool
+(** Bit-for-bit equality of the two filters' arrays (probe statistics and
+    insertion counts are ignored) — the check behind the
+    rebuilt-filter-equals-live-filter property. *)
+
 val false_positive_rate : t -> float
 (** Estimated false-positive probability [(1 - e^{-kn/m})^k] for the current
     load. *)

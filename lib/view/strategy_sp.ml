@@ -211,12 +211,27 @@ let deferred_with_policy_internal ?layout ~policy ~name env =
             a_net;
           bag);
     },
-    refresh )
+    refresh,
+    hr )
 
 let deferred_with_policy ?layout ~policy ~name env =
-  fst (deferred_with_policy_internal ?layout ~policy ~name env)
+  let strategy, _refresh, _hr =
+    deferred_with_policy_internal ?layout ~policy ~name env
+  in
+  strategy
 
 let deferred env = deferred_with_policy ~policy:On_demand ~name:"deferred" env
+
+(* The deferred strategy plus a handle on its hypothetical relation, for
+   callers that must see the differential state itself rather than the
+   answers it induces: the WAL checkpoint manager snapshots the net A/D
+   sets and the Bloom filter (DESIGN §9), and tests exercise
+   [Hr.rebuild_filter] against the live filter. *)
+let deferred_introspect env =
+  let strategy, _refresh, hr =
+    deferred_with_policy_internal ~policy:On_demand ~name:"deferred" env
+  in
+  (strategy, hr)
 
 (* Asynchronous refresh (§4): "if there is idle CPU and disk time available,
    it is likely to be useful to put it to work refreshing views
@@ -226,7 +241,7 @@ let deferred env = deferred_with_policy ~policy:On_demand ~name:"deferred" env
    charging that work to the excluded Base category: queries then find the
    view already fresh. *)
 let deferred_async env =
-  let inner, refresh =
+  let inner, refresh, _hr =
     deferred_with_policy_internal ~policy:On_demand ~name:"deferred-async" env
   in
   {

@@ -19,6 +19,13 @@ val deferred : env -> Strategy.t
 (** §2.2/§3.2.1: updates buffered in a hypothetical relation, view refreshed
     just before each query. *)
 
+val deferred_introspect : env -> Strategy.t * Vmat_hypo.Hr.t
+(** {!deferred} plus a handle on its hypothetical relation, for callers that
+    need the differential state itself rather than the answers it induces:
+    the WAL checkpoint manager snapshots the net A/D sets and Bloom filter
+    (DESIGN §9), and tests compare {!Vmat_hypo.Hr.rebuild_filter} output
+    against the live filter. *)
+
 val deferred_async : env -> Strategy.t
 (** §4's asynchronous refresh: idle CPU and disk time brings the view up to
     date after every transaction, so queries need no refresh first.  The

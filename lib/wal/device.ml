@@ -1,0 +1,131 @@
+(* The durability device: where log segments and checkpoint images live.
+
+   Two backends.  [Memory] is a per-run in-process store whose contents
+   survive a *simulated* crash (the [Fault.Crash] exception unwinds the
+   engine, but the device value lives on) — it is what the crash-test
+   harness uses, and it keeps `--durability wal` measurement runs free of
+   real filesystem traffic, so sweeps stay domain-parallel safe and
+   byte-identical at any [--jobs].  [Dir] is a real directory for
+   `vmperf recover` demos and CI artifacts.
+
+   Append-order is the only order the log relies on; file listings are
+   sorted by name so recovery scans are deterministic on both backends. *)
+
+type t =
+  | Memory of (string, Buffer.t) Hashtbl.t
+  | Dir of string
+
+let memory () = Memory (Hashtbl.create 16)
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    (try Sys.mkdir path 0o755 with Sys_error _ -> ())
+  end
+
+let dir path =
+  mkdir_p path;
+  if not (Sys.file_exists path && Sys.is_directory path) then
+    invalid_arg ("Device.dir: not a directory: " ^ path);
+  Dir path
+
+let describe = function
+  | Memory _ -> "memory"
+  | Dir path -> "dir:" ^ path
+
+let append t ~name data =
+  match t with
+  | Memory files ->
+      let buf =
+        match Hashtbl.find_opt files name with
+        | Some b -> b
+        | None ->
+            let b = Buffer.create 4096 in
+            Hashtbl.replace files name b;
+            b
+      in
+      Buffer.add_string buf data
+  | Dir path ->
+      let oc =
+        open_out_gen
+          [ Open_append; Open_creat; Open_binary ]
+          0o644
+          (Filename.concat path name)
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc data)
+
+(* Whole-file replacement, atomic on the Dir backend (write-temp + rename):
+   a checkpoint image is either entirely present or entirely absent, never
+   torn — torn tails are a log problem, handled by CRC framing there. *)
+let write_atomic t ~name data =
+  match t with
+  | Memory files ->
+      let b = Buffer.create (String.length data) in
+      Buffer.add_string b data;
+      Hashtbl.replace files name b
+  | Dir path ->
+      let final = Filename.concat path name in
+      let tmp = final ^ ".tmp" in
+      let oc = open_out_gen [ Open_trunc; Open_creat; Open_wronly; Open_binary ] 0o644 tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc data);
+      Sys.rename tmp final
+
+let read t ~name =
+  match t with
+  | Memory files -> Option.map Buffer.contents (Hashtbl.find_opt files name)
+  | Dir path ->
+      let file = Filename.concat path name in
+      if not (Sys.file_exists file) then None
+      else begin
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic)))
+      end
+
+let files t =
+  match t with
+  | Memory files ->
+      List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) files [])
+  | Dir path ->
+      List.sort String.compare
+        (List.filter
+           (fun name -> not (Filename.check_suffix name ".tmp"))
+           (Array.to_list (Sys.readdir path)))
+
+let remove t ~name =
+  match t with
+  | Memory files -> Hashtbl.remove files name
+  | Dir path ->
+      let file = Filename.concat path name in
+      if Sys.file_exists file then Sys.remove file
+
+(* Truncate a file to its first [keep] bytes — how recovery repairs a torn
+   log tail before the engine appends over it. *)
+let truncate t ~name keep =
+  match read t ~name with
+  | None -> ()
+  | Some data ->
+      let keep = min keep (String.length data) in
+      write_atomic t ~name (String.sub data 0 keep)
+
+let size t ~name = Option.map String.length (read t ~name)
+
+let total_bytes t =
+  List.fold_left
+    (fun acc name -> acc + Option.value ~default:0 (size t ~name))
+    0 (files t)
+
+(* Copy every file onto another device (used by `vmperf crash-test --keep`
+   to export an in-memory run's log + checkpoints as CI artifacts). *)
+let copy_to t dst =
+  List.iter
+    (fun name ->
+      match read t ~name with
+      | Some data -> write_atomic dst ~name data
+      | None -> ())
+    (files t)

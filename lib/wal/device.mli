@@ -1,0 +1,38 @@
+(** The durability device: byte storage for log segments and checkpoint
+    images (DESIGN §9).
+
+    [Memory] survives a {e simulated} crash — the {!Vmat_storage.Fault.Crash}
+    exception unwinds the engine but the device value lives on — and keeps
+    measured `--durability wal` runs free of real filesystem traffic (so
+    sweeps stay domain-parallel safe).  [Dir] is a real directory for
+    `vmperf recover` and CI artifacts. *)
+
+type t
+
+val memory : unit -> t
+val dir : string -> t
+(** Creates the directory (and parents) when missing.
+    @raise Invalid_argument when the path exists but is not a directory. *)
+
+val describe : t -> string
+
+val append : t -> name:string -> string -> unit
+
+val write_atomic : t -> name:string -> string -> unit
+(** Whole-file replacement; on [Dir] via write-temp + rename, so images are
+    never observed torn. *)
+
+val read : t -> name:string -> string option
+val files : t -> string list
+(** Sorted by name (deterministic on both backends). *)
+
+val remove : t -> name:string -> unit
+
+val truncate : t -> name:string -> int -> unit
+(** Keep the first [n] bytes — the log-repair primitive. *)
+
+val size : t -> name:string -> int option
+val total_bytes : t -> int
+
+val copy_to : t -> t -> unit
+(** Copy every file onto another device (artifact export). *)

@@ -1,0 +1,87 @@
+(** Crash-equivalence harness (DESIGN §9): enumerate every crash point a
+    Model-1 workload passes, crash at each, recover on the surviving
+    device, re-drive from the resume point, and compare the logical
+    outcome (every query answer by stream position + final view contents,
+    canonicalized by value key; net base contents bit-for-bit) against the
+    uncrashed run.  Deterministic at a fixed seed — `vmperf crash-test`
+    and the qcheck property both sit on {!crash_matrix}. *)
+
+module Migrate = Vmat_adaptive.Migrate
+module Params = Vmat_cost.Params
+
+type kind = Static of Migrate.kind | Adaptive_k
+
+val all_kinds : kind list
+(** The five static disciplines plus the adaptive wrapper. *)
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type spec = {
+  hp_params : Params.t;
+  hp_kind : kind;
+  hp_seed : int;
+  hp_config : Wal.config;
+}
+
+val spec : ?seed:int -> ?config:Wal.config -> params:Params.t -> kind -> spec
+
+type outcome = {
+  oc_answers : (int * string) list;
+      (** 0-based stream position of each query, canonical answer *)
+  oc_view : (string * int) list;  (** canonical final view rows *)
+  oc_base : string list;  (** net base contents: "tid key" lines, tid order *)
+  oc_ops : int;  (** operations the durable engine counted *)
+  oc_checkpoints : int;
+}
+
+val outcome_equal : outcome -> outcome -> bool
+
+val state_lines : outcome -> string list
+(** Canonical plain-text rendering of the final state (view + base), for
+    the CI recovery-smoke byte-for-byte diff. *)
+
+val reference : ?keep_labels:bool -> spec -> outcome * int * (int * string) list
+(** Uncrashed run under a counting injector: the outcome, the number of
+    crash points the workload passes, and (with [keep_labels]) the
+    ordered point labels. *)
+
+type crash_report = {
+  cr_point : int;
+  cr_label : string;  (** crash-point label ("" when the run completed) *)
+  cr_crashed : bool;  (** false when [crash_at] exceeded the point count *)
+  cr_resume : int;
+  cr_txns_replayed : int;
+  cr_tail : Record.tail;
+  cr_outcome : outcome;
+}
+
+val crash_and_recover : spec -> crash_at:int -> crash_report
+(** Run under [Fault.create ~crash_at]; on {!Vmat_storage.Fault.Crash},
+    recover on the surviving device with a fresh fault-free context and
+    re-drive the stream from the resume point. *)
+
+val crash_into :
+  spec -> dev:Device.t -> crash_at:int -> (outcome, string * int) result
+(** Run the workload on [dev] (typically a {!Device.dir}) with
+    [Fault.create ~crash_at]; [Ok outcome] when [crash_at] exceeded the
+    point count and the run completed, [Error (label, point)] when the
+    simulated machine died — the device is left exactly as the crash left
+    it, for [vmperf recover]. *)
+
+val recover_on : spec -> dev:Device.t -> outcome * Recovery.scan
+(** Recover whatever state [dev] holds and re-drive the stream from the
+    resume point (a fresh client session: only re-driven queries appear
+    in [oc_answers]; view and base state are complete). *)
+
+type matrix = {
+  mx_points : int;
+  mx_labels : (int * string) list;
+  mx_reference : outcome;
+  mx_reports : crash_report list;
+  mx_mismatches : int list;  (** crash points whose outcome diverged *)
+}
+
+val crash_matrix : ?progress:(int -> int -> unit) -> spec -> matrix
+(** The full property: reference run, then crash/recover at every point
+    [1..K].  [progress k n] is called before point [k] of [n]. *)

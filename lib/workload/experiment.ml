@@ -36,8 +36,9 @@ let ints (p : Params.t) =
    [first_tid] (the next tid after dataset/stream generation), so every
    strategy sees identical tuple identities regardless of run order.  This is
    what makes back-to-back in-process measurements bit-identical. *)
-let fresh_ctx ?sanitize (p : Params.t) ~first_tid =
-  Ctx.create ~geometry:(geometry_of p) ~c1:p.c1 ~c2:p.c2 ~c3:p.c3 ~first_tid ?sanitize ()
+let fresh_ctx ?sanitize ?fault (p : Params.t) ~first_tid =
+  Ctx.create ~geometry:(geometry_of p) ~c1:p.c1 ~c2:p.c2 ~c3:p.c3 ~first_tid ?sanitize
+    ?fault ()
 
 let amount_col = 2 (* R(id, pval, amount, note) *)
 
@@ -52,7 +53,32 @@ let model1_stream ~rng ~tids ~(p : Params.t) (dataset : Dataset.model1) =
     ~k ~l ~q
     ~query_of:(Stream.range_query_of ~lo_max:(p.f -. width) ~width)
 
-let measure_model1 ?(seed = 42) ?recorder ?sanitize (p : Params.t) strategies =
+type model1_setup = {
+  ms_dataset : Dataset.model1;
+  ms_ops : Stream.op list;
+  ms_first_tid : int;
+}
+
+(* The dataset/stream half of [measure_model1], split out so external
+   drivers (the WAL crash-equivalence harness, `vmperf crash-test`) can
+   replay the exact same operation sequence themselves. *)
+let model1_setup ?(seed = 42) (p : Params.t) =
+  let rng = Rng.create seed in
+  let tids = Tuple.source () in
+  let n, _, _, _ = ints p in
+  let dataset =
+    Dataset.make_model1 ~rng ~tids ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes)
+  in
+  let ops = model1_stream ~rng ~tids ~p dataset in
+  { ms_dataset = dataset; ms_ops = ops; ms_first_tid = Tuple.peek tids }
+
+type wrap =
+  ctx:Ctx.t -> initial:Tuple.t list -> Strategy.t -> Strategy.t
+
+let apply_wrap wrap ~ctx ~initial strategy =
+  match wrap with None -> strategy | Some (w : wrap) -> w ~ctx ~initial strategy
+
+let measure_model1 ?(seed = 42) ?recorder ?sanitize ?wrap (p : Params.t) strategies =
   let rng = Rng.create seed in
   let tids = Tuple.source () in
   let n, _, _, _ = ints p in
@@ -81,6 +107,7 @@ let measure_model1 ?(seed = 42) ?recorder ?sanitize (p : Params.t) strategies =
       | `Recompute -> Strategy_sp.recompute env
       | `Adaptive -> Adaptive.strategy (Adaptive.wrap env)
     in
+    let strategy = apply_wrap wrap ~ctx ~initial:dataset.m1_tuples strategy in
     let m = Runner.run ?recorder ~ctx ~strategy ~ops () in
     (m.Runner.strategy_name, m)
   in
@@ -95,8 +122,8 @@ type phased_result = {
   ph_adaptive : Adaptive.t option;
 }
 
-let measure_phased ?(seed = 42) ?recorder ?sanitize ?adaptive_config ?adaptive_candidates
-    ?adaptive_initial (p : Params.t) ~phases strategies =
+let measure_phased ?(seed = 42) ?recorder ?sanitize ?wrap ?adaptive_config
+    ?adaptive_candidates ?adaptive_initial (p : Params.t) ~phases strategies =
   if List.is_empty phases then invalid_arg "Experiment.measure_phased: no phases";
   let rng = Rng.create seed in
   let tids = Tuple.source () in
@@ -147,6 +174,7 @@ let measure_phased ?(seed = 42) ?recorder ?sanitize ?adaptive_config ?adaptive_c
           in
           (Adaptive.strategy a, Some a)
     in
+    let strategy = apply_wrap wrap ~ctx ~initial:dataset.m1_tuples strategy in
     let per_phase, overall = Runner.run_phases ?recorder ~ctx ~strategy ~phases:ops_phases () in
     {
       ph_name = overall.Runner.strategy_name;
@@ -159,7 +187,7 @@ let measure_phased ?(seed = 42) ?recorder ?sanitize ?adaptive_config ?adaptive_c
 
 let c_col = 3 (* R1(id, pval, jkey, c) *)
 
-let measure_model2 ?(seed = 42) ?recorder ?sanitize (p : Params.t) strategies =
+let measure_model2 ?(seed = 42) ?recorder ?sanitize ?wrap (p : Params.t) strategies =
   let rng = Rng.create seed in
   let tids = Tuple.source () in
   let n, k, l, q = ints p in
@@ -197,12 +225,16 @@ let measure_model2 ?(seed = 42) ?recorder ?sanitize (p : Params.t) strategies =
       | `Immediate -> Strategy_join.immediate env
       | `Loopjoin -> Strategy_join.qmod_loopjoin env
     in
+    (* The change stream only touches the left relation, so the durable
+       wrapper's catalog seeds from it. *)
+    let strategy = apply_wrap wrap ~ctx ~initial:dataset.m2_left_tuples strategy in
     let m = Runner.run ?recorder ~ctx ~strategy ~ops () in
     (m.Runner.strategy_name, m)
   in
   List.map run strategies
 
-let measure_model3 ?(seed = 42) ?recorder ?sanitize ?(kind = `Sum "amount") (p : Params.t) strategies =
+let measure_model3 ?(seed = 42) ?recorder ?sanitize ?wrap ?(kind = `Sum "amount")
+    (p : Params.t) strategies =
   let rng = Rng.create seed in
   let tids = Tuple.source () in
   let n, _, _, _ = ints p in
@@ -234,6 +266,7 @@ let measure_model3 ?(seed = 42) ?recorder ?sanitize ?(kind = `Sum "amount") (p :
       | `Immediate -> Strategy_agg.immediate env
       | `Recompute -> Strategy_agg.recompute env
     in
+    let strategy = apply_wrap wrap ~ctx ~initial:dataset.m3_tuples strategy in
     let m = Runner.run ?recorder ~ctx ~strategy ~ops () in
     (m.Runner.strategy_name, m)
   in

@@ -16,10 +16,46 @@ val scale : Params.t -> float -> Params.t
 (** [scale p s] shrinks the relation to [s * N] tuples (keeping fractions and
     per-query update counts) for faster simulation. *)
 
+val fresh_ctx :
+  ?sanitize:bool ->
+  ?fault:Vmat_storage.Fault.t ->
+  Params.t ->
+  first_tid:int ->
+  Vmat_storage.Ctx.t
+(** The execution context a measured run gives each strategy: geometry and
+    cost constants from [p], tids pinned to [first_tid] (the next tid after
+    dataset/stream generation) so every strategy sees identical tuple
+    identities.  [fault] threads a crash-injection handle through for the
+    durability harness (default: disabled). *)
+
+type model1_setup = {
+  ms_dataset : Dataset.model1;
+  ms_ops : Stream.op list;
+  ms_first_tid : int;
+}
+(** The shared half of a Model-1 measurement: dataset, operation stream, and
+    the pinned first tid, for drivers that replay the ops themselves
+    (the WAL crash-equivalence harness, [vmperf crash-test]). *)
+
+val model1_setup : ?seed:int -> Params.t -> model1_setup
+(** Deterministic: same [seed] and [p] produce byte-identical datasets and
+    streams on every call. *)
+
+type wrap =
+  ctx:Vmat_storage.Ctx.t ->
+  initial:Vmat_storage.Tuple.t list ->
+  Vmat_view.Strategy.t ->
+  Vmat_view.Strategy.t
+(** A strategy decorator applied after construction, before the run — how
+    [--durability wal] slips {!Vmat_wal.Durable} in front of every strategy
+    without this library depending on the WAL.  [initial] is the base
+    relation the change stream mutates. *)
+
 val measure_model1 :
   ?seed:int ->
   ?recorder:Vmat_obs.Recorder.t ->
   ?sanitize:bool ->
+  ?wrap:wrap ->
   Params.t ->
   model1_strategy list ->
   (string * Runner.measurement) list
@@ -51,6 +87,7 @@ val measure_phased :
   ?seed:int ->
   ?recorder:Vmat_obs.Recorder.t ->
   ?sanitize:bool ->
+  ?wrap:wrap ->
   ?adaptive_config:Vmat_adaptive.Controller.config ->
   ?adaptive_candidates:Vmat_adaptive.Migrate.kind list ->
   ?adaptive_initial:Vmat_adaptive.Migrate.kind ->
@@ -67,6 +104,7 @@ val measure_model2 :
   ?seed:int ->
   ?recorder:Vmat_obs.Recorder.t ->
   ?sanitize:bool ->
+  ?wrap:wrap ->
   Params.t ->
   model2_strategy list ->
   (string * Runner.measurement) list
@@ -75,6 +113,7 @@ val measure_model3 :
   ?seed:int ->
   ?recorder:Vmat_obs.Recorder.t ->
   ?sanitize:bool ->
+  ?wrap:wrap ->
   ?kind:[ `Count | `Sum of string | `Avg of string | `Variance of string | `Min of string | `Max of string ] ->
   Params.t ->
   model3_strategy list ->

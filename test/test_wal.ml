@@ -1,0 +1,737 @@
+(* The durability subsystem (DESIGN §9): codec round-trips, fault
+   injection, the segmented log writer, checkpoint images, torn-tail and
+   bit-rot detection, ARIES-lite recovery, and the headline property —
+   recover (crash at k) is observationally identical to never crashing,
+   for every crash point k and every strategy. *)
+
+open Core
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A workload small enough that the full crash-point matrix (one run plus
+   one recovery per point) stays fast: 100 base tuples, 6 transactions of
+   2 modifications, 4 queries. *)
+let tiny =
+  let p = Experiment.scale Params.defaults 0.001 in
+  { p with Params.k_updates = 6.; l_per_txn = 2.; q_queries = 4. }
+
+let hex s =
+  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c)) (List.init (String.length s) (String.get s)))
+
+let tid_src = Tuple.source ~first:1000 ()
+
+let mk_tuple values = Tuple.make ~tid:(Tuple.next tid_src) (Array.of_list values)
+
+let flip s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+  Bytes.to_string b
+
+(* ------------------------------------------------------------------ *)
+(* Codec: primitives, engine types, framing                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_vector () =
+  (* The canonical IEEE 802.3 check value. *)
+  Alcotest.(check int) "crc32(123456789)" 0xCBF43926 (Codec.crc32 "123456789");
+  Alcotest.(check int) "crc32(empty)" 0 (Codec.crc32 "")
+
+let test_primitive_roundtrip () =
+  let w = Codec.writer () in
+  Codec.u8 w 0xAB;
+  Codec.u32 w 0xFFFFFFFF;
+  Codec.i64 w min_int;
+  Codec.i64 w (-1);
+  Codec.f64 w 1.5;
+  Codec.str w "hello \x00 world";
+  Codec.bool w true;
+  Codec.option w Codec.str None;
+  Codec.option w Codec.str (Some "x");
+  Codec.list w Codec.i64 [ 1; 2; 3 ];
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check int) "u8" 0xAB (Codec.r_u8 r);
+  Alcotest.(check int) "u32" 0xFFFFFFFF (Codec.r_u32 r);
+  Alcotest.(check int) "i64 min" min_int (Codec.r_i64 r);
+  Alcotest.(check int) "i64 -1" (-1) (Codec.r_i64 r);
+  Alcotest.(check (float 0.)) "f64" 1.5 (Codec.r_f64 r);
+  Alcotest.(check string) "str" "hello \x00 world" (Codec.r_str r);
+  Alcotest.(check bool) "bool" true (Codec.r_bool r);
+  Alcotest.(check (option string)) "none" None (Codec.r_option r Codec.r_str);
+  Alcotest.(check (option string)) "some" (Some "x") (Codec.r_option r Codec.r_str);
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Codec.r_list r Codec.r_i64);
+  Alcotest.(check bool) "at end" true (Codec.at_end r)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) int;
+        map (fun f -> Value.Float f) float;
+        map (fun s -> Value.Str s) (small_string ~gen:printable);
+      ])
+
+let value_arb = QCheck.make ~print:(fun v -> Value.to_string v) value_gen
+
+let encode_value v =
+  let w = Codec.writer () in
+  Codec.value w v;
+  Codec.contents w
+
+let test_value_roundtrip () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"codec: value round-trip" ~count:500 value_arb
+       (fun v ->
+         let bytes = encode_value v in
+         let v' = Codec.r_value (Codec.reader bytes) in
+         (* byte-compare the re-encoding so NaN floats round-trip too *)
+         String.equal bytes (encode_value v')))
+
+let tuple_arb =
+  QCheck.make
+    ~print:(fun t -> Format.asprintf "%a" Tuple.pp t)
+    QCheck.Gen.(
+      map2
+        (fun tid values -> Tuple.make ~tid:(abs tid) (Array.of_list values))
+        int
+        (list_size (int_range 0 8) value_gen))
+
+let test_tuple_roundtrip () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"codec: tuple round-trip" ~count:500 tuple_arb
+       (fun t ->
+         let w = Codec.writer () in
+         Codec.tuple w t;
+         let t' = Codec.r_tuple (Codec.reader (Codec.contents w)) in
+         Tuple.tid t = Tuple.tid t'
+         && String.equal (Tuple.value_key t) (Tuple.value_key t')))
+
+let test_schema_roundtrip () =
+  let check_schema s =
+    let w = Codec.writer () in
+    Codec.schema w s;
+    let s' = Codec.r_schema (Codec.reader (Codec.contents w)) in
+    Alcotest.(check string) "name" (Schema.name s) (Schema.name s');
+    Alcotest.(check int) "tuple bytes" (Schema.tuple_bytes s) (Schema.tuple_bytes s');
+    Alcotest.(check int) "key index" (Schema.key_index s) (Schema.key_index s');
+    Alcotest.(check (list string))
+      "columns"
+      (List.map (fun (c : Schema.column) -> c.Schema.name) (Schema.columns s))
+      (List.map (fun (c : Schema.column) -> c.Schema.name) (Schema.columns s'))
+  in
+  let setup = Experiment.model1_setup tiny in
+  check_schema setup.Experiment.ms_dataset.Dataset.m1_schema;
+  check_schema
+    (Schema.make ~name:"t"
+       ~columns:
+         [
+           { Schema.name = "a"; ty = Schema.T_int };
+           { Schema.name = "b"; ty = Schema.T_float };
+           { Schema.name = "c"; ty = Schema.T_string };
+           { Schema.name = "d"; ty = Schema.T_bool };
+         ]
+       ~tuple_bytes:64 ~key:"c")
+
+let test_frame_detects_corruption () =
+  let payload = "some payload bytes" in
+  let framed = Codec.frame payload in
+  (match Codec.read_frame (Codec.reader framed) with
+  | Ok p -> Alcotest.(check string) "round-trip" payload p
+  | Error _ -> Alcotest.fail "clean frame rejected");
+  (* every truncation is detected as Torn, every payload bit-flip as a
+     checksum failure *)
+  for keep = 0 to String.length framed - 1 do
+    let r = Codec.reader (String.sub framed 0 keep) in
+    match Codec.read_frame r with
+    | Ok _ -> Alcotest.fail "truncated frame accepted"
+    | Error Codec.Bad_crc when keep >= 8 -> () (* whole header, cut payload *)
+    | Error Codec.Torn -> Alcotest.(check int) "pos pinned" 0 r.Codec.pos
+    | Error Codec.Bad_crc -> Alcotest.fail "header cut misread as CRC failure"
+  done;
+  for i = 8 to String.length framed - 1 do
+    match Codec.read_frame (Codec.reader (flip framed i)) with
+    | Ok _ -> Alcotest.fail "corrupt payload accepted"
+    | Error _ -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_counting () =
+  let f = Fault.create ~keep_labels:true () in
+  Alcotest.(check bool) "enabled" true (Fault.enabled f);
+  Fault.point f "a";
+  Fault.point f "b";
+  Fault.point f "c";
+  Alcotest.(check int) "points" 3 (Fault.points_seen f);
+  Alcotest.(check (list (pair int string)))
+    "labels"
+    [ (1, "a"); (2, "b"); (3, "c") ]
+    (Fault.labels f);
+  Fault.point Fault.none "ignored";
+  Alcotest.(check int) "none is stateless" 0 (Fault.points_seen Fault.none);
+  Alcotest.(check bool) "none disabled" false (Fault.enabled Fault.none)
+
+let test_fault_crash_at () =
+  let f = Fault.create ~crash_at:2 () in
+  Fault.point f "first";
+  (try
+     Fault.point f "second";
+     Alcotest.fail "no crash at k"
+   with Fault.Crash (label, k) ->
+     Alcotest.(check string) "label" "second" label;
+     Alcotest.(check int) "index" 2 k);
+  Fault.reset ~crash_at:1 f;
+  try
+    Fault.point f "again";
+    Alcotest.fail "no crash after reset"
+  with Fault.Crash (label, _) -> Alcotest.(check string) "reset label" "again" label
+
+(* ------------------------------------------------------------------ *)
+(* Devices                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let exercise_device dev =
+  Device.append dev ~name:"a" "hello ";
+  Device.append dev ~name:"a" "world";
+  Device.write_atomic dev ~name:"b" "bytes";
+  Alcotest.(check (option string)) "append" (Some "hello world") (Device.read dev ~name:"a");
+  Alcotest.(check (option string)) "atomic" (Some "bytes") (Device.read dev ~name:"b");
+  Alcotest.(check (option string)) "missing" None (Device.read dev ~name:"zzz");
+  Alcotest.(check (list string)) "files sorted" [ "a"; "b" ] (Device.files dev);
+  Device.truncate dev ~name:"a" 5;
+  Alcotest.(check (option string)) "truncated" (Some "hello") (Device.read dev ~name:"a");
+  Alcotest.(check (option int)) "size" (Some 5) (Device.size dev ~name:"a");
+  Alcotest.(check int) "total" 10 (Device.total_bytes dev);
+  Device.remove dev ~name:"b";
+  Alcotest.(check (list string)) "removed" [ "a" ] (Device.files dev)
+
+let test_device_memory () = exercise_device (Device.memory ())
+
+let test_device_dir () =
+  let dir = Filename.temp_dir "vmat-wal-test" "" in
+  exercise_device (Device.dir dir);
+  (* a fresh handle over the same directory sees the same bytes *)
+  Alcotest.(check (option string))
+    "persistent" (Some "hello")
+    (Device.read (Device.dir dir) ~name:"a")
+
+(* ------------------------------------------------------------------ *)
+(* Records and log scanning                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample_records () =
+  let t1 = mk_tuple [ Value.Int 1; Value.Str "x" ] in
+  let t2 = mk_tuple [ Value.Int 2; Value.Str "y" ] in
+  [
+    Wal_record.Txn_begin { txn_id = 1 };
+    Wal_record.Change { txn_id = 1; before = None; after = Some t1 };
+    Wal_record.Change { txn_id = 1; before = Some t1; after = Some t2 };
+    Wal_record.Change { txn_id = 1; before = Some t2; after = None };
+    Wal_record.Commit { txn_id = 1; op_index = 1 };
+    Wal_record.Checkpoint_note { ckpt_id = 3; op_index = 1 };
+  ]
+
+let test_record_roundtrip () =
+  List.iter
+    (fun r ->
+      let r' = Wal_record.decode (Wal_record.encode r) in
+      Alcotest.(check string) "describe round-trip" (Wal_record.describe r)
+        (Wal_record.describe r'))
+    (sample_records ())
+
+let test_record_golden_bytes () =
+  (* Byte-stability of the on-disk format: recovery must read logs written
+     by earlier runs.  tag 03, then txn_id and op_index as little-endian
+     64-bit integers. *)
+  Alcotest.(check string)
+    "commit record bytes" "0307000000000000000900000000000000"
+    (hex (Wal_record.encode (Wal_record.Commit { txn_id = 7; op_index = 9 })));
+  Alcotest.(check string)
+    "txn-begin bytes" "012a00000000000000"
+    (hex (Wal_record.encode (Wal_record.Txn_begin { txn_id = 42 })))
+
+let test_scan_tails () =
+  let records = sample_records () in
+  let log = String.concat "" (List.map Wal_record.to_frame records) in
+  let s = Wal_record.scan_bytes log in
+  Alcotest.(check int) "all records" (List.length records) (List.length s.Wal_record.records);
+  Alcotest.(check string) "clean" "clean" (Wal_record.tail_name s.Wal_record.tail);
+  Alcotest.(check int) "all bytes" (String.length log) s.Wal_record.valid_bytes;
+  (* torn tail: cut the final frame short *)
+  let torn = Wal_record.scan_bytes (String.sub log 0 (String.length log - 3)) in
+  Alcotest.(check int) "prefix records" (List.length records - 1)
+    (List.length torn.Wal_record.records);
+  Alcotest.(check string) "torn" "torn" (Wal_record.tail_name torn.Wal_record.tail);
+  (* bit rot inside the final frame's payload *)
+  let rotten = Wal_record.scan_bytes (flip log (String.length log - 2)) in
+  Alcotest.(check int) "prefix records (rot)" (List.length records - 1)
+    (List.length rotten.Wal_record.records);
+  Alcotest.(check string) "bad-crc" "bad-crc" (Wal_record.tail_name rotten.Wal_record.tail);
+  Alcotest.(check bool) "valid prefix ends before the rot" true
+    (rotten.Wal_record.valid_bytes < String.length log - 2)
+
+(* ------------------------------------------------------------------ *)
+(* The log writer: group commit, rotation, cost charging               *)
+(* ------------------------------------------------------------------ *)
+
+let test_group_commit () =
+  let ctx = Ctx.create () in
+  let dev = Device.memory () in
+  let wal = Wal.create ~config:(Wal.config ~group_commit:3 ()) ~ctx dev in
+  let one_txn () =
+    let txn_id = Wal.begin_txn wal in
+    Wal.append wal (Wal_record.Txn_begin { txn_id });
+    Wal.append wal (Wal_record.Commit { txn_id; op_index = txn_id });
+    Wal.commit wal
+  in
+  one_txn ();
+  one_txn ();
+  Alcotest.(check int) "buffered, not forced" 0 (Wal.forces wal);
+  Alcotest.(check bool) "pending bytes" true (Wal.pending_bytes wal > 0);
+  one_txn ();
+  Alcotest.(check int) "third commit forces" 1 (Wal.forces wal);
+  Alcotest.(check int) "nothing pending" 0 (Wal.pending_bytes wal);
+  Alcotest.(check int) "records counted" 6 (Wal.appended_records wal);
+  Alcotest.(check bool) "durable bytes" true (Wal.forced_bytes wal > 0);
+  (* durability cost lands in the Wal category, nowhere else *)
+  let m = Ctx.meter ctx in
+  Alcotest.(check bool) "wal writes charged" true (Cost_meter.writes m Cost_meter.Wal > 0);
+  List.iter
+    (fun cat ->
+      if Cost_meter.category_index cat <> Cost_meter.category_index Cost_meter.Wal then
+        Alcotest.(check int)
+          (Printf.sprintf "no %s writes" (Cost_meter.category_name cat))
+          0
+          (Cost_meter.writes m cat))
+    Cost_meter.all_categories
+
+let test_segment_rotation () =
+  let ctx = Ctx.create () in
+  let dev = Device.memory () in
+  let wal = Wal.create ~config:(Wal.config ~segment_bytes:256 ()) ~ctx dev in
+  for i = 1 to 40 do
+    Wal.append wal (Wal_record.Txn_begin { txn_id = i });
+    Wal.append wal (Wal_record.Commit { txn_id = i; op_index = i });
+    Wal.commit wal
+  done;
+  let segs = Wal.segment_files dev in
+  Alcotest.(check bool) "rotated" true (List.length segs > 1);
+  List.iter
+    (fun (i, name) ->
+      Alcotest.(check (option int)) "name round-trip" (Some i) (Wal.segment_index name);
+      Alcotest.(check bool) "bounded segments" true
+        (Option.value ~default:0 (Device.size dev ~name) <= 256 + 512))
+    segs;
+  (* a new writer starts a fresh segment after the existing ones *)
+  let wal2 = Wal.create ~ctx dev in
+  Wal.append wal2 (Wal_record.Txn_begin { txn_id = 99 });
+  Wal.force wal2;
+  let last = List.fold_left (fun acc (i, _) -> max acc i) 0 (Wal.segment_files dev) in
+  let before = List.fold_left (fun acc (i, _) -> max acc i) 0 segs in
+  Alcotest.(check bool) "fresh segment" true (last > before)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint images                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sample_image id =
+  let t1 = mk_tuple [ Value.Int 10; Value.Float 0.25 ] in
+  let t2 = mk_tuple [ Value.Int 11; Value.Str "v" ] in
+  {
+    Checkpoint.ck_id = id;
+    ck_op_index = 17;
+    ck_next_txn_id = 5;
+    ck_strategy = "deferred";
+    ck_base = [ t1; t2 ];
+    ck_view = [ (t2, 2) ];
+    ck_a_net = [ (t1, true) ];
+    ck_d_net = [ (t2, false) ];
+    ck_bloom_bits = "\x01\x02\x03\x04";
+    ck_bloom_insertions = 9;
+    ck_adaptive = [ ("kind", "immediate") ];
+  }
+
+let test_checkpoint_roundtrip () =
+  let im = sample_image 4 in
+  match Checkpoint.of_bytes (Checkpoint.to_bytes im) with
+  | Error e -> Alcotest.fail e
+  | Ok im' ->
+      Alcotest.(check int) "id" im.Checkpoint.ck_id im'.Checkpoint.ck_id;
+      Alcotest.(check int) "op" im.Checkpoint.ck_op_index im'.Checkpoint.ck_op_index;
+      Alcotest.(check int) "txn" im.Checkpoint.ck_next_txn_id im'.Checkpoint.ck_next_txn_id;
+      Alcotest.(check string) "strategy" "deferred" im'.Checkpoint.ck_strategy;
+      Alcotest.(check int) "base" 2 (List.length im'.Checkpoint.ck_base);
+      Alcotest.(check string) "bloom" im.Checkpoint.ck_bloom_bits im'.Checkpoint.ck_bloom_bits;
+      Alcotest.(check (list (pair string string)))
+        "adaptive" im.Checkpoint.ck_adaptive im'.Checkpoint.ck_adaptive
+
+let test_checkpoint_latest_skips_corrupt () =
+  let dev = Device.memory () in
+  Checkpoint.write dev (sample_image 1);
+  Checkpoint.write dev (sample_image 2);
+  (match Checkpoint.latest dev with
+  | Some im -> Alcotest.(check int) "newest wins" 2 im.Checkpoint.ck_id
+  | None -> Alcotest.fail "no image found");
+  (* corrupt the newest image: recovery falls back to the older one *)
+  let name = Checkpoint.file_name 2 in
+  let bytes = Option.get (Device.read dev ~name) in
+  Device.write_atomic dev ~name (flip bytes (String.length bytes - 5));
+  (match Checkpoint.latest dev with
+  | Some im -> Alcotest.(check int) "corrupt skipped" 1 im.Checkpoint.ck_id
+  | None -> Alcotest.fail "older image not found");
+  (match Checkpoint.read dev ~id:2 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt image validated");
+  Alcotest.(check (option int)) "file name round-trip" (Some 7)
+    (Checkpoint.file_id (Checkpoint.file_name 7))
+
+(* ------------------------------------------------------------------ *)
+(* Hr.rebuild_filter (satellite)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_rebuild_filter () =
+  let p = { tiny with Params.k_updates = 8. } in
+  let setup = Experiment.model1_setup ~seed:5 p in
+  let ctx = Experiment.fresh_ctx p ~first_tid:setup.Experiment.ms_first_tid in
+  let env =
+    {
+      Strategy_sp.ctx;
+      view = setup.Experiment.ms_dataset.Dataset.m1_view;
+      initial = setup.Experiment.ms_dataset.Dataset.m1_tuples;
+      ad_buckets = Experiment.ad_buckets_for p;
+    }
+  in
+  let strategy, hr = Strategy_sp.deferred_introspect env in
+  (* apply only the transactions, so the A/D sets stay resident *)
+  List.iter
+    (function
+      | Stream.Txn changes -> strategy.Strategy.handle_transaction changes
+      | Stream.Query _ -> ())
+    setup.Experiment.ms_ops;
+  let a_net, d_net = Hr.net_changes_unmetered hr in
+  Alcotest.(check bool) "workload produced pending changes" true
+    (List.length a_net + List.length d_net > 0);
+  let bloom = Hr.bloom hr in
+  let before = Bloom.snapshot_bits bloom in
+  Hr.rebuild_filter hr;
+  Alcotest.(check string) "rebuilt filter is bit-identical" before
+    (Bloom.snapshot_bits bloom);
+  (* no false negatives over the resident A/D tuples *)
+  let key_col = Schema.key_index (Hr.schema hr) in
+  List.iter
+    (fun (tuple, _) ->
+      Alcotest.(check bool) "resident key present" true
+        (Bloom.mem bloom (Value.key_string (Tuple.get tuple key_col))))
+    (a_net @ d_net)
+
+(* ------------------------------------------------------------------ *)
+(* Durable wrapper: same answers, costs isolated to the Wal category   *)
+(* ------------------------------------------------------------------ *)
+
+let run_tiny ~durability seed =
+  let p = tiny in
+  let setup = Experiment.model1_setup ~seed p in
+  let ctx = Experiment.fresh_ctx p ~first_tid:setup.Experiment.ms_first_tid in
+  let env =
+    {
+      Strategy_sp.ctx;
+      view = setup.Experiment.ms_dataset.Dataset.m1_view;
+      initial = setup.Experiment.ms_dataset.Dataset.m1_tuples;
+      ad_buckets = Experiment.ad_buckets_for p;
+    }
+  in
+  let inner = Strategy_sp.immediate env in
+  let strategy, durable =
+    if durability then begin
+      let d =
+        Durable.wrap
+          ~config:(Wal.config ~group_commit:2 ~checkpoint_every:3 ())
+          ~ctx ~dev:(Device.memory ())
+          ~initial:setup.Experiment.ms_dataset.Dataset.m1_tuples inner
+      in
+      (Durable.strategy d, Some d)
+    end
+    else (inner, None)
+  in
+  let answers = ref [] in
+  List.iter
+    (function
+      | Stream.Txn changes -> strategy.Strategy.handle_transaction changes
+      | Stream.Query q ->
+          let rows = strategy.Strategy.answer_query q in
+          answers :=
+            String.concat ";"
+              (List.map
+                 (fun (t, c) -> Printf.sprintf "%s*%d" (Tuple.value_key t) c)
+                 rows)
+            :: !answers)
+    setup.Experiment.ms_ops;
+  Option.iter Durable.flush durable;
+  (List.rev !answers, ctx, durable)
+
+let test_durable_transparent () =
+  let plain, plain_ctx, _ = run_tiny ~durability:false 13 in
+  let logged, logged_ctx, durable = run_tiny ~durability:true 13 in
+  Alcotest.(check (list string)) "answers identical under WAL" plain logged;
+  let d = Option.get durable in
+  Alcotest.(check bool) "checkpoints happened" true (Durable.checkpoints_taken d > 0);
+  (* the wrapper charges the Wal category and nothing else *)
+  let pm = Ctx.meter plain_ctx and lm = Ctx.meter logged_ctx in
+  List.iter
+    (fun cat ->
+      if Cost_meter.category_index cat <> Cost_meter.category_index Cost_meter.Wal then begin
+        Alcotest.(check int)
+          (Printf.sprintf "%s reads unchanged" (Cost_meter.category_name cat))
+          (Cost_meter.reads pm cat) (Cost_meter.reads lm cat);
+        Alcotest.(check int)
+          (Printf.sprintf "%s writes unchanged" (Cost_meter.category_name cat))
+          (Cost_meter.writes pm cat) (Cost_meter.writes lm cat)
+      end)
+    Cost_meter.all_categories;
+  Alcotest.(check int) "plain run never touches Wal" 0
+    (Cost_meter.writes pm Cost_meter.Wal);
+  Alcotest.(check bool) "durable run pays Wal writes" true
+    (Cost_meter.writes lm Cost_meter.Wal > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_restart () =
+  let p = tiny in
+  let config = Wal.config ~group_commit:1 ~checkpoint_every:4 () in
+  let setup = Experiment.model1_setup ~seed:17 p in
+  let initial = setup.Experiment.ms_dataset.Dataset.m1_tuples in
+  let dev = Device.memory () in
+  let mk_env ctx base =
+    {
+      Strategy_sp.ctx;
+      view = setup.Experiment.ms_dataset.Dataset.m1_view;
+      initial = base;
+      ad_buckets = Experiment.ad_buckets_for p;
+    }
+  in
+  let ctx = Experiment.fresh_ctx p ~first_tid:setup.Experiment.ms_first_tid in
+  let d = Durable.wrap ~config ~ctx ~dev ~initial (Strategy_sp.immediate (mk_env ctx initial)) in
+  let s = Durable.strategy d in
+  List.iter
+    (function
+      | Stream.Txn changes -> s.Strategy.handle_transaction changes
+      | Stream.Query q -> ignore (s.Strategy.answer_query q))
+    setup.Experiment.ms_ops;
+  Durable.flush d;
+  let want_base =
+    List.map (fun t -> Printf.sprintf "%d %s" (Tuple.tid t) (Tuple.value_key t))
+      (Durable.base_contents d)
+  in
+  (* restart: recover over the surviving device *)
+  let ctx2 = Experiment.fresh_ctx p ~first_tid:setup.Experiment.ms_first_tid in
+  let build ~image:_ base = (Strategy_sp.immediate (mk_env ctx2 base), Durable.null_probe) in
+  let d2, scan = Recovery.recover ~config ~ctx:ctx2 ~dev ~initial ~build () in
+  Alcotest.(check string) "clean tail" "clean"
+    (Wal_record.tail_name scan.Recovery.sc_tail);
+  (* queries are not durable events: the resume point is the last committed
+     transaction's op index; the driver re-issues (re-answers) anything
+     after it *)
+  let last_txn_op =
+    snd
+      (List.fold_left
+         (fun (i, acc) op ->
+           (i + 1, match op with Stream.Txn _ -> i + 1 | Stream.Query _ -> acc))
+         (0, 0) setup.Experiment.ms_ops)
+  in
+  Alcotest.(check int) "resume = last committed txn" last_txn_op scan.Recovery.sc_resume;
+  Alcotest.(check bool) "resume within the stream" true
+    (scan.Recovery.sc_resume <= List.length setup.Experiment.ms_ops);
+  Alcotest.(check bool) "an image was used" true
+    (Option.is_some scan.Recovery.sc_image);
+  Alcotest.(check (list string)) "base contents identical" want_base
+    (List.map
+       (fun t -> Printf.sprintf "%d %s" (Tuple.tid t) (Tuple.value_key t))
+       (Durable.base_contents d2));
+  Alcotest.(check int) "txn ids continue" (Wal.next_txn_id (Durable.wal d))
+    (Wal.next_txn_id (Durable.wal d2))
+
+let test_recovery_truncates_torn_tail () =
+  let ctx = Ctx.create () in
+  let dev = Device.memory () in
+  let wal = Wal.create ~ctx dev in
+  let log_txn txn_id =
+    let t = mk_tuple [ Value.Int txn_id ] in
+    Wal.append wal (Wal_record.Txn_begin { txn_id });
+    Wal.append wal (Wal_record.Change { txn_id; before = None; after = Some t });
+    Wal.append wal (Wal_record.Commit { txn_id; op_index = txn_id });
+    Wal.force wal
+  in
+  log_txn 1;
+  log_txn 2;
+  (* the crash tore the final force: cut the last commit frame short *)
+  let _, seg = List.hd (List.rev (Wal.segment_files dev)) in
+  let size = Option.get (Device.size dev ~name:seg) in
+  Device.truncate dev ~name:seg (size - 4);
+  let s = Recovery.scan dev in
+  Alcotest.(check string) "torn" "torn" (Wal_record.tail_name s.Recovery.sc_tail);
+  Alcotest.(check int) "stops at last valid commit" 1 (List.length s.Recovery.sc_txns);
+  Alcotest.(check int) "resume" 1 s.Recovery.sc_resume;
+  Alcotest.(check bool) "repair target identified" true
+    (Option.is_some s.Recovery.sc_invalid);
+  Recovery.repair dev s;
+  let s2 = Recovery.scan dev in
+  Alcotest.(check string) "clean after repair" "clean"
+    (Wal_record.tail_name s2.Recovery.sc_tail);
+  Alcotest.(check int) "same committed prefix" 1 (List.length s2.Recovery.sc_txns);
+  (* txn 2's commit was lost, but its begin survived in the valid prefix:
+     the id stays reserved so the continuing engine never reuses it *)
+  Alcotest.(check int) "next txn id" 3 s2.Recovery.sc_next_txn_id
+
+let test_recovery_stops_at_bit_rot () =
+  let ctx = Ctx.create () in
+  let dev = Device.memory () in
+  let wal = Wal.create ~ctx dev in
+  let log_txn txn_id =
+    Wal.append wal (Wal_record.Txn_begin { txn_id });
+    Wal.append wal (Wal_record.Commit { txn_id; op_index = txn_id });
+    Wal.force wal
+  in
+  log_txn 1;
+  log_txn 2;
+  log_txn 3;
+  let _, seg = List.hd (Wal.segment_files dev) in
+  let bytes = Option.get (Device.read dev ~name:seg) in
+  (* flip one bit inside txn 2's begin record; txn 1 must survive, txns 2
+     and 3 must not (nothing after the first invalid frame is trusted) *)
+  let txn1_bytes =
+    String.length (Wal_record.to_frame (Wal_record.Txn_begin { txn_id = 1 }))
+    + String.length (Wal_record.to_frame (Wal_record.Commit { txn_id = 1; op_index = 1 }))
+  in
+  Device.write_atomic dev ~name:seg (flip bytes (txn1_bytes + 10));
+  let s = Recovery.scan dev in
+  Alcotest.(check string) "bad-crc" "bad-crc" (Wal_record.tail_name s.Recovery.sc_tail);
+  Alcotest.(check int) "only txn 1 committed" 1 (List.length s.Recovery.sc_txns);
+  Alcotest.(check int) "valid prefix" txn1_bytes
+    (match s.Recovery.sc_invalid with
+    | Some (_, keep) -> keep
+    | None -> -1)
+
+(* ------------------------------------------------------------------ *)
+(* Crash equivalence: the headline property                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_matrix spec =
+  let m = Crash_harness.crash_matrix spec in
+  Alcotest.(check bool) "workload passes crash points" true (m.Crash_harness.mx_points > 0);
+  Alcotest.(check (list int))
+    (Printf.sprintf "all %d crash points recover identically (%s)"
+       m.Crash_harness.mx_points
+       (Crash_harness.kind_name spec.Crash_harness.hp_kind))
+    [] m.Crash_harness.mx_mismatches;
+  m
+
+let test_crash_matrix_all_strategies () =
+  let config = Wal.config ~group_commit:2 ~checkpoint_every:3 () in
+  List.iter
+    (fun kind ->
+      ignore (check_matrix (Crash_harness.spec ~seed:42 ~config ~params:tiny kind)))
+    Crash_harness.all_kinds
+
+let test_crash_matrix_labels () =
+  let spec =
+    Crash_harness.spec ~seed:42
+      ~config:(Wal.config ~group_commit:1 ~checkpoint_every:2 ())
+      ~params:tiny (Crash_harness.Static Migrate.Immediate)
+  in
+  let m = check_matrix spec in
+  let labels =
+    List.sort_uniq String.compare (List.map snd m.Crash_harness.mx_labels)
+  in
+  (* the whole crash-point catalog is exercised *)
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " exercised") true
+        (List.exists (String.equal expected) labels))
+    [
+      "wal.append"; "wal.force.torn"; "wal.force.done"; "ckpt.begin";
+      "ckpt.written"; "ckpt.done";
+    ];
+  (* and some crashes genuinely tore the log *)
+  Alcotest.(check bool) "torn tails seen" true
+    (List.exists
+       (fun r ->
+         match r.Crash_harness.cr_tail with
+         | Wal_record.Torn | Wal_record.Bad_crc -> true
+         | Wal_record.Clean -> false)
+       m.Crash_harness.mx_reports)
+
+let test_crash_equivalence_property () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"crash at k ≡ no crash (random seed/config/kind)"
+       ~count:6
+       QCheck.(
+         quad (int_range 1 1000) (int_range 1 3) (int_range 1 4) (int_range 0 2))
+       (fun (seed, group_commit, checkpoint_every, which) ->
+         let kind =
+           match which with
+           | 0 -> Crash_harness.Static Migrate.Immediate
+           | 1 -> Crash_harness.Static Migrate.Deferred
+           | _ -> Crash_harness.Adaptive_k
+         in
+         let spec =
+           Crash_harness.spec ~seed
+             ~config:(Wal.config ~group_commit ~checkpoint_every ())
+             ~params:tiny kind
+         in
+         let m = Crash_harness.crash_matrix spec in
+         m.Crash_harness.mx_points > 0 && List.is_empty m.Crash_harness.mx_mismatches))
+
+let suites =
+  [
+    ( "wal-codec",
+      [
+        Alcotest.test_case "crc32 known vector" `Quick test_crc32_vector;
+        Alcotest.test_case "primitive round-trip" `Quick test_primitive_roundtrip;
+        Alcotest.test_case "value round-trip (qcheck)" `Quick test_value_roundtrip;
+        Alcotest.test_case "tuple round-trip (qcheck)" `Quick test_tuple_roundtrip;
+        Alcotest.test_case "schema round-trip" `Quick test_schema_roundtrip;
+        Alcotest.test_case "frame detects corruption" `Quick test_frame_detects_corruption;
+      ] );
+    ( "wal-fault",
+      [
+        Alcotest.test_case "counting injector" `Quick test_fault_counting;
+        Alcotest.test_case "crash at k" `Quick test_fault_crash_at;
+      ] );
+    ( "wal-log",
+      [
+        Alcotest.test_case "memory device" `Quick test_device_memory;
+        Alcotest.test_case "directory device" `Quick test_device_dir;
+        Alcotest.test_case "record round-trip" `Quick test_record_roundtrip;
+        Alcotest.test_case "record golden bytes" `Quick test_record_golden_bytes;
+        Alcotest.test_case "scan classifies tails" `Quick test_scan_tails;
+        Alcotest.test_case "group commit" `Quick test_group_commit;
+        Alcotest.test_case "segment rotation" `Quick test_segment_rotation;
+      ] );
+    ( "wal-checkpoint",
+      [
+        Alcotest.test_case "image round-trip" `Quick test_checkpoint_roundtrip;
+        Alcotest.test_case "latest skips corrupt" `Quick test_checkpoint_latest_skips_corrupt;
+        Alcotest.test_case "hr rebuild_filter" `Quick test_rebuild_filter;
+      ] );
+    ( "wal-recovery",
+      [
+        Alcotest.test_case "durable wrapper transparent" `Quick test_durable_transparent;
+        Alcotest.test_case "clean restart" `Quick test_clean_restart;
+        Alcotest.test_case "torn tail truncated" `Quick test_recovery_truncates_torn_tail;
+        Alcotest.test_case "bit rot stops replay" `Quick test_recovery_stops_at_bit_rot;
+      ] );
+    ( "wal-crash-equivalence",
+      [
+        Alcotest.test_case "matrix: every strategy" `Slow test_crash_matrix_all_strategies;
+        Alcotest.test_case "matrix: crash-point catalog" `Quick test_crash_matrix_labels;
+        Alcotest.test_case "qcheck: random seed/config/kind" `Slow
+          test_crash_equivalence_property;
+      ] );
+  ]
