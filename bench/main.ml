@@ -17,6 +17,10 @@
                                                  engine (wal cost column only)
      dune exec bench/main.exe -- durability   -- WAL overhead + observer-effect
                                                  check (BENCH_durability.json)
+     dune exec bench/main.exe -- --wall --readers 4 --json serving
+                                              -- wall-clock serving benchmark:
+                                                 TPS + p50/p95/p99 latency per
+                                                 strategy (BENCH_serving.json)
 
    See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
    the recorded paper-vs-measured comparison. *)
@@ -39,6 +43,15 @@ let jobs = ref 1
    sweeps stay domain-parallel safe; the only cost difference is the wal
    category. *)
 let durability = ref "none"
+
+(* --wall arms the serving section's wall-clock measurements (real TPS and
+   latency quantiles from N reader domains, DESIGN section 10).  Off by
+   default: wall numbers are machine-dependent, and every other section
+   must stay byte-identical run to run. *)
+let wall = ref false
+
+(* Reader domains for the serving section (--readers N). *)
+let readers = ref 2
 
 let durability_wrap () : Experiment.wrap option =
   match !durability with
@@ -1027,6 +1040,119 @@ let durability_bench () =
          ])
 
 (* ------------------------------------------------------------------ *)
+(* Serving: wall-clock TPS / latency (DESIGN section 10)               *)
+(* ------------------------------------------------------------------ *)
+
+let j_latency (l : Serve.latency) =
+  j_obj
+    [
+      ("count", j_int l.Serve.l_count);
+      ("mean", j_num l.Serve.l_mean_us);
+      ("p50", j_num l.Serve.l_p50_us);
+      ("p95", j_num l.Serve.l_p95_us);
+      ("p99", j_num l.Serve.l_p99_us);
+      ("max", j_num l.Serve.l_max_us);
+    ]
+
+let serving_bench () =
+  section "Serving: MVCC snapshot readers + single-writer group commit (wall clock)";
+  if not !wall then
+    print_endline
+      "skipped (pass --wall to measure; wall-clock numbers are machine-dependent, \
+       so they only run when asked and never land in the deterministic sections)"
+  else begin
+    let prob = 0.5 in
+    let p = scaled_params prob in
+    let queries_per_reader = 200 and publish_every = 8 and group_commit = 8 in
+    let config =
+      {
+        Serve.readers = !readers;
+        queries_per_reader;
+        publish_every;
+        durability = Serve.Wal_group_commit (Wal.config ~group_commit ());
+        record_observations = false;
+      }
+    in
+    let strategies = [ `Deferred; `Immediate; `Clustered ] in
+    Printf.printf "P=%.2f, N=%.0f, %d readers x %d queries, epoch every %d txns, group commit %d\n"
+      prob p.Params.n_tuples !readers queries_per_reader publish_every group_commit;
+    (* One classic (single-session, modeled-clock) measurement per strategy
+       runs alongside the wall-clock serve: the modeled column below must
+       match a --wall-less run exactly — serving never contaminates the
+       modeled axis. *)
+    let results =
+      List.map
+        (fun s ->
+          let modeled = snd (List.hd (Experiment.measure_model1 p [ s ])) in
+          let r = Serve.run ~config ~params:p ~strategy:s () in
+          (r, modeled))
+        strategies
+    in
+    let rows =
+      List.map
+        (fun ((r : Serve.report), (modeled : Runner.measurement)) ->
+          [
+            r.Serve.r_strategy;
+            Table.float_cell ~decimals:1 modeled.Runner.cost_per_query;
+            Table.float_cell ~decimals:0 r.Serve.r_tps;
+            Table.float_cell ~decimals:0 r.Serve.r_qps;
+            Table.float_cell ~decimals:1 r.Serve.r_query_latency.Serve.l_p50_us;
+            Table.float_cell ~decimals:1 r.Serve.r_query_latency.Serve.l_p95_us;
+            Table.float_cell ~decimals:1 r.Serve.r_query_latency.Serve.l_p99_us;
+            Table.float_cell ~decimals:1 r.Serve.r_txn_latency.Serve.l_p99_us;
+            j_int r.Serve.r_epochs;
+            j_int r.Serve.r_reclaimed;
+          ])
+        results
+    in
+    print_table
+      ~headers:
+        [
+          "strategy"; "modeled ms/q"; "tps"; "qps"; "q p50 us"; "q p95 us"; "q p99 us";
+          "txn p99 us"; "epochs"; "reclaimed";
+        ]
+      rows;
+    if !json_enabled then
+      write_json "BENCH_serving.json"
+        (j_obj
+           [
+             ("figure", j_str "serving");
+             ("n_tuples", j_num p.Params.n_tuples);
+             ("P", j_num prob);
+             ("readers", j_int !readers);
+             ("queries_per_reader", j_int queries_per_reader);
+             ("publish_every", j_int publish_every);
+             ("group_commit", j_int group_commit);
+             ( "strategies",
+               j_arr
+                 (List.map
+                    (fun ((r : Serve.report), modeled) ->
+                      j_obj
+                        [
+                          ("strategy", j_str r.Serve.r_strategy);
+                          ("modeled", json_of_measurement modeled);
+                          ("modeled_serving_ms", j_num r.Serve.r_modeled_ms);
+                          ("final_digest", j_str r.Serve.r_final_digest);
+                          ( "wall",
+                            j_obj
+                              [
+                                ("tps", j_num r.Serve.r_tps);
+                                ("qps", j_num r.Serve.r_qps);
+                                ("wall_s", j_num r.Serve.r_wall_s);
+                                ("txns", j_int r.Serve.r_txns);
+                                ("queries", j_int r.Serve.r_queries);
+                                ("epochs", j_int r.Serve.r_epochs);
+                                ("reclaimed", j_int r.Serve.r_reclaimed);
+                                ("max_live", j_int r.Serve.r_max_live);
+                                ("query_latency_us", j_latency r.Serve.r_query_latency);
+                                ("txn_latency_us", j_latency r.Serve.r_txn_latency);
+                              ] );
+                        ])
+                    results) );
+           ])
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1205,6 +1331,7 @@ let sections =
     ("ablation-planner", ablation_planner);
     ("adaptive", adaptive_bench);
     ("durability", durability_bench);
+    ("serving", serving_bench);
     ("yao", yao_table);
     ("csv", csv_export);
     ("bechamel", microbenchmarks);
@@ -1225,10 +1352,25 @@ let () =
         parse acc rest
     | "--jobs" :: v :: rest ->
         let n = int_of_string v in
+        if n < 0 then begin
+          Printf.eprintf "--jobs %d is negative; expected N >= 0 (0 = all cores)\n" n;
+          exit 2
+        end;
         jobs := (if n = 0 then Parallel.default_jobs () else n);
         parse acc rest
     | "--durability" :: v :: rest ->
         durability := v;
+        parse acc rest
+    | "--wall" :: rest ->
+        wall := true;
+        parse acc rest
+    | "--readers" :: v :: rest ->
+        let n = int_of_string v in
+        if n < 1 then begin
+          Printf.eprintf "--readers %d is out of range; expected N >= 1\n" n;
+          exit 2
+        end;
+        readers := n;
         parse acc rest
     | arg :: rest -> parse (arg :: acc) rest
   in

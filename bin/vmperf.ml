@@ -8,6 +8,9 @@
      vmperf sweep    --model 3 --param l          cost table over a parameter sweep
      vmperf adapt    --scale 0.05 -f 0.5          adaptive vs static on a phase shift
      vmperf top      --strategy deferred          profile one strategy (spans + metrics)
+     vmperf serve    --readers 4 --scale 0.05     concurrent serving: MVCC snapshot
+                                                  readers + single writer, wall-clock
+                                                  TPS / latency quantiles
      vmperf params                                the paper's parameter table
      vmperf crash-test --scale 0.002              crash at every WAL point, check
                                                   recovery == the uncrashed run
@@ -128,6 +131,21 @@ let scale_term =
 
 let seed_term =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc:"Workload RNG seed.")
+
+(* Validated count converters: a negative --jobs/--readers is a usage error
+   (reported by cmdliner with the offending option), never silently clamped
+   and never handed to Parallel.map_points. *)
+let count_conv ~least ~hint =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= least -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%d is out of range; expected %s" n hint))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let nonneg_int = count_conv ~least:0 ~hint:"N >= 0"
+let pos_int = count_conv ~least:1 ~hint:"N >= 1"
 
 (* ------------------------------------------------------------------ *)
 (* Observability flags (simulate / adapt / top)                        *)
@@ -414,7 +432,7 @@ let sweep_cmd =
   in
   let jobs_term =
     Arg.(
-      value & opt int 1
+      value & opt nonneg_int 1
       & info [ "jobs" ] ~docv:"N"
           ~doc:
             "Run the sweep points on $(docv) domains in parallel (0 = one per \
@@ -741,6 +759,130 @@ let top_cmd =
       const run $ model_term $ params_term $ scale_term $ seed_term $ strategy_term
       $ trace_term $ metrics_term $ metrics_json_term)
 
+(* ------------------------------------------------------------------ *)
+(* serve: the concurrent serving subsystem (DESIGN §10)                *)
+(* ------------------------------------------------------------------ *)
+
+let model1_strategy_of_name = function
+  | "deferred" -> `Deferred
+  | "immediate" -> `Immediate
+  | "clustered" -> `Clustered
+  | "unclustered" -> `Unclustered
+  | "sequential" -> `Sequential
+  | "recompute" -> `Recompute
+  | "adaptive" -> `Adaptive
+  | other ->
+      Printf.eprintf
+        "unknown strategy %s (expected deferred, immediate, clustered, unclustered, \
+         sequential, recompute or adaptive)\n"
+        other;
+      exit 2
+
+let serve_cmd =
+  let strategy_term =
+    Arg.(
+      value
+      & opt string "deferred"
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:
+            "Model-1 strategy the writer maintains the view with (deferred, \
+             immediate, clustered, unclustered, sequential, recompute, adaptive).")
+  in
+  let readers_term =
+    Arg.(
+      value & opt pos_int 2
+      & info [ "readers" ] ~docv:"N"
+          ~doc:"Client domains executing view queries against pinned snapshots.")
+  in
+  let queries_term =
+    Arg.(
+      value & opt nonneg_int 200
+      & info [ "queries" ] ~docv:"N" ~doc:"Range queries issued per reader domain.")
+  in
+  let publish_every_term =
+    Arg.(
+      value & opt pos_int 8
+      & info [ "publish-every" ] ~docv:"N"
+          ~doc:"Publish a new snapshot epoch every $(docv) committed transactions.")
+  in
+  let run p scale seed strat readers queries publish_every durability group_commit
+      checkpoint_every sanitize metrics_file metrics_json_file =
+    let p = Experiment.scale p scale in
+    let strategy = model1_strategy_of_name strat in
+    let durability =
+      match durability with
+      | "none" -> Serve.No_wal
+      | "wal" -> Serve.Wal_group_commit (wal_config ~group_commit ~checkpoint_every)
+      | other ->
+          Printf.eprintf "unknown durability mode %s (expected wal or none)\n" other;
+          exit 2
+    in
+    let config =
+      {
+        Serve.readers;
+        queries_per_reader = queries;
+        publish_every;
+        durability;
+        record_observations = false;
+      }
+    in
+    let recorder, flush_obs =
+      make_recorder ~trace_file:None ~metrics_file ~metrics_json_file
+    in
+    let r =
+      Serve.run ~config ?recorder ?sanitize:(sanitize_opt sanitize) ~seed ~params:p
+        ~strategy ()
+    in
+    Printf.printf
+      "serving %s: N=%.0f, %d reader%s x %d queries, epoch every %d txns, durability %s\n"
+      r.Serve.r_strategy p.Params.n_tuples r.Serve.r_readers
+      (if r.Serve.r_readers = 1 then "" else "s")
+      queries publish_every
+      (match durability with
+      | Serve.No_wal -> "none"
+      | Serve.Wal_group_commit c ->
+          Printf.sprintf "wal (group commit %d)" c.Wal.group_commit);
+    Printf.printf "  transactions     %6d   (%.0f tps)\n" r.Serve.r_txns r.Serve.r_tps;
+    Printf.printf "  queries          %6d   (%.0f qps)\n" r.Serve.r_queries r.Serve.r_qps;
+    Printf.printf "  epochs published %6d   (reclaimed %d, live %d, max live %d)\n"
+      r.Serve.r_epochs r.Serve.r_reclaimed r.Serve.r_live r.Serve.r_max_live;
+    let pl tag (l : Serve.latency) =
+      Printf.printf
+        "  %s latency us  p50 %8.1f  p95 %8.1f  p99 %8.1f  max %8.1f  (mean %.1f, n=%d)\n"
+        tag l.Serve.l_p50_us l.Serve.l_p95_us l.Serve.l_p99_us l.Serve.l_max_us
+        l.Serve.l_mean_us l.Serve.l_count
+    in
+    pl "query" r.Serve.r_query_latency;
+    pl "txn  " r.Serve.r_txn_latency;
+    Printf.printf "  modeled cost     %.1f ms excluding base [%s]\n" r.Serve.r_modeled_ms
+      (String.concat ", "
+         (List.filter_map
+            (fun (cat, cost) ->
+              if cost > 0. then
+                Some (Printf.sprintf "%s=%.0f" (Cost_meter.category_name cat) cost)
+              else None)
+            r.Serve.r_category_costs));
+    if r.Serve.r_sanitize_checks > 0 then
+      Printf.printf "  sanitizers       %d checks, %d violations\n"
+        r.Serve.r_sanitize_checks r.Serve.r_sanitize_violations;
+    Printf.printf "  final digest     %s\n" r.Serve.r_final_digest;
+    flush_obs ();
+    (* Machine-checkable closing line (the CI serving-smoke job greps it). *)
+    Printf.printf "serve: ok tps=%.1f qps=%.1f\n" r.Serve.r_tps r.Serve.r_qps
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a model-1 workload concurrently: one writer domain applies update \
+          transactions and publishes MVCC snapshots at epoch boundaries; N reader \
+          domains answer view range queries from pinned snapshots.  Reports \
+          wall-clock TPS and p50/p95/p99 latency alongside the unchanged modeled \
+          cost (DESIGN section 10).")
+    Term.(
+      const run $ params_term $ scale_term $ seed_term $ strategy_term $ readers_term
+      $ queries_term $ publish_every_term $ durability_term $ group_commit_term
+      $ checkpoint_every_term $ sanitize_term $ metrics_term $ metrics_json_term)
+
 let shell_cmd =
   let run () =
     let db = Db.create () in
@@ -1019,7 +1161,7 @@ let () =
       (Cmd.group info
          [
            params_cmd; costs_cmd; simulate_cmd; advise_cmd; regions_cmd; sweep_cmd;
-           adapt_cmd; top_cmd; shell_cmd; crash_test_cmd; recover_cmd;
+           adapt_cmd; top_cmd; serve_cmd; shell_cmd; crash_test_cmd; recover_cmd;
          ])
   with
   | exception Sanitize.Violation message ->

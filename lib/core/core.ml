@@ -25,7 +25,11 @@
     - {!Codec}, {!Fault}, {!Device}, {!Wal_record}, {!Wal}, {!Checkpoint},
       {!Durable}, {!Recovery}, {!Crash_harness} — the durability subsystem:
       write-ahead logging, checkpoints, ARIES-lite crash recovery, and
-      deterministic fault injection (DESIGN §9). *)
+      deterministic fault injection (DESIGN §9);
+    - {!Mvcc}, {!Snapshot}, {!Serve}, {!Wallclock} — the concurrent serving
+      subsystem: immutable MVCC snapshots with pin/reclaim, a single writer
+      with WAL group commit, multi-domain readers, and the wall-clock
+      benchmark axis (DESIGN §10). *)
 
 module Yao = Vmat_util.Yao
 module Combin = Vmat_util.Combin
@@ -97,3 +101,7 @@ module Checkpoint = Vmat_wal.Checkpoint
 module Durable = Vmat_wal.Durable
 module Recovery = Vmat_wal.Recovery
 module Crash_harness = Vmat_wal.Harness
+module Mvcc = Vmat_wal.Mvcc
+module Snapshot = Vmat_serve.Snapshot
+module Serve = Vmat_serve.Server
+module Wallclock = Vmat_obs.Wallclock

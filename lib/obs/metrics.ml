@@ -151,6 +151,38 @@ let histogram_buckets t ?labels name =
   | Some { histo = Some h; _ } -> Some (Array.copy h.bounds, Array.copy h.counts)
   | _ -> None
 
+(* Prometheus-style quantile estimate from cumulative bucket counts: walk to
+   the bucket where the cumulative count reaches [q * nobs] and interpolate
+   linearly inside it.  The first bucket interpolates from a lower edge of 0;
+   the overflow bucket has no upper edge, so the last finite bound is the
+   best defensible estimate there. *)
+let histo_quantile h q =
+  if q < 0. || q > 1. then invalid_arg "Metrics.histogram_quantile: q must be in [0, 1]";
+  if h.nobs = 0 then None
+  else begin
+    let n = Array.length h.bounds in
+    let target = Float.max 1. (q *. float_of_int h.nobs) in
+    let rec find i cum =
+      if i = n then Some h.bounds.(n - 1)
+      else
+        let c = h.counts.(i) in
+        if float_of_int (cum + c) >= target then
+          let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+          let hi = h.bounds.(i) in
+          if c = 0 then Some hi
+          else Some (lo +. ((hi -. lo) *. ((target -. float_of_int cum) /. float_of_int c)))
+        else find (i + 1) (cum + c)
+    in
+    find 0 0
+  end
+
+let histogram_quantile t ?labels name q =
+  match find t ?labels name with
+  | Some { histo = Some h; _ } -> histo_quantile h q
+  | _ -> None
+
+let export_quantiles = [ 0.5; 0.95; 0.99 ]
+
 let families t =
   List.filter_map (fun name -> Hashtbl.find_opt t.families name) (List.rev t.order)
 
@@ -223,7 +255,17 @@ let to_prometheus t =
                 (Printf.sprintf "%s_sum%s %s\n" fam.f_name (prom_labels s.s_labels)
                    (prom_num h.sum));
               Buffer.add_string buf
-                (Printf.sprintf "%s_count%s %d\n" fam.f_name (prom_labels s.s_labels) h.nobs))
+                (Printf.sprintf "%s_count%s %d\n" fam.f_name (prom_labels s.s_labels) h.nobs);
+              List.iter
+                (fun q ->
+                  match histo_quantile h q with
+                  | None -> ()
+                  | Some v ->
+                      Buffer.add_string buf
+                        (Printf.sprintf "%s_quantile%s %s\n" fam.f_name
+                           (prom_labels (s.s_labels @ [ ("quantile", prom_num q) ]))
+                           (prom_num v)))
+                export_quantiles)
         (List.rev fam.f_series))
     (families t);
   Buffer.contents buf

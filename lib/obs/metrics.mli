@@ -67,6 +67,20 @@ val histogram_buckets :
 (** [(bounds, per-bucket counts)]; the count array has one extra trailing
     overflow cell.  Counts are raw per-bucket (not cumulative). *)
 
+val histogram_quantile :
+  t -> ?labels:(string * string) list -> string -> float -> float option
+(** [histogram_quantile t name q] estimates the [q]-th quantile ([q] in
+    [[0, 1]]) of a histogram from its bucket counts, Prometheus
+    [histogram_quantile]-style: linear interpolation inside the bucket where
+    the cumulative count crosses [q * count] (lower edge 0 for the first
+    bucket; the overflow bucket clamps to the last finite bound).  [None]
+    for unknown series or zero observations.
+    @raise Invalid_argument when [q] is outside [[0, 1]]. *)
+
+val export_quantiles : float list
+(** The quantiles emitted per histogram series by {!to_prometheus}:
+    [[0.5; 0.95; 0.99]]. *)
+
 val fold_series :
   t ->
   ('a -> name:string -> kind:kind -> labels:(string * string) list -> float -> 'a) ->
@@ -79,8 +93,9 @@ val fold_series :
 
 val to_prometheus : t -> string
 (** Prometheus text exposition format, version 0.0.4: [# HELP]/[# TYPE]
-    headers, cumulative [_bucket{le=...}] lines plus [_sum]/[_count] for
-    histograms. *)
+    headers, cumulative [_bucket{le=...}] lines plus [_sum]/[_count] and
+    estimated [_quantile{quantile="0.5|0.95|0.99"}] lines (see
+    {!histogram_quantile}) for histograms. *)
 
 val to_json : t -> string
 (** [{"metrics": [{"name", "kind", "labels", "value" | "buckets"/"sum"/"count"}, ...]}] *)

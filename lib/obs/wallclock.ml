@@ -1,0 +1,15 @@
+(* The wall-clock axis of the serving benchmark (DESIGN §10).
+
+   Everything else in this repository runs on the modeled cost-meter clock,
+   which is deterministic by construction — vmlint rule D2 bans real time
+   sources outside this file precisely so that no wall-clock reading can leak
+   into a modeled measurement.  This module is the single allowlisted
+   exception: it feeds TPS and latency numbers of `vmperf serve` /
+   `bench --wall` only, and nothing here ever touches a Cost_meter. *)
+
+type stopwatch = float
+
+let now_s () = Unix.gettimeofday ()
+let start () = now_s ()
+let elapsed_s started = now_s () -. started
+let elapsed_us started = (now_s () -. started) *. 1e6

@@ -1,0 +1,16 @@
+(** Wall-clock stopwatches for the serving benchmark (DESIGN §10).
+
+    The only module allowed to read real time (vmlint rule D2 allowlists it
+    by path).  Wall-clock readings feed the TPS / latency report of
+    [vmperf serve] and [bench --wall] exclusively — they must never be fed
+    into a {!Vmat_storage.Cost_meter} or any other modeled artifact, or
+    cross-machine determinism of the modeled outputs is lost. *)
+
+type stopwatch
+
+val now_s : unit -> float
+(** Seconds since the Unix epoch, sub-microsecond resolution. *)
+
+val start : unit -> stopwatch
+val elapsed_s : stopwatch -> float
+val elapsed_us : stopwatch -> float

@@ -1,0 +1,314 @@
+open Vmat_storage
+module Rng = Vmat_util.Rng
+module Stats = Vmat_util.Stats
+module Wallclock = Vmat_obs.Wallclock
+module Recorder = Vmat_obs.Recorder
+module Strategy = Vmat_view.Strategy
+module Strategy_sp = Vmat_view.Strategy_sp
+module View_def = Vmat_view.View_def
+module Params = Vmat_cost.Params
+module Experiment = Vmat_workload.Experiment
+module Stream = Vmat_workload.Stream
+module Dataset = Vmat_workload.Dataset
+module Parallel = Vmat_workload.Parallel
+module Mvcc = Vmat_wal.Mvcc
+module Wal = Vmat_wal.Wal
+module Durable = Vmat_wal.Durable
+module Device = Vmat_wal.Device
+
+type durability = No_wal | Wal_group_commit of Wal.config
+
+type config = {
+  readers : int;
+  queries_per_reader : int;
+  publish_every : int;
+  durability : durability;
+  record_observations : bool;
+}
+
+let default_config =
+  {
+    readers = 2;
+    queries_per_reader = 200;
+    publish_every = 8;
+    durability = Wal_group_commit (Wal.config ~group_commit:8 ());
+    record_observations = false;
+  }
+
+type latency = {
+  l_count : int;
+  l_mean_us : float;
+  l_p50_us : float;
+  l_p95_us : float;
+  l_p99_us : float;
+  l_max_us : float;
+}
+
+type observation = {
+  ob_reader : int;
+  ob_seq : int;
+  ob_epoch : int;
+  ob_lo : Value.t;
+  ob_hi : Value.t;
+  ob_digest : string;
+}
+
+type report = {
+  r_strategy : string;
+  r_readers : int;
+  r_txns : int;
+  r_queries : int;
+  r_epochs : int;
+  r_reclaimed : int;
+  r_live : int;
+  r_max_live : int;
+  r_wall_s : float;
+  r_tps : float;
+  r_qps : float;
+  r_txn_latency : latency;
+  r_query_latency : latency;
+  r_category_costs : (Cost_meter.category * float) list;
+  r_modeled_ms : float;
+  r_final_digest : string;
+  r_sanitize_checks : int;
+  r_sanitize_violations : int;
+  r_observations : observation list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The engine: one strategy over a Model-1 setup, txn-only stream      *)
+(* ------------------------------------------------------------------ *)
+
+type engine = {
+  en_env : Strategy_sp.env;
+  en_strategy : Strategy.t;
+  en_cluster_col : int;
+  en_txns : Strategy.change list list;
+}
+
+(* The writer replays a transaction-only stream: in the serving split,
+   queries are answered by reader domains from published snapshots, so the
+   generated stream carries the parameter set's update transactions and the
+   query mix is driven by [queries_per_reader] instead of [q]. *)
+let build_engine ?sanitize ~seed ~durability (p : Params.t) which =
+  let p = { p with Params.q_queries = 0. } in
+  let setup = Experiment.model1_setup ~seed p in
+  let env = Experiment.model1_env ?sanitize p setup in
+  let strategy = Experiment.model1_strategy_of env which in
+  let strategy =
+    match durability with
+    | No_wal -> strategy
+    | Wal_group_commit config ->
+        Durable.strategy
+          (Durable.wrap ~config ~ctx:env.Strategy_sp.ctx ~dev:(Device.memory ())
+             ~initial:setup.Experiment.ms_dataset.Dataset.m1_tuples strategy)
+  in
+  let txns =
+    List.filter_map
+      (function Stream.Txn cs -> Some cs | Stream.Query _ -> None)
+      setup.Experiment.ms_ops
+  in
+  {
+    en_env = env;
+    en_strategy = strategy;
+    en_cluster_col = env.Strategy_sp.view.View_def.sp_cluster_out;
+    en_txns = txns;
+  }
+
+let full_range =
+  { Strategy.q_lo = Strategy.min_sentinel; q_hi = Strategy.max_sentinel }
+
+(* The epoch-publication primitive: materialize the strategy's current
+   answer for the full clustering range through its ordinary query path, so
+   every snapshot pays the strategy's honest modeled refresh-plus-scan cost
+   (deferred strategies refresh here, exactly as they would for a client
+   query). *)
+let snapshot_now engine ~epoch ~txns =
+  let rows = engine.en_strategy.Strategy.answer_query full_range in
+  Snapshot.of_rows ~cluster_col:engine.en_cluster_col ~epoch ~txns rows
+
+(* The epoch protocol, shared by the live writer and the serial replay used
+   to verify it: epochs advance only at transaction boundaries, every
+   [publish_every] transactions plus once for a partial tail, so a published
+   image can never contain half a transaction.  [publish] runs at each
+   boundary with the epoch number and transactions covered; [on_txn] wraps
+   each transaction application (timing, sanitizing). *)
+let apply_txns engine ~publish_every ~publish ~on_txn =
+  let txns_done = ref 0 and epochs = ref 1 and since = ref 0 in
+  List.iter
+    (fun changes ->
+      on_txn (fun () -> engine.en_strategy.Strategy.handle_transaction changes);
+      incr txns_done;
+      incr since;
+      if !since >= publish_every then begin
+        publish ~epoch:!epochs ~txns:!txns_done;
+        incr epochs;
+        since := 0
+      end)
+    engine.en_txns;
+  if !since > 0 then begin
+    publish ~epoch:!epochs ~txns:!txns_done;
+    incr epochs
+  end;
+  (!txns_done, !epochs)
+
+(* ------------------------------------------------------------------ *)
+(* Serial replay (the verification oracle)                             *)
+(* ------------------------------------------------------------------ *)
+
+let replay_epochs ?(config = default_config) ?sanitize ?(seed = 42) ~params ~strategy ()
+    =
+  let engine = build_engine ?sanitize ~seed ~durability:config.durability params strategy in
+  let snaps = ref [ snapshot_now engine ~epoch:0 ~txns:0 ] in
+  let _ =
+    apply_txns engine ~publish_every:config.publish_every
+      ~publish:(fun ~epoch ~txns -> snaps := snapshot_now engine ~epoch ~txns :: !snaps)
+      ~on_txn:(fun f -> f ())
+  in
+  Array.of_list (List.rev !snaps)
+
+(* ------------------------------------------------------------------ *)
+(* The live server                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let latency_of samples =
+  match samples with
+  | [] ->
+      { l_count = 0; l_mean_us = 0.; l_p50_us = 0.; l_p95_us = 0.; l_p99_us = 0.; l_max_us = 0. }
+  | _ ->
+      {
+        l_count = List.length samples;
+        l_mean_us = Stats.mean samples;
+        l_p50_us = Stats.quantile 0.5 samples;
+        l_p95_us = Stats.quantile 0.95 samples;
+        l_p99_us = Stats.quantile 0.99 samples;
+        l_max_us = Stats.maximum samples;
+      }
+
+let run ?(config = default_config) ?recorder ?sanitize ?(seed = 42) ~params ~strategy ()
+    =
+  if config.readers < 1 then invalid_arg "Server.run: readers must be >= 1";
+  if config.publish_every < 1 then invalid_arg "Server.run: publish_every must be >= 1";
+  if config.queries_per_reader < 0 then
+    invalid_arg "Server.run: negative queries_per_reader";
+  let engine = build_engine ?sanitize ~seed ~durability:config.durability params strategy in
+  let ctx = engine.en_env.Strategy_sp.ctx in
+  (match recorder with Some r -> Ctx.set_recorder ctx r | None -> ());
+  let meter = Ctx.meter ctx and san = Ctx.sanitizer ctx in
+  let store : Snapshot.t Mvcc.t = Mvcc.create () in
+  (* Epoch 0 — the initial image — goes out on this domain before any other
+     domain exists, so a reader's very first pin always finds a snapshot. *)
+  ignore (Mvcc.publish store (snapshot_now engine ~epoch:0 ~txns:0));
+  let width = params.Params.f *. params.Params.fv in
+  let lo_max = params.Params.f -. width in
+  let reader_seeds = Parallel.split_seeds ~root:seed config.readers in
+  let sw_all = Wallclock.start () in
+  let writer =
+    Domain.spawn (fun () ->
+        (* Explicit ctx handoff: this domain owns the engine from here on
+           (the main domain only joins). *)
+        Ctx.adopt ctx;
+        let lats = ref [] in
+        let sw_writer = Wallclock.start () in
+        let txns, epochs =
+          apply_txns engine ~publish_every:config.publish_every
+            ~publish:(fun ~epoch ~txns ->
+              let v = Mvcc.publish store (snapshot_now engine ~epoch ~txns) in
+              assert (v = epoch))
+            ~on_txn:(fun f ->
+              let sw = Wallclock.start () in
+              f ();
+              lats := Wallclock.elapsed_us sw :: !lats;
+              if Sanitize.enabled san then begin
+                Sanitize.check san ~rule:"ctx-ownership"
+                  (fun () -> Ctx.owned_by_current ctx)
+                  ~detail:(fun () ->
+                    Printf.sprintf "serving writer lost ctx ownership (owner %d)"
+                      (Ctx.owner ctx));
+                Sanitize.check_meter san meter
+              end)
+        in
+        (txns, epochs, Wallclock.elapsed_s sw_writer, List.rev !lats))
+  in
+  let reader idx rseed () =
+    (* Readers own no ctx at all: a private RNG drives the query mix, and
+       every read touches only immutable pinned snapshots. *)
+    let rng = Rng.create rseed in
+    let lats = ref [] and obs = ref [] in
+    for s = 0 to config.queries_per_reader - 1 do
+      let q = Stream.range_query_of ~lo_max ~width rng in
+      let sw = Wallclock.start () in
+      let v, snap = Mvcc.pin store in
+      let result = Snapshot.query snap ~lo:q.Strategy.q_lo ~hi:q.Strategy.q_hi in
+      Mvcc.unpin store v;
+      lats := Wallclock.elapsed_us sw :: !lats;
+      if config.record_observations then
+        obs :=
+          {
+            ob_reader = idx;
+            ob_seq = s;
+            ob_epoch = v;
+            ob_lo = q.Strategy.q_lo;
+            ob_hi = q.Strategy.q_hi;
+            ob_digest = Snapshot.digest_rows result;
+          }
+          :: !obs
+    done;
+    (List.rev !lats, List.rev !obs)
+  in
+  let readers = List.mapi (fun i s -> Domain.spawn (reader i s)) reader_seeds in
+  let reader_results = List.map Domain.join readers in
+  let txns, epochs, writer_s, txn_lats = Domain.join writer in
+  let wall_s = Wallclock.elapsed_s sw_all in
+  let query_lats = List.concat_map fst reader_results in
+  let observations = List.concat_map snd reader_results in
+  let _, final = Mvcc.pin store in
+  Mvcc.unpin store (Snapshot.epoch final);
+  let st = Mvcc.stats store in
+  (* Wall-clock latency histograms are merged into the recorder here, on
+     the coordinating domain after both sides joined — the metric registry
+     is not thread-safe and reader domains must never touch it. *)
+  (match recorder with
+  | Some r when Recorder.enabled r ->
+      let name = engine.en_strategy.Strategy.name in
+      List.iter
+        (fun l ->
+          Recorder.observe r ~help:"Wall-clock latency of one serving operation (us)."
+            ~labels:[ ("op", "query"); ("strategy", name) ]
+            ~bounds:(Vmat_obs.Metrics.log_bounds ~start:0.25 ~growth:2. ~count:24 ())
+            "vmat_serve_latency_us" l)
+        query_lats;
+      List.iter
+        (fun l ->
+          Recorder.observe r ~help:"Wall-clock latency of one serving operation (us)."
+            ~labels:[ ("op", "txn"); ("strategy", name) ]
+            ~bounds:(Vmat_obs.Metrics.log_bounds ~start:0.25 ~growth:2. ~count:24 ())
+            "vmat_serve_latency_us" l)
+        txn_lats;
+      Recorder.set_gauge r ~help:"Snapshots published during the serving run."
+        ~labels:[ ("strategy", name) ]
+        "vmat_serve_epochs" (float_of_int epochs)
+  | _ -> ());
+  let queries = config.readers * config.queries_per_reader in
+  {
+    r_strategy = engine.en_strategy.Strategy.name;
+    r_readers = config.readers;
+    r_txns = txns;
+    r_queries = queries;
+    r_epochs = epochs;
+    r_reclaimed = st.Mvcc.st_reclaimed;
+    r_live = st.Mvcc.st_live;
+    r_max_live = st.Mvcc.st_max_live;
+    r_wall_s = wall_s;
+    r_tps = float_of_int txns /. Float.max 1e-9 writer_s;
+    r_qps = float_of_int queries /. Float.max 1e-9 wall_s;
+    r_txn_latency = latency_of txn_lats;
+    r_query_latency = latency_of query_lats;
+    r_category_costs =
+      List.map (fun cat -> (cat, Cost_meter.cost meter cat)) Cost_meter.all_categories;
+    r_modeled_ms = Cost_meter.total_cost ~excluding:[ Cost_meter.Base ] meter;
+    r_final_digest = Snapshot.digest final;
+    r_sanitize_checks = Sanitize.checks_run san;
+    r_sanitize_violations = Sanitize.violations san;
+    r_observations = observations;
+  }

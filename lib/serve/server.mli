@@ -1,0 +1,115 @@
+(** The concurrent serving subsystem (DESIGN §10): MVCC snapshot reads,
+    a single writer with WAL group commit, and a wall-clock benchmark.
+
+    Roles: {e one} writer domain owns the strategy engine (after an explicit
+    {!Vmat_storage.Ctx.adopt} handoff) and applies the update stream through
+    the ordinary differential machinery, publishing an immutable
+    {!Snapshot.t} into an {!Vmat_wal.Mvcc} store at every commit-epoch
+    boundary; {e N} reader domains pin the latest snapshot, answer range
+    queries against it with zero synchronization beyond the pin, and unpin.
+    Readers never touch the context, the meter, or the simulated disk —
+    modeled costs accrue only on the writer, so the modeled-cost axis of a
+    serving run is deterministic even though the wall-clock axis is not.
+
+    Two clocks, never mixed: TPS and latency quantiles come from
+    {!Vmat_obs.Wallclock}; [r_category_costs]/[r_modeled_ms] come from the
+    writer's deterministic cost meter. *)
+
+open Vmat_storage
+
+type durability =
+  | No_wal
+  | Wal_group_commit of Vmat_wal.Wal.config
+      (** writer durability batched through {!Vmat_wal.Wal.commit}'s group
+          commit *)
+
+type config = {
+  readers : int;  (** client domains executing view queries (>= 1) *)
+  queries_per_reader : int;
+  publish_every : int;  (** transactions per commit epoch (>= 1) *)
+  durability : durability;
+  record_observations : bool;
+      (** capture one {!observation} per read for the snapshot-isolation
+          property (test-only; keep off in benchmarks) *)
+}
+
+val default_config : config
+(** 2 readers x 200 queries, an epoch every 8 transactions, WAL durability
+    with [group_commit = 8], observations off. *)
+
+type latency = {
+  l_count : int;
+  l_mean_us : float;
+  l_p50_us : float;
+  l_p95_us : float;
+  l_p99_us : float;
+  l_max_us : float;
+}
+(** Wall-clock latency summary in microseconds (exact sample quantiles via
+    {!Vmat_util.Stats.quantile}, not histogram estimates). *)
+
+type observation = {
+  ob_reader : int;
+  ob_seq : int;
+  ob_epoch : int;  (** the pinned snapshot's epoch *)
+  ob_lo : Value.t;
+  ob_hi : Value.t;
+  ob_digest : string;  (** {!Snapshot.digest_rows} of the result *)
+}
+(** One reader-side query, recorded so a serial replay can re-derive what
+    the answer {e must} have been for the pinned epoch. *)
+
+type report = {
+  r_strategy : string;
+  r_readers : int;
+  r_txns : int;
+  r_queries : int;
+  r_epochs : int;  (** snapshots published, including the initial epoch 0 *)
+  r_reclaimed : int;  (** superseded snapshots dropped after their last unpin *)
+  r_live : int;
+  r_max_live : int;
+  r_wall_s : float;
+  r_tps : float;  (** transactions per wall-clock second (writer) *)
+  r_qps : float;  (** snapshot queries per wall-clock second (all readers) *)
+  r_txn_latency : latency;
+  r_query_latency : latency;
+  r_category_costs : (Cost_meter.category * float) list;  (** modeled, writer side *)
+  r_modeled_ms : float;  (** modeled total excluding [Base] — deterministic *)
+  r_final_digest : string;  (** {!Snapshot.digest} of the last published epoch *)
+  r_sanitize_checks : int;
+  r_sanitize_violations : int;
+  r_observations : observation list;  (** empty unless [record_observations] *)
+}
+
+val run :
+  ?config:config ->
+  ?recorder:Vmat_obs.Recorder.t ->
+  ?sanitize:bool ->
+  ?seed:int ->
+  params:Vmat_cost.Params.t ->
+  strategy:Vmat_workload.Experiment.model1_strategy ->
+  unit ->
+  report
+(** Serve a Model-1 workload: the writer replays the parameter set's update
+    transactions (the query mix is carried by the readers, so the stream is
+    generated with [q = 0]) while [readers] domains execute range queries
+    against pinned snapshots.  [recorder], when enabled, additionally
+    receives the wall-clock latency samples as a [vmat_serve_latency_us]
+    histogram — merged on the coordinating domain after all workers joined,
+    since the metric registry is single-threaded.
+    @raise Invalid_argument on a config with [readers < 1],
+    [publish_every < 1] or negative [queries_per_reader]. *)
+
+val replay_epochs :
+  ?config:config ->
+  ?sanitize:bool ->
+  ?seed:int ->
+  params:Vmat_cost.Params.t ->
+  strategy:Vmat_workload.Experiment.model1_strategy ->
+  unit ->
+  Snapshot.t array
+(** The verification oracle: rebuild, serially on the calling domain, the
+    exact snapshot sequence the live writer publishes for the same seed,
+    parameters and config (index = epoch).  Deterministic; used by the
+    qcheck snapshot-isolation property to check every recorded read against
+    the snapshot its pinned epoch must have contained. *)

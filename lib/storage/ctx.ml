@@ -10,7 +10,14 @@ type t = {
   rng : Vmat_util.Rng.t;
   san : Sanitize.t;
   fault : Fault.t;
+  mutable owner : int;
+      (* Integer id of the domain currently driving this context.  All the
+         mutable state above is single-threaded by design; cross-domain
+         handoff (the serving writer, DESIGN §10) must be explicit via
+         [adopt] so sanitizers can assert ownership before mutations. *)
 }
+
+let current_domain () = (Domain.self () :> int)
 
 let of_parts ?(geometry = default_geometry) ?(seed = 42) ?(first_tid = 1)
     ?(sanitizer = Sanitize.none) ?(fault = Fault.none) ~meter ~disk () =
@@ -23,6 +30,7 @@ let of_parts ?(geometry = default_geometry) ?(seed = 42) ?(first_tid = 1)
     rng = Vmat_util.Rng.create seed;
     san = sanitizer;
     fault;
+    owner = current_domain ();
   }
 
 let create ?geometry ?c1 ?c2 ?c3 ?seed ?first_tid ?sanitize ?fault () =
@@ -43,6 +51,9 @@ let tids t = t.tids
 let rng t = t.rng
 let sanitizer t = t.san
 let fault t = t.fault
+let owner t = t.owner
+let adopt t = t.owner <- current_domain ()
+let owned_by_current t = t.owner = current_domain ()
 let fresh_tid t = Tuple.next t.tids
 let split_rng t = Vmat_util.Rng.split t.rng
 let recorder t = Cost_meter.recorder t.meter

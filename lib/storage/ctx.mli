@@ -62,6 +62,27 @@ val sanitizer : t -> Sanitize.t
 val fault : t -> Fault.t
 (** This context's crash-point injector ({!Fault.none} unless supplied). *)
 
+(** {1 Cross-domain handoff}
+
+    A context's mutable state (meter, disk, tid source, RNG) is
+    single-threaded by design: exactly one domain may drive it at a time.
+    Handing a context to another domain — the serving subsystem's writer
+    domain (DESIGN §10), for example — must be explicit: the receiving
+    domain calls {!adopt} before its first operation, and runtime
+    sanitizers assert {!owned_by_current} before mutations. *)
+
+val owner : t -> int
+(** Integer id of the domain that currently owns this context (initially
+    the domain that created it). *)
+
+val adopt : t -> unit
+(** Claim ownership for the calling domain.  Call at the top of a domain
+    body that received a context built elsewhere; the handing-over domain
+    must no longer touch the context afterwards. *)
+
+val owned_by_current : t -> bool
+(** Whether the calling domain is the current owner. *)
+
 val fresh_tid : t -> int
 (** Draw the next tuple id from this context's source. *)
 

@@ -27,6 +27,18 @@ let median samples =
       if len mod 2 = 1 then a.(len / 2)
       else (a.((len / 2) - 1) +. a.(len / 2)) /. 2.
 
+let quantile q samples =
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q must be in [0, 1]";
+  match samples with
+  | [] -> invalid_arg "Stats.quantile: empty list"
+  | _ ->
+      let a = Array.of_list (List.sort Float.compare samples) in
+      let n = Array.length a in
+      let pos = q *. float_of_int (n - 1) in
+      let i = int_of_float (Float.floor pos) in
+      let frac = pos -. float_of_int i in
+      if i + 1 >= n then a.(n - 1) else a.(i) +. (frac *. (a.(i + 1) -. a.(i)))
+
 let relative_error ~expected ~actual =
   Float.abs (actual -. expected) /. Float.max 1e-9 (Float.abs expected)
 

@@ -11,6 +11,13 @@ val maximum : float list -> float
 
 val median : float list -> float
 
+val quantile : float -> float list -> float
+(** [quantile q samples] is the [q]-th quantile ([q] in [[0, 1]]) of the
+    samples by linear interpolation between the two nearest order statistics
+    ([quantile 0.] = minimum, [quantile 1.] = maximum, [quantile 0.5] =
+    {!median}).
+    @raise Invalid_argument on the empty list or [q] outside [[0, 1]]. *)
+
 val relative_error : expected:float -> actual:float -> float
 (** [|actual - expected| / max 1e-9 |expected|]. *)
 

@@ -1,0 +1,99 @@
+(* A multi-version snapshot store (DESIGN §10): the single writer publishes
+   an immutable payload per commit epoch, any number of reader domains pin
+   the latest version, and superseded versions are reclaimed as soon as
+   their pin count drops to zero.
+
+   All bookkeeping hides behind one mutex; the critical sections are a few
+   list operations, so contention is negligible next to the query work
+   readers do outside the lock.  Payloads must be immutable — the store
+   hands the same value to every pinning domain. *)
+
+type 'a entry = { e_version : int; e_payload : 'a; mutable e_pins : int }
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable entries : 'a entry list; (* newest first *)
+  mutable next_version : int;
+  mutable published : int;
+  mutable reclaimed : int;
+  mutable max_live : int;
+}
+
+type stats = {
+  st_published : int;
+  st_reclaimed : int;
+  st_live : int;
+  st_max_live : int;
+}
+
+let create ?(first_version = 0) () =
+  {
+    lock = Mutex.create ();
+    entries = [];
+    next_version = first_version;
+    published = 0;
+    reclaimed = 0;
+    max_live = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* An entry is reclaimable once nothing pins it and a newer version exists
+   (the newest version stays live as the target of the next pin). *)
+let sweep t =
+  match t.entries with
+  | [] -> ()
+  | newest :: older ->
+      let keep, dead = List.partition (fun e -> e.e_pins > 0) older in
+      t.reclaimed <- t.reclaimed + List.length dead;
+      t.entries <- newest :: keep
+
+let publish t payload =
+  locked t (fun () ->
+      let v = t.next_version in
+      t.next_version <- v + 1;
+      t.entries <- { e_version = v; e_payload = payload; e_pins = 0 } :: t.entries;
+      t.published <- t.published + 1;
+      sweep t;
+      t.max_live <- max t.max_live (List.length t.entries);
+      v)
+
+let pin_opt t =
+  locked t (fun () ->
+      match t.entries with
+      | [] -> None
+      | newest :: _ ->
+          newest.e_pins <- newest.e_pins + 1;
+          Some (newest.e_version, newest.e_payload))
+
+let pin t =
+  match pin_opt t with
+  | Some pinned -> pinned
+  | None -> invalid_arg "Mvcc.pin: nothing published yet"
+
+let unpin t version =
+  locked t (fun () ->
+      match List.find_opt (fun e -> e.e_version = version) t.entries with
+      | None -> invalid_arg "Mvcc.unpin: unknown or already reclaimed version"
+      | Some e ->
+          if e.e_pins <= 0 then invalid_arg "Mvcc.unpin: version is not pinned";
+          e.e_pins <- e.e_pins - 1;
+          sweep t)
+
+let latest_version t =
+  locked t (fun () ->
+      match t.entries with [] -> None | e :: _ -> Some e.e_version)
+
+let live_versions t =
+  locked t (fun () -> List.rev_map (fun e -> e.e_version) t.entries)
+
+let stats t =
+  locked t (fun () ->
+      {
+        st_published = t.published;
+        st_reclaimed = t.reclaimed;
+        st_live = List.length t.entries;
+        st_max_live = t.max_live;
+      })

@@ -78,37 +78,36 @@ type wrap =
 let apply_wrap wrap ~ctx ~initial strategy =
   match wrap with None -> strategy | Some (w : wrap) -> w ~ctx ~initial strategy
 
+(* The engine half of a Model-1 measurement, split out so external drivers
+   (the serving subsystem, DESIGN §10) can build the exact strategy a
+   measured run would, over the exact same setup. *)
+let model1_env ?sanitize (p : Params.t) (s : model1_setup) =
+  let ctx = fresh_ctx ?sanitize p ~first_tid:s.ms_first_tid in
+  {
+    Strategy_sp.ctx;
+    view = s.ms_dataset.Dataset.m1_view;
+    initial = s.ms_dataset.Dataset.m1_tuples;
+    ad_buckets = ad_buckets_for p;
+  }
+
+let model1_strategy_of (env : Strategy_sp.env) (which : model1_strategy) =
+  match which with
+  | `Deferred -> Strategy_sp.deferred env
+  | `Immediate -> Strategy_sp.immediate env
+  | `Clustered -> Strategy_sp.qmod_clustered env
+  | `Unclustered -> Strategy_sp.qmod_unclustered env
+  | `Sequential -> Strategy_sp.qmod_sequential env
+  | `Recompute -> Strategy_sp.recompute env
+  | `Adaptive -> Adaptive.strategy (Adaptive.wrap env)
+
 let measure_model1 ?(seed = 42) ?recorder ?sanitize ?wrap (p : Params.t) strategies =
-  let rng = Rng.create seed in
-  let tids = Tuple.source () in
-  let n, _, _, _ = ints p in
-  let dataset =
-    Dataset.make_model1 ~rng ~tids ~n ~f:p.f ~s_bytes:(int_of_float p.tuple_bytes)
-  in
-  let ops = model1_stream ~rng ~tids ~p dataset in
-  let first_tid = Tuple.peek tids in
+  let setup = model1_setup ~seed p in
   let run which =
-    let ctx = fresh_ctx ?sanitize p ~first_tid in
-    let env =
-      {
-        Strategy_sp.ctx;
-        view = dataset.m1_view;
-        initial = dataset.m1_tuples;
-        ad_buckets = ad_buckets_for p;
-      }
-    in
-    let strategy =
-      match which with
-      | `Deferred -> Strategy_sp.deferred env
-      | `Immediate -> Strategy_sp.immediate env
-      | `Clustered -> Strategy_sp.qmod_clustered env
-      | `Unclustered -> Strategy_sp.qmod_unclustered env
-      | `Sequential -> Strategy_sp.qmod_sequential env
-      | `Recompute -> Strategy_sp.recompute env
-      | `Adaptive -> Adaptive.strategy (Adaptive.wrap env)
-    in
-    let strategy = apply_wrap wrap ~ctx ~initial:dataset.m1_tuples strategy in
-    let m = Runner.run ?recorder ~ctx ~strategy ~ops () in
+    let env = model1_env ?sanitize p setup in
+    let ctx = env.Strategy_sp.ctx in
+    let strategy = model1_strategy_of env which in
+    let strategy = apply_wrap wrap ~ctx ~initial:setup.ms_dataset.Dataset.m1_tuples strategy in
+    let m = Runner.run ?recorder ~ctx ~strategy ~ops:setup.ms_ops () in
     (m.Runner.strategy_name, m)
   in
   List.map run strategies

@@ -41,6 +41,20 @@ val model1_setup : ?seed:int -> Params.t -> model1_setup
 (** Deterministic: same [seed] and [p] produce byte-identical datasets and
     streams on every call. *)
 
+val model1_env :
+  ?sanitize:bool -> Params.t -> model1_setup -> Vmat_view.Strategy_sp.env
+(** A fresh strategy environment over [setup] — its own context (meter,
+    disk, RNG) pinned to [setup.ms_first_tid], exactly what one
+    {!measure_model1} strategy run builds internally.  External drivers
+    (the serving subsystem, DESIGN §10) use this to instantiate engines
+    that replay the shared stream themselves. *)
+
+val model1_strategy_of :
+  Vmat_view.Strategy_sp.env -> model1_strategy -> Vmat_view.Strategy.t
+(** The strategy a measured Model-1 run would build for [which] over
+    [env] (the [`Adaptive] case wraps with default controller
+    configuration). *)
+
 type wrap =
   ctx:Vmat_storage.Ctx.t ->
   initial:Vmat_storage.Tuple.t list ->

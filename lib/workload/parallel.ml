@@ -10,6 +10,7 @@ let split_seeds ~root n =
       Int64.to_int (Rng.next child) land max_int)
 
 let map_points ?(jobs = 1) f items =
+  if jobs < 0 then invalid_arg "Parallel.map_points: negative jobs";
   let items = Array.of_list items in
   let n = Array.length items in
   let jobs = max 1 (min jobs n) in

@@ -26,4 +26,5 @@ val map_points : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_points ~jobs f points] is [List.map f points] computed by [jobs]
     domains pulling points off a shared atomic cursor (order-preserving
     results; [jobs] is clamped to [[1, length points]]).  [jobs = 1] (the
-    default) runs serially on the calling domain with no spawns at all. *)
+    default) runs serially on the calling domain with no spawns at all.
+    @raise Invalid_argument when [jobs] is negative. *)

@@ -22,6 +22,10 @@ let install_clock recorder meter =
   Recorder.set_clock recorder (fun () -> Cost_meter.total_cost meter)
 
 let run ?recorder ~ctx ~strategy ~ops () =
+  (* Replays are single-threaded over the context by construction; claiming
+     ownership here makes the ctx handoff explicit when a run is driven from
+     a spawned domain (sweep workers, the serving writer — DESIGN §10). *)
+  Ctx.adopt ctx;
   let meter = Ctx.meter ctx and disk = Ctx.disk ctx in
   (match recorder with
   | Some r ->

@@ -289,6 +289,49 @@ let test_histogram_observe () =
         "raw bucket counts incl. overflow" [| 1; 1; 1; 1 |] counts
   | None -> Alcotest.fail "histogram buckets missing"
 
+let test_histogram_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~help:"h" ~bounds:[| 10.; 20.; 40. |] "hq" in
+  Alcotest.(check (option (float 1e-9)))
+    "no observations -> None" None
+    (Metrics.histogram_quantile m "hq" 0.5);
+  for _ = 1 to 10 do
+    Metrics.observe h 5.
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe h 15.
+  done;
+  (* 10 obs in (0,10], 10 in (10,20]: the median target (10) lands exactly on
+     the first bucket's cumulative edge, so interpolation yields its upper
+     bound; 0.75 is halfway through the second bucket. *)
+  Alcotest.(check (option (float 1e-9)))
+    "p50 interpolates to the first bound" (Some 10.)
+    (Metrics.histogram_quantile m "hq" 0.5);
+  Alcotest.(check (option (float 1e-9)))
+    "p75 is halfway through the second bucket" (Some 15.)
+    (Metrics.histogram_quantile m "hq" 0.75);
+  Alcotest.(check (option (float 1e-9)))
+    "p100 is the last populated bucket's bound" (Some 20.)
+    (Metrics.histogram_quantile m "hq" 1.0);
+  Metrics.observe h 1000.;
+  Alcotest.(check (option (float 1e-9)))
+    "overflow clamps to the last finite bound" (Some 40.)
+    (Metrics.histogram_quantile m "hq" 1.0);
+  Alcotest.(check (option (float 1e-9)))
+    "unknown series -> None" None
+    (Metrics.histogram_quantile m "nope" 0.5);
+  Alcotest.check_raises "q out of range raises"
+    (Invalid_argument "Metrics.histogram_quantile: q must be in [0, 1]") (fun () ->
+      ignore (Metrics.histogram_quantile m "hq" 1.5));
+  let text = Metrics.to_prometheus m in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exposition has quantile=\"%s\" line" q)
+        true
+        (Astring.String.is_infix ~affix:(Printf.sprintf "hq_quantile{quantile=\"%s\"}" q) text))
+    [ "0.5"; "0.95"; "0.99" ]
+
 let test_counter_negative_raises () =
   let m = Metrics.create () in
   let c = Metrics.counter m ~help:"t" "c" in
@@ -566,6 +609,7 @@ let suites =
         Alcotest.test_case "log bounds" `Quick test_log_bounds;
         Alcotest.test_case "bucket index" `Quick test_bucket_index;
         Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+        Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
         Alcotest.test_case "negative counter raises" `Quick test_counter_negative_raises;
         Alcotest.test_case "same handle twice" `Quick test_same_handle_twice;
       ] );

@@ -1,0 +1,404 @@
+(* The concurrent serving subsystem (DESIGN §10): the MVCC pin/reclaim
+   store, snapshot canonicalization and range queries, the epoch publication
+   protocol, and the headline qcheck property — across randomized
+   reader/writer interleavings, no reader ever observes a partially applied
+   transaction (every recorded read matches a serial replay of its pinned
+   epoch).  Plus the satellite guarantees: sanitizers stay silent under
+   multi-domain serving, sanitize-on ≡ sanitize-off on the modeled axis,
+   serving never perturbs classic measurements, and Parallel rejects
+   negative job counts. *)
+
+open Core
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* 100 base tuples; k update transactions of l tuples.  The serving writer
+   regenerates its own txn-only stream, so q is irrelevant here. *)
+let tiny k l =
+  let p = Experiment.scale Params.defaults 0.001 in
+  { p with Params.k_updates = float_of_int k; l_per_txn = float_of_int l }
+
+let all_strategies =
+  [ `Deferred; `Immediate; `Clustered; `Unclustered; `Sequential; `Recompute; `Adaptive ]
+
+let strategy_of_int i = List.nth all_strategies (i mod List.length all_strategies)
+
+let full_range = { Strategy.q_lo = Strategy.min_sentinel; q_hi = Strategy.max_sentinel }
+
+(* Multiset view of a strategy answer: sorted (value key, count) pairs with
+   duplicates merged — tuple ids excluded, like Snapshot digests. *)
+let canon rows =
+  let sorted = List.sort compare (List.map (fun (t, c) -> (Tuple.value_key t, c)) rows) in
+  let rec merge = function
+    | (k1, c1) :: (k2, c2) :: rest when String.equal k1 k2 -> merge ((k1, c1 + c2) :: rest)
+    | x :: rest -> x :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+(* ------------------------------------------------------------------ *)
+(* Mvcc: pin / unpin / reclaim                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_mvcc_pin_reclaim () =
+  let s : string Mvcc.t = Mvcc.create () in
+  Alcotest.(check bool) "empty pin_opt" true (Mvcc.pin_opt s = None);
+  Alcotest.check_raises "empty pin raises"
+    (Invalid_argument "Mvcc.pin: nothing published yet") (fun () -> ignore (Mvcc.pin s));
+  Alcotest.(check int) "first version is 0" 0 (Mvcc.publish s "a");
+  let v, payload = Mvcc.pin s in
+  Alcotest.(check int) "pinned latest" 0 v;
+  Alcotest.(check string) "pinned payload" "a" payload;
+  Alcotest.(check int) "second version is 1" 1 (Mvcc.publish s "b");
+  Alcotest.(check (list int)) "pinned v0 survives publish" [ 0; 1 ] (Mvcc.live_versions s);
+  let v', payload' = Mvcc.pin s in
+  Alcotest.(check int) "pin targets the latest" 1 v';
+  Alcotest.(check string) "latest payload" "b" payload';
+  Mvcc.unpin s 0;
+  Alcotest.(check (list int)) "superseded v0 reclaimed on last unpin" [ 1 ]
+    (Mvcc.live_versions s);
+  Alcotest.check_raises "unpin of a reclaimed version raises"
+    (Invalid_argument "Mvcc.unpin: unknown or already reclaimed version") (fun () ->
+      Mvcc.unpin s 0);
+  Mvcc.unpin s 1;
+  Alcotest.(check (list int)) "unpinned latest stays live" [ 1 ] (Mvcc.live_versions s);
+  Alcotest.check_raises "double unpin raises"
+    (Invalid_argument "Mvcc.unpin: version is not pinned") (fun () -> Mvcc.unpin s 1);
+  Alcotest.(check int) "third version is 2" 2 (Mvcc.publish s "c");
+  Alcotest.(check (list int)) "unpinned v1 reclaimed at publish" [ 2 ]
+    (Mvcc.live_versions s);
+  let st = Mvcc.stats s in
+  Alcotest.(check int) "published" 3 st.Mvcc.st_published;
+  Alcotest.(check int) "reclaimed" 2 st.Mvcc.st_reclaimed;
+  Alcotest.(check int) "live" 1 st.Mvcc.st_live;
+  Alcotest.(check int) "max live" 2 st.Mvcc.st_max_live
+
+(* Hammer the store from several domains while the main domain publishes:
+   every pin must return a coherent (version, payload) pair and the final
+   accounting must balance. *)
+let test_mvcc_concurrent_stress () =
+  let s : int Mvcc.t = Mvcc.create () in
+  ignore (Mvcc.publish s 0);
+  let stop = Atomic.make false in
+  let bad = Atomic.make 0 in
+  let reader () =
+    while not (Atomic.get stop) do
+      let v, payload = Mvcc.pin s in
+      if v <> payload then Atomic.incr bad;
+      Mvcc.unpin s v
+    done
+  in
+  let domains = List.init 3 (fun _ -> Domain.spawn reader) in
+  for i = 1 to 200 do
+    ignore (Mvcc.publish s i)
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  Alcotest.(check int) "every pin saw its own payload" 0 (Atomic.get bad);
+  let st = Mvcc.stats s in
+  Alcotest.(check int) "published" 201 st.Mvcc.st_published;
+  Alcotest.(check int) "accounting balances" 201
+    (st.Mvcc.st_reclaimed + st.Mvcc.st_live);
+  Alcotest.(check bool) "latest never reclaimed" true (st.Mvcc.st_live >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot: canonicalization and range queries                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_query_matches_strategy () =
+  let p = tiny 30 3 in
+  let seed = 7 in
+  let setup = Experiment.model1_setup ~seed p in
+  let env = Experiment.model1_env p setup in
+  let strategy = Experiment.model1_strategy_of env `Deferred in
+  List.iter
+    (function
+      | Stream.Txn cs -> strategy.Strategy.handle_transaction cs | Stream.Query _ -> ())
+    setup.Experiment.ms_ops;
+  let snap =
+    Snapshot.of_rows ~cluster_col:env.Strategy_sp.view.View_def.sp_cluster_out ~epoch:0
+      ~txns:30
+      (strategy.Strategy.answer_query full_range)
+  in
+  Alcotest.(check int) "epoch" 0 (Snapshot.epoch snap);
+  Alcotest.(check bool) "non-empty view" true (Snapshot.size snap > 0);
+  let width = p.Params.f *. p.Params.fv in
+  let query_of = Stream.range_query_of ~lo_max:(p.Params.f -. width) ~width in
+  let rng = Rng.create 99 in
+  for _ = 1 to 25 do
+    let q = query_of rng in
+    let expected = canon (strategy.Strategy.answer_query q) in
+    let got = canon (Snapshot.query snap ~lo:q.Strategy.q_lo ~hi:q.Strategy.q_hi) in
+    if got <> expected then
+      Alcotest.failf "snapshot range disagrees with strategy (|got|=%d |want|=%d)"
+        (List.length got) (List.length expected)
+  done;
+  Alcotest.(check (list (pair string int)))
+    "full-range query returns everything"
+    (canon (Snapshot.rows snap))
+    (canon (Snapshot.query snap ~lo:Strategy.min_sentinel ~hi:Strategy.max_sentinel))
+
+let test_snapshot_digest_ignores_tids_not_values () =
+  let mk tid v = Tuple.make ~tid [| Value.Float v; Value.Str "x" |] in
+  let a = [ (mk 1 0.1, 1); (mk 2 0.2, 2) ] in
+  let same_values_other_tids = [ (mk 9 0.1, 1); (mk 8 0.2, 2) ] in
+  let other_values = [ (mk 1 0.1, 1); (mk 2 0.3, 2) ] in
+  let other_counts = [ (mk 1 0.1, 1); (mk 2 0.2, 3) ] in
+  Alcotest.(check string) "tids invisible" (Snapshot.digest_rows a)
+    (Snapshot.digest_rows same_values_other_tids);
+  Alcotest.(check bool) "values visible" true
+    (Snapshot.digest_rows a <> Snapshot.digest_rows other_values);
+  Alcotest.(check bool) "counts visible" true
+    (Snapshot.digest_rows a <> Snapshot.digest_rows other_counts)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch protocol: replay determinism and accounting                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_replay_epochs_deterministic () =
+  let p = tiny 10 2 in
+  let config =
+    { Serve.default_config with Serve.publish_every = 4; queries_per_reader = 0 }
+  in
+  let snaps = Serve.replay_epochs ~config ~seed:5 ~params:p ~strategy:`Immediate () in
+  let snaps' = Serve.replay_epochs ~config ~seed:5 ~params:p ~strategy:`Immediate () in
+  (* 1 initial + at txns 4, 8 + the partial tail at 10 *)
+  Alcotest.(check int) "epoch count" 4 (Array.length snaps);
+  Alcotest.(check (array string)) "replay is deterministic"
+    (Array.map Snapshot.digest snaps)
+    (Array.map Snapshot.digest snaps');
+  Alcotest.(check int) "last epoch covers all txns" 10
+    (Snapshot.txns snaps.(Array.length snaps - 1));
+  Alcotest.(check bool) "the workload actually changes the view" true
+    (Snapshot.digest snaps.(0) <> Snapshot.digest snaps.(Array.length snaps - 1))
+
+(* ------------------------------------------------------------------ *)
+(* The headline property: snapshot isolation under real concurrency    *)
+(* ------------------------------------------------------------------ *)
+
+let check_isolation (r : Serve.report) snaps =
+  Array.length snaps = r.Serve.r_epochs
+  && r.Serve.r_final_digest = Snapshot.digest snaps.(Array.length snaps - 1)
+  && List.for_all
+       (fun (ob : Serve.observation) ->
+         ob.Serve.ob_epoch >= 0
+         && ob.Serve.ob_epoch < Array.length snaps
+         && String.equal ob.Serve.ob_digest
+              (Snapshot.digest_rows
+                 (Snapshot.query snaps.(ob.Serve.ob_epoch) ~lo:ob.Serve.ob_lo
+                    ~hi:ob.Serve.ob_hi)))
+       r.Serve.r_observations
+
+let prop_snapshot_isolation =
+  QCheck.Test.make ~name:"no reader observes a partially applied transaction" ~count:8
+    QCheck.(
+      quad (int_range 1 100_000) (int_range 0 6) (int_range 1 3) (int_range 1 5))
+    (fun (seed, sidx, readers, publish_every) ->
+      let strategy = strategy_of_int sidx in
+      let durability =
+        if seed mod 2 = 0 then Serve.No_wal
+        else Serve.Wal_group_commit (Wal.config ~group_commit:3 ~checkpoint_every:16 ())
+      in
+      let config =
+        {
+          Serve.readers;
+          queries_per_reader = 50;
+          publish_every;
+          durability;
+          record_observations = true;
+        }
+      in
+      let p = tiny 24 2 in
+      let r = Serve.run ~config ~seed ~params:p ~strategy () in
+      let snaps = Serve.replay_epochs ~config ~seed ~params:p ~strategy () in
+      List.length r.Serve.r_observations = readers * 50 && check_isolation r snaps)
+
+(* Non-vacuousness: the checker must reject a digest that does not match
+   the pinned epoch's replayed answer. *)
+let test_isolation_checker_detects_tampering () =
+  let p = tiny 16 2 in
+  let config =
+    {
+      Serve.default_config with
+      Serve.readers = 1;
+      queries_per_reader = 30;
+      publish_every = 4;
+      record_observations = true;
+    }
+  in
+  let r = Serve.run ~config ~seed:13 ~params:p ~strategy:`Deferred () in
+  let snaps = Serve.replay_epochs ~config ~seed:13 ~params:p ~strategy:`Deferred () in
+  Alcotest.(check bool) "honest run passes" true (check_isolation r snaps);
+  let tampered =
+    {
+      r with
+      Serve.r_observations =
+        (match r.Serve.r_observations with
+        | ob :: rest -> { ob with Serve.ob_digest = "torn!" } :: rest
+        | [] -> Alcotest.fail "no observations recorded");
+    }
+  in
+  Alcotest.(check bool) "tampered observation is caught" false
+    (check_isolation tampered snaps)
+
+(* ------------------------------------------------------------------ *)
+(* Satellites: sanitizers under concurrency, observer effect, jobs     *)
+(* ------------------------------------------------------------------ *)
+
+let modeled_fingerprint (r : Serve.report) =
+  ( r.Serve.r_txns,
+    r.Serve.r_epochs,
+    r.Serve.r_modeled_ms,
+    r.Serve.r_category_costs,
+    r.Serve.r_final_digest )
+
+let test_sanitize_concurrent_bit_identity () =
+  let p = tiny 40 3 in
+  let config =
+    {
+      Serve.default_config with
+      Serve.readers = 3;
+      queries_per_reader = 100;
+      publish_every = 4;
+    }
+  in
+  let on = Serve.run ~config ~sanitize:true ~seed:11 ~params:p ~strategy:`Deferred () in
+  let off = Serve.run ~config ~sanitize:false ~seed:11 ~params:p ~strategy:`Deferred () in
+  Alcotest.(check bool) "sanitizers actually ran" true (on.Serve.r_sanitize_checks > 0);
+  Alcotest.(check int) "zero violations under multi-domain serving" 0
+    on.Serve.r_sanitize_violations;
+  Alcotest.(check int) "sanitize-off runs no checks" 0 off.Serve.r_sanitize_checks;
+  Alcotest.(check bool) "modeled artifacts bit-identical with sanitizers on" true
+    (modeled_fingerprint on = modeled_fingerprint off)
+
+(* Serving in-process must not perturb the classic single-session
+   measurements (the modeled axis of every existing subcommand). *)
+let test_serving_leaves_classic_measurements_untouched () =
+  let p = tiny 20 2 in
+  let p = { p with Params.q_queries = 8. } in
+  let fingerprint () =
+    List.map
+      (fun (name, (m : Runner.measurement)) ->
+        ( name,
+          m.Runner.cost_per_query,
+          m.Runner.category_costs,
+          m.Runner.physical_reads,
+          m.Runner.physical_writes ))
+      (Experiment.measure_model1 p [ `Deferred; `Immediate ])
+  in
+  let before = fingerprint () in
+  let config =
+    { Serve.default_config with Serve.queries_per_reader = 50; publish_every = 4 }
+  in
+  let _ = Serve.run ~config ~params:p ~strategy:`Clustered () in
+  Alcotest.(check bool) "classic measurements identical after a serve run" true
+    (before = fingerprint ())
+
+let test_parallel_rejects_negative_jobs () =
+  Alcotest.check_raises "negative jobs raises"
+    (Invalid_argument "Parallel.map_points: negative jobs") (fun () ->
+      ignore (Parallel.map_points ~jobs:(-1) (fun x -> x) [ 1; 2; 3 ]));
+  Alcotest.(check (list int)) "jobs 0 clamps to serial" [ 2; 4; 6 ]
+    (Parallel.map_points ~jobs:0 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_stats_quantile () =
+  let check_q msg q samples expected =
+    Alcotest.(check (float 1e-9)) msg expected (Stats.quantile q samples)
+  in
+  check_q "q=0 is the minimum" 0. [ 3.; 1.; 2. ] 1.;
+  check_q "q=1 is the maximum" 1. [ 3.; 1.; 2. ] 3.;
+  check_q "median of even count interpolates" 0.5 [ 1.; 2.; 3.; 4. ] 2.5;
+  check_q "p75 interpolates" 0.75 [ 0.; 10. ] 7.5;
+  check_q "single sample" 0.99 [ 42. ] 42.;
+  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.quantile: empty list")
+    (fun () -> ignore (Stats.quantile 0.5 []));
+  Alcotest.check_raises "q out of range raises"
+    (Invalid_argument "Stats.quantile: q must be in [0, 1]") (fun () ->
+      ignore (Stats.quantile 1.5 [ 1. ]))
+
+let test_report_shape () =
+  let p = tiny 12 2 in
+  let config =
+    {
+      Serve.default_config with
+      Serve.readers = 2;
+      queries_per_reader = 40;
+      publish_every = 4;
+    }
+  in
+  let r = Serve.run ~config ~seed:3 ~params:p ~strategy:`Immediate () in
+  Alcotest.(check int) "txns" 12 r.Serve.r_txns;
+  Alcotest.(check int) "queries" 80 r.Serve.r_queries;
+  Alcotest.(check int) "epochs = 1 initial + 3" 4 r.Serve.r_epochs;
+  Alcotest.(check int) "query latency samples" 80 r.Serve.r_query_latency.Serve.l_count;
+  Alcotest.(check int) "txn latency samples" 12 r.Serve.r_txn_latency.Serve.l_count;
+  Alcotest.(check bool) "tps positive" true (r.Serve.r_tps > 0.);
+  Alcotest.(check bool) "qps positive" true (r.Serve.r_qps > 0.);
+  Alcotest.(check bool) "quantiles ordered" true
+    (r.Serve.r_query_latency.Serve.l_p50_us <= r.Serve.r_query_latency.Serve.l_p95_us
+    && r.Serve.r_query_latency.Serve.l_p95_us <= r.Serve.r_query_latency.Serve.l_p99_us
+    && r.Serve.r_query_latency.Serve.l_p99_us <= r.Serve.r_query_latency.Serve.l_max_us);
+  Alcotest.(check bool) "modeled cost accrued (writer side)" true (r.Serve.r_modeled_ms > 0.);
+  Alcotest.(check bool) "wall clock advanced" true (r.Serve.r_wall_s > 0.)
+
+(* Serving latency flows into the shared metric registry (and from there
+   into the Prometheus quantile lines of satellite 2). *)
+let test_serve_recorder_histograms () =
+  let p = tiny 8 2 in
+  let metrics = Metrics.create () in
+  let recorder = Recorder.create ~metrics () in
+  let config =
+    {
+      Serve.default_config with
+      Serve.readers = 2;
+      queries_per_reader = 25;
+      publish_every = 4;
+    }
+  in
+  let r = Serve.run ~config ~recorder ~params:p ~strategy:`Deferred () in
+  let labels = [ ("op", "query"); ("strategy", r.Serve.r_strategy) ] in
+  (match Metrics.histogram_totals metrics ~labels "vmat_serve_latency_us" with
+  | Some (n, _) -> Alcotest.(check int) "one observation per query" 50 n
+  | None -> Alcotest.fail "vmat_serve_latency_us histogram missing");
+  match Metrics.histogram_quantile metrics ~labels "vmat_serve_latency_us" 0.95 with
+  | Some q -> Alcotest.(check bool) "estimated p95 positive" true (q > 0.)
+  | None -> Alcotest.fail "histogram quantile unavailable"
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "serve: mvcc",
+      [
+        Alcotest.test_case "pin / unpin / reclaim" `Quick test_mvcc_pin_reclaim;
+        Alcotest.test_case "concurrent stress" `Quick test_mvcc_concurrent_stress;
+      ] );
+    ( "serve: snapshots",
+      [
+        Alcotest.test_case "range query = strategy answer" `Quick
+          test_snapshot_query_matches_strategy;
+        Alcotest.test_case "digest ignores tids, sees values" `Quick
+          test_snapshot_digest_ignores_tids_not_values;
+        Alcotest.test_case "replay epochs deterministic" `Quick
+          test_replay_epochs_deterministic;
+      ] );
+    ( "serve: isolation",
+      Alcotest.test_case "tampered observation is caught" `Quick
+        test_isolation_checker_detects_tampering
+      :: qcheck [ prop_snapshot_isolation ] );
+    ( "serve: satellites",
+      [
+        Alcotest.test_case "sanitizers silent + bit-identical" `Quick
+          test_sanitize_concurrent_bit_identity;
+        Alcotest.test_case "no observer effect on classic runs" `Quick
+          test_serving_leaves_classic_measurements_untouched;
+        Alcotest.test_case "parallel rejects negative jobs" `Quick
+          test_parallel_rejects_negative_jobs;
+        Alcotest.test_case "stats quantile" `Quick test_stats_quantile;
+        Alcotest.test_case "report shape" `Quick test_report_shape;
+        Alcotest.test_case "recorder latency histograms" `Quick
+          test_serve_recorder_histograms;
+      ] );
+  ]
