@@ -1071,6 +1071,10 @@ let serving_bench () =
         publish_every;
         durability = Serve.Wal_group_commit (Wal.config ~group_commit ());
         record_observations = false;
+        trace_sample = 0;
+        sketch_capacity = 0;
+        flight_capacity = 0;
+        dash_every = 0;
       }
     in
     let strategies = [ `Deferred; `Immediate; `Clustered ] in

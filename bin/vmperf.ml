@@ -187,11 +187,17 @@ let write_file path content =
 
 (* Build the recorder implied by the flags (if any) and a flush function that
    writes the requested files after the run. *)
-let make_recorder ~trace_file ~metrics_file ~metrics_json_file =
-  if trace_file = None && metrics_file = None && metrics_json_file = None then
-    (None, fun () -> ())
+let make_recorder ~trace_jsonl_file ~trace_file ~metrics_file ~metrics_json_file
+    =
+  if
+    trace_file = None && trace_jsonl_file = None && metrics_file = None
+    && metrics_json_file = None
+  then (None, fun () -> ())
   else begin
-    let trace = if trace_file = None then None else Some (Trace.create ()) in
+    let trace =
+      if trace_file = None && trace_jsonl_file = None then None
+      else Some (Trace.create ())
+    in
     let metrics =
       if metrics_file = None && metrics_json_file = None then None
       else Some (Metrics.create ())
@@ -204,6 +210,12 @@ let make_recorder ~trace_file ~metrics_file ~metrics_json_file =
           Printf.printf "trace written to %s (%d events)\n" path
             (Trace.event_count (Option.get trace)))
         trace_file;
+      Option.iter
+        (fun path ->
+          write_file path (Trace.to_jsonl (Option.get trace));
+          Printf.printf "trace JSONL written to %s (%d events)\n" path
+            (Trace.event_count (Option.get trace)))
+        trace_jsonl_file;
       Option.iter
         (fun path ->
           write_file path (Metrics.to_prometheus (Option.get metrics));
@@ -322,7 +334,7 @@ let simulate_cmd =
     let sanitize = sanitize_opt sanitize in
     let wrap = wrap_of_durability ~durability ~group_commit ~checkpoint_every in
     let p = Experiment.scale p scale in
-    let recorder, flush_obs = make_recorder ~trace_file ~metrics_file ~metrics_json_file in
+    let recorder, flush_obs = make_recorder ~trace_jsonl_file:None ~trace_file ~metrics_file ~metrics_json_file in
     Format.printf "simulating at N = %.0f, P = %.3f, seed %d%s@." p.Params.n_tuples
       (Params.update_probability p) seed
       (if Option.is_none wrap then "" else ", durability wal");
@@ -561,7 +573,7 @@ let adapt_cmd =
   let run p scale seed k1 q1 k2 q2 initial horizon hysteresis trace_file metrics_file
       metrics_json_file =
     let p = Experiment.scale p scale in
-    let recorder, flush_obs = make_recorder ~trace_file ~metrics_file ~metrics_json_file in
+    let recorder, flush_obs = make_recorder ~trace_jsonl_file:None ~trace_file ~metrics_file ~metrics_json_file in
     let initial_kind =
       match Migrate.kind_of_name initial with
       | Some k -> k
@@ -636,6 +648,74 @@ let adapt_cmd =
       $ q2_term $ initial_term $ horizon_term $ hysteresis_term $ trace_term
       $ metrics_term $ metrics_json_term)
 
+let model1_strategy_of_name = function
+  | "deferred" -> `Deferred
+  | "immediate" -> `Immediate
+  | "clustered" -> `Clustered
+  | "unclustered" -> `Unclustered
+  | "sequential" -> `Sequential
+  | "recompute" -> `Recompute
+  | "adaptive" -> `Adaptive
+  | other ->
+      Printf.eprintf
+        "unknown strategy %s (expected deferred, immediate, clustered, unclustered, \
+         sequential, recompute or adaptive)\n"
+        other;
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Dashboard plumbing (DESIGN §11), shared by top --live and            *)
+(* serve --dashboard                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A dashboard sink renders refreshing ASCII frames to the terminal and/or
+   writes each frame as machine-readable JSON (dash-NNNN.json plus the
+   post-join dash-final.json) into a directory.  It runs on the writer
+   domain mid-run: files and stdout only, never the metrics registry
+   (vmlint rule D6). *)
+let make_dash_sink ~live ~dash_dir =
+  if (not live) && dash_dir = None then None
+  else begin
+    Option.iter (fun dir -> try Sys.mkdir dir 0o755 with Sys_error _ -> ()) dash_dir;
+    let view = Dash.view () in
+    Some
+      (fun (snap : Dash.snapshot) ->
+        if live then begin
+          print_string "\027[2J\027[H";
+          print_string (Dash.render view snap);
+          Stdlib.flush Stdlib.stdout
+        end;
+        Option.iter
+          (fun dir ->
+            let file =
+              if snap.Dash.d_final then "dash-final.json"
+              else Printf.sprintf "dash-%04d.json" snap.Dash.d_seq
+            in
+            write_file (Filename.concat dir file) (Dash.to_json snap))
+          dash_dir)
+  end
+
+(* The serving report's observability tail: merged hot keys and per-domain
+   flight-ring stats (printed only when the corresponding extra was on). *)
+let print_serve_obs (r : Serve.report) =
+  if r.Serve.r_key_total > 0 then begin
+    Printf.printf
+      "  workload keys    %d touches, ~%.0f distinct, skew %.2f (count err <= %.1f)\n"
+      r.Serve.r_key_total r.Serve.r_key_distinct r.Serve.r_key_skew
+      r.Serve.r_key_error_bound;
+    List.iteri
+      (fun i (h : Sketch.heavy) ->
+        if i < 8 then
+          Printf.printf "    hot %-16s %6d (+-%d)\n" h.Sketch.hh_key h.Sketch.hh_count
+            h.Sketch.hh_err)
+      r.Serve.r_hot_keys
+  end;
+  List.iter
+    (fun ring ->
+      Printf.printf "  flight %-10s %6d events appended, %d dropped\n"
+        (Flight.label ring) (Flight.appended ring) (Flight.dropped ring))
+    r.Serve.r_flight
+
 let top_cmd =
   let strategy_term =
     Arg.(
@@ -647,8 +727,57 @@ let top_cmd =
              unclustered, sequential, recompute, adaptive; model 2: deferred, \
              immediate, loopjoin; model 3: deferred, immediate, recompute).")
   in
-  let run model p scale seed strat trace_file metrics_file metrics_json_file =
+  let live_term =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:
+            "Profile the concurrent serving subsystem instead of a serial replay: \
+             run vmperf serve under the hood (model 1 only) with the flight \
+             recorder, workload sketches and per-query trace sampling on, \
+             rendering a refreshing dashboard to the terminal.")
+  in
+  let readers_term =
+    Arg.(
+      value & opt pos_int 2
+      & info [ "readers" ] ~docv:"N"
+          ~doc:"Reader domains for --live (ignored otherwise).")
+  in
+  let queries_term =
+    Arg.(
+      value & opt nonneg_int 200
+      & info [ "queries" ] ~docv:"N"
+          ~doc:"Queries per reader domain for --live (ignored otherwise).")
+  in
+  let run model p scale seed strat live readers queries trace_file metrics_file
+      metrics_json_file =
     let p = Experiment.scale p scale in
+    if live then begin
+      if model <> 1 then begin
+        Printf.eprintf "--live profiles the serving subsystem, which is model 1 only\n";
+        exit 2
+      end;
+      let strategy = model1_strategy_of_name strat in
+      let recorder, flush_obs = make_recorder ~trace_jsonl_file:None ~trace_file ~metrics_file ~metrics_json_file in
+      let on_snapshot = make_dash_sink ~live:true ~dash_dir:None in
+      let config =
+        {
+          Serve.default_config with
+          Serve.readers;
+          queries_per_reader = queries;
+          trace_sample = 8;
+          sketch_capacity = 64;
+          flight_capacity = 4096;
+          dash_every = 2;
+        }
+      in
+      let r = Serve.run ~config ?recorder ?on_snapshot ~seed ~params:p ~strategy () in
+      Printf.printf "\n";
+      print_serve_obs r;
+      flush_obs ();
+      Printf.printf "serve: ok tps=%.1f qps=%.1f\n" r.Serve.r_tps r.Serve.r_qps;
+      exit 0
+    end;
     let trace = if trace_file = None then None else Some (Trace.create ()) in
     let metrics = Metrics.create () in
     let recorder = Recorder.create ?trace ~metrics () in
@@ -660,7 +789,7 @@ let top_cmd =
       match model_of_int model with
       | Advisor.Selection_projection ->
           one
-            (Experiment.measure_model1 ~seed ~recorder p
+            (Experiment.measure_model1 ~seed ~recorder ~track_keys:true p
                (filter_only (Some strat)
                   [
                     `Deferred; `Immediate; `Clustered; `Unclustered; `Sequential;
@@ -754,29 +883,17 @@ let top_cmd =
          "Profile one strategy with the full observability layer: measured costs \
           beside their mirrored metric counters, per-operation cost histograms as \
           sparklines, and every counter the run touched (Bloom probes, buffer-pool \
-          hits, screening tests, migrations).")
+          hits, screening tests, migrations).  With --live, profile the serving \
+          subsystem instead, rendering a refreshing dashboard (TPS/QPS, latency \
+          quantiles, hot keys) while it runs.")
     Term.(
       const run $ model_term $ params_term $ scale_term $ seed_term $ strategy_term
-      $ trace_term $ metrics_term $ metrics_json_term)
+      $ live_term $ readers_term $ queries_term $ trace_term $ metrics_term
+      $ metrics_json_term)
 
 (* ------------------------------------------------------------------ *)
 (* serve: the concurrent serving subsystem (DESIGN §10)                *)
 (* ------------------------------------------------------------------ *)
-
-let model1_strategy_of_name = function
-  | "deferred" -> `Deferred
-  | "immediate" -> `Immediate
-  | "clustered" -> `Clustered
-  | "unclustered" -> `Unclustered
-  | "sequential" -> `Sequential
-  | "recompute" -> `Recompute
-  | "adaptive" -> `Adaptive
-  | other ->
-      Printf.eprintf
-        "unknown strategy %s (expected deferred, immediate, clustered, unclustered, \
-         sequential, recompute or adaptive)\n"
-        other;
-      exit 2
 
 let serve_cmd =
   let strategy_term =
@@ -805,8 +922,69 @@ let serve_cmd =
       & info [ "publish-every" ] ~docv:"N"
           ~doc:"Publish a new snapshot epoch every $(docv) committed transactions.")
   in
+  let trace_sample_term =
+    Arg.(
+      value & opt nonneg_int 0
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Record flight events for every $(docv)-th query and transaction per \
+             domain (deterministic counter sampling; 0 disables the flight \
+             recorder).  Drained rings land in the report, in --trace / \
+             --trace-jsonl artifacts, and in --metrics as vmat_flight_* series.")
+  in
+  let sketch_term =
+    Arg.(
+      value & flag
+      & info [ "sketch" ]
+          ~doc:
+            "Maintain per-domain Space-Saving sketches over the quantized cluster \
+             keys the workload touches (updated keys on the writer, queried keys \
+             on readers), merged post-join into hot-key output and vmat_key_* \
+             metrics.")
+  in
+  let flight_cap_term =
+    Arg.(
+      value & opt pos_int 4096
+      & info [ "flight-cap" ] ~docv:"N"
+          ~doc:
+            "Per-domain flight-ring capacity; older events are evicted (and \
+             counted as dropped) beyond it.  Only meaningful with --trace-sample.")
+  in
+  let trace_jsonl_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-jsonl" ] ~docv:"FILE"
+          ~doc:"Write the trace as line-delimited JSON (one event per line) to $(docv).")
+  in
+  let dashboard_term =
+    Arg.(
+      value & flag
+      & info [ "dashboard" ]
+          ~doc:
+            "Render a refreshing ASCII dashboard (TPS/QPS sparklines, latency \
+             quantiles, meter-vs-metric costs, hot keys) every --dash-every epochs \
+             while serving.")
+  in
+  let dash_dir_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dash-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write every dashboard frame as machine-readable JSON into $(docv) \
+             (dash-NNNN.json per frame, dash-final.json for the merged post-join \
+             frame).")
+  in
+  let dash_every_term =
+    Arg.(
+      value & opt pos_int 4
+      & info [ "dash-every" ] ~docv:"K"
+          ~doc:"Emit a dashboard frame every $(docv) epochs (with --dashboard or --dash-dir).")
+  in
   let run p scale seed strat readers queries publish_every durability group_commit
-      checkpoint_every sanitize metrics_file metrics_json_file =
+      checkpoint_every sanitize trace_sample sketch flight_cap dashboard dash_dir
+      dash_every trace_file trace_jsonl_file metrics_file metrics_json_file =
     let p = Experiment.scale p scale in
     let strategy = model1_strategy_of_name strat in
     let durability =
@@ -824,14 +1002,19 @@ let serve_cmd =
         publish_every;
         durability;
         record_observations = false;
+        trace_sample;
+        sketch_capacity = (if sketch then 64 else 0);
+        flight_capacity = (if trace_sample > 0 then flight_cap else 0);
+        dash_every = (if dashboard || dash_dir <> None then dash_every else 0);
       }
     in
     let recorder, flush_obs =
-      make_recorder ~trace_file:None ~metrics_file ~metrics_json_file
+      make_recorder ~trace_jsonl_file ~trace_file ~metrics_file ~metrics_json_file
     in
+    let on_snapshot = make_dash_sink ~live:dashboard ~dash_dir in
     let r =
-      Serve.run ~config ?recorder ?sanitize:(sanitize_opt sanitize) ~seed ~params:p
-        ~strategy ()
+      Serve.run ~config ?recorder ?on_snapshot ?sanitize:(sanitize_opt sanitize) ~seed
+        ~params:p ~strategy ()
     in
     Printf.printf
       "serving %s: N=%.0f, %d reader%s x %d queries, epoch every %d txns, durability %s\n"
@@ -866,6 +1049,7 @@ let serve_cmd =
       Printf.printf "  sanitizers       %d checks, %d violations\n"
         r.Serve.r_sanitize_checks r.Serve.r_sanitize_violations;
     Printf.printf "  final digest     %s\n" r.Serve.r_final_digest;
+    print_serve_obs r;
     flush_obs ();
     (* Machine-checkable closing line (the CI serving-smoke job greps it). *)
     Printf.printf "serve: ok tps=%.1f qps=%.1f\n" r.Serve.r_tps r.Serve.r_qps
@@ -877,11 +1061,15 @@ let serve_cmd =
           transactions and publishes MVCC snapshots at epoch boundaries; N reader \
           domains answer view range queries from pinned snapshots.  Reports \
           wall-clock TPS and p50/p95/p99 latency alongside the unchanged modeled \
-          cost (DESIGN section 10).")
+          cost (DESIGN section 10).  --trace-sample, --sketch, --dashboard and \
+          --dash-dir switch on the serving observability layer (DESIGN section 11); \
+          all of it is off by default and none of it perturbs the modeled artifacts.")
     Term.(
       const run $ params_term $ scale_term $ seed_term $ strategy_term $ readers_term
       $ queries_term $ publish_every_term $ durability_term $ group_commit_term
-      $ checkpoint_every_term $ sanitize_term $ metrics_term $ metrics_json_term)
+      $ checkpoint_every_term $ sanitize_term $ trace_sample_term $ sketch_term
+      $ flight_cap_term $ dashboard_term $ dash_dir_term $ dash_every_term $ trace_term
+      $ trace_jsonl_term $ metrics_term $ metrics_json_term)
 
 let shell_cmd =
   let run () =

@@ -97,19 +97,36 @@ let perform_migration t target =
 (* The observing strategy                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Quantized cluster key of a base tuple's clustering value, in the same
+   64-cell [0, 1) key space the serving sketches use (DESIGN §11). *)
+let bucket_of_value = function
+  | Value.Float x -> Vmat_obs.Sketch.bucket_key ~cells:64 ~lo:0. ~hi:1. x
+  | v -> Value.to_string v
+
+let change_keys t changes =
+  let view = t.env.Strategy_sp.view in
+  let col = view.View_def.sp_positions.(view.View_def.sp_cluster_out) in
+  List.filter_map
+    (fun { Strategy.before; after } ->
+      match (match after with Some _ -> after | None -> before) with
+      | Some tuple -> Some (bucket_of_value (Tuple.get tuple col))
+      | None -> None)
+    changes
+
 let handle_transaction t changes =
   List.iter (apply_change t) changes;
   let snap = Cost_meter.snapshot t.meter in
   t.active.Strategy.handle_transaction changes;
   let cost = Cost_meter.cost_since t.meter snap ~excluding:[ Cost_meter.Base ] () in
-  Wstats.observe_txn t.ws ~l:(List.length changes) ~cost
+  Wstats.observe_txn t.ws ~keys:(change_keys t changes) ~l:(List.length changes) ~cost ()
 
 let answer_query t q =
   let snap = Cost_meter.snapshot t.meter in
   let rows = t.active.Strategy.answer_query q in
   let cost = Cost_meter.cost_since t.meter snap ~excluding:[ Cost_meter.Base ] () in
   let returned = List.fold_left (fun acc (_, dup) -> acc + dup) 0 rows in
-  Wstats.observe_query t.ws ~returned ~view_size:t.match_count ~cost;
+  Wstats.observe_query t.ws ~key:(bucket_of_value q.Strategy.q_lo) ~returned
+    ~view_size:t.match_count ~cost ();
   t.n_queries <- t.n_queries + 1;
   let n = Hashtbl.length t.table in
   let f = if n = 0 then 0. else float_of_int t.match_count /. float_of_int n in

@@ -1,4 +1,5 @@
 module Params = Vmat_cost.Params
+module Sketch = Vmat_obs.Sketch
 
 type t = {
   w_alpha : float;
@@ -14,10 +15,14 @@ type t = {
   mutable e_query_cost : float option;
   mutable n_txns : int;
   mutable n_queries : int;
+  (* Heavy-hitter sketch over the cluster keys the workload touches
+     (DESIGN §11) — pure observation, never consulted by [to_params]. *)
+  keys : Sketch.t;
 }
 
-let create ?(alpha = 0.25) () =
+let create ?(alpha = 0.25) ?(key_capacity = 16) () =
   if not (alpha > 0. && alpha <= 1.) then invalid_arg "Wstats.create: alpha must be in (0, 1]";
+  if key_capacity < 1 then invalid_arg "Wstats.create: key_capacity must be >= 1";
   {
     w_alpha = alpha;
     dk = 0.;
@@ -28,6 +33,7 @@ let create ?(alpha = 0.25) () =
     e_query_cost = None;
     n_txns = 0;
     n_queries = 0;
+    keys = Sketch.create ~capacity:key_capacity ();
   }
 
 let alpha t = t.w_alpha
@@ -41,17 +47,19 @@ let decay t =
   t.dk <- (1. -. t.w_alpha) *. t.dk;
   t.dq <- (1. -. t.w_alpha) *. t.dq
 
-let observe_txn t ~l ~cost =
+let observe_txn t ?(keys = []) ~l ~cost () =
   if l < 0 then invalid_arg "Wstats.observe_txn: negative l";
   decay t;
   t.dk <- t.dk +. 1.;
   t.e_l <- ewma t t.e_l (float_of_int l);
   t.e_txn_cost <- ewma t t.e_txn_cost cost;
+  List.iter (Sketch.observe t.keys) keys;
   t.n_txns <- t.n_txns + 1
 
-let observe_query t ~returned ~view_size ~cost =
+let observe_query t ?key ~returned ~view_size ~cost () =
   decay t;
   t.dq <- t.dq +. 1.;
+  Option.iter (Sketch.observe t.keys) key;
   let fv =
     if view_size <= 0 then 0.
     else Float.min 1. (float_of_int (max 0 returned) /. float_of_int view_size)
@@ -75,6 +83,9 @@ let mean_l t = Option.value ~default:1. t.e_l
 let mean_fv t = Option.value ~default:0.1 t.e_fv
 let mean_txn_cost t = Option.value ~default:0. t.e_txn_cost
 let mean_query_cost t = Option.value ~default:0. t.e_query_cost
+let hot_keys ?k t = Sketch.top ?k t.keys
+let key_skew t = Sketch.skew t.keys
+let key_distinct t = Sketch.distinct t.keys
 
 let clamp lo hi v = Float.max lo (Float.min hi v)
 

@@ -14,18 +14,23 @@
 
 type t
 
-val create : ?alpha:float -> unit -> t
-(** [alpha] defaults to [0.25]. @raise Invalid_argument unless [0 < alpha <= 1]. *)
+val create : ?alpha:float -> ?key_capacity:int -> unit -> t
+(** [alpha] defaults to [0.25]; [key_capacity] (default [16]) sizes the
+    Space-Saving sketch behind {!hot_keys}.
+    @raise Invalid_argument unless [0 < alpha <= 1] and [key_capacity >= 1]. *)
 
 val alpha : t -> float
 
-val observe_txn : t -> l:int -> cost:float -> unit
+val observe_txn : t -> ?keys:string list -> l:int -> cost:float -> unit -> unit
 (** Record one update transaction of [l] tuple changes whose measured
-    (non-[Base]) cost was [cost] ms. *)
+    (non-[Base]) cost was [cost] ms.  [keys] are the quantized cluster keys
+    the transaction touched (see {!Vmat_obs.Sketch.bucket_key}); they feed
+    the heavy-hitter sketch only and never influence {!to_params}. *)
 
-val observe_query : t -> returned:int -> view_size:int -> cost:float -> unit
+val observe_query : t -> ?key:string -> returned:int -> view_size:int -> cost:float -> unit -> unit
 (** Record one view query that returned [returned] tuples out of a view
-    currently holding [view_size] tuples, at measured cost [cost] ms. *)
+    currently holding [view_size] tuples, at measured cost [cost] ms.
+    [key] is the quantized start of the queried range, for {!hot_keys}. *)
 
 val txns_seen : t -> int
 val queries_seen : t -> int
@@ -49,6 +54,17 @@ val mean_txn_cost : t -> float
 val mean_query_cost : t -> float
 (** Decayed measured cost per operation (observability; the controller's
     decisions use the analytic model, these ground it in reality). *)
+
+val hot_keys : ?k:int -> t -> Vmat_obs.Sketch.heavy list
+(** The heaviest cluster keys observed so far (count-descending; at most the
+    sketch capacity, or [k] when given).  Observability only. *)
+
+val key_skew : t -> float
+(** Fraction of all observed key touches landing on the single hottest key
+    ([0.] before any keyed observation). *)
+
+val key_distinct : t -> float
+(** KMV estimate of the number of distinct cluster keys observed. *)
 
 val to_params :
   t -> base:Vmat_cost.Params.t -> n_tuples:float -> f:float -> Vmat_cost.Params.t

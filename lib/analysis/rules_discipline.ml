@@ -1,4 +1,5 @@
-(* Discipline rules D4-D5: comparator hygiene and ctx-discipline. *)
+(* Discipline rules D4-D6: comparator hygiene, ctx-discipline, and
+   registry-domain discipline. *)
 
 open Parsetree
 
@@ -189,4 +190,106 @@ let d5 =
         iterator.structure iterator structure);
   }
 
-let all = [ d4; d5 ]
+(* ------------------------------------------------------------------ *)
+(* D6: metrics registry is owner-domain-only                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The metric registry (and the trace log behind it) is plain mutable state
+   with a single-domain ownership contract (DESIGN §11): only the domain
+   that owns the recorder may mutate it, and worker domains report back
+   through their private flight rings / sketches, merged post-join.  A
+   registry or trace mutator syntactically inside a [Domain.spawn] closure
+   is a data race in the making — the spawned domain runs concurrently with
+   the owner.  Flight.append / Sketch.observe inside a spawn are exactly
+   the sanctioned alternative and are never flagged. *)
+
+let registry_mutators =
+  [
+    "Metrics.inc";
+    "Metrics.reset_counter";
+    "Metrics.set";
+    "Metrics.observe";
+    "Recorder.inc";
+    "Recorder.set_gauge";
+    "Recorder.observe";
+    "Recorder.span";
+    "Recorder.instant";
+    "Recorder.trace_counter";
+    "Recorder.set_thread";
+    "Recorder.set_clock";
+    "Trace.begin_span";
+    "Trace.end_span";
+    "Trace.instant";
+    "Trace.counter";
+    "Trace.set_thread";
+  ]
+
+(* Match both short paths (module alias convention) and fully qualified
+   ones (Vmat_obs.Metrics.inc). *)
+let is_registry_mutator path =
+  List.exists
+    (fun m -> path = m || String.ends_with ~suffix:("." ^ m) path)
+    registry_mutators
+
+(* The first registry-mutator application anywhere under [expr], if any. *)
+let find_mutator expr =
+  let found = ref None in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun iter e ->
+          (match e.pexp_desc with
+          | Pexp_apply (f, _) -> (
+              match Rule.applied_path f with
+              | Some path when is_registry_mutator path ->
+                  if !found = None then found := Some (path, e.pexp_loc)
+              | _ -> ())
+          | _ -> ());
+          if !found = None then Ast_iterator.default_iterator.expr iter e);
+    }
+  in
+  iterator.expr iterator expr;
+  !found
+
+let d6 =
+  {
+    Rule.id = "D6";
+    doc =
+      "registry-domain discipline: metrics/trace mutators must not appear \
+       inside a Domain.spawn closure (report through flight rings/sketches, \
+       merge post-join)";
+    check =
+      (fun ctx structure ->
+        let visit e =
+          match e.pexp_desc with
+          | Pexp_apply (f, args) when Rule.applied_path f = Some "Domain.spawn"
+            -> (
+              match Rule.unlabelled args with
+              | closure :: _ -> (
+                  match find_mutator closure with
+                  | Some (path, loc) ->
+                      ctx.Rule.report ~severity:Finding.Error ~loc
+                        (Printf.sprintf
+                           "%s inside a Domain.spawn closure mutates the \
+                            owner domain's registry/trace concurrently: \
+                            record into a domain-private Flight ring or \
+                            Sketch and merge after the join"
+                           path)
+                  | None -> ())
+              | [] -> ())
+          | _ -> ()
+        in
+        let iterator =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun iter e ->
+                visit e;
+                Ast_iterator.default_iterator.expr iter e);
+          }
+        in
+        iterator.structure iterator structure);
+  }
+
+let all = [ d4; d5; d6 ]

@@ -29,7 +29,10 @@
     - {!Mvcc}, {!Snapshot}, {!Serve}, {!Wallclock} — the concurrent serving
       subsystem: immutable MVCC snapshots with pin/reclaim, a single writer
       with WAL group commit, multi-domain readers, and the wall-clock
-      benchmark axis (DESIGN §10). *)
+      benchmark axis (DESIGN §10);
+    - {!Flight}, {!Sketch}, {!Dash} — serving-grade observability: per-domain
+      flight-recorder rings, Space-Saving heavy-hitter workload sketches, and
+      the live text dashboard they feed (DESIGN §11). *)
 
 module Yao = Vmat_util.Yao
 module Combin = Vmat_util.Combin
@@ -43,6 +46,9 @@ module Trace = Vmat_obs.Trace
 module Metrics = Vmat_obs.Metrics
 module Recorder = Vmat_obs.Recorder
 module Json_text = Vmat_obs.Json_text
+module Flight = Vmat_obs.Flight
+module Sketch = Vmat_obs.Sketch
+module Dash = Vmat_obs.Dash
 module Value = Vmat_storage.Value
 module Schema = Vmat_storage.Schema
 module Tuple = Vmat_storage.Tuple

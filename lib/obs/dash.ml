@@ -1,0 +1,200 @@
+(* Serving dashboard snapshots: JSON for CI, ASCII panel for humans. *)
+
+type category = { c_name : string; c_meter_ms : float; c_metric_ms : float }
+type hot = { h_key : string; h_count : int; h_err : int }
+type ring_stat = { rs_label : string; rs_appended : int; rs_dropped : int }
+
+type snapshot = {
+  d_seq : int;
+  d_final : bool;
+  d_strategy : string;
+  d_wall_s : float;
+  d_txns : int;
+  d_queries : int;
+  d_epochs : int;
+  d_tps : float;
+  d_qps : float;
+  d_txn_p50_us : float;
+  d_txn_p95_us : float;
+  d_txn_p99_us : float;
+  d_query_p50_us : float;
+  d_query_p95_us : float;
+  d_query_p99_us : float;
+  d_modeled_ms : float;
+  d_categories : category list;
+  d_hot_keys : hot list;
+  d_key_total : int;
+  d_key_distinct : float;
+  d_key_skew : float;
+  d_flight : ring_stat list;
+  d_gauges : (string * float) list;
+}
+
+let to_json s =
+  let module J = Json_text in
+  J.obj
+    [
+      ("seq", J.int s.d_seq);
+      ("final", J.bool s.d_final);
+      ("strategy", J.str s.d_strategy);
+      ("wall_s", J.num s.d_wall_s);
+      ("txns", J.int s.d_txns);
+      ("queries", J.int s.d_queries);
+      ("epochs", J.int s.d_epochs);
+      ("tps", J.num s.d_tps);
+      ("qps", J.num s.d_qps);
+      ( "txn_latency_us",
+        J.obj
+          [
+            ("p50", J.num s.d_txn_p50_us);
+            ("p95", J.num s.d_txn_p95_us);
+            ("p99", J.num s.d_txn_p99_us);
+          ] );
+      ( "query_latency_us",
+        J.obj
+          [
+            ("p50", J.num s.d_query_p50_us);
+            ("p95", J.num s.d_query_p95_us);
+            ("p99", J.num s.d_query_p99_us);
+          ] );
+      ("modeled_ms", J.num s.d_modeled_ms);
+      ( "categories",
+        J.arr
+          (List.map
+             (fun c ->
+               J.obj
+                 [
+                   ("name", J.str c.c_name);
+                   ("meter_ms", J.num c.c_meter_ms);
+                   ("metric_ms", J.num c.c_metric_ms);
+                 ])
+             s.d_categories) );
+      ( "hot_keys",
+        J.arr
+          (List.map
+             (fun h ->
+               J.obj
+                 [
+                   ("key", J.str h.h_key);
+                   ("count", J.int h.h_count);
+                   ("err", J.int h.h_err);
+                 ])
+             s.d_hot_keys) );
+      ("key_total", J.int s.d_key_total);
+      ("key_distinct", J.num s.d_key_distinct);
+      ("key_skew", J.num s.d_key_skew);
+      ( "flight",
+        J.arr
+          (List.map
+             (fun r ->
+               J.obj
+                 [
+                   ("domain", J.str r.rs_label);
+                   ("appended", J.int r.rs_appended);
+                   ("dropped", J.int r.rs_dropped);
+                 ])
+             s.d_flight) );
+      ( "gauges",
+        J.obj (List.map (fun (k, v) -> (k, Json_text.num v)) s.d_gauges) );
+    ]
+
+(* ---------------------------------------------------------------- render *)
+
+type view = {
+  v_width : int;
+  mutable v_tps : float list; (* newest last *)
+  mutable v_qps : float list;
+  mutable v_keys : (string * float list) list;
+  mutable v_last_counts : (string * int) list;
+}
+
+let view ?(width = 32) () =
+  if width < 1 then invalid_arg "Dash.view: width must be >= 1";
+  { v_width = width; v_tps = []; v_qps = []; v_keys = []; v_last_counts = [] }
+
+let push width xs x =
+  let xs = xs @ [ x ] in
+  let n = List.length xs in
+  if n > width then List.filteri (fun i _ -> i >= n - width) xs else xs
+
+let update v s =
+  v.v_tps <- push v.v_width v.v_tps s.d_tps;
+  v.v_qps <- push v.v_width v.v_qps s.d_qps;
+  (* Per-key history tracks the delta of each hot key's count between
+     frames, so the sparkline shows traffic, not the running total. *)
+  let deltas =
+    List.map
+      (fun h ->
+        let prev =
+          Option.value ~default:0 (List.assoc_opt h.h_key v.v_last_counts)
+        in
+        (h.h_key, float_of_int (max 0 (h.h_count - prev))))
+      s.d_hot_keys
+  in
+  v.v_keys <-
+    List.map
+      (fun (key, d) ->
+        let hist = Option.value ~default:[] (List.assoc_opt key v.v_keys) in
+        (key, push v.v_width hist d))
+      deltas;
+  v.v_last_counts <- List.map (fun h -> (h.h_key, h.h_count)) s.d_hot_keys
+
+let fmt_f = Vmat_util.Table.float_cell ~decimals:1
+
+let render v s =
+  update v s;
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  let spark xs = Vmat_util.Ascii_plot.sparkline xs in
+  let head =
+    Printf.sprintf "vmat serve · %s · epoch %d · %.1fs%s" s.d_strategy
+      s.d_epochs s.d_wall_s
+      (if s.d_final then " · final" else "")
+  in
+  line "── %s %s" head (String.make (max 2 (64 - String.length head)) '-');
+  line "  txns %d (%.1f tps)   queries %d (%.1f qps)   modeled %.1f ms"
+    s.d_txns s.d_tps s.d_queries s.d_qps s.d_modeled_ms;
+  if List.length v.v_tps > 1 then begin
+    line "  tps %s" (spark v.v_tps);
+    line "  qps %s" (spark v.v_qps)
+  end;
+  line "";
+  line "%s"
+    (Vmat_util.Table.render
+       ~headers:[ "latency (us)"; "p50"; "p95"; "p99" ]
+       [
+         [ "txn"; fmt_f s.d_txn_p50_us; fmt_f s.d_txn_p95_us; fmt_f s.d_txn_p99_us ];
+         [
+           "query";
+           fmt_f s.d_query_p50_us;
+           fmt_f s.d_query_p95_us;
+           fmt_f s.d_query_p99_us;
+         ];
+       ]);
+  if not (List.is_empty s.d_categories) then
+    line "%s"
+      (Vmat_util.Table.render
+         ~headers:[ "category"; "meter ms"; "metric ms" ]
+         (List.map
+            (fun c -> [ c.c_name; fmt_f c.c_meter_ms; fmt_f c.c_metric_ms ])
+            s.d_categories));
+  if not (List.is_empty s.d_hot_keys) then begin
+    line "  hot keys (space-saving; %d obs, ~%.0f distinct, skew %.3f):"
+      s.d_key_total s.d_key_distinct s.d_key_skew;
+    List.iter
+      (fun h ->
+        let hist = Option.value ~default:[] (List.assoc_opt h.h_key v.v_keys) in
+        line "    %-16s %7d (±%d) %s" h.h_key h.h_count h.h_err (spark hist))
+      s.d_hot_keys
+  end;
+  if not (List.is_empty s.d_flight) then
+    line "  flight: %s"
+      (String.concat "  "
+         (List.map
+            (fun r ->
+              Printf.sprintf "%s %d/%d dropped" r.rs_label r.rs_appended
+                r.rs_dropped)
+            s.d_flight));
+  if not (List.is_empty s.d_gauges) then
+    List.iter (fun (k, g) -> line "  %-28s %s" k (fmt_f g)) s.d_gauges;
+  Buffer.contents b

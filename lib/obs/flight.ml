@@ -1,0 +1,192 @@
+(* Bounded per-domain event rings; merged deterministically post-join. *)
+
+type event =
+  | Query_begin of { seq : int; epoch : int; lo : string; hi : string }
+  | Query_end of { seq : int; rows : int; wall_us : float }
+  | Txn_commit of {
+      seq : int;
+      changes : int;
+      modeled_ms : float;
+      wall_us : float;
+    }
+  | Publish of { epoch : int; txns : int; modeled_ms : float }
+  | Pin of { epoch : int }
+  | Unpin of { epoch : int }
+  | Group_commit_force of { forces : int }
+
+let kind_name = function
+  | Query_begin _ -> "query_begin"
+  | Query_end _ -> "query_end"
+  | Txn_commit _ -> "txn_commit"
+  | Publish _ -> "publish"
+  | Pin _ -> "pin"
+  | Unpin _ -> "unpin"
+  | Group_commit_force _ -> "group_commit_force"
+
+type stamped = { at_us : float; ev : event }
+
+type t = {
+  fl_label : string;
+  fl_capacity : int;
+  fl_slots : stamped option array;
+  mutable fl_appended : int;
+}
+
+let create ?(capacity = 4096) ~label () =
+  if capacity < 1 then invalid_arg "Flight.create: capacity must be >= 1";
+  {
+    fl_label = label;
+    fl_capacity = capacity;
+    fl_slots = Array.make capacity None;
+    fl_appended = 0;
+  }
+
+let label t = t.fl_label
+let capacity t = t.fl_capacity
+
+let append t ~at_us ev =
+  t.fl_slots.(t.fl_appended mod t.fl_capacity) <- Some { at_us; ev };
+  t.fl_appended <- t.fl_appended + 1
+
+let appended t = t.fl_appended
+let dropped t = max 0 (t.fl_appended - t.fl_capacity)
+
+let drain t =
+  let n = min t.fl_appended t.fl_capacity in
+  List.init n (fun i ->
+      let idx = (t.fl_appended - n + i) mod t.fl_capacity in
+      match t.fl_slots.(idx) with
+      | Some s -> (s.at_us, s.ev)
+      | None -> assert false (* slots [appended-n, appended) are filled *))
+
+let merge rings =
+  let sorted =
+    List.sort (fun a b -> String.compare a.fl_label b.fl_label) rings
+  in
+  let rec dup = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a.fl_label b.fl_label then Some a.fl_label
+        else dup rest
+    | _ -> None
+  in
+  (match dup sorted with
+  | Some l -> invalid_arg (Printf.sprintf "Flight.merge: duplicate label %S" l)
+  | None -> ());
+  sorted
+
+let export_metrics r rings =
+  List.iter
+    (fun ring ->
+      let domain = ring.fl_label in
+      Recorder.inc r ~help:"Events appended to a domain flight ring."
+        ~labels:[ ("domain", domain) ]
+        "vmat_flight_appended_total"
+        (float_of_int ring.fl_appended);
+      Recorder.inc r
+        ~help:"Flight-ring events lost to overflow (oldest evicted first)."
+        ~labels:[ ("domain", domain) ]
+        "vmat_flight_dropped_events_total"
+        (float_of_int (dropped ring));
+      (* Per-kind breakdown over what survived in the ring. *)
+      let by_kind = Hashtbl.create 8 in
+      List.iter
+        (fun (_, ev) ->
+          let k = kind_name ev in
+          Hashtbl.replace by_kind k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind k)))
+        (drain ring);
+      List.iter
+        (fun (k, n) ->
+          Recorder.inc r ~help:"Retained flight-ring events by kind."
+            ~labels:[ ("domain", domain); ("kind", k) ]
+            "vmat_flight_events_total" (float_of_int n))
+        (List.sort
+           (fun (a, _) (b, _) -> String.compare a b)
+           (Hashtbl.fold (fun k n acc -> (k, n) :: acc) by_kind [])))
+    (merge rings)
+
+let to_trace trace rings =
+  let rings = merge rings in
+  List.iteri
+    (fun i ring ->
+      (* Lane 0 is the coordinator's; flight lanes start at 1. *)
+      let tid = i + 1 in
+      Trace.set_thread trace ~tid ~label:("flight:" ^ ring.fl_label);
+      let pending = ref None in
+      let last_ts = ref 0. in
+      let close ts args =
+        match !pending with
+        | None -> ()
+        | Some sp ->
+            Trace.end_span trace ~ts ~args sp;
+            pending := None
+      in
+      List.iter
+        (fun (at_us, ev) ->
+          let ts = at_us /. 1000. in
+          last_ts := ts;
+          match ev with
+          | Query_begin { seq; epoch; lo; hi } ->
+              (* An evicted Query_end leaves a span open: close it here so
+                 spans still nest. *)
+              close ts [ ("truncated", "true") ];
+              pending :=
+                Some
+                  (Trace.begin_span trace ~ts ~cat:"serve"
+                     ~args:
+                       [
+                         ("seq", string_of_int seq);
+                         ("epoch", string_of_int epoch);
+                         ("lo", lo);
+                         ("hi", hi);
+                       ]
+                     "query")
+          | Query_end { seq; rows; wall_us } -> (
+              let args =
+                [
+                  ("seq", string_of_int seq);
+                  ("rows", string_of_int rows);
+                  ("wall_us", Printf.sprintf "%.1f" wall_us);
+                ]
+              in
+              match !pending with
+              | Some sp ->
+                  Trace.end_span trace ~ts ~args sp;
+                  pending := None
+              | None ->
+                  (* The matching begin was evicted. *)
+                  Trace.instant trace ~ts ~cat:"serve" ~args "query_end")
+          | Txn_commit { seq; changes; modeled_ms; wall_us } ->
+              Trace.instant trace ~ts ~cat:"serve"
+                ~args:
+                  [
+                    ("seq", string_of_int seq);
+                    ("changes", string_of_int changes);
+                    ("modeled_ms", Printf.sprintf "%.3f" modeled_ms);
+                    ("wall_us", Printf.sprintf "%.1f" wall_us);
+                  ]
+                "txn_commit"
+          | Publish { epoch; txns; modeled_ms } ->
+              Trace.instant trace ~ts ~cat:"serve"
+                ~args:
+                  [
+                    ("epoch", string_of_int epoch);
+                    ("txns", string_of_int txns);
+                    ("modeled_ms", Printf.sprintf "%.3f" modeled_ms);
+                  ]
+                "publish"
+          | Pin { epoch } ->
+              Trace.instant trace ~ts ~cat:"serve"
+                ~args:[ ("epoch", string_of_int epoch) ]
+                "pin"
+          | Unpin { epoch } ->
+              Trace.instant trace ~ts ~cat:"serve"
+                ~args:[ ("epoch", string_of_int epoch) ]
+                "unpin"
+          | Group_commit_force { forces } ->
+              Trace.instant trace ~ts ~cat:"serve"
+                ~args:[ ("forces", string_of_int forces) ]
+                "group_commit_force")
+        (drain ring);
+      close !last_ts [ ("truncated", "true") ])
+    rings

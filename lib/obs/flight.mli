@@ -1,0 +1,81 @@
+(** Per-domain flight recorders: bounded event rings with deterministic
+    oldest-event eviction.
+
+    The serving protocol (DESIGN §10–11) forbids cross-domain mutation of
+    the metrics registry and trace log — both are single-domain structures.
+    A flight ring is the sanctioned alternative: each reader/writer domain
+    owns a private ring, appends structured events while it runs, and hands
+    the ring back when it joins.  The coordinator then {!merge}s the rings
+    (sorted by label, so the result is independent of join order) and
+    {!export_metrics} / {!to_trace} them into the ordinary exporters.
+
+    Appending never allocates beyond the event itself and never touches a
+    cost meter, wall clock or registry — zero observer effect on modeled
+    artifacts.  When a ring overflows, the oldest event is evicted
+    deterministically and counted; {!export_metrics} publishes the loss as
+    [vmat_flight_dropped_events_total]. *)
+
+type event =
+  | Query_begin of { seq : int; epoch : int; lo : string; hi : string }
+      (** A reader starts query [seq] over [lo, hi] against epoch [epoch]. *)
+  | Query_end of { seq : int; rows : int; wall_us : float }
+  | Txn_commit of {
+      seq : int;
+      changes : int;
+      modeled_ms : float;
+      wall_us : float;
+    }
+      (** Writer applied txn [seq]; [modeled_ms] is the meter delta it
+          charged (the writer owns the meter, so reading it is safe). *)
+  | Publish of { epoch : int; txns : int; modeled_ms : float }
+      (** Writer published a snapshot; [modeled_ms] is the cumulative
+          modeled cost at publication. *)
+  | Pin of { epoch : int }
+  | Unpin of { epoch : int }
+  | Group_commit_force of { forces : int }
+      (** WAL group-commit boundary; [forces] physical forces so far. *)
+
+val kind_name : event -> string
+(** Stable lowercase tag, e.g. ["query_begin"]. *)
+
+type t
+
+val create : ?capacity:int -> label:string -> unit -> t
+(** A ring holding at most [capacity] (default 4096) events; [label] is
+    the owning domain's name (["writer"], ["reader-0"], ...).
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val label : t -> string
+val capacity : t -> int
+
+val append : t -> at_us:float -> event -> unit
+(** Record an event stamped with a wall-clock microsecond timestamp
+    (from {!Wallclock}, the one sanctioned wall-time source).  When full,
+    the oldest retained event is evicted. *)
+
+val appended : t -> int
+(** Events ever appended, including evicted ones. *)
+
+val dropped : t -> int
+(** Events evicted by overflow ([max 0 (appended - capacity)]). *)
+
+val drain : t -> (float * event) list
+(** Retained events, oldest first, as [(at_us, event)]. *)
+
+val merge : t list -> t list
+(** Canonical coordinator order: rings sorted by label — independent of
+    domain join order.  @raise Invalid_argument on duplicate labels. *)
+
+val export_metrics : Recorder.t -> t list -> unit
+(** Publish ring health counters: [vmat_flight_events_total{domain,kind}]
+    over retained events, [vmat_flight_appended_total{domain}] and
+    [vmat_flight_dropped_events_total{domain}].  Call on the
+    registry-owning domain only (vmlint rule D6), post-join. *)
+
+val to_trace : Trace.t -> t list -> unit
+(** Replay merged rings into a trace: one Chrome-trace lane per ring
+    (labelled with the domain), [Query_begin]/[Query_end] pairs become
+    spans (orphans — evicted halves — degrade to instants), everything
+    else becomes an instant with its fields as args.  Timestamps are the
+    rings' wall-clock stamps, so serving traces are on wall time (unlike
+    modeled-clock workload traces — the lanes say which is which). *)

@@ -159,6 +159,10 @@ let histogram_buckets t ?labels name =
 let histo_quantile h q =
   if q < 0. || q > 1. then invalid_arg "Metrics.histogram_quantile: q must be in [0, 1]";
   if h.nobs = 0 then None
+    (* A single observation has an exact answer — its own value, which the
+       histogram retains as [sum] — so skip the bucket interpolation (whose
+       answer depends on where the bucket edges happen to fall). *)
+  else if h.nobs = 1 then Some h.sum
   else begin
     let n = Array.length h.bounds in
     let target = Float.max 1. (q *. float_of_int h.nobs) in

@@ -74,7 +74,9 @@ val histogram_quantile :
     [histogram_quantile]-style: linear interpolation inside the bucket where
     the cumulative count crosses [q * count] (lower edge 0 for the first
     bucket; the overflow bucket clamps to the last finite bound).  [None]
-    for unknown series or zero observations.
+    for unknown series or zero observations; a single-observation histogram
+    returns that sole value exactly (its retained [sum]) for every [q]
+    rather than a bucket-edge interpolation.
     @raise Invalid_argument when [q] is outside [[0, 1]]. *)
 
 val export_quantiles : float list

@@ -1,0 +1,233 @@
+(* Space-Saving heavy hitters + KMV count-distinct over string keys.
+   Deterministic: local FNV-1a hashing, lexicographic tie-breaking. *)
+
+type entry = { e_key : string; mutable e_count : int; mutable e_err : int }
+
+type t = {
+  sk_capacity : int;
+  sk_distinct_k : int;
+  sk_entries : (string, entry) Hashtbl.t;
+  mutable sk_total : int;
+  (* KMV reservoir: the [distinct_k] smallest hashes seen, ascending,
+     duplicates removed. *)
+  mutable sk_hashes : float list;
+  mutable sk_nhashes : int;
+}
+
+let create ?(capacity = 64) ?(distinct_k = 256) () =
+  if capacity < 1 then invalid_arg "Sketch.create: capacity must be >= 1";
+  if distinct_k < 1 then invalid_arg "Sketch.create: distinct_k must be >= 1";
+  {
+    sk_capacity = capacity;
+    sk_distinct_k = distinct_k;
+    sk_entries = Hashtbl.create (2 * capacity);
+    sk_total = 0;
+    sk_hashes = [];
+    sk_nhashes = 0;
+  }
+
+let capacity t = t.sk_capacity
+let total t = t.sk_total
+let tracked t = Hashtbl.length t.sk_entries
+
+(* FNV-1a 64-bit, mapped to [0, 1).  Hashtbl.hash is banned (vmlint D2:
+   polymorphic hashing is not stable across OCaml versions). *)
+let fnv1a_unit s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  (* Top 53 bits as a uniform float in [0, 1). *)
+  Int64.to_float (Int64.shift_right_logical !h 11) /. 9007199254740992.
+
+let rec kmv_insert x = function
+  | [] -> [ x ]
+  | y :: rest ->
+      if x < y then x :: y :: rest
+      else if x = y then y :: rest (* duplicate key: reservoir unchanged *)
+      else y :: kmv_insert x rest
+
+let observe_hash t h =
+  if t.sk_nhashes < t.sk_distinct_k then begin
+    let before = t.sk_nhashes in
+    t.sk_hashes <- kmv_insert h t.sk_hashes;
+    (* kmv_insert drops duplicates, so recount cheaply via physical growth *)
+    if List.length t.sk_hashes > before then t.sk_nhashes <- before + 1
+  end
+  else
+    match List.rev t.sk_hashes with
+    | [] -> ()
+    | kth :: _ ->
+        if h < kth then begin
+          let inserted = kmv_insert h t.sk_hashes in
+          if List.length inserted > t.sk_nhashes then
+            (* drop the (now k+1-th) largest *)
+            t.sk_hashes <- List.filteri (fun i _ -> i < t.sk_nhashes) inserted
+          else t.sk_hashes <- inserted
+        end
+
+(* The eviction victim: smallest count; among equal counts the
+   lexicographically largest key goes first, so survivors are stable. *)
+let min_entry t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match acc with
+      | None -> Some e
+      | Some best ->
+          if
+            e.e_count < best.e_count
+            || (e.e_count = best.e_count && String.compare e.e_key best.e_key > 0)
+          then Some e
+          else Some best)
+    t.sk_entries None
+
+let min_count t =
+  if Hashtbl.length t.sk_entries < t.sk_capacity then 0
+  else match min_entry t with None -> 0 | Some e -> e.e_count
+
+let observe t ?(count = 1) key =
+  if count < 1 then invalid_arg "Sketch.observe: count must be >= 1";
+  t.sk_total <- t.sk_total + count;
+  observe_hash t (fnv1a_unit key);
+  match Hashtbl.find_opt t.sk_entries key with
+  | Some e -> e.e_count <- e.e_count + count
+  | None ->
+      if Hashtbl.length t.sk_entries < t.sk_capacity then
+        Hashtbl.replace t.sk_entries key
+          { e_key = key; e_count = count; e_err = 0 }
+      else begin
+        match min_entry t with
+        | None -> assert false (* capacity >= 1 and table is full *)
+        | Some victim ->
+            Hashtbl.remove t.sk_entries victim.e_key;
+            Hashtbl.replace t.sk_entries key
+              {
+                e_key = key;
+                e_count = victim.e_count + count;
+                e_err = victim.e_count;
+              }
+      end
+
+type heavy = { hh_key : string; hh_count : int; hh_err : int }
+
+let heavy_of_entry e = { hh_key = e.e_key; hh_count = e.e_count; hh_err = e.e_err }
+
+let top ?k t =
+  let all =
+    List.sort
+      (fun a b ->
+        let c = Int.compare b.e_count a.e_count in
+        if c <> 0 then c else String.compare a.e_key b.e_key)
+      (Hashtbl.fold (fun _ e acc -> e :: acc) t.sk_entries [])
+  in
+  let all = List.map heavy_of_entry all in
+  match k with
+  | None -> all
+  | Some k -> List.filteri (fun i _ -> i < k) all
+
+let find t key =
+  Option.map heavy_of_entry (Hashtbl.find_opt t.sk_entries key)
+
+let error_bound t = float_of_int t.sk_total /. float_of_int t.sk_capacity
+
+let distinct t =
+  if t.sk_nhashes < t.sk_distinct_k then float_of_int t.sk_nhashes
+  else
+    match List.rev t.sk_hashes with
+    | [] -> 0.
+    | kth :: _ ->
+        if kth <= 0. then float_of_int t.sk_nhashes
+        else float_of_int (t.sk_nhashes - 1) /. kth
+
+let skew t =
+  if t.sk_total = 0 then 0.
+  else
+    match top ~k:1 t with
+    | [] -> 0.
+    | h :: _ -> float_of_int h.hh_count /. float_of_int t.sk_total
+
+let merge sketches =
+  match sketches with
+  | [] -> create ()
+  | first :: rest ->
+      List.iter
+        (fun s ->
+          if s.sk_capacity <> first.sk_capacity then
+            invalid_arg "Sketch.merge: capacities differ")
+        rest;
+      let out =
+        create ~capacity:first.sk_capacity ~distinct_k:first.sk_distinct_k ()
+      in
+      (* Union of tracked keys, resolved in key order for determinism. *)
+      let keys =
+        List.sort_uniq String.compare
+          (List.concat_map
+             (fun s -> Hashtbl.fold (fun k _ acc -> k :: acc) s.sk_entries [])
+             sketches)
+      in
+      let mins = List.map min_count sketches in
+      let combined =
+        List.map
+          (fun key ->
+            let count, err =
+              List.fold_left2
+                (fun (c, e) s m ->
+                  match Hashtbl.find_opt s.sk_entries key with
+                  | Some entry -> (c + entry.e_count, e + entry.e_err)
+                  (* Absent from a full sketch: its true count there is at
+                     most that sketch's minimum — charge it as overcount. *)
+                  | None -> (c + m, e + m))
+                (0, 0) sketches mins
+            in
+            { e_key = key; e_count = count; e_err = err })
+          keys
+      in
+      let ranked =
+        List.sort
+          (fun a b ->
+            let c = Int.compare b.e_count a.e_count in
+            if c <> 0 then c else String.compare a.e_key b.e_key)
+          combined
+      in
+      List.iteri
+        (fun i e ->
+          if i < out.sk_capacity then Hashtbl.replace out.sk_entries e.e_key e)
+        ranked;
+      out.sk_total <- List.fold_left (fun acc s -> acc + s.sk_total) 0 sketches;
+      List.iter
+        (fun s -> List.iter (fun h -> observe_hash out h) s.sk_hashes)
+        sketches;
+      out
+
+let bucket_key ~cells ~lo ~hi x =
+  if cells < 1 then invalid_arg "Sketch.bucket_key: cells must be >= 1";
+  if hi <= lo then invalid_arg "Sketch.bucket_key: need lo < hi";
+  let w = (hi -. lo) /. float_of_int cells in
+  let i = int_of_float (Float.floor ((x -. lo) /. w)) in
+  let i = if i < 0 then 0 else if i >= cells then cells - 1 else i in
+  Printf.sprintf "[%.4g,%.4g)"
+    (lo +. (w *. float_of_int i))
+    (lo +. (w *. float_of_int (i + 1)))
+
+let export ?(labels = []) r t =
+  let gauge name help v = Recorder.set_gauge r ~help ~labels name v in
+  gauge "vmat_key_observed_total" "Cluster-key observations sketched."
+    (float_of_int t.sk_total);
+  gauge "vmat_key_distinct_est" "KMV estimate of distinct cluster keys."
+    (distinct t);
+  gauge "vmat_key_skew" "Estimated frequency of the hottest cluster key."
+    (skew t);
+  gauge "vmat_key_error_bound"
+    "Space-Saving worst-case overcount (total / capacity)." (error_bound t);
+  gauge "vmat_key_tracked" "Cluster keys tracked by the Space-Saving sketch."
+    (float_of_int (tracked t));
+  List.iter
+    (fun h ->
+      Recorder.set_gauge r
+        ~help:"Estimated count of a heavy-hitter cluster key."
+        ~labels:(labels @ [ ("key", h.hh_key) ])
+        "vmat_key_hot"
+        (float_of_int h.hh_count))
+    (top ~k:16 t)

@@ -1,0 +1,84 @@
+(** Workload sketches: Space-Saving top-k heavy hitters plus a KMV
+    count-distinct summary over an opaque string key space.
+
+    The serving subsystem (DESIGN §11) maintains one sketch per domain —
+    the writer over updated cluster keys, each reader over queried cluster
+    keys — with no cross-domain sharing, then {!merge}s them post-join.
+    The merged summary is the online input the adaptive controller
+    ({!Vmat_adaptive.Wstats}) and the future heavy/light partitioner read.
+
+    Guarantees (Metwally et al., Space-Saving): with capacity [k] over a
+    stream of [n] observations, every key whose true frequency exceeds
+    [n / k] is present in the sketch, and each reported count [c] with
+    error [e] brackets the true count: [c - e <= true <= c].  Merging
+    preserves the bracket with the error bounds summed — see the qcheck
+    properties in [test/test_flight.ml].
+
+    Everything here is deterministic: hashing is a locally implemented
+    FNV-1a (stable across OCaml versions, unlike [Hashtbl.hash]), and all
+    reported orders break ties lexicographically.  Nothing touches a cost
+    meter, so sketches ride along with zero observer effect. *)
+
+type t
+
+val create : ?capacity:int -> ?distinct_k:int -> unit -> t
+(** [capacity] (default 64) bounds the tracked heavy-hitter entries;
+    [distinct_k] (default 256) bounds the KMV hash reservoir (counts up to
+    [distinct_k] distinct keys exactly, estimates beyond).
+    @raise Invalid_argument when either is < 1. *)
+
+val capacity : t -> int
+
+val observe : t -> ?count:int -> string -> unit
+(** Record [count] (default 1) occurrences of a key. *)
+
+val total : t -> int
+(** Observations seen (the stream length [n]). *)
+
+val tracked : t -> int
+(** Keys currently tracked (at most [capacity]). *)
+
+type heavy = { hh_key : string; hh_count : int; hh_err : int }
+(** One reported heavy hitter: [hh_count - hh_err <= true <= hh_count]. *)
+
+val top : ?k:int -> t -> heavy list
+(** The tracked keys, heaviest first (ties broken by key, ascending);
+    at most [k] of them when given. *)
+
+val find : t -> string -> heavy option
+
+val error_bound : t -> float
+(** [total / capacity] — the worst-case overcount of any reported key, and
+    the frequency threshold above which presence is guaranteed. *)
+
+val distinct : t -> float
+(** KMV estimate of the number of distinct keys observed (exact while the
+    reservoir is not full). *)
+
+val skew : t -> float
+(** Estimated frequency of the hottest key, [top-1 count / total] in
+    [[0, 1]]; [0.] on an empty sketch.  Uniform traffic over [d] keys
+    gives roughly [1/d]; a Zipfian hotspot pushes it toward 1. *)
+
+val merge : t list -> t
+(** Merge per-domain sketches into a fresh one (inputs untouched).  Keys
+    absent from one input are charged that input's minimum count — the
+    standard mergeable-summaries construction, keeping the count bracket
+    valid with error bounds summed.  Deterministic for any input order
+    modulo the inputs' labels being disjoint streams: the union is
+    resolved in key order.  @raise Invalid_argument when the inputs'
+    capacities differ. *)
+
+val bucket_key : cells:int -> lo:float -> hi:float -> float -> string
+(** Quantize a continuous value into one of [cells] equal-width buckets of
+    [[lo, hi)] and render the bucket as a canonical ["[a,b)"] label —
+    continuous cluster keys (Model 1's [pval]) become a finite, mergeable
+    key space.  Out-of-range values clamp to the edge buckets.
+    @raise Invalid_argument when [cells < 1] or [hi <= lo]. *)
+
+val export : ?labels:(string * string) list -> Recorder.t -> t -> unit
+(** Publish the summary as [vmat_key_*] gauges: [vmat_key_observed_total],
+    [vmat_key_distinct_est], [vmat_key_skew], [vmat_key_error_bound],
+    [vmat_key_tracked], plus one [vmat_key_hot{key=...}] gauge per
+    reported heavy hitter (top 16).  Call on the registry-owning domain
+    only (vmlint rule D6). *)

@@ -31,11 +31,25 @@ type config = {
   record_observations : bool;
       (** capture one {!observation} per read for the snapshot-isolation
           property (test-only; keep off in benchmarks) *)
+  trace_sample : int;
+      (** deterministic counter-based sampling period for per-query flight
+          events: every [N]-th query/txn per domain is recorded (0 = none).
+          Requires [flight_capacity > 0] to have any effect. *)
+  sketch_capacity : int;
+      (** Space-Saving capacity of the per-domain cluster-key sketches
+          (0 = sketches off) *)
+  flight_capacity : int;
+      (** per-domain flight-ring capacity (0 = flight recorder off) *)
+  dash_every : int;
+      (** emit a dashboard snapshot every [K] epochs (0 = none beyond the
+          final post-join frame when [on_snapshot] is given) *)
 }
 
 val default_config : config
 (** 2 readers x 200 queries, an epoch every 8 transactions, WAL durability
-    with [group_commit = 8], observations off. *)
+    with [group_commit = 8], observations off, and every observability
+    extra off ([trace_sample = sketch_capacity = flight_capacity =
+    dash_every = 0]) — exactly the pre-observability serving behavior. *)
 
 type latency = {
   l_count : int;
@@ -79,6 +93,16 @@ type report = {
   r_sanitize_checks : int;
   r_sanitize_violations : int;
   r_observations : observation list;  (** empty unless [record_observations] *)
+  r_flight : Vmat_obs.Flight.t list;
+      (** the domains' flight rings in canonical (label-sorted) order;
+          empty unless [flight_capacity > 0] *)
+  r_hot_keys : Vmat_obs.Sketch.heavy list;
+      (** merged heavy hitters over updated + queried cluster keys,
+          heaviest first; empty unless [sketch_capacity > 0] *)
+  r_key_total : int;
+  r_key_distinct : float;
+  r_key_skew : float;
+  r_key_error_bound : float;
 }
 
 val run :
@@ -86,6 +110,7 @@ val run :
   ?recorder:Vmat_obs.Recorder.t ->
   ?sanitize:bool ->
   ?seed:int ->
+  ?on_snapshot:(Vmat_obs.Dash.snapshot -> unit) ->
   params:Vmat_cost.Params.t ->
   strategy:Vmat_workload.Experiment.model1_strategy ->
   unit ->
@@ -97,8 +122,26 @@ val run :
     receives the wall-clock latency samples as a [vmat_serve_latency_us]
     histogram — merged on the coordinating domain after all workers joined,
     since the metric registry is single-threaded.
+
+    Observability extras (DESIGN §11), all default-off and all with zero
+    observer effect on the modeled artifacts ([r_modeled_ms],
+    [r_category_costs], [r_final_digest] are bit-identical on vs. off —
+    tested): with [flight_capacity > 0] each domain keeps a private
+    {!Vmat_obs.Flight} ring (publish/group-commit-force always; per-query
+    and per-txn events for every [trace_sample]-th operation, deterministic
+    counter sampling per domain) and with [sketch_capacity > 0] a private
+    {!Vmat_obs.Sketch} over quantized cluster keys — updated keys on the
+    writer, queried keys on readers.  Rings and sketches travel back
+    through the domain join, are merged deterministically here, exported
+    into the recorder ([vmat_flight_*], [vmat_key_*], trace lanes per
+    domain) and surfaced on the report.  [on_snapshot] receives a
+    {!Vmat_obs.Dash} frame from the writer every [dash_every] epochs
+    (mid-run: writer-side view only) plus one final merged frame
+    post-join; it runs on the writer domain mid-run, so it must not touch
+    the registry (vmlint D6) — writing a file or rendering to the terminal
+    is fine.
     @raise Invalid_argument on a config with [readers < 1],
-    [publish_every < 1] or negative [queries_per_reader]. *)
+    [publish_every < 1] or any negative count field. *)
 
 val replay_epochs :
   ?config:config ->

@@ -30,7 +30,8 @@ let median samples =
 let quantile q samples =
   if q < 0. || q > 1. then invalid_arg "Stats.quantile: q must be in [0, 1]";
   match samples with
-  | [] -> invalid_arg "Stats.quantile: empty list"
+  | [] -> 0.
+  | [ x ] -> x
   | _ ->
       let a = Array.of_list (List.sort Float.compare samples) in
       let n = Array.length a in

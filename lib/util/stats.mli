@@ -15,8 +15,11 @@ val quantile : float -> float list -> float
 (** [quantile q samples] is the [q]-th quantile ([q] in [[0, 1]]) of the
     samples by linear interpolation between the two nearest order statistics
     ([quantile 0.] = minimum, [quantile 1.] = maximum, [quantile 0.5] =
-    {!median}).
-    @raise Invalid_argument on the empty list or [q] outside [[0, 1]]. *)
+    {!median}).  Degenerate inputs do not raise: the empty list yields
+    [0.] and a single sample yields that sample for every [q] — serving
+    runs routinely summarize latency lists that can legitimately be empty
+    (zero queries configured).
+    @raise Invalid_argument when [q] is outside [[0, 1]]. *)
 
 val relative_error : expected:float -> actual:float -> float
 (** [|actual - expected| / max 1e-9 |expected|]. *)

@@ -100,14 +100,36 @@ let model1_strategy_of (env : Strategy_sp.env) (which : model1_strategy) =
   | `Recompute -> Strategy_sp.recompute env
   | `Adaptive -> Adaptive.strategy (Adaptive.wrap env)
 
-let measure_model1 ?(seed = 42) ?recorder ?sanitize ?wrap (p : Params.t) strategies =
+(* Cluster keys an operation touches, quantized into the same 64-bucket
+   [0, 1) key space the serving sketches use (Sketch.bucket_key), so fleet
+   tooling can compare offline and serving heat maps directly.  Model 1:
+   R(id, pval, amount, note), pval is the cluster column. *)
+let model1_keys_of op =
+  let pval_col = 1 in
+  let bucket = function
+    | Value.Float x -> Vmat_obs.Sketch.bucket_key ~cells:64 ~lo:0. ~hi:1. x
+    | v -> Value.to_string v
+  in
+  match op with
+  | Stream.Txn changes ->
+      List.filter_map
+        (fun (c : Strategy.change) ->
+          match (c.Strategy.after, c.Strategy.before) with
+          | Some t, _ | None, Some t -> Some (bucket (Tuple.get t pval_col))
+          | None, None -> None)
+        changes
+  | Stream.Query q -> [ bucket q.Strategy.q_lo ]
+
+let measure_model1 ?(seed = 42) ?recorder ?sanitize ?wrap ?(track_keys = false)
+    (p : Params.t) strategies =
   let setup = model1_setup ~seed p in
+  let keys_of = if track_keys then Some model1_keys_of else None in
   let run which =
     let env = model1_env ?sanitize p setup in
     let ctx = env.Strategy_sp.ctx in
     let strategy = model1_strategy_of env which in
     let strategy = apply_wrap wrap ~ctx ~initial:setup.ms_dataset.Dataset.m1_tuples strategy in
-    let m = Runner.run ?recorder ~ctx ~strategy ~ops:setup.ms_ops () in
+    let m = Runner.run ?recorder ?keys_of ~ctx ~strategy ~ops:setup.ms_ops () in
     (m.Runner.strategy_name, m)
   in
   List.map run strategies

@@ -65,11 +65,17 @@ type wrap =
     without this library depending on the WAL.  [initial] is the base
     relation the change stream mutates. *)
 
+val model1_keys_of : Stream.op -> string list
+(** The cluster keys a Model-1 operation touches — updated tuples' [pval]
+    and queried range starts, quantized with {!Vmat_obs.Sketch.bucket_key}
+    into the same 64-bucket [0, 1) key space the serving sketches use. *)
+
 val measure_model1 :
   ?seed:int ->
   ?recorder:Vmat_obs.Recorder.t ->
   ?sanitize:bool ->
   ?wrap:wrap ->
+  ?track_keys:bool ->
   Params.t ->
   model1_strategy list ->
   (string * Runner.measurement) list
@@ -80,7 +86,9 @@ val measure_model1 :
     — pass one strategy (or one recorder per call) for per-strategy metric
     snapshots.  [sanitize] forces the runtime invariant checker on (or off)
     for every strategy's context, overriding the [VMAT_SANITIZE] environment
-    default (see {!Vmat_storage.Sanitize}). *)
+    default (see {!Vmat_storage.Sanitize}).  [track_keys] (default off)
+    feeds {!model1_keys_of} to {!Runner.run}'s key sketch, surfacing
+    per-strategy [vmat_key_*] hot-key gauges when a recorder is enabled. *)
 
 type phase_spec = { sp_k : int; sp_l : int; sp_q : int; sp_fv : float }
 (** One segment of a phase-shifting Model-1 workload: [sp_k] transactions of

@@ -21,7 +21,7 @@ type measurement = {
 let install_clock recorder meter =
   Recorder.set_clock recorder (fun () -> Cost_meter.total_cost meter)
 
-let run ?recorder ~ctx ~strategy ~ops () =
+let run ?recorder ?keys_of ~ctx ~strategy ~ops () =
   (* Replays are single-threaded over the context by construction; claiming
      ownership here makes the ctx handoff explicit when a run is driven from
      a spawned domain (sweep workers, the serving writer — DESIGN §10). *)
@@ -36,6 +36,15 @@ let run ?recorder ~ctx ~strategy ~ops () =
   | None -> ());
   let r = Cost_meter.recorder meter in
   Cost_meter.reset meter;
+  (* Workload key sketch (DESIGN §11): quantized cluster keys of every op,
+     exported as vmat_key_* gauges at run end.  Recorder-gated — pure data
+     structure, never touches the meter, zero observer effect. *)
+  let key_sketch =
+    match keys_of with
+    | Some f when Recorder.enabled r ->
+        Some (f, Vmat_obs.Sketch.create ~capacity:32 ())
+    | _ -> None
+  in
   let reads0 = Disk.physical_reads disk and writes0 = Disk.physical_writes disk in
   let hits0 = Disk.pool_hits disk and misses0 = Disk.pool_misses disk in
   let returned = ref 0 in
@@ -53,6 +62,9 @@ let run ?recorder ~ctx ~strategy ~ops () =
     if Sanitize.enabled san then Sanitize.check_meter san meter
   in
   let run_op op =
+    (match key_sketch with
+    | Some (f, sk) -> List.iter (Vmat_obs.Sketch.observe sk) (f op)
+    | None -> ());
     if not (Recorder.enabled r) then exec op
     else begin
       (* Span per operation with its modeled cost as an end-attribute, plus a
@@ -82,6 +94,12 @@ let run ?recorder ~ctx ~strategy ~ops () =
         ("ops", string_of_int (List.length ops));
       ]
     (fun () -> List.iter run_op ops);
+  (match key_sketch with
+  | Some (_, sk) ->
+      Vmat_obs.Sketch.export
+        ~labels:[ ("strategy", strategy.Strategy.name) ]
+        r sk
+  | None -> ());
   let transactions, queries = Stream.count_ops ops in
   {
     strategy_name = strategy.Strategy.name;

@@ -27,6 +27,7 @@ type measurement = {
 
 val run :
   ?recorder:Vmat_obs.Recorder.t ->
+  ?keys_of:(Stream.op -> string list) ->
   ctx:Ctx.t ->
   strategy:Strategy.t ->
   ops:Stream.op list ->
@@ -35,7 +36,10 @@ val run :
 (** Resets the context's meter (construction charges are setup, not
     workload), then replays.  [recorder], when given, is installed on the
     meter first — subsequent runs on the same meter keep it until another is
-    installed. *)
+    installed.  [keys_of], when given alongside an enabled recorder, maps
+    every operation to the cluster keys it touches; the keys feed a
+    {!Vmat_obs.Sketch} whose summary lands in the registry as [vmat_key_*]
+    gauges at run end (zero observer effect on the measurement). *)
 
 val run_phases :
   ?recorder:Vmat_obs.Recorder.t ->

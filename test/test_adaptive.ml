@@ -183,7 +183,7 @@ let query_heavy_wstats () =
   (* all queries, no updates: P ~ 0, squarely in materialization's region *)
   let ws = Wstats.create () in
   for _ = 1 to 40 do
-    Wstats.observe_query ws ~returned:1250 ~view_size:2500 ~cost:100.
+    Wstats.observe_query ws ~returned:1250 ~view_size:2500 ~cost:100. ()
   done;
   ws
 
@@ -193,7 +193,7 @@ let decide c ws ~at_query =
 let test_min_ops_gate () =
   let c = controller () in
   let ws = Wstats.create () in
-  Wstats.observe_query ws ~returned:10 ~view_size:100 ~cost:1.;
+  Wstats.observe_query ws ~returned:10 ~view_size:100 ~cost:1. ();
   Alcotest.(check bool) "no decision before min_ops" true (decide c ws ~at_query:10 = None);
   Alcotest.(check int) "nothing logged" 0 (List.length (Controller.log c))
 
@@ -253,7 +253,7 @@ let test_no_flapping () =
   Alcotest.(check bool) "first decision switches" true switched_first;
   (* the workload stays query-heavy: the controller must now hold still *)
   for i = 1 to 30 do
-    Wstats.observe_query ws ~returned:1250 ~view_size:2500 ~cost:100.;
+    Wstats.observe_query ws ~returned:1250 ~view_size:2500 ~cost:100. ();
     match decide c ws ~at_query:(10 + (i * Controller.default_config.Controller.decide_every)) with
     | Some _ -> Alcotest.failf "flapped at evaluation %d" i
     | None -> ()
@@ -268,12 +268,12 @@ let test_no_flapping () =
 let test_wstats_tracks_shift () =
   let ws = Wstats.create ~alpha:0.25 () in
   for _ = 1 to 50 do
-    Wstats.observe_txn ws ~l:8 ~cost:50.
+    Wstats.observe_txn ws ~l:8 ~cost:50. ()
   done;
   Alcotest.(check bool) "update-heavy: P near 1" true (Wstats.update_probability ws > 0.9);
   Alcotest.(check (float 1e-6)) "mean l" 8. (Wstats.mean_l ws);
   for _ = 1 to 50 do
-    Wstats.observe_query ws ~returned:50 ~view_size:100 ~cost:10.
+    Wstats.observe_query ws ~returned:50 ~view_size:100 ~cost:10. ()
   done;
   Alcotest.(check bool) "after the shift: P near 0" true
     (Wstats.update_probability ws < 0.1);

@@ -128,6 +128,30 @@ let test_d5_silent () =
     "let f env = Cost_meter.charge_write env.meter"
 
 (* ------------------------------------------------------------------ *)
+(* D6: registry-domain discipline                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_d6_fires () =
+  check_fires ~what:"metrics mutation in spawn" ~rule:"D6"
+    "let f m = Domain.spawn (fun () -> Metrics.inc m 1.)";
+  check_fires ~what:"recorder gauge in spawn" ~rule:"D6"
+    "let f r = Domain.spawn (fun () -> Recorder.set_gauge r \"g\" 1.)";
+  check_fires ~what:"trace instant nested in spawn closure" ~rule:"D6"
+    "let f tr work =\n\
+    \  Domain.spawn (fun () -> List.iter (fun x -> Trace.instant tr x) work)";
+  check_fires ~what:"fully qualified mutator in spawn" ~rule:"D6"
+    "let f m = Domain.spawn (fun () -> Vmat_obs.Metrics.observe m 3.)"
+
+let test_d6_silent () =
+  check_silent ~what:"flight ring in spawn"
+    "let f ring ev = Domain.spawn (fun () -> Flight.append ring ev)";
+  check_silent ~what:"sketch in spawn"
+    "let f sk keys = Domain.spawn (fun () -> List.iter (Sketch.observe sk) keys)";
+  check_silent ~what:"mutator outside any spawn" "let f m = Metrics.inc m 1.";
+  check_silent ~what:"mutator after the join"
+    "let f m d =\n  Domain.join d;\n  Metrics.inc m 1."
+
+(* ------------------------------------------------------------------ *)
 (* Infrastructure: parse errors, allowlist                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -231,6 +255,8 @@ let suites =
           test_case "D4 silent" `Quick test_d4_silent;
           test_case "D5 fires" `Quick test_d5_fires;
           test_case "D5 silent" `Quick test_d5_silent;
+          test_case "D6 fires" `Quick test_d6_fires;
+          test_case "D6 silent" `Quick test_d6_silent;
           test_case "parse error finding" `Quick test_parse_error;
           test_case "allowlist matching" `Quick test_allowlist_matching;
           test_case "allowlist unused + errors" `Quick test_allowlist_unused_and_errors;

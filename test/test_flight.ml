@@ -1,0 +1,338 @@
+(* Tests for the serving observability layer (DESIGN §11): flight-ring
+   overflow and merge determinism, Space-Saving sketch accuracy on Zipfian
+   streams (qcheck), multi-domain sketch merging against a single-stream
+   reference, the bucket_key quantizer, and dashboard snapshot JSON. *)
+
+open Core
+
+(* ------------------------------------------------------------------ *)
+(* Flight rings: overflow, drain order, merge determinism              *)
+(* ------------------------------------------------------------------ *)
+
+let pin e = Flight.Pin { epoch = e }
+
+let test_flight_overflow () =
+  let ring = Flight.create ~capacity:4 ~label:"writer" () in
+  Alcotest.(check int) "capacity" 4 (Flight.capacity ring);
+  for i = 0 to 5 do
+    Flight.append ring ~at_us:(float_of_int i) (pin i)
+  done;
+  Alcotest.(check int) "appended counts evictions" 6 (Flight.appended ring);
+  Alcotest.(check int) "dropped = appended - capacity" 2 (Flight.dropped ring);
+  let drained = Flight.drain ring in
+  Alcotest.(check int) "drain returns capacity events" 4 (List.length drained);
+  (* Oldest-first, and exactly the oldest two were evicted. *)
+  Alcotest.(check (list int)) "oldest evicted, order preserved" [ 2; 3; 4; 5 ]
+    (List.map
+       (fun (_, ev) -> match ev with Flight.Pin { epoch } -> epoch | _ -> -1)
+       drained);
+  Alcotest.(check (list (float 1e-9))) "timestamps ride along" [ 2.; 3.; 4.; 5. ]
+    (List.map fst drained)
+
+let test_flight_no_overflow () =
+  let ring = Flight.create ~capacity:8 ~label:"r" () in
+  Flight.append ring ~at_us:1. (pin 0);
+  Flight.append ring ~at_us:2. (pin 1);
+  Alcotest.(check int) "nothing dropped" 0 (Flight.dropped ring);
+  Alcotest.(check int) "both retained" 2 (List.length (Flight.drain ring))
+
+let test_flight_merge_order_independent () =
+  let mk label epochs =
+    let ring = Flight.create ~capacity:16 ~label () in
+    List.iter (fun e -> Flight.append ring ~at_us:(float_of_int e) (pin e)) epochs;
+    ring
+  in
+  let a () = mk "reader-0" [ 1; 2 ] in
+  let b () = mk "reader-1" [ 3 ] in
+  let w () = mk "writer" [ 0 ] in
+  let labels rings = List.map Flight.label (Flight.merge rings) in
+  let canonical = [ "reader-0"; "reader-1"; "writer" ] in
+  Alcotest.(check (list string)) "join order 1" canonical (labels [ a (); b (); w () ]);
+  Alcotest.(check (list string)) "join order 2" canonical (labels [ w (); b (); a () ]);
+  Alcotest.(check (list string)) "join order 3" canonical (labels [ b (); w (); a () ]);
+  Alcotest.check_raises "duplicate labels rejected"
+    (Invalid_argument "Flight.merge: duplicate label \"reader-0\"") (fun () ->
+      ignore (Flight.merge [ a (); a () ]))
+
+let test_flight_export_metrics () =
+  let ring = Flight.create ~capacity:2 ~label:"writer" () in
+  for i = 0 to 4 do
+    Flight.append ring ~at_us:(float_of_int i) (pin i)
+  done;
+  let metrics = Metrics.create () in
+  let r = Recorder.create ~metrics () in
+  Flight.export_metrics r [ ring ];
+  let v name =
+    Option.value ~default:(-1.)
+      (Metrics.counter_value metrics ~labels:[ ("domain", "writer") ] name)
+  in
+  Alcotest.(check (float 1e-9)) "appended exported" 5. (v "vmat_flight_appended_total");
+  Alcotest.(check (float 1e-9)) "dropped exported" 3.
+    (v "vmat_flight_dropped_events_total");
+  Alcotest.(check (float 1e-9)) "per-kind counts retained events only" 2.
+    (Option.value ~default:(-1.)
+       (Metrics.counter_value metrics
+          ~labels:[ ("domain", "writer"); ("kind", "pin") ]
+          "vmat_flight_events_total"))
+
+let test_flight_to_trace () =
+  let reader = Flight.create ~capacity:16 ~label:"reader-0" () in
+  Flight.append reader ~at_us:1000.
+    (Flight.Query_begin { seq = 0; epoch = 2; lo = "0.1"; hi = "0.2" });
+  Flight.append reader ~at_us:1500. (Flight.Query_end { seq = 0; rows = 7; wall_us = 500. });
+  (* An orphan begin (its end was evicted) must degrade, not raise. *)
+  Flight.append reader ~at_us:2000.
+    (Flight.Query_begin { seq = 1; epoch = 2; lo = "0.3"; hi = "0.4" });
+  let writer = Flight.create ~capacity:16 ~label:"writer" () in
+  Flight.append writer ~at_us:800. (Flight.Publish { epoch = 1; txns = 8; modeled_ms = 3. });
+  let trace = Trace.create () in
+  Flight.to_trace trace (Flight.merge [ writer; reader ]);
+  Alcotest.(check int) "no span left open" 0 (Trace.open_depth trace);
+  Alcotest.(check bool) "events emitted" true (Trace.event_count trace > 0);
+  (* The chrome export must stay balanced and well-formed. *)
+  let begins, ends =
+    List.fold_left
+      (fun (b, e) ev ->
+        match ev with
+        | Trace.Begin _ -> (b + 1, e)
+        | Trace.End _ -> (b, e + 1)
+        | _ -> (b, e))
+      (0, 0) (Trace.events trace)
+  in
+  Alcotest.(check int) "begin/end balanced" begins ends
+
+(* ------------------------------------------------------------------ *)
+(* Sketch: deterministic unit behavior                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sketch_exact_under_capacity () =
+  let sk = Sketch.create ~capacity:8 () in
+  List.iter
+    (fun (key, n) -> Sketch.observe sk ~count:n key)
+    [ ("a", 5); ("b", 3); ("c", 1) ];
+  Alcotest.(check int) "total" 9 (Sketch.total sk);
+  Alcotest.(check int) "tracked" 3 (Sketch.tracked sk);
+  (match Sketch.top sk with
+  | { Sketch.hh_key = "a"; hh_count = 5; hh_err = 0 } :: _ -> ()
+  | tops ->
+      Alcotest.failf "unexpected top: %s"
+        (String.concat ";"
+           (List.map (fun h -> Printf.sprintf "%s=%d" h.Sketch.hh_key h.Sketch.hh_count) tops)));
+  Alcotest.(check (float 1e-9)) "skew = 5/9" (5. /. 9.) (Sketch.skew sk);
+  Alcotest.(check (float 1e-9)) "distinct exact under reservoir" 3. (Sketch.distinct sk)
+
+let test_bucket_key () =
+  let b = Sketch.bucket_key ~cells:4 ~lo:0. ~hi:1. in
+  Alcotest.(check string) "first cell" "[0,0.25)" (b 0.1);
+  Alcotest.(check string) "boundary belongs to upper cell" "[0.25,0.5)" (b 0.25);
+  Alcotest.(check string) "last cell" "[0.75,1)" (b 0.99);
+  Alcotest.(check string) "clamped below" "[0,0.25)" (b (-3.));
+  Alcotest.(check string) "clamped above (hi is exclusive)" "[0.75,1)" (b 1.);
+  Alcotest.check_raises "cells < 1 rejected"
+    (Invalid_argument "Sketch.bucket_key: cells must be >= 1") (fun () ->
+      ignore (Sketch.bucket_key ~cells:0 ~lo:0. ~hi:1. 0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Sketch: Space-Saving guarantees on Zipfian streams (qcheck)         *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic Zipf-ish stream over [universe] keys: key i is drawn with
+   weight 1/(i+1)^s, using the repo's own RNG so runs are reproducible. *)
+let zipf_stream ~seed ~universe ~s ~n =
+  let rng = Rng.create seed in
+  let weights = Array.init universe (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s) in
+  let cum = Array.make universe 0. in
+  let _ =
+    Array.fold_left
+      (fun (i, acc) w ->
+        let acc = acc +. w in
+        cum.(i) <- acc;
+        (i + 1, acc))
+      (0, 0.) weights
+  in
+  let total = cum.(universe - 1) in
+  List.init n (fun _ ->
+      let x = Rng.float rng *. total in
+      let rec find i = if i >= universe - 1 || cum.(i) >= x then i else find (i + 1) in
+      Printf.sprintf "k%02d" (find 0))
+
+let true_counts stream =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun key -> Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    stream;
+  tbl
+
+(* Every key above the n/k frequency bound is present, and every reported
+   (count, err) brackets the true count. *)
+let sketch_zipf_guarantees =
+  QCheck.Test.make ~name:"space-saving bound and bracket on zipf streams" ~count:30
+    QCheck.(triple (int_range 1 1000) (int_range 4 16) (int_range 200 1500))
+    (fun (seed, capacity, n) ->
+      let stream = zipf_stream ~seed ~universe:40 ~s:1.2 ~n in
+      let sk = Sketch.create ~capacity () in
+      List.iter (Sketch.observe sk) stream;
+      let truth = true_counts stream in
+      let bound = Sketch.error_bound sk in
+      if Sketch.total sk <> n then QCheck.Test.fail_report "total miscounts stream";
+      (* Guarantee 1: frequent keys are present. *)
+      Hashtbl.iter
+        (fun key c ->
+          if float_of_int c > bound && Sketch.find sk key = None then
+            QCheck.Test.fail_reportf "key %s (count %d > bound %.1f) missing" key c bound)
+        truth;
+      (* Guarantee 2: the reported bracket holds for every tracked key. *)
+      List.iter
+        (fun h ->
+          let t = Option.value ~default:0 (Hashtbl.find_opt truth h.Sketch.hh_key) in
+          if not (h.Sketch.hh_count - h.Sketch.hh_err <= t && t <= h.Sketch.hh_count) then
+            QCheck.Test.fail_reportf "bracket broken for %s: count %d err %d true %d"
+              h.Sketch.hh_key h.Sketch.hh_count h.Sketch.hh_err t)
+        (Sketch.top sk);
+      true)
+
+(* Merged per-domain sketches obey the same bracket (with summed error)
+   against the concatenated stream, and agree with a single-sketch
+   reference on which high-frequency keys exist. *)
+let sketch_merge_vs_reference =
+  QCheck.Test.make ~name:"merged sketches match single-domain reference within bound"
+    ~count:30
+    QCheck.(triple (int_range 1 1000) (int_range 6 16) (int_range 2 4))
+    (fun (seed, capacity, domains) ->
+      let streams =
+        List.init domains (fun d ->
+            zipf_stream ~seed:(seed + d) ~universe:30 ~s:1.1 ~n:(300 + (100 * d)))
+      in
+      let sketches =
+        List.map
+          (fun stream ->
+            let sk = Sketch.create ~capacity () in
+            List.iter (Sketch.observe sk) stream;
+            sk)
+          streams
+      in
+      let merged = Sketch.merge sketches in
+      let whole = List.concat streams in
+      let truth = true_counts whole in
+      let n = List.length whole in
+      if Sketch.total merged <> n then QCheck.Test.fail_report "merged total wrong";
+      (* Bracket for every reported key, against the concatenated truth. *)
+      List.iter
+        (fun h ->
+          let t = Option.value ~default:0 (Hashtbl.find_opt truth h.Sketch.hh_key) in
+          if not (h.Sketch.hh_count - h.Sketch.hh_err <= t && t <= h.Sketch.hh_count) then
+            QCheck.Test.fail_reportf "merged bracket broken for %s: count %d err %d true %d"
+              h.Sketch.hh_key h.Sketch.hh_count h.Sketch.hh_err t)
+        (Sketch.top merged);
+      (* Presence above the merged error bound. *)
+      let bound = Sketch.error_bound merged in
+      Hashtbl.iter
+        (fun key c ->
+          if float_of_int c > bound && Sketch.find merged key = None then
+            QCheck.Test.fail_reportf "merged lost key %s (count %d > bound %.1f)" key c
+              bound)
+        truth;
+      (* Merge is order-independent. *)
+      let merged_rev = Sketch.merge (List.rev sketches) in
+      if Sketch.top merged <> Sketch.top merged_rev then
+        QCheck.Test.fail_report "merge depends on input order";
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Dashboard snapshots                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sample_snapshot ~final =
+  {
+    Dash.d_seq = 3;
+    d_final = final;
+    d_strategy = "deferred";
+    d_wall_s = 0.25;
+    d_txns = 100;
+    d_queries = 400;
+    d_epochs = 13;
+    d_tps = 400.;
+    d_qps = 1600.;
+    d_txn_p50_us = 10.;
+    d_txn_p95_us = 20.;
+    d_txn_p99_us = 30.;
+    d_query_p50_us = 1.;
+    d_query_p95_us = 2.;
+    d_query_p99_us = 3.;
+    d_modeled_ms = 1234.5;
+    d_categories =
+      [ { Dash.c_name = "hr"; c_meter_ms = 100.; c_metric_ms = 100. } ];
+    d_hot_keys = [ { Dash.h_key = "[0,0.25)"; h_count = 42; h_err = 1 } ];
+    d_key_total = 500;
+    d_key_distinct = 17.;
+    d_key_skew = 0.2;
+    d_flight = [ { Dash.rs_label = "writer"; rs_appended = 50; rs_dropped = 2 } ];
+    d_gauges = (if final then [ ("vmat_serve_epochs", 13.) ] else []);
+  }
+
+let test_dash_json () =
+  let snap = sample_snapshot ~final:true in
+  let json = Dash.to_json snap in
+  match Test_obs.parse_json json with
+  | Test_obs.Jobj fields ->
+      let get k = List.assoc_opt k fields in
+      Alcotest.(check bool) "seq" true (get "seq" = Some (Test_obs.Jnum 3.));
+      Alcotest.(check bool) "final" true (get "final" = Some (Test_obs.Jbool true));
+      Alcotest.(check bool) "strategy" true
+        (get "strategy" = Some (Test_obs.Jstr "deferred"));
+      (match get "hot_keys" with
+      | Some (Test_obs.Jarr [ Test_obs.Jobj hk ]) ->
+          Alcotest.(check bool) "hot key label" true
+            (List.assoc_opt "key" hk = Some (Test_obs.Jstr "[0,0.25)"))
+      | _ -> Alcotest.fail "hot_keys missing or malformed");
+      (match get "txn_latency_us" with
+      | Some (Test_obs.Jobj l) ->
+          Alcotest.(check bool) "txn p95" true
+            (List.assoc_opt "p95" l = Some (Test_obs.Jnum 20.))
+      | _ -> Alcotest.fail "txn_latency_us missing")
+  | _ -> Alcotest.fail "dash snapshot is not a JSON object"
+
+let test_dash_render () =
+  let view = Dash.view ~width:8 () in
+  (* Two frames so the sparkline histories engage; render must not raise
+     and must carry the headline numbers. *)
+  let r1 = Dash.render view (sample_snapshot ~final:false) in
+  let r2 = Dash.render view (sample_snapshot ~final:true) in
+  Alcotest.(check bool) "mentions strategy" true
+    (Astring.String.is_infix ~affix:"deferred" r1);
+  Alcotest.(check bool) "mentions hot key" true
+    (Astring.String.is_infix ~affix:"[0,0.25)" r2);
+  Alcotest.(check bool) "final frame marked" true
+    (Astring.String.is_infix ~affix:"final" r2)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "obs: flight rings",
+      Alcotest.
+        [
+          test_case "overflow evicts oldest deterministically" `Quick
+            test_flight_overflow;
+          test_case "no overflow below capacity" `Quick test_flight_no_overflow;
+          test_case "merge independent of join order" `Quick
+            test_flight_merge_order_independent;
+          test_case "export_metrics counts" `Quick test_flight_export_metrics;
+          test_case "to_trace balances spans" `Quick test_flight_to_trace;
+        ] );
+    ( "obs: sketches",
+      Alcotest.
+        [
+          test_case "exact under capacity" `Quick test_sketch_exact_under_capacity;
+          test_case "bucket_key quantizer" `Quick test_bucket_key;
+        ]
+      @ qcheck [ sketch_zipf_guarantees; sketch_merge_vs_reference ] );
+    ( "obs: dashboard",
+      Alcotest.
+        [
+          test_case "snapshot JSON round-trips" `Quick test_dash_json;
+          test_case "render smoke" `Quick test_dash_render;
+        ] );
+  ]

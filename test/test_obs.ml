@@ -592,6 +592,203 @@ let test_bloom_counters () =
   Alcotest.(check bool) "filter itself cleared" false (Bloom.mem b (string_of_int 0))
 
 (* ------------------------------------------------------------------ *)
+(* Satellite: quantile edge cases (empty / single observation)         *)
+(* ------------------------------------------------------------------ *)
+
+let test_quantile_edges () =
+  Alcotest.(check (float 1e-9)) "empty sample quantile is 0" 0. (Stats.quantile 0.9 []);
+  Alcotest.(check (float 1e-9)) "singleton quantile is the sole value" 7.
+    (Stats.quantile 0.1 [ 7. ]);
+  Alcotest.check_raises "q out of range still raises"
+    (Invalid_argument "Stats.quantile: q must be in [0, 1]") (fun () ->
+      ignore (Stats.quantile 2. [ 1. ]));
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "h" in
+  Alcotest.(check (option (float 1e-9))) "no observations -> None" None
+    (Metrics.histogram_quantile m "h" 0.5);
+  Metrics.observe h 3.7;
+  (* One observation has an exact quantile — its own value — regardless of
+     where the bucket edges fall. *)
+  Alcotest.(check (option (float 1e-9))) "single observation is exact" (Some 3.7)
+    (Metrics.histogram_quantile m "h" 0.99);
+  Alcotest.(check (option (float 1e-9))) "...at every q" (Some 3.7)
+    (Metrics.histogram_quantile m "h" 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: Prometheus exposition conformance on a serving snapshot  *)
+(* ------------------------------------------------------------------ *)
+
+(* Parse one exposition series line into (name, labels, value), undoing
+   label-value escaping.  Fails loudly on malformed lines, which is the
+   point: the exporter must emit something a scraper can read back. *)
+let parse_prom_line line =
+  let n = String.length line in
+  let brace = String.index_opt line '{' in
+  let name_end =
+    match brace with Some b -> b | None -> String.index line ' '
+  in
+  let name = String.sub line 0 name_end in
+  let labels = ref [] in
+  let pos = ref name_end in
+  (match brace with
+  | None -> ()
+  | Some b ->
+      pos := b + 1;
+      let rec parse_pairs () =
+        if !pos >= n then failwith "unterminated label set";
+        if line.[!pos] = '}' then incr pos
+        else begin
+          let eq = String.index_from line !pos '=' in
+          let key = String.sub line !pos (eq - !pos) in
+          if line.[eq + 1] <> '"' then failwith "label value not quoted";
+          let buf = Buffer.create 16 in
+          let i = ref (eq + 2) in
+          let rec scan () =
+            if !i >= n then failwith "unterminated label value";
+            match line.[!i] with
+            | '"' -> incr i
+            | '\\' ->
+                (match line.[!i + 1] with
+                | 'n' -> Buffer.add_char buf '\n'
+                | c -> Buffer.add_char buf c);
+                i := !i + 2;
+                scan ()
+            | c ->
+                Buffer.add_char buf c;
+                incr i;
+                scan ()
+          in
+          scan ();
+          labels := (key, Buffer.contents buf) :: !labels;
+          pos := !i;
+          if !pos < n && line.[!pos] = ',' then incr pos;
+          parse_pairs ()
+        end
+      in
+      parse_pairs ());
+  let value_str = String.trim (String.sub line (!pos) (n - !pos)) in
+  let value =
+    match value_str with
+    | "+Inf" -> Float.infinity
+    | "-Inf" -> Float.neg_infinity
+    | "NaN" -> Float.nan
+    | s -> float_of_string s
+  in
+  (name, List.rev !labels, value)
+
+let test_prometheus_conformance () =
+  (* A real serving snapshot with every observability extra on, so the
+     exposition carries histograms (latency, op cost), flight counters and
+     hot-key gauges whose label values need escaping-safe round-trips. *)
+  let metrics = Metrics.create () in
+  let recorder = Recorder.create ~metrics () in
+  let config =
+    {
+      Serve.default_config with
+      Serve.readers = 2;
+      queries_per_reader = 30;
+      publish_every = 4;
+      trace_sample = 4;
+      sketch_capacity = 16;
+      flight_capacity = 64;
+    }
+  in
+  let _ = Serve.run ~config ~recorder ~params:small ~strategy:`Deferred () in
+  let text = Metrics.to_prometheus metrics in
+  let lines = String.split_on_char '\n' text in
+  let series =
+    List.filter_map
+      (fun line ->
+        if line = "" || String.length line = 0 || line.[0] = '#' then None
+        else Some (parse_prom_line line))
+      lines
+  in
+  Alcotest.(check bool) "snapshot is non-trivial" true (List.length series > 10);
+  (* Histogram conformance: within each series, buckets are emitted in
+     order with cumulative (non-decreasing) counts; the +Inf bucket equals
+     the _count; a _sum accompanies every _count. *)
+  let strip_le labels = List.filter (fun (k, _) -> k <> "le") labels in
+  let assoc_all name =
+    List.filter_map
+      (fun (n, l, v) -> if n = name then Some (l, v) else None)
+      series
+  in
+  let histo_families =
+    List.sort_uniq String.compare
+      (List.filter_map
+         (fun (n, _, _) ->
+           if Astring.String.is_suffix ~affix:"_bucket" n then
+             Some (String.sub n 0 (String.length n - 7))
+           else None)
+         series)
+  in
+  Alcotest.(check bool) "serving snapshot has histograms" true (histo_families <> []);
+  List.iter
+    (fun fam ->
+      let buckets = assoc_all (fam ^ "_bucket") in
+      let counts = assoc_all (fam ^ "_count") in
+      let sums = assoc_all (fam ^ "_sum") in
+      (* Walk buckets in emission order, tracking monotonicity per group. *)
+      let last : ((string * string) list, float) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (labels, v) ->
+          let group = strip_le labels in
+          (match Hashtbl.find_opt last group with
+          | Some prev when v < prev ->
+              Alcotest.failf "%s: bucket counts decrease (%.0f after %.0f)" fam v prev
+          | _ -> ());
+          Hashtbl.replace last group v;
+          match List.assoc_opt "le" labels with
+          | None -> Alcotest.failf "%s: bucket without le label" fam
+          | Some "+Inf" ->
+              let total =
+                match List.assoc_opt group counts with
+                | Some c -> c
+                | None -> Alcotest.failf "%s: no _count for a bucket group" fam
+              in
+              Alcotest.(check (float 1e-9))
+                (fam ^ " +Inf bucket equals _count") total v
+          | Some le -> ignore (float_of_string le))
+        buckets;
+      List.iter
+        (fun (labels, _) ->
+          if List.assoc_opt labels sums = None then
+            Alcotest.failf "%s: _count without _sum" fam)
+        counts)
+    histo_families;
+  (* The serving layer's own series made it out, with label values (bucket
+     keys like "[0.25,0.5)") that round-trip through escaping. *)
+  let flight = assoc_all "vmat_flight_appended_total" in
+  Alcotest.(check bool) "flight counters exported per domain" true
+    (List.exists (fun (l, _) -> List.assoc_opt "domain" l = Some "writer") flight);
+  let hot = assoc_all "vmat_key_hot" in
+  Alcotest.(check bool) "hot-key gauges exported" true (hot <> []);
+  Alcotest.(check bool) "bucket-key labels survive the round-trip" true
+    (List.for_all
+       (fun (l, _) ->
+         match List.assoc_opt "key" l with
+         | Some k ->
+             Astring.String.is_prefix ~affix:"[" k
+             && Astring.String.is_infix ~affix:"," k
+         | None -> false)
+       hot)
+
+let test_prometheus_escaping () =
+  let m = Metrics.create () in
+  let tricky = "a\"b\\c\nd" in
+  let g = Metrics.gauge m ~labels:[ ("key", tricky) ] "escape_test" in
+  Metrics.set g 1.;
+  let line =
+    List.find
+      (fun l -> Astring.String.is_prefix ~affix:"escape_test{" l)
+      (String.split_on_char '\n' (Metrics.to_prometheus m))
+  in
+  let _, labels, v = parse_prom_line line in
+  Alcotest.(check (float 1e-9)) "value" 1. v;
+  Alcotest.(check (option string)) "escaped label round-trips" (Some tricky)
+    (List.assoc_opt "key" labels)
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
@@ -620,6 +817,10 @@ let suites =
         Alcotest.test_case "json_text specials" `Quick test_json_text_specials;
         Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
         Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
+        Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
+        Alcotest.test_case "prometheus conformance (serving)" `Quick
+          test_prometheus_conformance;
+        Alcotest.test_case "prometheus label escaping" `Quick test_prometheus_escaping;
       ] );
     ( "obs: integration",
       Alcotest.test_case "observer effect is zero" `Quick test_observer_effect

@@ -208,6 +208,10 @@ let prop_snapshot_isolation =
           publish_every;
           durability;
           record_observations = true;
+          trace_sample = 0;
+          sketch_capacity = 0;
+          flight_capacity = 0;
+          dash_every = 0;
         }
       in
       let p = tiny 24 2 in
@@ -312,8 +316,7 @@ let test_stats_quantile () =
   check_q "median of even count interpolates" 0.5 [ 1.; 2.; 3.; 4. ] 2.5;
   check_q "p75 interpolates" 0.75 [ 0.; 10. ] 7.5;
   check_q "single sample" 0.99 [ 42. ] 42.;
-  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.quantile: empty list")
-    (fun () -> ignore (Stats.quantile 0.5 []));
+  check_q "empty returns 0 (degenerate, not an error)" 0.5 [] 0.;
   Alcotest.check_raises "q out of range raises"
     (Invalid_argument "Stats.quantile: q must be in [0, 1]") (fun () ->
       ignore (Stats.quantile 1.5 [ 1. ]))
@@ -368,6 +371,97 @@ let test_serve_recorder_histograms () =
 
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
+(* ------------------------------------------------------------------ *)
+(* Observability extras: zero observer effect + report population      *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole guarantee (DESIGN §11): running with flight rings, sketches,
+   sampling and dashboard frames on must leave every modeled artifact
+   byte-identical to the plain run — same seed, same modeled cost, same
+   category split, same final digest. *)
+let test_obs_zero_observer_effect () =
+  let p = tiny 40 3 in
+  let base = { Serve.default_config with Serve.queries_per_reader = 60; publish_every = 4 } in
+  let run config =
+    let r = Serve.run ~config ~seed:11 ~params:p ~strategy:`Deferred () in
+    (r.Serve.r_modeled_ms, r.Serve.r_category_costs, r.Serve.r_final_digest, r.Serve.r_epochs)
+  in
+  let plain = run base in
+  let observed =
+    run
+      {
+        base with
+        Serve.trace_sample = 2;
+        sketch_capacity = 16;
+        flight_capacity = 32;
+        dash_every = 2;
+      }
+  in
+  Alcotest.(check bool) "modeled artifacts bit-identical obs on vs off" true
+    (plain = observed)
+
+let test_obs_report_populated () =
+  let p = tiny 30 3 in
+  let config =
+    {
+      Serve.default_config with
+      Serve.readers = 2;
+      queries_per_reader = 40;
+      publish_every = 4;
+      trace_sample = 4;
+      sketch_capacity = 16;
+      flight_capacity = 8;
+    }
+  in
+  let frames = ref [] in
+  let r =
+    Serve.run ~config ~seed:7
+      ~on_snapshot:(fun s -> frames := s :: !frames)
+      ~params:p ~strategy:`Clustered ()
+  in
+  (* Flight rings: one per domain, canonical label order, events recorded. *)
+  Alcotest.(check (list string)) "rings in canonical order"
+    [ "reader-0"; "reader-1"; "writer" ]
+    (List.map Flight.label r.Serve.r_flight);
+  List.iter
+    (fun ring ->
+      Alcotest.(check bool)
+        (Flight.label ring ^ " recorded events")
+        true
+        (Flight.appended ring > 0);
+      Alcotest.(check int)
+        (Flight.label ring ^ " dropped = appended - capacity")
+        (max 0 (Flight.appended ring - Flight.capacity ring))
+        (Flight.dropped ring))
+    r.Serve.r_flight;
+  (* The tiny ring capacity guarantees overflow, exercising eviction. *)
+  Alcotest.(check bool) "some ring overflowed" true
+    (List.exists (fun ring -> Flight.dropped ring > 0) r.Serve.r_flight);
+  (* Merged sketch summary on the report. *)
+  Alcotest.(check bool) "keys observed" true (r.Serve.r_key_total > 0);
+  Alcotest.(check bool) "hot keys reported" true (r.Serve.r_hot_keys <> []);
+  Alcotest.(check bool) "distinct estimate positive" true (r.Serve.r_key_distinct > 0.);
+  Alcotest.(check bool) "skew in (0, 1]" true
+    (r.Serve.r_key_skew > 0. && r.Serve.r_key_skew <= 1.);
+  (* Dashboard frames: at least the final one, which is merged and final. *)
+  (match !frames with
+  | [] -> Alcotest.fail "no dashboard frames delivered"
+  | last :: _ ->
+      Alcotest.(check bool) "last frame is the merged final" true last.Dash.d_final;
+      Alcotest.(check int) "final frame carries the query count" r.Serve.r_queries
+        last.Dash.d_queries;
+      Alcotest.(check bool) "final frame carries hot keys" true
+        (last.Dash.d_hot_keys <> []))
+
+(* Without the extras the report's observability fields stay empty — the
+   default config is exactly the pre-observability serving behavior. *)
+let test_obs_defaults_off () =
+  let p = tiny 10 2 in
+  let r = Serve.run ~params:p ~strategy:`Deferred () in
+  Alcotest.(check bool) "no rings" true (r.Serve.r_flight = []);
+  Alcotest.(check bool) "no hot keys" true (r.Serve.r_hot_keys = []);
+  Alcotest.(check int) "no key observations" 0 r.Serve.r_key_total
+
 let suites =
   [
     ( "serve: mvcc",
@@ -400,5 +494,13 @@ let suites =
         Alcotest.test_case "report shape" `Quick test_report_shape;
         Alcotest.test_case "recorder latency histograms" `Quick
           test_serve_recorder_histograms;
+      ] );
+    ( "serve: observability",
+      [
+        Alcotest.test_case "zero observer effect on modeled artifacts" `Quick
+          test_obs_zero_observer_effect;
+        Alcotest.test_case "rings, sketches, frames populated" `Quick
+          test_obs_report_populated;
+        Alcotest.test_case "defaults leave extras off" `Quick test_obs_defaults_off;
       ] );
   ]
