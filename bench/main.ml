@@ -1106,6 +1106,8 @@ let serving_bench () =
             Table.float_cell ~decimals:1 r.Serve.r_txn_latency.Serve.l_p99_us;
             j_int r.Serve.r_epochs;
             j_int r.Serve.r_reclaimed;
+            Table.float_cell ~decimals:0 r.Serve.r_writer_alloc_per_txn;
+            Table.float_cell ~decimals:0 r.Serve.r_reader_alloc_per_query;
           ])
         results
     in
@@ -1113,7 +1115,7 @@ let serving_bench () =
       ~headers:
         [
           "strategy"; "modeled ms/q"; "tps"; "qps"; "q p50 us"; "q p95 us"; "q p99 us";
-          "txn p99 us"; "epochs"; "reclaimed";
+          "txn p99 us"; "epochs"; "reclaimed"; "B/txn"; "B/query";
         ]
       rows;
     if !json_enabled then
@@ -1150,6 +1152,18 @@ let serving_bench () =
                                 ("max_live", j_int r.Serve.r_max_live);
                                 ("query_latency_us", j_latency r.Serve.r_query_latency);
                                 ("txn_latency_us", j_latency r.Serve.r_txn_latency);
+                                ( "alloc",
+                                  j_obj
+                                    [
+                                      ( "writer_bytes",
+                                        j_num r.Serve.r_writer_alloc_bytes );
+                                      ( "writer_bytes_per_txn",
+                                        j_num r.Serve.r_writer_alloc_per_txn );
+                                      ( "reader_bytes",
+                                        j_num r.Serve.r_reader_alloc_bytes );
+                                      ( "reader_bytes_per_query",
+                                        j_num r.Serve.r_reader_alloc_per_query );
+                                    ] );
                               ] );
                         ])
                     results) );
@@ -1168,16 +1182,14 @@ let microbenchmarks () =
   let disk = Disk.create meter in
   let tree =
     Btree.create ~disk ~name:"bench" ~fanout:200 ~leaf_capacity:40
-      ~key_of:(fun t -> Tuple.get t 0)
-      ()
+      ~key_col:0 ()
   in
   for i = 0 to 9_999 do
     Btree.insert tree (Tuple.make ~tid:(i + 1) [| Value.Int i; Value.Str "x" |])
   done;
   let hash =
     Hash_file.create ~disk ~name:"bench" ~buckets:64 ~tuples_per_page:40
-      ~key_of:(fun t -> Tuple.get t 0)
-      ()
+      ~key_col:0 ()
   in
   for i = 0 to 9_999 do
     Hash_file.insert hash (Tuple.make ~tid:(i + 10_001) [| Value.Int i; Value.Str "x" |])

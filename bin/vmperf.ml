@@ -330,7 +330,7 @@ let wrap_of_durability ~durability ~group_commit ~checkpoint_every :
 
 let simulate_cmd =
   let run model p scale seed only sanitize durability group_commit checkpoint_every
-      trace_file metrics_file metrics_json_file =
+      trace_file metrics_file metrics_json_file alloc_stats =
     let sanitize = sanitize_opt sanitize in
     let wrap = wrap_of_durability ~durability ~group_commit ~checkpoint_every in
     let p = Experiment.scale p scale in
@@ -338,6 +338,7 @@ let simulate_cmd =
     Format.printf "simulating at N = %.0f, P = %.3f, seed %d%s@." p.Params.n_tuples
       (Params.update_probability p) seed
       (if Option.is_none wrap then "" else ", durability wal");
+    let alloc0 = if alloc_stats then Gc.allocated_bytes () else 0. in
     let results =
       match model_of_int model with
       | Advisor.Selection_projection ->
@@ -351,6 +352,7 @@ let simulate_cmd =
           Experiment.measure_model3 ~seed ?recorder ?sanitize ?wrap p
             (filter_only only [ `Deferred; `Immediate; `Recompute ])
     in
+    let alloc_delta = if alloc_stats then Gc.allocated_bytes () -. alloc0 else 0. in
     let category_names =
       List.filter (fun c -> c <> Cost_meter.Base) Cost_meter.all_categories
     in
@@ -372,7 +374,27 @@ let simulate_cmd =
                     Table.float_cell ~decimals:0 (List.assoc c m.Runner.category_costs))
                   category_names)
             results));
+    if alloc_stats then begin
+      (* One machine-parseable line for the CI allocation-budget smoke: the
+         whole measured run's GC allocation, amortized per executed query.
+         Off by default so the ordinary output stays byte-identical. *)
+      let queries =
+        List.fold_left (fun acc (_, m) -> acc + m.Runner.queries) 0 results
+      in
+      Printf.printf "alloc-stats: total_bytes=%.0f queries=%d bytes_per_query=%.0f\n"
+        alloc_delta queries
+        (alloc_delta /. float_of_int (max 1 queries))
+    end;
     flush_obs ()
+  in
+  let alloc_stats_term =
+    Arg.(
+      value & flag
+      & info [ "alloc-stats" ]
+          ~doc:
+            "Append a machine-parseable GC-allocation summary line \
+             (total bytes allocated over the measured run and bytes per \
+             query) after the cost table.  Does not change any other output.")
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -380,7 +402,7 @@ let simulate_cmd =
     Term.(
       const run $ model_term $ params_term $ scale_term $ seed_term $ only_term
       $ sanitize_term $ durability_term $ group_commit_term $ checkpoint_every_term
-      $ trace_term $ metrics_term $ metrics_json_term)
+      $ trace_term $ metrics_term $ metrics_json_term $ alloc_stats_term)
 
 let advise_cmd =
   let run model p =

@@ -292,4 +292,117 @@ let d6 =
         iterator.structure iterator structure);
   }
 
-let all = [ d4; d5; d6 ]
+(* ------------------------------------------------------------------ *)
+(* D7: no per-row materialization inside scan/range/iter closures       *)
+(* ------------------------------------------------------------------ *)
+
+(* The flat-tuple refactor's contract (DESIGN §12): the closures handed to
+   the cursor iterators run once per page-resident row, and boxing there
+   (Tuple.make / Tuple.project / Array.map / Tuple_view.materialize) turns
+   an allocation-free scan back into one allocation per row — the exact
+   regression the cursor API exists to prevent.  Survivor boxing at a true
+   API boundary (a probe into another structure, an aggregate insert) is
+   sanctioned and carries a [.vmlint] allowlist entry with its
+   justification.  Scoped to [lib/view] and [lib/relalg], the layers whose
+   hot loops the contract covers; a warning, not an error, because the
+   boundary is a judgment call. *)
+
+let scan_iterators =
+  [
+    "Btree.range_views";
+    "Btree.find_views";
+    "Btree.iter_views_unmetered";
+    "Btree.range";
+    "Hash_file.scan_views";
+    "Hash_file.lookup_views";
+    "Hash_file.iter_views_unmetered";
+    "Heap_file.scan_views";
+    "Heap_file.iter_views_unmetered";
+    "Materialized.range";
+  ]
+
+let materializers =
+  [ "Tuple.make"; "Tuple.project"; "Array.map"; "Tuple_view.materialize" ]
+
+let is_scan_iterator path =
+  List.exists
+    (fun m -> path = m || String.ends_with ~suffix:("." ^ m) path)
+    scan_iterators
+
+let is_materializer path =
+  List.exists
+    (fun m -> path = m || String.ends_with ~suffix:("." ^ m) path)
+    materializers
+
+(* Every materializer application anywhere under [expr]. *)
+let find_materializers expr =
+  let found = ref [] in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun iter e ->
+          (match e.pexp_desc with
+          | Pexp_apply (f, _) -> (
+              match Rule.applied_path f with
+              | Some path when is_materializer path ->
+                  found := (path, e.pexp_loc) :: !found
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr iter e);
+    }
+  in
+  iterator.expr iterator expr;
+  List.rev !found
+
+let d7 =
+  {
+    Rule.id = "D7";
+    doc =
+      "scan-loop hygiene (lib/view, lib/relalg): no Tuple.make / \
+       Tuple.project / Array.map / Tuple_view.materialize inside a cursor \
+       iterator's per-row closure; box survivors at API boundaries \
+       (allowlisted) and evaluate everything else off the cells";
+    check =
+      (fun ctx structure ->
+        let in_scope =
+          String.starts_with ~prefix:"lib/view" ctx.Rule.file
+          || String.starts_with ~prefix:"lib/relalg" ctx.Rule.file
+        in
+        if in_scope then begin
+          let visit e =
+            match e.pexp_desc with
+            | Pexp_apply (f, args) -> (
+                match Rule.applied_path f with
+                | Some head when is_scan_iterator head ->
+                    List.iter
+                      (fun arg ->
+                        List.iter
+                          (fun (path, loc) ->
+                            ctx.Rule.report ~severity:Finding.Warning ~loc
+                              (Printf.sprintf
+                                 "%s inside a %s per-row closure boxes every \
+                                  row of the scan: evaluate off the cursor's \
+                                  cells (compare_col / get_* / eval_view) and \
+                                  materialize only survivors at the API \
+                                  boundary (allowlist the site if this is one)"
+                                 path head))
+                          (find_materializers arg))
+                      (Rule.unlabelled args)
+                | _ -> ())
+            | _ -> ()
+          in
+          let iterator =
+            {
+              Ast_iterator.default_iterator with
+              expr =
+                (fun iter e ->
+                  visit e;
+                  Ast_iterator.default_iterator.expr iter e);
+            }
+          in
+          iterator.structure iterator structure
+        end);
+  }
+
+let all = [ d4; d5; d6; d7 ]

@@ -2,9 +2,11 @@
 
     The layers, bottom-up:
     - {!Yao}, {!Bloom}, {!Rng} — analytic and probabilistic primitives;
-    - {!Value}, {!Schema}, {!Tuple}, {!Disk}, {!Buffer_pool}, {!Cost_meter},
-      {!Heap_file}, {!Ctx} — the simulated storage engine and the per-engine
-      execution context that owns all of its mutable state;
+    - {!Value}, {!Schema}, {!Tuple}, {!Flat}, {!Tuple_view}, {!Disk},
+      {!Buffer_pool}, {!Cost_meter}, {!Heap_file}, {!Ctx} — the simulated
+      storage engine (page-resident flat rows with zero-copy cursors,
+      DESIGN §12) and the per-engine execution context that owns all of its
+      mutable state;
     - {!Btree}, {!Hash_file}, {!Tlock} — access methods;
     - {!Predicate}, {!Bag}, {!Ops} — relational algebra with duplicate
       counts;
@@ -52,6 +54,8 @@ module Dash = Vmat_obs.Dash
 module Value = Vmat_storage.Value
 module Schema = Vmat_storage.Schema
 module Tuple = Vmat_storage.Tuple
+module Flat = Vmat_storage.Flat
+module Tuple_view = Vmat_storage.Tuple_view
 module Cost_meter = Vmat_storage.Cost_meter
 module Disk = Vmat_storage.Disk
 module Ctx = Vmat_storage.Ctx

@@ -36,10 +36,9 @@ let create ~disk ~tids ~base ~schema ~ad_buckets ~tuples_per_page ?bloom_bits
     | None ->
         Bloom.ideal_bits ~expected_keys:(max 64 (ad_buckets * tuples_per_page)) ~fp_rate:0.01
   in
-  let key_of entry = Tuple.get entry (Schema.key_index schema) in
   let file suffix buckets =
     Hash_file.create ~disk ~name:(suffix ^ ":" ^ Schema.name schema) ~buckets:(max 1 buckets)
-      ~tuples_per_page ~key_of ()
+      ~tuples_per_page ~key_col:(Schema.key_index schema) ()
   in
   let ad, ad_deletes =
     match layout with
@@ -79,13 +78,13 @@ let encode t tuple ~role ~marked =
     (Array.append (Tuple.values tuple)
        [| role; Value.Int (Tuple.tid tuple); Value.Bool marked |])
 
-let decode t entry =
-  let values = Tuple.values entry in
+(* Decode straight off the page cells, boxing only the base-tuple prefix. *)
+let decode_view t view =
   let n = Schema.arity t.schema in
-  let role = values.(n) in
-  let orig_tid = Value.as_int values.(n + 1) in
-  let marked = match values.(n + 2) with Value.Bool b -> b | _ -> false in
-  (role, marked, Tuple.make ~tid:orig_tid (Array.sub values 0 n))
+  let is_appended = Tuple_view.compare_col view n role_appended = 0 in
+  let orig_tid = Tuple_view.get_int view (n + 1) in
+  let marked = Tuple_view.get_bool_or_false view (n + 2) in
+  (is_appended, marked, Tuple_view.materialize_prefix view n ~tid:orig_tid)
 
 let note_in_bloom t tuple = Bloom.add t.bloom (Value.key_string (Tuple.get tuple t.key_col))
 
@@ -156,16 +155,6 @@ let end_transaction t =
 
 let identity_key tuple = Tuple.value_key tuple ^ "#" ^ string_of_int (Tuple.tid tuple)
 
-let partition_entries t entries =
-  let a = ref [] and d = ref [] in
-  List.iter
-    (fun entry ->
-      let role, marked, tuple = decode t entry in
-      if Value.equal role role_appended then a := (tuple, marked) :: !a
-      else d := (tuple, marked) :: !d)
-    entries;
-  (!a, !d)
-
 (* Cancel append/delete pairs that refer to the same tuple instance (all
    fields including the tid): a tuple appended and deleted within the same
    epoch contributes to neither net set.  Both net sets come back in
@@ -198,17 +187,20 @@ let cancel_pairs (a, d) =
   in
   (List.sort by_tid a_net, d_net)
 
-let net_changes t =
-  let entries = ref [] in
-  List.iter (fun f -> Hash_file.scan f (fun entry -> entries := entry :: !entries)) (all_files t);
-  cancel_pairs (partition_entries t !entries)
-
-let net_changes_unmetered t =
-  let entries = ref [] in
+(* Partition the files' entries by role in file-scan order (the order the
+   historical collect-then-partition produced), decoding off the page cells. *)
+let partition_views t iter =
+  let a = ref [] and d = ref [] in
   List.iter
-    (fun f -> Hash_file.iter_unmetered f (fun entry -> entries := entry :: !entries))
+    (fun f ->
+      iter f (fun view ->
+          let is_appended, marked, tuple = decode_view t view in
+          if is_appended then a := (tuple, marked) :: !a else d := (tuple, marked) :: !d))
     (all_files t);
-  cancel_pairs (partition_entries t !entries)
+  (List.rev !a, List.rev !d)
+
+let net_changes t = cancel_pairs (partition_views t Hash_file.scan_views)
+let net_changes_unmetered t = cancel_pairs (partition_views t Hash_file.iter_views_unmetered)
 
 let ad_entry_count t = List.fold_left (fun acc f -> acc + Hash_file.tuple_count f) 0 (all_files t)
 let ad_page_count t = List.fold_left (fun acc f -> acc + Hash_file.page_count f) 0 (all_files t)
@@ -244,15 +236,16 @@ let rebuild_filter t =
   Bloom.clear t.bloom;
   List.iter
     (fun f ->
-      Hash_file.iter_unmetered f (fun entry ->
-          Bloom.add t.bloom (Value.key_string (Tuple.get entry t.key_col))))
+      Hash_file.iter_views_unmetered f (fun view ->
+          Bloom.add t.bloom (Tuple_view.key_string_col view t.key_col)))
     (all_files t)
 
 let lookup t ~key =
   let r = Cost_meter.recorder t.meter in
   let find_in_base () =
     Cost_meter.charge_read t.meter;
-    Btree.find_unmetered t.base (fun tuple -> Value.equal (Tuple.get tuple t.key_col) key)
+    Btree.find_view_unmetered t.base (fun view ->
+        Tuple_view.compare_col view t.key_col key = 0)
   in
   Recorder.span r ~cat:"hr" "hr.lookup" (fun () ->
       let screened_in = Bloom.mem t.bloom (Value.key_string key) in
@@ -275,8 +268,8 @@ let lookup t ~key =
               let found = ref false in
               List.iter
                 (fun f ->
-                  Hash_file.iter_unmetered f (fun entry ->
-                      if Value.equal (Tuple.get entry t.key_col) key then found := true))
+                  Hash_file.iter_views_unmetered f (fun view ->
+                      if Tuple_view.compare_col view t.key_col key = 0 then found := true))
                 (all_files t);
               not !found)
             ~detail:(fun () ->
@@ -287,15 +280,19 @@ let lookup t ~key =
         find_in_base ()
       end
       else begin
-        let entries = List.concat_map (fun f -> Hash_file.lookup f key) (all_files t) in
-        let matching =
-          List.filter (fun entry -> Value.equal (Tuple.get entry t.key_col) key) entries
-        in
+        let a_raw = ref [] and d_raw = ref [] in
+        List.iter
+          (fun f ->
+            Hash_file.lookup_views f key (fun view ->
+                let is_appended, marked, tuple = decode_view t view in
+                if is_appended then a_raw := (tuple, marked) :: !a_raw
+                else d_raw := (tuple, marked) :: !d_raw))
+          (all_files t);
         (* Every A/D insertion also feeds the filter and entries are only
            removed wholesale (with a filter clear), so an empty hash-file
            answer after a positive probe is, by construction, a false
            positive — the one outcome the probe itself cannot see. *)
-        if List.is_empty matching then begin
+        if List.is_empty !a_raw && List.is_empty !d_raw then begin
           Bloom.note_false_positive t.bloom;
           if Recorder.enabled r then begin
             Recorder.inc r
@@ -304,7 +301,7 @@ let lookup t ~key =
             Recorder.instant r ~cat:"hr" "bloom.false_positive"
           end
         end;
-        let a, d = cancel_pairs (partition_entries t matching) in
+        let a, d = cancel_pairs (!a_raw, !d_raw) in
         match a with
         | (tuple, _) :: _ -> Some tuple
         | [] -> (

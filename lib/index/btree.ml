@@ -4,7 +4,12 @@ open Vmat_storage
    pairs, equal to the smallest pair of their right subtree.  Descending with
    an exact pair therefore lands in the unique leaf that may contain it, and
    descending with (key, min_int) lands in the leftmost leaf that may contain
-   any entry with that key. *)
+   any entry with that key.
+
+   Leaves hold their rows in flat page buffers, in (key, tid) order by slot;
+   the key is a column offset ([key_col]), so ordering and range bounds are
+   evaluated straight off page cells without boxing.  Internal nodes are tiny
+   (a handful of separators) and stay boxed. *)
 
 type pair = Value.t * int
 
@@ -13,7 +18,7 @@ let compare_pair (k1, t1) (k2, t2) =
 
 type leaf = {
   l_pid : Disk.page_id;
-  mutable l_tuples : Tuple.t list;  (* sorted by pair *)
+  l_rows : Flat.t;  (* sorted by (key, tid) *)
   mutable l_next : leaf option;
 }
 
@@ -31,7 +36,7 @@ type t = {
   name : string;
   fanout : int;
   leaf_capacity : int;
-  key_fn : Tuple.t -> Value.t;
+  key_col : int;
   mutable root : node;
   mutable count : int;
   mutable n_leaves : int;
@@ -40,9 +45,10 @@ type t = {
 
 let file_name t kind = Printf.sprintf "btree:%s:%s" t.name kind
 
-let create ~disk ?pool_capacity ~name ~fanout ~leaf_capacity ~key_of () =
+let create ~disk ?pool_capacity ~name ~fanout ~leaf_capacity ~key_col () =
   if fanout < 2 then invalid_arg "Btree.create: fanout must be >= 2";
   if leaf_capacity < 1 then invalid_arg "Btree.create: leaf_capacity must be >= 1";
+  if key_col < 0 then invalid_arg "Btree.create: key_col must be >= 0";
   let pool = Buffer_pool.create ?capacity:pool_capacity disk in
   let t =
     {
@@ -51,8 +57,14 @@ let create ~disk ?pool_capacity ~name ~fanout ~leaf_capacity ~key_of () =
       name;
       fanout;
       leaf_capacity;
-      key_fn = key_of;
-      root = Leaf { l_pid = Disk.alloc disk ~file:(Printf.sprintf "btree:%s:leaf" name); l_tuples = []; l_next = None };
+      key_col;
+      root =
+        Leaf
+          {
+            l_pid = Disk.alloc disk ~file:(Printf.sprintf "btree:%s:leaf" name);
+            l_rows = Flat.create ();
+            l_next = None;
+          };
       count = 0;
       n_leaves = 1;
       n_index = 0;
@@ -60,7 +72,8 @@ let create ~disk ?pool_capacity ~name ~fanout ~leaf_capacity ~key_of () =
   in
   t
 
-let key_of t tuple = t.key_fn tuple
+let key_col t = t.key_col
+let key_of t tuple = Tuple.get tuple t.key_col
 let pool t = t.pool
 let tuple_count t = t.count
 let leaf_pages t = t.n_leaves
@@ -73,7 +86,15 @@ let height t =
   in
   depth t.root
 
-let pair_of t tuple = (t.key_fn tuple, Tuple.tid tuple)
+let pair_of t tuple = (Tuple.get tuple t.key_col, Tuple.tid tuple)
+
+(* [compare_pair] of the row at [slot] against (key, tid), off the cells. *)
+let compare_slot_pair t rows slot key tid =
+  match Flat.compare_cell_value rows slot t.key_col key with
+  | 0 -> Int.compare (Flat.tid_at rows slot) tid
+  | c -> c
+
+let slot_pair t rows slot = (Flat.cell_value rows slot t.key_col, Flat.tid_at rows slot)
 
 (* Index of the child to descend into: the number of separators <= target. *)
 let child_index keys target =
@@ -85,13 +106,6 @@ let child_index keys target =
 
 let nth_child n i = List.nth n.i_children i
 
-let insert_sorted cmp x list =
-  let rec loop = function
-    | [] -> [ x ]
-    | y :: rest as all -> if cmp x y <= 0 then x :: all else y :: loop rest
-  in
-  loop list
-
 let split_at n list =
   let rec loop i acc = function
     | rest when i = 0 -> (List.rev acc, rest)
@@ -101,17 +115,20 @@ let split_at n list =
   loop n [] list
 
 let split_leaf t leaf =
-  let n = List.length leaf.l_tuples in
-  let left, right_tuples = split_at ((n + 1) / 2) leaf.l_tuples in
+  let n = Flat.length leaf.l_rows in
+  let keep = (n + 1) / 2 in
   let right =
-    { l_pid = Disk.alloc t.disk ~file:(file_name t "leaf"); l_tuples = right_tuples; l_next = leaf.l_next }
+    { l_pid = Disk.alloc t.disk ~file:(file_name t "leaf"); l_rows = Flat.create (); l_next = leaf.l_next }
   in
-  leaf.l_tuples <- left;
+  for slot = keep to n - 1 do
+    Flat.copy_row ~src:leaf.l_rows slot ~dst:right.l_rows
+  done;
+  Flat.truncate leaf.l_rows keep;
   leaf.l_next <- Some right;
   t.n_leaves <- t.n_leaves + 1;
   Buffer_pool.write t.pool leaf.l_pid;
   Buffer_pool.write t.pool right.l_pid;
-  let sep = pair_of t (List.hd right_tuples) in
+  let sep = slot_pair t right.l_rows 0 in
   (sep, Leaf right)
 
 let split_internal t node =
@@ -134,14 +151,20 @@ let split_internal t node =
   Buffer_pool.write t.pool right.i_pid;
   (promoted, Internal right)
 
-let rec insert_into t node pair tuple =
+let rec insert_into t node ((key, tid) as pair) tuple =
   match node with
   | Leaf leaf ->
       Buffer_pool.read t.pool leaf.l_pid;
-      leaf.l_tuples <-
-        insert_sorted (fun a b -> compare_pair (pair_of t a) (pair_of t b)) tuple leaf.l_tuples;
+      (* Position of the first row >= the new pair — the sorted-insert point
+         ((key, tid) pairs are unique, so ties cannot arise). *)
+      let n = Flat.length leaf.l_rows in
+      let rec position i =
+        if i >= n || compare_slot_pair t leaf.l_rows i key tid >= 0 then i
+        else position (i + 1)
+      in
+      Flat.insert_at leaf.l_rows (position 0) tuple;
       Buffer_pool.write t.pool leaf.l_pid;
-      if List.length leaf.l_tuples > t.leaf_capacity then Some (split_leaf t leaf) else None
+      if Flat.length leaf.l_rows > t.leaf_capacity then Some (split_leaf t leaf) else None
   | Internal n -> (
       Buffer_pool.read t.pool n.i_pid;
       let i = child_index n.i_keys pair in
@@ -184,63 +207,76 @@ let rec leaf_for t node pair =
 let remove t ~key ~tid =
   let leaf = leaf_for t t.root (key, tid) in
   let found = ref false in
-  leaf.l_tuples <-
-    List.filter
-      (fun tuple ->
-        let matches = Tuple.tid tuple = tid && Value.equal (t.key_fn tuple) key in
-        if matches then found := true;
-        not matches)
-      leaf.l_tuples;
-  if !found then begin
-    Buffer_pool.write t.pool leaf.l_pid;
-    t.count <- t.count - 1
-  end;
+  (* Backwards keeps slot indices stable across removals. *)
+  for slot = Flat.length leaf.l_rows - 1 downto 0 do
+    if
+      Flat.tid_at leaf.l_rows slot = tid
+      && Flat.compare_cell_value leaf.l_rows slot t.key_col key = 0
+    then begin
+      found := true;
+      t.count <- t.count - 1;
+      Flat.remove_at leaf.l_rows slot
+    end
+  done;
+  if !found then Buffer_pool.write t.pool leaf.l_pid;
   !found
 
 let update_in_place t ~key ~tid f =
   let leaf = leaf_for t t.root (key, tid) in
-  let found = ref false in
-  leaf.l_tuples <-
-    List.map
-      (fun tuple ->
-        if Tuple.tid tuple = tid && Value.equal (t.key_fn tuple) key then begin
-          found := true;
-          let replacement = f tuple in
-          if Tuple.tid replacement <> tid || not (Value.equal (t.key_fn replacement) key)
-          then invalid_arg "Btree.update_in_place: replacement moved the entry";
-          replacement
-        end
-        else tuple)
-      leaf.l_tuples;
-  if !found then Buffer_pool.write t.pool leaf.l_pid;
-  !found
+  let n = Flat.length leaf.l_rows in
+  let rec find slot =
+    if slot >= n then false
+    else if
+      Flat.tid_at leaf.l_rows slot = tid
+      && Flat.compare_cell_value leaf.l_rows slot t.key_col key = 0
+    then begin
+      let replacement = f (Flat.materialize leaf.l_rows slot) in
+      if Tuple.tid replacement <> tid || not (Value.equal (key_of t replacement) key) then
+        invalid_arg "Btree.update_in_place: replacement moved the entry";
+      Flat.replace_at leaf.l_rows slot replacement;
+      true
+    end
+    else find (slot + 1)
+  in
+  let found = find 0 in
+  if found then Buffer_pool.write t.pool leaf.l_pid;
+  found
 
-(* Walk the leaf chain from [start], calling [f] on tuples whose key lies in
-   [lo, hi]; stops at the first tuple with key > hi. *)
-let walk_range t start ~lo ~hi f =
+(* Walk the leaf chain from [start], aiming [view] at rows whose key lies in
+   [lo, hi]; stops at the first row with key > hi.  Slot order is (key, tid)
+   order, so this visits rows exactly as the historical sorted-list walk
+   did. *)
+let walk_range_views t start ~lo ~hi view f =
   let rec walk leaf_opt =
     match leaf_opt with
     | None -> ()
     | Some leaf ->
         Buffer_pool.read t.pool leaf.l_pid;
-        let stop = ref false in
-        List.iter
-          (fun tuple ->
-            if not !stop then begin
-              let k = t.key_fn tuple in
-              if Value.compare k hi > 0 then stop := true
-              else if Value.compare k lo >= 0 then f tuple
-            end)
-          leaf.l_tuples;
-        if not !stop then walk leaf.l_next
+        let n = Flat.length leaf.l_rows in
+        let rec slots slot =
+          if slot >= n then true
+          else if Flat.compare_cell_value leaf.l_rows slot t.key_col hi > 0 then false
+          else begin
+            if Flat.compare_cell_value leaf.l_rows slot t.key_col lo >= 0 then begin
+              Tuple_view.set view leaf.l_rows slot;
+              f view
+            end;
+            slots (slot + 1)
+          end
+        in
+        if slots 0 then walk leaf.l_next
   in
   walk (Some start)
 
-let range t ~lo ~hi f =
+let range_views t ~lo ~hi f =
   if Value.compare lo hi <= 0 then begin
     let start = leaf_for t t.root (lo, Int.min_int) in
-    walk_range t start ~lo ~hi f
+    walk_range_views t start ~lo ~hi (Tuple_view.on (Flat.create ()) 0) f
   end
+
+let range t ~lo ~hi f = range_views t ~lo ~hi (fun view -> f (Tuple_view.materialize view))
+
+let find_views t key f = range_views t ~lo:key ~hi:key f
 
 let find t key =
   let acc = ref [] in
@@ -251,14 +287,20 @@ let rec leftmost_leaf = function
   | Leaf leaf -> leaf
   | Internal n -> leftmost_leaf (List.hd n.i_children)
 
-let iter_unmetered t f =
+let iter_views_unmetered t f =
+  let view = Tuple_view.on (Flat.create ()) 0 in
   let rec walk = function
     | None -> ()
     | Some leaf ->
-        List.iter f leaf.l_tuples;
+        for slot = 0 to Flat.length leaf.l_rows - 1 do
+          Tuple_view.set view leaf.l_rows slot;
+          f view
+        done;
         walk leaf.l_next
   in
   walk (Some (leftmost_leaf t.root))
+
+let iter_unmetered t f = iter_views_unmetered t (fun view -> f (Tuple_view.materialize view))
 
 let check_invariants t =
   let fail fmt = Printf.ksprintf failwith fmt in
@@ -267,26 +309,22 @@ let check_invariants t =
     (* every pair p in subtree must satisfy lo <= p < hi (when bounds given) *)
     match node with
     | Leaf leaf ->
-        if List.length leaf.l_tuples > t.leaf_capacity then
-          fail "leaf over capacity: %d > %d" (List.length leaf.l_tuples) t.leaf_capacity;
-        let rec sorted = function
-          | a :: (b :: _ as rest) ->
-              if compare_pair (pair_of t a) (pair_of t b) >= 0 then fail "leaf unsorted";
-              sorted rest
+        let n = Flat.length leaf.l_rows in
+        if n > t.leaf_capacity then fail "leaf over capacity: %d > %d" n t.leaf_capacity;
+        for slot = 0 to n - 2 do
+          if compare_pair (slot_pair t leaf.l_rows slot) (slot_pair t leaf.l_rows (slot + 1)) >= 0
+          then fail "leaf unsorted"
+        done;
+        for slot = 0 to n - 1 do
+          let p = slot_pair t leaf.l_rows slot in
+          (match lo with
+          | Some l when compare_pair p l < 0 -> fail "entry below subtree bound"
+          | _ -> ());
+          match hi with
+          | Some h when compare_pair p h >= 0 -> fail "entry above subtree bound"
           | _ -> ()
-        in
-        sorted leaf.l_tuples;
-        List.iter
-          (fun tuple ->
-            let p = pair_of t tuple in
-            (match lo with
-            | Some l when compare_pair p l < 0 -> fail "entry below subtree bound"
-            | _ -> ());
-            match hi with
-            | Some h when compare_pair p h >= 0 -> fail "entry above subtree bound"
-            | _ -> ())
-          leaf.l_tuples;
-        List.length leaf.l_tuples
+        done;
+        n
     | Internal n ->
         let nk = List.length n.i_keys and nc = List.length n.i_children in
         if nc <> nk + 1 then fail "internal arity mismatch";
@@ -321,6 +359,14 @@ let check_invariants t =
 
 exception Found of Tuple.t
 
+let find_view_unmetered t pred =
+  match
+    iter_views_unmetered t (fun view ->
+        if pred view then raise (Found (Tuple_view.materialize view)))
+  with
+  | () -> None
+  | exception Found tuple -> Some tuple
+
 let find_unmetered t pred =
   match
     iter_unmetered t (fun tuple -> if pred tuple then raise (Found tuple))
@@ -349,7 +395,9 @@ let bulk_load t tuples =
       let leaves =
         List.map
           (fun group ->
-            { l_pid = Disk.alloc t.disk ~file:(file_name t "leaf"); l_tuples = group; l_next = None })
+            let rows = Flat.create () in
+            List.iter (fun tuple -> ignore (Flat.append rows tuple)) group;
+            { l_pid = Disk.alloc t.disk ~file:(file_name t "leaf"); l_rows = rows; l_next = None })
           leaf_groups
       in
       let rec link = function
@@ -363,13 +411,13 @@ let bulk_load t tuples =
       t.n_leaves <- List.length leaves;
       (* The old empty root leaf is abandoned; free its page. *)
       (match t.root with
-      | Leaf old when List.is_empty old.l_tuples ->
+      | Leaf old when Flat.length old.l_rows = 0 ->
           Buffer_pool.discard t.pool old.l_pid;
           Disk.free t.disk old.l_pid;
           t.n_leaves <- t.n_leaves (* already replaced by the new count *)
       | _ -> ());
       (* Build packed internal levels; carry each node's minimum pair. *)
-      let min_of_leaf leaf = pair_of t (List.hd leaf.l_tuples) in
+      let min_of_leaf leaf = slot_pair t leaf.l_rows 0 in
       let rec build level =
         match level with
         | [ (node, _) ] -> node
@@ -400,14 +448,20 @@ let bulk_load t tuples =
 let min_key_unmetered t =
   let rec first_nonempty = function
     | None -> None
-    | Some leaf -> (
-        match leaf.l_tuples with
-        | tuple :: _ -> Some (t.key_fn tuple)
-        | [] -> first_nonempty leaf.l_next)
+    | Some leaf ->
+        if Flat.length leaf.l_rows > 0 then Some (Flat.cell_value leaf.l_rows 0 t.key_col)
+        else first_nonempty leaf.l_next
   in
   first_nonempty (Some (leftmost_leaf t.root))
 
 let max_key_unmetered t =
   let result = ref None in
-  iter_unmetered t (fun tuple -> result := Some (t.key_fn tuple));
+  let rec walk = function
+    | None -> ()
+    | Some leaf ->
+        let n = Flat.length leaf.l_rows in
+        if n > 0 then result := Some (Flat.cell_value leaf.l_rows (n - 1) t.key_col);
+        walk leaf.l_next
+  in
+  walk (Some (leftmost_leaf t.root));
   !result

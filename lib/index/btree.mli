@@ -3,7 +3,12 @@
     separators (the paper's [B/n]).  Entries are ordered by (key, tid), so
     duplicate keys are supported and every entry is addressable.  Page I/O is
     charged through a per-tree buffer pool; deletion is lazy (no merging),
-    matching the paper's neglect of structural maintenance. *)
+    matching the paper's neglect of structural maintenance.
+
+    Leaf rows live in flat page buffers ({!Vmat_storage.Flat}); the key is a
+    column offset, so ordering and range bounds are evaluated straight off
+    page cells without boxing.  The [_views] entry points hand out a reused
+    {!Vmat_storage.Tuple_view.t} cursor instead of materializing. *)
 
 open Vmat_storage
 
@@ -15,11 +20,13 @@ val create :
   name:string ->
   fanout:int ->
   leaf_capacity:int ->
-  key_of:(Tuple.t -> Value.t) ->
+  key_col:int ->
   unit ->
   t
-(** @raise Invalid_argument if [fanout < 2] or [leaf_capacity < 1]. *)
+(** @raise Invalid_argument if [fanout < 2], [leaf_capacity < 1] or
+    [key_col < 0]. *)
 
+val key_col : t -> int
 val key_of : t -> Tuple.t -> Value.t
 val pool : t -> Buffer_pool.t
 val tuple_count : t -> int
@@ -47,12 +54,22 @@ val find : t -> Value.t -> Tuple.t list
 (** All tuples with the given key, in tid order.  Charges descent and data
     page reads. *)
 
+val find_views : t -> Value.t -> (Tuple_view.t -> unit) -> unit
+(** {!find} without boxing: the callback receives a reused cursor aimed at
+    each matching row in (key, tid) order, valid only during the callback.
+    Identical descent and page-read charges to {!find}. *)
+
 val range : t -> lo:Value.t -> hi:Value.t -> (Tuple.t -> unit) -> unit
 (** Iterate tuples with [lo <= key <= hi] in key order, charging the descent
     and one read per data page touched. *)
 
+val range_views : t -> lo:Value.t -> hi:Value.t -> (Tuple_view.t -> unit) -> unit
+(** {!range} without boxing (reused cursor, same charges and order). *)
+
 val iter_unmetered : t -> (Tuple.t -> unit) -> unit
 (** In-order iteration without any charge (tests and verification). *)
+
+val iter_views_unmetered : t -> (Tuple_view.t -> unit) -> unit
 
 val check_invariants : t -> unit
 (** Assert ordering, separator and capacity invariants (tests).
@@ -62,6 +79,10 @@ val find_unmetered : t -> (Tuple.t -> bool) -> Tuple.t option
 (** First tuple (in key order) satisfying the predicate, without charging
     (models an auxiliary access path whose cost the analysis does not
     attribute; see Hr.lookup). *)
+
+val find_view_unmetered : t -> (Tuple_view.t -> bool) -> Tuple.t option
+(** {!find_unmetered} with the predicate evaluated on a cursor; only the
+    match (if any) is materialized. *)
 
 val bulk_load : t -> Tuple.t list -> unit
 (** Replace an empty tree's contents with the given tuples, packing every

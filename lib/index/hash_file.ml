@@ -1,6 +1,9 @@
 open Vmat_storage
 
-type page = { pid : Disk.page_id; mutable tuples : Tuple.t list }
+(* Rows live in flat page buffers; within a page, iteration is newest-first
+   (reverse slot order — the historical cons-list order), so lookups, scans,
+   and the metered page-touch sequence are unchanged by the representation. *)
+type page = { pid : Disk.page_id; rows : Flat.t }
 
 type t = {
   disk : Disk.t;
@@ -8,14 +11,15 @@ type t = {
   name : string;
   buckets : page list ref array;  (* chain: primary page first *)
   tuples_per_page : int;
-  key_fn : Tuple.t -> Value.t;
+  key_col : int;
   mutable count : int;
   mutable pages : int;
 }
 
-let create ~disk ?pool_capacity ~name ~buckets ~tuples_per_page ~key_of () =
+let create ~disk ?pool_capacity ~name ~buckets ~tuples_per_page ~key_col () =
   if buckets < 1 then invalid_arg "Hash_file.create: buckets must be >= 1";
   if tuples_per_page < 1 then invalid_arg "Hash_file.create: tuples_per_page must be >= 1";
+  if key_col < 0 then invalid_arg "Hash_file.create: key_col must be >= 0";
   let t =
     {
       disk;
@@ -23,7 +27,7 @@ let create ~disk ?pool_capacity ~name ~buckets ~tuples_per_page ~key_of () =
       name;
       buckets = Array.init buckets (fun _ -> ref []);
       tuples_per_page;
-      key_fn = key_of;
+      key_col;
       count = 0;
       pages = 0;
     }
@@ -34,11 +38,12 @@ let create ~disk ?pool_capacity ~name ~buckets ~tuples_per_page ~key_of () =
   Array.iter
     (fun chain ->
       t.pages <- t.pages + 1;
-      chain := [ { pid = Disk.alloc disk ~file:("hash:" ^ name); tuples = [] } ])
+      chain := [ { pid = Disk.alloc disk ~file:("hash:" ^ name); rows = Flat.create () } ])
     t.buckets;
   t
 
-let key_of t tuple = t.key_fn tuple
+let key_col t = t.key_col
+let key_of t tuple = Tuple.get tuple t.key_col
 let pool t = t.pool
 let tuple_count t = t.count
 let page_count t = t.pages
@@ -47,10 +52,10 @@ let bucket_of t key = t.buckets.(Value.hash key mod Array.length t.buckets)
 
 let new_page t =
   t.pages <- t.pages + 1;
-  { pid = Disk.alloc t.disk ~file:("hash:" ^ t.name); tuples = [] }
+  { pid = Disk.alloc t.disk ~file:("hash:" ^ t.name); rows = Flat.create () }
 
 let insert t tuple =
-  let chain = bucket_of t (t.key_fn tuple) in
+  let chain = bucket_of t (Tuple.get tuple t.key_col) in
   (* Read pages along the chain until one with space is found. *)
   let rec place = function
     | [] ->
@@ -59,20 +64,34 @@ let insert t tuple =
         page
     | page :: rest ->
         Buffer_pool.read t.pool page.pid;
-        if List.length page.tuples < t.tuples_per_page then page else place rest
+        if Flat.length page.rows < t.tuples_per_page then page else place rest
   in
   let page = place !chain in
-  page.tuples <- tuple :: page.tuples;
+  ignore (Flat.append page.rows tuple);
   Buffer_pool.write t.pool page.pid;
   t.count <- t.count + 1
 
-let lookup t key =
+(* Newest-first within each page: slots run oldest-first, walk in reverse. *)
+let iter_page_views page view f =
+  for slot = Flat.length page.rows - 1 downto 0 do
+    Tuple_view.set view page.rows slot;
+    f view
+  done
+
+let lookup_views t key f =
   let chain = bucket_of t key in
-  List.concat_map
+  let view = Tuple_view.on (Flat.create ()) 0 in
+  List.iter
     (fun page ->
       Buffer_pool.read t.pool page.pid;
-      List.filter (fun tuple -> Value.equal (t.key_fn tuple) key) page.tuples)
+      iter_page_views page view (fun v ->
+          if Tuple_view.compare_col v t.key_col key = 0 then f v))
     !chain
+
+let lookup t key =
+  let out = ref [] in
+  lookup_views t key (fun v -> out := Tuple_view.materialize v :: !out);
+  List.rev !out
 
 let remove t ~key ~tid =
   let chain = bucket_of t key in
@@ -81,16 +100,20 @@ let remove t ~key ~tid =
     | page :: rest ->
         Buffer_pool.read t.pool page.pid;
         let found = ref false in
-        page.tuples <-
-          List.filter
-            (fun tuple ->
-              let matches = Tuple.tid tuple = tid && Value.equal (t.key_fn tuple) key in
-              if matches then found := true;
-              not matches)
-            page.tuples;
+        (* Remove every matching slot (walking backwards keeps indices
+           stable), as the historical List.filter did. *)
+        for slot = Flat.length page.rows - 1 downto 0 do
+          if
+            Flat.tid_at page.rows slot = tid
+            && Flat.compare_cell_value page.rows slot t.key_col key = 0
+          then begin
+            found := true;
+            t.count <- t.count - 1;
+            Flat.remove_at page.rows slot
+          end
+        done;
         if !found then begin
           Buffer_pool.write t.pool page.pid;
-          t.count <- t.count - 1;
           true
         end
         else go rest
@@ -100,12 +123,19 @@ let remove t ~key ~tid =
 let iter_pages t f =
   Array.iter (fun chain -> List.iter f !chain) t.buckets
 
-let scan t f =
+let scan_views t f =
+  let view = Tuple_view.on (Flat.create ()) 0 in
   iter_pages t (fun page ->
       Buffer_pool.read t.pool page.pid;
-      List.iter f page.tuples)
+      iter_page_views page view f)
 
-let iter_unmetered t f = iter_pages t (fun page -> List.iter f page.tuples)
+let scan t f = scan_views t (fun view -> f (Tuple_view.materialize view))
+
+let iter_views_unmetered t f =
+  let view = Tuple_view.on (Flat.create ()) 0 in
+  iter_pages t (fun page -> iter_page_views page view f)
+
+let iter_unmetered t f = iter_views_unmetered t (fun view -> f (Tuple_view.materialize view))
 
 let clear t =
   (* Overflow pages are freed; primary bucket pages are kept (emptied). *)
@@ -120,7 +150,7 @@ let clear t =
               Disk.free t.disk page.pid;
               t.pages <- t.pages - 1)
             overflow;
-          primary.tuples <- [];
+          Flat.clear primary.rows;
           chain := [ primary ])
     t.buckets;
   t.count <- 0

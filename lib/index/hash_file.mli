@@ -13,11 +13,15 @@ val create :
   name:string ->
   buckets:int ->
   tuples_per_page:int ->
-  key_of:(Tuple.t -> Value.t) ->
+  key_col:int ->
   unit ->
   t
-(** @raise Invalid_argument if [buckets < 1] or [tuples_per_page < 1]. *)
+(** The hashed key is the tuple's [key_col] field — a column offset, so the
+    flat path evaluates keys straight off page cells.
+    @raise Invalid_argument if [buckets < 1], [tuples_per_page < 1] or
+    [key_col < 0]. *)
 
+val key_col : t -> int
 val key_of : t -> Tuple.t -> Value.t
 val pool : t -> Buffer_pool.t
 val tuple_count : t -> int
@@ -36,6 +40,11 @@ val insert : t -> Tuple.t -> unit
 val lookup : t -> Value.t -> Tuple.t list
 (** All tuples with the given key, charging one read per chain page. *)
 
+val lookup_views : t -> Value.t -> (Tuple_view.t -> unit) -> unit
+(** {!lookup} without boxing: the callback receives a reused cursor aimed at
+    each matching row (valid only during the callback).  Identical charges
+    and row order to {!lookup}. *)
+
 val remove : t -> key:Value.t -> tid:int -> bool
 (** Remove the tuple with this key and tid; charges chain reads and the
     write of the modified page. *)
@@ -43,7 +52,12 @@ val remove : t -> key:Value.t -> tid:int -> bool
 val scan : t -> (Tuple.t -> unit) -> unit
 (** Read every page once, applying [f] to each tuple. *)
 
+val scan_views : t -> (Tuple_view.t -> unit) -> unit
+(** {!scan} over reused cursors (no boxing). *)
+
 val iter_unmetered : t -> (Tuple.t -> unit) -> unit
+
+val iter_views_unmetered : t -> (Tuple_view.t -> unit) -> unit
 
 val clear : t -> unit
 (** Drop all tuples, freeing overflow pages and emptying primary pages (no

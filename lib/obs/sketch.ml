@@ -201,15 +201,21 @@ let merge sketches =
         sketches;
       out
 
-let bucket_key ~cells ~lo ~hi x =
+let bucket_index ~cells ~lo ~hi x =
   if cells < 1 then invalid_arg "Sketch.bucket_key: cells must be >= 1";
   if hi <= lo then invalid_arg "Sketch.bucket_key: need lo < hi";
   let w = (hi -. lo) /. float_of_int cells in
   let i = int_of_float (Float.floor ((x -. lo) /. w)) in
-  let i = if i < 0 then 0 else if i >= cells then cells - 1 else i in
+  if i < 0 then 0 else if i >= cells then cells - 1 else i
+
+let bucket_label ~cells ~lo ~hi i =
+  let w = (hi -. lo) /. float_of_int cells in
   Printf.sprintf "[%.4g,%.4g)"
     (lo +. (w *. float_of_int i))
     (lo +. (w *. float_of_int (i + 1)))
+
+let bucket_key ~cells ~lo ~hi x =
+  bucket_label ~cells ~lo ~hi (bucket_index ~cells ~lo ~hi x)
 
 let export ?(labels = []) r t =
   let gauge name help v = Recorder.set_gauge r ~help ~labels name v in

@@ -69,6 +69,17 @@ val merge : t list -> t
     resolved in key order.  @raise Invalid_argument when the inputs'
     capacities differ. *)
 
+val bucket_index : cells:int -> lo:float -> hi:float -> float -> int
+(** The bucket a value quantizes into under {!bucket_key}'s scheme, without
+    rendering the label — callers that observe millions of keys precompute
+    the [cells] label strings once and index them with this, keeping the
+    per-observation path allocation-free.  Out-of-range values clamp.
+    @raise Invalid_argument when [cells < 1] or [hi <= lo]. *)
+
+val bucket_label : cells:int -> lo:float -> hi:float -> int -> string
+(** Render bucket [i]'s canonical ["[a,b)"] label.  [bucket_key x] is
+    [bucket_label (bucket_index x)]. *)
+
 val bucket_key : cells:int -> lo:float -> hi:float -> float -> string
 (** Quantize a continuous value into one of [cells] equal-width buckets of
     [[lo, hi)] and render the bucket as a canonical ["[a,b)"] label —

@@ -17,6 +17,16 @@ let add t tuple =
       Hashtbl.replace t key { representative = tuple; count = 1 };
       1
 
+let add_count t tuple n =
+  if n <> 0 then begin
+    let key = Tuple.value_key tuple in
+    match Hashtbl.find_opt t key with
+    | Some entry ->
+        entry.count <- entry.count + n;
+        if entry.count = 0 then Hashtbl.remove t key
+    | None -> Hashtbl.replace t key { representative = tuple; count = n }
+  end
+
 let remove t tuple =
   let key = Tuple.value_key tuple in
   match Hashtbl.find_opt t key with

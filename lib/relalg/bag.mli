@@ -18,6 +18,11 @@ val add : t -> Tuple.t -> int
 (** Insert one occurrence; the new count is returned (1 when the value was
     absent). *)
 
+val add_count : t -> Tuple.t -> int -> unit
+(** Add [n] occurrences at once (a no-op when [n = 0]; the entry is dropped
+    when the count reaches exactly 0).  Equivalent to [n] calls to {!add} but
+    hashes the value key once. *)
+
 val remove : t -> Tuple.t -> int
 (** Remove one occurrence; the new count is returned (possibly negative; the
     entry is dropped when it reaches exactly 0 from above). *)

@@ -59,6 +59,112 @@ let eval p tuple =
 let satisfiable_with p binding =
   match eval3 p binding with Some false -> false | Some true | None -> true
 
+(* ------------------------------------------------------------------ *)
+(* Compiled evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [eval3] rebuilds a binding closure and boxes [Some] results per tuple.
+   Compilation walks the AST once, closing each node over preallocated
+   [Some true]/[Some false] and, for the flat path, evaluating comparisons
+   directly over column offsets ([Tuple_view.compare_col]) — zero
+   allocations per row.  Semantics are [eval3] exactly: out-of-range columns
+   bind to [None], And/Or use three-valued logic.  Short-circuiting is
+   sound because [eval3] is side-effect-free: when the left conjunct is
+   [Some false] the conjunction is [Some false] whatever the right says, and
+   dually for Or. *)
+
+let some_true = Some true
+let some_false = Some false
+let of_bool b = if b then some_true else some_false
+
+(* Functorizing over the row representation keeps the two compilers (flat
+   views and boxed tuples) provably the same algorithm. *)
+module type ROW = sig
+  type row
+
+  val arity : row -> int
+  val compare_col : row -> int -> Value.t -> int
+  (** [Value.compare (column col) v]. *)
+
+  val compare_cols : row -> int -> int -> int
+end
+
+module Compile (Row : ROW) = struct
+  let rec compile p : Row.row -> bool option =
+    match p with
+    | True -> fun _ -> some_true
+    | False -> fun _ -> some_false
+    | Cmp (op, Const a, Const b) ->
+        let r = of_bool (compare_holds op (Value.compare a b)) in
+        fun _ -> r
+    | Cmp (op, Column i, Const v) ->
+        fun row ->
+          if i >= Row.arity row then None
+          else of_bool (compare_holds op (Row.compare_col row i v))
+    | Cmp (op, Const v, Column i) ->
+        fun row ->
+          if i >= Row.arity row then None
+          else of_bool (compare_holds op (-Row.compare_col row i v))
+    | Cmp (op, Column i, Column j) ->
+        fun row ->
+          let n = Row.arity row in
+          if i >= n || j >= n then None
+          else of_bool (compare_holds op (Row.compare_cols row i j))
+    | Between (col, lo, hi) ->
+        fun row ->
+          if col >= Row.arity row then None
+          else
+            of_bool (Row.compare_col row col lo >= 0 && Row.compare_col row col hi <= 0)
+    | And (a, b) ->
+        let ca = compile a and cb = compile b in
+        fun row -> (
+          match ca row with
+          | Some false -> some_false
+          | Some true -> cb row
+          | None -> ( match cb row with Some false -> some_false | _ -> None))
+    | Or (a, b) ->
+        let ca = compile a and cb = compile b in
+        fun row -> (
+          match ca row with
+          | Some true -> some_true
+          | Some false -> cb row
+          | None -> ( match cb row with Some true -> some_true | _ -> None))
+    | Not a ->
+        let ca = compile a in
+        fun row -> (
+          match ca row with
+          | Some b -> if b then some_false else some_true
+          | None -> None)
+end
+
+module View_compiler = Compile (struct
+  type row = Tuple_view.t
+
+  let arity = Tuple_view.arity
+  let compare_col = Tuple_view.compare_col
+  let compare_cols row i j = Tuple_view.compare_cols row i row j
+end)
+
+module Boxed_compiler = Compile (struct
+  type row = Tuple.t
+
+  let arity = Tuple.arity
+  let compare_col row i v = Value.compare (Tuple.get row i) v
+  let compare_cols row i j = Value.compare (Tuple.get row i) (Tuple.get row j)
+end)
+
+(* The schema is the layout contract the compiled closure evaluates against;
+   today all cells are self-describing so only the arity matters, but the
+   argument keeps the door open for schema-specialized layouts. *)
+let compile (_schema : Schema.t) p = View_compiler.compile p
+
+let compile_boxed p = Boxed_compiler.compile p
+
+let eval_view compiled view =
+  match compiled view with
+  | Some b -> b
+  | None -> invalid_arg "Predicate.eval: tuple does not bind all columns read"
+
 let columns_read p =
   let rec collect acc = function
     | True | False -> acc

@@ -35,6 +35,23 @@ val columns_read : t -> int list
 (** Sorted, deduplicated column positions the predicate reads — the input to
     the readily-ignorable-update test of [Bune79]. *)
 
+(** {1 Compiled evaluation}
+
+    One-time AST walk producing a closure tree with preallocated results:
+    per-row evaluation allocates nothing.  Semantics are exactly {!eval3}
+    with the row's columns bound (out-of-range columns unbound). *)
+
+val compile : Schema.t -> t -> Tuple_view.t -> bool option
+(** Compile against a row layout: comparisons evaluate directly over column
+    offsets in the flat page, with no [Value.t] boxing. *)
+
+val compile_boxed : t -> Tuple.t -> bool option
+(** Same compilation over boxed tuples (screens on stream tuples). *)
+
+val eval_view : (Tuple_view.t -> bool option) -> Tuple_view.t -> bool
+(** Two-valued read of a compiled predicate; raises like {!eval} when a
+    column is unbound. *)
+
 type interval = { column : int; lo : Value.t option; hi : Value.t option }
 (** An index interval ([None] = unbounded on that side). *)
 

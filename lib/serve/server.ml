@@ -91,6 +91,10 @@ type report = {
   r_key_distinct : float;
   r_key_skew : float;
   r_key_error_bound : float;
+  r_writer_alloc_bytes : float;
+  r_writer_alloc_per_txn : float;
+  r_reader_alloc_bytes : float;
+  r_reader_alloc_per_query : float;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -217,8 +221,16 @@ let latency_of samples =
    and readers (queried keys), so the merged sketch speaks one language. *)
 let bucket_cells = 64
 
+(* The 64 bucket labels, rendered once at module init: the per-observation
+   path quantizes to an index and reuses the interned string, so sketching a
+   key allocates nothing. *)
+let bucket_labels =
+  Array.init bucket_cells (fun i ->
+      Sketch.bucket_label ~cells:bucket_cells ~lo:0. ~hi:1. i)
+
 let key_of_value = function
-  | Value.Float x -> Sketch.bucket_key ~cells:bucket_cells ~lo:0. ~hi:1. x
+  | Value.Float x ->
+      bucket_labels.(Sketch.bucket_index ~cells:bucket_cells ~lo:0. ~hi:1. x)
   | v -> Value.to_string v
 
 (* What each domain hands back when it joins: results plus its private
@@ -231,6 +243,7 @@ type writer_out = {
   wo_ring : Flight.t option;
   wo_sketch : Sketch.t option;
   wo_frames : int;
+  wo_alloc_bytes : float;
 }
 
 type reader_out = {
@@ -238,6 +251,7 @@ type reader_out = {
   ro_obs : observation list;
   ro_ring : Flight.t option;
   ro_sketch : Sketch.t option;
+  ro_alloc_bytes : float;
 }
 
 let run ?(config = default_config) ?recorder ?sanitize ?(seed = 42) ?on_snapshot
@@ -378,6 +392,10 @@ let run ?(config = default_config) ?recorder ?sanitize ?(seed = 42) ?on_snapshot
               incr frames
           | _ -> ()
         in
+        (* Gc.allocated_bytes is domain-local in OCaml 5, so this delta is
+           exactly the writer's own allocation over the serving loop —
+           including snapshot publication, but nothing any reader does. *)
+        let alloc0 = Gc.allocated_bytes () in
         let sw_writer = Wallclock.start () in
         let txns, epochs =
           apply_txns engine ~publish_every:config.publish_every
@@ -453,6 +471,7 @@ let run ?(config = default_config) ?recorder ?sanitize ?(seed = 42) ?on_snapshot
           wo_ring = ring;
           wo_sketch = sketch;
           wo_frames = !frames;
+          wo_alloc_bytes = Gc.allocated_bytes () -. alloc0;
         })
   in
   let reader idx rseed () =
@@ -473,6 +492,7 @@ let run ?(config = default_config) ?recorder ?sanitize ?(seed = 42) ?on_snapshot
       else None
     in
     let lats = ref [] and obs = ref [] in
+    let alloc0 = Gc.allocated_bytes () in
     for s = 0 to config.queries_per_reader - 1 do
       let q = Stream.range_query_of ~lo_max ~width rng in
       (match sketch with
@@ -524,6 +544,7 @@ let run ?(config = default_config) ?recorder ?sanitize ?(seed = 42) ?on_snapshot
       ro_obs = List.rev !obs;
       ro_ring = ring;
       ro_sketch = sketch;
+      ro_alloc_bytes = Gc.allocated_bytes () -. alloc0;
     }
   in
   let readers = List.mapi (fun i s -> Domain.spawn (reader i s)) reader_seeds in
@@ -533,6 +554,9 @@ let run ?(config = default_config) ?recorder ?sanitize ?(seed = 42) ?on_snapshot
   let writer_s = wout.wo_wall_s and txn_lats = wout.wo_lats in
   let wall_s = Wallclock.elapsed_s sw_all in
   let query_lats = List.concat_map (fun ro -> ro.ro_lats) reader_results in
+  let reader_alloc =
+    List.fold_left (fun acc ro -> acc +. ro.ro_alloc_bytes) 0. reader_results
+  in
   let observations = List.concat_map (fun ro -> ro.ro_obs) reader_results in
   (* Domain-local observability state, merged deterministically here on the
      coordinating domain: rings sort by label (join-order independent) and
@@ -658,4 +682,10 @@ let run ?(config = default_config) ?recorder ?sanitize ?(seed = 42) ?on_snapshot
     r_key_distinct = Sketch.distinct keys;
     r_key_skew = Sketch.skew keys;
     r_key_error_bound = Sketch.error_bound keys;
+    r_writer_alloc_bytes = wout.wo_alloc_bytes;
+    r_writer_alloc_per_txn =
+      wout.wo_alloc_bytes /. float_of_int (Int.max 1 txns);
+    r_reader_alloc_bytes = reader_alloc;
+    r_reader_alloc_per_query =
+      reader_alloc /. float_of_int (Int.max 1 queries);
   }

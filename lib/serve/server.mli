@@ -103,6 +103,15 @@ type report = {
   r_key_distinct : float;
   r_key_skew : float;
   r_key_error_bound : float;
+  r_writer_alloc_bytes : float;
+      (** GC bytes allocated on the writer domain over the serving loop
+          ([Gc.allocated_bytes] delta; domain-local in OCaml 5, so reader
+          work never leaks in).  Deterministic for a deterministic
+          workload — the allocation axis of the flat-tuple hot paths. *)
+  r_writer_alloc_per_txn : float;
+  r_reader_alloc_bytes : float;
+      (** Summed over all reader domains (query loop only). *)
+  r_reader_alloc_per_query : float;
 }
 
 val run :

@@ -1,14 +1,20 @@
 module Recorder = Vmat_obs.Recorder
 
-type entry = { mutable dirty : bool; mutable stamp : int }
+type entry = { e_pid : Disk.page_id; mutable dirty : bool; mutable stamp : int }
 
 type t = {
   disk : Disk.t;
   capacity : int option;
-  entries : (Disk.page_id, entry) Hashtbl.t;
-  (* LRU with lazy deletion: the queue may contain stale (pid, stamp) pairs;
-     a pair is live only if it matches the entry's current stamp. *)
-  queue : (Disk.page_id * int) Queue.t;
+  entries : (int, entry) Hashtbl.t;  (* keyed by the page id's int *)
+  (* LRU with lazy deletion, as a ring of (pid, stamp) int pairs packed into
+     one growable array — a touch allocates nothing (the Queue this replaces
+     allocated a tuple and a cell per metered read/write).  A pair is live
+     only if it matches the entry's current stamp.  Capacity-less pools
+     (most modeled pools: the paper invalidates between operations) never
+     evict, so they skip the ring entirely. *)
+  mutable ring : int array;
+  mutable ring_head : int;  (* oldest pair, in pair units *)
+  mutable ring_len : int;  (* live+stale pairs in the ring *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -18,14 +24,55 @@ let create ?capacity disk =
   (match capacity with
   | Some c when c <= 0 -> invalid_arg "Buffer_pool.create: capacity must be positive"
   | _ -> ());
-  { disk; capacity; entries = Hashtbl.create 256; queue = Queue.create (); tick = 0; hits = 0; misses = 0 }
+  {
+    disk;
+    capacity;
+    entries = Hashtbl.create 256;
+    ring = (match capacity with Some _ -> Array.make 128 0 | None -> [||]);
+    ring_head = 0;
+    ring_len = 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
 
 let disk t = t.disk
 
-let touch t pid entry =
+let ring_capacity t = Array.length t.ring / 2
+
+let ring_push t pid_int stamp =
+  let cap = ring_capacity t in
+  if t.ring_len = cap then begin
+    (* Grow, unrolling the ring so head comes first. *)
+    let fresh = Array.make (max 8 (Array.length t.ring * 2)) 0 in
+    for i = 0 to t.ring_len - 1 do
+      let j = (t.ring_head + i) mod cap in
+      fresh.(2 * i) <- t.ring.(2 * j);
+      fresh.((2 * i) + 1) <- t.ring.((2 * j) + 1)
+    done;
+    t.ring <- fresh;
+    t.ring_head <- 0
+  end;
+  let cap = ring_capacity t in
+  let i = (t.ring_head + t.ring_len) mod cap in
+  t.ring.(2 * i) <- pid_int;
+  t.ring.((2 * i) + 1) <- stamp;
+  t.ring_len <- t.ring_len + 1
+
+let ring_pop t =
+  if t.ring_len = 0 then None
+  else begin
+    let i = t.ring_head in
+    let pid_int = t.ring.(2 * i) and stamp = t.ring.((2 * i) + 1) in
+    t.ring_head <- (i + 1) mod ring_capacity t;
+    t.ring_len <- t.ring_len - 1;
+    Some (pid_int, stamp)
+  end
+
+let touch t pid_int entry =
   t.tick <- t.tick + 1;
   entry.stamp <- t.tick;
-  Queue.push (pid, t.tick) t.queue
+  if t.capacity <> None then ring_push t pid_int t.tick
 
 (* Observability: pools also report to the disk-wide tallies (plain integer
    bumps, so measurements are unaffected) and, when a live recorder is
@@ -48,14 +95,14 @@ let note_eviction t pid ~dirty =
 
 let evict_one t =
   let rec loop () =
-    match Queue.take_opt t.queue with
+    match ring_pop t with
     | None -> ()
-    | Some (pid, stamp) -> (
-        match Hashtbl.find_opt t.entries pid with
+    | Some (pid_int, stamp) -> (
+        match Hashtbl.find_opt t.entries pid_int with
         | Some entry when entry.stamp = stamp ->
-            note_eviction t pid ~dirty:entry.dirty;
-            if entry.dirty then Disk.write t.disk pid;
-            Hashtbl.remove t.entries pid
+            note_eviction t entry.e_pid ~dirty:entry.dirty;
+            if entry.dirty then Disk.write t.disk entry.e_pid;
+            Hashtbl.remove t.entries pid_int
         | _ -> loop ())
   in
   loop ()
@@ -69,7 +116,8 @@ let evict_if_needed t =
       done
 
 let read t pid =
-  match Hashtbl.find_opt t.entries pid with
+  let pid_int = Disk.page_id_to_int pid in
+  match Hashtbl.find_opt t.entries pid_int with
   | Some entry ->
       t.hits <- t.hits + 1;
       Disk.note_pool_hit t.disk;
@@ -77,7 +125,7 @@ let read t pid =
       if Recorder.enabled r then
         Recorder.inc r ~help:"Buffer-pool logical reads served without I/O."
           "vmat_buffer_pool_hits_total" 1.;
-      touch t pid entry
+      touch t pid_int entry
   | None ->
       t.misses <- t.misses + 1;
       Disk.note_pool_miss t.disk;
@@ -86,27 +134,28 @@ let read t pid =
         Recorder.inc r ~help:"Buffer-pool logical reads that paid a physical read."
           "vmat_buffer_pool_misses_total" 1.;
       Disk.read t.disk pid;
-      let entry = { dirty = false; stamp = 0 } in
-      Hashtbl.replace t.entries pid entry;
-      touch t pid entry;
+      let entry = { e_pid = pid; dirty = false; stamp = 0 } in
+      Hashtbl.replace t.entries pid_int entry;
+      touch t pid_int entry;
       evict_if_needed t
 
 let write t pid =
-  match Hashtbl.find_opt t.entries pid with
+  let pid_int = Disk.page_id_to_int pid in
+  match Hashtbl.find_opt t.entries pid_int with
   | Some entry ->
       entry.dirty <- true;
-      touch t pid entry
+      touch t pid_int entry
   | None ->
-      let entry = { dirty = true; stamp = 0 } in
-      Hashtbl.replace t.entries pid entry;
-      touch t pid entry;
+      let entry = { e_pid = pid; dirty = true; stamp = 0 } in
+      Hashtbl.replace t.entries pid_int entry;
+      touch t pid_int entry;
       evict_if_needed t
 
 let flush t =
   Hashtbl.iter
-    (fun pid entry ->
+    (fun _ entry ->
       if entry.dirty then begin
-        Disk.write t.disk pid;
+        Disk.write t.disk entry.e_pid;
         entry.dirty <- false
       end)
     t.entries
@@ -114,11 +163,12 @@ let flush t =
 let invalidate t =
   flush t;
   Hashtbl.reset t.entries;
-  Queue.clear t.queue
+  t.ring_head <- 0;
+  t.ring_len <- 0
 
-let discard t pid = Hashtbl.remove t.entries pid
+let discard t pid = Hashtbl.remove t.entries (Disk.page_id_to_int pid)
 
-let resident t pid = Hashtbl.mem t.entries pid
+let resident t pid = Hashtbl.mem t.entries (Disk.page_id_to_int pid)
 let resident_count t = Hashtbl.length t.entries
 let hits t = t.hits
 let misses t = t.misses

@@ -1,4 +1,10 @@
-type page = { pid : Disk.page_id; mutable tuples : Tuple.t list; mutable count : int }
+module Seq_map = Map.Make (Int)
+
+(* Rows live in flat page buffers; within a page, slots are in insertion
+   order, and every iteration walks them newest-first (the cons-list order
+   this file historically used), so scan output and the metered page-touch
+   sequence are unchanged by the representation. *)
+type page = { pid : Disk.page_id; seq : int; rows : Flat.t }
 
 type t = {
   schema : Schema.t;
@@ -6,7 +12,14 @@ type t = {
   pool : Buffer_pool.t;
   capacity : int;
   mutable pages : page list;  (* newest first *)
+  mutable next_seq : int;
+  (* Non-full pages keyed by creation seq.  The insert target is the newest
+     non-full page (max seq): historically the first hit of a newest-first
+     O(pages) list scan, now one O(log pages) lookup that examines exactly
+     one page.  Deletes re-admit their page when it stops being full. *)
+  mutable open_pages : page Seq_map.t;
   mutable tuple_count : int;
+  mutable probes : int;  (* cumulative pages examined by inserts *)
   by_tid : (int, page) Hashtbl.t;
 }
 
@@ -21,7 +34,10 @@ let create ~disk ?pool_capacity ~page_bytes schema =
     pool = Buffer_pool.create ?capacity:pool_capacity disk;
     capacity;
     pages = [];
+    next_seq = 0;
+    open_pages = Seq_map.empty;
     tuple_count = 0;
+    probes = 0;
     by_tid = Hashtbl.create 1024;
   }
 
@@ -30,21 +46,30 @@ let tuples_per_page t = t.capacity
 let tuple_count t = t.tuple_count
 let page_count t = List.length t.pages
 let pool t = t.pool
+let insert_probes t = t.probes
 
 let file_name t = "heap:" ^ Schema.name t.schema
 
 let insert t tuple =
   let page =
-    match List.find_opt (fun p -> p.count < t.capacity) t.pages with
-    | Some p -> p
+    match Seq_map.max_binding_opt t.open_pages with
+    | Some (_, p) ->
+        t.probes <- t.probes + 1;
+        p
     | None ->
-        let p = { pid = Disk.alloc t.disk ~file:(file_name t); tuples = []; count = 0 } in
+        let p =
+          { pid = Disk.alloc t.disk ~file:(file_name t); seq = t.next_seq; rows = Flat.create () }
+        in
+        t.next_seq <- t.next_seq + 1;
         t.pages <- p :: t.pages;
+        t.open_pages <- Seq_map.add p.seq p t.open_pages;
+        t.probes <- t.probes + 1;
         p
   in
   Buffer_pool.read t.pool page.pid;
-  page.tuples <- tuple :: page.tuples;
-  page.count <- page.count + 1;
+  ignore (Flat.append page.rows tuple);
+  if Flat.length page.rows >= t.capacity then
+    t.open_pages <- Seq_map.remove page.seq t.open_pages;
   t.tuple_count <- t.tuple_count + 1;
   Hashtbl.replace t.by_tid (Tuple.tid tuple) page;
   Buffer_pool.write t.pool page.pid;
@@ -55,12 +80,23 @@ let check t loc =
   | Some page when page == loc.l_page -> ()
   | _ -> invalid_arg "Heap_file: stale locator"
 
+let slot_of_tid page tid =
+  let n = Flat.length page.rows in
+  let rec find i =
+    if i >= n then None else if Flat.tid_at page.rows i = tid then Some i else find (i + 1)
+  in
+  find 0
+
 let delete t loc =
   check t loc;
   let page = loc.l_page in
   Buffer_pool.read t.pool page.pid;
-  page.tuples <- List.filter (fun tu -> Tuple.tid tu <> loc.l_tid) page.tuples;
-  page.count <- List.length page.tuples;
+  let was_full = Flat.length page.rows >= t.capacity in
+  (match slot_of_tid page loc.l_tid with
+  | Some slot -> Flat.remove_at page.rows slot
+  | None -> ());
+  if was_full && Flat.length page.rows < t.capacity then
+    t.open_pages <- Seq_map.add page.seq page t.open_pages;
   t.tuple_count <- t.tuple_count - 1;
   Hashtbl.remove t.by_tid loc.l_tid;
   Buffer_pool.write t.pool page.pid
@@ -68,35 +104,69 @@ let delete t loc =
 let read_at t loc =
   check t loc;
   Buffer_pool.read t.pool loc.l_page.pid;
-  match List.find_opt (fun tu -> Tuple.tid tu = loc.l_tid) loc.l_page.tuples with
-  | Some tu -> tu
+  match slot_of_tid loc.l_page loc.l_tid with
+  | Some slot -> Flat.materialize loc.l_page.rows slot
+  | None -> invalid_arg "Heap_file: stale locator"
+
+let view_at t loc view =
+  check t loc;
+  Buffer_pool.read t.pool loc.l_page.pid;
+  match slot_of_tid loc.l_page loc.l_tid with
+  | Some slot -> Tuple_view.set view loc.l_page.rows slot
   | None -> invalid_arg "Heap_file: stale locator"
 
 let page_of t loc =
   check t loc;
   loc.l_page.pid
 
-let scan t f =
+(* Newest-first within each page: slots run oldest-first, so walk them in
+   reverse. *)
+let iter_page_views page view f =
+  for slot = Flat.length page.rows - 1 downto 0 do
+    Tuple_view.set view page.rows slot;
+    f view
+  done
+
+let scan_views t f =
+  let view = Tuple_view.on (Flat.create ()) 0 in
   List.iter
     (fun page ->
       Buffer_pool.read t.pool page.pid;
-      List.iter f page.tuples)
+      iter_page_views page view f)
     (List.rev t.pages)
 
-let iter_unmetered t f =
-  List.iter (fun page -> List.iter f page.tuples) (List.rev t.pages)
+let scan t f = scan_views t (fun view -> f (Tuple_view.materialize view))
+
+let iter_views_unmetered t f =
+  let view = Tuple_view.on (Flat.create ()) 0 in
+  List.iter (fun page -> iter_page_views page view f) (List.rev t.pages)
+
+let iter_unmetered t f = iter_views_unmetered t (fun view -> f (Tuple_view.materialize view))
 
 let find_unmetered t pred =
   let rec find_in_pages = function
     | [] -> None
-    | page :: rest -> (
-        match List.find_opt pred page.tuples with
-        | Some tu -> Some ({ l_page = page; l_tid = Tuple.tid tu }, tu)
-        | None -> find_in_pages rest)
+    | page :: rest ->
+        let n = Flat.length page.rows in
+        let rec find slot =
+          if slot < 0 then find_in_pages rest
+          else
+            let tuple = Flat.materialize page.rows slot in
+            if pred tuple then Some ({ l_page = page; l_tid = Tuple.tid tuple }, tuple)
+            else find (slot - 1)
+        in
+        find (n - 1)
   in
   find_in_pages (List.rev t.pages)
 
 let locators_unmetered t =
   List.concat_map
-    (fun page -> List.map (fun tu -> ({ l_page = page; l_tid = Tuple.tid tu }, tu)) page.tuples)
+    (fun page ->
+      let out = ref [] in
+      (* newest-first, like the historical per-page cons list *)
+      for slot = 0 to Flat.length page.rows - 1 do
+        let tuple = Flat.materialize page.rows slot in
+        out := ({ l_page = page; l_tid = Tuple.tid tuple }, tuple) :: !out
+      done;
+      !out)
     (List.rev t.pages)

@@ -20,8 +20,14 @@ val page_count : t -> int
 val pool : t -> Buffer_pool.t
 
 val insert : t -> Tuple.t -> locator
-(** Append the tuple (first page with free space, else a new page).  Charges
-    the read and write of the target page. *)
+(** Append the tuple (newest page with free space, else a new page).  Charges
+    the read and write of the target page.  Finding the target examines
+    exactly one page — a direct handle to the open page, not a scan. *)
+
+val insert_probes : t -> int
+(** Cumulative number of pages examined while choosing insert targets (one
+    per insert) — observable evidence that insert cost does not grow with
+    the page count. *)
 
 val delete : t -> locator -> unit
 (** Remove the tuple at the locator (read + write of its page).
@@ -30,6 +36,10 @@ val delete : t -> locator -> unit
 val read_at : t -> locator -> Tuple.t
 (** Fetch the tuple at a locator, charging the page read. *)
 
+val view_at : t -> locator -> Tuple_view.t -> unit
+(** Aim the cursor at the row behind the locator, charging the same page
+    read as {!read_at} but materializing nothing. *)
+
 val page_of : t -> locator -> Disk.page_id
 
 val scan : t -> (Tuple.t -> unit) -> unit
@@ -37,8 +47,15 @@ val scan : t -> (Tuple.t -> unit) -> unit
     to every tuple.  No per-tuple CPU is charged here; callers charge [C1]
     when they test a predicate. *)
 
+val scan_views : t -> (Tuple_view.t -> unit) -> unit
+(** {!scan} without boxing: the callback receives a reused cursor aimed at
+    each row in turn (valid only during the callback).  Identical page-read
+    charges and row order to {!scan}. *)
+
 val iter_unmetered : t -> (Tuple.t -> unit) -> unit
 (** Iterate without charging any cost (verification and tests only). *)
+
+val iter_views_unmetered : t -> (Tuple_view.t -> unit) -> unit
 
 val find_unmetered : t -> (Tuple.t -> bool) -> (locator * Tuple.t) option
 

@@ -1,6 +1,6 @@
-type t = { tid : int; values : Value.t array }
+type t = { tid : int; values : Value.t array; mutable key_memo : string option }
 
-let make ~tid values = { tid; values }
+let make ~tid values = { tid; values; key_memo = None }
 
 type source = { mutable next_tid : int }
 
@@ -21,13 +21,15 @@ let arity t = Array.length t.values
 let set t i v =
   let values = Array.copy t.values in
   values.(i) <- v;
-  { t with values }
+  { tid = t.tid; values; key_memo = None }
 
+(* The key ignores the tid, so the memo stays valid across [with_tid]. *)
 let with_tid t tid = { t with tid }
 
-let project t positions = { t with values = Array.map (Array.get t.values) positions }
+let project t positions =
+  { tid = t.tid; values = Array.map (Array.get t.values) positions; key_memo = None }
 
-let concat ~tid a b = { tid; values = Array.append a.values b.values }
+let concat ~tid a b = { tid; values = Array.append a.values b.values; key_memo = None }
 
 let equal_values a b =
   Array.length a.values = Array.length b.values
@@ -46,8 +48,20 @@ let compare_values a b =
   in
   loop 0
 
+(* Memoized: rows are keyed repeatedly (snapshot sorts/merges/digests, bag
+   lookups, Bloom keys), and tuples are immutable, so the first rendering is
+   cached on the tuple.  Publication safety: the writer domain keys every row
+   while building a snapshot, so reader domains only ever load an
+   already-written [Some]. *)
 let value_key t =
-  String.concat "|" (Array.to_list (Array.map Value.key_string t.values))
+  match t.key_memo with
+  | Some key -> key
+  | None ->
+      let key =
+        String.concat "|" (Array.to_list (Array.map Value.key_string t.values))
+      in
+      t.key_memo <- Some key;
+      key
 
 let pp fmt t =
   Format.fprintf fmt "#%d(%s)" t.tid

@@ -3,7 +3,13 @@
     scheme of §2.2.1 ("the value of the system clock or other monotonically
     increasing source"). *)
 
-type t = private { tid : int; values : Value.t array }
+type t = private {
+  tid : int;
+  values : Value.t array;
+  mutable key_memo : string option;
+      (** Cached {!value_key} rendering — an implementation detail (tuples are
+          immutable in every observable respect). *)
+}
 
 val make : tid:int -> Value.t array -> t
 

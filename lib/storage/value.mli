@@ -12,6 +12,11 @@ type t =
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+val rank : t -> int
+(** Position of the constructor in the total order ([Null] 0, [Bool] 1,
+    numbers 2, [Str] 3) — exposed so flat cells can replicate {!compare}
+    without boxing. *)
+
 val to_string : t -> string
 (** Human-readable rendering. *)
 

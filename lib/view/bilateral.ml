@@ -39,7 +39,7 @@ let make_store (env : Strategy_join.env) =
     Btree.create ~disk:(Ctx.disk ctx) ~name:(Schema.name view.j_left)
       ~fanout:(Strategy.fanout geometry)
       ~leaf_capacity:(Strategy.blocking_factor geometry view.j_left)
-      ~key_of:(fun tuple -> Tuple.get tuple cluster_col)
+      ~key_col:cluster_col
       ()
   in
   Btree.bulk_load r1 env.initial_left;
@@ -64,7 +64,7 @@ let make_store (env : Strategy_join.env) =
     Hash_file.create ~disk:(Ctx.disk ctx) ~name:(Schema.name view.j_right)
       ~buckets:env.r2_buckets
       ~tuples_per_page:(Strategy.blocking_factor geometry view.j_right)
-      ~key_of:(fun tuple -> Tuple.get tuple view.j_right_col)
+      ~key_col:view.j_right_col
       ()
   in
   List.iter (Hash_file.insert r2) env.initial_right;
@@ -243,6 +243,7 @@ let blakeley env =
 
 let loopjoin env =
   let store, index_add, index_remove = make_store env in
+  let compiled = Predicate.compile store.view.j_left store.view.j_left_pred in
   let handle changes =
     let a1, d1, a2, d2 = partition changes in
     base_apply store index_add index_remove ~deletes:(d1, d2) ~inserts:(a1, a2)
@@ -250,10 +251,12 @@ let loopjoin env =
   let answer (q : Strategy.query) =
     Cost_meter.with_category store.meter Cost_meter.Query (fun () ->
         let out = ref [] in
-        Btree.range store.r1 ~lo:q.q_lo ~hi:q.q_hi (fun left ->
+        Btree.range_views store.r1 ~lo:q.q_lo ~hi:q.q_hi (fun view ->
             Cost_meter.charge_predicate_test store.meter;
-            if passes store left then
-              List.iter (fun v -> out := (v, 1) :: !out) (probe_r2 store left));
+            if Predicate.eval_view compiled view then
+              List.iter
+                (fun v -> out := (v, 1) :: !out)
+                (probe_r2 store (Tuple_view.materialize view)));
         Buffer_pool.invalidate (Btree.pool store.r1);
         Buffer_pool.invalidate (Hash_file.pool store.r2);
         List.rev !out)

@@ -13,9 +13,7 @@ type t = {
 }
 
 let fresh_tree ~disk ~name ~fanout ~leaf_capacity ~cluster_col =
-  Btree.create ~disk ~name:("view:" ^ name) ~fanout ~leaf_capacity
-    ~key_of:(fun stored -> Tuple.get stored cluster_col)
-    ()
+  Btree.create ~disk ~name:("view:" ^ name) ~fanout ~leaf_capacity ~key_col:cluster_col ()
 
 let create ~disk ~name ~fanout ~leaf_capacity ~cluster_col () =
   {
@@ -45,33 +43,34 @@ let view_of stored =
   let n = Array.length values - 1 in
   (Tuple.make ~tid:(Tuple.tid stored) (Array.sub values 0 n), Value.as_int values.(n))
 
-let same_value tuple stored =
-  let (stripped : Tuple.t), _ = view_of stored in
-  Tuple.equal_values tuple stripped
+(* Bump the stored count in place: the replacement is rebuilt from the
+   resident row, so representations the view tuple merely compares equal to
+   are preserved exactly. *)
+let bump_count t ~key ~tid delta =
+  ignore
+    (Btree.update_in_place t.tree ~key ~tid (fun stored ->
+         let tuple, count = view_of stored in
+         Tuple.with_tid (stored_of tuple ~count:(count + delta)) tid))
 
 let apply t action tuple =
   let key = Tuple.get tuple t.cluster_col in
-  let existing = List.find_opt (same_value tuple) (Btree.find t.tree key) in
-  match (action, existing) with
+  let n = Tuple.arity tuple in
+  (* First stored row (in (key, tid) order) whose view fields equal the
+     tuple's, matched off the page cells; only its tid and count are kept. *)
+  let existing = ref None in
+  Btree.find_views t.tree key (fun v ->
+      if Option.is_none !existing && Tuple_view.equal_prefix_values v tuple n then
+        existing := Some (Tuple_view.tid v, Tuple_view.get_int v n));
+  match (action, !existing) with
   | Insert, None ->
       Btree.insert t.tree (stored_of tuple ~count:1);
       t.total <- t.total + 1
-  | Insert, Some stored ->
-      let _, count = view_of stored in
-      ignore
-        (Btree.update_in_place t.tree ~key ~tid:(Tuple.tid stored) (fun _ ->
-             stored_of (fst (view_of stored)) ~count:(count + 1)
-             |> fun s -> Tuple.with_tid s (Tuple.tid stored)));
+  | Insert, Some (tid, _) ->
+      bump_count t ~key ~tid 1;
       t.total <- t.total + 1
-  | Delete, Some stored ->
-      let _, count = view_of stored in
-      if count <= 1 then
-        ignore (Btree.remove t.tree ~key ~tid:(Tuple.tid stored))
-      else
-        ignore
-          (Btree.update_in_place t.tree ~key ~tid:(Tuple.tid stored) (fun _ ->
-               stored_of (fst (view_of stored)) ~count:(count - 1)
-               |> fun s -> Tuple.with_tid s (Tuple.tid stored)));
+  | Delete, Some (tid, count) ->
+      if count <= 1 then ignore (Btree.remove t.tree ~key ~tid)
+      else bump_count t ~key ~tid (-1);
       t.total <- t.total - 1
   | Delete, None ->
       Printf.ksprintf failwith
@@ -81,9 +80,9 @@ let apply t action tuple =
 let flush t = Buffer_pool.invalidate (Btree.pool t.tree)
 
 let range t ~lo ~hi f =
-  Btree.range t.tree ~lo ~hi (fun stored ->
-      let tuple, count = view_of stored in
-      f tuple count)
+  Btree.range_views t.tree ~lo ~hi (fun v ->
+      let n = Tuple_view.arity v - 1 in
+      f (Tuple_view.materialize_prefix v n ~tid:(Tuple_view.tid v)) (Tuple_view.get_int v n))
 
 let rebuild t bag =
   (* Truncation is a metadata operation (uncharged); bulk-loading the
@@ -104,9 +103,9 @@ let rebuild t bag =
 
 let to_bag_unmetered t =
   let bag = Bag.create () in
-  Btree.iter_unmetered t.tree (fun stored ->
-      let tuple, count = view_of stored in
-      for _ = 1 to count do
-        ignore (Bag.add bag tuple)
-      done);
+  Btree.iter_views_unmetered t.tree (fun v ->
+      let n = Tuple_view.arity v - 1 in
+      Bag.add_count bag
+        (Tuple_view.materialize_prefix v n ~tid:(Tuple_view.tid v))
+        (Tuple_view.get_int v n));
   bag

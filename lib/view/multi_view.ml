@@ -37,7 +37,7 @@ let create ~ctx ~base ~views ~initial ~ad_buckets () =
   let base_tree =
     Btree.create ~disk ~name:(Schema.name base) ~fanout:(Strategy.fanout geometry)
       ~leaf_capacity:(Strategy.blocking_factor geometry base)
-      ~key_of:(fun tuple -> Tuple.get tuple base_cluster)
+      ~key_col:base_cluster
       ()
   in
   Btree.bulk_load base_tree initial;

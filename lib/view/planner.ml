@@ -11,6 +11,7 @@ type t = {
   base_cluster_col : int;
   base : Btree.t;
   mat : Materialized.t;
+  compiled : Tuple_view.t -> bool option;  (* sp_pred over page cursors *)
   screen : Screen.t;
   geometry : Strategy.geometry;
 }
@@ -29,7 +30,7 @@ let create ~ctx ~view ~base_cluster ~initial () =
   let base =
     Btree.create ~disk ~name:(Schema.name view.sp_base) ~fanout:(Strategy.fanout geometry)
       ~leaf_capacity:(Strategy.blocking_factor geometry view.sp_base)
-      ~key_of:(fun tuple -> Tuple.get tuple base_cluster_col)
+      ~key_col:base_cluster_col
       ()
   in
   Btree.bulk_load base initial;
@@ -41,7 +42,8 @@ let create ~ctx ~view ~base_cluster ~initial () =
   in
   Materialized.rebuild mat (Delta.recompute_sp ~tids view initial);
   let screen = Screen.create ~meter ~view_name:view.sp_name ~pred:view.sp_pred () in
-  { meter; tids; view; base_cluster_col; base; mat; screen; geometry }
+  let compiled = Predicate.compile view.sp_base view.sp_pred in
+  { meter; tids; view; base_cluster_col; base; mat; compiled; screen; geometry }
 
 let handle_transaction t changes =
   let marked_deletes = ref [] and marked_inserts = ref [] in
@@ -136,12 +138,13 @@ let answer_via t route ~column ~lo ~hi =
             if base_col = t.base_cluster_col then (lo, hi)
             else (Strategy.min_sentinel, Strategy.max_sentinel)
           in
-          Btree.range t.base ~lo:scan_lo ~hi:scan_hi (fun tuple ->
+          Btree.range_views t.base ~lo:scan_lo ~hi:scan_hi (fun v ->
               Cost_meter.charge_predicate_test t.meter;
               if
-                Predicate.eval t.view.sp_pred tuple
-                && in_range (Tuple.get tuple base_col) ~lo ~hi
-              then out := (View_def.sp_output ~tids:t.tids t.view tuple, 1) :: !out);
+                Predicate.eval_view t.compiled v
+                && Tuple_view.compare_col v base_col lo >= 0
+                && Tuple_view.compare_col v base_col hi <= 0
+              then out := (View_def.sp_output_view ~tids:t.tids t.view v, 1) :: !out);
           Buffer_pool.invalidate (Btree.pool t.base);
           List.rev !out)
   | Via_view -> (

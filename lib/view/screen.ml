@@ -7,6 +7,7 @@ type t = {
   meter : Cost_meter.t;
   view_name : string;
   pred : Predicate.t;
+  compiled : Tuple.t -> bool option;  (* eval3 semantics, zero alloc per row *)
   locks : Tlock.t;
   columns_read : int list;
   mutable stage2 : int;
@@ -27,7 +28,15 @@ let create ~meter ~view_name ~pred () =
             ~lo:(Option.value ~default:lo_sentinel iv.lo)
             ~hi:(Option.value ~default:hi_sentinel iv.hi))
         intervals);
-  { meter; view_name; pred; locks; columns_read = Predicate.columns_read pred; stage2 = 0 }
+  {
+    meter;
+    view_name;
+    pred;
+    compiled = Predicate.compile_boxed pred;
+    locks;
+    columns_read = Predicate.columns_read pred;
+    stage2 = 0;
+  }
 
 let screen t tuple =
   if not (Tlock.breaks t.locks ~view:t.view_name tuple) then false
@@ -41,8 +50,10 @@ let screen t tuple =
          "vmat_screen_stage2_total" 1.);
     Cost_meter.with_category t.meter Cost_meter.Screen (fun () ->
         Cost_meter.charge_predicate_test t.meter);
-    let binding i = if i < Tuple.arity tuple then Some (Tuple.get tuple i) else None in
-    Predicate.satisfiable_with t.pred binding
+    (* Satisfiable under the tuple's bindings: only a definite [Some false]
+       screens the change out (unknowns must pass, as in
+       [Predicate.satisfiable_with]). *)
+    match t.compiled tuple with Some false -> false | Some true | None -> true
   end
 
 let stage2_tests t = t.stage2

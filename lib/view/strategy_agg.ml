@@ -26,7 +26,7 @@ let make_base_btree env =
     Btree.create ~disk:(disk env) ~name:(Schema.name schema)
       ~fanout:(Strategy.fanout (geometry env))
       ~leaf_capacity:(Strategy.blocking_factor (geometry env) schema)
-      ~key_of:(fun tuple -> Tuple.get tuple col)
+      ~key_col:col
       ()
   in
   Btree.bulk_load tree env.initial;
@@ -185,6 +185,7 @@ let immediate env =
 let recompute env =
   let base = make_base_btree env in
   let m = meter env in
+  let compiled = Predicate.compile (sp env).sp_base (sp env).sp_pred in
   let handle_transaction changes =
     Cost_meter.with_category m Cost_meter.Base (fun () ->
         List.iter
@@ -205,9 +206,10 @@ let recompute env =
           Strategy.clustered_scan_bounds (sp env).sp_pred
             ~cluster_col:(base_cluster_col env)
         in
-        Btree.range base ~lo ~hi (fun tuple ->
+        Btree.range_views base ~lo ~hi (fun v ->
             Cost_meter.charge_predicate_test m;
-            if Predicate.eval (sp env).sp_pred tuple then Aggregate.insert state tuple);
+            if Predicate.eval_view compiled v then
+              Aggregate.insert state (Tuple_view.materialize v));
         Buffer_pool.invalidate (Btree.pool base);
         state)
   in

@@ -28,7 +28,7 @@ let make_left_btree env =
     Btree.create ~disk:(disk env) ~name:(Schema.name schema)
       ~fanout:(Strategy.fanout (geometry env))
       ~leaf_capacity:(Strategy.blocking_factor (geometry env) schema)
-      ~key_of:(fun tuple -> Tuple.get tuple col)
+      ~key_col:col
       ()
   in
   Btree.bulk_load tree env.initial_left;
@@ -40,7 +40,7 @@ let make_right_hash env =
   let hash =
     Hash_file.create ~disk:(disk env) ~name:(Schema.name schema) ~buckets:env.r2_buckets
       ~tuples_per_page:(Strategy.blocking_factor (geometry env) schema)
-      ~key_of:(fun tuple -> Tuple.get tuple env.view.j_right_col)
+      ~key_col:env.view.j_right_col
       ()
   in
   List.iter (Hash_file.insert hash) env.initial_right;
@@ -230,20 +230,22 @@ let qmod_loopjoin env =
           changes;
         Buffer_pool.invalidate (Btree.pool base))
   in
+  let compiled = Predicate.compile env.view.j_left env.view.j_left_pred in
   let answer_query (q : Strategy.query) =
     Cost_meter.with_category m Cost_meter.Query (fun () ->
         let out = ref [] in
-        Btree.range base ~lo:q.q_lo ~hi:q.q_hi (fun left_tuple ->
+        (* Modified-query test straight off the cells; only joining survivors
+           are boxed (for the probe into R2). *)
+        Btree.range_views base ~lo:q.q_lo ~hi:q.q_hi (fun v ->
             Cost_meter.charge_predicate_test m;
             if
-              Predicate.eval env.view.j_left_pred left_tuple
-              &&
-              let v = Tuple.get left_tuple cluster_col in
-              Value.compare q.q_lo v <= 0 && Value.compare v q.q_hi <= 0
+              Predicate.eval_view compiled v
+              && Tuple_view.compare_col v cluster_col q.q_lo >= 0
+              && Tuple_view.compare_col v cluster_col q.q_hi <= 0
             then
               List.iter
                 (fun view_tuple -> out := (view_tuple, 1) :: !out)
-                (probe env r2 m left_tuple));
+                (probe env r2 m (Tuple_view.materialize v)));
         Buffer_pool.invalidate (Btree.pool base);
         Buffer_pool.invalidate (Hash_file.pool r2);
         List.rev !out)

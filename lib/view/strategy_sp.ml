@@ -26,7 +26,7 @@ let make_base_btree env =
     Btree.create ~disk:(disk env) ~name:(Schema.name schema)
       ~fanout:(Strategy.fanout (geometry env))
       ~leaf_capacity:(Strategy.blocking_factor (geometry env) schema)
-      ~key_of:(fun tuple -> Tuple.get tuple col)
+      ~key_col:col
       ()
   in
   Btree.bulk_load tree env.initial;
@@ -331,23 +331,25 @@ let immediate env =
 (* Query modification                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let in_range env tuple ~lo ~hi =
-  let v = Tuple.get tuple (base_cluster_col env) in
-  Value.compare lo v <= 0 && Value.compare v hi <= 0
-
-let qmod_answer env m examined (q : Strategy.query) =
-  (* [examined] feeds base tuples to the callback; each is tested against the
-     modified query (view predicate AND query range) at C1. *)
+let qmod_answer env m ~compiled examined (q : Strategy.query) =
+  (* [examined] aims a page cursor at base rows; each is tested against the
+     modified query (view predicate AND query range) at C1, straight off the
+     cells.  Only survivors are boxed (and mint an output tid). *)
+  let cluster = base_cluster_col env in
   let out = ref [] in
-  examined (fun tuple ->
+  examined (fun view ->
       Cost_meter.charge_predicate_test m;
-      if Predicate.eval env.view.sp_pred tuple && in_range env tuple ~lo:q.q_lo ~hi:q.q_hi
-      then out := (sp_output env tuple, 1) :: !out);
+      if
+        Predicate.eval_view compiled view
+        && Tuple_view.compare_col view cluster q.q_lo >= 0
+        && Tuple_view.compare_col view cluster q.q_hi <= 0
+      then out := (View_def.sp_output_view ~tids:(tids env) env.view view, 1) :: !out);
   List.rev !out
 
 let qmod_clustered env =
   let m = meter env in
   let base = make_base_btree env in
+  let compiled = Predicate.compile env.view.sp_base env.view.sp_pred in
   let handle_transaction changes =
     Cost_meter.with_category m Cost_meter.Base (fun () ->
         List.iter
@@ -364,8 +366,8 @@ let qmod_clustered env =
   let answer_query (q : Strategy.query) =
     Cost_meter.with_category m Cost_meter.Query (fun () ->
         let result =
-          qmod_answer env m
-            (fun f -> Btree.range base ~lo:q.q_lo ~hi:q.q_hi f)
+          qmod_answer env m ~compiled
+            (fun f -> Btree.range_views base ~lo:q.q_lo ~hi:q.q_hi f)
             q
         in
         Buffer_pool.invalidate (Btree.pool base);
@@ -399,6 +401,7 @@ let qmod_unclustered env =
       env.view.sp_base
   in
   let index = ref Secondary.empty in
+  let compiled = Predicate.compile env.view.sp_base env.view.sp_pred in
   let cluster_col = base_cluster_col env in
   let key_of tuple = (Tuple.get tuple cluster_col, Tuple.tid tuple) in
   let add tuple =
@@ -429,14 +432,18 @@ let qmod_unclustered env =
            (buffered) heap page read — the unclustered y(N, b, N f fv)
            behaviour.  The secondary index itself is assumed resident, as in
            the paper's generous treatment of access paths. *)
+        let view = Tuple_view.on (Flat.create ()) 0 in
         let examined f =
           let seq = Secondary.to_seq_from (q.q_lo, Int.min_int) !index in
           Seq.iter
             (fun ((v, _), locator) ->
-              if Value.compare v q.q_hi <= 0 then f (Heap_file.read_at heap locator))
+              if Value.compare v q.q_hi <= 0 then begin
+                Heap_file.view_at heap locator view;
+                f view
+              end)
             (Seq.take_while (fun ((v, _), _) -> Value.compare v q.q_hi <= 0) seq)
         in
-        let result = qmod_answer env m examined q in
+        let result = qmod_answer env m ~compiled examined q in
         Buffer_pool.invalidate (Heap_file.pool heap);
         result)
   in
@@ -458,6 +465,7 @@ let qmod_sequential env =
     Heap_file.create ~disk:(disk env) ~page_bytes:(geometry env).Strategy.page_bytes
       env.view.sp_base
   in
+  let compiled = Predicate.compile env.view.sp_base env.view.sp_pred in
   let locators = Hashtbl.create (List.length env.initial) in
   let add tuple = Hashtbl.replace locators (Tuple.tid tuple) (Heap_file.insert heap tuple) in
   List.iter add env.initial;
@@ -480,7 +488,7 @@ let qmod_sequential env =
   in
   let answer_query (q : Strategy.query) =
     Cost_meter.with_category m Cost_meter.Query (fun () ->
-        let result = qmod_answer env m (fun f -> Heap_file.scan heap f) q in
+        let result = qmod_answer env m ~compiled (fun f -> Heap_file.scan_views heap f) q in
         Buffer_pool.invalidate (Heap_file.pool heap);
         result)
   in

@@ -38,6 +38,9 @@ let make_sp ~name ~base ~pred ~project ~cluster =
 let sp_output ~tids sp tuple =
   Tuple.with_tid (Tuple.project tuple sp.sp_positions) (Tuple.next tids)
 
+let sp_output_view ~tids sp view =
+  Tuple_view.project view sp.sp_positions ~tid:(Tuple.next tids)
+
 type join = {
   j_name : string;
   j_left : Schema.t;

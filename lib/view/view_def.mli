@@ -27,6 +27,10 @@ val make_sp :
 val sp_output : tids:Tuple.source -> sp -> Tuple.t -> Tuple.t
 (** Project a base tuple into view shape (fresh tid from [tids]). *)
 
+val sp_output_view : tids:Tuple.source -> sp -> Tuple_view.t -> Tuple.t
+(** {!sp_output} straight off a page cursor: projects the viewed row into a
+    boxed view tuple in one allocation (fresh tid from [tids]). *)
+
 type join = {
   j_name : string;
   j_left : Schema.t;

@@ -152,6 +152,56 @@ let test_d6_silent () =
     "let f m d =\n  Domain.join d;\n  Metrics.inc m 1."
 
 (* ------------------------------------------------------------------ *)
+(* D7: scan-loop hygiene (lib/view, lib/relalg only)                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_d7_fires () =
+  let lint_view source = lint ~file:"lib/view/fixture.ml" source in
+  let fires ~what source =
+    let fired = rules_fired (lint_view source) in
+    if not (List.mem "D7" fired) then
+      Alcotest.failf "%s: expected D7 to fire, got [%s]" what
+        (String.concat "; " fired)
+  in
+  fires ~what:"materialize in range_views closure"
+    "let f base lo hi out =\n\
+    \  Btree.range_views base ~lo ~hi (fun v ->\n\
+    \      out := Tuple_view.materialize v :: !out)";
+  fires ~what:"Tuple.make in scan_views closure"
+    "let f heap out =\n\
+    \  Heap_file.scan_views heap (fun v ->\n\
+    \      out := Tuple.make ~tid:0 [| Tuple_view.get v 0 |] :: !out)";
+  fires ~what:"Tuple.project in lookup_views closure"
+    "let f hash key out =\n\
+    \  Hash_file.lookup_views hash key (fun v ->\n\
+    \      out := Tuple.project (Tuple_view.materialize v) [| 0 |] :: !out)";
+  fires ~what:"Array.map nested under iterator closure"
+    "let f base g =\n\
+    \  Btree.iter_views_unmetered base (fun v ->\n\
+    \      ignore (Array.map g (Tuple_view.cells v)))";
+  fires ~what:"qualified iterator head"
+    "let f base lo hi out =\n\
+    \  Vmat_index.Btree.range_views base ~lo ~hi (fun v ->\n\
+    \      out := Tuple_view.materialize v :: !out)"
+
+let test_d7_silent () =
+  check_silent ~what:"cursor-only closure" ~file:"lib/view/fixture.ml"
+    "let f base lo hi n =\n\
+    \  Btree.range_views base ~lo ~hi (fun v ->\n\
+    \      if Tuple_view.compare_col v 0 lo >= 0 then incr n)";
+  check_silent ~what:"materializer outside any iterator"
+    ~file:"lib/view/fixture.ml"
+    "let f v = Tuple_view.materialize v";
+  check_silent ~what:"out of scope (lib/index)" ~file:"lib/index/fixture.ml"
+    "let f base lo hi out =\n\
+    \  Btree.range_views base ~lo ~hi (fun v ->\n\
+    \      out := Tuple_view.materialize v :: !out)";
+  check_silent ~what:"out of scope (default fixture path)"
+    "let f base lo hi out =\n\
+    \  Btree.range_views base ~lo ~hi (fun v ->\n\
+    \      out := Tuple_view.materialize v :: !out)"
+
+(* ------------------------------------------------------------------ *)
 (* Infrastructure: parse errors, allowlist                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -257,6 +307,8 @@ let suites =
           test_case "D5 silent" `Quick test_d5_silent;
           test_case "D6 fires" `Quick test_d6_fires;
           test_case "D6 silent" `Quick test_d6_silent;
+          test_case "D7 fires" `Quick test_d7_fires;
+          test_case "D7 silent" `Quick test_d7_silent;
           test_case "parse error finding" `Quick test_parse_error;
           test_case "allowlist matching" `Quick test_allowlist_matching;
           test_case "allowlist unused + errors" `Quick test_allowlist_unused_and_errors;

@@ -216,7 +216,7 @@ let test_hr_split_layout_semantics () =
   let disk = Disk.create (Cost_meter.create ()) in
   let base =
     Btree.create ~disk ~name:"R" ~fanout:8 ~leaf_capacity:4
-      ~key_of:(fun t -> Tuple.get t 1)
+      ~key_col:1
       ()
   in
   let t0 = Tuple.make ~tid:100 [| Value.Int 1; Value.Float 0.5; Value.Float 1. |] in

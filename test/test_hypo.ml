@@ -20,8 +20,7 @@ let make_hr ?(initial = []) () =
   let disk = Disk.create meter in
   let base =
     Btree.create ~disk ~name:"R" ~fanout:8 ~leaf_capacity:4
-      ~key_of:(fun t -> Tuple.get t 1)
-      ()
+      ~key_col:1 ()
   in
   Btree.bulk_load base initial;
   let hr = Hr.create ~tids:test_tids ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4 () in
@@ -214,8 +213,7 @@ let test_lookup_with_tiny_bloom () =
   let disk = Disk.create meter in
   let base =
     Btree.create ~disk ~name:"R" ~fanout:8 ~leaf_capacity:4
-      ~key_of:(fun t -> Tuple.get t 1)
-      ()
+      ~key_col:1 ()
   in
   Btree.bulk_load base initial;
   let hr = Hr.create ~tids:test_tids ~disk ~base ~schema ~ad_buckets:4 ~tuples_per_page:4 ~bloom_bits:8 () in

@@ -17,7 +17,7 @@ let tuple ?(tid = Tuple.next test_tids) key payload =
 
 let btree ?(fanout = 4) ?(leaf_capacity = 4) () =
   let _, disk = world () in
-  (disk, Btree.create ~disk ~name:"t" ~fanout ~leaf_capacity ~key_of:key_col0 ())
+  (disk, Btree.create ~disk ~name:"t" ~fanout ~leaf_capacity ~key_col:0 ())
 
 let test_btree_insert_find () =
   let _, t = btree () in
@@ -101,7 +101,7 @@ let test_btree_height_growth () =
 let test_btree_io_accounting () =
   let m = Cost_meter.create () in
   let disk = Disk.create m in
-  let t = Btree.create ~disk ~name:"io" ~fanout:200 ~leaf_capacity:40 ~key_of:key_col0 () in
+  let t = Btree.create ~disk ~name:"io" ~fanout:200 ~leaf_capacity:40 ~key_col:0 () in
   List.iter (fun k -> Btree.insert t (tuple k "")) (List.init 2000 Fun.id);
   Buffer_pool.invalidate (Btree.pool t);
   let reads0 = Disk.physical_reads disk in
@@ -118,7 +118,7 @@ let test_btree_io_accounting () =
 let test_btree_bulk_load () =
   let m = Cost_meter.create () in
   let disk = Disk.create m in
-  let t = Btree.create ~disk ~name:"bulk" ~fanout:5 ~leaf_capacity:4 ~key_of:key_col0 () in
+  let t = Btree.create ~disk ~name:"bulk" ~fanout:5 ~leaf_capacity:4 ~key_col:0 () in
   let tuples = List.map (fun k -> tuple k "") (List.init 103 Fun.id) in
   let writes0 = Disk.physical_writes disk in
   Btree.bulk_load t tuples;
@@ -142,7 +142,7 @@ let test_btree_bulk_load () =
 
 let test_btree_bulk_load_empty () =
   let _, disk = world () in
-  let t = Btree.create ~disk ~name:"e" ~fanout:4 ~leaf_capacity:4 ~key_of:key_col0 () in
+  let t = Btree.create ~disk ~name:"e" ~fanout:4 ~leaf_capacity:4 ~key_col:0 () in
   Btree.bulk_load t [];
   Btree.check_invariants t;
   Alcotest.(check int) "still empty" 0 (Btree.tuple_count t)
@@ -216,7 +216,7 @@ let hash_file ?(buckets = 8) ?(tuples_per_page = 4) () =
   let m, disk = world () in
   ( m,
     disk,
-    Hash_file.create ~disk ~name:"h" ~buckets ~tuples_per_page ~key_of:key_col0 () )
+    Hash_file.create ~disk ~name:"h" ~buckets ~tuples_per_page ~key_col:0 () )
 
 let test_hash_insert_lookup () =
   let _, _, h = hash_file () in

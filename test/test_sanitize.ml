@@ -159,7 +159,7 @@ let make_sanitized_hr () =
   let disk = Disk.create meter in
   let base =
     Btree.create ~disk ~name:"R" ~fanout:8 ~leaf_capacity:4
-      ~key_of:(fun t -> Tuple.get t 0)
+      ~key_col:0
       ()
   in
   let hr =

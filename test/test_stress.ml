@@ -203,7 +203,7 @@ let test_btree_large_random () =
   let disk = Disk.create meter in
   let tree =
     Btree.create ~disk ~name:"soak" ~fanout:16 ~leaf_capacity:8
-      ~key_of:(fun t -> Tuple.get t 0)
+      ~key_col:0
       ()
   in
   let model = Hashtbl.create 4096 in
@@ -249,7 +249,7 @@ let test_hr_soak () =
   let disk = Disk.create meter in
   let base =
     Btree.create ~disk ~name:"soak" ~fanout:16 ~leaf_capacity:8
-      ~key_of:(fun t -> Tuple.get t 1)
+      ~key_col:1
       ()
   in
   let initial =
