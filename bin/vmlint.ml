@@ -1,4 +1,4 @@
-(* vmlint: the determinism & ctx-discipline static analyzer (DESIGN §8).
+(* vmlint: the determinism & ctx-discipline static analyzer (DESIGN §8, §13).
 
      vmlint lib                      lint everything under lib/
      vmlint --format json lib        machine-readable findings
@@ -6,83 +6,122 @@
      vmlint --allowlist .vmlint lib  suppress justified findings
      vmlint --fail-on warning lib    strict mode (default: error)
      vmlint --rules                  list the rules
+     vmlint --explain D8             one rule's doc + firing example + fix
+     vmlint --summaries-out f lib    dump the interprocedural summaries
 
    Exit codes: 0 clean (after allowlist), 1 findings at/above the fail-on
-   threshold, 2 usage error. *)
+   threshold, 2 usage error (including allowlist entries naming unknown
+   rule ids). *)
 
 open Vmat_analysis
 open Cmdliner
 
 let default_allowlist = ".vmlint"
 
-let run paths format allowlist_path fail_on json_out list_rules =
+let explain rule_id =
+  match
+    List.find_opt (fun rule -> rule.Rule.id = rule_id) Driver.all_rules
+  with
+  | None ->
+      Printf.eprintf "vmlint: unknown rule %s (known: %s)\n" rule_id
+        (String.concat ", " Driver.rule_ids);
+      2
+  | Some rule ->
+      Printf.printf "%s: %s\n\nFires on:\n\n%s\n\nFix:\n\n%s\n" rule.Rule.id
+        rule.Rule.doc rule.Rule.example rule.Rule.fix;
+      0
+
+let run paths format allowlist_path fail_on json_out list_rules explain_rule
+    summaries_out =
   if list_rules then begin
     List.iter
       (fun rule -> Printf.printf "%-5s %s\n" rule.Rule.id rule.Rule.doc)
       Driver.all_rules;
     0
   end
-  else begin
-    let allowlist =
-      match allowlist_path with
-      | Some path -> (
-          match Allowlist.load path with
-          | Ok entries -> entries
-          | Error message ->
-              Printf.eprintf "vmlint: bad allowlist %s: %s\n" path message;
-              exit 2)
-      | None ->
-          if Sys.file_exists default_allowlist then
-            match Allowlist.load default_allowlist with
-            | Ok entries -> entries
-            | Error message ->
-                Printf.eprintf "vmlint: bad allowlist %s: %s\n" default_allowlist
-                  message;
-                exit 2
-          else Allowlist.empty
-    in
-    let findings = Driver.lint_paths paths in
-    let kept = Driver.filter_allowed allowlist findings in
-    (match json_out with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Finding.list_to_json kept);
-        close_out oc
-    | None -> ());
-    (match format with
-    | `Human ->
-        List.iter (fun f -> print_endline (Finding.to_human f)) kept;
-        List.iter
-          (fun (entry : Allowlist.entry) ->
-            Printf.eprintf
-              "vmlint: unused allowlist entry: %s %s (%s) — the code it excused \
-               is gone; remove it\n"
-              entry.Allowlist.rule entry.Allowlist.path entry.Allowlist.justification)
-          (Allowlist.unused allowlist);
-        let errors, warnings =
-          List.partition (fun f -> f.Finding.severity = Finding.Error) kept
+  else
+    match explain_rule with
+    | Some rule_id -> explain rule_id
+    | None ->
+        let allowlist =
+          match allowlist_path with
+          | Some path -> (
+              match Allowlist.load path with
+              | Ok entries -> entries
+              | Error message ->
+                  Printf.eprintf "vmlint: bad allowlist %s: %s\n" path message;
+                  exit 2)
+          | None ->
+              if Sys.file_exists default_allowlist then
+                match Allowlist.load default_allowlist with
+                | Ok entries -> entries
+                | Error message ->
+                    Printf.eprintf "vmlint: bad allowlist %s: %s\n"
+                      default_allowlist message;
+                    exit 2
+              else Allowlist.empty
         in
-        Printf.printf "%d finding%s (%d error%s, %d warning%s), %d suppressed\n"
-          (List.length kept)
-          (if List.length kept = 1 then "" else "s")
-          (List.length errors)
-          (if List.length errors = 1 then "" else "s")
-          (List.length warnings)
-          (if List.length warnings = 1 then "" else "s")
-          (List.length findings - List.length kept)
-    | `Json -> print_string (Finding.list_to_json kept));
-    let threshold =
-      match fail_on with `Error -> Finding.Error | `Warning -> Finding.Warning
-    in
-    let failing =
-      List.filter
-        (fun f ->
-          Finding.severity_rank f.Finding.severity
-          >= Finding.severity_rank threshold)
-        kept
-    in
-    if List.length failing = 0 then 0 else 1
-  end
+        (match Allowlist.unknown_rules ~known:Driver.rule_ids allowlist with
+        | [] -> ()
+        | bad ->
+            List.iter
+              (fun (entry : Allowlist.entry) ->
+                Printf.eprintf
+                  "vmlint: allowlist entry names unknown rule %s (%s %s)\n"
+                  entry.Allowlist.rule entry.Allowlist.rule entry.Allowlist.path)
+              bad;
+            exit 2);
+        let findings, env = Driver.lint_paths_env paths in
+        (match summaries_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Summary.dump env);
+            close_out oc
+        | None -> ());
+        let kept = Driver.filter_allowed allowlist findings in
+        (match json_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Finding.list_to_json kept);
+            close_out oc
+        | None -> ());
+        (match format with
+        | `Human ->
+            List.iter (fun f -> print_endline (Finding.to_human f)) kept;
+            List.iter
+              (fun (entry : Allowlist.entry) ->
+                Printf.eprintf
+                  "vmlint: unused allowlist entry: %s %s (%s) — the code it \
+                   excused is gone; remove it\n"
+                  entry.Allowlist.rule entry.Allowlist.path
+                  entry.Allowlist.justification)
+              (Allowlist.unused allowlist);
+            let errors, warnings =
+              List.partition (fun f -> f.Finding.severity = Finding.Error) kept
+            in
+            Printf.printf
+              "%d finding%s (%d error%s, %d warning%s), %d suppressed\n"
+              (List.length kept)
+              (if List.length kept = 1 then "" else "s")
+              (List.length errors)
+              (if List.length errors = 1 then "" else "s")
+              (List.length warnings)
+              (if List.length warnings = 1 then "" else "s")
+              (List.length findings - List.length kept)
+        | `Json -> print_string (Finding.list_to_json kept));
+        let threshold =
+          match fail_on with
+          | `Error -> Finding.Error
+          | `Warning -> Finding.Warning
+        in
+        let failing =
+          List.filter
+            (fun f ->
+              Finding.severity_rank f.Finding.severity
+              >= Finding.severity_rank threshold)
+            kept
+        in
+        if List.length failing = 0 then 0 else 1
 
 let paths_term =
   Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: lib).")
@@ -117,12 +156,28 @@ let json_out_term =
 let rules_term =
   Arg.(value & flag & info [ "rules" ] ~doc:"List the rules and exit.")
 
+let explain_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain" ] ~docv:"RULE"
+        ~doc:"Print one rule's doc, a minimal firing example, and its fix.")
+
+let summaries_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "summaries-out" ] ~docv:"FILE"
+        ~doc:
+          "Dump the interprocedural per-function summaries (cursor/escape/\
+           mutate/storage facts at the fixpoint) to $(docv).")
+
 let () =
   let doc = "determinism & ctx-discipline static analyzer for the vmat codebase" in
-  let info = Cmd.info "vmlint" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "vmlint" ~version:"2.0.0" ~doc in
   let term =
     Term.(
       const run $ paths_term $ format_term $ allowlist_term $ fail_on_term
-      $ json_out_term $ rules_term)
+      $ json_out_term $ rules_term $ explain_term $ summaries_out_term)
   in
   exit (Cmd.eval' (Cmd.v info term))

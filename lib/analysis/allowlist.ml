@@ -93,3 +93,9 @@ let matches (t : t) (finding : Finding.t) =
   | None -> false
 
 let unused (t : t) = List.filter (fun entry -> not entry.used) t
+
+(* Entries naming a rule id the engine doesn't know (typo'd, or a rule that
+   was removed): these can never match and would otherwise hide forever
+   behind the suffix-matching path logic. *)
+let unknown_rules ~known (t : t) =
+  List.filter (fun entry -> not (List.mem entry.rule known)) t

@@ -1,0 +1,107 @@
+(* Module universe and name resolution for the interprocedural passes.
+
+   A "module" is a source file: [lib/hypo/hr.ml] defines module [Hr].  A
+   function key is ["Module.fn"].  Resolution is purely syntactic, mirroring
+   how this codebase names things: an unqualified call resolves into the
+   current module; a qualified call [A.f] resolves if [A] is a known module
+   or a local [module A = ...] alias whose target's last component is a
+   known module; library-wrapper prefixes ([Vmat_index.Btree.f]) resolve by
+   their last two components.  Anything else is unresolved and the caller
+   decides how conservative to be. *)
+
+open Parsetree
+
+module Sset = Set.Make (String)
+
+let module_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+(* Local [module B = Vmat_index.Btree] aliases: B -> Btree. *)
+let aliases_of structure =
+  List.filter_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_module
+          {
+            pmb_name = { txt = Some name; _ };
+            pmb_expr = { pmod_desc = Pmod_ident { txt; _ }; _ };
+            _;
+          } -> (
+          match List.rev (Longident.flatten txt) with
+          | last :: _ -> Some (name, last)
+          | [] -> None)
+      | _ -> None)
+    structure
+
+type fn = {
+  fn_key : string;  (** "Module.name" *)
+  fn_name : string;
+  fn_params : Lambda.param list;
+  fn_body : Parsetree.expression;
+  fn_line : int;
+}
+
+(* Toplevel [let]-bound functions of one structure (simple variable patterns;
+   lambdas read through Lambda.destructure so this sees the same shapes on
+   every supported compiler). *)
+let functions_of ~modname structure =
+  let out = ref [] in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+          List.iter
+            (fun vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt = name; _ } -> (
+                  match Lambda.destructure vb.pvb_expr with
+                  | Lambda.Lambda (params, body) ->
+                      let line, _ = Ast_util.position vb.pvb_pat.ppat_loc in
+                      out :=
+                        {
+                          fn_key = modname ^ "." ^ name;
+                          fn_name = name;
+                          fn_params = params;
+                          fn_body = body;
+                          fn_line = line;
+                        }
+                        :: !out
+                  | _ -> ())
+              | _ -> ())
+            bindings
+      | _ -> ())
+    structure;
+  List.rev !out
+
+type scope = {
+  self : string;  (** module under analysis *)
+  aliases : (string * string) list;
+  universe : Sset.t;  (** all module names in the lint run *)
+  locals : Sset.t;  (** toplevel value names of [self] *)
+}
+
+let scope ~file ~universe structure =
+  {
+    self = module_of_file file;
+    aliases = aliases_of structure;
+    universe;
+    locals = Sset.of_list (Ast_util.toplevel_value_names structure);
+  }
+
+(* Resolve an applied path to a canonical "Module.fn" key.  [`Fn key] means
+   a function the run has a summary slot for; [`Local] is an unqualified
+   name that is not a toplevel function (parameter, let-binding — assumed
+   transient and checked at its own definition site); [`Unknown] is a
+   qualified path outside the universe. *)
+let resolve scope path =
+  match List.rev (String.split_on_char '.' path) with
+  | [] -> `Local
+  | [ name ] ->
+      if Sset.mem scope.self scope.universe && Sset.mem name scope.locals then
+        `Fn (scope.self ^ "." ^ name)
+      else `Local
+  | name :: m :: _ ->
+      let m =
+        match List.assoc_opt m scope.aliases with Some t -> t | None -> m
+      in
+      if Sset.mem m scope.universe then `Fn (m ^ "." ^ name) else `Unknown

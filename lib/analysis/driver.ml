@@ -1,9 +1,14 @@
-(* The rule engine: parse, run every rule, collect findings in canonical
-   order.  [lint_string] exists for the golden-fixture tests — each rule must
-   both fire on a minimal violating program and stay silent on the idiomatic
-   fix, without touching the filesystem. *)
+(* The rule engine, two-pass since vmlint v2: pass 1 parses every file in
+   the run and builds the interprocedural summary environment to a fixpoint
+   (Summary.build); pass 2 runs every rule over every file with that
+   environment in the rule context.  Findings come back in canonical order.
 
-let all_rules = Rules_determinism.all @ Rules_discipline.all
+   [lint_string] exists for the golden-fixture tests — each rule must both
+   fire on a minimal violating program and stay silent on the idiomatic
+   fix, without touching the filesystem.  The fixture's own structure is its
+   whole universe, so in-fixture helpers resolve interprocedurally. *)
+
+let all_rules = Rules_determinism.all @ Rules_discipline.all @ Rules_borrow.all
 
 let rule_ids = List.map (fun rule -> rule.Rule.id) all_rules
 
@@ -17,7 +22,10 @@ let parse_error_finding ~file message =
     message;
   }
 
-let lint_structure ?(rules = all_rules) ~file structure =
+let lint_structure ?(rules = all_rules) ?env ~file structure =
+  let env =
+    match env with Some env -> env | None -> Summary.build_one ~file structure
+  in
   let findings = ref [] in
   List.iter
     (fun rule ->
@@ -27,7 +35,7 @@ let lint_structure ?(rules = all_rules) ~file structure =
           { Finding.rule = rule.Rule.id; severity; file; line; col; message }
           :: !findings
       in
-      rule.Rule.check { Rule.file; report } structure)
+      rule.Rule.check { Rule.file; env; report } structure)
     rules;
   List.sort Finding.compare !findings
 
@@ -36,13 +44,30 @@ let lint_string ?rules ~file source =
   | Ok structure -> lint_structure ?rules ~file structure
   | Error message -> [ parse_error_finding ~file message ]
 
-let lint_paths ?rules paths =
-  Source.discover_all paths
-  |> List.concat_map (fun file ->
-         match Source.parse_file file with
-         | Ok structure -> lint_structure ?rules ~file structure
-         | Error message -> [ parse_error_finding ~file message ])
-  |> List.sort Finding.compare
+(* Parse everything, build one summary environment for the whole run, lint
+   each file against it.  Returns the findings and the environment (the
+   latter feeds [vmlint --summaries-out]). *)
+let lint_paths_env ?rules paths =
+  let parsed, errors =
+    Source.discover_all paths
+    |> List.fold_left
+         (fun (parsed, errors) file ->
+           match Source.parse_file file with
+           | Ok structure -> ((file, structure) :: parsed, errors)
+           | Error message ->
+               (parsed, parse_error_finding ~file message :: errors))
+         ([], [])
+  in
+  let parsed = List.rev parsed in
+  let env = Summary.build parsed in
+  let findings =
+    List.concat_map
+      (fun (file, structure) -> lint_structure ?rules ~env ~file structure)
+      parsed
+  in
+  (List.sort Finding.compare (errors @ findings), env)
+
+let lint_paths ?rules paths = fst (lint_paths_env ?rules paths)
 
 let filter_allowed allowlist findings =
   List.filter (fun finding -> not (Allowlist.matches allowlist finding)) findings

@@ -1,14 +1,17 @@
-(* The rule interface and the small AST toolbox every rule shares.
+(* The rule interface.  The AST toolbox the rules share lives in Ast_util
+   (re-exported here so rule code reads [Rule.applied_path] as before); the
+   interprocedural context a rule may consult lives in Summary.
 
    Version-portability note: rules pattern-match only Parsetree constructors
    that are stable across the OCaml versions in CI (5.1/5.2) — identifiers,
    applications, constructors, let/sequence/tuple/record/field/if/match/try/
-   constraint — and always carry a wildcard fallback.  In particular nothing
-   matches the lambda constructors (Pexp_fun changed shape in 5.2); walkers
-   that must stop at lambdas do so via their catch-all case. *)
+   constraint — and always carry a wildcard fallback.  Lambda destructuring,
+   the one shape that changed in 5.2, is confined to the version-selected
+   Lambda module used by the Summary layer. *)
 
 type ctx = {
   file : string;  (** path as reported in findings *)
+  env : Summary.env;  (** interprocedural summaries for the whole lint run *)
   report : severity:Finding.severity -> loc:Location.t -> string -> unit;
       (** record one finding (the driver fills in the rule id) *)
 }
@@ -16,111 +19,18 @@ type ctx = {
 type t = {
   id : string;
   doc : string;  (** one-line summary, shown by [vmlint --rules] *)
+  example : string;  (** minimal firing program, shown by [vmlint --explain] *)
+  fix : string;  (** the idiomatic fix for [example] *)
   check : ctx -> Parsetree.structure -> unit;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Longident / location helpers                                        *)
-(* ------------------------------------------------------------------ *)
+(* Re-exports: the shared AST toolbox. *)
 
-let path_of_longident lid = String.concat "." (Longident.flatten lid)
-
-let position (loc : Location.t) =
-  let p = loc.Location.loc_start in
-  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
-
-(* ------------------------------------------------------------------ *)
-(* Expression helpers                                                  *)
-(* ------------------------------------------------------------------ *)
-
-open Parsetree
-
-(* The root identifier of an access path, reading through record projections
-   and applications: [t.meter] roots at [t]; [(meter env)] roots at [env]
-   (the first unlabelled argument — the receiver in this codebase's
-   convention); [Globals.meter] roots at the module path itself. *)
-let rec root_ident expr =
-  match expr.pexp_desc with
-  | Pexp_ident { txt = Longident.Lident name; _ } -> Some (`Local name)
-  | Pexp_ident { txt; _ } -> Some (`Qualified (path_of_longident txt))
-  | Pexp_field (inner, _) -> root_ident inner
-  | Pexp_constraint (inner, _) -> root_ident inner
-  | Pexp_apply (_, args) -> (
-      match
-        List.find_opt (fun (label, _) -> label = Asttypes.Nolabel) args
-      with
-      | Some (_, arg) -> root_ident arg
-      | None -> None)
-  | _ -> None
-
-(* The name an applied function resolves to, if it is a plain identifier. *)
-let applied_path expr =
-  match expr.pexp_desc with
-  | Pexp_ident { txt; _ } -> Some (path_of_longident txt)
-  | _ -> None
-
-let unlabelled args =
-  List.filter_map
-    (fun (label, arg) -> if label = Asttypes.Nolabel then Some arg else None)
-    args
-
-(* Does any sub-expression satisfy [p]?  Full traversal via Ast_iterator, so
-   it sees through every construct of the running compiler's Parsetree. *)
-let expr_contains p expr =
-  let found = ref false in
-  let iterator =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun iter e ->
-          if p e then found := true;
-          if not !found then Ast_iterator.default_iterator.expr iter e);
-    }
-  in
-  iterator.expr iterator expr;
-  !found
-
-(* Toplevel value names bound by [let] at the structure's outermost layer
-   (simple variable patterns only, read through constraints/aliases). *)
-let toplevel_value_names structure =
-  let names = ref [] in
-  let rec pattern_names pat =
-    match pat.ppat_desc with
-    | Ppat_var { txt; _ } -> names := txt :: !names
-    | Ppat_alias (inner, { txt; _ }) ->
-        names := txt :: !names;
-        pattern_names inner
-    | Ppat_constraint (inner, _) -> pattern_names inner
-    | Ppat_tuple pats -> List.iter pattern_names pats
-    | _ -> ()
-  in
-  List.iter
-    (fun item ->
-      match item.pstr_desc with
-      | Pstr_value (_, bindings) ->
-          List.iter (fun vb -> pattern_names vb.pvb_pat) bindings
-      | _ -> ())
-    structure;
-  !names
-
-(* Names of record fields declared [mutable] anywhere in this file. *)
-let mutable_field_names structure =
-  let fields = ref [] in
-  List.iter
-    (fun item ->
-      match item.pstr_desc with
-      | Pstr_type (_, decls) ->
-          List.iter
-            (fun decl ->
-              match decl.ptype_kind with
-              | Ptype_record labels ->
-                  List.iter
-                    (fun label ->
-                      if label.pld_mutable = Asttypes.Mutable then
-                        fields := label.pld_name.txt :: !fields)
-                    labels
-              | _ -> ())
-            decls
-      | _ -> ())
-    structure;
-  !fields
+let path_of_longident = Ast_util.path_of_longident
+let position = Ast_util.position
+let root_ident = Ast_util.root_ident
+let applied_path = Ast_util.applied_path
+let unlabelled = Ast_util.unlabelled
+let expr_contains = Ast_util.expr_contains
+let toplevel_value_names = Ast_util.toplevel_value_names
+let mutable_field_names = Ast_util.mutable_field_names

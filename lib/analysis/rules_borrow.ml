@@ -1,0 +1,581 @@
+(* Borrow and domain-capture rules D8-D10: the consumers of the
+   interprocedural summaries (Summary / Callgraph, DESIGN §13).
+
+   D8  borrow discipline — a borrowed Tuple_view.t cursor must not outlive
+       its scan callback, including escapes through callees up to the
+       summary fixpoint.
+   D9  no mutation while borrowed — inside a scan callback (and its callees)
+       nothing may mutate the scanned storage or drive buffer-pool traffic.
+   D10 domain-capture races — no mutable value reaches a Domain.spawn
+       closure unless it is on the sanctioned-capture list. *)
+
+open Parsetree
+
+let scope_of ctx structure =
+  Callgraph.scope ~file:ctx.Rule.file
+    ~universe:(Summary.universe ctx.Rule.env)
+    structure
+
+(* ------------------------------------------------------------------ *)
+(* D8: borrow discipline for zero-copy cursors                          *)
+(* ------------------------------------------------------------------ *)
+
+let d8 =
+  {
+    Rule.id = "D8";
+    doc =
+      "borrow discipline: a Tuple_view.t received by a scan callback must \
+       not be stored, returned, or captured by an outliving closure — \
+       including escapes through callees (summary fixpoint); box at the \
+       materialize/project boundary instead";
+    example =
+      "let scan base out =\n\
+      \  Btree.iter_views_unmetered base (fun v -> out := v :: !out)";
+    fix =
+      "let scan base out =\n\
+      \  Btree.iter_views_unmetered base (fun v ->\n\
+      \      out := Tuple_view.materialize v :: !out)";
+    check =
+      (fun ctx structure ->
+        let env = ctx.Rule.env in
+        let scope = scope_of ctx structure in
+        let modname = Callgraph.module_of_file ctx.Rule.file in
+        let report ~loc message =
+          ctx.Rule.report ~severity:Finding.Error ~loc message
+        in
+        let fns = Callgraph.functions_of ~modname structure in
+        let fn_names = List.map (fun fn -> fn.Callgraph.fn_name) fns in
+        List.iter
+          (fun fn ->
+            match Summary.find env fn.Callgraph.fn_key with
+            | Some info -> ignore (Summary.analyze ~report env scope fn info)
+            | None -> ())
+          fns;
+        (* Toplevel code that is not a summarized function: bare evals and
+           non-lambda lets still contain lambdas worth checking. *)
+        List.iter
+          (fun item ->
+            match item.pstr_desc with
+            | Pstr_eval (expr, _) -> Summary.check_expr ~report env scope expr
+            | Pstr_value (_, bindings) ->
+                List.iter
+                  (fun vb ->
+                    let is_fn =
+                      match vb.pvb_pat.ppat_desc with
+                      | Ppat_var { txt; _ } -> List.mem txt fn_names
+                      | _ -> false
+                    in
+                    if not is_fn then
+                      Summary.check_expr ~report env scope vb.pvb_expr)
+                  bindings
+            | _ -> ())
+          structure);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* D9: no storage mutation while a cursor is borrowed                   *)
+(* ------------------------------------------------------------------ *)
+
+let storage_hit scope env path =
+  match Summary.canon scope path with
+  | Some (m, f) when List.mem (m ^ "." ^ f) Summary.storage_roots ->
+      Some [ m ^ "." ^ f ]
+  | _ -> (
+      match Callgraph.resolve scope path with
+      | `Fn key -> (
+          match Summary.find env key with
+          | Some info -> (
+              match info.Summary.i_storage with
+              | Some chain -> Some (info.Summary.i_key :: chain)
+              | None -> None)
+          | None -> None)
+      | _ -> None)
+
+let is_cursor_iterator scope path =
+  match Summary.canon scope path with
+  | Some (m, f) -> List.mem (m ^ "." ^ f) Summary.cursor_iterators
+  | None -> false
+
+let d9 =
+  {
+    Rule.id = "D9";
+    doc =
+      "no mutation while borrowed: inside a scan callback (and its callees) \
+       nothing may mutate the scanned storage (Flat writes, Heap_file \
+       insert/delete) or drive Buffer_pool traffic that may evict the page \
+       under the live cursor";
+    example =
+      "let purge heap rows =\n\
+      \  Heap_file.scan_views heap (fun v ->\n\
+      \      if Tuple_view.get_int v 0 = 0 then Heap_file.delete heap rows)";
+    fix =
+      "let purge heap rows =\n\
+      \  let doomed = ref [] in\n\
+      \  Heap_file.scan_views heap (fun v ->\n\
+      \      if Tuple_view.get_int v 0 = 0 then\n\
+      \        doomed := Tuple_view.tid v :: !doomed);\n\
+      \  List.iter (fun tid -> Heap_file.delete heap tid) !doomed";
+    check =
+      (fun ctx structure ->
+        let env = ctx.Rule.env in
+        let scope = scope_of ctx structure in
+        let report_hit head ~loc chain =
+          let is_pool =
+            match chain with
+            | [ root ] -> String.length root >= 11 && String.sub root 0 11 = "Buffer_pool"
+            | _ -> false
+          in
+          let what =
+            match chain with
+            | [ root ] ->
+                if is_pool then
+                  Printf.sprintf
+                    "%s triggers (modeled) buffer-pool traffic that may evict \
+                     the page under the live cursor"
+                    root
+                else Printf.sprintf "%s mutates the scanned storage" root
+            | _ ->
+                Printf.sprintf
+                  "this call reaches a storage mutator (%s)"
+                  (String.concat " -> " chain)
+          in
+          ctx.Rule.report ~severity:Finding.Error ~loc
+            (Printf.sprintf
+               "%s while a borrowed cursor from %s is live: collect boxed \
+                survivors (or tids) during the scan and mutate/probe after it"
+               what head)
+        in
+        (* Every mutating application under a scan callback's body. *)
+        let check_callback head callback =
+          let visit e =
+            match e.pexp_desc with
+            | Pexp_apply (f, _) -> (
+                match Ast_util.applied_path f with
+                | Some path -> (
+                    match storage_hit scope env path with
+                    | Some chain -> report_hit head ~loc:e.pexp_loc chain
+                    | None -> ())
+                | None -> ())
+            | _ -> ()
+          in
+          let iterator =
+            {
+              Ast_iterator.default_iterator with
+              expr =
+                (fun iter e ->
+                  visit e;
+                  Ast_iterator.default_iterator.expr iter e);
+            }
+          in
+          iterator.expr iterator callback
+        in
+        let visit e =
+          match e.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match Ast_util.applied_path f with
+              | Some head when is_cursor_iterator scope head ->
+                  List.iter
+                    (fun arg ->
+                      if Lambda.is_lambda arg then check_callback head arg
+                      else
+                        (* A named function passed as the callback: its own
+                           summary carries any storage chain. *)
+                        match Ast_util.applied_path arg with
+                        | Some path -> (
+                            match storage_hit scope env path with
+                            | Some chain ->
+                                report_hit head ~loc:arg.pexp_loc chain
+                            | None -> ())
+                        | None -> ())
+                    (Ast_util.unlabelled args)
+              | _ -> ())
+          | _ -> ()
+        in
+        let iterator =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun iter e ->
+                visit e;
+                Ast_iterator.default_iterator.expr iter e);
+          }
+        in
+        iterator.structure iterator structure);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* D10: domain-capture races                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Sset = Callgraph.Sset
+
+(* Free value names of an expression: every unqualified identifier
+   occurrence minus every name bound by any pattern inside it (lambda
+   parameters, lets, match cases).  Over-approximates binders (a capture
+   shadow-reused inside is excluded), which errs toward silence. *)
+let free_names expr =
+  let idents = ref Sset.empty in
+  let bound = ref Sset.empty in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun iter e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident n; _ } ->
+              idents := Sset.add n !idents
+          | _ -> ());
+          Ast_iterator.default_iterator.expr iter e);
+      pat =
+        (fun iter p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } -> bound := Sset.add txt !bound
+          | Ppat_alias (_, { txt; _ }) -> bound := Sset.add txt !bound
+          | _ -> ());
+          Ast_iterator.default_iterator.pat iter p);
+    }
+  in
+  iterator.expr iterator expr;
+  Sset.diff !idents !bound
+
+(* Qualified identifiers [M.x] occurring under [expr], as (module, name). *)
+let qualified_idents expr =
+  let out = ref [] in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun iter e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match List.rev (Longident.flatten txt) with
+              | x :: m :: _ -> out := (m, x) :: !out
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr iter e);
+    }
+  in
+  iterator.expr iterator expr;
+  List.rev !out
+
+let array_constructors =
+  [
+    "Array.make";
+    "Array.init";
+    "Array.create_float";
+    "Array.of_list";
+    "Array.copy";
+    "Array.append";
+    "Array.map";
+    "Array.mapi";
+    "Array.sub";
+    "Bytes.create";
+    "Bytes.make";
+  ]
+
+let d10 =
+  {
+    Rule.id = "D10";
+    doc =
+      "domain-capture races: no mutable value (module-level or \
+       closure-captured) may reach a Domain.spawn closure unless its type \
+       is on the sanctioned-capture list (Mvcc.t, Flight.t, Sketch.t, \
+       Wallclock, Atomic.t)";
+    example =
+      "let f () =\n\
+      \  let tbl = Hashtbl.create 8 in\n\
+      \  Domain.spawn (fun () -> Hashtbl.add tbl \"k\" 1)";
+    fix =
+      "let f () =\n\
+      \  let n = Atomic.make 0 in\n\
+      \  Domain.spawn (fun () -> Atomic.incr n)";
+    check =
+      (fun ctx structure ->
+        let env = ctx.Rule.env in
+        let scope = scope_of ctx structure in
+        let toplevel = Ast_util.toplevel_value_names structure in
+        let self_module = Callgraph.module_of_file ctx.Rule.file in
+        (* --- pass A: collect per-name facts across the whole file ------ *)
+        (* local function definitions, for expanding [Domain.spawn worker]
+           and partial applications through let-bound helpers *)
+        let defs = Hashtbl.create 32 in
+        (* names bound to a mutable constructor / an array constructor *)
+        let mutable_bound = Hashtbl.create 16 in
+        let array_bound = Hashtbl.create 16 in
+        (* names bound to a sanctioned constructor *)
+        let sanctioned_bound = Hashtbl.create 16 in
+        (* names with write evidence (:=, setfield, container store, or a
+           resolved callee that mutates the matching parameter) *)
+        let written = Hashtbl.create 16 in
+        let note tbl name payload = Hashtbl.replace tbl name payload in
+        let root_written expr reason =
+          match Ast_util.root_ident expr with
+          | Some (`Local n) ->
+              if not (Hashtbl.mem written n) then note written n reason
+          | _ -> ()
+        in
+        let classify_binding name rhs =
+          match rhs.pexp_desc with
+          | Pexp_apply (head, _) -> (
+              match Ast_util.applied_path head with
+              | Some p when List.mem p Summary.sanctioned_constructors
+                            || (match Summary.canon scope p with
+                               | Some (m, _) ->
+                                   List.mem m Summary.sanctioned_modules
+                               | None -> false) ->
+                  note sanctioned_bound name ()
+              | Some p when List.mem p Summary.mutable_constructors ->
+                  note mutable_bound name p
+              | Some p when List.mem p array_constructors ->
+                  note array_bound name p
+              | _ -> ())
+          | _ -> ()
+        in
+        let collect e =
+          match e.pexp_desc with
+          | Pexp_let (_, vbs, _) ->
+              List.iter
+                (fun vb ->
+                  match vb.pvb_pat.ppat_desc with
+                  | Ppat_var { txt; _ } ->
+                      classify_binding txt vb.pvb_expr;
+                      if Lambda.is_lambda vb.pvb_expr then
+                        note defs txt vb.pvb_expr
+                  | _ -> ())
+                vbs
+          | Pexp_setfield (lhs, _, _) -> root_written lhs "a field is written"
+          | Pexp_apply (head, args) -> (
+              match Ast_util.applied_path head with
+              | Some ":=" -> (
+                  match Ast_util.unlabelled args with
+                  | lhs :: _ -> root_written lhs "assigned through :="
+                  | [] -> ())
+              | Some ("incr" | "decr") -> (
+                  match Ast_util.unlabelled args with
+                  | arg :: _ -> root_written arg "incr/decr'd"
+                  | [] -> ())
+              | Some path -> (
+                  let member =
+                    match Summary.canon scope path with
+                    | Some (m, f) -> m ^ "." ^ f
+                    | None -> path
+                  in
+                  if
+                    List.mem_assoc member Summary.store_models
+                    || List.mem member Summary.mutator_models
+                  then (
+                    match Ast_util.unlabelled args with
+                    | receiver :: _ ->
+                        root_written receiver
+                          (Printf.sprintf "mutated via %s" member)
+                    | [] -> ())
+                  else
+                    match Callgraph.resolve scope path with
+                    | `Fn key -> (
+                        match Summary.find env key with
+                        | Some info ->
+                            let matched, _ =
+                              Summary.match_args info.Summary.i_labels args
+                            in
+                            List.iter
+                              (fun (i, arg) ->
+                                if info.Summary.i_mutates.(i) then
+                                  root_written arg
+                                    (Printf.sprintf "mutated via %s"
+                                       info.Summary.i_key))
+                              matched
+                        | None -> ())
+                    | _ -> ())
+              | None -> ())
+          | _ -> ()
+        in
+        (* toplevel functions are expandable defs too *)
+        List.iter
+          (fun item ->
+            match item.pstr_desc with
+            | Pstr_value (_, vbs) ->
+                List.iter
+                  (fun vb ->
+                    match vb.pvb_pat.ppat_desc with
+                    | Ppat_var { txt; _ } ->
+                        classify_binding txt vb.pvb_expr;
+                        if Lambda.is_lambda vb.pvb_expr then
+                          note defs txt vb.pvb_expr
+                    | _ -> ())
+                  vbs
+            | _ -> ())
+          structure;
+        let collector =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun iter e ->
+                collect e;
+                Ast_iterator.default_iterator.expr iter e);
+          }
+        in
+        collector.structure collector structure;
+        (* --- pass B: each spawn site ----------------------------------- *)
+        (* transitively expand the spawned expression through local defs *)
+        let expansion arg =
+          let exprs = ref [ arg ] in
+          let visited = ref Sset.empty in
+          let frontier = ref (free_names arg) in
+          while not (Sset.is_empty !frontier) do
+            let next = ref Sset.empty in
+            Sset.iter
+              (fun n ->
+                if not (Sset.mem n !visited) then begin
+                  visited := Sset.add n !visited;
+                  match Hashtbl.find_opt defs n with
+                  | Some body ->
+                      exprs := body :: !exprs;
+                      next := Sset.union !next (free_names body)
+                  | None -> ()
+                end)
+              !frontier;
+            frontier := Sset.diff !next !visited
+          done;
+          (!exprs, !visited)
+        in
+        (* occurrences of [n] inside the closure: an occurrence is
+           sanctioned when it is an argument of a sanctioned-module call *)
+        let uses exprs =
+          let bare = Hashtbl.create 16 in
+          let sanctioned = Hashtbl.create 16 in
+          let bump tbl n =
+            let c = match Hashtbl.find_opt tbl n with Some c -> c | None -> 0 in
+            Hashtbl.replace tbl n (c + 1)
+          in
+          let rec visit_expr iter e =
+            match e.pexp_desc with
+            | Pexp_apply (head, args) ->
+                let head_sanctioned =
+                  match Ast_util.applied_path head with
+                  | Some p -> (
+                      match Summary.canon scope p with
+                      | Some (m, _) -> List.mem m Summary.sanctioned_modules
+                      | None -> false)
+                  | None -> false
+                in
+                if head_sanctioned then
+                  List.iter
+                    (fun (_, a) ->
+                      match a.pexp_desc with
+                      | Pexp_ident { txt = Longident.Lident n; _ } ->
+                          bump sanctioned n
+                      | _ -> visit_expr iter a)
+                    args
+                else Ast_iterator.default_iterator.expr iter e
+            | Pexp_ident { txt = Longident.Lident n; _ } -> bump bare n
+            | _ -> Ast_iterator.default_iterator.expr iter e
+          in
+          let iterator =
+            { Ast_iterator.default_iterator with expr = visit_expr }
+          in
+          List.iter (fun e -> iterator.expr iterator e) exprs;
+          (bare, sanctioned)
+        in
+        let report ~loc message =
+          ctx.Rule.report ~severity:Finding.Error ~loc message
+        in
+        let check_spawn ~loc arg =
+          let exprs, captured = expansion arg in
+          let bare, _sanctioned = uses exprs in
+          let bare_uses n =
+            match Hashtbl.find_opt bare n with Some c -> c | None -> 0
+          in
+          (* closure-captured locals *)
+          Sset.iter
+            (fun n ->
+              if not (List.mem n toplevel) && not (Hashtbl.mem sanctioned_bound n)
+              then
+                let evidence =
+                  match Hashtbl.find_opt mutable_bound n with
+                  | Some ctor -> Some (Printf.sprintf "bound to %s" ctor)
+                  | None -> (
+                      match
+                        (Hashtbl.find_opt array_bound n, Hashtbl.find_opt written n)
+                      with
+                      | Some ctor, Some reason ->
+                          Some (Printf.sprintf "bound to %s and %s" ctor reason)
+                      | None, Some reason -> Some reason
+                      | _, None -> None)
+                in
+                match evidence with
+                | Some why when bare_uses n > 0 ->
+                    report ~loc
+                      (Printf.sprintf
+                         "mutable value [%s] (%s) is captured by a \
+                          Domain.spawn closure: the spawned domain races the \
+                          owner — use a sanctioned capture (Mvcc.t, Flight.t, \
+                          Sketch.t, Wallclock, Atomic.t), move the state into \
+                          the closure, or hand it off explicitly (justify in \
+                          .vmlint)"
+                         n why)
+                | _ -> ())
+            (Sset.filter (fun n -> bare_uses n > 0) captured);
+          (* module-level mutable state reached from the closure *)
+          let seen = ref [] in
+          List.iter
+            (fun e ->
+              List.iter
+                (fun (m, x) ->
+                  let m =
+                    match List.assoc_opt m scope.Callgraph.aliases with
+                    | Some t -> t
+                    | None -> m
+                  in
+                  if
+                    Summary.is_mutable_global env ~modname:m ~name:x
+                    && not (List.mem (m, x) !seen)
+                  then begin
+                    seen := (m, x) :: !seen;
+                    report ~loc
+                      (Printf.sprintf
+                         "module-level mutable value [%s.%s] is reached from a \
+                          Domain.spawn closure: the spawned domain races every \
+                          other user — thread it through the closure's own \
+                          state or a sanctioned capture"
+                         m x)
+                  end)
+                (qualified_idents e))
+            exprs;
+          (* own-module toplevel mutable state captured by name *)
+          Sset.iter
+            (fun n ->
+              if
+                List.mem n toplevel
+                && Summary.is_mutable_global env ~modname:self_module ~name:n
+                && bare_uses n > 0
+              then
+                report ~loc
+                  (Printf.sprintf
+                     "module-level mutable value [%s] is reached from a \
+                      Domain.spawn closure: the spawned domain races every \
+                      other user"
+                     n))
+            captured
+        in
+        let visit e =
+          match e.pexp_desc with
+          | Pexp_apply (f, args)
+            when Ast_util.applied_path f = Some "Domain.spawn" -> (
+              match Ast_util.unlabelled args with
+              | arg :: _ -> check_spawn ~loc:e.pexp_loc arg
+              | [] -> ())
+          | _ -> ()
+        in
+        let iterator =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun iter e ->
+                visit e;
+                Ast_iterator.default_iterator.expr iter e);
+          }
+        in
+        iterator.structure iterator structure);
+  }
+
+let all = [ d8; d9; d10 ]

@@ -44,6 +44,11 @@ let d1 =
     doc =
       "no module-level mutable state (refs, hash tables, arrays, buffers) \
        outside an execution context";
+    example = "let counter = ref 0\nlet bump () = incr counter";
+    fix =
+      "type t = { mutable counter : int }\n\
+       let create () = { counter = 0 }\n\
+       let bump t = t.counter <- t.counter + 1";
     check =
       (fun ctx structure ->
         let mutable_fields = Rule.mutable_field_names structure in
@@ -141,6 +146,8 @@ let d2 =
     doc =
       "no ambient nondeterminism: Random.*, wall clocks, polymorphic \
        Hashtbl.hash (use the seeded Rng and canonical key strings)";
+    example = "let draw () = Random.int 10";
+    fix = "let draw rng = Rng.int rng 10   (* seeded, threaded via ctx *)";
     check =
       (fun ctx structure ->
         (* The one blessed wrapper around randomness. *)
@@ -210,6 +217,10 @@ let d3 =
     doc =
       "Hashtbl.iter/fold accumulating an ordered result (list/string) \
        without a canonical sort leaks hash order";
+    example = "let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []";
+    fix =
+      "let keys t =\n\
+      \  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])";
     check =
       (fun ctx structure ->
         let under_sort = ref false in

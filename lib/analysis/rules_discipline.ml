@@ -51,6 +51,10 @@ let d4 =
     doc =
       "polymorphic compare/=/List.mem on values with monomorphic comparators \
        (Tuple.equal, Value.compare, List.is_empty)";
+    example = "let sorted xs = List.sort compare xs\nlet empty xs = xs = []";
+    fix =
+      "let sorted xs = List.sort Value.compare xs\n\
+       let empty xs = List.is_empty xs";
     check =
       (fun ctx structure ->
         let file_defines_compare =
@@ -147,6 +151,10 @@ let d5 =
     doc =
       "meter/ctx discipline: Cost_meter charges must use a meter passed in \
        (ctx or env), never a module-level binding";
+    example =
+      "let meter = Cost_meter.create ()\n\
+       let read () = Cost_meter.charge_read meter";
+    fix = "let read ctx = Cost_meter.charge_read (Ctx.meter ctx)";
     check =
       (fun ctx structure ->
         let toplevel = Rule.toplevel_value_names structure in
@@ -259,6 +267,10 @@ let d6 =
       "registry-domain discipline: metrics/trace mutators must not appear \
        inside a Domain.spawn closure (report through flight rings/sketches, \
        merge post-join)";
+    example = "let f m = Domain.spawn (fun () -> Metrics.inc m 1.)";
+    fix =
+      "let f ring = Domain.spawn (fun () -> Flight.append ring ev)\n\
+       (* merge into the registry after Domain.join *)";
     check =
       (fun ctx structure ->
         let visit e =
@@ -363,6 +375,15 @@ let d7 =
        Tuple.project / Array.map / Tuple_view.materialize inside a cursor \
        iterator's per-row closure; box survivors at API boundaries \
        (allowlisted) and evaluate everything else off the cells";
+    example =
+      "let all base out =\n\
+      \  Btree.range_views base (fun v ->\n\
+      \      out := Tuple_view.materialize v :: !out)";
+    fix =
+      "let survivors base ~compiled out =\n\
+      \  Btree.range_views base (fun v ->\n\
+      \      if Predicate.eval_view compiled v then\n\
+      \        out := Tuple_view.materialize v :: !out)  (* boundary: allowlist *)";
     check =
       (fun ctx structure ->
         let in_scope =

@@ -250,13 +250,19 @@ let loopjoin env =
   in
   let answer (q : Strategy.query) =
     Cost_meter.with_category store.meter Cost_meter.Query (fun () ->
-        let out = ref [] in
+        (* Survivors are boxed during the scan and the R2 probes run after
+           it: probing Hash_file pulls pages through its buffer pool, which
+           must not happen under the live R1 cursor (vmlint D9). *)
+        let survivors = ref [] in
         Btree.range_views store.r1 ~lo:q.q_lo ~hi:q.q_hi (fun view ->
             Cost_meter.charge_predicate_test store.meter;
             if Predicate.eval_view compiled view then
-              List.iter
-                (fun v -> out := (v, 1) :: !out)
-                (probe_r2 store (Tuple_view.materialize view)));
+              survivors := Tuple_view.materialize view :: !survivors);
+        let out = ref [] in
+        List.iter
+          (fun left ->
+            List.iter (fun v -> out := (v, 1) :: !out) (probe_r2 store left))
+          (List.rev !survivors);
         Buffer_pool.invalidate (Btree.pool store.r1);
         Buffer_pool.invalidate (Hash_file.pool store.r2);
         List.rev !out)

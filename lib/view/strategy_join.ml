@@ -233,19 +233,25 @@ let qmod_loopjoin env =
   let compiled = Predicate.compile env.view.j_left env.view.j_left_pred in
   let answer_query (q : Strategy.query) =
     Cost_meter.with_category m Cost_meter.Query (fun () ->
-        let out = ref [] in
         (* Modified-query test straight off the cells; only joining survivors
-           are boxed (for the probe into R2). *)
+           are boxed, and the R2 probes run after the scan — probing
+           Hash_file pulls pages through its buffer pool, which must not
+           happen under the live base cursor (vmlint D9). *)
+        let survivors = ref [] in
         Btree.range_views base ~lo:q.q_lo ~hi:q.q_hi (fun v ->
             Cost_meter.charge_predicate_test m;
             if
               Predicate.eval_view compiled v
               && Tuple_view.compare_col v cluster_col q.q_lo >= 0
               && Tuple_view.compare_col v cluster_col q.q_hi <= 0
-            then
-              List.iter
-                (fun view_tuple -> out := (view_tuple, 1) :: !out)
-                (probe env r2 m (Tuple_view.materialize v)));
+            then survivors := Tuple_view.materialize v :: !survivors);
+        let out = ref [] in
+        List.iter
+          (fun left ->
+            List.iter
+              (fun view_tuple -> out := (view_tuple, 1) :: !out)
+              (probe env r2 m left))
+          (List.rev !survivors);
         Buffer_pool.invalidate (Btree.pool base);
         Buffer_pool.invalidate (Hash_file.pool r2);
         List.rev !out)

@@ -202,6 +202,146 @@ let test_d7_silent () =
     \      out := Tuple_view.materialize v :: !out)"
 
 (* ------------------------------------------------------------------ *)
+(* D8: borrow discipline for zero-copy cursors (interprocedural)       *)
+(* ------------------------------------------------------------------ *)
+
+let test_d8_fires () =
+  check_fires ~what:"cursor into a ref" ~rule:"D8"
+    "let scan base out =\n\
+    \  Btree.iter_views_unmetered base (fun v -> out := v :: !out)";
+  check_fires ~what:"cursor into a mutable field" ~rule:"D8"
+    "type s = { mutable last : Tuple_view.t option }\n\
+     let scan base s =\n\
+    \  Heap_file.scan_views base (fun v -> s.last <- Some v)";
+  check_fires ~what:"cursor captured by stored closure" ~rule:"D8"
+    "let scan base q =\n\
+    \  Btree.iter_views_unmetered base (fun v ->\n\
+    \      Queue.add (fun () -> Tuple_view.get v 0) q)";
+  (* The acceptance fixture: the cursor escapes through a helper two calls
+     deep — only the summary fixpoint can see it. *)
+  check_fires ~what:"escape two calls deep" ~rule:"D8"
+    "let save out v = out := v :: !out\n\
+     let relay out v = save out v\n\
+     let scan base out =\n\
+    \  Btree.iter_views_unmetered base (fun v -> relay out v)"
+
+let test_d8_silent () =
+  check_silent ~what:"boxed at the boundary"
+    "let scan base out =\n\
+    \  Btree.iter_views_unmetered base (fun v ->\n\
+    \      out := Tuple_view.materialize v :: !out)";
+  check_silent ~what:"fixed two-deep helper boxes first"
+    "let save out t = out := t :: !out\n\
+     let relay out t = save out t\n\
+     let scan base out =\n\
+    \  Btree.iter_views_unmetered base (fun v ->\n\
+    \      relay out (Tuple_view.materialize v))";
+  check_silent ~what:"compare/key reads never escape"
+    "let count base n lo =\n\
+    \  Btree.iter_views_unmetered base (fun v ->\n\
+    \      if Tuple_view.compare_col v 0 lo >= 0 then incr n)";
+  check_silent ~what:"helper that only reads the cursor"
+    "let wide v = Tuple_view.arity v > 4\n\
+     let count base n =\n\
+    \  Heap_file.scan_views base (fun v -> if wide v then incr n)"
+
+(* The summary fixpoint terminates on mutual recursion (the pass cap is a
+   backstop, not the convergence argument) and the converged summaries stay
+   precise: the mutually-recursive pair only boxes, so nothing fires. *)
+let test_d8_mutual_recursion_fixpoint () =
+  check_silent ~what:"mutually recursive helpers converge"
+    "let rec ping out k v =\n\
+    \  if Tuple_view.compare_col v 0 k >= 0 then pong out k v\n\
+    \  else out := Tuple_view.materialize v :: !out\n\
+     and pong out k v = ping out k v\n\
+     let scan base out k =\n\
+    \  Btree.iter_views_unmetered base (fun v -> ping out k v)";
+  check_fires ~what:"mutually recursive escape still found" ~rule:"D8"
+    "let rec ping out k v =\n\
+    \  if Tuple_view.compare_col v 0 k >= 0 then pong out k v\n\
+    \  else out := v :: !out\n\
+     and pong out k v = ping out k v\n\
+     let scan base out k =\n\
+    \  Btree.iter_views_unmetered base (fun v -> ping out k v)"
+
+(* ------------------------------------------------------------------ *)
+(* D9: no mutation while borrowed                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_d9_fires () =
+  check_fires ~what:"delete under live scan" ~rule:"D9"
+    "let purge heap =\n\
+    \  Heap_file.scan_views heap (fun v ->\n\
+    \      Heap_file.delete heap (Tuple_view.tid v))";
+  check_fires ~what:"pool traffic under live scan" ~rule:"D9"
+    "let f base pool page =\n\
+    \  Btree.iter_views_unmetered base (fun v ->\n\
+    \      ignore (Buffer_pool.read pool page))";
+  (* Interprocedural: the mutator hides behind a local helper. *)
+  check_fires ~what:"mutator behind a helper" ~rule:"D9"
+    "let drop heap tid = Heap_file.delete heap tid\n\
+     let purge heap =\n\
+    \  Heap_file.scan_views heap (fun v -> drop heap (Tuple_view.tid v))"
+
+let test_d9_silent () =
+  check_silent ~what:"collect tids, mutate after the scan"
+    "let purge heap =\n\
+    \  let doomed = ref [] in\n\
+    \  Heap_file.scan_views heap (fun v ->\n\
+    \      doomed := Tuple_view.tid v :: !doomed);\n\
+    \  List.iter (fun tid -> Heap_file.delete heap tid) !doomed";
+  check_silent ~what:"read-only helper under the scan"
+    "let keep v = Tuple_view.arity v > 2\n\
+     let count heap n =\n\
+    \  Heap_file.scan_views heap (fun v -> if keep v then incr n)"
+
+(* ------------------------------------------------------------------ *)
+(* D10: domain-capture races                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_d10_fires () =
+  (* The acceptance fixture: a Hashtbl captured by a spawned closure. *)
+  check_fires ~what:"Hashtbl capture" ~rule:"D10"
+    "let f () =\n\
+    \  let tbl = Hashtbl.create 16 in\n\
+    \  let d = Domain.spawn (fun () -> Hashtbl.add tbl 1 2) in\n\
+    \  Hashtbl.add tbl 3 4;\n\
+    \  Domain.join d";
+  check_fires ~what:"captured ref" ~rule:"D10"
+    "let f () =\n\
+    \  let hits = ref 0 in\n\
+    \  let d = Domain.spawn (fun () -> incr hits) in\n\
+    \  Domain.join d;\n\
+    \  !hits";
+  check_fires ~what:"capture through a local helper" ~rule:"D10"
+    "let f () =\n\
+    \  let q = Queue.create () in\n\
+    \  let work () = Queue.push 1 q in\n\
+    \  Domain.spawn work"
+
+let test_d10_silent () =
+  check_silent ~what:"sanctioned Atomic capture"
+    "let f () =\n\
+    \  let total = Atomic.make 0 in\n\
+    \  let d = Domain.spawn (fun () -> Atomic.set total 1) in\n\
+    \  Domain.join d;\n\
+    \  Atomic.get total";
+  check_silent ~what:"sanctioned Flight/Sketch captures"
+    "let f ev keys =\n\
+    \  let ring = Flight.create ~capacity:64 ~label:\"w\" () in\n\
+    \  let sk = Sketch.create ~capacity:32 () in\n\
+    \  Domain.spawn (fun () ->\n\
+    \      Flight.append ring ev;\n\
+    \      List.iter (Sketch.observe sk) keys)";
+  check_silent ~what:"state created inside the domain"
+    "let f () =\n\
+    \  Domain.spawn (fun () ->\n\
+    \      let tbl = Hashtbl.create 16 in\n\
+    \      Hashtbl.add tbl 1 2)";
+  check_silent ~what:"immutable capture"
+    "let f xs = Domain.spawn (fun () -> List.length xs)"
+
+(* ------------------------------------------------------------------ *)
 (* Infrastructure: parse errors, allowlist                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -261,6 +401,39 @@ let test_filter_allowed () =
   Alcotest.(check int) "all suppressed" 0
     (List.length (Driver.filter_allowed allowlist findings))
 
+let test_allowlist_unknown_rules () =
+  match Allowlist.of_string "D1 lib/a.ml fine\nD99 lib/b.ml typo'd rule id\n" with
+  | Ok allowlist ->
+      let bad = Allowlist.unknown_rules ~known:Driver.rule_ids allowlist in
+      Alcotest.(check int) "one unknown" 1 (List.length bad);
+      Alcotest.(check string) "the typo'd one" "D99" (List.hd bad).Allowlist.rule;
+      Alcotest.(check int) "current ids all known" 0
+        (List.length (Allowlist.unknown_rules ~known:Driver.rule_ids
+           (match Allowlist.of_string "D8 lib/a.ml x\nD10 lib/b.ml y\n" with
+           | Ok e -> e
+           | Error m -> Alcotest.failf "parse: %s" m)))
+  | Error message -> Alcotest.failf "allowlist parse: %s" message
+
+(* Every rule ships its own documentation: a doc line, a minimal firing
+   example, and a fix (the payload of [vmlint --explain]).  The example is
+   kept honest by linting it: it must fire its own rule. *)
+let test_rule_examples_fire () =
+  List.iter
+    (fun rule ->
+      let module Rule = Vmat_analysis.Rule in
+      Alcotest.(check bool)
+        (rule.Rule.id ^ " has doc") false (String.length rule.Rule.doc = 0);
+      Alcotest.(check bool)
+        (rule.Rule.id ^ " has fix") false (String.length rule.Rule.fix = 0);
+      let fired =
+        rules_fired (lint ~file:"lib/view/fixture.ml" rule.Rule.example)
+      in
+      if not (List.mem rule.Rule.id fired) then
+        Alcotest.failf "%s: its own --explain example does not fire it (got [%s])"
+          rule.Rule.id
+          (String.concat "; " fired))
+    Driver.all_rules
+
 let test_finding_format () =
   let f = finding "D1" "lib/x.ml" 3 in
   Alcotest.(check string) "human line" "lib/x.ml:3:0 · D1 · m [error]"
@@ -309,9 +482,19 @@ let suites =
           test_case "D6 silent" `Quick test_d6_silent;
           test_case "D7 fires" `Quick test_d7_fires;
           test_case "D7 silent" `Quick test_d7_silent;
+          test_case "D8 fires" `Quick test_d8_fires;
+          test_case "D8 silent" `Quick test_d8_silent;
+          test_case "D8 mutual-recursion fixpoint" `Quick
+            test_d8_mutual_recursion_fixpoint;
+          test_case "D9 fires" `Quick test_d9_fires;
+          test_case "D9 silent" `Quick test_d9_silent;
+          test_case "D10 fires" `Quick test_d10_fires;
+          test_case "D10 silent" `Quick test_d10_silent;
           test_case "parse error finding" `Quick test_parse_error;
           test_case "allowlist matching" `Quick test_allowlist_matching;
           test_case "allowlist unused + errors" `Quick test_allowlist_unused_and_errors;
+          test_case "allowlist unknown rules" `Quick test_allowlist_unknown_rules;
+          test_case "rule examples fire" `Quick test_rule_examples_fire;
           test_case "filter allowed" `Quick test_filter_allowed;
           test_case "finding format" `Quick test_finding_format;
           test_case "lint own tree" `Quick test_lint_own_tree;
