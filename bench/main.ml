@@ -1171,6 +1171,118 @@ let serving_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: shared-subexpression maintenance at 16/64/256 views          *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_bench () =
+  section "Fleet: shared maintenance + advisor vs isolated engines (DESIGN section 14)";
+  let metrics, recorder = bench_recorder () in
+  let sc x = max 1 (int_of_float (float_of_int x *. !scale)) in
+  let sizes = [ 16; 64; 256 ] in
+  let results =
+    List.map
+      (fun views ->
+        let opts =
+          {
+            Fleet_report.default_opts with
+            Fleet_report.ro_views = views;
+            ro_overlap = 0.5;
+            ro_zipf = 1.1;
+            ro_n_tuples = sc 2000;
+            ro_k = sc 200;
+            ro_l = 8;
+            ro_q = max 40 (sc 100);
+            ro_seed = 11;
+          }
+        in
+        (views, Fleet_report.run_comparison ?recorder opts))
+      sizes
+  in
+  print_table
+    ~headers:
+      [
+        "views";
+        "classes";
+        "groups";
+        "aliases";
+        "mat";
+        "promote";
+        "demote";
+        "shared ms/delta";
+        "isolated ms/delta";
+        "maint speedup";
+        "exact";
+      ]
+    (List.map
+       (fun (views, r) ->
+         [
+           string_of_int views;
+           string_of_int r.Fleet_report.r_classes;
+           string_of_int r.Fleet_report.r_groups;
+           string_of_int r.Fleet_report.r_aliases;
+           string_of_int r.Fleet_report.r_materialized;
+           string_of_int r.Fleet_report.r_promotions;
+           string_of_int r.Fleet_report.r_demotions;
+           Table.float_cell ~decimals:2 r.Fleet_report.r_shared_ms_per_delta;
+           Table.float_cell ~decimals:2 r.Fleet_report.r_isolated_ms_per_delta;
+           Table.float_cell ~decimals:2 r.Fleet_report.r_maint_speedup;
+           (if r.Fleet_report.r_match then "yes" else "NO");
+         ])
+       results);
+  let _, largest = List.nth results (List.length results - 1) in
+  let exact = List.for_all (fun (_, r) -> r.Fleet_report.r_match) results in
+  Printf.printf "equivalence: every answer and final content matches the isolated oracles %s\n"
+    (if exact then "[ok]" else "[NOT ok]");
+  Printf.printf
+    "acceptance: shared maintenance %.2fx cheaper than isolated at 256 views, 50%% overlap %s\n"
+    largest.Fleet_report.r_maint_speedup
+    (if largest.Fleet_report.r_maint_speedup >= 2. then "[ok, >= 2x]" else "[NOT ok, < 2x]");
+  if !json_enabled then
+    write_json "BENCH_fleet.json"
+      (j_obj
+         ([
+            ("scale", j_num !scale);
+            ( "workload",
+              j_obj
+                [
+                  ("overlap", j_num 0.5);
+                  ("zipf_s", j_num 1.1);
+                  ("n_tuples", j_int (sc 2000));
+                  ("k", j_int (sc 200));
+                  ("l", j_int 8);
+                  ("q", j_int (max 40 (sc 100)));
+                  ("seed", j_int 11);
+                ] );
+            ( "sizes",
+              j_arr
+                (List.map
+                   (fun (views, r) ->
+                     j_obj
+                       [
+                         ("views", j_int views);
+                         ("classes", j_int r.Fleet_report.r_classes);
+                         ("groups", j_int r.Fleet_report.r_groups);
+                         ("aliases", j_int r.Fleet_report.r_aliases);
+                         ("materialized", j_int r.Fleet_report.r_materialized);
+                         ("refreshes", j_int r.Fleet_report.r_refreshes);
+                         ("promotions", j_int r.Fleet_report.r_promotions);
+                         ("demotions", j_int r.Fleet_report.r_demotions);
+                         ("shared_maint_ms", j_num r.Fleet_report.r_shared_maint_ms);
+                         ("isolated_maint_ms", j_num r.Fleet_report.r_isolated_maint_ms);
+                         ("shared_total_ms", j_num r.Fleet_report.r_shared_total_ms);
+                         ("isolated_total_ms", j_num r.Fleet_report.r_isolated_total_ms);
+                         ("shared_ms_per_delta", j_num r.Fleet_report.r_shared_ms_per_delta);
+                         ("isolated_ms_per_delta", j_num r.Fleet_report.r_isolated_ms_per_delta);
+                         ("maint_speedup", j_num r.Fleet_report.r_maint_speedup);
+                         ("total_speedup", j_num r.Fleet_report.r_total_speedup);
+                         ("digest", j_str r.Fleet_report.r_digest);
+                         ("match", j_bool r.Fleet_report.r_match);
+                       ])
+                   results) );
+          ]
+         @ metrics_field metrics))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1348,6 +1460,7 @@ let sections =
     ("adaptive", adaptive_bench);
     ("durability", durability_bench);
     ("serving", serving_bench);
+    ("fleet", fleet_bench);
     ("yao", yao_table);
     ("csv", csv_export);
     ("bechamel", microbenchmarks);

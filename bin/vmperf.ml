@@ -1363,6 +1363,153 @@ let recover_cmd =
       const run $ params_term $ scale_term $ seed_term $ group_commit_term
       $ checkpoint_every_term $ strategy_term $ dir_term $ state_term)
 
+let fleet_cmd =
+  let views_term =
+    Arg.(value & opt int 64 & info [ "views" ] ~docv:"N" ~doc:"Number of views in the fleet.")
+  in
+  let overlap_term =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "overlap" ] ~docv:"FLOAT"
+          ~doc:"Fraction of views that alias an earlier definition exactly.")
+  in
+  let subsume_term =
+    Arg.(
+      value
+      & opt float 0.25
+      & info [ "subsume" ] ~docv:"FLOAT"
+          ~doc:"Probability a fresh definition tightens an earlier one's range.")
+  in
+  let hetero_term =
+    Arg.(
+      value
+      & opt float 0.2
+      & info [ "hetero" ] ~docv:"FLOAT"
+          ~doc:"Probability a definition clusters on amount instead of pval.")
+  in
+  let zipf_term =
+    Arg.(
+      value
+      & opt float 1.1
+      & info [ "zipf" ] ~docv:"S" ~doc:"Zipf exponent of the query popularity across views.")
+  in
+  let decide_term =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "decide-every" ] ~docv:"N" ~doc:"Fleet queries between advisor decision points.")
+  in
+  let no_advisor_term =
+    Arg.(
+      value
+      & flag
+      & info [ "no-advisor" ]
+          ~doc:"Disable promote/demote; every shared definition stays materialized.")
+  in
+  let no_check_term =
+    Arg.(
+      value
+      & flag
+      & info [ "no-check" ]
+          ~doc:
+            "Skip the per-query equivalence check against the isolated oracles (the \
+             isolated engines still run, for the cost comparison).")
+  in
+  let run views overlap subsume hetero zipf scale seed decide_every no_advisor no_check
+      metrics_file metrics_json_file =
+    let sc x = max 1 (int_of_float (float_of_int x *. scale)) in
+    let opts =
+      {
+        Fleet_report.default_opts with
+        Fleet_report.ro_views = views;
+        ro_overlap = overlap;
+        ro_subsume = subsume;
+        ro_hetero = hetero;
+        ro_zipf = zipf;
+        ro_n_tuples = sc 2000;
+        ro_k = sc 200;
+        ro_q = max 16 (sc 100);
+        ro_seed = seed;
+        ro_advisor =
+          (if no_advisor then None
+           else Some { Fleet_advisor.default_config with Fleet_advisor.decide_every });
+        ro_check = not no_check;
+      }
+    in
+    let recorder, flush =
+      make_recorder ~trace_jsonl_file:None ~trace_file:None ~metrics_file ~metrics_json_file
+    in
+    let r = Fleet_report.run_comparison ?recorder opts in
+    Printf.printf
+      "fleet of %d views (overlap %.2f, subsume %.2f, hetero %.2f, zipf %.1f, seed %d)\n"
+      views overlap subsume hetero zipf seed;
+    Printf.printf "workload: %d tuples, k=%d l=%d q=%d\n\n" opts.Fleet_report.ro_n_tuples
+      opts.Fleet_report.ro_k opts.Fleet_report.ro_l opts.Fleet_report.ro_q;
+    print_endline "view DAG:";
+    List.iter (fun line -> Printf.printf "  %s\n" line) r.Fleet_report.r_dag;
+    print_newline ();
+    print_endline
+      (Table.render
+         ~headers:[ "node"; "kind"; "members"; "parent"; "state"; "rows"; "queries"; "applied" ]
+         (List.map
+            (fun n ->
+              [
+                n.Fleet.ni_name;
+                n.Fleet.ni_kind;
+                string_of_int (List.length n.Fleet.ni_members);
+                Option.value n.Fleet.ni_parent ~default:"base";
+                (if n.Fleet.ni_materialized then "materialized" else "transient");
+                string_of_int n.Fleet.ni_rows;
+                string_of_int n.Fleet.ni_queries;
+                string_of_int n.Fleet.ni_applied;
+              ])
+            r.Fleet_report.r_nodes));
+    (match r.Fleet_report.r_events with
+    | [] -> print_endline "advisor: no promote/demote events"
+    | events ->
+        Printf.printf "advisor events (%d):\n" (List.length events);
+        List.iter
+          (fun e ->
+            Printf.printf "  after query %4d: %-7s %-20s score %+.1f\n" e.Fleet.ev_query
+              e.Fleet.ev_action e.Fleet.ev_node e.Fleet.ev_score)
+          events);
+    print_newline ();
+    Printf.printf "%d views -> %d classes (+%d aliases), %d groups, %d materialized at end\n"
+      r.Fleet_report.r_views r.Fleet_report.r_classes r.Fleet_report.r_aliases
+      r.Fleet_report.r_groups r.Fleet_report.r_materialized;
+    Printf.printf "refresh passes %d, promotions %d, demotions %d\n" r.Fleet_report.r_refreshes
+      r.Fleet_report.r_promotions r.Fleet_report.r_demotions;
+    Printf.printf "maintenance: shared %.0f ms vs isolated %.0f ms (%.2fx, %.2f vs %.2f ms/delta)\n"
+      r.Fleet_report.r_shared_maint_ms r.Fleet_report.r_isolated_maint_ms
+      r.Fleet_report.r_maint_speedup r.Fleet_report.r_shared_ms_per_delta
+      r.Fleet_report.r_isolated_ms_per_delta;
+    Printf.printf "total (excl. base): shared %.0f ms vs isolated %.0f ms (%.2fx)\n"
+      r.Fleet_report.r_shared_total_ms r.Fleet_report.r_isolated_total_ms
+      r.Fleet_report.r_total_speedup;
+    Printf.printf "digest %s\n" r.Fleet_report.r_digest;
+    flush ();
+    if not r.Fleet_report.r_match then begin
+      print_endline "fleet: MISMATCH against the isolated oracles";
+      exit 1
+    end;
+    Printf.printf "fleet: ok (%s, %.2fx maintenance speedup)\n"
+      (if opts.Fleet_report.ro_check then "verified against isolated oracles"
+       else "checks skipped")
+      r.Fleet_report.r_maint_speedup
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run a multi-view fleet (shared-subexpression DAG + online materialization \
+          advisor) against isolated per-view engines on one Zipf-addressed stream: \
+          print the DAG, advisor events and the cost comparison, verifying every \
+          answer is value-identical (exit 1 on divergence).")
+    Term.(
+      const run $ views_term $ overlap_term $ subsume_term $ hetero_term $ zipf_term
+      $ scale_term $ seed_term $ decide_term $ no_advisor_term $ no_check_term
+      $ metrics_term $ metrics_json_term)
+
 let () =
   let doc = "cost analysis and simulation of view materialization strategies (Hanson, SIGMOD 1987)" in
   let info = Cmd.info "vmperf" ~version:"1.0.0" ~doc in
@@ -1372,6 +1519,7 @@ let () =
          [
            params_cmd; costs_cmd; simulate_cmd; advise_cmd; regions_cmd; sweep_cmd;
            adapt_cmd; top_cmd; serve_cmd; shell_cmd; crash_test_cmd; recover_cmd;
+           fleet_cmd;
          ])
   with
   | exception Sanitize.Violation message ->

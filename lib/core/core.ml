@@ -34,7 +34,12 @@
       benchmark axis (DESIGN §10);
     - {!Flight}, {!Sketch}, {!Dash} — serving-grade observability: per-domain
       flight-recorder rings, Space-Saving heavy-hitter workload sketches, and
-      the live text dashboard they feed (DESIGN §11). *)
+      the live text dashboard they feed (DESIGN §11);
+    - {!Fleet_ir}, {!Fleet_dag}, {!Fleet_advisor}, {!Fleet}, {!Fleet_spec},
+      {!Fleet_report} — the multi-view fleet: canonical
+      selection-projection IR, the shared-subexpression DAG, the online
+      materialization advisor, and the fleet engine built on all of them
+      (DESIGN §14). *)
 
 module Yao = Vmat_util.Yao
 module Combin = Vmat_util.Combin
@@ -115,3 +120,9 @@ module Mvcc = Vmat_wal.Mvcc
 module Snapshot = Vmat_serve.Snapshot
 module Serve = Vmat_serve.Server
 module Wallclock = Vmat_obs.Wallclock
+module Fleet = Vmat_fleet.Fleet
+module Fleet_ir = Vmat_fleet.Ir
+module Fleet_dag = Vmat_fleet.Dag
+module Fleet_advisor = Vmat_fleet.Advisor
+module Fleet_spec = Vmat_fleet.Spec
+module Fleet_report = Vmat_fleet.Report

@@ -1,0 +1,79 @@
+type config = {
+  decide_every : int;
+  min_evidence : float;
+  hysteresis : float;
+  horizon : float;
+  alpha : float;
+}
+
+let default_config =
+  { decide_every = 8; min_evidence = 1.; hysteresis = 0.15; horizon = 20.; alpha = 0.3 }
+
+type costs = { qc_mat : float; qc_trans : float; apply_mat : float; build : float }
+
+type decision = Promote | Demote | Stay
+
+type nodestat = {
+  mutable qw : int;  (** queries this window *)
+  mutable qr : float;  (** decayed queries per window *)
+  mutable ar : float;  (** decayed relevant deltas per window *)
+  mutable seen : float;  (** decayed total evidence *)
+}
+
+type t = { cfg : config; stats : nodestat array; mutable window_queries : int }
+
+let create ?(config = default_config) ~n_nodes () =
+  if n_nodes <= 0 then invalid_arg "Advisor.create: no nodes";
+  if config.decide_every < 1 then invalid_arg "Advisor.create: decide_every < 1";
+  if not (config.alpha > 0. && config.alpha <= 1.) then
+    invalid_arg "Advisor.create: alpha out of (0, 1]";
+  if config.hysteresis < 0. then invalid_arg "Advisor.create: negative hysteresis";
+  if config.horizon <= 0. then invalid_arg "Advisor.create: non-positive horizon";
+  {
+    cfg = config;
+    stats = Array.init n_nodes (fun _ -> { qw = 0; qr = 0.; ar = 0.; seen = 0. });
+    window_queries = 0;
+  }
+
+let config t = t.cfg
+
+let note_query t node =
+  t.stats.(node).qw <- t.stats.(node).qw + 1;
+  t.window_queries <- t.window_queries + 1
+
+let decision_due t = t.window_queries >= t.cfg.decide_every
+
+let queries_in_window t = t.window_queries
+let node_query_rate t i = t.stats.(i).qr
+let node_delta_rate t i = t.stats.(i).ar
+
+let decide t ~materialized ~applied ~costs_of =
+  let a = t.cfg.alpha in
+  let verdicts =
+    Array.to_list
+      (Array.mapi
+         (fun i st ->
+           let aw = applied i in
+           st.qr <- (a *. float_of_int st.qw) +. ((1. -. a) *. st.qr);
+           st.ar <- (a *. float_of_int aw) +. ((1. -. a) *. st.ar);
+           st.seen <- st.qr +. st.ar;
+           st.qw <- 0;
+           let c = costs_of i in
+           (* Per-window benefit of holding the node materialized. *)
+           let score = (st.qr *. (c.qc_trans -. c.qc_mat)) -. (st.ar *. c.apply_mat) in
+           let decision =
+             if st.seen < t.cfg.min_evidence then Stay
+             else if materialized i then begin
+               let margin = t.cfg.hysteresis *. ((st.qr *. c.qc_mat) +. (st.ar *. c.apply_mat)) in
+               if score < -.margin then Demote else Stay
+             end
+             else begin
+               let margin = t.cfg.hysteresis *. st.qr *. c.qc_trans in
+               if score > margin && score *. t.cfg.horizon >= c.build then Promote else Stay
+             end
+           in
+           (i, decision, score))
+         t.stats)
+  in
+  t.window_queries <- 0;
+  verdicts

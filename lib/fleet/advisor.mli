@@ -1,0 +1,68 @@
+(** Online materialization advisor for a fleet DAG (DESIGN §14.3).
+
+    Each DAG node is either {e materialized} (owns stored state, pays
+    maintenance I/O per relevant delta, answers member queries cheaply) or
+    {e transient} (free to maintain, answers by scanning its nearest
+    materialized ancestor).  The advisor keeps exponentially-decayed
+    per-node query and delta rates — the same estimator family as
+    [Wstats] — and at every decision point scores the per-window benefit of
+    being materialized:
+
+    [score = qr·(q_trans − q_mat) − ar·apply_mat]
+
+    where [qr]/[ar] are the decayed per-window query/relevant-delta rates
+    and the costs are the engine's modeled estimates.  A transient node is
+    promoted when the score clears a hysteresis margin {e and} the one-time
+    build cost amortizes within [horizon] windows; a materialized node is
+    demoted when the score is negative past the same margin.  Hysteresis +
+    a minimum-evidence floor (the [Controller]'s flap guards) keep the
+    advisor from oscillating on noisy workloads. *)
+
+type config = {
+  decide_every : int;  (** fleet queries between decision points *)
+  min_evidence : float;  (** decayed per-node ops required before acting *)
+  hysteresis : float;  (** relative margin a switch must clear *)
+  horizon : float;  (** windows over which a build cost must amortize *)
+  alpha : float;  (** decay: weight of the newest window *)
+}
+
+val default_config : config
+(** [{ decide_every = 8; min_evidence = 1.; hysteresis = 0.15;
+      horizon = 20.; alpha = 0.3 }] *)
+
+type costs = {
+  qc_mat : float;  (** modeled cost of one member query if materialized *)
+  qc_trans : float;  (** modeled cost of one member query if transient *)
+  apply_mat : float;  (** modeled cost per relevant delta if materialized *)
+  build : float;  (** one-time cost of materializing now *)
+}
+
+type decision = Promote | Demote | Stay
+
+type t
+
+val create : ?config:config -> n_nodes:int -> unit -> t
+(** @raise Invalid_argument on a non-positive node count or invalid config. *)
+
+val config : t -> config
+
+val note_query : t -> int -> unit
+(** Record one query answered by the given node. *)
+
+val decision_due : t -> bool
+(** [decide_every] queries have accrued since the last {!decide}. *)
+
+val decide :
+  t ->
+  materialized:(int -> bool) ->
+  applied:(int -> int) ->
+  costs_of:(int -> costs) ->
+  (int * decision * float) list
+(** Close the window: fold the window's per-node query counts and the
+    engine-reported relevant-delta counts ([applied]) into the decayed
+    rates, and return one [(node, decision, score)] verdict per node.
+    Deterministic: verdicts are in node order. *)
+
+val queries_in_window : t -> int
+val node_query_rate : t -> int -> float
+val node_delta_rate : t -> int -> float

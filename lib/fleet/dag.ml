@@ -1,0 +1,262 @@
+open Vmat_storage
+module View_def = Vmat_view.View_def
+module Strategy = Vmat_view.Strategy
+module Predicate = Vmat_relalg.Predicate
+
+type kind = Class | Group
+
+type node = {
+  nd_id : int;
+  nd_name : string;
+  nd_kind : kind;
+  nd_def : View_def.sp;
+  nd_norm : Ir.t;
+  nd_members : string list;
+  nd_parent : int option;
+  nd_children : int list;
+}
+
+type t = {
+  dag_base : Schema.t;
+  dag_nodes : node array;
+  dag_view_node : (string * int) list;
+  dag_classes : int;
+  dag_groups : int;
+  dag_aliases : int;
+}
+
+let validate ~base views =
+  if List.is_empty views then invalid_arg "Dag.build: no views";
+  let names = List.map (fun (v : View_def.sp) -> v.sp_name) views in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Dag.build: duplicate view names";
+  List.iter
+    (fun (v : View_def.sp) ->
+      if not (String.equal (Schema.name v.sp_base) (Schema.name base)) then
+        invalid_arg ("Dag.build: view " ^ v.sp_name ^ " is over another schema"))
+    views
+
+(* Equivalence classes in first-seen order: (signature, representative def,
+   member names in definition order). *)
+let classes_of views =
+  List.fold_left
+    (fun acc (v : View_def.sp) ->
+      let sg = Ir.signature v in
+      let rec add = function
+        | [] -> [ (sg, v, [ v.sp_name ]) ]
+        | (sg', rep, members) :: rest when String.equal sg sg' ->
+            (sg', rep, members @ [ v.sp_name ]) :: rest
+        | c :: rest -> c :: add rest
+      in
+      add acc)
+    [] views
+
+let mem_int x xs = List.exists (fun y -> y = x) xs
+
+(* Can a transient [child] class answer its queries from [parent]'s stored
+   rows?  Every projected child column and every column the child predicate
+   reads must appear in the parent's projection. *)
+let projection_compatible ~(parent : View_def.sp) ~(child : View_def.sp) =
+  let pcols = Array.to_list parent.sp_positions in
+  Array.for_all (fun c -> mem_int c pcols) child.sp_positions
+  && List.for_all (fun c -> mem_int c pcols) (Predicate.columns_read child.sp_pred)
+
+let cluster_base_col (v : View_def.sp) = v.sp_positions.(v.sp_cluster_out)
+
+let build ~base views =
+  validate ~base views;
+  let classes = classes_of views in
+  let cls = Array.of_list classes in
+  let n_classes = Array.length cls in
+  let norm = Array.map (fun (_, rep, _) -> Ir.normalize (rep : View_def.sp).sp_pred) cls in
+  (* Class → class subsumption parent: the tightest provable container with
+     a compatible projection.  Mutual (region-equal) pairs are broken by
+     index order so the relation stays acyclic. *)
+  let class_parent =
+    Array.init n_classes (fun i ->
+        let _, rep_i, _ = cls.(i) in
+        let candidate j =
+          j <> i
+          &&
+          let _, rep_j, _ = cls.(j) in
+          Ir.subsumes norm.(j) norm.(i)
+          && ((not (Ir.subsumes norm.(i) norm.(j))) || j < i)
+          && projection_compatible ~parent:rep_j ~child:rep_i
+        in
+        let cands = List.filter candidate (List.init n_classes Fun.id) in
+        match cands with
+        | [] -> None
+        | _ ->
+            (* Tightest candidate: contained in every other candidate. *)
+            let tight =
+              List.find_opt
+                (fun j -> List.for_all (fun k -> Ir.subsumes norm.(k) norm.(j)) cands)
+                cands
+            in
+            Some (match tight with Some j -> j | None -> List.hd cands))
+  in
+  (* Group nodes: base-parented classes sharing a clustering column they all
+     constrain get a synthetic hull-selection parent on that column. *)
+  let base_cols = List.map (fun (c : Schema.column) -> c.name) (Schema.columns base) in
+  let group_candidates =
+    List.filter (fun i -> Option.is_none class_parent.(i)) (List.init n_classes Fun.id)
+  in
+  let cols_in_play =
+    List.sort_uniq Int.compare
+      (List.map (fun i -> let _, rep, _ = cls.(i) in cluster_base_col rep) group_candidates)
+  in
+  let groups =
+    List.filter_map
+      (fun col ->
+        let members =
+          List.filter
+            (fun i ->
+              let _, rep, _ = cls.(i) in
+              cluster_base_col rep = col && Option.is_some (Ir.interval_on norm.(i) ~col))
+            group_candidates
+        in
+        if List.length members < 2 then None
+        else
+          match Ir.hull_on (List.map (fun i -> norm.(i)) members) ~col with
+          | None -> None
+          | Some (lo, hi) ->
+              if Option.is_none lo && Option.is_none hi then None
+              else
+                let lo = Option.value lo ~default:Strategy.min_sentinel in
+                let hi = Option.value hi ~default:Strategy.max_sentinel in
+                let colname = Schema.column_name base col in
+                let def =
+                  View_def.make_sp
+                    ~name:("group:" ^ colname)
+                    ~base
+                    ~pred:(Predicate.Between (col, lo, hi))
+                    ~project:base_cols ~cluster:colname
+                in
+                Some (def, members))
+      cols_in_play
+  in
+  let groups = Array.of_list groups in
+  let n_groups = Array.length groups in
+  let group_of_class =
+    Array.init n_classes (fun i ->
+        let rec find g =
+          if g >= n_groups then None
+          else
+            let _, members = groups.(g) in
+            if mem_int i members then Some g else find (g + 1)
+        in
+        find 0)
+  in
+  (* Temp node list: groups first, then classes; parents as temp refs. *)
+  let temp_parent_of_class i =
+    match class_parent.(i) with
+    | Some j -> `Class j
+    | None -> ( match group_of_class.(i) with Some g -> `Group g | None -> `Base)
+  in
+  let temp =
+    List.init n_groups (fun g ->
+        let def, _ = groups.(g) in
+        (`Group g, def, Ir.normalize def.View_def.sp_pred, Group, ([] : string list), `Base))
+    @ List.init n_classes (fun i ->
+          let _, rep, members = cls.(i) in
+          (`Class i, rep, norm.(i), Class, members, temp_parent_of_class i))
+  in
+  (* Topological emission: repeatedly emit nodes whose parent is emitted. *)
+  let emitted = ref [] (* (temp ref, final id), reversed *) in
+  let ref_equal a b =
+    match (a, b) with
+    | `Base, `Base -> true
+    | `Class i, `Class j -> i = j
+    | `Group i, `Group j -> i = j
+    | _ -> false
+  in
+  let final_id r =
+    List.fold_left
+      (fun acc (r', id) -> match acc with Some _ -> acc | None -> if ref_equal r r' then Some id else None)
+      None !emitted
+  in
+  let pending = ref temp in
+  let ordered = ref [] in
+  while not (List.is_empty !pending) do
+    let ready, rest =
+      List.partition
+        (fun (_, _, _, _, _, parent) ->
+          match parent with `Base -> true | (`Class _ | `Group _) as p -> Option.is_some (final_id p))
+        !pending
+    in
+    if List.is_empty ready then failwith "Dag.build: cycle in subsumption edges (bug)";
+    List.iter
+      (fun ((r, _, _, _, _, _) as node) ->
+        emitted := (r, List.length !emitted) :: !emitted;
+        ordered := node :: !ordered)
+      ready;
+    pending := rest
+  done;
+  (* !emitted grew alongside !ordered, so ids are dense and consistent. *)
+  let ordered = List.rev !ordered in
+  let nodes =
+    List.mapi
+      (fun id (r, (def : View_def.sp), nrm, kind, members, parent) ->
+        let name =
+          match kind with Group -> def.sp_name | Class -> "class:" ^ List.hd members
+        in
+        ignore r;
+        {
+          nd_id = id;
+          nd_name = name;
+          nd_kind = kind;
+          nd_def = def;
+          nd_norm = nrm;
+          nd_members = members;
+          nd_parent =
+            (match parent with
+            | `Base -> None
+            | (`Class _ | `Group _) as p -> final_id p);
+          nd_children = [];
+        })
+      ordered
+  in
+  let nodes = Array.of_list nodes in
+  Array.iteri
+    (fun id nd ->
+      match nd.nd_parent with
+      | None -> ()
+      | Some p -> nodes.(p) <- { (nodes.(p)) with nd_children = nodes.(p).nd_children @ [ id ] })
+    nodes;
+  let view_node =
+    List.concat_map
+      (fun nd -> List.map (fun m -> (m, nd.nd_id)) nd.nd_members)
+      (Array.to_list nodes)
+  in
+  {
+    dag_base = base;
+    dag_nodes = nodes;
+    dag_view_node = view_node;
+    dag_classes = n_classes;
+    dag_groups = n_groups;
+    dag_aliases = List.length views - n_classes;
+  }
+
+let node_of_view t view =
+  match List.assoc_opt view t.dag_view_node with
+  | Some id -> t.dag_nodes.(id)
+  | None -> raise Not_found
+
+let roots t =
+  List.filter_map
+    (fun nd -> if Option.is_none nd.nd_parent then Some nd.nd_id else None)
+    (Array.to_list t.dag_nodes)
+
+let describe t =
+  List.map
+    (fun nd ->
+      let kind = match nd.nd_kind with Class -> "class" | Group -> "group" in
+      let parent =
+        match nd.nd_parent with None -> "base" | Some p -> Printf.sprintf "#%d" p
+      in
+      let members =
+        match nd.nd_members with [] -> "-" | ms -> String.concat "," ms
+      in
+      Printf.sprintf "#%d %-5s %-18s parent=%-5s members=%-24s pred=%s" nd.nd_id kind
+        nd.nd_name parent members (Ir.render nd.nd_norm))
+    (Array.to_list t.dag_nodes)

@@ -1,0 +1,202 @@
+open Vmat_storage
+open Vmat_relalg
+
+type iv = { iv_col : int; iv_lo : Value.t option; iv_hi : Value.t option }
+
+type t = { n_sat : bool; n_ivs : iv list; n_residual : string list }
+
+let render_pred p = Format.asprintf "%a" Predicate.pp p
+
+(* Flatten the conjunct tree; [True] vanishes, everything else is kept. *)
+let rec conjuncts p acc =
+  match (p : Predicate.t) with
+  | And (a, b) -> conjuncts a (conjuncts b acc)
+  | True -> acc
+  | p -> p :: acc
+
+(* Interval reading of one conjunct, when it has one. *)
+let as_interval (p : Predicate.t) =
+  match p with
+  | Between (c, lo, hi) -> Some (c, Some lo, Some hi)
+  | Cmp (Eq, Column c, Const v) | Cmp (Eq, Const v, Column c) -> Some (c, Some v, Some v)
+  | Cmp (Le, Column c, Const v) | Cmp (Ge, Const v, Column c) -> Some (c, None, Some v)
+  | Cmp (Ge, Column c, Const v) | Cmp (Le, Const v, Column c) -> Some (c, Some v, None)
+  | _ -> None
+
+let max_lo a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (if Value.compare a b >= 0 then a else b)
+
+let min_hi a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (if Value.compare a b <= 0 then a else b)
+
+let empty_iv iv =
+  match (iv.iv_lo, iv.iv_hi) with
+  | Some lo, Some hi -> Value.compare lo hi > 0
+  | _ -> false
+
+let normalize p =
+  let cs = conjuncts p [] in
+  if List.exists (fun (c : Predicate.t) -> match c with False -> true | _ -> false) cs then
+    { n_sat = false; n_ivs = []; n_residual = [] }
+  else begin
+    let ivs = ref [] and residual = ref [] in
+    List.iter
+      (fun c ->
+        match as_interval c with
+        | Some (col, lo, hi) ->
+            let existing, rest = List.partition (fun iv -> iv.iv_col = col) !ivs in
+            let merged =
+              List.fold_left
+                (fun acc iv ->
+                  { acc with iv_lo = max_lo acc.iv_lo iv.iv_lo; iv_hi = min_hi acc.iv_hi iv.iv_hi })
+                { iv_col = col; iv_lo = lo; iv_hi = hi }
+                existing
+            in
+            ivs := merged :: rest
+        | None -> residual := render_pred c :: !residual)
+      cs;
+    let ivs = List.sort (fun a b -> Int.compare a.iv_col b.iv_col) !ivs in
+    if List.exists empty_iv ivs then { n_sat = false; n_ivs = []; n_residual = [] }
+    else { n_sat = true; n_ivs = ivs; n_residual = List.sort_uniq String.compare !residual }
+  end
+
+let satisfiable t = t.n_sat
+let intervals t = t.n_ivs
+let interval_on t ~col = List.find_opt (fun iv -> iv.iv_col = col) t.n_ivs
+let residual t = t.n_residual
+
+let bound_key = function None -> "*" | Some v -> Value.key_string v
+
+let render_iv iv =
+  Printf.sprintf "iv:%d:[%s,%s]" iv.iv_col (bound_key iv.iv_lo) (bound_key iv.iv_hi)
+
+let conjunct_keys t = List.map render_iv t.n_ivs @ t.n_residual
+
+let render t =
+  if not t.n_sat then "unsat" else String.concat " & " (conjunct_keys t)
+
+let equal a b =
+  Bool.equal a.n_sat b.n_sat
+  && List.equal String.equal (List.map render_iv a.n_ivs) (List.map render_iv b.n_ivs)
+  && List.equal String.equal a.n_residual b.n_residual
+
+(* [a ⊇ b] on one column: [a]'s bound must be no tighter than [b]'s. *)
+let iv_contains ~outer ~inner =
+  (match (outer.iv_lo, inner.iv_lo) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some a, Some b -> Value.compare a b <= 0)
+  &&
+  match (outer.iv_hi, inner.iv_hi) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some a, Some b -> Value.compare a b >= 0
+
+let subset_str xs ys = List.for_all (fun x -> List.exists (String.equal x) ys) xs
+
+let subsumes a b =
+  if not b.n_sat then true
+  else if not a.n_sat then false
+  else
+    List.for_all
+      (fun iv_a ->
+        match interval_on b ~col:iv_a.iv_col with
+        | None -> false
+        | Some iv_b -> iv_contains ~outer:iv_a ~inner:iv_b)
+      a.n_ivs
+    && subset_str a.n_residual b.n_residual
+
+let disjoint a b =
+  (not a.n_sat) || (not b.n_sat)
+  || List.exists
+       (fun iv_a ->
+         match interval_on b ~col:iv_a.iv_col with
+         | None -> false
+         | Some iv_b ->
+             empty_iv
+               {
+                 iv_col = iv_a.iv_col;
+                 iv_lo = max_lo iv_a.iv_lo iv_b.iv_lo;
+                 iv_hi = min_hi iv_a.iv_hi iv_b.iv_hi;
+               })
+       a.n_ivs
+
+type rel = Equivalent | Subsumes | Subsumed | Overlap | Disjoint
+
+let relation a b =
+  if equal a b then Equivalent
+  else if subsumes a b then Subsumes
+  else if subsumes b a then Subsumed
+  else if disjoint a b then Disjoint
+  else Overlap
+
+let common_conjuncts a b =
+  let kb = conjunct_keys b in
+  List.filter (fun k -> List.exists (String.equal k) kb) (conjunct_keys a)
+
+let hull_on norms ~col =
+  match norms with
+  | [] -> None
+  | _ ->
+      let rec go lo hi = function
+        | [] -> Some (lo, hi)
+        | n :: rest -> (
+            if not n.n_sat then go lo hi rest
+            else
+              match interval_on n ~col with
+              | None -> None
+              | Some iv ->
+                  let lo =
+                    match (lo, iv.iv_lo) with
+                    | None, _ | _, None -> None
+                    | Some a, Some b -> Some (if Value.compare a b <= 0 then a else b)
+                  in
+                  let hi =
+                    match (hi, iv.iv_hi) with
+                    | None, _ | _, None -> None
+                    | Some a, Some b -> Some (if Value.compare a b >= 0 then a else b)
+                  in
+                  go lo hi rest)
+      in
+      (* Seed the fold from the first satisfiable form so [None] bounds mean
+         "some member is unbounded", not "not seen yet". *)
+      let rec seed = function
+        | [] -> None
+        | n :: rest when not n.n_sat -> seed rest
+        | n :: rest -> (
+            match interval_on n ~col with
+            | None -> None
+            | Some iv -> go iv.iv_lo iv.iv_hi rest)
+      in
+      seed norms
+
+let signature (v : Vmat_view.View_def.sp) =
+  let positions = String.concat "," (List.map string_of_int (Array.to_list v.sp_positions)) in
+  Printf.sprintf "%s|%s|%s|%d"
+    (Schema.name v.sp_base)
+    (render (normalize v.sp_pred))
+    positions v.sp_cluster_out
+
+let remap_columns p ~f =
+  let open Predicate in
+  let operand = function
+    | Column c -> Option.map (fun c' -> Column c') (f c)
+    | Const v -> Some (Const v)
+  in
+  let rec go = function
+    | True -> Some True
+    | False -> Some False
+    | Cmp (c, a, b) -> (
+        match (operand a, operand b) with
+        | Some a', Some b' -> Some (Cmp (c, a', b'))
+        | _ -> None)
+    | Between (c, lo, hi) -> Option.map (fun c' -> Between (c', lo, hi)) (f c)
+    | And (a, b) -> ( match (go a, go b) with Some a', Some b' -> Some (And (a', b')) | _ -> None)
+    | Or (a, b) -> ( match (go a, go b) with Some a', Some b' -> Some (Or (a', b')) | _ -> None)
+    | Not a -> Option.map (fun a' -> Not a') (go a)
+  in
+  go p

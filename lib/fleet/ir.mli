@@ -1,0 +1,81 @@
+(** Canonical predicate/projection IR for fleets of selection-projection
+    views (DESIGN §14).
+
+    A view predicate is normalized into a {e per-column interval envelope}
+    (the conjuncts the index machinery understands: [Between], equality and
+    one-sided comparisons against constants) plus a canonical {e residual}
+    of the remaining conjuncts.  Two normal forms can then be compared
+    syntactically-but-canonically: reordered conjuncts, flipped operands and
+    redundant bounds all normalize away, so shared subexpressions across a
+    fleet — equivalent definitions, subsumed ranges, common selection
+    prefixes — become decidable with sound (conservative) answers.  The DAG
+    compiler ({!Dag}) builds equivalence classes and containment edges from
+    exactly these tests. *)
+
+open Vmat_storage
+open Vmat_relalg
+
+type iv = { iv_col : int; iv_lo : Value.t option; iv_hi : Value.t option }
+(** Closed (inclusive) interval constraint on one column; [None] means
+    unbounded on that side. *)
+
+type t
+(** A normal form: satisfiability flag, interval envelope (sorted by column,
+    at most one interval per column), canonical residual conjuncts. *)
+
+val normalize : Predicate.t -> t
+
+val satisfiable : t -> bool
+(** [false] only when the normal form is provably empty (a [False] conjunct
+    or an empty interval intersection); [true] is conservative. *)
+
+val intervals : t -> iv list
+(** The envelope, sorted by column. *)
+
+val interval_on : t -> col:int -> iv option
+
+val residual : t -> string list
+(** Canonical renderings of the non-interval conjuncts, sorted. *)
+
+val equal : t -> t -> bool
+(** Same envelope and same residual — the equivalence used for fleet
+    signature classes. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes a b] — the region of [a] provably contains the region of [b]:
+    every constraint of [a] is implied by [b]'s.  Sound, not complete
+    (residual conjuncts compare as syntactic sets). *)
+
+val disjoint : t -> t -> bool
+(** Provably disjoint: some column is constrained in both with an empty
+    intersection (or a side is unsatisfiable).  Sound, not complete. *)
+
+type rel = Equivalent | Subsumes | Subsumed | Overlap | Disjoint
+
+val relation : t -> t -> rel
+(** [relation a b]: [Subsumes] means [a ⊇ b]; [Overlap] is the residual
+    "can't prove anything stronger" case. *)
+
+val common_conjuncts : t -> t -> string list
+(** Canonical renderings of the conjuncts (intervals and residuals) present
+    in both normal forms — the shared selection prefix. *)
+
+val hull_on : t list -> col:int -> (Value.t option * Value.t option) option
+(** Smallest interval on [col] containing every normal form's constraint on
+    it: [None] when some form leaves [col] unconstrained (the hull would be
+    the whole key space) or the list is empty.  Used to derive shared
+    interior selection nodes clustered on a common column. *)
+
+val render : t -> string
+(** Injective canonical rendering (for signatures and debugging). *)
+
+val signature : Vmat_view.View_def.sp -> string
+(** Equivalence-class key of a view definition: base schema, canonical
+    predicate normal form, projection positions and clustering output
+    position.  The view {e name} deliberately does not participate, so
+    same-shaped views of different owners share one class. *)
+
+val remap_columns : Predicate.t -> f:(int -> int option) -> Predicate.t option
+(** Rewrite every column reference through [f]; [None] if any referenced
+    column has no image (the predicate cannot be evaluated in the target
+    row shape). *)

@@ -1,0 +1,82 @@
+open Vmat_storage
+open Vmat_util
+module View_def = Vmat_view.View_def
+module Strategy = Vmat_view.Strategy
+module Predicate = Vmat_relalg.Predicate
+
+type t = {
+  fs_base : Schema.t;
+  fs_views : View_def.sp list;
+  fs_distinct : int;
+  fs_envelopes : (float * float) array;
+}
+
+(* One distinct definition: predicate range [lo, hi] on [cluster]. *)
+type def = { d_cluster : string; d_lo : float; d_hi : float }
+
+let in_unit name x =
+  if not (x >= 0. && x <= 1.) then invalid_arg ("Spec.overlapping_fleet: " ^ name ^ " outside [0,1]")
+
+let overlapping_fleet ~rng ~base ~views ~overlap ?(subsume = 0.25) ?(hetero = 0.2)
+    ?(width = 0.15) () =
+  if views <= 0 then invalid_arg "Spec.overlapping_fleet: views <= 0";
+  in_unit "overlap" overlap;
+  in_unit "subsume" subsume;
+  in_unit "hetero" hetero;
+  in_unit "width" width;
+  let distinct = max 1 (views - int_of_float (Float.round (overlap *. float_of_int views))) in
+  let defs = Array.make distinct { d_cluster = "pval"; d_lo = 0.; d_hi = 1. } in
+  for j = 0 to distinct - 1 do
+    let tightened =
+      if j > 0 && Rng.float rng < subsume then begin
+        (* Tighten an earlier definition's range: a strict containment edge
+           on the same clustering column (projection is shared fleet-wide). *)
+        let parent = defs.(Rng.int rng j) in
+        let span = parent.d_hi -. parent.d_lo in
+        let lo = parent.d_lo +. (0.25 *. span *. Rng.float rng) in
+        let hi = parent.d_hi -. (0.25 *. span *. Rng.float rng) in
+        if hi > lo then Some { parent with d_lo = lo; d_hi = hi } else None
+      end
+      else None
+    in
+    defs.(j) <-
+      (match tightened with
+      | Some d -> d
+      | None ->
+          if Rng.float rng < hetero then begin
+            (* Cluster on amount (domain [0, 1000)). *)
+            let lo = Rng.float rng *. 600. in
+            let w = (width +. (Rng.float rng *. 0.15)) *. 1000. in
+            { d_cluster = "amount"; d_lo = lo; d_hi = lo +. w }
+          end
+          else begin
+            let lo = Rng.float rng *. 0.6 in
+            let w = width +. (Rng.float rng *. 0.15) in
+            { d_cluster = "pval"; d_lo = lo; d_hi = lo +. w }
+          end)
+  done;
+  let view_of v =
+    let d = defs.(v mod distinct) in
+    let col = Schema.column_index base d.d_cluster in
+    View_def.make_sp
+      ~name:(Printf.sprintf "v%d" v)
+      ~base
+      ~pred:(Predicate.Between (col, Value.Float d.d_lo, Value.Float d.d_hi))
+      ~project:[ "pval"; "amount" ] ~cluster:d.d_cluster
+  in
+  {
+    fs_base = base;
+    fs_views = List.init views view_of;
+    fs_distinct = distinct;
+    fs_envelopes =
+      Array.init views (fun v ->
+          let d = defs.(v mod distinct) in
+          (d.d_lo, d.d_hi));
+  }
+
+let query_of t ~fv rng i =
+  let lo, hi = t.fs_envelopes.(i) in
+  let span = hi -. lo in
+  let w = fv *. span in
+  let q_lo = lo +. (Rng.float rng *. (span -. w)) in
+  { Strategy.q_lo = Value.Float q_lo; q_hi = Value.Float (q_lo +. w) }

@@ -1,0 +1,41 @@
+(** Parameterized fleet generators: [n] selection-projection views over the
+    Model 1 base relation with a controlled amount of definition sharing.
+
+    [overlap] is the fraction of views that are exact duplicates of an
+    earlier definition (signature aliases); [subsume] is the probability
+    that a fresh definition tightens an earlier one's range (a subsumed-range
+    containment edge); [hetero] is the probability that a definition
+    clusters on [amount] instead of [pval] (exercising the mixed-cluster
+    base paths).  Everything is drawn from the caller's RNG, so fleets are
+    reproducible. *)
+
+open Vmat_storage
+open Vmat_util
+
+type t = {
+  fs_base : Schema.t;
+  fs_views : Vmat_view.View_def.sp list;  (** names ["v0"] … ["v{n-1}"] *)
+  fs_distinct : int;  (** distinct definitions among the views *)
+  fs_envelopes : (float * float) array;
+      (** per view, the numeric range its predicate allows on its
+          clustering column — the envelope queries are drawn within *)
+}
+
+val overlapping_fleet :
+  rng:Rng.t ->
+  base:Schema.t ->
+  views:int ->
+  overlap:float ->
+  ?subsume:float ->
+  ?hetero:float ->
+  ?width:float ->
+  unit ->
+  t
+(** [base] must be the Model 1 schema (columns [pval] and [amount] are
+    referenced by name).  Defaults: [subsume = 0.25], [hetero = 0.2],
+    [width = 0.15] (the base selectivity of a fresh [pval] definition).
+    @raise Invalid_argument on [views <= 0] or parameters outside [0, 1]. *)
+
+val query_of : t -> fv:float -> Rng.t -> int -> Vmat_view.Strategy.query
+(** Draw a clustered range query for view [i]: a subrange of width
+    [fv × (hi − lo)] uniform inside that view's envelope. *)

@@ -18,7 +18,7 @@ type t = {
   mutable refreshes : int;
 }
 
-let create ~ctx ~base ~views ~initial ~ad_buckets () =
+let create ~ctx ~base ~views ~initial ~ad_buckets ?base_cluster () =
   let disk = Ctx.disk ctx in
   let geometry = Ctx.geometry ctx in
   let tids = Ctx.tids ctx in
@@ -32,8 +32,21 @@ let create ~ctx ~base ~views ~initial ~ad_buckets () =
         invalid_arg ("Multi_view.create: view " ^ v.sp_name ^ " is over another schema"))
     views;
   let meter = Ctx.meter ctx in
-  let first = List.hd views in
-  let base_cluster = first.sp_positions.(first.sp_cluster_out) in
+  let base_cluster =
+    match base_cluster with
+    | Some name -> (
+        match Schema.column_index base name with
+        | i -> i
+        | exception Not_found ->
+            invalid_arg
+              ("Multi_view.create: base_cluster " ^ name ^ " is not a column of "
+             ^ Schema.name base))
+    | None ->
+        (* Compatibility default: cluster the base on the first view's
+           clustering column, as the original single-cluster engine did. *)
+        let first = List.hd views in
+        first.sp_positions.(first.sp_cluster_out)
+  in
   let base_tree =
     Btree.create ~disk ~name:(Schema.name base) ~fanout:(Strategy.fanout geometry)
       ~leaf_capacity:(Strategy.blocking_factor geometry base)

@@ -24,11 +24,18 @@ val create :
   views:View_def.sp list ->
   initial:Tuple.t list ->
   ad_buckets:int ->
+  ?base_cluster:string ->
   unit ->
   t
-(** All views must be defined over [base].
-    @raise Invalid_argument on an empty view list, duplicate view names, or
-    a view over another schema. *)
+(** All views must be defined over [base].  Views may cluster on different
+    output columns; the shared base B-tree clusters on the base column named
+    [base_cluster] when given, else (compatibility default) on the first
+    view's clustering column.  Views whose clustering column differs from
+    the base tree's key simply lose the clustered-range narrowing on
+    rebuilds — answers are unaffected, since view queries run against each
+    view's own materialization.
+    @raise Invalid_argument on an empty view list, duplicate view names, a
+    view over another schema, or an unknown [base_cluster] column. *)
 
 val view_names : t -> string list
 

@@ -58,3 +58,59 @@ let count_ops ops =
       | Txn _ -> (txns + 1, queries)
       | Query _ -> (txns, queries + 1))
     (0, 0) ops
+
+type fleet_op = Ftxn of Strategy.change list | Fquery of int * Strategy.query
+
+let zipf_weights ~n ~s =
+  if n <= 0 then invalid_arg "Stream.zipf_weights: no views";
+  if s < 0. then invalid_arg "Stream.zipf_weights: negative exponent";
+  let raw = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0. raw in
+  Array.map (fun w -> w /. total) raw
+
+(* Inverse-CDF draw over the (already normalized) weights. *)
+let pick_weighted rng weights =
+  let u = Rng.float rng in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+let generate_fleet ~rng ~tuples ~mutate ~views ~zipf_s ~k ~l ~q ~query_of =
+  if k < 0 || l <= 0 || q < 0 then invalid_arg "Stream.generate_fleet: bad k/l/q";
+  let weights = zipf_weights ~n:views ~s:zipf_s in
+  let total = k + q in
+  let ops = ref [] in
+  for i = 0 to total - 1 do
+    let is_query = (i + 1) * q / total > i * q / total in
+    if is_query then begin
+      let v = pick_weighted rng weights in
+      ops := Fquery (v, query_of rng v) :: !ops
+    end
+    else begin
+      let population = Array.length tuples in
+      let indices = Rng.sample_without_replacement rng ~n:population ~k:(min l population) in
+      let changes =
+        List.map
+          (fun idx ->
+            let old_tuple = tuples.(idx) in
+            let new_tuple = mutate rng old_tuple in
+            tuples.(idx) <- new_tuple;
+            Strategy.modify ~old_tuple ~new_tuple)
+          indices
+      in
+      ops := Ftxn changes :: !ops
+    end
+  done;
+  List.rev !ops
+
+let count_fleet_ops ops =
+  List.fold_left
+    (fun (txns, queries) -> function
+      | Ftxn _ -> (txns + 1, queries)
+      | Fquery _ -> (txns, queries + 1))
+    (0, 0) ops

@@ -52,3 +52,31 @@ val range_query_of : lo_max:float -> width:float -> Rng.t -> Strategy.query
 
 val count_ops : op list -> int * int
 (** [(transactions, queries)]. *)
+
+type fleet_op = Ftxn of Strategy.change list | Fquery of int * Strategy.query
+(** A fleet stream op: a shared update transaction, or a range query
+    addressed to one view (by fleet index). *)
+
+val zipf_weights : n:int -> s:float -> float array
+(** Normalized Zipf(s) popularity over [n] views: weight of view [i] is
+    proportional to [1 / (i + 1)^s].  [s = 0.] is uniform.
+    @raise Invalid_argument on [n <= 0] or negative [s]. *)
+
+val generate_fleet :
+  rng:Rng.t ->
+  tuples:Tuple.t array ->
+  mutate:(Rng.t -> Tuple.t -> Tuple.t) ->
+  views:int ->
+  zipf_s:float ->
+  k:int ->
+  l:int ->
+  q:int ->
+  query_of:(Rng.t -> int -> Strategy.query) ->
+  fleet_op list
+(** Like {!generate}, but each query slot first draws a view index from the
+    Zipf([zipf_s]) popularity distribution, then draws that view's query via
+    [query_of rng view].  The same materialized stream replays verbatim
+    against a fleet engine and against isolated per-view engines. *)
+
+val count_fleet_ops : fleet_op list -> int * int
+(** [(transactions, queries)]. *)
